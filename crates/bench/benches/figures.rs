@@ -1,0 +1,100 @@
+//! Criterion benchmarks: one representative simulation cell per paper
+//! table/figure, so `cargo bench` exercises every experiment's code path
+//! and reports its cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use jetsim::prelude::*;
+
+fn windows() -> (SimDuration, SimDuration) {
+    (SimDuration::from_millis(50), SimDuration::from_millis(250))
+}
+
+fn run_cell(
+    platform: &Platform,
+    model: &ModelGraph,
+    precision: Precision,
+    batch: u32,
+    procs: u32,
+) -> f64 {
+    let (warmup, measure) = windows();
+    let engine = platform
+        .build_engine(model, precision, batch)
+        .expect("engine builds");
+    let mut builder = SimConfig::builder(platform.device().clone())
+        .warmup(warmup)
+        .measure(measure);
+    builder = builder.add_engines(&engine, procs);
+    let config = builder.build().expect("fits");
+    Simulation::new(config)
+        .expect("valid")
+        .run()
+        .total_throughput()
+}
+
+fn run_nsight(platform: &Platform, model: &ModelGraph, precision: Precision, procs: u32) -> f64 {
+    let (warmup, measure) = windows();
+    let profile = DualPhaseProfiler::new(platform)
+        .workload(model, precision, 1, procs)
+        .expect("builds")
+        .warmup(warmup)
+        .measure(measure)
+        .run()
+        .expect("fits");
+    profile.kernel.cdfs.sm_active.mean()
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    let orin = Platform::orin_nano();
+    let nano = Platform::jetson_nano();
+    let resnet = zoo::resnet50();
+    let fcn = zoo::fcn_resnet50();
+    let yolo = zoo::yolov8n();
+
+    group.bench_function("table1_render", |b| {
+        b.iter(|| jetsim_bench::figures::table1().tables[0].1.to_markdown())
+    });
+    group.bench_function("table2_render", |b| {
+        b.iter(|| jetsim_bench::figures::table2().tables[0].1.to_markdown())
+    });
+    group.bench_function("fig01_resnet_fp16_b8_orin", |b| {
+        b.iter(|| run_cell(&orin, &resnet, Precision::Fp16, 8, 1))
+    });
+    group.bench_function("fig03_fcn_fp16_b1_orin", |b| {
+        b.iter(|| run_cell(&orin, &fcn, Precision::Fp16, 1, 1))
+    });
+    group.bench_function("fig04_fcn_fp32_dvfs_orin", |b| {
+        b.iter(|| run_cell(&orin, &fcn, Precision::Fp32, 1, 1))
+    });
+    group.bench_function("fig05_nsight_resnet_fp16", |b| {
+        b.iter(|| run_nsight(&orin, &resnet, Precision::Fp16, 1))
+    });
+    group.bench_function("fig06_yolo_int8_b1_p8_orin", |b| {
+        b.iter(|| run_cell(&orin, &yolo, Precision::Int8, 1, 8))
+    });
+    group.bench_function("fig07_resnet_fp16_b1_p4_nano", |b| {
+        b.iter(|| run_cell(&nano, &resnet, Precision::Fp16, 1, 4))
+    });
+    group.bench_function("fig08_fcn_int8_b16_p2_orin", |b| {
+        b.iter(|| run_cell(&orin, &fcn, Precision::Int8, 16, 2))
+    });
+    group.bench_function("fig09_yolo_fp16_b4_p2_nano", |b| {
+        b.iter(|| run_cell(&nano, &yolo, Precision::Fp16, 4, 2))
+    });
+    group.bench_function("fig10_nsight_yolo_int8_p4", |b| {
+        b.iter(|| run_nsight(&orin, &yolo, Precision::Int8, 4))
+    });
+    group.bench_function("fig11_resnet_int8_b1_p4_orin", |b| {
+        b.iter(|| run_cell(&orin, &resnet, Precision::Int8, 1, 4))
+    });
+    group.bench_function("fig12_resnet_fp16_b1_p2_nano", |b| {
+        b.iter(|| run_cell(&nano, &resnet, Precision::Fp16, 1, 2))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,154 @@
+//! Micro-benchmarks of the simulator's building blocks: the event queue,
+//! the engine builder, the kernel cost model, the statistics toolbox and
+//! one simulated second per device.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use jetsim::prelude::*;
+use jetsim_des::{EventQueue, SimRng, SimTime};
+use jetsim_profile::Cdf;
+use jetsim_trt::EngineBuilder;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(10_000);
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_nanos((i * 7919) % 100_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("sim_rng_uniform_10k", |b| {
+        let mut rng = SimRng::seed_from(1);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..10_000 {
+                acc += rng.uniform(0.0, 1.0);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_model_zoo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_zoo");
+    group.bench_function("build_resnet50_graph", |b| b.iter(zoo::resnet50));
+    group.bench_function("build_yolov8n_graph", |b| b.iter(zoo::yolov8n));
+    group.bench_function("resnet50_stats", |b| {
+        let model = zoo::resnet50();
+        b.iter(|| model.stats())
+    });
+    group.finish();
+}
+
+fn bench_engine_builder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_builder");
+    let orin = Platform::orin_nano();
+    for model in zoo::all() {
+        group.bench_function(format!("build_{}_int8", model.name()), |b| {
+            b.iter(|| {
+                EngineBuilder::new(orin.device())
+                    .precision(Precision::Int8)
+                    .batch(8)
+                    .build(&model)
+                    .expect("builds")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_kernel_model(c: &mut Criterion) {
+    let orin = Platform::orin_nano();
+    let engine = orin
+        .build_engine(&zoo::resnet50(), Precision::Fp16, 4)
+        .expect("builds");
+    let gpu = &orin.device().gpu;
+    c.bench_function("kernel_cost_model_full_engine", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for k in engine.kernels() {
+                total += k.exec_time(gpu, 4, gpu.freq.top()).as_nanos();
+                black_box(k.sm_active(gpu, 4));
+                black_box(k.tc_activity(gpu, 4, gpu.freq.top()));
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn bench_cdf(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from(7);
+    let samples: Vec<(f64, f64)> = (0..100_000)
+        .map(|_| (rng.uniform(0.0, 1.0), rng.uniform(0.0, 2.0)))
+        .collect();
+    c.bench_function("cdf_build_100k_weighted", |b| {
+        b.iter(|| Cdf::from_weighted(samples.iter().copied()).expect("non-empty"))
+    });
+}
+
+fn bench_simulated_second(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulated_second");
+    group.sample_size(10);
+    let cases = [
+        (
+            "orin_resnet_int8_p1",
+            Platform::orin_nano(),
+            Precision::Int8,
+            1u32,
+        ),
+        (
+            "orin_yolo_int8_p8",
+            Platform::orin_nano(),
+            Precision::Int8,
+            8,
+        ),
+        (
+            "nano_resnet_fp16_p2",
+            Platform::jetson_nano(),
+            Precision::Fp16,
+            2,
+        ),
+    ];
+    for (name, platform, precision, procs) in cases {
+        let model = if name.contains("yolo") {
+            zoo::yolov8n()
+        } else {
+            zoo::resnet50()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let engine = platform.build_engine(&model, precision, 1).expect("builds");
+                let mut builder = SimConfig::builder(platform.device().clone())
+                    .warmup(SimDuration::from_millis(100))
+                    .measure(SimDuration::from_millis(900));
+                builder = builder.add_engines(&engine, procs);
+                Simulation::new(builder.build().expect("fits"))
+                    .expect("valid")
+                    .run()
+                    .total_throughput()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_rng,
+    bench_model_zoo,
+    bench_engine_builder,
+    bench_kernel_model,
+    bench_cdf,
+    bench_simulated_second
+);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Ablation: see `jetsim_bench::ablations::ablation_timeslice`.
+fn main() {
+    let fig = jetsim_bench::ablations::ablation_timeslice();
+    fig.print();
+    if let Err(e) = fig.save_csv() {
+        eprintln!("warning: could not save CSV: {e}");
+    }
+}

@@ -1,0 +1,32 @@
+//! Quick calibration sanity check (development tool).
+use jetsim_device::presets;
+use jetsim_dnn::{zoo, Precision};
+use jetsim_trt::EngineBuilder;
+
+fn main() {
+    for device in [presets::orin_nano(), presets::jetson_nano()] {
+        println!("== {} ==", device.name);
+        for model in zoo::all() {
+            for p in Precision::ALL {
+                let e = EngineBuilder::new(&device)
+                    .precision(p)
+                    .build(&model)
+                    .unwrap();
+                let top = device.gpu.freq.top();
+                let tput = e.ideal_throughput(&device.gpu, top);
+                let e16 = EngineBuilder::new(&device)
+                    .precision(p)
+                    .batch(16)
+                    .build(&model)
+                    .unwrap();
+                let t16 = e16.ideal_throughput(&device.gpu, top);
+                let mem = device
+                    .memory
+                    .gpu_percent(e.gpu_memory_bytes(device.memory.cuda_context_bytes));
+                println!("{:14} {:4}  b1 {:8.1} img/s  b16 {:8.1} img/s  mem {:5.2}%  kernels {}  frac {:.2}",
+                    model.name(), p.to_string(), tput, t16, mem, e.kernel_count(),
+                    e.requested_precision_flop_fraction());
+            }
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig01_batch_sweep on the simulated platforms.
+fn main() {
+    let fig = jetsim_bench::figures::fig01_batch_sweep();
+    fig.print();
+    if let Err(e) = fig.save_csv() {
+        eprintln!("warning: could not save CSV: {e}");
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig03_precision on the simulated platforms.
+fn main() {
+    let fig = jetsim_bench::figures::fig03_precision();
+    fig.print();
+    if let Err(e) = fig.save_csv() {
+        eprintln!("warning: could not save CSV: {e}");
+    }
+}

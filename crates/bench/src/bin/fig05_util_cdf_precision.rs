@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig05_util_cdf_precision on the simulated platforms.
+fn main() {
+    let fig = jetsim_bench::figures::fig05_util_cdf_precision();
+    fig.print();
+    if let Err(e) = fig.save_csv() {
+        eprintln!("warning: could not save CSV: {e}");
+    }
+}

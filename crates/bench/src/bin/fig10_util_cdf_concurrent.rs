@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig10_util_cdf_concurrent on the simulated platforms.
+fn main() {
+    let fig = jetsim_bench::figures::fig10_util_cdf_concurrent();
+    fig.print();
+    if let Err(e) = fig.save_csv() {
+        eprintln!("warning: could not save CSV: {e}");
+    }
+}

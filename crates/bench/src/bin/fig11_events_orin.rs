@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig11_events_orin on the simulated platforms.
+fn main() {
+    let fig = jetsim_bench::figures::fig11_events_orin();
+    fig.print();
+    if let Err(e) = fig.save_csv() {
+        eprintln!("warning: could not save CSV: {e}");
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig12_events_nano on the simulated platforms.
+fn main() {
+    let fig = jetsim_bench::figures::fig12_events_nano();
+    fig.print();
+    if let Err(e) = fig.save_csv() {
+        eprintln!("warning: could not save CSV: {e}");
+    }
+}

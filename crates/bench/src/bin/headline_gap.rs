@@ -1,0 +1,8 @@
+//! Regenerates the paper's headline_gap on the simulated platforms.
+fn main() {
+    let fig = jetsim_bench::figures::headline_gap();
+    fig.print();
+    if let Err(e) = fig.save_csv() {
+        eprintln!("warning: could not save CSV: {e}");
+    }
+}

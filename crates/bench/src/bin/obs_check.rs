@@ -1,0 +1,16 @@
+//! Checks the paper's boxed observations against the simulated platform.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let (fig, passed, total) = jetsim_bench::figures::observation_checks();
+    fig.print();
+    if let Err(e) = fig.save_csv() {
+        eprintln!("warning: could not save CSV: {e}");
+    }
+    println!("\n{passed}/{total} observations hold");
+    if passed == total {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,28 @@
+//! Runs every table/figure harness and writes results/ + a summary.
+use std::fmt::Write as _;
+
+fn main() -> std::io::Result<()> {
+    let mut summary = String::from("# jetsim — regenerated tables and figures\n\n");
+    for fig in jetsim_bench::figures::all() {
+        fig.print();
+        fig.save_csv()?;
+        writeln!(summary, "## {} — {}\n", fig.id, fig.title).unwrap();
+        for (name, table) in &fig.tables {
+            writeln!(summary, "### {name}\n\n{table}").unwrap();
+        }
+    }
+    let (obs, passed, total) = jetsim_bench::figures::observation_checks();
+    obs.print();
+    obs.save_csv()?;
+    writeln!(summary, "## observations — {passed}/{total} hold\n").unwrap();
+    for (_, table) in &obs.tables {
+        writeln!(summary, "{table}").unwrap();
+    }
+    std::fs::create_dir_all(jetsim_bench::results_dir())?;
+    std::fs::write(jetsim_bench::results_dir().join("summary.md"), summary)?;
+    println!(
+        "\nresults written to {}",
+        jetsim_bench::results_dir().display()
+    );
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Simulation-level calibration check (development tool).
+use jetsim_des::SimDuration;
+use jetsim_device::presets;
+use jetsim_dnn::{zoo, Precision};
+use jetsim_sim::{SimConfig, Simulation};
+
+fn run(dev: jetsim_device::DeviceSpec, m: &jetsim_dnn::ModelGraph, p: Precision, b: u32, n: u32) {
+    let cfg = SimConfig::builder(dev)
+        .add_model_processes(m, p, b, n)
+        .unwrap()
+        .warmup(SimDuration::from_millis(300))
+        .measure(SimDuration::from_millis(1500))
+        .build();
+    match cfg {
+        Ok(cfg) => {
+            let t = Simulation::new(cfg).unwrap().run();
+            println!("{:13} {:4} b{:<2} p{:<2}  T/P {:7.1}  total {:7.1}  mem {:5.1}%  P {:4.2}W  util {:4.2}  f {}MHz  EC {:.2}ms blk {:.2}ms lau {:.2}ms syn {:.2}ms",
+                m.name(), p.to_string(), b, n,
+                t.throughput_per_process(), t.total_throughput(), t.gpu_memory_percent,
+                t.mean_power(), t.gpu_utilization(), t.final_freq_mhz,
+                t.mean_ec_time().as_millis_f64(),
+                t.processes[0].mean_blocking_time.as_millis_f64(),
+                t.processes[0].mean_launch_time.as_millis_f64(),
+                t.processes[0].mean_sync_time.as_millis_f64());
+        }
+        Err(e) => println!(
+            "{:13} {:4} b{:<2} p{:<2}  {e}",
+            m.name(),
+            p.to_string(),
+            b,
+            n
+        ),
+    }
+}
+
+fn main() {
+    let orin = presets::orin_nano;
+    let nano = presets::jetson_nano;
+    println!("-- Orin precision sweep (b1 p1) --");
+    for m in zoo::all() {
+        for p in Precision::ALL {
+            run(orin(), &m, p, 1, 1);
+        }
+    }
+    println!("-- Orin yolo int8 concurrency --");
+    for b in [1u32, 16] {
+        for n in [1u32, 2, 4, 8] {
+            run(orin(), &zoo::yolov8n(), Precision::Int8, b, n);
+        }
+    }
+    println!("-- Orin resnet int8 batch sweep p1 --");
+    for b in [1u32, 2, 4, 8, 16] {
+        run(orin(), &zoo::resnet50(), Precision::Int8, b, 1);
+    }
+    println!("-- Nano fp16 sweeps --");
+    for m in zoo::all() {
+        run(nano(), &m, Precision::Fp16, 1, 1);
+    }
+    for b in [1u32, 8] {
+        run(nano(), &zoo::yolov8n(), Precision::Fp16, b, 1);
+    }
+    for n in [1u32, 2, 4] {
+        run(nano(), &zoo::resnet50(), Precision::Fp16, 1, n);
+    }
+    println!("-- Nano precision (resnet, power/img) --");
+    for p in Precision::ALL {
+        run(nano(), &zoo::resnet50(), p, 1, 1);
+    }
+}

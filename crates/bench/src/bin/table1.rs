@@ -1,0 +1,8 @@
+//! Regenerates the paper's table1 on the simulated platforms.
+fn main() {
+    let fig = jetsim_bench::figures::table1();
+    fig.print();
+    if let Err(e) = fig.save_csv() {
+        eprintln!("warning: could not save CSV: {e}");
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's table2 on the simulated platforms.
+fn main() {
+    let fig = jetsim_bench::figures::table2();
+    fig.print();
+    if let Err(e) = fig.save_csv() {
+        eprintln!("warning: could not save CSV: {e}");
+    }
+}

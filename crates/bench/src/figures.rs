@@ -1,0 +1,724 @@
+//! One function per paper table/figure.
+//!
+//! Set `JETSIM_FAST=1` to shrink the measurement windows (used by the
+//! Criterion benches and smoke tests); the default windows match the
+//! paper's long-run methodology scaled to simulation time.
+
+use std::sync::OnceLock;
+
+use jetsim::observations;
+use jetsim::prelude::*;
+use jetsim::report::fmt_num;
+use jetsim::report::Table;
+use jetsim_profile::metrics;
+
+use crate::FigureResult;
+
+fn windows() -> (SimDuration, SimDuration) {
+    if std::env::var_os("JETSIM_FAST").is_some() {
+        (SimDuration::from_millis(100), SimDuration::from_millis(400))
+    } else {
+        (
+            SimDuration::from_millis(300),
+            SimDuration::from_millis(1500),
+        )
+    }
+}
+
+fn spec() -> SweepSpec {
+    let (warmup, measure) = windows();
+    SweepSpec::new().warmup(warmup).measure(measure)
+}
+
+fn paper_models() -> Vec<ModelGraph> {
+    zoo::all()
+}
+
+/// Orin Nano int8 concurrency grid (figures 6, 8 and the concurrent
+/// halves of 10/11 share it), computed once.
+fn orin_int8_grid() -> &'static Vec<(String, Vec<SweepCell>)> {
+    static GRID: OnceLock<Vec<(String, Vec<SweepCell>)>> = OnceLock::new();
+    GRID.get_or_init(|| {
+        let platform = Platform::orin_nano();
+        paper_models()
+            .iter()
+            .map(|m| {
+                let procs: Vec<u32> = if m.name() == "yolov8n" {
+                    vec![1, 2, 4, 8, 16]
+                } else {
+                    vec![1, 2, 4, 8]
+                };
+                let cells = spec()
+                    .precisions([Precision::Int8])
+                    .batches([1, 2, 4, 8, 16])
+                    .process_counts(procs)
+                    .run(&platform, m);
+                (m.name().to_string(), cells)
+            })
+            .collect()
+    })
+}
+
+/// Jetson Nano fp16 concurrency grid (figures 7 and 9).
+fn nano_fp16_grid() -> &'static Vec<(String, Vec<SweepCell>)> {
+    static GRID: OnceLock<Vec<(String, Vec<SweepCell>)>> = OnceLock::new();
+    GRID.get_or_init(|| {
+        let platform = Platform::jetson_nano();
+        paper_models()
+            .iter()
+            .map(|m| {
+                let cells = spec()
+                    .precisions([Precision::Fp16])
+                    .batches([1, 2, 4, 8])
+                    .process_counts([1, 2, 4, 8])
+                    .run(&platform, m);
+                (m.name().to_string(), cells)
+            })
+            .collect()
+    })
+}
+
+/// Per-device precision sweep at batch 1, one process (figures 3 and 4).
+fn precision_grid(platform: &Platform) -> Vec<(String, Vec<SweepCell>)> {
+    paper_models()
+        .iter()
+        .map(|m| {
+            let cells = spec()
+                .precisions(Precision::ALL)
+                .batches([1])
+                .process_counts([1])
+                .run(platform, m);
+            (m.name().to_string(), cells)
+        })
+        .collect()
+}
+
+fn outcome_cell(cell: &SweepCell, f: fn(&CellMetrics) -> f64) -> String {
+    match cell.outcome.metrics() {
+        Some(m) => fmt_num(f(m)),
+        None => "OOM".to_string(),
+    }
+}
+
+// ---------------------------------------------------------------- tables
+
+/// Table 1 — the evaluated edge GPUs.
+pub fn table1() -> FigureResult {
+    let mut table = Table::new(["Metric", "Jetson Orin Nano", "Jetson Nano"]);
+    let orin = Platform::orin_nano();
+    let nano = Platform::jetson_nano();
+    let (o, n) = (orin.device(), nano.device());
+    table.row(["CPU", &o.cpu.name, &n.cpu.name]);
+    table.row([
+        "GPU".to_string(),
+        format!("{}-core {}", o.gpu.cuda_cores(), o.gpu.generation),
+        format!("{}-core {}", n.gpu.cuda_cores(), n.gpu.generation),
+    ]);
+    table.row([
+        "Tensor Cores".to_string(),
+        o.gpu.tensor_cores.to_string(),
+        "-".to_string(),
+    ]);
+    table.row([
+        "Unified Memory".to_string(),
+        format!("{}GB", o.memory.total_bytes >> 30),
+        format!("{}GB", n.memory.total_bytes >> 30),
+    ]);
+    table.row([
+        "Power".to_string(),
+        format!("{:.0}W budget", o.power.budget_w),
+        format!("{:.0}W budget", n.power.budget_w),
+    ]);
+    FigureResult {
+        id: "table1",
+        title: "NVIDIA Jetson GPUs",
+        tables: vec![("devices".to_string(), table)],
+    }
+}
+
+/// Table 2 — the collected metrics at each level.
+pub fn table2() -> FigureResult {
+    let mut table = Table::new(["Metric", "Level", "Description", "Unit", "Tool"]);
+    for m in metrics::registry() {
+        table.row([
+            m.name.to_string(),
+            m.level.to_string(),
+            m.description.to_string(),
+            m.unit.to_string(),
+            m.tool.to_string(),
+        ]);
+    }
+    FigureResult {
+        id: "table2",
+        title: "Different levels of collected metrics",
+        tables: vec![("metrics".to_string(), table)],
+    }
+}
+
+// --------------------------------------------------------------- figures
+
+/// Figure 1 — GPU memory usage and throughput vs batch size for the
+/// ResNet50 fp16 model on the Jetson Orin Nano.
+pub fn fig01_batch_sweep() -> FigureResult {
+    let cells = spec()
+        .precisions([Precision::Fp16])
+        .batches([1, 2, 4, 8, 16])
+        .process_counts([1])
+        .run(&Platform::orin_nano(), &zoo::resnet50());
+    let mut table = Table::new(["batch", "gpu_memory_%", "throughput_img_s", "gpu_util_%"]);
+    for cell in &cells {
+        table.row([
+            cell.batch.to_string(),
+            outcome_cell(cell, |m| m.gpu_memory_percent),
+            outcome_cell(cell, |m| m.throughput),
+            outcome_cell(cell, |m| m.gpu_utilization_percent),
+        ]);
+    }
+    FigureResult {
+        id: "fig01",
+        title: "GPU memory usage and throughput vs batch size (ResNet50 fp16, Orin Nano)",
+        tables: vec![("resnet50_fp16_orin".to_string(), table)],
+    }
+}
+
+/// Figure 3 — GPU memory usage & throughput vs precision for the three
+/// vision workloads on both devices.
+pub fn fig03_precision() -> FigureResult {
+    let mut tables = Vec::new();
+    for platform in Platform::paper_platforms() {
+        let mut table = Table::new(["model", "precision", "gpu_memory_%", "throughput_img_s"]);
+        for (model, cells) in precision_grid(&platform) {
+            for cell in &cells {
+                table.row([
+                    model.clone(),
+                    cell.precision.to_string(),
+                    outcome_cell(cell, |m| m.gpu_memory_percent),
+                    outcome_cell(cell, |m| m.throughput),
+                ]);
+            }
+        }
+        tables.push((platform.name().to_string(), table));
+    }
+    FigureResult {
+        id: "fig03",
+        title: "GPU memory usage & throughput vs precision (batch 1, single process)",
+        tables,
+    }
+}
+
+/// Figure 4 — power consumption vs precision on both devices.
+pub fn fig04_power_precision() -> FigureResult {
+    let mut tables = Vec::new();
+    for platform in Platform::paper_platforms() {
+        let mut table = Table::new([
+            "model",
+            "precision",
+            "power_w",
+            "power_per_image_j",
+            "gpu_freq_mhz",
+        ]);
+        for (model, cells) in precision_grid(&platform) {
+            for cell in &cells {
+                table.row([
+                    model.clone(),
+                    cell.precision.to_string(),
+                    outcome_cell(cell, |m| m.mean_power_w),
+                    cell.outcome
+                        .metrics()
+                        .map(|m| format!("{:.3}", m.power_per_image))
+                        .unwrap_or_else(|| "OOM".to_string()),
+                    outcome_cell(cell, |m| f64::from(m.final_gpu_freq_mhz)),
+                ]);
+            }
+        }
+        tables.push((platform.name().to_string(), table));
+    }
+    FigureResult {
+        id: "fig04",
+        title: "Power consumption vs precision",
+        tables,
+    }
+}
+
+fn cdf_row(label: &str, cdf: &jetsim_profile::Cdf) -> Vec<String> {
+    vec![
+        label.to_string(),
+        format!("{:.1}", cdf.mean() * 100.0),
+        format!("{:.1}", cdf.quantile(0.25) * 100.0),
+        format!("{:.1}", cdf.quantile(0.5) * 100.0),
+        format!("{:.1}", cdf.quantile(0.75) * 100.0),
+        format!("{:.1}", cdf.quantile(0.95) * 100.0),
+        format!("{:.1}", cdf.fraction_at_least(0.95) * 100.0),
+    ]
+}
+
+fn util_headers() -> [&'static str; 7] {
+    [
+        "workload",
+        "mean_%",
+        "p25_%",
+        "p50_%",
+        "p75_%",
+        "p95_%",
+        "time_at_100_%",
+    ]
+}
+
+/// Plot-ready CDF curves: one row per (workload, quantile) with the
+/// value of each utilisation metric, 21 points per curve.
+fn curve_table(entries: &[(String, jetsim_profile::UtilizationCdfs)]) -> Table {
+    let mut table = Table::new([
+        "workload",
+        "cdf_fraction",
+        "sm_active_%",
+        "issue_slot_%",
+        "tc_%",
+    ]);
+    for (label, cdfs) in entries {
+        let sm = cdfs.sm_active.curve(21);
+        let issue = cdfs.issue_slot.curve(21);
+        let tc = cdfs.tc.curve(21);
+        for i in 0..21 {
+            table.row([
+                label.clone(),
+                format!("{:.2}", sm[i].1),
+                format!("{:.1}", sm[i].0 * 100.0),
+                format!("{:.1}", issue[i].0 * 100.0),
+                format!("{:.1}", tc[i].0 * 100.0),
+            ]);
+        }
+    }
+    table
+}
+
+fn nsight_profile(
+    platform: &Platform,
+    model: &ModelGraph,
+    precision: Precision,
+    procs: u32,
+) -> Option<NsightReport> {
+    let (warmup, measure) = windows();
+    DualPhaseProfiler::new(platform)
+        .workload(model, precision, 1, procs)
+        .ok()?
+        .warmup(warmup)
+        .measure(measure)
+        .run()
+        .ok()
+        .map(|p| p.kernel)
+}
+
+/// Figure 5 — SM-active, issue-slot and tensor-core utilisation CDFs vs
+/// precision (Jetson Orin Nano, batch 1, single process).
+pub fn fig05_util_cdf_precision() -> FigureResult {
+    let platform = Platform::orin_nano();
+    let mut sm = Table::new(util_headers());
+    let mut issue = Table::new(util_headers());
+    let mut tc = Table::new(util_headers());
+    let mut curves = Vec::new();
+    for model in paper_models() {
+        for precision in Precision::ALL {
+            let Some(report) = nsight_profile(&platform, &model, precision, 1) else {
+                continue;
+            };
+            let label = format!("{} {}", model.name(), precision);
+            sm.row(cdf_row(&label, &report.cdfs.sm_active));
+            issue.row(cdf_row(&label, &report.cdfs.issue_slot));
+            tc.row(cdf_row(&label, &report.cdfs.tc));
+            curves.push((label, report.cdfs));
+        }
+    }
+    FigureResult {
+        id: "fig05",
+        title: "SM active / issue-slot / TC utilisation vs precision (Orin Nano)",
+        tables: vec![
+            ("sm_active".to_string(), sm),
+            ("issue_slot".to_string(), issue),
+            ("tc_utilization".to_string(), tc),
+            ("curves".to_string(), curve_table(&curves)),
+        ],
+    }
+}
+
+fn concurrent_tables(
+    grid: &[(String, Vec<SweepCell>)],
+    headers: [&'static str; 4],
+    f: [fn(&CellMetrics) -> f64; 2],
+) -> Vec<(String, Table)> {
+    grid.iter()
+        .map(|(model, cells)| {
+            let mut table = Table::new(headers);
+            for cell in cells {
+                table.row([
+                    cell.batch.to_string(),
+                    cell.processes.to_string(),
+                    outcome_cell(cell, f[0]),
+                    outcome_cell(cell, f[1]),
+                ]);
+            }
+            (model.clone(), table)
+        })
+        .collect()
+}
+
+/// Figure 6 — GPU memory usage and T/P for int8 models under concurrency
+/// (Jetson Orin Nano).
+pub fn fig06_concurrent_orin() -> FigureResult {
+    FigureResult {
+        id: "fig06",
+        title: "GPU memory % and throughput/process, int8, Jetson Orin Nano",
+        tables: concurrent_tables(
+            orin_int8_grid(),
+            [
+                "batch",
+                "processes",
+                "gpu_memory_%",
+                "throughput_per_process",
+            ],
+            [|m| m.gpu_memory_percent, |m| m.throughput_per_process],
+        ),
+    }
+}
+
+/// Figure 7 — GPU memory usage and T/P for fp16 models under concurrency
+/// (Jetson Nano).
+pub fn fig07_concurrent_nano() -> FigureResult {
+    FigureResult {
+        id: "fig07",
+        title: "GPU memory % and throughput/process, fp16, Jetson Nano",
+        tables: concurrent_tables(
+            nano_fp16_grid(),
+            [
+                "batch",
+                "processes",
+                "gpu_memory_%",
+                "throughput_per_process",
+            ],
+            [|m| m.gpu_memory_percent, |m| m.throughput_per_process],
+        ),
+    }
+}
+
+/// Figure 8 — power consumption for int8 models under concurrency
+/// (Jetson Orin Nano).
+pub fn fig08_power_orin() -> FigureResult {
+    FigureResult {
+        id: "fig08",
+        title: "Power consumption, int8, Jetson Orin Nano",
+        tables: concurrent_tables(
+            orin_int8_grid(),
+            ["batch", "processes", "power_w", "gpu_freq_mhz"],
+            [|m| m.mean_power_w, |m| f64::from(m.final_gpu_freq_mhz)],
+        ),
+    }
+}
+
+/// Figure 9 — power consumption for fp16 models under concurrency
+/// (Jetson Nano).
+pub fn fig09_power_nano() -> FigureResult {
+    FigureResult {
+        id: "fig09",
+        title: "Power consumption, fp16, Jetson Nano",
+        tables: concurrent_tables(
+            nano_fp16_grid(),
+            ["batch", "processes", "power_w", "gpu_freq_mhz"],
+            [|m| m.mean_power_w, |m| f64::from(m.final_gpu_freq_mhz)],
+        ),
+    }
+}
+
+/// Figure 10 — utilisation CDFs vs number of concurrent processes
+/// (Jetson Orin Nano, int8, batch 1).
+pub fn fig10_util_cdf_concurrent() -> FigureResult {
+    let platform = Platform::orin_nano();
+    let mut sm = Table::new(util_headers());
+    let mut issue = Table::new(util_headers());
+    let mut tc = Table::new(util_headers());
+    let mut curves = Vec::new();
+    for model in paper_models() {
+        for procs in [1u32, 2, 4, 8] {
+            let Some(report) = nsight_profile(&platform, &model, Precision::Int8, procs) else {
+                continue;
+            };
+            let label = format!("{} p{}", model.name(), procs);
+            sm.row(cdf_row(&label, &report.cdfs.sm_active));
+            issue.row(cdf_row(&label, &report.cdfs.issue_slot));
+            tc.row(cdf_row(&label, &report.cdfs.tc));
+            curves.push((label, report.cdfs));
+        }
+    }
+    FigureResult {
+        id: "fig10",
+        title: "SM active / issue-slot / TC utilisation vs concurrent processes (Orin Nano)",
+        tables: vec![
+            ("sm_active".to_string(), sm),
+            ("issue_slot".to_string(), issue),
+            ("tc_utilization".to_string(), tc),
+            ("curves".to_string(), curve_table(&curves)),
+        ],
+    }
+}
+
+fn events_tables(
+    platform: &Platform,
+    model: &ModelGraph,
+    precision: Precision,
+    batches: &[u32],
+    procs: &[u32],
+) -> Vec<(String, Table)> {
+    let headers = ["x", "ec_ms", "launch_ms", "sync_ms", "blocking_ms"];
+    let batch_cells = spec()
+        .precisions([precision])
+        .batches(batches.to_vec())
+        .process_counts([1])
+        .run(platform, model);
+    let mut by_batch = Table::new(headers);
+    for cell in &batch_cells {
+        by_batch.row([
+            format!("b{}", cell.batch),
+            outcome_cell(cell, |m| m.mean_ec_ms),
+            outcome_cell(cell, |m| m.mean_launch_ms),
+            outcome_cell(cell, |m| m.mean_sync_ms),
+            outcome_cell(cell, |m| m.mean_blocking_ms),
+        ]);
+    }
+    let proc_cells = spec()
+        .precisions([precision])
+        .batches([1])
+        .process_counts(procs.to_vec())
+        .run(platform, model);
+    let mut by_procs = Table::new(headers);
+    for cell in &proc_cells {
+        by_procs.row([
+            format!("p{}", cell.processes),
+            outcome_cell(cell, |m| m.mean_ec_ms),
+            outcome_cell(cell, |m| m.mean_launch_ms),
+            outcome_cell(cell, |m| m.mean_sync_ms),
+            outcome_cell(cell, |m| m.mean_blocking_ms),
+        ]);
+    }
+    vec![
+        ("vs_batch".to_string(), by_batch),
+        ("vs_processes".to_string(), by_procs),
+    ]
+}
+
+/// Figure 11 — GPU and CPU event breakdown for ResNet50 int8 on the
+/// Jetson Orin Nano, vs batch size (left) and process count (right).
+pub fn fig11_events_orin() -> FigureResult {
+    FigureResult {
+        id: "fig11",
+        title: "GPU/CPU events, ResNet50 int8, Jetson Orin Nano",
+        tables: events_tables(
+            &Platform::orin_nano(),
+            &zoo::resnet50(),
+            Precision::Int8,
+            &[1, 2, 4, 8, 16],
+            &[1, 2, 4, 8],
+        ),
+    }
+}
+
+/// Figure 12 — the same breakdown for ResNet50 fp16 on the Jetson Nano.
+pub fn fig12_events_nano() -> FigureResult {
+    FigureResult {
+        id: "fig12",
+        title: "GPU/CPU events, ResNet50 fp16, Jetson Nano",
+        tables: events_tables(
+            &Platform::jetson_nano(),
+            &zoo::resnet50(),
+            Precision::Fp16,
+            &[1, 2, 4, 8],
+            &[1, 2, 4],
+        ),
+    }
+}
+
+/// The abstract's headline: near-100 % GPU utilisation coexisting with
+/// 15–30 % SM/TC utilisation.
+pub fn headline_gap() -> FigureResult {
+    let (warmup, measure) = windows();
+    let mut table = Table::new([
+        "workload",
+        "gpu_util_%",
+        "sm_active_mean_%",
+        "issue_slot_mean_%",
+        "tc_mean_%",
+    ]);
+    for (model, precision) in [
+        (zoo::resnet50(), Precision::Fp16),
+        (zoo::resnet50(), Precision::Int8),
+        (zoo::yolov8n(), Precision::Int8),
+    ] {
+        let profile = DualPhaseProfiler::new(&Platform::orin_nano())
+            .workload(&model, precision, 1, 1)
+            .expect("engine builds")
+            .warmup(warmup)
+            .measure(measure)
+            .run()
+            .expect("fits in memory");
+        table.row([
+            format!("{} {}", model.name(), precision),
+            format!("{:.1}", profile.soc.gpu_utilization_percent),
+            format!("{:.1}", profile.kernel.cdfs.sm_active.mean() * 100.0),
+            format!("{:.1}", profile.kernel.cdfs.issue_slot.mean() * 100.0),
+            format!("{:.1}", profile.kernel.cdfs.tc.mean() * 100.0),
+        ]);
+    }
+    FigureResult {
+        id: "headline",
+        title: "High GPU utilisation vs low SM/TC utilisation (abstract)",
+        tables: vec![("gap".to_string(), table)],
+    }
+}
+
+/// Checks the paper's boxed observations against the simulated platform
+/// and reports PASS/FAIL per claim.
+pub fn observation_checks() -> (FigureResult, usize, usize) {
+    let (warmup, measure) = windows();
+    let orin = Platform::orin_nano();
+    let nano = Platform::jetson_nano();
+    let mut checks: Vec<observations::Check> = Vec::new();
+
+    // §6.1.1 / §6.1.2 — precision sweeps at b1 p1.
+    let orin_resnet = spec()
+        .precisions(Precision::ALL)
+        .run(&orin, &zoo::resnet50());
+    let nano_resnet = spec()
+        .precisions(Precision::ALL)
+        .run(&nano, &zoo::resnet50());
+    checks.push(observations::optimal_precision(
+        &orin_resnet,
+        Precision::Int8,
+    ));
+    checks.push(observations::optimal_precision(
+        &nano_resnet,
+        Precision::Fp16,
+    ));
+    checks.push(observations::memory_grows_with_precision(&orin_resnet));
+    checks.push(observations::supported_format_cheapest_per_image(
+        &nano_resnet,
+    ));
+    checks.push(observations::fp32_power_drops(&orin_resnet));
+
+    // §6.1.3 / §6.1.4 — kernel-level behaviour.
+    if let Some(report) = nsight_profile(&orin, &zoo::resnet50(), Precision::Fp16, 1) {
+        checks.push(observations::issue_slots_stall(&report));
+    }
+    let fcn = DualPhaseProfiler::new(&orin)
+        .workload(&zoo::fcn_resnet50(), Precision::Fp16, 1, 1)
+        .expect("builds")
+        .warmup(warmup)
+        .measure(measure)
+        .run()
+        .expect("fits");
+    let resnet_int8 = DualPhaseProfiler::new(&orin)
+        .workload(&zoo::resnet50(), Precision::Int8, 1, 1)
+        .expect("builds")
+        .warmup(warmup)
+        .measure(measure)
+        .run()
+        .expect("fits");
+    checks.push(observations::tc_not_throughput(
+        (fcn.kernel.cdfs.tc.mean(), fcn.soc.throughput),
+        (
+            resnet_int8.kernel.cdfs.tc.mean(),
+            resnet_int8.soc.throughput,
+        ),
+    ));
+
+    // §6.2 / §7 — concurrency grids.
+    let grid = orin_int8_grid();
+    for (model, cells) in grid {
+        if model == "yolov8n" {
+            checks.push(observations::tp_scaling(cells, Precision::Int8));
+        }
+        if model == "resnet50" {
+            checks.push(observations::power_capped(
+                cells,
+                orin.device().power.budget_w,
+            ));
+            checks.push(observations::ec_stability(
+                cells,
+                Precision::Int8,
+                orin.device().cpu.heavy_cores,
+            ));
+            checks.push(observations::batch_stabilizes_ec(cells, Precision::Int8));
+        }
+    }
+
+    let mut table = Table::new(["id", "claim", "verdict", "evidence"]);
+    let mut passed = 0;
+    for check in &checks {
+        if check.holds {
+            passed += 1;
+        }
+        table.row([
+            check.id.to_string(),
+            check.claim.to_string(),
+            if check.holds { "PASS" } else { "FAIL" }.to_string(),
+            check.evidence.clone(),
+        ]);
+    }
+    let total = checks.len();
+    (
+        FigureResult {
+            id: "observations",
+            title: "The paper's boxed observations, checked",
+            tables: vec![("checks".to_string(), table)],
+        },
+        passed,
+        total,
+    )
+}
+
+/// Every figure and table, in paper order.
+pub fn all() -> Vec<FigureResult> {
+    vec![
+        table1(),
+        table2(),
+        fig01_batch_sweep(),
+        fig03_precision(),
+        fig04_power_precision(),
+        fig05_util_cdf_precision(),
+        fig06_concurrent_orin(),
+        fig07_concurrent_nano(),
+        fig08_power_orin(),
+        fig09_power_nano(),
+        fig10_util_cdf_concurrent(),
+        fig11_events_orin(),
+        fig12_events_nano(),
+        headline_gap(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() {
+        std::env::set_var("JETSIM_FAST", "1");
+    }
+
+    #[test]
+    fn tables_render() {
+        let t1 = table1();
+        assert!(t1.tables[0].1.to_markdown().contains("Tensor Cores"));
+        let t2 = table2();
+        assert_eq!(t2.tables[0].1.len(), 10);
+    }
+
+    #[test]
+    fn fig01_rows_cover_batches() {
+        fast();
+        let fig = fig01_batch_sweep();
+        assert_eq!(fig.tables[0].1.len(), 5);
+    }
+
+    #[test]
+    fn headline_gap_runs() {
+        fast();
+        let fig = headline_gap();
+        assert_eq!(fig.tables[0].1.len(), 3);
+    }
+}

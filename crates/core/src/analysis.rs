@@ -1,0 +1,312 @@
+//! Bottleneck classification: the paper's §7 diagnosis as code.
+//!
+//! The paper's central finding is that "GPU utilisation" alone misleads:
+//! a workload can report ~100 % GPU utilisation while SMs idle, tensor
+//! cores starve, or the CPU scheduler strangles the launch path. This
+//! module reads both profiling phases and names the dominant limiter.
+
+use std::fmt;
+
+use crate::profiler::WorkloadProfile;
+
+/// What limits a workload's throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bottleneck {
+    /// Host threads spend EC time blocked by the CPU scheduler —
+    /// the ≥4-process regime on the Orin Nano (§7 observation 1).
+    CpuBlockingBound,
+    /// The GPU starves waiting for kernel launches; per-kernel CPU launch
+    /// costs dominate (small batches, many small kernels).
+    LaunchBound,
+    /// Kernels are limited by arithmetic throughput.
+    ComputeBound,
+    /// Kernels are limited by DRAM bandwidth.
+    MemoryBandwidthBound,
+    /// Multiple processes time-share the GPU; per-process throughput
+    /// falls although the GPU stays busy.
+    GpuContention,
+}
+
+impl fmt::Display for Bottleneck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Bottleneck::CpuBlockingBound => "CPU-blocking-bound",
+            Bottleneck::LaunchBound => "launch-bound",
+            Bottleneck::ComputeBound => "compute-bound",
+            Bottleneck::MemoryBandwidthBound => "memory-bandwidth-bound",
+            Bottleneck::GpuContention => "GPU-contention-bound",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Secondary conditions worth flagging alongside the primary limiter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Flag {
+    /// DVFS pulled the GPU below its top frequency to defend the power
+    /// budget (§6.1.2's fp32 anomaly).
+    DvfsThrottled,
+    /// Tensor cores run below 30 % activity despite a TC-eligible
+    /// precision (§6.1.4).
+    TensorCoresUnderutilized,
+    /// Issue-slot utilisation sits near the paper's ~25 % average —
+    /// instruction stalls even while SMs stay resident (§6.1.3).
+    IssueStalls,
+}
+
+impl fmt::Display for Flag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Flag::DvfsThrottled => "DVFS-throttled",
+            Flag::TensorCoresUnderutilized => "tensor cores underutilised",
+            Flag::IssueStalls => "issue-slot stalls",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The outcome of diagnosing a [`WorkloadProfile`].
+#[derive(Debug, Clone)]
+pub struct BottleneckReport {
+    /// The dominant limiter.
+    pub primary: Bottleneck,
+    /// Secondary conditions present.
+    pub flags: Vec<Flag>,
+    /// Human-readable evidence lines, one per conclusion.
+    pub evidence: Vec<String>,
+}
+
+impl BottleneckReport {
+    /// Diagnoses a workload profile.
+    pub fn diagnose(profile: &WorkloadProfile) -> Self {
+        let mut evidence = Vec::new();
+        let mut flags = Vec::new();
+
+        let ec = profile.kernel.mean_ec_time.as_secs_f64().max(f64::EPSILON);
+        let blocking_frac = profile.kernel.mean_blocking_time.as_secs_f64() / ec;
+        let launch_frac = profile.kernel.mean_launch_time.as_secs_f64() / ec;
+        let gpu_frac = profile
+            .phase1_trace
+            .processes
+            .iter()
+            .map(|p| p.mean_gpu_time.as_secs_f64())
+            .sum::<f64>()
+            / profile.phase1_trace.processes.len().max(1) as f64
+            / ec;
+        let util = profile.soc.gpu_utilization_percent / 100.0;
+
+        // Memory-bound share of GPU busy time, from the traced events.
+        let bw = profile.phase2_trace.mem_bandwidth_bytes_per_sec;
+        let (mem_bound_time, busy_time) =
+            profile
+                .phase2_trace
+                .kernel_events
+                .iter()
+                .fold((0.0, 0.0), |(m, b), e| {
+                    let d = e.duration().as_secs_f64();
+                    let rate = e.bytes as f64 / d.max(f64::EPSILON);
+                    (if rate > 0.7 * bw { m + d } else { m }, b + d)
+                });
+        let mem_share = if busy_time > 0.0 {
+            mem_bound_time / busy_time
+        } else {
+            0.0
+        };
+
+        let primary = if blocking_frac > 0.3 {
+            evidence.push(format!(
+                "{:.0}% of mean EC time is scheduler blocking",
+                blocking_frac * 100.0
+            ));
+            Bottleneck::CpuBlockingBound
+        } else if util < 0.75 && launch_frac > 0.4 {
+            evidence.push(format!(
+                "GPU only {:.0}% busy while launches take {:.0}% of EC time",
+                util * 100.0,
+                launch_frac * 100.0
+            ));
+            Bottleneck::LaunchBound
+        } else if mem_share > 0.5 {
+            evidence.push(format!(
+                "{:.0}% of GPU busy time runs at >70% of DRAM bandwidth",
+                mem_share * 100.0
+            ));
+            Bottleneck::MemoryBandwidthBound
+        } else if profile.processes > 1 && gpu_frac < 0.6 {
+            evidence.push(format!(
+                "{} processes time-share the GPU; each EC holds it only {:.0}% of its span",
+                profile.processes,
+                gpu_frac * 100.0
+            ));
+            Bottleneck::GpuContention
+        } else {
+            evidence.push(format!(
+                "GPU {:.0}% busy, launches {:.0}% and blocking {:.0}% of EC time",
+                util * 100.0,
+                launch_frac * 100.0,
+                blocking_frac * 100.0
+            ));
+            Bottleneck::ComputeBound
+        };
+
+        let top_mhz = profile.phase1_trace.top_freq_mhz;
+        if profile.soc.final_gpu_freq_mhz < top_mhz {
+            flags.push(Flag::DvfsThrottled);
+            evidence.push(format!(
+                "DVFS holds the GPU at {} MHz (top {top_mhz} MHz)",
+                profile.soc.final_gpu_freq_mhz
+            ));
+        }
+        let tc_mean = profile.kernel.cdfs.tc.mean();
+        if tc_mean < 0.3
+            && profile
+                .phase2_trace
+                .kernel_events
+                .iter()
+                .any(|e| e.tc_activity > 0.0)
+        {
+            flags.push(Flag::TensorCoresUnderutilized);
+            evidence.push(format!(
+                "mean tensor-core activity only {:.0}%",
+                tc_mean * 100.0
+            ));
+        }
+        let issue_mean = profile.kernel.cdfs.issue_slot.mean();
+        if issue_mean < 0.35 {
+            flags.push(Flag::IssueStalls);
+            evidence.push(format!(
+                "mean issue-slot utilisation {:.0}% (paper average ≈25%)",
+                issue_mean * 100.0
+            ));
+        }
+
+        BottleneckReport {
+            primary,
+            flags,
+            evidence,
+        }
+    }
+}
+
+impl fmt::Display for BottleneckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "primary bottleneck: {}", self.primary)?;
+        if !self.flags.is_empty() {
+            let flags: Vec<String> = self.flags.iter().map(|x| x.to_string()).collect();
+            write!(f, " [{}]", flags.join(", "))?;
+        }
+        for line in &self.evidence {
+            write!(f, "\n  - {line}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::DualPhaseProfiler;
+    use crate::Platform;
+    use jetsim_des::SimDuration;
+    use jetsim_dnn::{zoo, Precision};
+
+    fn profile(
+        model: &jetsim_dnn::ModelGraph,
+        precision: Precision,
+        batch: u32,
+        procs: u32,
+    ) -> WorkloadProfile {
+        DualPhaseProfiler::new(&Platform::orin_nano())
+            .workload(model, precision, batch, procs)
+            .unwrap()
+            .warmup(SimDuration::from_millis(150))
+            .measure(SimDuration::from_millis(800))
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn oversubscription_is_cpu_blocking_bound() {
+        let report = profile(&zoo::resnet50(), Precision::Int8, 1, 8).analyze();
+        assert_eq!(report.primary, Bottleneck::CpuBlockingBound, "{report}");
+    }
+
+    #[test]
+    fn heavy_single_process_is_compute_bound() {
+        let report = profile(&zoo::fcn_resnet50(), Precision::Fp16, 1, 1).analyze();
+        assert_eq!(report.primary, Bottleneck::ComputeBound, "{report}");
+    }
+
+    #[test]
+    fn fp32_flags_dvfs() {
+        let report = profile(&zoo::fcn_resnet50(), Precision::Fp32, 4, 1).analyze();
+        assert!(report.flags.contains(&Flag::DvfsThrottled), "{report}");
+    }
+
+    #[test]
+    fn issue_stalls_flagged_for_resnet() {
+        // Paper §6.1.3: issue-slot utilisation averages ~25%.
+        let report = profile(&zoo::resnet50(), Precision::Int8, 1, 1).analyze();
+        assert!(report.flags.contains(&Flag::IssueStalls), "{report}");
+    }
+
+    #[test]
+    fn small_kernel_models_are_launch_bound() {
+        // MobileNetV2's tiny depthwise/pointwise kernels leave the GPU
+        // half idle at batch 1: the launch path is the limiter.
+        let report = profile(&zoo::mobilenet_v2(), Precision::Fp16, 1, 1).analyze();
+        assert_eq!(report.primary, Bottleneck::LaunchBound, "{report}");
+    }
+
+    #[test]
+    fn two_processes_are_gpu_contention_bound() {
+        let report = profile(&zoo::yolov8n(), Precision::Int8, 1, 2).analyze();
+        assert_eq!(report.primary, Bottleneck::GpuContention, "{report}");
+    }
+
+    #[test]
+    fn starved_bandwidth_is_memory_bound() {
+        // An ablation device with 1/20th of the Orin's DRAM bandwidth
+        // pushes every kernel against the roofline's memory wall.
+        let mut spec = Platform::orin_nano().device().clone();
+        spec.gpu.mem_bandwidth_gbps = 3.0;
+        let platform = Platform::from_spec(spec);
+        let report = DualPhaseProfiler::new(&platform)
+            .workload(&zoo::resnet50(), Precision::Fp16, 4, 1)
+            .unwrap()
+            .warmup(SimDuration::from_millis(150))
+            .measure(SimDuration::from_millis(800))
+            .run()
+            .unwrap()
+            .analyze();
+        assert_eq!(report.primary, Bottleneck::MemoryBandwidthBound, "{report}");
+    }
+
+    #[test]
+    fn bottleneck_and_flag_display_names() {
+        for b in [
+            Bottleneck::CpuBlockingBound,
+            Bottleneck::LaunchBound,
+            Bottleneck::ComputeBound,
+            Bottleneck::MemoryBandwidthBound,
+            Bottleneck::GpuContention,
+        ] {
+            assert!(!format!("{b}").is_empty());
+        }
+        for f in [
+            Flag::DvfsThrottled,
+            Flag::TensorCoresUnderutilized,
+            Flag::IssueStalls,
+        ] {
+            assert!(!format!("{f}").is_empty());
+        }
+    }
+
+    #[test]
+    fn evidence_is_never_empty() {
+        let report = profile(&zoo::yolov8n(), Precision::Int8, 1, 2).analyze();
+        assert!(!report.evidence.is_empty());
+        let text = format!("{report}");
+        assert!(text.contains("primary bottleneck"));
+    }
+}

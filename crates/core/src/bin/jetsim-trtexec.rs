@@ -1,0 +1,214 @@
+//! A `trtexec`-style command-line front-end for the simulator.
+//!
+//! Mirrors the flags the paper drives its experiments with and prints a
+//! trtexec-like performance summary plus the `jetson-stats` view:
+//!
+//! ```sh
+//! jetsim-trtexec --model=resnet50 --int8 --batch=8 --device=orin-nano \
+//!     --processes=2 --duration=2 --chrome-trace=/tmp/timeline.json
+//! ```
+
+use std::process::ExitCode;
+
+use jetsim::prelude::*;
+use jetsim_profile::chrome_trace;
+
+#[derive(Debug)]
+struct Args {
+    model: String,
+    precision: Precision,
+    batch: u32,
+    processes: u32,
+    streams: u32,
+    device: String,
+    duration_secs: f64,
+    nsight: bool,
+    chrome_trace: Option<String>,
+    seed: u64,
+}
+
+impl Args {
+    fn usage() -> &'static str {
+        "usage: jetsim-trtexec --model=<zoo name or path/to/model.json>\n\
+         \x20                  zoo: resnet50, fcn_resnet50, yolov8n, resnet18, resnet34, resnet101, mobilenet_v2\n\
+         \x20                  [--int8|--fp16|--tf32|--fp32] [--batch=N] [--processes=N] [--streams=N]\n\
+         \x20                  [--device=orin-nano|jetson-nano|cloud-a40] [--duration=SECONDS]\n\
+         \x20                  [--nsight] [--chrome-trace=FILE] [--seed=N]"
+    }
+
+    fn parse(argv: impl Iterator<Item = String>) -> Result<Args, String> {
+        let mut args = Args {
+            model: String::new(),
+            precision: Precision::Fp32,
+            batch: 1,
+            processes: 1,
+            streams: 1,
+            device: "orin-nano".to_string(),
+            duration_secs: 2.0,
+            nsight: false,
+            chrome_trace: None,
+            seed: 0x6A65_7473,
+        };
+        for arg in argv {
+            let (key, value) = match arg.split_once('=') {
+                Some((k, v)) => (k, Some(v)),
+                None => (arg.as_str(), None),
+            };
+            let required = |v: Option<&str>| {
+                v.map(str::to_string)
+                    .ok_or_else(|| format!("{key} needs a value"))
+            };
+            match key {
+                "--model" | "--onnx" => args.model = required(value)?,
+                "--int8" => args.precision = Precision::Int8,
+                "--fp16" => args.precision = Precision::Fp16,
+                "--tf32" => args.precision = Precision::Tf32,
+                "--fp32" => args.precision = Precision::Fp32,
+                "--batch" => {
+                    args.batch = required(value)?
+                        .parse()
+                        .map_err(|e| format!("bad --batch: {e}"))?
+                }
+                "--processes" => {
+                    args.processes = required(value)?
+                        .parse()
+                        .map_err(|e| format!("bad --processes: {e}"))?
+                }
+                "--streams" => {
+                    args.streams = required(value)?
+                        .parse()
+                        .map_err(|e| format!("bad --streams: {e}"))?
+                }
+                "--device" => args.device = required(value)?,
+                "--duration" => {
+                    args.duration_secs = required(value)?
+                        .parse()
+                        .map_err(|e| format!("bad --duration: {e}"))?
+                }
+                "--nsight" => args.nsight = true,
+                "--chrome-trace" => args.chrome_trace = Some(required(value)?),
+                "--seed" => {
+                    args.seed = required(value)?
+                        .parse()
+                        .map_err(|e| format!("bad --seed: {e}"))?
+                }
+                "--help" | "-h" => return Err(Args::usage().to_string()),
+                other => return Err(format!("unknown flag `{other}`\n{}", Args::usage())),
+            }
+        }
+        if args.model.is_empty() {
+            return Err(format!("--model is required\n{}", Args::usage()));
+        }
+        Ok(args)
+    }
+
+    fn platform(&self) -> Result<Platform, String> {
+        match self.device.as_str() {
+            "orin-nano" | "orin" => Ok(Platform::orin_nano()),
+            "jetson-nano" | "nano" => Ok(Platform::jetson_nano()),
+            "cloud-a40" | "a40" => Ok(Platform::cloud_a40()),
+            other => Err(format!("unknown device `{other}`")),
+        }
+    }
+}
+
+fn run(args: Args) -> Result<(), String> {
+    let platform = args.platform()?;
+    let model = if args.model.ends_with(".json") {
+        jetsim::plan::load_model(&args.model)
+            .map_err(|e| format!("cannot load model file `{}`: {e}", args.model))?
+    } else {
+        zoo::by_name(&args.model).ok_or_else(|| format!("unknown model `{}`", args.model))?
+    };
+    let engine = platform
+        .build_engine(&model, args.precision, args.batch)
+        .map_err(|e| e.to_string())?;
+
+    println!("=== Model Options ===");
+    println!("Model: {} ({})", model.name(), model.stats());
+    println!("=== Build Options ===");
+    println!(
+        "Precision: {} (engine runs {:.0}% of FLOPs at the requested format)",
+        args.precision,
+        engine.requested_precision_flop_fraction() * 100.0
+    );
+    println!(
+        "Batch: {} | Kernels after fusion: {}",
+        args.batch,
+        engine.kernel_count()
+    );
+    println!(
+        "Engine size: {:.1} MiB | workspace {:.1} MiB",
+        engine.engine_bytes() as f64 / (1024.0 * 1024.0),
+        engine.workspace_bytes() as f64 / (1024.0 * 1024.0),
+    );
+    println!("=== Device ===");
+    println!("{platform}");
+
+    let mut builder = SimConfig::builder(platform.device().clone())
+        .warmup(SimDuration::from_millis(500))
+        .measure(SimDuration::from_secs_f64(args.duration_secs))
+        .seed(args.seed)
+        .profiler(if args.nsight {
+            ProfilerMode::Nsight
+        } else {
+            ProfilerMode::Lightweight
+        });
+    for _ in 0..args.processes {
+        builder = builder.add_engine_streams(&engine, args.streams);
+    }
+    let config = builder.build().map_err(|e| e.to_string())?;
+    let trace = Simulation::new(config).map_err(|e| e.to_string())?.run();
+
+    println!("\n=== Performance Summary ===");
+    println!(
+        "Throughput: {:.2} qps (total), {:.2} qps/process",
+        trace.total_throughput(),
+        trace.throughput_per_process()
+    );
+    for p in &trace.processes {
+        println!(
+            "{}: EC mean {} | median {} | p95 {} | p99 {} (launch {}, sync {}, blocking {})",
+            p.name,
+            p.mean_ec_time,
+            p.p50_ec_time,
+            p.p95_ec_time,
+            p.p99_ec_time,
+            p.mean_launch_time,
+            p.mean_sync_time,
+            p.mean_blocking_time,
+        );
+    }
+    println!("\n=== jetson-stats ===");
+    println!("{}", jetsim_profile::JetsonStatsReport::from_trace(&trace));
+
+    if args.nsight {
+        if let Some(report) = NsightReport::from_trace(&trace) {
+            println!("\n=== Nsight Systems ===");
+            println!("{report}");
+        }
+    }
+
+    if let Some(path) = args.chrome_trace {
+        std::fs::write(&path, chrome_trace::to_chrome_trace(&trace))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("\nchrome trace written to {path} (open in ui.perfetto.dev)");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match Args::parse(std::env::args().skip(1)) {
+        Ok(args) => match run(args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

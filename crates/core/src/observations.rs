@@ -1,0 +1,422 @@
+//! The paper's boxed observations as executable checks.
+//!
+//! Each section of the paper's evaluation ends in a boxed takeaway. This
+//! module encodes them as predicates over sweep results and profiles, so
+//! the reproduction can *verify* — in CI, not by eyeballing plots — that
+//! the simulated platform exhibits the published behaviour.
+
+use std::fmt;
+
+use jetsim_dnn::Precision;
+use jetsim_profile::NsightReport;
+
+use crate::sweep::SweepCell;
+
+/// The outcome of checking one boxed observation.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// Short identifier, e.g. `obs-6.1.1`.
+    pub id: &'static str,
+    /// The paper's claim, paraphrased.
+    pub claim: &'static str,
+    /// Whether the simulated platform exhibits it.
+    pub holds: bool,
+    /// Numbers backing the verdict.
+    pub evidence: String,
+}
+
+impl fmt::Display for Check {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} — {}: {}",
+            if self.holds { "PASS" } else { "FAIL" },
+            self.id,
+            self.claim,
+            self.evidence
+        )
+    }
+}
+
+fn tp(cells: &[SweepCell], precision: Precision, batch: u32, procs: u32) -> Option<f64> {
+    cells
+        .iter()
+        .find(|c| c.precision == precision && c.batch == batch && c.processes == procs)
+        .and_then(|c| c.outcome.metrics())
+        .map(|m| m.throughput_per_process)
+}
+
+fn metric(
+    cells: &[SweepCell],
+    precision: Precision,
+    batch: u32,
+    procs: u32,
+    f: fn(&crate::sweep::CellMetrics) -> f64,
+) -> Option<f64> {
+    cells
+        .iter()
+        .find(|c| c.precision == precision && c.batch == batch && c.processes == procs)
+        .and_then(|c| c.outcome.metrics())
+        .map(f)
+}
+
+/// §6.1.1 — "int8 models are beneficial on Jetson Orin Nano whereas fp16
+/// models are optimal for Jetson Nano." Pass the b1/p1 precision sweep of
+/// one model and the expected winner for the device.
+pub fn optimal_precision(cells: &[SweepCell], expected: Precision) -> Check {
+    let mut best: Option<(Precision, f64)> = None;
+    for precision in Precision::ALL {
+        if let Some(t) = tp(cells, precision, 1, 1) {
+            if best.map(|(_, bt)| t > bt).unwrap_or(true) {
+                best = Some((precision, t));
+            }
+        }
+    }
+    match best {
+        Some((winner, t)) => Check {
+            id: "obs-6.1.1",
+            claim: "the device-native reduced precision wins",
+            holds: winner == expected,
+            evidence: format!("fastest precision {winner} at {t:.1} img/s (expected {expected})"),
+        },
+        None => Check {
+            id: "obs-6.1.1",
+            claim: "the device-native reduced precision wins",
+            holds: false,
+            evidence: "no successful cells".to_string(),
+        },
+    }
+}
+
+/// §6.1.1 — "GPU memory usage typically increases when higher precision
+/// levels are used."
+pub fn memory_grows_with_precision(cells: &[SweepCell]) -> Check {
+    let mem: Vec<(Precision, f64)> = Precision::ALL
+        .iter()
+        .filter_map(|&p| metric(cells, p, 1, 1, |m| m.gpu_memory_percent).map(|v| (p, v)))
+        .collect();
+    let holds = mem.windows(2).all(|w| w[0].1 <= w[1].1 + 1e-9);
+    Check {
+        id: "obs-6.1.1-mem",
+        claim: "GPU memory grows from int8 to fp32",
+        holds,
+        evidence: mem
+            .iter()
+            .map(|(p, v)| format!("{p} {v:.2}%"))
+            .collect::<Vec<_>>()
+            .join(", "),
+    }
+}
+
+/// §6.1.2 — "supported precision formats consume less power per image
+/// than unsupported formats" (Jetson Nano: fp16 vs the fp32 fallbacks).
+pub fn supported_format_cheapest_per_image(cells: &[SweepCell]) -> Check {
+    let ppi: Vec<(Precision, f64)> = Precision::ALL
+        .iter()
+        .filter_map(|&p| metric(cells, p, 1, 1, |m| m.power_per_image).map(|v| (p, v)))
+        .collect();
+    let fp16 = ppi.iter().find(|(p, _)| *p == Precision::Fp16).map(|x| x.1);
+    let holds = match fp16 {
+        Some(f) => ppi.iter().all(|&(p, v)| p == Precision::Fp16 || f < v),
+        None => false,
+    };
+    Check {
+        id: "obs-6.1.2",
+        claim: "the natively supported format uses the least energy per image",
+        holds,
+        evidence: ppi
+            .iter()
+            .map(|(p, v)| format!("{p} {v:.3} J"))
+            .collect::<Vec<_>>()
+            .join(", "),
+    }
+}
+
+/// §6.1.2 (Orin) — "power notably drops for fp32" thanks to DVFS.
+pub fn fp32_power_drops(cells: &[SweepCell]) -> Check {
+    let power = |p| metric(cells, p, 1, 1, |m| m.mean_power_w);
+    let (Some(tf32), Some(fp32)) = (power(Precision::Tf32), power(Precision::Fp32)) else {
+        return Check {
+            id: "obs-6.1.2-dvfs",
+            claim: "fp32 draws less than tf32 under DVFS",
+            holds: false,
+            evidence: "missing cells".to_string(),
+        };
+    };
+    let freq = metric(cells, Precision::Fp32, 1, 1, |m| {
+        f64::from(m.final_gpu_freq_mhz)
+    });
+    Check {
+        id: "obs-6.1.2-dvfs",
+        claim: "fp32 draws less than tf32 under DVFS",
+        holds: fp32 < tf32,
+        evidence: format!(
+            "fp32 {fp32:.2} W vs tf32 {tf32:.2} W (fp32 clock {} MHz)",
+            freq.unwrap_or(0.0)
+        ),
+    }
+}
+
+/// §6.1.3 — "low issue slot utilisation … highlights significant
+/// instruction stalls": SM active high, issue slot ≤ 80 % and ~25–45 %
+/// on average.
+pub fn issue_slots_stall(report: &NsightReport) -> Check {
+    let sm = report.cdfs.sm_active.mean();
+    let issue = report.cdfs.issue_slot.mean();
+    let max_issue = report.cdfs.issue_slot.quantile(1.0);
+    let holds = sm > 0.55 && issue < sm && max_issue <= 0.8 && (0.1..=0.5).contains(&issue);
+    Check {
+        id: "obs-6.1.3",
+        claim: "SMs stay active while issue slots stall below 80%",
+        holds,
+        evidence: format!(
+            "SM mean {:.0}%, issue mean {:.0}%, issue max {:.0}%",
+            sm * 100.0,
+            issue * 100.0,
+            max_issue * 100.0
+        ),
+    }
+}
+
+/// §6.1.4 — "higher TC utilisation does not always equate to higher
+/// throughput". Pass (tc_mean, throughput) for a TC-pinned slow model
+/// (FCN fp16) and a TC-light fast one (ResNet int8 / YoloV8n int8).
+pub fn tc_not_throughput(pinned: (f64, f64), light: (f64, f64)) -> Check {
+    let holds = pinned.0 > light.0 && pinned.1 < light.1;
+    Check {
+        id: "obs-6.1.4",
+        claim: "high TC activity does not imply high throughput",
+        holds,
+        evidence: format!(
+            "TC {:.0}% at {:.1} img/s vs TC {:.0}% at {:.1} img/s",
+            pinned.0 * 100.0,
+            pinned.1,
+            light.0 * 100.0,
+            light.1
+        ),
+    }
+}
+
+/// §6.2.1 — "T/P increases with larger batch sizes … declines as the
+/// number of concurrent processes increases", while GPU memory keeps
+/// growing with both.
+pub fn tp_scaling(cells: &[SweepCell], precision: Precision) -> Check {
+    let batches: Vec<u32> = sorted_values(cells, |c| c.batch);
+    let procs: Vec<u32> = sorted_values(cells, |c| c.processes);
+    let (&bmin, &bmax) = (batches.first().unwrap_or(&1), batches.last().unwrap_or(&1));
+    let (&pmin, &pmax) = (procs.first().unwrap_or(&1), procs.last().unwrap_or(&1));
+    let batch_up = match (
+        tp(cells, precision, bmin, pmin),
+        tp(cells, precision, bmax, pmin),
+    ) {
+        (Some(lo), Some(hi)) => hi > lo,
+        _ => false,
+    };
+    let procs_down = match (
+        tp(cells, precision, bmin, pmin),
+        tp(cells, precision, bmin, pmax),
+    ) {
+        (Some(lo), Some(hi)) => hi < lo,
+        _ => false,
+    };
+    let mem_up = match (
+        metric(cells, precision, bmin, pmin, |m| m.gpu_memory_percent),
+        metric(cells, precision, bmax, pmax, |m| m.gpu_memory_percent),
+    ) {
+        (Some(lo), Some(hi)) => hi > lo,
+        // The largest cell may legitimately be OOM — that *is* growth.
+        (Some(_), None) => true,
+        _ => false,
+    };
+    Check {
+        id: "obs-6.2.1",
+        claim: "T/P rises with batch, falls with processes; memory keeps growing",
+        holds: batch_up && procs_down && mem_up,
+        evidence: format!("batch_up {batch_up}, procs_down {procs_down}, mem_up {mem_up}"),
+    }
+}
+
+/// §6.2.2 — "power consumption never crosses a certain value" (7 W Orin
+/// Nano, 5 W Jetson Nano).
+pub fn power_capped(cells: &[SweepCell], budget_w: f64) -> Check {
+    let peak = cells
+        .iter()
+        .filter_map(|c| c.outcome.metrics())
+        .map(|m| m.mean_power_w)
+        .fold(0.0, f64::max);
+    Check {
+        id: "obs-6.2.2",
+        claim: "mean power never crosses the module budget",
+        holds: peak <= budget_w * 1.05,
+        evidence: format!("peak mean power {peak:.2} W vs budget {budget_w:.1} W"),
+    }
+}
+
+/// §7 — "if the number of processes is equal to or fewer than half the
+/// available CPU cores, the EC duration remains stable … when it exceeds
+/// this threshold, both the EC duration and kernel launch time increase."
+pub fn ec_stability(cells: &[SweepCell], precision: Precision, heavy_cores: u32) -> Check {
+    let ec = |p: u32| metric(cells, precision, 1, p, |m| m.mean_ec_ms);
+    let launch = |p: u32| metric(cells, precision, 1, p, |m| m.mean_launch_ms);
+    let procs: Vec<u32> = sorted_values(cells, |c| c.processes);
+    let Some(base) = ec(1) else {
+        return Check {
+            id: "obs-7",
+            claim: "EC stable iff processes fit the heavy cores",
+            holds: false,
+            evidence: "missing baseline cell".to_string(),
+        };
+    };
+    let mut holds = true;
+    let mut notes = vec![format!("EC(p1) {base:.2} ms")];
+    for &p in &procs {
+        let (Some(e), Some(l)) = (ec(p), launch(p)) else {
+            continue;
+        };
+        notes.push(format!("p{p}: EC {e:.2} ms launch {l:.2} ms"));
+        if p > heavy_cores {
+            // Oversubscribed: EC must blow up and launches must stretch.
+            if e < base * 1.8 || l <= launch(1).unwrap_or(0.0) {
+                holds = false;
+            }
+        }
+    }
+    Check {
+        id: "obs-7",
+        claim: "EC stable iff processes fit the heavy cores",
+        holds,
+        evidence: notes.join("; "),
+    }
+}
+
+/// §7 — "employing larger batch sizes helps stabilise the EC duration":
+/// per-image EC time falls as batch grows.
+pub fn batch_stabilizes_ec(cells: &[SweepCell], precision: Precision) -> Check {
+    let batches: Vec<u32> = sorted_values(cells, |c| c.batch);
+    let per_image: Vec<(u32, f64)> = batches
+        .iter()
+        .filter_map(|&b| {
+            metric(cells, precision, b, 1, |m| m.mean_ec_ms).map(|e| (b, e / f64::from(b)))
+        })
+        .collect();
+    let holds = per_image.len() >= 2
+        && per_image.last().map(|x| x.1).unwrap_or(f64::MAX)
+            < per_image.first().map(|x| x.1).unwrap_or(0.0);
+    Check {
+        id: "obs-7-batch",
+        claim: "larger batches reduce per-image EC time",
+        holds,
+        evidence: per_image
+            .iter()
+            .map(|(b, e)| format!("b{b} {e:.2} ms/img"))
+            .collect::<Vec<_>>()
+            .join(", "),
+    }
+}
+
+fn sorted_values(cells: &[SweepCell], f: fn(&SweepCell) -> u32) -> Vec<u32> {
+    let mut v: Vec<u32> = cells.iter().map(f).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{CellMetrics, CellOutcome, SweepCell};
+
+    fn cell(precision: Precision, batch: u32, procs: u32, tput: f64, mem: f64) -> SweepCell {
+        SweepCell {
+            model: "m".into(),
+            device: "d".into(),
+            precision,
+            batch,
+            processes: procs,
+            outcome: CellOutcome::Ok(CellMetrics {
+                throughput: tput * f64::from(procs),
+                throughput_per_process: tput,
+                mean_power_w: 5.0,
+                gpu_memory_percent: mem,
+                gpu_utilization_percent: 90.0,
+                power_per_image: 5.0 / tput,
+                mean_ec_ms: f64::from(batch) * 1000.0 / tput,
+                mean_launch_ms: 2.0 * f64::from(procs),
+                mean_blocking_ms: 0.0,
+                mean_sync_ms: 0.1,
+                final_gpu_freq_mhz: 625,
+            }),
+        }
+    }
+
+    #[test]
+    fn optimal_precision_detects_winner() {
+        let cells = vec![
+            cell(Precision::Int8, 1, 1, 400.0, 1.5),
+            cell(Precision::Fp16, 1, 1, 260.0, 1.9),
+            cell(Precision::Fp32, 1, 1, 60.0, 2.7),
+        ];
+        assert!(optimal_precision(&cells, Precision::Int8).holds);
+        assert!(!optimal_precision(&cells, Precision::Fp16).holds);
+    }
+
+    #[test]
+    fn memory_monotonicity() {
+        let good = vec![
+            cell(Precision::Int8, 1, 1, 1.0, 1.0),
+            cell(Precision::Fp16, 1, 1, 1.0, 2.0),
+            cell(Precision::Tf32, 1, 1, 1.0, 3.0),
+            cell(Precision::Fp32, 1, 1, 1.0, 3.0),
+        ];
+        assert!(memory_grows_with_precision(&good).holds);
+        let bad = vec![
+            cell(Precision::Int8, 1, 1, 1.0, 5.0),
+            cell(Precision::Fp16, 1, 1, 1.0, 2.0),
+        ];
+        assert!(!memory_grows_with_precision(&bad).holds);
+    }
+
+    #[test]
+    fn tp_scaling_check() {
+        let cells = vec![
+            cell(Precision::Int8, 1, 1, 200.0, 1.0),
+            cell(Precision::Int8, 16, 1, 300.0, 3.0),
+            cell(Precision::Int8, 1, 8, 15.0, 8.0),
+            cell(Precision::Int8, 16, 8, 30.0, 24.0),
+        ];
+        assert!(tp_scaling(&cells, Precision::Int8).holds);
+    }
+
+    #[test]
+    fn power_cap_check() {
+        let cells = vec![cell(Precision::Int8, 1, 1, 100.0, 1.0)];
+        assert!(power_capped(&cells, 7.0).holds);
+        assert!(!power_capped(&cells, 4.0).holds);
+    }
+
+    #[test]
+    fn tc_vs_throughput() {
+        assert!(tc_not_throughput((0.9, 18.0), (0.2, 400.0)).holds);
+        assert!(!tc_not_throughput((0.1, 500.0), (0.2, 400.0)).holds);
+    }
+
+    #[test]
+    fn batch_stabilisation() {
+        let cells = vec![
+            cell(Precision::Int8, 1, 1, 200.0, 1.0),
+            cell(Precision::Int8, 16, 1, 400.0, 2.0),
+        ];
+        assert!(batch_stabilizes_ec(&cells, Precision::Int8).holds);
+    }
+
+    #[test]
+    fn check_display_has_verdict() {
+        let c = Check {
+            id: "x",
+            claim: "y",
+            holds: true,
+            evidence: "z".into(),
+        };
+        assert!(format!("{c}").starts_with("[PASS]"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Simulated platforms: the entry point of the public API.
+
+use std::fmt;
+use std::sync::Arc;
+
+use jetsim_device::{presets, DeviceSpec};
+use jetsim_dnn::{ModelGraph, Precision};
+use jetsim_trt::{BuildError, Engine, EngineBuilder};
+
+/// A simulated edge (or cloud) platform to profile workloads on.
+///
+/// # Examples
+///
+/// ```
+/// use jetsim::Platform;
+/// use jetsim_dnn::{zoo, Precision};
+///
+/// let orin = Platform::orin_nano();
+/// let engine = orin.build_engine(&zoo::resnet50(), Precision::Int8, 4)?;
+/// assert_eq!(engine.batch(), 4);
+/// # Ok::<(), jetsim_trt::BuildError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Platform {
+    spec: DeviceSpec,
+}
+
+impl Platform {
+    /// The NVIDIA Jetson Orin Nano (the paper's primary platform).
+    pub fn orin_nano() -> Self {
+        Platform {
+            spec: presets::orin_nano(),
+        }
+    }
+
+    /// The NVIDIA Jetson Nano (the paper's entry-level platform).
+    pub fn jetson_nano() -> Self {
+        Platform {
+            spec: presets::jetson_nano(),
+        }
+    }
+
+    /// An A40-class cloud GPU, for edge-vs-cloud offload studies.
+    pub fn cloud_a40() -> Self {
+        Platform {
+            spec: presets::cloud_a40(),
+        }
+    }
+
+    /// Wraps a custom device specification (for ablations).
+    pub fn from_spec(spec: DeviceSpec) -> Self {
+        Platform { spec }
+    }
+
+    /// The underlying device specification.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// The platform's name.
+    pub fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// Both paper platforms, in Table 1 order.
+    pub fn paper_platforms() -> Vec<Platform> {
+        vec![Platform::orin_nano(), Platform::jetson_nano()]
+    }
+
+    /// Builds a TensorRT-style engine for this platform.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BuildError`] from the engine builder (invalid model,
+    /// bad batch size).
+    pub fn build_engine(
+        &self,
+        model: &ModelGraph,
+        precision: Precision,
+        batch: u32,
+    ) -> Result<Arc<Engine>, BuildError> {
+        Ok(Arc::new(
+            EngineBuilder::new(&self.spec)
+                .precision(precision)
+                .batch(batch)
+                .build(model)?,
+        ))
+    }
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jetsim_dnn::zoo;
+
+    #[test]
+    fn presets_accessible() {
+        assert_eq!(Platform::orin_nano().name(), "Jetson Orin Nano");
+        assert_eq!(Platform::jetson_nano().name(), "Jetson Nano");
+        assert_eq!(Platform::cloud_a40().name(), "Cloud A40");
+    }
+
+    #[test]
+    fn paper_platforms_order() {
+        let names: Vec<String> = Platform::paper_platforms()
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect();
+        assert_eq!(names, vec!["Jetson Orin Nano", "Jetson Nano"]);
+    }
+
+    #[test]
+    fn engine_building_respects_device() {
+        let nano = Platform::jetson_nano();
+        let engine = nano
+            .build_engine(&zoo::resnet50(), Precision::Int8, 1)
+            .unwrap();
+        assert_eq!(
+            engine.requested_precision_flop_fraction(),
+            0.0,
+            "Maxwell fallback"
+        );
+    }
+
+    #[test]
+    fn from_spec_round_trips() {
+        let spec = presets::orin_nano();
+        let platform = Platform::from_spec(spec.clone());
+        assert_eq!(platform.device(), &spec);
+    }
+
+    #[test]
+    fn display_is_table_row() {
+        let text = format!("{}", Platform::orin_nano());
+        assert!(text.contains("Jetson Orin Nano"));
+    }
+}

@@ -1,0 +1,304 @@
+//! The paper's dual-phase profiling methodology (§4).
+
+use std::fmt;
+use std::sync::Arc;
+
+use jetsim_des::SimDuration;
+use jetsim_dnn::{ModelGraph, Precision};
+use jetsim_profile::{JetsonStatsReport, NsightReport};
+use jetsim_sim::{ProfilerMode, SimConfig, SimError, Simulation};
+use jetsim_trt::{BuildError, Engine};
+
+use crate::analysis::BottleneckReport;
+use crate::platform::Platform;
+
+/// Errors from the profiler facade.
+#[derive(Debug)]
+pub enum ProfileError {
+    /// Engine building failed.
+    Build(BuildError),
+    /// The simulation rejected the deployment (usually out of memory).
+    Sim(SimError),
+    /// Phase 2 recorded no kernel events (measurement window too short).
+    EmptyTrace,
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::Build(e) => write!(f, "engine build failed: {e}"),
+            ProfileError::Sim(e) => write!(f, "simulation rejected: {e}"),
+            ProfileError::EmptyTrace => {
+                f.write_str("phase 2 recorded no kernels; lengthen the measurement window")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProfileError::Build(e) => Some(e),
+            ProfileError::Sim(e) => Some(e),
+            ProfileError::EmptyTrace => None,
+        }
+    }
+}
+
+impl From<BuildError> for ProfileError {
+    fn from(e: BuildError) -> Self {
+        ProfileError::Build(e)
+    }
+}
+
+impl From<SimError> for ProfileError {
+    fn from(e: SimError) -> Self {
+        ProfileError::Sim(e)
+    }
+}
+
+/// Runs the paper's two profiling phases over one workload mix and
+/// collects both tiers of metrics.
+///
+/// Phase 1 pairs the `trtexec` throughput counters with the lightweight
+/// `jetson-stats` sampler; phase 2 re-runs the same workload under
+/// Nsight-style kernel tracing, paying the intrusion the paper reports
+/// (~50 % throughput) to obtain SM / issue-slot / tensor-core CDFs and
+/// the EC decomposition.
+///
+/// # Examples
+///
+/// ```
+/// use jetsim::{DualPhaseProfiler, Platform};
+/// use jetsim_des::SimDuration;
+/// use jetsim_dnn::{zoo, Precision};
+///
+/// let profile = DualPhaseProfiler::new(&Platform::jetson_nano())
+///     .workload(&zoo::yolov8n(), Precision::Fp16, 1, 1)?
+///     .warmup(SimDuration::from_millis(150))
+///     .measure(SimDuration::from_millis(600))
+///     .run()?;
+/// assert!((10.0..35.0).contains(&profile.soc.throughput));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DualPhaseProfiler {
+    platform: Platform,
+    engines: Vec<Arc<Engine>>,
+    warmup: SimDuration,
+    measure: SimDuration,
+    seed: u64,
+}
+
+impl DualPhaseProfiler {
+    /// Creates a profiler for `platform`.
+    pub fn new(platform: &Platform) -> Self {
+        DualPhaseProfiler {
+            platform: platform.clone(),
+            engines: Vec::new(),
+            warmup: SimDuration::from_millis(300),
+            measure: SimDuration::from_millis(1500),
+            seed: 0x6A65_7473,
+        }
+    }
+
+    /// Adds `processes` concurrent instances of `model` at the given
+    /// precision and batch size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine-build failures.
+    pub fn workload(
+        mut self,
+        model: &ModelGraph,
+        precision: Precision,
+        batch: u32,
+        processes: u32,
+    ) -> Result<Self, ProfileError> {
+        let engine = self.platform.build_engine(model, precision, batch)?;
+        for _ in 0..processes {
+            self.engines.push(Arc::clone(&engine));
+        }
+        Ok(self)
+    }
+
+    /// Sets the warmup interval for both phases.
+    pub fn warmup(mut self, warmup: SimDuration) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Sets the measured interval for both phases.
+    pub fn measure(mut self, measure: SimDuration) -> Self {
+        self.measure = measure;
+        self
+    }
+
+    /// Sets the RNG seed used by both phases.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn config(&self, mode: ProfilerMode) -> Result<SimConfig, SimError> {
+        let mut builder = SimConfig::builder(self.platform.device().clone())
+            .warmup(self.warmup)
+            .measure(self.measure)
+            .seed(self.seed)
+            .profiler(mode);
+        for engine in &self.engines {
+            builder = builder.add_engine(Arc::clone(engine));
+        }
+        builder.build()
+    }
+
+    /// Runs both phases and assembles the combined profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Sim`] when the deployment does not fit in
+    /// unified memory, and [`ProfileError::EmptyTrace`] when the window
+    /// is too short to trace a single kernel.
+    pub fn run(self) -> Result<WorkloadProfile, ProfileError> {
+        let phase1 = Simulation::new(self.config(ProfilerMode::Lightweight)?)?.run();
+        let soc = JetsonStatsReport::from_trace(&phase1);
+        let phase2 = Simulation::new(self.config(ProfilerMode::Nsight)?)?.run();
+        let kernel = NsightReport::from_trace(&phase2).ok_or(ProfileError::EmptyTrace)?;
+        let intrusion = if soc.throughput > 0.0 {
+            1.0 - phase2.total_throughput() / soc.throughput
+        } else {
+            0.0
+        };
+        Ok(WorkloadProfile {
+            device_name: self.platform.name().to_string(),
+            processes: self.engines.len() as u32,
+            soc,
+            kernel,
+            phase1_trace: phase1,
+            phase2_trace: phase2,
+            intrusion,
+        })
+    }
+
+    /// Runs only phase 1 (lightweight), as one would for pure
+    /// throughput/power sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Sim`] for deployments that do not fit.
+    pub fn run_phase1(self) -> Result<(JetsonStatsReport, jetsim_sim::RunTrace), ProfileError> {
+        let trace = Simulation::new(self.config(ProfilerMode::Lightweight)?)?.run();
+        Ok((JetsonStatsReport::from_trace(&trace), trace))
+    }
+}
+
+/// The combined output of both profiling phases over one workload mix.
+#[derive(Debug, Clone)]
+pub struct WorkloadProfile {
+    /// The platform profiled.
+    pub device_name: String,
+    /// Number of concurrent processes.
+    pub processes: u32,
+    /// Phase-1 SoC/GPU-level report (unperturbed throughput/power).
+    pub soc: JetsonStatsReport,
+    /// Phase-2 kernel-level report (collected under intrusion).
+    pub kernel: NsightReport,
+    /// Raw phase-1 trace.
+    pub phase1_trace: jetsim_sim::RunTrace,
+    /// Raw phase-2 trace.
+    pub phase2_trace: jetsim_sim::RunTrace,
+    /// Fractional throughput loss phase 2's tracing caused (~0.5 in the
+    /// paper).
+    pub intrusion: f64,
+}
+
+impl WorkloadProfile {
+    /// Classifies the dominant bottleneck (see [`crate::analysis`]).
+    pub fn analyze(&self) -> BottleneckReport {
+        BottleneckReport::diagnose(self)
+    }
+}
+
+impl fmt::Display for WorkloadProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} × {} processes — phase 1: {}",
+            self.device_name, self.processes, self.soc
+        )?;
+        write!(
+            f,
+            "phase 2 (intrusion {:.0}%): {}",
+            self.intrusion * 100.0,
+            self.kernel
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jetsim_dnn::zoo;
+
+    fn quick_profile(procs: u32) -> WorkloadProfile {
+        DualPhaseProfiler::new(&Platform::orin_nano())
+            .workload(&zoo::resnet50(), Precision::Int8, 1, procs)
+            .unwrap()
+            .warmup(SimDuration::from_millis(150))
+            .measure(SimDuration::from_millis(700))
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn dual_phase_reports_intrusion() {
+        let profile = quick_profile(1);
+        assert!(
+            (0.25..0.7).contains(&profile.intrusion),
+            "paper reports ~50%: {}",
+            profile.intrusion
+        );
+    }
+
+    #[test]
+    fn phase1_faster_than_phase2() {
+        let profile = quick_profile(1);
+        assert!(profile.soc.throughput > profile.phase2_trace.total_throughput());
+    }
+
+    #[test]
+    fn oom_deployment_is_an_error() {
+        let result = DualPhaseProfiler::new(&Platform::jetson_nano())
+            .workload(&zoo::fcn_resnet50(), Precision::Fp16, 1, 4)
+            .unwrap()
+            .run();
+        assert!(matches!(result, Err(ProfileError::Sim(_))), "{result:?}");
+    }
+
+    #[test]
+    fn phase1_only_runs() {
+        let (report, trace) = DualPhaseProfiler::new(&Platform::orin_nano())
+            .workload(&zoo::yolov8n(), Precision::Int8, 1, 1)
+            .unwrap()
+            .warmup(SimDuration::from_millis(100))
+            .measure(SimDuration::from_millis(500))
+            .run_phase1()
+            .unwrap();
+        assert!(report.throughput > 50.0);
+        assert!(!trace.kernel_events.is_empty());
+    }
+
+    #[test]
+    fn display_mentions_both_phases() {
+        let text = format!("{}", quick_profile(1));
+        assert!(text.contains("phase 1") && text.contains("phase 2"));
+    }
+
+    #[test]
+    fn error_display_chains() {
+        use std::error::Error;
+        let err = ProfileError::Sim(SimError::NoProcesses);
+        assert!(err.source().is_some());
+        assert!(ProfileError::EmptyTrace.to_string().contains("window"));
+    }
+}

@@ -1,0 +1,379 @@
+//! Parameter sweeps: the batch × process-count × precision grids behind
+//! the paper's figures 1 and 3–12.
+
+use std::fmt;
+use std::sync::Mutex;
+
+use serde::Serialize;
+
+use jetsim_des::SimDuration;
+use jetsim_dnn::{ModelGraph, Precision};
+use jetsim_profile::JetsonStatsReport;
+use jetsim_sim::{ProfilerMode, SimConfig, SimError, Simulation};
+
+use crate::platform::Platform;
+
+/// The grid of parameters to sweep.
+///
+/// # Examples
+///
+/// ```
+/// use jetsim::SweepSpec;
+/// use jetsim_dnn::Precision;
+///
+/// let spec = SweepSpec::new()
+///     .precisions([Precision::Int8])
+///     .batches([1, 2, 4, 8, 16])
+///     .process_counts([1, 2, 4, 8]);
+/// assert_eq!(spec.cells(), 20);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    precisions: Vec<Precision>,
+    batches: Vec<u32>,
+    process_counts: Vec<u32>,
+    warmup: SimDuration,
+    measure: SimDuration,
+    seed: u64,
+}
+
+impl SweepSpec {
+    /// A single-cell spec (batch 1, one process, fp32) to refine with the
+    /// builder methods.
+    pub fn new() -> Self {
+        SweepSpec {
+            precisions: vec![Precision::Fp32],
+            batches: vec![1],
+            process_counts: vec![1],
+            warmup: SimDuration::from_millis(300),
+            measure: SimDuration::from_millis(1500),
+            seed: 0x6A65_7473,
+        }
+    }
+
+    /// Sets the precisions to sweep.
+    pub fn precisions<I: IntoIterator<Item = Precision>>(mut self, p: I) -> Self {
+        self.precisions = p.into_iter().collect();
+        self
+    }
+
+    /// Sets the batch sizes to sweep.
+    pub fn batches<I: IntoIterator<Item = u32>>(mut self, b: I) -> Self {
+        self.batches = b.into_iter().collect();
+        self
+    }
+
+    /// Sets the concurrent process counts to sweep.
+    pub fn process_counts<I: IntoIterator<Item = u32>>(mut self, n: I) -> Self {
+        self.process_counts = n.into_iter().collect();
+        self
+    }
+
+    /// Sets the per-cell warmup window.
+    pub fn warmup(mut self, warmup: SimDuration) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Sets the per-cell measurement window.
+    pub fn measure(mut self, measure: SimDuration) -> Self {
+        self.measure = measure;
+        self
+    }
+
+    /// Sets the RNG seed (each cell derives its own from it).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of grid cells.
+    pub fn cells(&self) -> usize {
+        self.precisions.len() * self.batches.len() * self.process_counts.len()
+    }
+
+    /// Runs the sweep for `model` on `platform`, one simulation per cell,
+    /// in parallel across available cores. Cells that exceed unified
+    /// memory come back as [`CellOutcome::OutOfMemory`] instead of
+    /// aborting the sweep — the paper hit exactly such cells (§6.2.1).
+    pub fn run(&self, platform: &Platform, model: &ModelGraph) -> Vec<SweepCell> {
+        let mut params: Vec<(Precision, u32, u32)> = Vec::with_capacity(self.cells());
+        for &precision in &self.precisions {
+            for &batch in &self.batches {
+                for &procs in &self.process_counts {
+                    params.push((precision, batch, procs));
+                }
+            }
+        }
+        let results: Mutex<Vec<SweepCell>> = Mutex::new(Vec::with_capacity(params.len()));
+        let next: Mutex<usize> = Mutex::new(0);
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(params.len().max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = {
+                        let mut guard = next.lock().expect("not poisoned");
+                        let i = *guard;
+                        if i >= params.len() {
+                            break;
+                        }
+                        *guard += 1;
+                        i
+                    };
+                    let (precision, batch, procs) = params[index];
+                    let cell = self.run_cell(platform, model, precision, batch, procs);
+                    results.lock().expect("not poisoned").push(cell);
+                });
+            }
+        });
+        let mut cells = results.into_inner().expect("not poisoned");
+        cells.sort_by_key(|c| (c.precision, c.batch, c.processes));
+        cells
+    }
+
+    fn run_cell(
+        &self,
+        platform: &Platform,
+        model: &ModelGraph,
+        precision: Precision,
+        batch: u32,
+        procs: u32,
+    ) -> SweepCell {
+        let outcome = self.try_cell(platform, model, precision, batch, procs);
+        SweepCell {
+            model: model.name().to_string(),
+            device: platform.name().to_string(),
+            precision,
+            batch,
+            processes: procs,
+            outcome,
+        }
+    }
+
+    fn try_cell(
+        &self,
+        platform: &Platform,
+        model: &ModelGraph,
+        precision: Precision,
+        batch: u32,
+        procs: u32,
+    ) -> CellOutcome {
+        let engine = match platform.build_engine(model, precision, batch) {
+            Ok(engine) => engine,
+            Err(e) => return CellOutcome::BuildFailed(e.to_string()),
+        };
+        let mut builder = SimConfig::builder(platform.device().clone())
+            .warmup(self.warmup)
+            .measure(self.measure)
+            .seed(self.seed ^ u64::from(batch) << 8 ^ u64::from(procs) << 20)
+            .profiler(ProfilerMode::Lightweight);
+        builder = builder.add_engines(&engine, procs);
+        match builder.build() {
+            Ok(config) => {
+                let trace = Simulation::new(config).expect("validated").run();
+                let report = JetsonStatsReport::from_trace(&trace);
+                CellOutcome::Ok(CellMetrics {
+                    throughput: report.throughput,
+                    throughput_per_process: report.throughput_per_process,
+                    mean_power_w: report.mean_power_w,
+                    gpu_memory_percent: report.gpu_memory_percent,
+                    gpu_utilization_percent: report.gpu_utilization_percent,
+                    power_per_image: report.power_per_image,
+                    mean_ec_ms: trace.mean_ec_time().as_millis_f64(),
+                    mean_launch_ms: mean_ms(&trace, |p| p.mean_launch_time),
+                    mean_blocking_ms: mean_ms(&trace, |p| p.mean_blocking_time),
+                    mean_sync_ms: mean_ms(&trace, |p| p.mean_sync_time),
+                    final_gpu_freq_mhz: report.final_gpu_freq_mhz,
+                })
+            }
+            Err(SimError::OutOfMemory {
+                required_bytes,
+                usable_bytes,
+            }) => CellOutcome::OutOfMemory {
+                required_mib: required_bytes / (1024 * 1024),
+                usable_mib: usable_bytes / (1024 * 1024),
+            },
+            Err(e) => CellOutcome::BuildFailed(e.to_string()),
+        }
+    }
+}
+
+fn mean_ms(trace: &jetsim_sim::RunTrace, f: fn(&jetsim_sim::ProcessStats) -> SimDuration) -> f64 {
+    if trace.processes.is_empty() {
+        return 0.0;
+    }
+    trace
+        .processes
+        .iter()
+        .map(|p| f(p).as_millis_f64())
+        .sum::<f64>()
+        / trace.processes.len() as f64
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        SweepSpec::new()
+    }
+}
+
+/// Phase-1 metrics of one sweep cell.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CellMetrics {
+    /// Aggregate throughput, images/s.
+    pub throughput: f64,
+    /// The paper's T/P metric, images/s per process.
+    pub throughput_per_process: f64,
+    /// Mean module power, W.
+    pub mean_power_w: f64,
+    /// GPU memory as a percentage of board RAM.
+    pub gpu_memory_percent: f64,
+    /// GPU busy percentage.
+    pub gpu_utilization_percent: f64,
+    /// Energy per image, J.
+    pub power_per_image: f64,
+    /// Mean EC wall time, ms.
+    pub mean_ec_ms: f64,
+    /// Mean per-EC launch CPU time, ms.
+    pub mean_launch_ms: f64,
+    /// Mean per-EC blocking, ms.
+    pub mean_blocking_ms: f64,
+    /// Mean per-EC sync wait, ms.
+    pub mean_sync_ms: f64,
+    /// GPU frequency after DVFS settled, MHz.
+    pub final_gpu_freq_mhz: u32,
+}
+
+/// What happened to one cell of the grid.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum CellOutcome {
+    /// The cell ran; metrics inside.
+    Ok(CellMetrics),
+    /// The deployment did not fit in unified memory (on hardware this
+    /// reboots the board).
+    OutOfMemory {
+        /// MiB the deployment needed.
+        required_mib: u64,
+        /// MiB available.
+        usable_mib: u64,
+    },
+    /// The engine could not be built for these parameters.
+    BuildFailed(String),
+}
+
+impl CellOutcome {
+    /// The metrics, if the cell ran.
+    pub fn metrics(&self) -> Option<&CellMetrics> {
+        match self {
+            CellOutcome::Ok(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// One `(precision, batch, processes)` cell of a sweep.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SweepCell {
+    /// Model name.
+    pub model: String,
+    /// Device name.
+    pub device: String,
+    /// Requested precision.
+    pub precision: Precision,
+    /// Batch size.
+    pub batch: u32,
+    /// Concurrent process count.
+    pub processes: u32,
+    /// Outcome.
+    pub outcome: CellOutcome,
+}
+
+impl fmt::Display for SweepCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} b{} p{}: ",
+            self.model, self.precision, self.batch, self.processes
+        )?;
+        match &self.outcome {
+            CellOutcome::Ok(m) => write!(
+                f,
+                "T/P {:.1} img/s, {:.2} W, mem {:.1}%",
+                m.throughput_per_process, m.mean_power_w, m.gpu_memory_percent
+            ),
+            CellOutcome::OutOfMemory {
+                required_mib,
+                usable_mib,
+            } => write!(f, "OOM ({required_mib} MiB > {usable_mib} MiB)"),
+            CellOutcome::BuildFailed(e) => write!(f, "build failed: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jetsim_dnn::zoo;
+
+    fn fast_spec() -> SweepSpec {
+        SweepSpec::new()
+            .warmup(SimDuration::from_millis(100))
+            .measure(SimDuration::from_millis(400))
+    }
+
+    #[test]
+    fn sweep_covers_every_cell_in_order() {
+        let spec = fast_spec()
+            .precisions([Precision::Int8])
+            .batches([1, 4])
+            .process_counts([1, 2]);
+        let cells = spec.run(&Platform::orin_nano(), &zoo::resnet50());
+        assert_eq!(cells.len(), 4);
+        let keys: Vec<(u32, u32)> = cells.iter().map(|c| (c.batch, c.processes)).collect();
+        assert_eq!(keys, vec![(1, 1), (1, 2), (4, 1), (4, 2)]);
+        assert!(cells.iter().all(|c| c.outcome.metrics().is_some()));
+    }
+
+    #[test]
+    fn tp_falls_with_processes_rises_with_batch() {
+        let spec = fast_spec()
+            .precisions([Precision::Int8])
+            .batches([1, 16])
+            .process_counts([1, 8]);
+        let cells = spec.run(&Platform::orin_nano(), &zoo::yolov8n());
+        let tp = |b: u32, p: u32| {
+            cells
+                .iter()
+                .find(|c| c.batch == b && c.processes == p)
+                .and_then(|c| c.outcome.metrics())
+                .map(|m| m.throughput_per_process)
+                .expect("cell ran")
+        };
+        assert!(tp(16, 1) > tp(1, 1), "batch helps");
+        assert!(tp(1, 8) < tp(1, 1) / 3.0, "processes hurt");
+    }
+
+    #[test]
+    fn oom_cells_reported_not_fatal() {
+        let spec = fast_spec()
+            .precisions([Precision::Fp16])
+            .batches([1])
+            .process_counts([1, 4]);
+        let cells = spec.run(&Platform::jetson_nano(), &zoo::fcn_resnet50());
+        assert_eq!(cells.len(), 2);
+        assert!(cells[0].outcome.metrics().is_some());
+        assert!(matches!(cells[1].outcome, CellOutcome::OutOfMemory { .. }));
+        assert!(format!("{}", cells[1]).contains("OOM"));
+    }
+
+    #[test]
+    fn cells_count_product() {
+        let spec = SweepSpec::new()
+            .precisions(Precision::ALL)
+            .batches([1, 2, 4])
+            .process_counts([1, 2]);
+        assert_eq!(spec.cells(), 24);
+    }
+}

@@ -1,0 +1,131 @@
+//! Integration tests for the `jetsim-trtexec` CLI binary.
+
+use std::process::Command;
+
+fn trtexec(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_jetsim-trtexec"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn happy_path_prints_summary() {
+    let out = trtexec(&["--model=resnet50", "--int8", "--batch=2", "--duration=0.5"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Performance Summary"), "{stdout}");
+    assert!(stdout.contains("Throughput:"));
+    assert!(stdout.contains("jetson-stats"));
+    assert!(stdout.contains("Jetson Orin Nano"));
+}
+
+#[test]
+fn nsight_flag_adds_kernel_report() {
+    let out = trtexec(&[
+        "--model=mobilenet_v2",
+        "--fp16",
+        "--duration=0.5",
+        "--nsight",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Nsight Systems"), "{stdout}");
+    assert!(stdout.contains("SM"));
+}
+
+#[test]
+fn nano_device_selected() {
+    let out = trtexec(&[
+        "--model=yolov8n",
+        "--fp16",
+        "--device=jetson-nano",
+        "--duration=0.5",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Jetson Nano"), "{stdout}");
+}
+
+#[test]
+fn unknown_model_fails_cleanly() {
+    let out = trtexec(&["--model=alexnet"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown model"), "{stderr}");
+}
+
+#[test]
+fn missing_model_shows_usage() {
+    let out = trtexec(&[]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn unknown_flag_rejected() {
+    let out = trtexec(&["--model=resnet50", "--frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+}
+
+#[test]
+fn oom_deployment_reports_memory() {
+    let out = trtexec(&[
+        "--model=fcn_resnet50",
+        "--fp16",
+        "--device=jetson-nano",
+        "--processes=4",
+        "--duration=0.5",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("MiB"), "{stderr}");
+}
+
+#[test]
+fn chrome_trace_written() {
+    let path = std::env::temp_dir().join(format!("jetsim_cli_trace_{}.json", std::process::id()));
+    let arg = format!("--chrome-trace={}", path.display());
+    let out = trtexec(&["--model=resnet18", "--int8", "--duration=0.5", &arg]);
+    assert!(out.status.success());
+    let json = std::fs::read_to_string(&path).expect("trace written");
+    assert!(json.trim_start().starts_with('['));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn model_file_loads() {
+    let path = std::env::temp_dir().join(format!("jetsim_cli_model_{}.json", std::process::id()));
+    jetsim::plan::save_model(&path, &jetsim_dnn::zoo::resnet18()).unwrap();
+    let arg = format!("--model={}", path.display());
+    let out = trtexec(&[&arg, "--fp16", "--duration=0.5"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("resnet18"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn streams_flag_creates_stream_contexts() {
+    let out = trtexec(&[
+        "--model=resnet50",
+        "--int8",
+        "--streams=2",
+        "--duration=0.5",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("p0s0") && stdout.contains("p0s1"),
+        "{stdout}"
+    );
+}

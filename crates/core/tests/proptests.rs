@@ -1,0 +1,83 @@
+//! Property-based tests for the report emitters and sweep plumbing.
+
+use proptest::prelude::*;
+
+use jetsim::report::{fmt_num, Table};
+
+fn arb_cell() -> impl Strategy<Value = String> {
+    prop::string::string_regex("[ -~]{0,20}").expect("valid regex")
+}
+
+proptest! {
+    /// CSV round trip: a simple split-based parser recovers every cell
+    /// (quoting handled for commas/quotes/newlines).
+    #[test]
+    fn csv_preserves_cell_count(
+        rows in prop::collection::vec(prop::collection::vec(arb_cell(), 3), 0..20),
+    ) {
+        let mut table = Table::new(["a", "b", "c"]);
+        for row in &rows {
+            table.row(row.clone());
+        }
+        let csv = table.to_csv();
+        // Quoted cells may contain newlines; count unquoted newlines.
+        let mut lines = 1usize; // header
+        let mut in_quotes = false;
+        for ch in csv.trim_end().chars() {
+            match ch {
+                '"' => in_quotes = !in_quotes,
+                '\n' if !in_quotes => lines += 1,
+                _ => {}
+            }
+        }
+        prop_assert_eq!(lines, rows.len() + 1);
+    }
+
+    /// Markdown rendering always has exactly rows + 2 lines and every
+    /// data row appears verbatim when it contains no pipes.
+    #[test]
+    fn markdown_structure_invariant(
+        rows in prop::collection::vec(
+            prop::collection::vec("[a-z0-9 ]{0,12}", 2),
+            0..20,
+        ),
+    ) {
+        let mut table = Table::new(["x", "y"]);
+        for row in &rows {
+            table.row(row.clone());
+        }
+        let md = table.to_markdown();
+        prop_assert_eq!(md.lines().count(), rows.len() + 2);
+        for row in &rows {
+            let rendered = format!("| {} | {} |", row[0], row[1]);
+            prop_assert!(md.contains(&rendered), "{md}\nmissing {rendered}");
+        }
+    }
+
+    /// fmt_num always parses back to within rounding error of the input.
+    #[test]
+    fn fmt_num_round_trips(x in -1.0e6f64..1.0e6) {
+        let text = fmt_num(x);
+        let parsed: f64 = text.parse().expect("numeric output");
+        let tolerance = if x.abs() >= 100.0 {
+            0.51
+        } else if x.abs() >= 10.0 {
+            0.051
+        } else {
+            0.0051
+        };
+        prop_assert!((parsed - x).abs() <= tolerance, "{x} -> {text} -> {parsed}");
+    }
+
+    /// Sweep cell counts multiply out for arbitrary grid shapes.
+    #[test]
+    fn sweep_cells_product(np in 1usize..4, nb in 1usize..6, nn in 1usize..5) {
+        use jetsim::SweepSpec;
+        use jetsim_dnn::Precision;
+        let spec = SweepSpec::new()
+            .precisions(Precision::ALL.into_iter().take(np))
+            .batches((1..=nb as u32).collect::<Vec<_>>())
+            .process_counts((1..=nn as u32).collect::<Vec<_>>());
+        prop_assert_eq!(spec.cells(), np * nb * nn);
+    }
+}

@@ -1,0 +1,38 @@
+//! Deterministic discrete-event simulation core for the `jetsim` workspace.
+//!
+//! This crate provides the low-level machinery every simulator in the
+//! workspace is built on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution simulated time,
+//! * [`EventQueue`] — a deterministic future-event list,
+//! * [`SimRng`] — a seeded random-number generator wrapper so that every
+//!   experiment is exactly reproducible,
+//! * [`trace`] — a lightweight append-only trace buffer used by the
+//!   profilers in `jetsim-profile`.
+//!
+//! # Examples
+//!
+//! ```
+//! use jetsim_des::{EventQueue, SimDuration, SimTime};
+//!
+//! let mut queue: EventQueue<&'static str> = EventQueue::new();
+//! queue.schedule(SimTime::ZERO + SimDuration::from_micros(5), "launch");
+//! queue.schedule(SimTime::ZERO + SimDuration::from_micros(2), "enqueue");
+//!
+//! let (t, ev) = queue.pop().unwrap();
+//! assert_eq!(ev, "enqueue");
+//! assert_eq!(t.as_nanos(), 2_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod queue;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};
+pub use trace::{TraceBuffer, TraceEvent};

@@ -1,0 +1,177 @@
+//! Deterministic randomness for simulations.
+//!
+//! [`SimRng`] wraps a seeded [`rand::rngs::SmallRng`] and exposes only the
+//! distributions the simulators need, so all stochastic behaviour in a run
+//! is reproducible from a single `u64` seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random-number generator for simulation use.
+///
+/// # Examples
+///
+/// ```
+/// use jetsim_des::SimRng;
+///
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator; children with different
+    /// `stream` values produce uncorrelated sequences.
+    pub fn fork(&mut self, stream: u64) -> SimRng {
+        let base: u64 = self.inner.gen();
+        SimRng::seed_from(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Samples uniformly from `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is not finite.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        assert!(lo <= hi, "uniform: lo ({lo}) > hi ({hi})");
+        if lo == hi {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Samples a uniform integer from `[lo, hi]` inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "uniform_u64: lo ({lo}) > hi ({hi})");
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Samples a normally distributed value via Box–Muller, clamped to be
+    /// non-negative. Useful for jittering latencies around a mean.
+    pub fn normal_clamped(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.inner.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (mean + std_dev * z).max(0.0)
+    }
+
+    /// Multiplies `value` by a relative jitter factor drawn from
+    /// `[1 - spread, 1 + spread]`.
+    pub fn jitter(&mut self, value: f64, spread: f64) -> f64 {
+        let spread = spread.clamp(0.0, 0.95);
+        value * self.uniform(1.0 - spread, 1.0 + spread + f64::EPSILON)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform_u64(0, 1000), b.uniform_u64(0, 1000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let va: Vec<u64> = (0..16).map(|_| a.uniform_u64(0, u64::MAX)).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.uniform_u64(0, u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn fork_streams_differ() {
+        let mut root = SimRng::seed_from(9);
+        let mut c1 = root.fork(1);
+        let mut c2 = root.fork(2);
+        assert_ne!(c1.uniform_u64(0, u64::MAX), c2.uniform_u64(0, u64::MAX));
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..1000 {
+            let v = rng.uniform(2.0, 3.0);
+            assert!((2.0..3.0).contains(&v));
+        }
+        assert_eq!(rng.uniform(5.0, 5.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo")]
+    fn uniform_panics_on_inverted_bounds() {
+        SimRng::seed_from(0).uniform(2.0, 1.0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from(4);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-5.0));
+        assert!(rng.chance(5.0));
+    }
+
+    #[test]
+    fn chance_probability_roughly_respected() {
+        let mut rng = SimRng::seed_from(5);
+        let hits = (0..10_000).filter(|_| rng.chance(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn normal_clamped_never_negative() {
+        let mut rng = SimRng::seed_from(6);
+        for _ in 0..1000 {
+            assert!(rng.normal_clamped(1.0, 5.0) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn normal_mean_roughly_respected() {
+        let mut rng = SimRng::seed_from(8);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.normal_clamped(10.0, 1.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn jitter_stays_in_band() {
+        let mut rng = SimRng::seed_from(10);
+        for _ in 0..1000 {
+            let v = rng.jitter(100.0, 0.1);
+            assert!((89.9..=110.2).contains(&v), "v={v}");
+        }
+        // spread 0 is exact
+        assert!((rng.jitter(100.0, 0.0) - 100.0).abs() < 1e-9);
+    }
+}

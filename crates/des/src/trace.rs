@@ -1,0 +1,193 @@
+//! Append-only trace recording.
+//!
+//! Simulators emit timestamped records into a [`TraceBuffer`]; profilers
+//! consume them after (or during) a run. The buffer supports an optional
+//! capacity bound with FIFO eviction so long simulations cannot exhaust
+//! memory, and tracks how many records were dropped.
+
+use std::collections::VecDeque;
+
+use crate::time::SimTime;
+
+/// A timestamped trace record.
+///
+/// # Examples
+///
+/// ```
+/// use jetsim_des::{SimTime, TraceEvent};
+///
+/// let ev = TraceEvent::new(SimTime::from_nanos(12), "kernel_begin");
+/// assert_eq!(ev.time.as_nanos(), 12);
+/// assert_eq!(ev.payload, "kernel_begin");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent<T> {
+    /// When the event occurred on the simulated timeline.
+    pub time: SimTime,
+    /// The event payload.
+    pub payload: T,
+}
+
+impl<T> TraceEvent<T> {
+    /// Creates a record.
+    pub fn new(time: SimTime, payload: T) -> Self {
+        TraceEvent { time, payload }
+    }
+}
+
+/// An append-only, optionally bounded buffer of [`TraceEvent`]s.
+///
+/// # Examples
+///
+/// ```
+/// use jetsim_des::{SimTime, TraceBuffer};
+///
+/// let mut buf = TraceBuffer::bounded(2);
+/// buf.record(SimTime::from_nanos(1), 'a');
+/// buf.record(SimTime::from_nanos(2), 'b');
+/// buf.record(SimTime::from_nanos(3), 'c');
+/// assert_eq!(buf.dropped(), 1);
+/// let payloads: Vec<char> = buf.iter().map(|e| e.payload).collect();
+/// assert_eq!(payloads, vec!['b', 'c']);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceBuffer<T> {
+    events: VecDeque<TraceEvent<T>>,
+    capacity: Option<usize>,
+    dropped: u64,
+}
+
+impl<T> TraceBuffer<T> {
+    /// Creates an unbounded buffer.
+    pub fn new() -> Self {
+        TraceBuffer {
+            events: VecDeque::new(),
+            capacity: None,
+            dropped: 0,
+        }
+    }
+
+    /// Creates a buffer that keeps at most `capacity` records, evicting the
+    /// oldest when full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        TraceBuffer {
+            events: VecDeque::with_capacity(capacity),
+            capacity: Some(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// Appends a record.
+    pub fn record(&mut self, time: SimTime, payload: T) {
+        if let Some(cap) = self.capacity {
+            if self.events.len() == cap {
+                self.events.pop_front();
+                self.dropped += 1;
+            }
+        }
+        self.events.push_back(TraceEvent::new(time, payload));
+    }
+
+    /// Returns the number of retained records.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Returns how many records were evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates over retained records in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent<T>> {
+        self.events.iter()
+    }
+
+    /// Consumes the buffer, returning retained records in insertion order.
+    pub fn into_events(self) -> Vec<TraceEvent<T>> {
+        self.events.into_iter().collect()
+    }
+
+    /// Removes all records (the dropped count is preserved).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+impl<T> Default for TraceBuffer<T> {
+    fn default() -> Self {
+        TraceBuffer::new()
+    }
+}
+
+impl<T> Extend<(SimTime, T)> for TraceBuffer<T> {
+    fn extend<I: IntoIterator<Item = (SimTime, T)>>(&mut self, iter: I) {
+        for (time, payload) in iter {
+            self.record(time, payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_keeps_everything() {
+        let mut buf = TraceBuffer::new();
+        for i in 0..1000u64 {
+            buf.record(SimTime::from_nanos(i), i);
+        }
+        assert_eq!(buf.len(), 1000);
+        assert_eq!(buf.dropped(), 0);
+    }
+
+    #[test]
+    fn bounded_evicts_oldest() {
+        let mut buf = TraceBuffer::bounded(3);
+        for i in 0..5u64 {
+            buf.record(SimTime::from_nanos(i), i);
+        }
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.dropped(), 2);
+        let kept: Vec<u64> = buf.iter().map(|e| e.payload).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _: TraceBuffer<()> = TraceBuffer::bounded(0);
+    }
+
+    #[test]
+    fn into_events_preserves_order() {
+        let mut buf = TraceBuffer::new();
+        buf.extend([(SimTime::from_nanos(1), 'x'), (SimTime::from_nanos(2), 'y')]);
+        let events = buf.into_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].payload, 'x');
+        assert_eq!(events[1].payload, 'y');
+    }
+
+    #[test]
+    fn clear_preserves_dropped_count() {
+        let mut buf = TraceBuffer::bounded(1);
+        buf.record(SimTime::ZERO, 1);
+        buf.record(SimTime::ZERO, 2);
+        assert_eq!(buf.dropped(), 1);
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.dropped(), 1);
+    }
+}

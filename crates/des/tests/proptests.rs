@@ -1,0 +1,117 @@
+//! Property-based tests for the discrete-event core.
+
+use proptest::prelude::*;
+
+use jetsim_des::{EventQueue, SimDuration, SimRng, SimTime, TraceBuffer};
+
+proptest! {
+    /// Popping the queue always yields events in non-decreasing time
+    /// order, regardless of insertion order.
+    #[test]
+    fn queue_pops_sorted(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// Equal-time events preserve insertion order (stable tie-break).
+    #[test]
+    fn queue_ties_are_fifo(n in 1usize..100, t in 0u64..1_000) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    /// The queue agrees with a sort-based reference model.
+    #[test]
+    fn queue_matches_reference_model(times in prop::collection::vec(0u64..10_000, 0..100)) {
+        let mut q = EventQueue::new();
+        let mut reference: Vec<(u64, usize)> = Vec::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+            reference.push((t, i));
+        }
+        reference.sort_by_key(|&(t, i)| (t, i));
+        let popped: Vec<(u64, usize)> =
+            std::iter::from_fn(|| q.pop().map(|(t, e)| (t.as_nanos(), e))).collect();
+        prop_assert_eq!(popped, reference);
+    }
+
+    /// Duration arithmetic is consistent: (a + b) - b == a.
+    #[test]
+    fn duration_add_sub_round_trip(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let da = SimDuration::from_nanos(a);
+        let db = SimDuration::from_nanos(b);
+        prop_assert_eq!((da + db) - db, da);
+        prop_assert_eq!((da + db).saturating_sub(db), da);
+    }
+
+    /// Time plus duration always moves forward and `since` inverts it.
+    #[test]
+    fn time_translation_inverts(t in 0u64..u64::MAX / 2, d in 0u64..u64::MAX / 4) {
+        let base = SimTime::from_nanos(t);
+        let dur = SimDuration::from_nanos(d);
+        let later = base + dur;
+        prop_assert!(later >= base);
+        prop_assert_eq!(later.since(base), dur);
+        prop_assert_eq!(later - dur, base);
+    }
+
+    /// mul_f64 with factor in [0, 2] stays within one ULP-ish bound and
+    /// never panics.
+    #[test]
+    fn duration_mul_f64_bounded(nanos in 0u64..1_000_000_000, factor in 0.0f64..2.0) {
+        let d = SimDuration::from_nanos(nanos);
+        let scaled = d.mul_f64(factor);
+        let expected = nanos as f64 * factor;
+        prop_assert!((scaled.as_nanos() as f64 - expected).abs() <= 1.0);
+    }
+
+    /// Same seed ⇒ identical stream; different streams from fork differ
+    /// on long sequences.
+    #[test]
+    fn rng_determinism(seed in any::<u64>()) {
+        let mut a = SimRng::seed_from(seed);
+        let mut b = SimRng::seed_from(seed);
+        for _ in 0..32 {
+            prop_assert_eq!(a.uniform_u64(0, u64::MAX), b.uniform_u64(0, u64::MAX));
+        }
+    }
+
+    /// uniform() respects its bounds for arbitrary finite ranges.
+    #[test]
+    fn rng_uniform_in_bounds(seed in any::<u64>(), lo in -1.0e6f64..1.0e6, width in 0.0f64..1.0e6) {
+        let mut rng = SimRng::seed_from(seed);
+        let hi = lo + width;
+        let v = rng.uniform(lo, hi);
+        prop_assert!(v >= lo && v <= hi, "v={v} not in [{lo}, {hi}]");
+    }
+
+    /// A bounded trace buffer never exceeds its capacity and keeps the
+    /// newest events.
+    #[test]
+    fn trace_buffer_bounded(cap in 1usize..50, n in 0usize..200) {
+        let mut buf = TraceBuffer::bounded(cap);
+        for i in 0..n {
+            buf.record(SimTime::from_nanos(i as u64), i);
+        }
+        prop_assert!(buf.len() <= cap);
+        prop_assert_eq!(buf.len() + buf.dropped() as usize, n);
+        if n > 0 {
+            let last = buf.iter().last().unwrap().payload;
+            prop_assert_eq!(last, n - 1);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! CPU cluster model: big.LITTLE core counts and scheduler constants.
+
+use serde::{Deserialize, Serialize};
+
+use jetsim_des::SimDuration;
+
+/// The Arm CPU complex of a Jetson module.
+///
+/// Jetson boards use big.LITTLE-style clusters: only the `heavy_cores`
+/// run sustained inference threads, while the remaining cores service the
+/// OS and interrupts (paper §7). Oversubscription is therefore measured
+/// against `heavy_cores`, not `total_cores`.
+///
+/// # Examples
+///
+/// ```
+/// use jetsim_device::presets;
+///
+/// let orin = presets::orin_nano();
+/// assert_eq!(orin.cpu.total_cores, 6);
+/// assert_eq!(orin.cpu.heavy_cores, 3);
+/// assert!(orin.cpu.is_oversubscribed(4));
+/// assert!(!orin.cpu.is_oversubscribed(3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuCluster {
+    /// Marketing name, e.g. `6-core Arm Cortex-A78AE`.
+    pub name: String,
+    /// Total physical cores.
+    pub total_cores: u32,
+    /// Cores available for sustained heavy workloads.
+    pub heavy_cores: u32,
+    /// Scheduler time slice for competing runnable threads.
+    pub quantum: SimDuration,
+    /// Direct cost of one context switch.
+    pub ctx_switch: SimDuration,
+    /// CPU work to enqueue one GPU kernel launch (the `cudaLaunchKernel`
+    /// path inside TensorRT's `enqueueV3`).
+    pub enqueue_cost: SimDuration,
+    /// Base scheduling latency for waking a blocked thread when cores are
+    /// free.
+    pub wakeup_base: SimDuration,
+    /// Multiplier applied to CPU work after a cross-core migration until
+    /// the caches re-warm (L1/L2 locality loss, paper §7 observation 3).
+    pub migration_cache_penalty: f64,
+}
+
+impl CpuCluster {
+    /// Returns `true` if running `processes` inference threads
+    /// oversubscribes the heavy cluster — the regime where the paper
+    /// observes blocking, preemption and cache thrash.
+    pub fn is_oversubscribed(&self, processes: u32) -> bool {
+        processes > self.heavy_cores
+    }
+
+    /// The oversubscription ratio `max(0, (n - heavy) / heavy)`; zero when
+    /// every thread gets a dedicated core.
+    pub fn oversubscription(&self, processes: u32) -> f64 {
+        if processes <= self.heavy_cores {
+            0.0
+        } else {
+            f64::from(processes - self.heavy_cores) / f64::from(self.heavy_cores)
+        }
+    }
+
+    /// Probability that a thread is preempted (and blocks for roughly a
+    /// quantum) immediately after an individual kernel launch, given the
+    /// current number of runnable inference threads.
+    ///
+    /// Calibrated so that ≤`heavy_cores` processes see no blocking while
+    /// 4–8 processes accumulate the 1–2 ms blocking intervals the paper
+    /// reports.
+    pub fn preemption_probability(&self, processes: u32) -> f64 {
+        if processes <= self.heavy_cores {
+            0.0
+        } else {
+            let contending = f64::from(processes - self.heavy_cores);
+            (contending / f64::from(processes) * 0.85).min(0.9)
+        }
+    }
+
+    /// Expected scheduling delay before a woken thread gets a core.
+    pub fn wakeup_delay(&self, processes: u32) -> SimDuration {
+        let over = self.oversubscription(processes);
+        self.wakeup_base + self.quantum.mul_f64(over)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> CpuCluster {
+        CpuCluster {
+            name: "test".into(),
+            total_cores: 6,
+            heavy_cores: 3,
+            quantum: SimDuration::from_millis(3),
+            ctx_switch: SimDuration::from_micros(20),
+            enqueue_cost: SimDuration::from_micros(15),
+            wakeup_base: SimDuration::from_micros(50),
+            migration_cache_penalty: 1.6,
+        }
+    }
+
+    #[test]
+    fn oversubscription_threshold() {
+        let c = cluster();
+        for n in 1..=3 {
+            assert!(!c.is_oversubscribed(n));
+            assert_eq!(c.oversubscription(n), 0.0);
+        }
+        assert!(c.is_oversubscribed(4));
+        assert!(c.oversubscription(8) > c.oversubscription(4));
+    }
+
+    #[test]
+    fn preemption_probability_zero_when_fitting() {
+        let c = cluster();
+        assert_eq!(c.preemption_probability(1), 0.0);
+        assert_eq!(c.preemption_probability(3), 0.0);
+    }
+
+    #[test]
+    fn preemption_probability_grows_then_caps() {
+        let c = cluster();
+        let p4 = c.preemption_probability(4);
+        let p8 = c.preemption_probability(8);
+        assert!(p4 > 0.0 && p4 < p8, "p4={p4} p8={p8}");
+        assert!(p8 <= 0.9);
+    }
+
+    #[test]
+    fn wakeup_delay_scales_with_load() {
+        let c = cluster();
+        let light = c.wakeup_delay(2);
+        let heavy = c.wakeup_delay(8);
+        assert_eq!(light, SimDuration::from_micros(50));
+        assert!(heavy > light + SimDuration::from_millis(4));
+    }
+}

@@ -1,0 +1,257 @@
+//! GPU architecture model: compute rates, frequency ladder, scheduling
+//! costs.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use jetsim_des::SimDuration;
+use jetsim_dnn::Precision;
+
+use crate::per_precision::PerPrecision;
+
+/// The GPU micro-architecture generation of a Jetson module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GpuGeneration {
+    /// Jetson Nano (no tensor cores, no int8/tf32 paths).
+    Maxwell,
+    /// Jetson Orin family (tensor cores, full precision menu).
+    Ampere,
+    /// Data-centre comparator used by the edge-vs-cloud example.
+    AmpereDatacenter,
+}
+
+impl fmt::Display for GpuGeneration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            GpuGeneration::Maxwell => "Maxwell",
+            GpuGeneration::Ampere => "Ampere",
+            GpuGeneration::AmpereDatacenter => "Ampere (datacenter)",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The discrete GPU frequency steps DVFS can move between, ascending.
+///
+/// # Examples
+///
+/// ```
+/// use jetsim_device::FreqLadder;
+///
+/// let ladder = FreqLadder::new(vec![306, 408, 510, 625]);
+/// assert_eq!(ladder.max_mhz(), 625);
+/// assert_eq!(ladder.step_down(3), 2);
+/// assert_eq!(ladder.ratio(1), 408.0 / 625.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FreqLadder {
+    steps_mhz: Vec<u32>,
+}
+
+impl FreqLadder {
+    /// Creates a ladder from ascending MHz steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps_mhz` is empty or not strictly ascending.
+    pub fn new(steps_mhz: Vec<u32>) -> Self {
+        assert!(!steps_mhz.is_empty(), "frequency ladder cannot be empty");
+        assert!(
+            steps_mhz.windows(2).all(|w| w[0] < w[1]),
+            "frequency ladder must be strictly ascending"
+        );
+        FreqLadder { steps_mhz }
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps_mhz.len()
+    }
+
+    /// Returns `true` if the ladder has exactly one step (no DVFS range).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Index of the top step.
+    pub fn top(&self) -> usize {
+        self.steps_mhz.len() - 1
+    }
+
+    /// Frequency at `step`, in MHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is out of range.
+    pub fn mhz(&self, step: usize) -> u32 {
+        self.steps_mhz[step]
+    }
+
+    /// The maximum frequency, in MHz.
+    pub fn max_mhz(&self) -> u32 {
+        *self.steps_mhz.last().expect("non-empty")
+    }
+
+    /// Frequency at `step` as a fraction of the maximum.
+    pub fn ratio(&self, step: usize) -> f64 {
+        f64::from(self.mhz(step)) / f64::from(self.max_mhz())
+    }
+
+    /// The step below `step`, saturating at the bottom.
+    pub fn step_down(&self, step: usize) -> usize {
+        step.saturating_sub(1)
+    }
+
+    /// The step above `step`, saturating at the top.
+    pub fn step_up(&self, step: usize) -> usize {
+        (step + 1).min(self.top())
+    }
+}
+
+/// The GPU model the simulator executes kernels against.
+///
+/// `effective_gflops` holds *calibrated end-to-end* arithmetic rates (at
+/// the top frequency, for a fully occupying kernel), not datasheet peaks:
+/// they fold in the average efficiency the paper's TensorRT engines
+/// achieve on each format.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuArch {
+    /// Marketing/architecture generation.
+    pub generation: GpuGeneration,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// CUDA cores per SM.
+    pub cuda_cores_per_sm: u32,
+    /// Tensor core count; `0` means the architecture has none.
+    pub tensor_cores: u32,
+    /// DVFS frequency ladder.
+    pub freq: FreqLadder,
+    /// Calibrated effective GFLOP/s per precision at the top frequency.
+    pub effective_gflops: PerPrecision<f64>,
+    /// DRAM bandwidth available to the GPU, in GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// Minimum gap between consecutive kernels on the GPU front-end; short
+    /// kernels cannot complete faster than this (launch-bound regime).
+    pub kernel_min_gap: SimDuration,
+    /// Cost of switching the GPU between processes (no MPS on Jetson, so
+    /// sharing is time-multiplexed at this granularity).
+    pub ctx_switch: SimDuration,
+    /// Maximum time the GPU stays on one process's queue before yielding.
+    pub timeslice: SimDuration,
+}
+
+impl GpuArch {
+    /// Total CUDA core count.
+    pub fn cuda_cores(&self) -> u32 {
+        self.sm_count * self.cuda_cores_per_sm
+    }
+
+    /// Returns `true` if the GPU has tensor cores.
+    pub fn has_tensor_cores(&self) -> bool {
+        self.tensor_cores > 0
+    }
+
+    /// Effective arithmetic rate for `precision` at frequency `step`,
+    /// in FLOP/s.
+    pub fn flops_per_sec(&self, precision: Precision, step: usize) -> f64 {
+        self.effective_gflops.value(precision) * 1e9 * self.freq.ratio(step)
+    }
+
+    /// Memory bandwidth in bytes/s (frequency-independent: EMC is governed
+    /// separately on Jetson).
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.mem_bandwidth_gbps * 1e9
+    }
+
+    /// The thread-level parallelism needed to keep every SM busy for
+    /// `precision` (denser formats need proportionally more work in
+    /// flight, which is why int8 shows the lowest SM utilisation in the
+    /// paper).
+    pub fn saturation_threads(&self, precision: Precision) -> u64 {
+        u64::from(self.sm_count) * 2048 * precision.ops_per_fp32_slot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arch() -> GpuArch {
+        GpuArch {
+            generation: GpuGeneration::Ampere,
+            sm_count: 8,
+            cuda_cores_per_sm: 128,
+            tensor_cores: 32,
+            freq: FreqLadder::new(vec![306, 408, 510, 625]),
+            effective_gflops: PerPrecision::new(6000.0, 3000.0, 1100.0, 615.0),
+            mem_bandwidth_gbps: 68.0,
+            kernel_min_gap: SimDuration::from_micros(9),
+            ctx_switch: SimDuration::from_micros(150),
+            timeslice: SimDuration::from_millis(2),
+        }
+    }
+
+    #[test]
+    fn ladder_validation() {
+        let ladder = FreqLadder::new(vec![100, 200]);
+        assert_eq!(ladder.len(), 2);
+        assert_eq!(ladder.top(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn ladder_rejects_non_ascending() {
+        FreqLadder::new(vec![200, 100]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn ladder_rejects_empty() {
+        FreqLadder::new(vec![]);
+    }
+
+    #[test]
+    fn ladder_stepping_saturates() {
+        let ladder = FreqLadder::new(vec![100, 200, 300]);
+        assert_eq!(ladder.step_down(0), 0);
+        assert_eq!(ladder.step_up(2), 2);
+        assert_eq!(ladder.step_up(0), 1);
+    }
+
+    #[test]
+    fn ratio_is_one_at_top() {
+        let a = arch();
+        assert_eq!(a.freq.ratio(a.freq.top()), 1.0);
+        assert!(a.freq.ratio(0) < 0.5);
+    }
+
+    #[test]
+    fn flops_scale_with_frequency() {
+        let a = arch();
+        let top = a.flops_per_sec(Precision::Fp16, a.freq.top());
+        let low = a.flops_per_sec(Precision::Fp16, 0);
+        assert_eq!(top, 3000.0e9);
+        assert!((low / top - 306.0 / 625.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cuda_cores_product() {
+        assert_eq!(arch().cuda_cores(), 1024);
+    }
+
+    #[test]
+    fn int8_needs_most_parallelism() {
+        let a = arch();
+        assert_eq!(
+            a.saturation_threads(Precision::Int8),
+            4 * a.saturation_threads(Precision::Fp32)
+        );
+    }
+
+    #[test]
+    fn generation_display() {
+        assert_eq!(format!("{}", GpuGeneration::Maxwell), "Maxwell");
+        assert!(!format!("{}", GpuGeneration::AmpereDatacenter).is_empty());
+    }
+}

@@ -1,0 +1,52 @@
+//! Device models of NVIDIA Jetson SoCs for the `jetsim` simulator.
+//!
+//! A [`DeviceSpec`] bundles everything the simulator needs to know about a
+//! platform:
+//!
+//! * [`GpuArch`] — SM count, tensor cores, frequency ladder, effective
+//!   arithmetic rates per precision, launch/context-switch costs,
+//! * [`CpuCluster`] — big.LITTLE core counts and scheduler constants,
+//! * [`UnifiedMemory`] — the shared-RAM budget and per-process overheads,
+//! * [`PrecisionSupport`] — which numeric formats run natively and where
+//!   unsupported ones fall back,
+//! * [`PowerModel`] + [`DvfsPolicy`] — the SoC power estimator and the
+//!   dynamic voltage/frequency scaling governor.
+//!
+//! Presets for the paper's two boards (and the cloud comparator mentioned
+//! in its introduction) live in [`presets`].
+//!
+//! # Examples
+//!
+//! ```
+//! use jetsim_device::presets;
+//! use jetsim_dnn::Precision;
+//!
+//! let orin = presets::orin_nano();
+//! assert_eq!(orin.gpu.tensor_cores, 32);
+//! assert!(orin.precision_support.is_native(Precision::Int8));
+//!
+//! let nano = presets::jetson_nano();
+//! assert_eq!(nano.gpu.tensor_cores, 0);
+//! // Maxwell has no int8 path: engines fall back to fp32.
+//! assert_eq!(nano.precision_support.effective(Precision::Int8), Precision::Fp32);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cpu;
+pub mod gpu;
+pub mod memory;
+pub mod per_precision;
+pub mod power;
+pub mod precision_support;
+pub mod presets;
+pub mod spec;
+
+pub use cpu::CpuCluster;
+pub use gpu::{FreqLadder, GpuArch, GpuGeneration};
+pub use memory::UnifiedMemory;
+pub use per_precision::PerPrecision;
+pub use power::{DvfsPolicy, PowerModel, ThermalModel};
+pub use precision_support::PrecisionSupport;
+pub use spec::DeviceSpec;

@@ -1,0 +1,111 @@
+//! Unified-memory model: the RAM budget shared between CPU and GPU.
+//!
+//! Jetson modules have no discrete VRAM — CPU and GPU share one LPDDR
+//! pool. Two accountings matter for the paper's observations:
+//!
+//! * the *GPU allocation* (CUDA context + engine weights + activation
+//!   workspace), which `jetson-stats` reports as "GPU memory %",
+//! * the *total footprint* including each process's host-side runtime
+//!   (CUDA libraries, cuDNN handles), which is what actually exhausts the
+//!   board and reboots it when too many FCN processes are deployed.
+
+use serde::{Deserialize, Serialize};
+
+/// The unified-memory configuration of a device.
+///
+/// # Examples
+///
+/// ```
+/// use jetsim_device::presets;
+///
+/// let nano = presets::jetson_nano();
+/// assert_eq!(nano.memory.total_bytes, 4 * 1024 * 1024 * 1024);
+/// assert!(nano.memory.usable_bytes() < nano.memory.total_bytes);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnifiedMemory {
+    /// Physical RAM on the module.
+    pub total_bytes: u64,
+    /// RAM the OS, desktop and drivers keep for themselves.
+    pub os_reserved_bytes: u64,
+    /// Host-side footprint of one inference process (CUDA runtime,
+    /// cuDNN/cuBLAS handles, the `trtexec` binary itself). Much larger on
+    /// the Jetson Nano's JetPack 4 stack, which eagerly initialises
+    /// library workspaces, than on Orin's lazy-loading JetPack 5+.
+    pub per_process_host_bytes: u64,
+    /// GPU-side CUDA context allocation per process.
+    pub cuda_context_bytes: u64,
+    /// The TensorRT builder workspace cap that ships with the device's
+    /// JetPack image (`trtexec --workspace`); scales with board RAM.
+    pub trt_workspace_limit_bytes: u64,
+}
+
+impl UnifiedMemory {
+    /// RAM available to inference processes after the OS reservation.
+    pub fn usable_bytes(&self) -> u64 {
+        self.total_bytes - self.os_reserved_bytes
+    }
+
+    /// Expresses a GPU allocation as a percentage of *total* RAM — the
+    /// quantity `jetson-stats` reports and the paper's figures plot.
+    pub fn gpu_percent(&self, gpu_bytes: u64) -> f64 {
+        gpu_bytes as f64 / self.total_bytes as f64 * 100.0
+    }
+
+    /// Returns `true` if a combined footprint no longer fits in usable
+    /// RAM — the over-deployment condition that reboots the board in the
+    /// paper (4 × FCN_ResNet50 on the Jetson Nano).
+    pub fn would_oom(&self, total_footprint_bytes: u64) -> bool {
+        total_footprint_bytes > self.usable_bytes()
+    }
+}
+
+/// Convenience constructor for mebibyte values.
+pub(crate) const fn mib(n: u64) -> u64 {
+    n * 1024 * 1024
+}
+
+/// Convenience constructor for gibibyte values.
+pub(crate) const fn gib(n: u64) -> u64 {
+    n * 1024 * 1024 * 1024
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn memory() -> UnifiedMemory {
+        UnifiedMemory {
+            total_bytes: gib(8),
+            os_reserved_bytes: gib(2),
+            per_process_host_bytes: mib(200),
+            cuda_context_bytes: mib(80),
+            trt_workspace_limit_bytes: mib(64),
+        }
+    }
+
+    #[test]
+    fn usable_subtracts_reservation() {
+        assert_eq!(memory().usable_bytes(), gib(6));
+    }
+
+    #[test]
+    fn gpu_percent_uses_total() {
+        let m = memory();
+        assert!((m.gpu_percent(gib(2)) - 25.0).abs() < 1e-9);
+        assert_eq!(m.gpu_percent(0), 0.0);
+    }
+
+    #[test]
+    fn oom_detection() {
+        let m = memory();
+        assert!(!m.would_oom(gib(6)));
+        assert!(m.would_oom(gib(6) + 1));
+    }
+
+    #[test]
+    fn unit_helpers() {
+        assert_eq!(mib(1), 1_048_576);
+        assert_eq!(gib(1), 1024 * mib(1));
+    }
+}

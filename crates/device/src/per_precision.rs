@@ -1,0 +1,126 @@
+//! A tiny fixed-size map keyed by [`Precision`].
+
+use std::ops::Index;
+
+use serde::{Deserialize, Serialize};
+
+use jetsim_dnn::Precision;
+
+/// A value for each of the four precision formats.
+///
+/// # Examples
+///
+/// ```
+/// use jetsim_device::PerPrecision;
+/// use jetsim_dnn::Precision;
+///
+/// let rates = PerPrecision::new(6000.0, 3000.0, 1100.0, 615.0);
+/// assert_eq!(rates[Precision::Fp16], 3000.0);
+/// assert_eq!(rates.get(Precision::Fp32), &615.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerPrecision<T> {
+    int8: T,
+    fp16: T,
+    tf32: T,
+    fp32: T,
+}
+
+impl<T> PerPrecision<T> {
+    /// Creates a map with one value per format, in `int8, fp16, tf32,
+    /// fp32` order (the paper's sweep order).
+    pub fn new(int8: T, fp16: T, tf32: T, fp32: T) -> Self {
+        PerPrecision {
+            int8,
+            fp16,
+            tf32,
+            fp32,
+        }
+    }
+
+    /// Creates a map holding the same value for every format.
+    pub fn splat(value: T) -> Self
+    where
+        T: Clone,
+    {
+        PerPrecision {
+            int8: value.clone(),
+            fp16: value.clone(),
+            tf32: value.clone(),
+            fp32: value,
+        }
+    }
+
+    /// Borrows the value for `precision`.
+    pub fn get(&self, precision: Precision) -> &T {
+        match precision {
+            Precision::Int8 => &self.int8,
+            Precision::Fp16 => &self.fp16,
+            Precision::Tf32 => &self.tf32,
+            Precision::Fp32 => &self.fp32,
+        }
+    }
+
+    /// Iterates over `(precision, value)` pairs in sweep order.
+    pub fn iter(&self) -> impl Iterator<Item = (Precision, &T)> {
+        Precision::ALL.iter().map(move |&p| (p, self.get(p)))
+    }
+}
+
+impl<T: Copy> PerPrecision<T> {
+    /// Copies the value for `precision`.
+    pub fn value(&self, precision: Precision) -> T {
+        *self.get(precision)
+    }
+}
+
+impl<T> Index<Precision> for PerPrecision<T> {
+    type Output = T;
+
+    fn index(&self, precision: Precision) -> &T {
+        self.get(precision)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_maps_each_slot() {
+        let m = PerPrecision::new(1, 2, 3, 4);
+        assert_eq!(m[Precision::Int8], 1);
+        assert_eq!(m[Precision::Fp16], 2);
+        assert_eq!(m[Precision::Tf32], 3);
+        assert_eq!(m[Precision::Fp32], 4);
+    }
+
+    #[test]
+    fn splat_fills_all() {
+        let m = PerPrecision::splat("x");
+        for p in Precision::ALL {
+            assert_eq!(m[p], "x");
+        }
+    }
+
+    #[test]
+    fn iter_in_sweep_order() {
+        let m = PerPrecision::new(1, 2, 3, 4);
+        let order: Vec<(Precision, i32)> = m.iter().map(|(p, &v)| (p, v)).collect();
+        assert_eq!(
+            order,
+            vec![
+                (Precision::Int8, 1),
+                (Precision::Fp16, 2),
+                (Precision::Tf32, 3),
+                (Precision::Fp32, 4),
+            ]
+        );
+    }
+
+    #[test]
+    fn value_copies() {
+        let m = PerPrecision::new(1.5, 2.5, 3.5, 4.5);
+        assert_eq!(m.value(Precision::Tf32), 3.5);
+    }
+}

@@ -1,0 +1,311 @@
+//! SoC power model and the DVFS governor policy.
+//!
+//! Jetson boards enforce a module-level power budget (7 W Orin Nano, 5 W
+//! Jetson Nano in the paper's configurations). When the estimated draw
+//! exceeds the budget the Dynamic Voltage and Frequency Scaling governor
+//! steps the GPU down its frequency ladder, trading throughput for power —
+//! the mechanism behind the paper's counter-intuitive finding that fp32
+//! engines sometimes draw *less* power than tf32 ones (§6.1.2).
+
+use serde::{Deserialize, Serialize};
+
+use jetsim_des::SimDuration;
+use jetsim_dnn::Precision;
+
+use crate::gpu::FreqLadder;
+use crate::per_precision::PerPrecision;
+
+/// An instantaneous GPU load summary fed to the power estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GpuLoad {
+    /// Fraction of wall time the GPU was executing kernels (0–1).
+    pub busy: f64,
+    /// Busy-time-weighted average of the per-precision power coefficient.
+    pub precision_w: f64,
+    /// Average tensor-core utilisation over busy time (0–1).
+    pub tc_util: f64,
+    /// Average DRAM bandwidth utilisation (0–1).
+    pub mem_util: f64,
+}
+
+/// Calibrated module power estimator.
+///
+/// # Examples
+///
+/// ```
+/// use jetsim_device::power::GpuLoad;
+/// use jetsim_device::presets;
+///
+/// let orin = presets::orin_nano();
+/// let idle = orin.power.total_watts(0.0, GpuLoad::default(), 1.0);
+/// assert!(idle >= 1.5 && idle < 3.0, "idle draw ~2 W");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Baseline draw with the SoC idle.
+    pub idle_w: f64,
+    /// Incremental draw of one fully busy CPU core.
+    pub cpu_core_w: f64,
+    /// GPU draw at full utilisation and top frequency, per kernel
+    /// precision (wider formats toggle more datapath bits per op).
+    pub gpu_busy_w: PerPrecision<f64>,
+    /// Additional draw when tensor cores are saturated.
+    pub tc_bonus_w: f64,
+    /// Additional draw at full DRAM bandwidth utilisation.
+    pub mem_w: f64,
+    /// Exponent for frequency scaling of GPU power (`P ∝ ratio^k`,
+    /// `k ≈ 2.2` because voltage tracks frequency).
+    pub freq_exponent: f64,
+    /// The module power budget DVFS defends.
+    pub budget_w: f64,
+}
+
+impl PowerModel {
+    /// The per-precision GPU power coefficient used to compute
+    /// [`GpuLoad::precision_w`].
+    pub fn precision_coefficient(&self, precision: Precision) -> f64 {
+        self.gpu_busy_w.value(precision)
+    }
+
+    /// Estimates GPU draw for a load at a given frequency ratio.
+    pub fn gpu_watts(&self, load: GpuLoad, freq_ratio: f64) -> f64 {
+        let dynamic = load.busy * load.precision_w
+            + load.busy * load.tc_util * self.tc_bonus_w
+            + load.mem_util * self.mem_w;
+        dynamic * freq_ratio.powf(self.freq_exponent)
+    }
+
+    /// Estimates total module draw.
+    ///
+    /// `cpu_busy_cores` is the time-averaged number of busy CPU cores
+    /// (may be fractional).
+    pub fn total_watts(&self, cpu_busy_cores: f64, load: GpuLoad, freq_ratio: f64) -> f64 {
+        self.idle_w + cpu_busy_cores * self.cpu_core_w + self.gpu_watts(load, freq_ratio)
+    }
+}
+
+/// A first-order thermal RC model of the module.
+///
+/// The paper attributes DVFS to "thermal and power limits" (§6.1.2);
+/// the power limit dominates its short sweeps, but sustained deployments
+/// hit the junction-temperature ceiling too. Temperature follows
+/// `C·dT/dt = P − (T − T_ambient)/R`.
+///
+/// # Examples
+///
+/// ```
+/// use jetsim_device::power::ThermalModel;
+///
+/// let thermal = ThermalModel::passively_cooled();
+/// let mut t = 25.0;
+/// for _ in 0..1000 {
+///     t = thermal.step(t, 10.0, 1.0); // 10 W for 1000 s
+/// }
+/// // Steady state approaches ambient + P·R.
+/// assert!((t - (25.0 + 10.0 * thermal.resistance_c_per_w)).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThermalModel {
+    /// Junction-to-ambient thermal resistance, °C/W.
+    pub resistance_c_per_w: f64,
+    /// Thermal capacitance, J/°C.
+    pub capacitance_j_per_c: f64,
+    /// Ambient temperature, °C.
+    pub ambient_c: f64,
+    /// Junction temperature above which the governor throttles
+    /// regardless of power headroom.
+    pub throttle_c: f64,
+}
+
+impl ThermalModel {
+    /// A heatsink-only module (Jetson-class defaults).
+    pub fn passively_cooled() -> Self {
+        ThermalModel {
+            resistance_c_per_w: 7.0,
+            capacitance_j_per_c: 25.0,
+            ambient_c: 25.0,
+            throttle_c: 95.0,
+        }
+    }
+
+    /// Advances the junction temperature by `dt_secs` under `power_w`.
+    pub fn step(&self, temp_c: f64, power_w: f64, dt_secs: f64) -> f64 {
+        let leak = (temp_c - self.ambient_c) / self.resistance_c_per_w;
+        let dtemp = (power_w - leak) / self.capacitance_j_per_c * dt_secs;
+        (temp_c + dtemp).max(self.ambient_c)
+    }
+
+    /// Returns `true` once the junction exceeds the throttle point.
+    pub fn throttles(&self, temp_c: f64) -> bool {
+        temp_c >= self.throttle_c
+    }
+
+    /// Steady-state temperature under a constant draw.
+    pub fn steady_state_c(&self, power_w: f64) -> f64 {
+        self.ambient_c + power_w * self.resistance_c_per_w
+    }
+}
+
+/// The DVFS governor policy: how often it runs and with what hysteresis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DvfsPolicy {
+    /// Governor evaluation period.
+    pub interval: SimDuration,
+    /// Step up only when draw falls below `budget × up_hysteresis`.
+    pub up_hysteresis: f64,
+    /// Whether the governor is active (disabled for ablation benches).
+    pub enabled: bool,
+}
+
+impl DvfsPolicy {
+    /// The default Jetson `nvpmodel`-like governor: 100 ms period, 12 %
+    /// hysteresis.
+    pub fn jetson_default() -> Self {
+        DvfsPolicy {
+            interval: SimDuration::from_millis(100),
+            up_hysteresis: 0.88,
+            enabled: true,
+        }
+    }
+
+    /// A disabled governor (the GPU stays at the top frequency).
+    pub fn disabled() -> Self {
+        DvfsPolicy {
+            enabled: false,
+            ..DvfsPolicy::jetson_default()
+        }
+    }
+
+    /// Computes the next frequency step given the current estimated draw.
+    pub fn next_step(
+        &self,
+        ladder: &FreqLadder,
+        current_step: usize,
+        estimated_watts: f64,
+        budget_w: f64,
+    ) -> usize {
+        if !self.enabled {
+            return ladder.top();
+        }
+        if estimated_watts > budget_w {
+            ladder.step_down(current_step)
+        } else if estimated_watts < budget_w * self.up_hysteresis {
+            ladder.step_up(current_step)
+        } else {
+            current_step
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> PowerModel {
+        PowerModel {
+            idle_w: 2.0,
+            cpu_core_w: 0.55,
+            gpu_busy_w: PerPrecision::new(2.4, 2.8, 3.4, 3.9),
+            tc_bonus_w: 0.8,
+            mem_w: 0.9,
+            freq_exponent: 2.2,
+            budget_w: 7.0,
+        }
+    }
+
+    fn full_load(precision_w: f64) -> GpuLoad {
+        GpuLoad {
+            busy: 1.0,
+            precision_w,
+            tc_util: 0.5,
+            mem_util: 0.5,
+        }
+    }
+
+    #[test]
+    fn idle_draw_is_baseline() {
+        let m = model();
+        assert_eq!(m.total_watts(0.0, GpuLoad::default(), 1.0), 2.0);
+    }
+
+    #[test]
+    fn wider_precisions_draw_more() {
+        let m = model();
+        let int8 = m.gpu_watts(full_load(m.precision_coefficient(Precision::Int8)), 1.0);
+        let fp32 = m.gpu_watts(full_load(m.precision_coefficient(Precision::Fp32)), 1.0);
+        assert!(fp32 > int8);
+    }
+
+    #[test]
+    fn frequency_reduction_saves_superlinearly() {
+        let m = model();
+        let load = full_load(3.0);
+        let full = m.gpu_watts(load, 1.0);
+        let half = m.gpu_watts(load, 0.5);
+        assert!(half < full / 2.0, "P ∝ f^2.2: {half} vs {full}");
+    }
+
+    #[test]
+    fn cpu_cores_add_linearly() {
+        let m = model();
+        let one = m.total_watts(1.0, GpuLoad::default(), 1.0);
+        let three = m.total_watts(3.0, GpuLoad::default(), 1.0);
+        assert!((three - one - 2.0 * m.cpu_core_w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thermal_step_approaches_steady_state() {
+        let t = ThermalModel::passively_cooled();
+        let mut temp = t.ambient_c;
+        for _ in 0..100_000 {
+            temp = t.step(temp, 6.0, 0.1);
+        }
+        assert!((temp - t.steady_state_c(6.0)).abs() < 0.5, "temp = {temp}");
+    }
+
+    #[test]
+    fn thermal_cooling_never_undershoots_ambient() {
+        let t = ThermalModel::passively_cooled();
+        let mut temp = 90.0;
+        for _ in 0..100_000 {
+            temp = t.step(temp, 0.0, 1.0);
+        }
+        assert!((temp - t.ambient_c).abs() < 1e-6);
+    }
+
+    #[test]
+    fn thermal_throttle_threshold() {
+        let t = ThermalModel::passively_cooled();
+        assert!(!t.throttles(94.9));
+        assert!(t.throttles(95.0));
+    }
+
+    #[test]
+    fn governor_steps_down_over_budget() {
+        let ladder = FreqLadder::new(vec![306, 408, 510, 625]);
+        let policy = DvfsPolicy::jetson_default();
+        assert_eq!(policy.next_step(&ladder, 3, 7.5, 7.0), 2);
+        assert_eq!(policy.next_step(&ladder, 0, 9.0, 7.0), 0, "saturates");
+    }
+
+    #[test]
+    fn governor_steps_up_with_headroom() {
+        let ladder = FreqLadder::new(vec![306, 408, 510, 625]);
+        let policy = DvfsPolicy::jetson_default();
+        assert_eq!(policy.next_step(&ladder, 1, 4.0, 7.0), 2);
+    }
+
+    #[test]
+    fn governor_holds_in_hysteresis_band() {
+        let ladder = FreqLadder::new(vec![306, 408, 510, 625]);
+        let policy = DvfsPolicy::jetson_default();
+        assert_eq!(policy.next_step(&ladder, 2, 6.5, 7.0), 2);
+    }
+
+    #[test]
+    fn disabled_governor_pins_top() {
+        let ladder = FreqLadder::new(vec![306, 408, 510, 625]);
+        let policy = DvfsPolicy::disabled();
+        assert_eq!(policy.next_step(&ladder, 0, 99.0, 7.0), 3);
+    }
+}

@@ -1,0 +1,126 @@
+//! Which numeric formats a device runs natively, and how unsupported
+//! requests fall back.
+//!
+//! The Jetson Nano (Maxwell) has no int8 DP4A path and predates tf32;
+//! TensorRT silently builds those engines with fp32 layers, which is why
+//! the paper finds fp16 — the only *accelerated* reduced format on the
+//! Nano — both faster and smaller than int8 there (§6.1.1).
+
+use serde::{Deserialize, Serialize};
+
+use jetsim_dnn::Precision;
+
+/// The precision capability matrix of a device.
+///
+/// # Examples
+///
+/// ```
+/// use jetsim_device::PrecisionSupport;
+/// use jetsim_dnn::Precision;
+///
+/// let maxwell = PrecisionSupport::maxwell();
+/// assert_eq!(maxwell.effective(Precision::Tf32), Precision::Fp32);
+/// assert_eq!(maxwell.effective(Precision::Fp16), Precision::Fp16);
+///
+/// let ampere = PrecisionSupport::ampere();
+/// assert!(Precision::ALL.iter().all(|&p| ampere.is_native(p)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrecisionSupport {
+    native: Vec<Precision>,
+    /// Layers whose channel count is below this keep a wider format even
+    /// in int8 engines (quantising skinny tensors costs more in
+    /// quantise/dequantise traffic than it saves — TensorRT's builder
+    /// makes the same call on YOLO-class models).
+    pub int8_min_channels: u64,
+}
+
+impl PrecisionSupport {
+    /// Full Ampere-class support: every format native, int8 restricted to
+    /// reasonably wide layers.
+    pub fn ampere() -> Self {
+        PrecisionSupport {
+            native: Precision::ALL.to_vec(),
+            int8_min_channels: 48,
+        }
+    }
+
+    /// Maxwell-class support: fp16 and fp32 only.
+    pub fn maxwell() -> Self {
+        PrecisionSupport {
+            native: vec![Precision::Fp16, Precision::Fp32],
+            int8_min_channels: u64::MAX,
+        }
+    }
+
+    /// Returns `true` if `precision` has a native accelerated path.
+    pub fn is_native(&self, precision: Precision) -> bool {
+        self.native.contains(&precision)
+    }
+
+    /// The format the device actually executes when `requested` is asked
+    /// for: the request itself when native, otherwise fp32 (TensorRT's
+    /// fallback).
+    pub fn effective(&self, requested: Precision) -> Precision {
+        if self.is_native(requested) {
+            requested
+        } else {
+            Precision::Fp32
+        }
+    }
+
+    /// The format an individual layer runs at inside an engine built for
+    /// `requested`: applies the device fallback, then the int8 width rule
+    /// (skinny layers stay fp16 inside int8 engines).
+    pub fn layer_precision(&self, requested: Precision, min_layer_channels: u64) -> Precision {
+        let effective = self.effective(requested);
+        if effective == Precision::Int8 && min_layer_channels < self.int8_min_channels {
+            Precision::Fp16
+        } else {
+            effective
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ampere_is_fully_native() {
+        let s = PrecisionSupport::ampere();
+        for p in Precision::ALL {
+            assert!(s.is_native(p));
+            assert_eq!(s.effective(p), p);
+        }
+    }
+
+    #[test]
+    fn maxwell_falls_back_to_fp32() {
+        let s = PrecisionSupport::maxwell();
+        assert_eq!(s.effective(Precision::Int8), Precision::Fp32);
+        assert_eq!(s.effective(Precision::Tf32), Precision::Fp32);
+        assert_eq!(s.effective(Precision::Fp16), Precision::Fp16);
+        assert_eq!(s.effective(Precision::Fp32), Precision::Fp32);
+    }
+
+    #[test]
+    fn skinny_layers_avoid_int8() {
+        let s = PrecisionSupport::ampere();
+        assert_eq!(s.layer_precision(Precision::Int8, 16), Precision::Fp16);
+        assert_eq!(s.layer_precision(Precision::Int8, 64), Precision::Int8);
+    }
+
+    #[test]
+    fn width_rule_only_applies_to_int8() {
+        let s = PrecisionSupport::ampere();
+        assert_eq!(s.layer_precision(Precision::Fp16, 16), Precision::Fp16);
+        assert_eq!(s.layer_precision(Precision::Fp32, 16), Precision::Fp32);
+    }
+
+    #[test]
+    fn maxwell_int8_request_becomes_fp32_even_for_wide_layers() {
+        let s = PrecisionSupport::maxwell();
+        assert_eq!(s.layer_precision(Precision::Int8, 2048), Precision::Fp32);
+    }
+}

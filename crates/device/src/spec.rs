@@ -1,0 +1,154 @@
+//! The complete device description consumed by the simulator.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cpu::CpuCluster;
+use crate::gpu::GpuArch;
+use crate::memory::UnifiedMemory;
+use crate::power::{DvfsPolicy, PowerModel, ThermalModel};
+use crate::precision_support::PrecisionSupport;
+
+/// Everything the simulator needs to know about one platform.
+///
+/// Construct via the [`crate::presets`] functions; the struct is plain
+/// data so custom devices can be assembled field by field for ablations.
+///
+/// # Examples
+///
+/// ```
+/// use jetsim_device::presets;
+///
+/// let orin = presets::orin_nano();
+/// println!("{}", orin.table_row());
+/// assert!(orin.table_row().contains("Ampere"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Marketing name, e.g. `Jetson Orin Nano`.
+    pub name: String,
+    /// GPU architecture and calibrated rates.
+    pub gpu: GpuArch,
+    /// CPU complex.
+    pub cpu: CpuCluster,
+    /// Unified memory budget.
+    pub memory: UnifiedMemory,
+    /// Precision capability matrix.
+    pub precision_support: PrecisionSupport,
+    /// Power estimator.
+    pub power: PowerModel,
+    /// DVFS governor policy.
+    pub dvfs: DvfsPolicy,
+    /// Thermal RC model.
+    pub thermal: ThermalModel,
+}
+
+impl DeviceSpec {
+    /// The device name.
+    pub fn device_name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renders the device as one row of the paper's Table 1
+    /// (`CPU | GPU | Tensor Cores | Unified Memory | Power`).
+    pub fn table_row(&self) -> String {
+        let tc = if self.gpu.tensor_cores == 0 {
+            "-".to_string()
+        } else {
+            self.gpu.tensor_cores.to_string()
+        };
+        format!(
+            "{} | {} | {}-core {} | {} | {}GB | {:.0}W budget",
+            self.name,
+            self.cpu.name,
+            self.gpu.cuda_cores(),
+            self.gpu.generation,
+            tc,
+            self.memory.total_bytes / (1024 * 1024 * 1024),
+            self.power.budget_w,
+        )
+    }
+
+    /// Checks internal consistency (heavy ≤ total cores, reservation fits
+    /// in RAM, positive rates).
+    ///
+    /// # Panics
+    ///
+    /// Never panics; returns a list of human-readable problems, empty if
+    /// the spec is sound. Presets are covered by tests, so this mainly
+    /// guards hand-assembled ablation devices.
+    pub fn consistency_problems(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.cpu.heavy_cores > self.cpu.total_cores {
+            problems.push("heavy_cores exceeds total_cores".to_string());
+        }
+        if self.cpu.heavy_cores == 0 {
+            problems.push("heavy_cores must be at least 1".to_string());
+        }
+        if self.memory.os_reserved_bytes >= self.memory.total_bytes {
+            problems.push("OS reservation consumes all RAM".to_string());
+        }
+        if self.gpu.mem_bandwidth_gbps <= 0.0 {
+            problems.push("memory bandwidth must be positive".to_string());
+        }
+        for (p, &rate) in self.gpu.effective_gflops.iter() {
+            if rate <= 0.0 {
+                problems.push(format!("effective rate for {p} must be positive"));
+            }
+        }
+        if self.power.budget_w <= self.power.idle_w {
+            problems.push("power budget below idle draw".to_string());
+        }
+        problems
+    }
+}
+
+impl fmt::Display for DeviceSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.table_row())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::presets;
+
+    #[test]
+    fn presets_are_consistent() {
+        for spec in [
+            presets::orin_nano(),
+            presets::jetson_nano(),
+            presets::cloud_a40(),
+        ] {
+            let problems = spec.consistency_problems();
+            assert!(problems.is_empty(), "{}: {:?}", spec.name, problems);
+        }
+    }
+
+    #[test]
+    fn table_row_mentions_key_specs() {
+        let row = presets::orin_nano().table_row();
+        assert!(row.contains("Jetson Orin Nano"));
+        assert!(row.contains("1024-core"));
+        assert!(row.contains("8GB"));
+        let nano_row = presets::jetson_nano().table_row();
+        assert!(nano_row.contains("128-core"));
+        assert!(nano_row.contains(" - "), "no tensor cores: {nano_row}");
+    }
+
+    #[test]
+    fn display_matches_table_row() {
+        let spec = presets::jetson_nano();
+        assert_eq!(format!("{spec}"), spec.table_row());
+    }
+
+    #[test]
+    fn inconsistent_spec_is_reported() {
+        let mut spec = presets::orin_nano();
+        spec.cpu.heavy_cores = 99;
+        spec.power.budget_w = 0.5;
+        let problems = spec.consistency_problems();
+        assert_eq!(problems.len(), 2, "{problems:?}");
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the device models.
+
+use proptest::prelude::*;
+
+use jetsim_device::power::{GpuLoad, ThermalModel};
+use jetsim_device::{presets, FreqLadder};
+use jetsim_dnn::Precision;
+
+fn arb_load() -> impl Strategy<Value = GpuLoad> {
+    (0.0f64..=1.0, 0.5f64..6.0, 0.0f64..=1.0, 0.0f64..=1.0).prop_map(
+        |(busy, precision_w, tc_util, mem_util)| GpuLoad {
+            busy,
+            precision_w,
+            tc_util,
+            mem_util,
+        },
+    )
+}
+
+proptest! {
+    /// GPU power is monotone in frequency ratio for any load.
+    #[test]
+    fn power_monotone_in_frequency(load in arb_load(), r1 in 0.1f64..1.0, r2 in 0.1f64..1.0) {
+        let power = presets::orin_nano().power;
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        prop_assert!(power.gpu_watts(load, lo) <= power.gpu_watts(load, hi) + 1e-12);
+    }
+
+    /// Total power is at least idle and monotone in CPU cores.
+    #[test]
+    fn power_bounded_below_by_idle(load in arb_load(), cores in 0.0f64..6.0) {
+        let power = presets::orin_nano().power;
+        let total = power.total_watts(cores, load, 1.0);
+        prop_assert!(total >= power.idle_w);
+        prop_assert!(power.total_watts(cores + 0.5, load, 1.0) >= total);
+    }
+
+    /// The governor never produces an out-of-range step and always steps
+    /// down when over budget.
+    #[test]
+    fn governor_step_in_range(
+        steps in prop::collection::vec(100u32..2000, 1..6),
+        current in 0usize..6,
+        watts in 0.0f64..20.0,
+    ) {
+        let mut mhz = steps;
+        mhz.sort_unstable();
+        mhz.dedup();
+        let ladder = FreqLadder::new(mhz);
+        let current = current.min(ladder.top());
+        let policy = jetsim_device::DvfsPolicy::jetson_default();
+        let next = policy.next_step(&ladder, current, watts, 7.0);
+        prop_assert!(next <= ladder.top());
+        if watts > 7.0 {
+            prop_assert!(next <= current);
+        }
+    }
+
+    /// Thermal integration never diverges: temperature stays between
+    /// ambient and the steady state (for monotone approach from ambient).
+    #[test]
+    fn thermal_bounded_by_steady_state(power in 0.0f64..15.0, steps in 1usize..5000) {
+        let t = ThermalModel::passively_cooled();
+        let mut temp = t.ambient_c;
+        for _ in 0..steps {
+            temp = t.step(temp, power, 0.5);
+            prop_assert!(temp >= t.ambient_c - 1e-9);
+            prop_assert!(temp <= t.steady_state_c(power) + 1e-9);
+        }
+    }
+
+    /// Effective FLOP rates scale linearly with the ladder ratio for
+    /// every precision.
+    #[test]
+    fn rates_scale_with_ladder(step in 0usize..4) {
+        let gpu = presets::orin_nano().gpu;
+        for p in Precision::ALL {
+            let top = gpu.flops_per_sec(p, gpu.freq.top());
+            let here = gpu.flops_per_sec(p, step);
+            let expected = top * gpu.freq.ratio(step);
+            prop_assert!((here - expected).abs() < 1e-3);
+        }
+    }
+
+    /// Memory accounting: gpu_percent is linear and OOM is a strict
+    /// threshold at usable_bytes.
+    #[test]
+    fn memory_thresholds(extra in 0u64..1_000_000) {
+        let mem = presets::jetson_nano().memory;
+        let usable = mem.usable_bytes();
+        prop_assert!(!mem.would_oom(usable));
+        prop_assert!(mem.would_oom(usable + 1 + extra));
+        let pct = mem.gpu_percent(mem.total_bytes / 2);
+        prop_assert!((pct - 50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,441 @@
+//! Layer kinds and per-layer cost accounting.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::LayerId;
+use crate::tensor::TensorShape;
+
+/// Pointwise activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit (ResNet family).
+    Relu,
+    /// Sigmoid-weighted linear unit (YOLOv8 family).
+    Silu,
+    /// Logistic sigmoid (detection heads).
+    Sigmoid,
+}
+
+impl fmt::Display for Activation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Activation::Relu => "relu",
+            Activation::Silu => "silu",
+            Activation::Sigmoid => "sigmoid",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The operator a layer performs.
+///
+/// The variants cover everything needed to express the paper's three
+/// workloads (ResNet50, FCN_ResNet50, YoloV8n); each knows how to infer
+/// its output shape, parameter count and FLOP cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// 2-D convolution.
+    Conv2d {
+        /// Output channel count.
+        out_channels: u64,
+        /// Square kernel size.
+        kernel: u64,
+        /// Spatial stride.
+        stride: u64,
+        /// Zero padding on each border.
+        padding: u64,
+        /// Kernel dilation.
+        dilation: u64,
+        /// Channel groups (`1` = dense convolution).
+        groups: u64,
+        /// Whether a bias vector is added.
+        bias: bool,
+    },
+    /// Batch normalization (two learned vectors per channel).
+    BatchNorm,
+    /// Pointwise activation.
+    Act(Activation),
+    /// Max pooling over a square window.
+    MaxPool {
+        /// Window size.
+        kernel: u64,
+        /// Spatial stride.
+        stride: u64,
+        /// Zero padding on each border.
+        padding: u64,
+    },
+    /// Global average pooling to `c × 1 × 1`.
+    GlobalAvgPool,
+    /// Elementwise addition of two equal-shaped inputs (residual join).
+    Add,
+    /// Channel concatenation of all inputs.
+    Concat,
+    /// Nearest-neighbour / bilinear upsampling by an integer factor.
+    Upsample {
+        /// Spatial scale factor.
+        factor: u64,
+    },
+    /// Fully connected layer on a flattened input.
+    Linear {
+        /// Output feature count.
+        out_features: u64,
+    },
+    /// Channel-wise split: this layer selects `channels` channels of its
+    /// input (used by YOLOv8 C2f blocks).
+    SplitTake {
+        /// Number of channels this branch takes.
+        channels: u64,
+    },
+}
+
+impl LayerKind {
+    /// Returns `true` if this operator is dominated by matrix
+    /// multiplication and therefore eligible for tensor-core execution.
+    pub fn is_matmul_like(&self) -> bool {
+        matches!(self, LayerKind::Conv2d { .. } | LayerKind::Linear { .. })
+    }
+
+    /// Returns `true` if this operator is a cheap pointwise op that a
+    /// TensorRT-style builder would fuse into its producer.
+    pub fn is_fusible_pointwise(&self) -> bool {
+        matches!(
+            self,
+            LayerKind::BatchNorm | LayerKind::Act(_) | LayerKind::Add
+        )
+    }
+
+    /// A short operator mnemonic (`conv`, `bn`, `relu`, …).
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            LayerKind::Conv2d { .. } => "conv",
+            LayerKind::BatchNorm => "bn",
+            LayerKind::Act(Activation::Relu) => "relu",
+            LayerKind::Act(Activation::Silu) => "silu",
+            LayerKind::Act(Activation::Sigmoid) => "sigmoid",
+            LayerKind::MaxPool { .. } => "maxpool",
+            LayerKind::GlobalAvgPool => "gap",
+            LayerKind::Add => "add",
+            LayerKind::Concat => "concat",
+            LayerKind::Upsample { .. } => "upsample",
+            LayerKind::Linear { .. } => "linear",
+            LayerKind::SplitTake { .. } => "split",
+        }
+    }
+}
+
+impl fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// One node of a [`crate::ModelGraph`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerSpec {
+    /// Human-readable unique name (e.g. `layer3.0.conv2`).
+    pub name: String,
+    /// The operator.
+    pub kind: LayerKind,
+    /// Producers of this layer's inputs; empty means the graph input.
+    pub inputs: Vec<LayerId>,
+}
+
+/// Shape/cost inference helpers. All functions take the *resolved* input
+/// shapes of the layer.
+impl LayerKind {
+    /// Infers the output shape from the input shapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number or shape of inputs is invalid for the
+    /// operator; [`crate::ModelGraph::validate`] surfaces these as errors
+    /// before simulation.
+    pub fn infer_shape(&self, inputs: &[TensorShape]) -> TensorShape {
+        match *self {
+            LayerKind::Conv2d {
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                dilation,
+                ..
+            } => only(inputs).conv_output(out_channels, kernel, stride, padding, dilation),
+            LayerKind::BatchNorm => only(inputs),
+            LayerKind::Act(_) => only(inputs),
+            LayerKind::MaxPool {
+                kernel,
+                stride,
+                padding,
+            } => {
+                let s = only(inputs);
+                s.conv_output(s.c, kernel, stride, padding, 1)
+            }
+            LayerKind::GlobalAvgPool => TensorShape::vector(only(inputs).c),
+            LayerKind::Add => {
+                assert_eq!(inputs.len(), 2, "Add takes exactly two inputs");
+                assert_eq!(inputs[0], inputs[1], "Add inputs must have equal shapes");
+                inputs[0]
+            }
+            LayerKind::Concat => {
+                assert!(inputs.len() >= 2, "Concat takes at least two inputs");
+                let (h, w) = (inputs[0].h, inputs[0].w);
+                assert!(
+                    inputs.iter().all(|s| s.h == h && s.w == w),
+                    "Concat inputs must share spatial dims"
+                );
+                TensorShape::new(inputs.iter().map(|s| s.c).sum(), h, w)
+            }
+            LayerKind::Upsample { factor } => only(inputs).upsampled(factor),
+            LayerKind::Linear { out_features } => {
+                let s = only(inputs);
+                assert_eq!(s.h * s.w, 1, "Linear expects a flattened input");
+                TensorShape::vector(out_features)
+            }
+            LayerKind::SplitTake { channels } => {
+                let s = only(inputs);
+                assert!(channels <= s.c, "SplitTake channels exceed input");
+                s.with_channels(channels)
+            }
+        }
+    }
+
+    /// Learned parameter count given the input shapes.
+    pub fn params(&self, inputs: &[TensorShape]) -> u64 {
+        match *self {
+            LayerKind::Conv2d {
+                out_channels,
+                kernel,
+                groups,
+                bias,
+                ..
+            } => {
+                let in_c = only(inputs).c;
+                let weights = out_channels * (in_c / groups) * kernel * kernel;
+                weights + if bias { out_channels } else { 0 }
+            }
+            LayerKind::BatchNorm => 2 * only(inputs).c,
+            LayerKind::Linear { out_features } => {
+                let in_f = only(inputs).elements();
+                out_features * in_f + out_features
+            }
+            _ => 0,
+        }
+    }
+
+    /// Floating-point operations for one (batch-1) forward pass given the
+    /// input shapes.
+    pub fn flops(&self, inputs: &[TensorShape]) -> u64 {
+        let out = self.infer_shape(inputs);
+        match *self {
+            LayerKind::Conv2d { kernel, groups, .. } => {
+                let in_c = only(inputs).c;
+                2 * out.elements() * (in_c / groups) * kernel * kernel
+            }
+            LayerKind::BatchNorm => 2 * out.elements(),
+            LayerKind::Act(Activation::Relu) => out.elements(),
+            LayerKind::Act(_) => 4 * out.elements(),
+            LayerKind::MaxPool { kernel, .. } => out.elements() * kernel * kernel,
+            LayerKind::GlobalAvgPool => only(inputs).elements(),
+            LayerKind::Add => out.elements(),
+            LayerKind::Concat | LayerKind::SplitTake { .. } => 0,
+            LayerKind::Upsample { .. } => out.elements(),
+            LayerKind::Linear { out_features } => 2 * only(inputs).elements() * out_features,
+        }
+    }
+
+    /// Bytes moved through DRAM for one (batch-1) forward pass: inputs
+    /// read + output written, assuming 1-byte elements (the engine builder
+    /// scales by the precision's element width).
+    pub fn unit_bytes_moved(&self, inputs: &[TensorShape]) -> u64 {
+        let out = self.infer_shape(inputs);
+        let read: u64 = inputs.iter().map(|s| s.elements()).sum();
+        read + out.elements()
+    }
+}
+
+fn only(inputs: &[TensorShape]) -> TensorShape {
+    assert_eq!(inputs.len(), 1, "operator takes exactly one input");
+    inputs[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(c: u64, h: u64, w: u64) -> TensorShape {
+        TensorShape::new(c, h, w)
+    }
+
+    #[test]
+    fn conv_params_and_flops() {
+        // 3x3 conv, 64 -> 128 on 56x56, no bias.
+        let kind = LayerKind::Conv2d {
+            out_channels: 128,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            dilation: 1,
+            groups: 1,
+            bias: false,
+        };
+        let input = [shape(64, 56, 56)];
+        assert_eq!(kind.params(&input), 128 * 64 * 9);
+        let out_elems = 128 * 56 * 56;
+        assert_eq!(kind.flops(&input), 2 * out_elems * 64 * 9);
+    }
+
+    #[test]
+    fn conv_bias_adds_out_channels() {
+        let no_bias = LayerKind::Conv2d {
+            out_channels: 10,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+            dilation: 1,
+            groups: 1,
+            bias: false,
+        };
+        let bias = LayerKind::Conv2d {
+            out_channels: 10,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+            dilation: 1,
+            groups: 1,
+            bias: true,
+        };
+        let input = [shape(4, 8, 8)];
+        assert_eq!(bias.params(&input) - no_bias.params(&input), 10);
+    }
+
+    #[test]
+    fn grouped_conv_divides_params() {
+        let dense = LayerKind::Conv2d {
+            out_channels: 64,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            dilation: 1,
+            groups: 1,
+            bias: false,
+        };
+        let grouped = LayerKind::Conv2d {
+            out_channels: 64,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            dilation: 1,
+            groups: 4,
+            bias: false,
+        };
+        let input = [shape(64, 14, 14)];
+        assert_eq!(dense.params(&input), 4 * grouped.params(&input));
+        assert_eq!(dense.flops(&input), 4 * grouped.flops(&input));
+    }
+
+    #[test]
+    fn linear_params() {
+        let kind = LayerKind::Linear { out_features: 1000 };
+        let input = [TensorShape::vector(2048)];
+        assert_eq!(kind.params(&input), 2048 * 1000 + 1000);
+        assert_eq!(kind.flops(&input), 2 * 2048 * 1000);
+        assert_eq!(kind.infer_shape(&input), TensorShape::vector(1000));
+    }
+
+    #[test]
+    fn batchnorm_params_per_channel() {
+        let kind = LayerKind::BatchNorm;
+        assert_eq!(kind.params(&[shape(256, 7, 7)]), 512);
+    }
+
+    #[test]
+    fn add_requires_matching_shapes() {
+        let kind = LayerKind::Add;
+        let s = shape(64, 56, 56);
+        assert_eq!(kind.infer_shape(&[s, s]), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal shapes")]
+    fn add_rejects_mismatched_shapes() {
+        LayerKind::Add.infer_shape(&[shape(64, 56, 56), shape(32, 56, 56)]);
+    }
+
+    #[test]
+    fn concat_sums_channels() {
+        let kind = LayerKind::Concat;
+        let out = kind.infer_shape(&[shape(32, 40, 40), shape(64, 40, 40)]);
+        assert_eq!(out, shape(96, 40, 40));
+    }
+
+    #[test]
+    #[should_panic(expected = "spatial")]
+    fn concat_rejects_spatial_mismatch() {
+        LayerKind::Concat.infer_shape(&[shape(32, 40, 40), shape(32, 20, 20)]);
+    }
+
+    #[test]
+    fn maxpool_halves_resnet_stem() {
+        let kind = LayerKind::MaxPool {
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
+        assert_eq!(kind.infer_shape(&[shape(64, 112, 112)]), shape(64, 56, 56));
+    }
+
+    #[test]
+    fn global_avg_pool_flattens() {
+        let kind = LayerKind::GlobalAvgPool;
+        assert_eq!(
+            kind.infer_shape(&[shape(2048, 7, 7)]),
+            TensorShape::vector(2048)
+        );
+        assert_eq!(kind.flops(&[shape(2048, 7, 7)]), 2048 * 49);
+    }
+
+    #[test]
+    fn split_take_narrows_channels() {
+        let kind = LayerKind::SplitTake { channels: 16 };
+        assert_eq!(kind.infer_shape(&[shape(32, 80, 80)]), shape(16, 80, 80));
+        assert_eq!(kind.params(&[shape(32, 80, 80)]), 0);
+        assert_eq!(kind.flops(&[shape(32, 80, 80)]), 0);
+    }
+
+    #[test]
+    fn matmul_like_classification() {
+        assert!(LayerKind::Linear { out_features: 10 }.is_matmul_like());
+        assert!(!LayerKind::BatchNorm.is_matmul_like());
+        assert!(LayerKind::BatchNorm.is_fusible_pointwise());
+        assert!(LayerKind::Act(Activation::Relu).is_fusible_pointwise());
+        assert!(!LayerKind::MaxPool {
+            kernel: 2,
+            stride: 2,
+            padding: 0
+        }
+        .is_fusible_pointwise());
+    }
+
+    #[test]
+    fn bytes_moved_counts_inputs_and_output() {
+        let kind = LayerKind::Add;
+        let s = shape(8, 4, 4);
+        assert_eq!(kind.unit_bytes_moved(&[s, s]), 3 * s.elements());
+    }
+
+    #[test]
+    fn mnemonics_are_nonempty_and_displayed() {
+        let kinds = [
+            LayerKind::BatchNorm,
+            LayerKind::Act(Activation::Silu),
+            LayerKind::GlobalAvgPool,
+            LayerKind::Concat,
+            LayerKind::Upsample { factor: 2 },
+        ];
+        for k in kinds {
+            assert!(!format!("{k}").is_empty());
+        }
+    }
+}

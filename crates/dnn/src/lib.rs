@@ -1,0 +1,40 @@
+//! Structural DNN model zoo for the `jetsim` workspace.
+//!
+//! The profiling study this workspace reproduces never inspects weight
+//! *values* — only model *structure*: per-layer FLOPs, parameter counts,
+//! tensor shapes and activation footprints. This crate therefore models
+//! networks as layer graphs ([`ModelGraph`]) with exact shape inference and
+//! arithmetic-cost accounting, and ships structural replicas of the three
+//! vision workloads used in the paper:
+//!
+//! * [`zoo::resnet50`] — ImageNet classification (≈25.6 M params, ≈4.1 GFLOPs @ 3×224×224),
+//! * [`zoo::fcn_resnet50`] — semantic segmentation (dilated backbone, the heaviest workload),
+//! * [`zoo::yolov8n`] — object detection (≈3.2 M params, ≈8.7 GFLOPs @ 3×640×640).
+//!
+//! # Examples
+//!
+//! ```
+//! use jetsim_dnn::zoo;
+//!
+//! let model = zoo::resnet50();
+//! let stats = model.stats();
+//! assert!((25_000_000..27_000_000).contains(&stats.params));
+//! // ~4.1 GMACs = ~8.2 GFLOPs per image.
+//! assert!(stats.flops_per_image > 7.0e9 && stats.flops_per_image < 9.5e9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod layer;
+pub mod precision;
+pub mod stats;
+pub mod tensor;
+pub mod zoo;
+
+pub use graph::{GraphError, LayerId, ModelGraph};
+pub use layer::{Activation, LayerKind, LayerSpec};
+pub use precision::Precision;
+pub use stats::{LayerStats, ModelStats};
+pub use tensor::TensorShape;

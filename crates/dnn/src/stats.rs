@@ -1,0 +1,189 @@
+//! Whole-model and per-layer cost summaries.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::LayerId;
+use crate::layer::LayerKind;
+use crate::tensor::TensorShape;
+
+/// Cost summary for a single layer (batch size 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerStats {
+    /// The layer's id within its graph.
+    pub id: LayerId,
+    /// The layer's name.
+    pub name: String,
+    /// The operator.
+    pub kind: LayerKind,
+    /// Inferred output shape.
+    pub output_shape: TensorShape,
+    /// Learned parameter count.
+    pub params: u64,
+    /// FLOPs for one forward pass.
+    pub flops: u64,
+    /// Elements moved through memory (unscaled by element width).
+    pub unit_bytes_moved: u64,
+}
+
+/// Cost summary for a whole model (batch size 1).
+///
+/// # Examples
+///
+/// ```
+/// use jetsim_dnn::zoo;
+///
+/// let stats = zoo::yolov8n().stats();
+/// assert!(stats.params < 5_000_000, "YoloV8n is a nano model");
+/// println!("{stats}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelStats {
+    /// Model name.
+    pub name: String,
+    /// Un-batched input shape.
+    pub input_shape: TensorShape,
+    /// Number of layers in the graph.
+    pub layer_count: usize,
+    /// Total learned parameters.
+    pub params: u64,
+    /// Total FLOPs per image.
+    pub flops_per_image: f64,
+    /// Total activation elements produced (for workspace sizing).
+    pub activation_elements: u64,
+    /// The largest single activation tensor, in elements.
+    pub peak_activation_elements: u64,
+    /// Fraction of FLOPs in matmul-like (tensor-core-eligible) layers.
+    pub matmul_flop_fraction: f64,
+}
+
+impl ModelStats {
+    /// Aggregates per-layer statistics into a model summary.
+    pub fn from_layers(name: &str, input_shape: TensorShape, layers: &[LayerStats]) -> Self {
+        let params = layers.iter().map(|l| l.params).sum();
+        let total_flops: u64 = layers.iter().map(|l| l.flops).sum();
+        let matmul_flops: u64 = layers
+            .iter()
+            .filter(|l| l.kind.is_matmul_like())
+            .map(|l| l.flops)
+            .sum();
+        let activation_elements = layers.iter().map(|l| l.output_shape.elements()).sum();
+        let peak_activation_elements = layers
+            .iter()
+            .map(|l| l.output_shape.elements())
+            .max()
+            .unwrap_or(0);
+        ModelStats {
+            name: name.to_string(),
+            input_shape,
+            layer_count: layers.len(),
+            params,
+            flops_per_image: total_flops as f64,
+            activation_elements,
+            peak_activation_elements,
+            matmul_flop_fraction: if total_flops == 0 {
+                0.0
+            } else {
+                matmul_flops as f64 / total_flops as f64
+            },
+        }
+    }
+
+    /// FLOPs per image in GFLOPs, convenient for reporting.
+    pub fn gflops_per_image(&self) -> f64 {
+        self.flops_per_image / 1e9
+    }
+
+    /// Parameter count in millions, convenient for reporting.
+    pub fn mparams(&self) -> f64 {
+        self.params as f64 / 1e6
+    }
+}
+
+impl fmt::Display for ModelStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.2} M params, {:.2} GFLOPs/image, {} layers, input {}",
+            self.name,
+            self.mparams(),
+            self.gflops_per_image(),
+            self.layer_count,
+            self.input_shape
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Activation;
+
+    fn layer(kind: LayerKind, params: u64, flops: u64, shape: TensorShape) -> LayerStats {
+        LayerStats {
+            id: LayerId(0),
+            name: "l".into(),
+            kind,
+            output_shape: shape,
+            params,
+            flops,
+            unit_bytes_moved: 0,
+        }
+    }
+
+    #[test]
+    fn aggregates_sums() {
+        let conv = LayerKind::Conv2d {
+            out_channels: 1,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+            dilation: 1,
+            groups: 1,
+            bias: false,
+        };
+        let layers = vec![
+            layer(conv, 100, 1000, TensorShape::new(4, 4, 4)),
+            layer(
+                LayerKind::Act(Activation::Relu),
+                0,
+                64,
+                TensorShape::new(4, 4, 4),
+            ),
+        ];
+        let stats = ModelStats::from_layers("m", TensorShape::new(3, 4, 4), &layers);
+        assert_eq!(stats.params, 100);
+        assert_eq!(stats.flops_per_image, 1064.0);
+        assert_eq!(stats.activation_elements, 128);
+        assert_eq!(stats.peak_activation_elements, 64);
+        assert!((stats.matmul_flop_fraction - 1000.0 / 1064.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_model_has_zero_fraction() {
+        let stats = ModelStats::from_layers("m", TensorShape::new(1, 1, 1), &[]);
+        assert_eq!(stats.matmul_flop_fraction, 0.0);
+        assert_eq!(stats.peak_activation_elements, 0);
+    }
+
+    #[test]
+    fn unit_helpers() {
+        let layers = vec![layer(
+            LayerKind::BatchNorm,
+            2_000_000,
+            3_000_000_000,
+            TensorShape::new(1, 1, 1),
+        )];
+        let stats = ModelStats::from_layers("m", TensorShape::new(1, 1, 1), &layers);
+        assert!((stats.mparams() - 2.0).abs() < 1e-9);
+        assert!((stats.gflops_per_image() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let stats = ModelStats::from_layers("resnet", TensorShape::new(3, 224, 224), &[]);
+        let text = format!("{stats}");
+        assert!(text.contains("resnet") && text.contains("3x224x224"));
+    }
+}

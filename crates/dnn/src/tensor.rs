@@ -1,0 +1,155 @@
+//! Tensor shapes in channel-height-width layout.
+//!
+//! Batch size is *not* part of [`TensorShape`]: the paper builds engines
+//! for fixed batch sizes at compile time, so batching is applied by the
+//! engine builder in `jetsim-trt`, not by the model graph.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::precision::Precision;
+
+/// The shape of one (un-batched) activation tensor, in CHW layout.
+///
+/// # Examples
+///
+/// ```
+/// use jetsim_dnn::{Precision, TensorShape};
+///
+/// let input = TensorShape::new(3, 224, 224);
+/// assert_eq!(input.elements(), 3 * 224 * 224);
+/// assert_eq!(input.bytes(Precision::Fp16), 2 * 3 * 224 * 224);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorShape {
+    /// Number of channels.
+    pub c: u64,
+    /// Spatial height.
+    pub h: u64,
+    /// Spatial width.
+    pub w: u64,
+}
+
+impl TensorShape {
+    /// Creates a CHW shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(c: u64, h: u64, w: u64) -> Self {
+        assert!(
+            c > 0 && h > 0 && w > 0,
+            "tensor dimensions must be positive"
+        );
+        TensorShape { c, h, w }
+    }
+
+    /// Creates a 1-D feature vector shape (`c × 1 × 1`), as produced by
+    /// global pooling or fully connected layers.
+    pub fn vector(c: u64) -> Self {
+        TensorShape::new(c, 1, 1)
+    }
+
+    /// Total number of elements.
+    pub fn elements(self) -> u64 {
+        self.c * self.h * self.w
+    }
+
+    /// Bytes needed to store one instance of this tensor at `precision`.
+    pub fn bytes(self, precision: Precision) -> u64 {
+        self.elements() * precision.activation_bytes()
+    }
+
+    /// The spatial output shape of a convolution/pool with the given
+    /// geometry applied to this input.
+    pub(crate) fn conv_output(
+        self,
+        out_c: u64,
+        kernel: u64,
+        stride: u64,
+        padding: u64,
+        dilation: u64,
+    ) -> TensorShape {
+        let eff_k = dilation * (kernel - 1) + 1;
+        let out = |dim: u64| (dim + 2 * padding).saturating_sub(eff_k) / stride + 1;
+        TensorShape::new(out_c, out(self.h), out(self.w))
+    }
+
+    /// The shape after spatially upsampling by an integer factor.
+    pub(crate) fn upsampled(self, factor: u64) -> TensorShape {
+        TensorShape::new(self.c, self.h * factor, self.w * factor)
+    }
+
+    /// Returns this shape with a different channel count.
+    pub(crate) fn with_channels(self, c: u64) -> TensorShape {
+        TensorShape::new(c, self.h, self.w)
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.c, self.h, self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elements_and_bytes() {
+        let s = TensorShape::new(3, 224, 224);
+        assert_eq!(s.elements(), 150_528);
+        assert_eq!(s.bytes(Precision::Fp32), 602_112);
+        assert_eq!(s.bytes(Precision::Int8), 150_528);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_rejected() {
+        TensorShape::new(0, 1, 1);
+    }
+
+    #[test]
+    fn vector_shape() {
+        let v = TensorShape::vector(1000);
+        assert_eq!(v, TensorShape::new(1000, 1, 1));
+        assert_eq!(v.elements(), 1000);
+    }
+
+    #[test]
+    fn conv_output_same_padding() {
+        // 3x3 stride-1 pad-1 preserves spatial size.
+        let s = TensorShape::new(64, 56, 56);
+        let out = s.conv_output(128, 3, 1, 1, 1);
+        assert_eq!(out, TensorShape::new(128, 56, 56));
+    }
+
+    #[test]
+    fn conv_output_stride_two() {
+        // ResNet stem: 7x7 s2 p3 on 224 -> 112.
+        let s = TensorShape::new(3, 224, 224);
+        let out = s.conv_output(64, 7, 2, 3, 1);
+        assert_eq!(out, TensorShape::new(64, 112, 112));
+    }
+
+    #[test]
+    fn conv_output_dilated_preserves_size() {
+        // dilation 2, k3, pad 2, stride 1 keeps spatial dims (FCN backbone).
+        let s = TensorShape::new(1024, 28, 28);
+        let out = s.conv_output(1024, 3, 1, 2, 2);
+        assert_eq!(out, TensorShape::new(1024, 28, 28));
+    }
+
+    #[test]
+    fn upsample_scales_spatial_only() {
+        let s = TensorShape::new(21, 28, 28);
+        assert_eq!(s.upsampled(8), TensorShape::new(21, 224, 224));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(format!("{}", TensorShape::new(3, 640, 640)), "3x640x640");
+    }
+}

@@ -1,0 +1,28 @@
+//! Profiling-toolchain models for the `jetsim` simulator.
+//!
+//! The paper's methodology (§4) is dual-phase:
+//!
+//! 1. a **lightweight phase** pairing `trtexec` throughput counters with
+//!    the `jetson-stats` sampler — modelled by [`JetsonStatsReport`];
+//! 2. an **Nsight Systems phase** collecting kernel-level traces at the
+//!    cost of ~50 % throughput — modelled by [`NsightReport`], which turns
+//!    a [`jetsim_sim::RunTrace`]'s kernel events into the duration-weighted
+//!    utilisation CDFs plotted in the paper's figures 5 and 10.
+//!
+//! The crate also carries the paper's Table 2 as an executable metric
+//! registry ([`metrics::registry`]) and the statistics toolbox
+//! ([`Cdf`], [`Summary`]) everything is built on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome_trace;
+pub mod jetson_stats;
+pub mod metrics;
+pub mod nsight;
+pub mod stats;
+
+pub use jetson_stats::JetsonStatsReport;
+pub use metrics::{MetricDef, MetricLevel};
+pub use nsight::{NsightReport, UtilizationCdfs};
+pub use stats::{Cdf, Summary};

@@ -1,0 +1,198 @@
+//! The paper's Table 2 as an executable metric registry.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The level a metric is collected at (paper §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MetricLevel {
+    /// SoC level: `trtexec` + `jetson-stats`, negligible intrusion.
+    Soc,
+    /// GPU level: utilisation counters.
+    Gpu,
+    /// Kernel level: Nsight-style tracing, ~50 % intrusion.
+    Kernel,
+}
+
+impl fmt::Display for MetricLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            MetricLevel::Soc => "SoC",
+            MetricLevel::Gpu => "GPU",
+            MetricLevel::Kernel => "Kernel",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One collected metric: a row of the paper's Table 2.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricDef {
+    /// Metric name as the paper prints it.
+    pub name: &'static str,
+    /// Collection level.
+    pub level: MetricLevel,
+    /// The paper's description.
+    pub description: &'static str,
+    /// Unit of measure.
+    pub unit: &'static str,
+    /// The tool that collects it on real hardware.
+    pub tool: &'static str,
+}
+
+/// Every metric the methodology collects, in Table 2 order.
+///
+/// # Examples
+///
+/// ```
+/// use jetsim_profile::metrics::{registry, MetricLevel};
+///
+/// let table2 = registry();
+/// assert_eq!(table2.len(), 10);
+/// assert!(table2.iter().any(|m| m.name == "TC Utilization"));
+/// assert_eq!(
+///     table2.iter().filter(|m| m.level == MetricLevel::Soc).count(),
+///     2
+/// );
+/// ```
+pub fn registry() -> Vec<MetricDef> {
+    vec![
+        MetricDef {
+            name: "Throughput",
+            level: MetricLevel::Soc,
+            description: "Total number of images processed in unit time",
+            unit: "images/s",
+            tool: "trtexec",
+        },
+        MetricDef {
+            name: "Power",
+            level: MetricLevel::Soc,
+            description: "Power consumption in Watt",
+            unit: "W",
+            tool: "jetson-stats",
+        },
+        MetricDef {
+            name: "GPU Utilisation",
+            level: MetricLevel::Gpu,
+            description: "GPU compute time / total wall time",
+            unit: "%",
+            tool: "jetson-stats",
+        },
+        MetricDef {
+            name: "GPU Memory",
+            level: MetricLevel::Gpu,
+            description: "GPU memory usage",
+            unit: "%",
+            tool: "jetson-stats",
+        },
+        MetricDef {
+            name: "SM Issue Cycles",
+            level: MetricLevel::Gpu,
+            description: "SM cycles with an instruction issued",
+            unit: "%",
+            tool: "Nsight Systems",
+        },
+        MetricDef {
+            name: "SM Active Cycles",
+            level: MetricLevel::Gpu,
+            description: "SM cycles with at least 1 warp",
+            unit: "%",
+            tool: "Nsight Systems",
+        },
+        MetricDef {
+            name: "TC Utilization",
+            level: MetricLevel::Gpu,
+            description: "TC active cycles / total cycles",
+            unit: "%",
+            tool: "Nsight Systems",
+        },
+        MetricDef {
+            name: "Launch Stats",
+            level: MetricLevel::Kernel,
+            description: "Time GPU spends on kernel launch",
+            unit: "us",
+            tool: "Nsight Systems",
+        },
+        MetricDef {
+            name: "Sync Time",
+            level: MetricLevel::Kernel,
+            description: "Time GPU spends on synchronising kernels",
+            unit: "us",
+            tool: "Nsight Systems",
+        },
+        MetricDef {
+            name: "EC Time",
+            level: MetricLevel::Kernel,
+            description: "Time to execute an Execution Context",
+            unit: "ms",
+            tool: "Nsight Systems",
+        },
+    ]
+}
+
+/// Renders Table 2 as markdown.
+///
+/// # Examples
+///
+/// ```
+/// let table = jetsim_profile::metrics::render_table2();
+/// assert!(table.contains("| Throughput |"));
+/// ```
+pub fn render_table2() -> String {
+    let mut out =
+        String::from("| Metric | Level | Description | Unit | Tool |\n|---|---|---|---|---|\n");
+    for m in registry() {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} |\n",
+            m.name, m.level, m.description, m.unit, m.tool
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_table2_structure() {
+        let metrics = registry();
+        let soc = metrics
+            .iter()
+            .filter(|m| m.level == MetricLevel::Soc)
+            .count();
+        let gpu = metrics
+            .iter()
+            .filter(|m| m.level == MetricLevel::Gpu)
+            .count();
+        let kernel = metrics
+            .iter()
+            .filter(|m| m.level == MetricLevel::Kernel)
+            .count();
+        assert_eq!((soc, gpu, kernel), (2, 5, 3));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let metrics = registry();
+        for m in &metrics {
+            assert_eq!(metrics.iter().filter(|n| n.name == m.name).count(), 1);
+        }
+    }
+
+    #[test]
+    fn rendered_table_has_all_rows() {
+        let table = render_table2();
+        assert_eq!(table.lines().count(), 2 + registry().len());
+        for m in registry() {
+            assert!(table.contains(m.name));
+        }
+    }
+
+    #[test]
+    fn levels_display() {
+        assert_eq!(format!("{}", MetricLevel::Soc), "SoC");
+        assert_eq!(format!("{}", MetricLevel::Kernel), "Kernel");
+    }
+}

@@ -1,0 +1,304 @@
+//! Statistics toolbox: weighted CDFs and summary statistics.
+
+use std::fmt;
+
+/// A weighted empirical cumulative distribution function.
+///
+/// The paper's figures 5 and 10 plot CDFs of SM-active, issue-slot and
+/// tensor-core utilisation *over runtime*: a sample's weight is the time
+/// it was observed for, which is exactly what [`Cdf::from_weighted`]
+/// expects.
+///
+/// # Examples
+///
+/// ```
+/// use jetsim_profile::Cdf;
+///
+/// let cdf = Cdf::from_weighted([(0.2, 1.0), (0.8, 3.0)]).unwrap();
+/// assert_eq!(cdf.fraction_at_most(0.5), 0.25);
+/// assert_eq!(cdf.quantile(0.9), 0.8);
+/// assert!((cdf.mean() - 0.65).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cdf {
+    /// Sorted `(value, cumulative_weight)` points.
+    points: Vec<(f64, f64)>,
+    total_weight: f64,
+    mean: f64,
+}
+
+impl Cdf {
+    /// Builds a CDF from `(value, weight)` samples.
+    ///
+    /// Returns `None` when there are no samples with positive weight.
+    pub fn from_weighted<I>(samples: I) -> Option<Cdf>
+    where
+        I: IntoIterator<Item = (f64, f64)>,
+    {
+        let mut raw: Vec<(f64, f64)> = samples
+            .into_iter()
+            .filter(|&(v, w)| w > 0.0 && v.is_finite())
+            .collect();
+        if raw.is_empty() {
+            return None;
+        }
+        raw.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite values"));
+        let total_weight: f64 = raw.iter().map(|&(_, w)| w).sum();
+        let mean = raw.iter().map(|&(v, w)| v * w).sum::<f64>() / total_weight;
+        let mut cumulative = 0.0;
+        let points = raw
+            .into_iter()
+            .map(|(v, w)| {
+                cumulative += w;
+                (v, cumulative)
+            })
+            .collect();
+        Some(Cdf {
+            points,
+            total_weight,
+            mean,
+        })
+    }
+
+    /// Builds a CDF from equally weighted samples.
+    pub fn from_values<I>(values: I) -> Option<Cdf>
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        Cdf::from_weighted(values.into_iter().map(|v| (v, 1.0)))
+    }
+
+    /// The weighted mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The fraction of weight with value ≤ `x`.
+    pub fn fraction_at_most(&self, x: f64) -> f64 {
+        match self
+            .points
+            .binary_search_by(|&(v, _)| v.partial_cmp(&x).expect("finite"))
+        {
+            Ok(mut i) => {
+                // Include duplicates equal to x.
+                while i + 1 < self.points.len() && self.points[i + 1].0 <= x {
+                    i += 1;
+                }
+                self.points[i].1 / self.total_weight
+            }
+            Err(0) => 0.0,
+            Err(i) => self.points[i - 1].1 / self.total_weight,
+        }
+    }
+
+    /// The fraction of weight with value ≥ `x`.
+    pub fn fraction_at_least(&self, x: f64) -> f64 {
+        let below: f64 = self
+            .points
+            .iter()
+            .take_while(|&&(v, _)| v < x)
+            .last()
+            .map(|&(_, c)| c)
+            .unwrap_or(0.0);
+        1.0 - below / self.total_weight
+    }
+
+    /// The smallest value at which the CDF reaches quantile `q` (clamped
+    /// to `[0, 1]`).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.total_weight;
+        for &(v, c) in &self.points {
+            if c >= target {
+                return v;
+            }
+        }
+        self.points.last().expect("non-empty").0
+    }
+
+    /// Evenly spaced `(value, fraction)` points for plotting, `n ≥ 2`.
+    pub fn curve(&self, n: usize) -> Vec<(f64, f64)> {
+        let n = n.max(2);
+        (0..n)
+            .map(|i| {
+                let q = i as f64 / (n - 1) as f64;
+                (self.quantile(q), q)
+            })
+            .collect()
+    }
+
+    /// Number of distinct sample points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Always `false`: empty sample sets never construct a `Cdf`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl fmt::Display for Cdf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cdf[mean {:.3}, p50 {:.3}, p95 {:.3}, n {}]",
+            self.mean(),
+            self.quantile(0.5),
+            self.quantile(0.95),
+            self.len()
+        )
+    }
+}
+
+/// Five-number summary of a sample set.
+///
+/// # Examples
+///
+/// ```
+/// use jetsim_profile::Summary;
+///
+/// let s = Summary::from_values([1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// assert_eq!(s.mean, 2.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Sample count.
+    pub count: usize,
+}
+
+impl Summary {
+    /// Summarises a sample set; `None` when empty.
+    pub fn from_values<I>(values: I) -> Option<Summary>
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let mut v: Vec<f64> = values.into_iter().filter(|x| x.is_finite()).collect();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let count = v.len();
+        let mean = v.iter().sum::<f64>() / count as f64;
+        let at = |q: f64| v[((count - 1) as f64 * q).round() as usize];
+        Some(Summary {
+            min: v[0],
+            max: v[count - 1],
+            mean,
+            median: at(0.5),
+            p95: at(0.95),
+            count,
+        })
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mean {:.3} / median {:.3} / p95 {:.3} (n {})",
+            self.mean, self.median, self.p95, self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_samples_yield_none() {
+        assert!(Cdf::from_values(std::iter::empty()).is_none());
+        assert!(Cdf::from_weighted([(1.0, 0.0)]).is_none());
+        assert!(Summary::from_values(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn cdf_is_monotonic() {
+        let cdf = Cdf::from_values([0.5, 0.1, 0.9, 0.3, 0.7]).unwrap();
+        let mut last = 0.0;
+        for x in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+            let f = cdf.fraction_at_most(x);
+            assert!(f >= last, "CDF must be monotone at {x}");
+            last = f;
+        }
+        assert_eq!(cdf.fraction_at_most(1.0), 1.0);
+        assert_eq!(cdf.fraction_at_most(-1.0), 0.0);
+    }
+
+    #[test]
+    fn weights_shift_the_distribution() {
+        let balanced = Cdf::from_weighted([(0.0, 1.0), (1.0, 1.0)]).unwrap();
+        let skewed = Cdf::from_weighted([(0.0, 1.0), (1.0, 9.0)]).unwrap();
+        assert_eq!(balanced.mean(), 0.5);
+        assert_eq!(skewed.mean(), 0.9);
+        assert_eq!(skewed.fraction_at_most(0.5), 0.1);
+    }
+
+    #[test]
+    fn quantiles_bracket_values() {
+        let cdf = Cdf::from_values((1..=100).map(f64::from)).unwrap();
+        assert_eq!(cdf.quantile(0.0), 1.0);
+        assert_eq!(cdf.quantile(1.0), 100.0);
+        let median = cdf.quantile(0.5);
+        assert!((49.0..=51.0).contains(&median), "median = {median}");
+    }
+
+    #[test]
+    fn fraction_at_least_complements() {
+        let cdf = Cdf::from_values([0.1, 0.5, 0.9]).unwrap();
+        assert!((cdf.fraction_at_least(0.9) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cdf.fraction_at_least(0.0), 1.0);
+        assert_eq!(cdf.fraction_at_least(1.1), 0.0);
+    }
+
+    #[test]
+    fn curve_spans_range() {
+        let cdf = Cdf::from_values([2.0, 4.0, 6.0]).unwrap();
+        let curve = cdf.curve(5);
+        assert_eq!(curve.len(), 5);
+        assert_eq!(curve[0], (2.0, 0.0));
+        assert_eq!(curve[4], (6.0, 1.0));
+    }
+
+    #[test]
+    fn duplicate_values_accumulate() {
+        let cdf = Cdf::from_weighted([(0.5, 1.0), (0.5, 1.0), (0.7, 2.0)]).unwrap();
+        assert_eq!(cdf.fraction_at_most(0.5), 0.5);
+    }
+
+    #[test]
+    fn summary_percentiles() {
+        let s = Summary::from_values((1..=100).map(f64::from)).unwrap();
+        assert_eq!(s.median, 51.0);
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.count, 100);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let cdf = Cdf::from_values([0.3]).unwrap();
+        assert!(format!("{cdf}").contains("mean"));
+        let s = Summary::from_values([0.3]).unwrap();
+        assert!(format!("{s}").contains("median"));
+    }
+
+    #[test]
+    fn non_finite_values_filtered() {
+        let cdf = Cdf::from_values([f64::NAN, 0.5, f64::INFINITY]).unwrap();
+        assert_eq!(cdf.len(), 1);
+        assert_eq!(cdf.mean(), 0.5);
+    }
+}

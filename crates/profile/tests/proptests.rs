@@ -1,0 +1,108 @@
+//! Property-based tests for the statistics toolbox.
+
+use proptest::prelude::*;
+
+use jetsim_profile::{Cdf, Summary};
+
+proptest! {
+    /// CDFs are monotone non-decreasing and bounded in [0, 1].
+    #[test]
+    fn cdf_monotone_and_bounded(
+        samples in prop::collection::vec((0.0f64..1.0, 0.001f64..10.0), 1..200),
+        probes in prop::collection::vec(-0.5f64..1.5, 1..20),
+    ) {
+        let cdf = Cdf::from_weighted(samples).expect("non-empty");
+        let mut sorted = probes;
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut last = 0.0;
+        for x in sorted {
+            let f = cdf.fraction_at_most(x);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f + 1e-12 >= last, "monotonicity at {x}: {f} < {last}");
+            last = f;
+        }
+    }
+
+    /// fraction_at_most and fraction_at_least partition the mass (at
+    /// points that are not sample values).
+    #[test]
+    fn cdf_complement(
+        samples in prop::collection::vec((0.0f64..1.0, 0.001f64..10.0), 1..100),
+        probe in 1.5f64..2.0,
+    ) {
+        let cdf = Cdf::from_weighted(samples).expect("non-empty");
+        // probe > all samples: everything below, nothing at least.
+        prop_assert!((cdf.fraction_at_most(probe) - 1.0).abs() < 1e-12);
+        prop_assert!(cdf.fraction_at_least(probe).abs() < 1e-12);
+    }
+
+    /// Quantiles are monotone in q and live inside the sample range.
+    #[test]
+    fn quantiles_monotone_in_range(
+        samples in prop::collection::vec(0.0f64..100.0, 1..200),
+    ) {
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let cdf = Cdf::from_values(samples).expect("non-empty");
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=10 {
+            let q = i as f64 / 10.0;
+            let v = cdf.quantile(q);
+            prop_assert!(v >= last);
+            prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+            last = v;
+        }
+    }
+
+    /// The weighted mean lies within the sample range and matches a
+    /// direct computation.
+    #[test]
+    fn mean_is_weighted_average(
+        samples in prop::collection::vec((0.0f64..1.0, 0.001f64..10.0), 1..100),
+    ) {
+        let total_w: f64 = samples.iter().map(|&(_, w)| w).sum();
+        let expected: f64 = samples.iter().map(|&(v, w)| v * w).sum::<f64>() / total_w;
+        let cdf = Cdf::from_weighted(samples).expect("non-empty");
+        prop_assert!((cdf.mean() - expected).abs() < 1e-9);
+    }
+
+    /// The plotting curve is monotone in both coordinates.
+    #[test]
+    fn curve_monotone(samples in prop::collection::vec(0.0f64..1.0, 1..100), n in 2usize..50) {
+        let cdf = Cdf::from_values(samples).expect("non-empty");
+        let curve = cdf.curve(n);
+        prop_assert_eq!(curve.len(), n);
+        for w in curve.windows(2) {
+            prop_assert!(w[1].0 >= w[0].0);
+            prop_assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    /// Summary invariants: min ≤ median ≤ p95 ≤ max and min ≤ mean ≤ max.
+    #[test]
+    fn summary_ordering(samples in prop::collection::vec(-1.0e6f64..1.0e6, 1..300)) {
+        let s = Summary::from_values(samples.iter().copied()).expect("non-empty");
+        prop_assert!(s.min <= s.median + 1e-9);
+        prop_assert!(s.median <= s.p95 + 1e-9);
+        prop_assert!(s.p95 <= s.max + 1e-9);
+        prop_assert!(s.min <= s.mean + 1e-6 && s.mean <= s.max + 1e-6);
+        prop_assert_eq!(s.count, samples.len());
+    }
+
+    /// Scaling every weight by a constant leaves the distribution
+    /// unchanged.
+    #[test]
+    fn cdf_weight_scale_invariance(
+        samples in prop::collection::vec((0.0f64..1.0, 0.01f64..1.0), 1..100),
+        scale in 0.1f64..100.0,
+    ) {
+        let a = Cdf::from_weighted(samples.iter().copied()).expect("non-empty");
+        let b = Cdf::from_weighted(samples.iter().map(|&(v, w)| (v, w * scale)))
+            .expect("non-empty");
+        prop_assert!((a.mean() - b.mean()).abs() < 1e-9);
+        for i in 0..=4 {
+            let q = i as f64 / 4.0;
+            prop_assert!((a.quantile(q) - b.quantile(q)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,571 @@
+//! Simulation configuration: which processes run what, for how long,
+//! under which profiler.
+
+use std::sync::Arc;
+
+use jetsim_des::SimDuration;
+use jetsim_device::DeviceSpec;
+use jetsim_dnn::{ModelGraph, Precision};
+use jetsim_trt::{BuildError, Engine, EngineBuilder};
+
+use crate::error::SimError;
+
+/// How concurrent processes share the GPU.
+///
+/// Jetson boards lack NVIDIA's Multi-Process Service (paper §2), so they
+/// time-multiplex the GPU at kernel granularity — the default here. The
+/// [`GpuSharing::SpatialMps`] variant models what an MPS-capable part
+/// would recover: no inter-process context switches and partial spatial
+/// overlap between small kernels. It exists for the `ablation_mps` bench.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum GpuSharing {
+    /// Kernel-granularity time multiplexing with context-switch costs
+    /// (what Jetson hardware actually does).
+    #[default]
+    TimeMultiplexed,
+    /// MPS-style spatial sharing: context switches vanish and kernels
+    /// pack against other processes' work with the given efficiency
+    /// (0 = no overlap benefit, 0.3 ≈ published MPS gains on small
+    /// kernels).
+    SpatialMps {
+        /// Fraction of a kernel's time hidden by co-scheduling when other
+        /// processes have work queued (clamped to `[0, 0.6]`).
+        overlap_efficiency: f64,
+    },
+}
+
+/// How the host-side CPU contention of §7 is modelled.
+///
+/// * [`CpuModel::Stochastic`] (default) — per-launch preemption
+///   probabilities and wakeup delays calibrated to the paper's measured
+///   blocking intervals. Fast and tuned to the publication.
+/// * [`CpuModel::RunQueue`] — an explicit quantum scheduler over the
+///   heavy cores in which `cudaStreamSynchronize` *spin-waits* (CUDA's
+///   default): every inference thread is continuously runnable, so once
+///   processes outnumber heavy cores they time-share in quantum slices
+///   and the EC blow-up emerges mechanically rather than statistically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CpuModel {
+    /// Calibrated stochastic contention (the default).
+    #[default]
+    Stochastic,
+    /// Explicit run-queue scheduling with spin-wait synchronisation.
+    RunQueue,
+}
+
+/// How intrusive the attached profiler is, mirroring the paper's
+/// dual-phase methodology (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProfilerMode {
+    /// Phase 1: `trtexec` + `jetson-stats` only — negligible intrusion.
+    #[default]
+    Lightweight,
+    /// Phase 2: Nsight-Systems-style kernel tracing. Interposes on every
+    /// launch and adds GPU-side instrumentation; the paper reports ~50 %
+    /// throughput loss in this mode.
+    Nsight,
+}
+
+impl ProfilerMode {
+    /// Multiplier on CPU-side launch cost under this profiler.
+    pub fn launch_overhead_factor(self) -> f64 {
+        match self {
+            ProfilerMode::Lightweight => 1.0,
+            ProfilerMode::Nsight => 2.4,
+        }
+    }
+
+    /// Multiplier on GPU kernel execution time under this profiler.
+    pub fn kernel_overhead_factor(self) -> f64 {
+        match self {
+            ProfilerMode::Lightweight => 1.0,
+            ProfilerMode::Nsight => 1.25,
+        }
+    }
+}
+
+/// How work arrives at one inference process.
+///
+/// The paper's `trtexec` methodology measures the *saturated* upper
+/// bound: a new EC is enqueued the moment the previous one returns. Real
+/// edge pipelines are open-loop — a camera delivers frames at a fixed
+/// rate — so the simulator also supports periodic and Poisson arrivals,
+/// which expose queueing delay instead of peak throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ArrivalModel {
+    /// Back-to-back ECs (`trtexec`'s pre-enqueued loop): measures the
+    /// throughput ceiling.
+    #[default]
+    Saturated,
+    /// One batch arrives every `1/fps` seconds (a fixed-rate camera).
+    Periodic {
+        /// Batches offered per second.
+        fps: f64,
+    },
+    /// Batches arrive as a Poisson process with the given mean rate
+    /// (aggregated event streams).
+    Poisson {
+        /// Mean batches per second.
+        fps: f64,
+    },
+}
+
+impl ArrivalModel {
+    /// Mean offered batches per second, `None` for saturated mode.
+    pub fn offered_rate(self) -> Option<f64> {
+        match self {
+            ArrivalModel::Saturated => None,
+            ArrivalModel::Periodic { fps } | ArrivalModel::Poisson { fps } => Some(fps),
+        }
+    }
+}
+
+/// One concurrent inference stream: a named `trtexec`-like instance (or
+/// one of its `--streams` contexts) running one engine in a loop.
+#[derive(Debug, Clone)]
+pub struct ProcessConfig {
+    /// Process name (defaults to `p<N>`).
+    pub name: String,
+    /// The engine this process executes.
+    pub engine: Arc<Engine>,
+    /// How work arrives.
+    pub arrivals: ArrivalModel,
+    /// Memory-sharing group: streams of one OS process (`trtexec
+    /// --streams`) share the host runtime, CUDA context and engine
+    /// weights, paying only per-context I/O and workspace. Defaults to a
+    /// unique group per entry (separate processes).
+    pub memory_group: usize,
+}
+
+/// Full configuration of one simulation run.
+///
+/// Build via [`SimConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The simulated platform.
+    pub device: DeviceSpec,
+    /// The concurrent processes.
+    pub processes: Vec<ProcessConfig>,
+    /// Time excluded from statistics while clocks and caches settle.
+    pub warmup: SimDuration,
+    /// Measured interval; statistics cover exactly this window.
+    pub measure: SimDuration,
+    /// RNG seed; identical configs with identical seeds reproduce runs
+    /// bit for bit.
+    pub seed: u64,
+    /// Profiler intrusion model.
+    pub profiler: ProfilerMode,
+    /// Sampling period for power/utilisation samples.
+    pub sample_period: SimDuration,
+    /// GPU sharing discipline across processes.
+    pub gpu_sharing: GpuSharing,
+    /// CPU contention model.
+    pub cpu_model: CpuModel,
+    /// Whether to retain per-kernel events (disable for long thermal
+    /// soaks where the event list would dominate memory).
+    pub record_kernel_events: bool,
+}
+
+impl SimConfig {
+    /// Starts building a configuration for `device`.
+    pub fn builder(device: DeviceSpec) -> SimConfigBuilder {
+        SimConfigBuilder {
+            device,
+            processes: Vec::new(),
+            warmup: SimDuration::from_millis(500),
+            measure: SimDuration::from_secs(3),
+            seed: 0x6A65_7473,
+            profiler: ProfilerMode::Lightweight,
+            sample_period: SimDuration::from_millis(200),
+            gpu_sharing: GpuSharing::TimeMultiplexed,
+            cpu_model: CpuModel::Stochastic,
+            record_kernel_events: true,
+        }
+    }
+
+    /// Total simulated time (warmup + measurement).
+    pub fn total_time(&self) -> SimDuration {
+        self.warmup + self.measure
+    }
+
+    /// Combined unified-memory footprint of all processes (host +
+    /// GPU-side allocations). Streams sharing a memory group pay the host
+    /// runtime, CUDA context and engine once.
+    pub fn total_footprint_bytes(&self) -> u64 {
+        self.shared_bytes(self.device.memory.per_process_host_bytes)
+    }
+
+    /// Combined GPU-side allocation (what `jetson-stats` reports).
+    pub fn gpu_memory_bytes(&self) -> u64 {
+        self.shared_bytes(0)
+    }
+
+    fn shared_bytes(&self, per_group_host: u64) -> u64 {
+        use std::collections::HashSet;
+        let mut seen: HashSet<usize> = HashSet::new();
+        self.processes
+            .iter()
+            .map(|p| {
+                let per_context = p.engine.io_bytes() + p.engine.workspace_bytes();
+                if seen.insert(p.memory_group) {
+                    per_group_host
+                        + self.device.memory.cuda_context_bytes
+                        + p.engine.engine_bytes()
+                        + per_context
+                } else {
+                    per_context
+                }
+            })
+            .sum()
+    }
+}
+
+/// Builder for [`SimConfig`].
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    device: DeviceSpec,
+    processes: Vec<ProcessConfig>,
+    warmup: SimDuration,
+    measure: SimDuration,
+    seed: u64,
+    profiler: ProfilerMode,
+    sample_period: SimDuration,
+    gpu_sharing: GpuSharing,
+    cpu_model: CpuModel,
+    record_kernel_events: bool,
+}
+
+impl SimConfigBuilder {
+    /// Adds one process running a pre-built engine in saturated mode.
+    pub fn add_engine(mut self, engine: Arc<Engine>) -> Self {
+        let group = self.processes.len();
+        let name = format!("p{}", self.processes.len());
+        self.processes.push(ProcessConfig {
+            name,
+            engine,
+            arrivals: ArrivalModel::Saturated,
+            memory_group: group,
+        });
+        self
+    }
+
+    /// Adds one process fed by the given arrival model (open-loop camera
+    /// pipelines instead of `trtexec` saturation).
+    pub fn add_engine_with_arrivals(mut self, engine: Arc<Engine>, arrivals: ArrivalModel) -> Self {
+        let group = self.processes.len();
+        let name = format!("p{}", self.processes.len());
+        self.processes.push(ProcessConfig {
+            name,
+            engine,
+            arrivals,
+            memory_group: group,
+        });
+        self
+    }
+
+    /// Adds one OS process running `streams` concurrent execution
+    /// contexts over a shared engine (`trtexec --streams=N`): the host
+    /// runtime, CUDA context and weights are paid once, each stream adds
+    /// only its I/O buffers and workspace.
+    pub fn add_engine_streams(mut self, engine: &Arc<Engine>, streams: u32) -> Self {
+        let group = self.processes.len();
+        for stream in 0..streams.max(1) {
+            self.processes.push(ProcessConfig {
+                name: format!("p{group}s{stream}"),
+                engine: Arc::clone(engine),
+                arrivals: ArrivalModel::Saturated,
+                memory_group: group,
+            });
+        }
+        self
+    }
+
+    /// Adds `count` identical processes sharing one engine definition
+    /// (each still pays its own per-process memory, like separate
+    /// `trtexec` instances).
+    pub fn add_engines(mut self, engine: &Arc<Engine>, count: u32) -> Self {
+        for _ in 0..count {
+            self = self.add_engine(Arc::clone(engine));
+        }
+        self
+    }
+
+    /// Builds an engine for `model` on this device and adds one process
+    /// running it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BuildError`] from the engine builder.
+    pub fn add_model(
+        self,
+        model: &ModelGraph,
+        precision: Precision,
+        batch: u32,
+    ) -> Result<Self, BuildError> {
+        let engine = EngineBuilder::new(&self.device)
+            .precision(precision)
+            .batch(batch)
+            .build(model)?;
+        Ok(self.add_engine(Arc::new(engine)))
+    }
+
+    /// Like [`SimConfigBuilder::add_model`] but adds `count` processes.
+    pub fn add_model_processes(
+        self,
+        model: &ModelGraph,
+        precision: Precision,
+        batch: u32,
+        count: u32,
+    ) -> Result<Self, BuildError> {
+        let engine = Arc::new(
+            EngineBuilder::new(&self.device)
+                .precision(precision)
+                .batch(batch)
+                .build(model)?,
+        );
+        Ok(self.add_engines(&engine, count))
+    }
+
+    /// Sets the warmup interval.
+    pub fn warmup(mut self, warmup: SimDuration) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Sets the measured interval.
+    pub fn measure(mut self, measure: SimDuration) -> Self {
+        self.measure = measure;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the profiler intrusion mode.
+    pub fn profiler(mut self, profiler: ProfilerMode) -> Self {
+        self.profiler = profiler;
+        self
+    }
+
+    /// Sets the power/utilisation sampling period.
+    pub fn sample_period(mut self, period: SimDuration) -> Self {
+        self.sample_period = period;
+        self
+    }
+
+    /// Sets the GPU sharing discipline (MPS ablation).
+    pub fn gpu_sharing(mut self, sharing: GpuSharing) -> Self {
+        self.gpu_sharing = sharing;
+        self
+    }
+
+    /// Sets the CPU contention model.
+    pub fn cpu_model(mut self, model: CpuModel) -> Self {
+        self.cpu_model = model;
+        self
+    }
+
+    /// Disables per-kernel event retention (for multi-minute thermal
+    /// soaks; throughput/power statistics are unaffected).
+    pub fn record_kernel_events(mut self, record: bool) -> Self {
+        self.record_kernel_events = record;
+        self
+    }
+
+    /// Finalises the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoProcesses`] for an empty process list and
+    /// [`SimError::OutOfMemory`] when the combined footprint exceeds the
+    /// board's usable RAM — the configuration that reboots a real Jetson.
+    pub fn build(self) -> Result<SimConfig, SimError> {
+        if self.processes.is_empty() {
+            return Err(SimError::NoProcesses);
+        }
+        let config = SimConfig {
+            device: self.device,
+            processes: self.processes,
+            warmup: self.warmup,
+            measure: self.measure,
+            seed: self.seed,
+            profiler: self.profiler,
+            sample_period: self.sample_period,
+            gpu_sharing: self.gpu_sharing,
+            cpu_model: self.cpu_model,
+            record_kernel_events: self.record_kernel_events,
+        };
+        let footprint = config.total_footprint_bytes();
+        if config.device.memory.would_oom(footprint) {
+            return Err(SimError::OutOfMemory {
+                required_bytes: footprint,
+                usable_bytes: config.device.memory.usable_bytes(),
+            });
+        }
+        Ok(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jetsim_device::presets;
+    use jetsim_dnn::zoo;
+
+    #[test]
+    fn builder_produces_named_processes() {
+        let config = SimConfig::builder(presets::orin_nano())
+            .add_model(&zoo::resnet50(), Precision::Int8, 1)
+            .unwrap()
+            .add_model(&zoo::yolov8n(), Precision::Int8, 1)
+            .unwrap()
+            .build()
+            .unwrap();
+        let names: Vec<&str> = config.processes.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["p0", "p1"]);
+    }
+
+    #[test]
+    fn empty_config_rejected() {
+        let err = SimConfig::builder(presets::orin_nano())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SimError::NoProcesses);
+    }
+
+    #[test]
+    fn shared_engine_processes_each_pay_memory() {
+        let one = SimConfig::builder(presets::orin_nano())
+            .add_model_processes(&zoo::resnet50(), Precision::Int8, 1, 1)
+            .unwrap()
+            .build()
+            .unwrap();
+        let four = SimConfig::builder(presets::orin_nano())
+            .add_model_processes(&zoo::resnet50(), Precision::Int8, 1, 4)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(four.gpu_memory_bytes(), 4 * one.gpu_memory_bytes());
+        assert_eq!(
+            four.total_footprint_bytes(),
+            4 * one.total_footprint_bytes()
+        );
+    }
+
+    #[test]
+    fn fcn_overdeployment_on_nano_ooms() {
+        // Paper §6.2.1: 4 FCN processes exhaust the Jetson Nano and
+        // reboot it, while 4 ResNet50 processes deploy safely.
+        let fcn = SimConfig::builder(presets::jetson_nano())
+            .add_model_processes(&zoo::fcn_resnet50(), Precision::Fp16, 1, 4)
+            .unwrap()
+            .build();
+        assert!(matches!(fcn, Err(SimError::OutOfMemory { .. })), "{fcn:?}");
+
+        let resnet = SimConfig::builder(presets::jetson_nano())
+            .add_model_processes(&zoo::resnet50(), Precision::Fp16, 1, 4)
+            .unwrap()
+            .build();
+        assert!(resnet.is_ok(), "{resnet:?}");
+    }
+
+    #[test]
+    fn sixteen_yolo_processes_fit_on_orin() {
+        let config = SimConfig::builder(presets::orin_nano())
+            .add_model_processes(&zoo::yolov8n(), Precision::Int8, 16, 16)
+            .unwrap()
+            .build();
+        assert!(config.is_ok(), "{config:?}");
+        let config = config.unwrap();
+        let percent = config.device.memory.gpu_percent(config.gpu_memory_bytes());
+        assert!(
+            percent > 30.0,
+            "paper fig 6: >35% GPU memory, got {percent:.1}"
+        );
+    }
+
+    #[test]
+    fn streams_share_process_memory() {
+        let device = presets::orin_nano();
+        let engine = std::sync::Arc::new(
+            EngineBuilder::new(&device)
+                .precision(Precision::Int8)
+                .batch(4)
+                .build(&zoo::yolov8n())
+                .unwrap(),
+        );
+        let streams = SimConfig::builder(device.clone())
+            .add_engine_streams(&engine, 4)
+            .build()
+            .unwrap();
+        let processes = SimConfig::builder(device)
+            .add_engines(&engine, 4)
+            .build()
+            .unwrap();
+        assert_eq!(streams.processes.len(), 4);
+        assert!(
+            streams.gpu_memory_bytes() < processes.gpu_memory_bytes() / 2,
+            "streams {} vs processes {}",
+            streams.gpu_memory_bytes(),
+            processes.gpu_memory_bytes()
+        );
+        assert!(streams.total_footprint_bytes() < processes.total_footprint_bytes() / 2);
+    }
+
+    #[test]
+    fn streams_keep_throughput_at_a_fraction_of_the_memory() {
+        use crate::Simulation;
+        let device = presets::orin_nano();
+        let engine = std::sync::Arc::new(
+            EngineBuilder::new(&device)
+                .precision(Precision::Int8)
+                .build(&zoo::resnet50())
+                .unwrap(),
+        );
+        let run = |config: SimConfig| Simulation::new(config).unwrap().run();
+        let one = run(SimConfig::builder(device.clone())
+            .add_engine_streams(&engine, 1)
+            .warmup(SimDuration::from_millis(150))
+            .measure(SimDuration::from_millis(700))
+            .build()
+            .unwrap());
+        let two = run(SimConfig::builder(device)
+            .add_engine_streams(&engine, 2)
+            .warmup(SimDuration::from_millis(150))
+            .measure(SimDuration::from_millis(700))
+            .build()
+            .unwrap());
+        // A single saturated stream already fills this GPU, so the
+        // second stream buys no throughput — but it must not collapse
+        // either, and it costs only per-context buffers.
+        let ratio = two.total_throughput() / one.total_throughput();
+        assert!((0.8..1.2).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn total_time_is_warmup_plus_measure() {
+        let config = SimConfig::builder(presets::orin_nano())
+            .add_model(&zoo::resnet50(), Precision::Fp16, 1)
+            .unwrap()
+            .warmup(SimDuration::from_millis(100))
+            .measure(SimDuration::from_millis(400))
+            .build()
+            .unwrap();
+        assert_eq!(config.total_time(), SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn profiler_overheads_ordered() {
+        assert!(
+            ProfilerMode::Nsight.launch_overhead_factor()
+                > ProfilerMode::Lightweight.launch_overhead_factor()
+        );
+        assert!(
+            ProfilerMode::Nsight.kernel_overhead_factor()
+                > ProfilerMode::Lightweight.kernel_overhead_factor()
+        );
+    }
+}

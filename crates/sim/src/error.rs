@@ -1,0 +1,59 @@
+//! Simulation errors.
+
+use std::fmt;
+
+/// Errors surfaced when configuring or starting a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The configuration contains no processes.
+    NoProcesses,
+    /// The combined process footprint exceeds usable unified memory — on
+    /// a real board this deployment thrashes and reboots the device
+    /// (paper §6.2.1, 4 × FCN_ResNet50 on the Jetson Nano).
+    OutOfMemory {
+        /// Bytes the deployment needs.
+        required_bytes: u64,
+        /// Bytes the board can actually provide.
+        usable_bytes: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoProcesses => f.write_str("simulation needs at least one process"),
+            SimError::OutOfMemory {
+                required_bytes,
+                usable_bytes,
+            } => write!(
+                f,
+                "deployment needs {:.0} MiB but only {:.0} MiB of unified memory is usable \
+                 (the board would thrash and reboot)",
+                *required_bytes as f64 / (1024.0 * 1024.0),
+                *usable_bytes as f64 / (1024.0 * 1024.0),
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oom_message_carries_sizes() {
+        let e = SimError::OutOfMemory {
+            required_bytes: 3 * 1024 * 1024 * 1024,
+            usable_bytes: 2 * 1024 * 1024 * 1024,
+        };
+        let text = e.to_string();
+        assert!(text.contains("3072") && text.contains("2048"), "{text}");
+    }
+
+    #[test]
+    fn no_processes_message() {
+        assert!(SimError::NoProcesses.to_string().contains("at least one"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the simulator's invariants.
+//!
+//! These run short windows (cases are whole simulations), so the case
+//! count is kept small.
+
+use proptest::prelude::*;
+
+use jetsim_des::SimDuration;
+use jetsim_device::presets;
+use jetsim_dnn::{zoo, Precision};
+use jetsim_sim::{SimConfig, Simulation};
+
+fn arb_precision() -> impl Strategy<Value = Precision> {
+    prop::sample::select(Precision::ALL.to_vec())
+}
+
+fn run(precision: Precision, batch: u32, procs: u32, seed: u64) -> jetsim_sim::RunTrace {
+    let config = SimConfig::builder(presets::orin_nano())
+        .add_model_processes(&zoo::resnet50(), precision, batch, procs)
+        .expect("builds")
+        .warmup(SimDuration::from_millis(100))
+        .measure(SimDuration::from_millis(400))
+        .seed(seed)
+        .build()
+        .expect("fits");
+    Simulation::new(config).expect("valid").run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Core invariants hold for arbitrary configurations: utilisation is
+    /// a fraction, power respects the budget envelope, every kernel event
+    /// is well-formed, and EC decompositions never exceed the EC span.
+    #[test]
+    fn run_trace_invariants(
+        precision in arb_precision(),
+        batch in 1u32..16,
+        procs in 1u32..6,
+        seed in any::<u64>(),
+    ) {
+        let trace = run(precision, batch, procs, seed);
+        prop_assert!(trace.gpu_utilization() <= 1.0);
+        prop_assert!(trace.total_throughput() >= 0.0);
+        prop_assert!(trace.gpu_memory_percent > 0.0 && trace.gpu_memory_percent < 100.0);
+        for s in &trace.power_samples {
+            prop_assert!(s.watts >= 1.0, "below idle: {}", s.watts);
+            prop_assert!(s.watts <= 7.0 * 1.15, "over budget: {}", s.watts);
+            prop_assert!((0.0..=1.0).contains(&s.gpu_utilization));
+        }
+        for e in &trace.kernel_events {
+            prop_assert!(e.end > e.start);
+            prop_assert!((0.0..=1.0).contains(&e.sm_active));
+            prop_assert!((0.0..=0.8).contains(&e.issue_slot));
+            prop_assert!((0.0..=1.0).contains(&e.tc_activity));
+            prop_assert!(e.pid < procs as usize);
+        }
+        for records in &trace.ec_records {
+            for r in records {
+                let parts = r.launch_time + r.blocking_time;
+                prop_assert!(
+                    parts <= r.duration() + SimDuration::from_micros(1),
+                    "parts {} exceed EC {}",
+                    parts,
+                    r.duration()
+                );
+            }
+        }
+    }
+
+    /// Identical seeds reproduce identical traces; the simulator is a
+    /// pure function of its configuration.
+    #[test]
+    fn determinism(
+        precision in arb_precision(),
+        batch in 1u32..8,
+        procs in 1u32..4,
+        seed in any::<u64>(),
+    ) {
+        let a = run(precision, batch, procs, seed);
+        let b = run(precision, batch, procs, seed);
+        prop_assert_eq!(a.total_throughput(), b.total_throughput());
+        prop_assert_eq!(a.kernel_events.len(), b.kernel_events.len());
+        prop_assert_eq!(a.final_freq_mhz, b.final_freq_mhz);
+        let pa: Vec<f64> = a.power_samples.iter().map(|s| s.watts).collect();
+        let pb: Vec<f64> = b.power_samples.iter().map(|s| s.watts).collect();
+        prop_assert_eq!(pa, pb);
+    }
+
+    /// GPU kernel events never overlap on the single GPU engine.
+    #[test]
+    fn kernels_serialise_on_the_gpu(
+        procs in 1u32..6,
+        seed in any::<u64>(),
+    ) {
+        let trace = run(Precision::Int8, 1, procs, seed);
+        let mut events = trace.kernel_events.clone();
+        events.sort_by_key(|e| e.start);
+        for w in events.windows(2) {
+            prop_assert!(
+                w[1].start >= w[0].end,
+                "overlap: {:?}..{:?} then {:?}",
+                w[0].start, w[0].end, w[1].start
+            );
+        }
+    }
+
+    /// Aggregate throughput is conserved or reduced — never amplified —
+    /// when adding processes at the same batch.
+    #[test]
+    fn no_free_throughput(seed in any::<u64>()) {
+        let one = run(Precision::Int8, 1, 1, seed);
+        let four = run(Precision::Int8, 1, 4, seed);
+        prop_assert!(
+            four.total_throughput() <= one.total_throughput() * 1.25,
+            "4 procs {} vs 1 proc {}",
+            four.total_throughput(),
+            one.total_throughput()
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Int8 calibration tables.
+//!
+//! Quantising a network to int8 needs representative activation ranges.
+//! Real TensorRT gathers them by running calibration batches; the
+//! simulator only needs to know that a table *exists* and how much build
+//! time it cost, so [`CalibrationTable`] is a lightweight stand-in.
+
+use serde::{Deserialize, Serialize};
+
+/// A stand-in for a TensorRT int8 calibration cache.
+///
+/// # Examples
+///
+/// ```
+/// use jetsim_trt::CalibrationTable;
+///
+/// let table = CalibrationTable::synthetic(512);
+/// assert_eq!(table.images(), 512);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CalibrationTable {
+    images: u32,
+    source: String,
+}
+
+impl CalibrationTable {
+    /// Creates a table "collected" from `images` synthetic calibration
+    /// images (the paper's methodology never needs real data — engines are
+    /// timed, not scored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` is zero: an empty calibration set cannot bound
+    /// activation ranges.
+    pub fn synthetic(images: u32) -> Self {
+        assert!(images > 0, "calibration needs at least one image");
+        CalibrationTable {
+            images,
+            source: "synthetic".to_string(),
+        }
+    }
+
+    /// Number of calibration images behind this table.
+    pub fn images(&self) -> u32 {
+        self.images
+    }
+
+    /// Where the table came from (`"synthetic"` for generated tables).
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+}
+
+impl Default for CalibrationTable {
+    fn default() -> Self {
+        CalibrationTable::synthetic(500)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_records_count() {
+        let t = CalibrationTable::synthetic(100);
+        assert_eq!(t.images(), 100);
+        assert_eq!(t.source(), "synthetic");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_images_rejected() {
+        CalibrationTable::synthetic(0);
+    }
+
+    #[test]
+    fn default_matches_trt_docs_recommendation() {
+        assert_eq!(CalibrationTable::default().images(), 500);
+    }
+}

@@ -1,0 +1,139 @@
+//! Execution contexts: per-inference state over a shared engine.
+//!
+//! TensorRT separates the immutable [`Engine`] from the mutable
+//! `IExecutionContext` that carries one in-flight inference's state; the
+//! paper measures `EC` durations at exactly this granularity (§5.3). The
+//! simulator's context tracks completed inferences and cumulative timing
+//! so profilers can report per-context statistics.
+
+use std::sync::Arc;
+
+use jetsim_des::SimDuration;
+
+use crate::engine::Engine;
+
+/// One inference invocation's state over a shared [`Engine`].
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use jetsim_device::presets;
+/// use jetsim_dnn::{zoo, Precision};
+/// use jetsim_trt::{EngineBuilder, ExecutionContext};
+///
+/// let device = presets::orin_nano();
+/// let engine = Arc::new(
+///     EngineBuilder::new(&device)
+///         .precision(Precision::Fp16)
+///         .build(&zoo::resnet50())?,
+/// );
+/// let mut ctx = ExecutionContext::new(Arc::clone(&engine), 0);
+/// assert_eq!(ctx.completed_inferences(), 0);
+/// assert_eq!(ctx.images_processed(), 0);
+/// # Ok::<(), jetsim_trt::BuildError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExecutionContext {
+    engine: Arc<Engine>,
+    id: u32,
+    completed: u64,
+    busy_time: SimDuration,
+}
+
+impl ExecutionContext {
+    /// Creates a context with the given id over `engine`.
+    pub fn new(engine: Arc<Engine>, id: u32) -> Self {
+        ExecutionContext {
+            engine,
+            id,
+            completed: 0,
+            busy_time: SimDuration::ZERO,
+        }
+    }
+
+    /// The shared engine.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// The context id (unique within one process).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Number of completed execution contexts (batched inferences).
+    pub fn completed_inferences(&self) -> u64 {
+        self.completed
+    }
+
+    /// Total images processed (`completed × batch`).
+    pub fn images_processed(&self) -> u64 {
+        self.completed * u64::from(self.engine.batch())
+    }
+
+    /// Cumulative wall time spent inside completed ECs.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy_time
+    }
+
+    /// Mean EC duration, or `None` before the first completion.
+    pub fn mean_ec_time(&self) -> Option<SimDuration> {
+        if self.completed == 0 {
+            None
+        } else {
+            Some(self.busy_time / self.completed)
+        }
+    }
+
+    /// Records a completed EC of the given duration. Called by the
+    /// simulator when a `cudaStreamSynchronize` for this context returns.
+    pub fn record_completion(&mut self, ec_duration: SimDuration) {
+        self.completed += 1;
+        self.busy_time += ec_duration;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::EngineBuilder;
+    use jetsim_device::presets;
+    use jetsim_dnn::{zoo, Precision};
+
+    fn context() -> ExecutionContext {
+        let engine = EngineBuilder::new(&presets::orin_nano())
+            .precision(Precision::Fp16)
+            .batch(4)
+            .build(&zoo::resnet50())
+            .expect("build");
+        ExecutionContext::new(Arc::new(engine), 7)
+    }
+
+    #[test]
+    fn new_context_is_empty() {
+        let ctx = context();
+        assert_eq!(ctx.id(), 7);
+        assert_eq!(ctx.completed_inferences(), 0);
+        assert_eq!(ctx.mean_ec_time(), None);
+        assert_eq!(ctx.busy_time(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn completions_accumulate() {
+        let mut ctx = context();
+        ctx.record_completion(SimDuration::from_millis(3));
+        ctx.record_completion(SimDuration::from_millis(5));
+        assert_eq!(ctx.completed_inferences(), 2);
+        assert_eq!(ctx.images_processed(), 8, "2 ECs × batch 4");
+        assert_eq!(ctx.mean_ec_time(), Some(SimDuration::from_millis(4)));
+    }
+
+    #[test]
+    fn contexts_share_one_engine() {
+        let ctx = context();
+        let other = ExecutionContext::new(Arc::clone(ctx.engine()), 8);
+        assert!(Arc::ptr_eq(ctx.engine(), other.engine()));
+        assert_ne!(ctx.id(), other.id());
+    }
+}

@@ -1,0 +1,80 @@
+//! Engine-build errors.
+
+use std::fmt;
+
+use jetsim_dnn::GraphError;
+
+/// Errors returned by [`crate::EngineBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The model graph failed structural validation.
+    InvalidModel(GraphError),
+    /// Batch size zero was requested.
+    ZeroBatch,
+    /// The batch size exceeds what the builder supports.
+    BatchTooLarge {
+        /// The requested batch size.
+        requested: u32,
+        /// The builder's limit.
+        limit: u32,
+    },
+    /// An int8 engine was requested without a calibration table on a
+    /// device that runs int8 natively.
+    MissingCalibration,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::InvalidModel(e) => write!(f, "invalid model graph: {e}"),
+            BuildError::ZeroBatch => f.write_str("batch size must be at least 1"),
+            BuildError::BatchTooLarge { requested, limit } => {
+                write!(f, "batch size {requested} exceeds builder limit {limit}")
+            }
+            BuildError::MissingCalibration => {
+                f.write_str("int8 engines require a calibration table")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::InvalidModel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for BuildError {
+    fn from(e: GraphError) -> Self {
+        BuildError::InvalidModel(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_specific() {
+        assert!(BuildError::ZeroBatch.to_string().contains("at least 1"));
+        assert!(BuildError::MissingCalibration
+            .to_string()
+            .contains("calibration"));
+        let e = BuildError::BatchTooLarge {
+            requested: 512,
+            limit: 256,
+        };
+        assert!(e.to_string().contains("512") && e.to_string().contains("256"));
+    }
+
+    #[test]
+    fn graph_error_converts_and_chains() {
+        use std::error::Error;
+        let e: BuildError = GraphError::Empty.into();
+        assert!(matches!(e, BuildError::InvalidModel(_)));
+        assert!(e.source().is_some());
+    }
+}

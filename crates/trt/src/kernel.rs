@@ -1,0 +1,447 @@
+//! Fused-kernel cost descriptors: the timing and utilisation model.
+//!
+//! Every engine kernel carries enough static information to predict, for
+//! a given device, batch size and GPU frequency step:
+//!
+//! * its execution time — `max(compute, memory, launch floor)`,
+//! * its SM-active and issue-slot utilisation,
+//! * its tensor-core activity.
+//!
+//! The model is deliberately simple (roofline + occupancy + a front-end
+//! floor) but reproduces the paper's phenomenology: int8 kernels need 4×
+//! the parallelism to fill SMs, skinny kernels go launch-bound at batch 1,
+//! and high-intensity dilated convolutions keep tensor cores ~100 % busy
+//! without achieving proportional throughput.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use jetsim_des::SimDuration;
+use jetsim_device::GpuArch;
+use jetsim_dnn::Precision;
+
+/// The class of a fused kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelKind {
+    /// Convolution (possibly with fused bn/activation/residual epilogue).
+    Conv,
+    /// Dense matrix multiply (fully connected layers).
+    Gemm,
+    /// Standalone pointwise chain that found no producer to fuse into.
+    Pointwise,
+    /// Pooling (max/average/global).
+    Pool,
+    /// Spatial resize (upsampling).
+    Resize,
+    /// Precision reformat (quantize/dequantize) between int8 and wider
+    /// regions of a mixed-precision engine. Pure memory traffic.
+    Reformat,
+}
+
+impl KernelKind {
+    /// How well this kind keeps SMs busy relative to an ideal conv.
+    fn sm_factor(self) -> f64 {
+        match self {
+            KernelKind::Conv => 0.96,
+            KernelKind::Gemm => 0.55,
+            KernelKind::Pointwise => 0.85,
+            KernelKind::Pool => 0.90,
+            KernelKind::Resize => 0.85,
+            KernelKind::Reformat => 0.70,
+        }
+    }
+}
+
+impl fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            KernelKind::Conv => "conv",
+            KernelKind::Gemm => "gemm",
+            KernelKind::Pointwise => "pointwise",
+            KernelKind::Pool => "pool",
+            KernelKind::Resize => "resize",
+            KernelKind::Reformat => "reformat",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Arithmetic intensity (FLOP/byte) above which a kernel keeps tensor-core
+/// pipelines continuously occupied.
+const TC_SATURATION_INTENSITY: f64 = 450.0;
+
+/// Relative compute efficiency of dilated convolutions: TensorRT cannot
+/// use Winograd or its fastest implicit-GEMM tactics on them, so dilated
+/// backbones (FCN_ResNet50) achieve a fraction of the dense-conv rate.
+const DILATED_EFFICIENCY: f64 = 0.13;
+
+/// One fused kernel of an engine, with per-image costs.
+///
+/// # Examples
+///
+/// ```
+/// use jetsim_device::presets;
+/// use jetsim_dnn::{zoo, Precision};
+/// use jetsim_trt::EngineBuilder;
+///
+/// let device = presets::orin_nano();
+/// let engine = EngineBuilder::new(&device)
+///     .precision(Precision::Fp16)
+///     .build(&zoo::resnet50())?;
+/// let k = &engine.kernels()[0];
+/// let t1 = k.exec_time(&device.gpu, 1, device.gpu.freq.top());
+/// let t8 = k.exec_time(&device.gpu, 8, device.gpu.freq.top());
+/// assert!(t8 > t1, "bigger batches take longer in absolute time");
+/// assert!(t8.as_nanos() < 8 * t1.as_nanos(), "but less per image");
+/// # Ok::<(), jetsim_trt::BuildError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelDesc {
+    /// Name derived from the fused layers, e.g. `layer1.0.1.conv+bn+relu`.
+    pub name: String,
+    /// Kernel class.
+    pub kind: KernelKind,
+    /// The precision this kernel actually executes at (after device
+    /// fallback and the int8 width rule).
+    pub precision: Precision,
+    /// Floating-point operations per image.
+    pub flops: u64,
+    /// Bytes moved through DRAM per image (weights + activations, scaled
+    /// by element width).
+    pub bytes: u64,
+    /// Output elements per image — the thread-level parallelism exposed.
+    pub parallelism: u64,
+    /// Whether the root operator can run on tensor cores.
+    pub tc_eligible: bool,
+    /// Number of graph layers folded into this kernel.
+    pub fused_ops: u32,
+    /// Whether the root convolution is dilated (slow tactics, heavy
+    /// im2col traffic, but tensor-core pipes pinned — the FCN regime).
+    pub dilated: bool,
+    /// The narrowest channel dimension the kernel contracts over; tensor
+    /// cores need wide channels (multiples of 32–64) to run efficiently,
+    /// which is why skinny YOLO-class layers underperform on them.
+    pub channel_width: u64,
+}
+
+impl KernelDesc {
+    /// Arithmetic intensity in FLOP/byte.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        if self.bytes == 0 {
+            0.0
+        } else {
+            self.flops as f64 / self.bytes as f64
+        }
+    }
+
+    /// Occupancy-derived compute efficiency (0–1]: how much of the
+    /// device's effective rate this kernel can use at the given batch.
+    pub fn occupancy(&self, gpu: &GpuArch, batch: u32) -> f64 {
+        let threads = self.parallelism.saturating_mul(u64::from(batch)) as f64;
+        let sat = gpu.saturation_threads(self.precision) as f64;
+        (threads / sat).powf(0.6).clamp(0.05, 1.0)
+    }
+
+    /// Tensor-core channel-packing efficiency: skinny contractions waste
+    /// most of each 32-wide MMA tile.
+    fn channel_efficiency(&self, gpu: &GpuArch) -> f64 {
+        if gpu.has_tensor_cores() && self.tc_eligible && self.precision != Precision::Fp32 {
+            (self.channel_width as f64 / 96.0).clamp(0.35, 1.0)
+        } else {
+            1.0
+        }
+    }
+
+    /// Pure compute time at frequency `step`.
+    pub fn compute_time(&self, gpu: &GpuArch, batch: u32, step: usize) -> SimDuration {
+        let mut rate = gpu.flops_per_sec(self.precision, step)
+            * self.occupancy(gpu, batch)
+            * self.channel_efficiency(gpu);
+        if self.dilated {
+            // Batching restores some tile efficiency to the dilated
+            // im2col GEMMs, which is why FCN still gains from batch size
+            // in the paper's fig 6.
+            rate *= DILATED_EFFICIENCY * (1.0 + 0.25 * (1.0 - 1.0 / f64::from(batch)));
+        }
+        if rate <= 0.0 || self.flops == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_secs_f64(self.flops as f64 * f64::from(batch) / rate)
+    }
+
+    /// Pure memory-transfer time (frequency-independent: the EMC is
+    /// governed separately on Jetson).
+    pub fn memory_time(&self, gpu: &GpuArch, batch: u32) -> SimDuration {
+        SimDuration::from_secs_f64(self.bytes as f64 * f64::from(batch) / gpu.bytes_per_sec())
+    }
+
+    /// Wall time the kernel occupies the GPU: the roofline maximum of
+    /// compute and memory, plus the front-end gap every kernel pays for
+    /// launch processing and pipeline drain. The additive gap is what
+    /// batch sizes amortise (paper §6.2.1: throughput rises with batch at
+    /// diminishing returns).
+    pub fn exec_time(&self, gpu: &GpuArch, batch: u32, step: usize) -> SimDuration {
+        self.compute_time(gpu, batch, step)
+            .max_of(self.memory_time(gpu, batch))
+            + gpu.kernel_min_gap
+    }
+
+    /// Fraction of the kernel's wall time spent limited by compute (the
+    /// remainder is memory stalls or launch floor).
+    pub fn compute_fraction(&self, gpu: &GpuArch, batch: u32, step: usize) -> f64 {
+        let exec = self.exec_time(gpu, batch, step).as_nanos();
+        if exec == 0 {
+            return 0.0;
+        }
+        self.compute_time(gpu, batch, step).as_nanos() as f64 / exec as f64
+    }
+
+    /// SM-active utilisation while this kernel runs (0–1): the fraction of
+    /// SMs with at least one resident warp. Denser formats need more
+    /// parallelism, which is why int8 shows the lowest SM utilisation in
+    /// the paper (§6.1.3).
+    pub fn sm_active(&self, gpu: &GpuArch, batch: u32) -> f64 {
+        let threads = self.parallelism.saturating_mul(u64::from(batch)) as f64;
+        let sat = gpu.saturation_threads(self.precision) as f64;
+        ((threads / sat).powf(0.5)).clamp(0.05, 1.0) * self.kind.sm_factor()
+    }
+
+    /// Tensor-core activity while this kernel runs (0–1): the fraction of
+    /// cycles with the TC pipelines occupied. High-intensity kernels keep
+    /// the pipes full even when data starvation caps useful throughput —
+    /// the paper's "high TC utilisation ≠ high throughput" observation
+    /// (§6.1.4).
+    pub fn tc_activity(&self, gpu: &GpuArch, batch: u32, step: usize) -> f64 {
+        if !gpu.has_tensor_cores() || !self.tc_eligible {
+            return 0.0;
+        }
+        let prec_factor = match self.precision {
+            Precision::Int8 => 0.6,
+            Precision::Fp16 | Precision::Tf32 => 1.0,
+            Precision::Fp32 => return 0.0,
+        };
+        // Dilated convs run as dense GEMMs over im2col patches: the TC
+        // pipelines stay occupied even though useful throughput is poor.
+        let pipe = if self.dilated {
+            0.95
+        } else {
+            // Skinny contractions cannot keep the 32-wide MMA pipes fed,
+            // which is why YOLO-class models show the lowest TC activity.
+            (self.arithmetic_intensity() / TC_SATURATION_INTENSITY).clamp(0.0, 0.98)
+                * self.channel_efficiency(gpu)
+        };
+        pipe * prec_factor * self.compute_fraction(gpu, batch, step)
+    }
+
+    /// Issue-slot utilisation while this kernel runs (0–1): the fraction
+    /// of cycles in which an instruction is issued. TC-heavy kernels issue
+    /// fewer, denser instructions; int8 packs four ops per issue.
+    pub fn issue_slot(&self, gpu: &GpuArch, batch: u32, step: usize) -> f64 {
+        let pipe = (self.arithmetic_intensity() / TC_SATURATION_INTENSITY).clamp(0.0, 0.98);
+        let base = 0.22 + 0.35 * (1.0 - pipe);
+        let prec = if self.precision == Precision::Int8 {
+            0.75
+        } else {
+            1.0
+        };
+        (self.sm_active(gpu, batch) * base * prec * self.compute_fraction(gpu, batch, step))
+            .clamp(0.0, 0.8)
+    }
+}
+
+impl fmt::Display for KernelDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{} {} {:.1} MFLOP {:.1} KB x{}]",
+            self.name,
+            self.kind,
+            self.precision,
+            self.flops as f64 / 1e6,
+            self.bytes as f64 / 1e3,
+            self.fused_ops,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jetsim_device::presets;
+
+    fn big_conv(precision: Precision) -> KernelDesc {
+        KernelDesc {
+            name: "conv".into(),
+            kind: KernelKind::Conv,
+            precision,
+            flops: 200_000_000,
+            bytes: 600_000,
+            parallelism: 800_000,
+            tc_eligible: true,
+            fused_ops: 3,
+            dilated: false,
+            channel_width: 512,
+        }
+    }
+
+    fn tiny_kernel() -> KernelDesc {
+        KernelDesc {
+            name: "tail".into(),
+            kind: KernelKind::Gemm,
+            precision: Precision::Fp16,
+            flops: 4_000_000,
+            bytes: 4_000_000,
+            parallelism: 1000,
+            tc_eligible: true,
+            fused_ops: 1,
+            dilated: false,
+            channel_width: 512,
+        }
+    }
+
+    #[test]
+    fn exec_time_respects_roofline() {
+        let gpu = presets::orin_nano().gpu;
+        let k = big_conv(Precision::Fp16);
+        let exec = k.exec_time(&gpu, 1, gpu.freq.top());
+        assert!(exec >= k.compute_time(&gpu, 1, gpu.freq.top()));
+        assert!(exec >= k.memory_time(&gpu, 1));
+        assert!(exec >= gpu.kernel_min_gap);
+    }
+
+    #[test]
+    fn tiny_kernels_hit_launch_floor() {
+        let gpu = presets::orin_nano().gpu;
+        let mut k = tiny_kernel();
+        k.flops = 1000;
+        k.bytes = 1000;
+        let exec = k.exec_time(&gpu, 1, gpu.freq.top());
+        assert!(exec >= gpu.kernel_min_gap);
+        assert!(
+            exec <= gpu.kernel_min_gap.mul_f64(1.3),
+            "gap dominates: {exec}"
+        );
+    }
+
+    #[test]
+    fn lower_frequency_slows_compute_bound_kernels() {
+        let gpu = presets::orin_nano().gpu;
+        let k = big_conv(Precision::Fp32);
+        let top = k.exec_time(&gpu, 1, gpu.freq.top());
+        let low = k.exec_time(&gpu, 1, 0);
+        assert!(low > top);
+    }
+
+    #[test]
+    fn memory_time_is_frequency_independent() {
+        let gpu = presets::orin_nano().gpu;
+        let k = big_conv(Precision::Fp16);
+        assert_eq!(k.memory_time(&gpu, 2), k.memory_time(&gpu, 2));
+        // memory_time has no step parameter at all — compile-time guarantee.
+    }
+
+    #[test]
+    fn batch_amortises_per_image_time() {
+        let gpu = presets::orin_nano().gpu;
+        let k = tiny_kernel();
+        let t1 = k.exec_time(&gpu, 1, gpu.freq.top()).as_nanos() as f64;
+        let t16 = k.exec_time(&gpu, 16, gpu.freq.top()).as_nanos() as f64 / 16.0;
+        assert!(t16 < t1, "per-image time must shrink: {t16} vs {t1}");
+    }
+
+    #[test]
+    fn int8_needs_more_parallelism_for_same_sm_active() {
+        let gpu = presets::orin_nano().gpu;
+        let mut k = big_conv(Precision::Int8);
+        k.parallelism = 40_000; // below int8 saturation, above fp32's
+        let int8_sm = k.sm_active(&gpu, 1);
+        k.precision = Precision::Fp32;
+        let fp32_sm = k.sm_active(&gpu, 1);
+        assert!(int8_sm < fp32_sm, "{int8_sm} vs {fp32_sm}");
+    }
+
+    #[test]
+    fn occupancy_improves_with_batch() {
+        let gpu = presets::orin_nano().gpu;
+        let mut k = big_conv(Precision::Int8);
+        k.parallelism = 20_000;
+        assert!(k.occupancy(&gpu, 8) > k.occupancy(&gpu, 1));
+        assert!(k.occupancy(&gpu, 1024) <= 1.0);
+    }
+
+    #[test]
+    fn tc_activity_zero_without_tensor_cores() {
+        let nano = presets::jetson_nano().gpu;
+        let k = big_conv(Precision::Fp16);
+        assert_eq!(k.tc_activity(&nano, 1, nano.freq.top()), 0.0);
+    }
+
+    #[test]
+    fn tc_activity_zero_for_fp32_and_ineligible() {
+        let gpu = presets::orin_nano().gpu;
+        let k = big_conv(Precision::Fp32);
+        assert_eq!(k.tc_activity(&gpu, 1, gpu.freq.top()), 0.0);
+        let mut p = big_conv(Precision::Fp16);
+        p.tc_eligible = false;
+        assert_eq!(p.tc_activity(&gpu, 1, gpu.freq.top()), 0.0);
+    }
+
+    #[test]
+    fn high_intensity_kernels_pin_tensor_cores() {
+        let gpu = presets::orin_nano().gpu;
+        let mut k = big_conv(Precision::Fp16);
+        // FCN-style dilated conv: enormous intensity.
+        k.flops = 3_700_000_000;
+        k.bytes = 6_300_000;
+        let tc = k.tc_activity(&gpu, 1, gpu.freq.top());
+        assert!(tc > 0.85, "tc = {tc}");
+    }
+
+    #[test]
+    fn int8_tc_activity_below_fp16() {
+        let gpu = presets::orin_nano().gpu;
+        let fp16 = big_conv(Precision::Fp16);
+        let int8 = big_conv(Precision::Int8);
+        // Same structural kernel: int8's 4-ops-per-issue leaves pipes idle
+        // more often (and runs faster, lowering compute fraction).
+        assert!(
+            int8.tc_activity(&gpu, 4, gpu.freq.top()) < fp16.tc_activity(&gpu, 4, gpu.freq.top())
+        );
+    }
+
+    #[test]
+    fn issue_slot_never_exceeds_cap() {
+        let gpu = presets::orin_nano().gpu;
+        for precision in Precision::ALL {
+            let k = big_conv(precision);
+            for batch in [1, 4, 16] {
+                let issue = k.issue_slot(&gpu, batch, gpu.freq.top());
+                assert!(
+                    (0.0..=0.8).contains(&issue),
+                    "{precision} b{batch}: {issue}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn issue_slot_below_sm_active() {
+        let gpu = presets::orin_nano().gpu;
+        let k = big_conv(Precision::Fp16);
+        assert!(k.issue_slot(&gpu, 4, gpu.freq.top()) < k.sm_active(&gpu, 4));
+    }
+
+    #[test]
+    fn intensity_handles_zero_bytes() {
+        let mut k = tiny_kernel();
+        k.bytes = 0;
+        assert_eq!(k.arithmetic_intensity(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_kind_and_precision() {
+        let text = format!("{}", big_conv(Precision::Tf32));
+        assert!(text.contains("conv") && text.contains("tf32"));
+    }
+}

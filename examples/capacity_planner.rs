@@ -1,0 +1,85 @@
+//! Capacity planning: how many concurrent detection streams can one edge
+//! box serve?
+//!
+//! The paper's motivation (§1, §8): instead of trial-and-error against
+//! QoS requirements, use offline analysis to pick the number of
+//! concurrent processes and the batch size. This example finds, for
+//! YoloV8n int8 on a Jetson Orin Nano, the largest process count whose
+//! per-process throughput still meets a frames-per-second target — and
+//! shows the unified-memory wall that reboots a Jetson Nano when
+//! over-deployed (§6.2.1).
+//!
+//! ```sh
+//! cargo run --release --example capacity_planner
+//! ```
+
+use jetsim_lab::prelude::*;
+
+const QOS_FPS_PER_STREAM: f64 = 25.0;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = Platform::orin_nano();
+    println!(
+        "QoS target: ≥{QOS_FPS_PER_STREAM} img/s per stream, YoloV8n int8 on {}\n",
+        platform.name()
+    );
+
+    let cells = SweepSpec::new()
+        .precisions([Precision::Int8])
+        .batches([1, 4])
+        .process_counts([1, 2, 3, 4, 6, 8])
+        .measure(SimDuration::from_millis(1200))
+        .run(&platform, &zoo::yolov8n());
+
+    println!("| batch | streams | T/P img/s | meets QoS | power W | mem % |");
+    println!("|---|---|---|---|---|---|");
+    let mut best: Option<(u32, u32, f64)> = None;
+    for cell in &cells {
+        match cell.outcome.metrics() {
+            Some(m) => {
+                let ok = m.throughput_per_process >= QOS_FPS_PER_STREAM;
+                println!(
+                    "| {} | {} | {:.1} | {} | {:.2} | {:.1} |",
+                    cell.batch,
+                    cell.processes,
+                    m.throughput_per_process,
+                    if ok { "yes" } else { "no" },
+                    m.mean_power_w,
+                    m.gpu_memory_percent
+                );
+                if ok && best.map(|(_, p, _)| cell.processes > p).unwrap_or(true) {
+                    best = Some((cell.batch, cell.processes, m.throughput_per_process));
+                }
+            }
+            None => println!("| {} | {} | OOM | - | - | - |", cell.batch, cell.processes),
+        }
+    }
+
+    match best {
+        Some((batch, procs, tp)) => println!(
+            "\n→ deploy {procs} streams at batch {batch}: {tp:.1} img/s each. Offload the rest \
+             to the cloud or add another accelerator (paper §8)."
+        ),
+        None => println!("\n→ no configuration meets the QoS; offload everything."),
+    }
+
+    // The over-deployment wall the paper hit on the Jetson Nano.
+    println!("\nover-deployment check (FCN_ResNet50 fp16 on Jetson Nano):");
+    let nano = Platform::jetson_nano();
+    for procs in [1u32, 2, 3, 4] {
+        let result = DualPhaseProfiler::new(&nano)
+            .workload(&zoo::fcn_resnet50(), Precision::Fp16, 1, procs)?
+            // FCN ECs take ~700 ms each on the Nano; give slow
+            // configurations enough window to complete a few.
+            .measure(SimDuration::from_secs(4))
+            .run_phase1();
+        match result {
+            Ok((report, _)) => println!(
+                "  {procs} process(es): {:.1} img/s total",
+                report.throughput
+            ),
+            Err(e) => println!("  {procs} process(es): {e}"),
+        }
+    }
+    Ok(())
+}

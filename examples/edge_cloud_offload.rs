@@ -1,0 +1,78 @@
+//! Edge-vs-cloud offloading: the decision the paper's introduction and
+//! conclusion frame the whole study around.
+//!
+//! A cloud A40 pushes 1000+ YoloV8n fp16 images/s, but every offloaded
+//! frame pays network transmission and round-trip costs. This example
+//! profiles both sides on the simulator and finds the network bandwidth
+//! at which keeping inference on the Jetson Orin Nano wins.
+//!
+//! ```sh
+//! cargo run --release --example edge_cloud_offload
+//! ```
+
+use jetsim_lab::prelude::*;
+
+/// Effective cloud throughput once frames traverse the network: the
+/// pipeline is limited by the slower of upload and inference.
+fn offloaded_throughput(cloud_img_s: f64, uplink_mbps: f64, image_kb: f64) -> f64 {
+    let upload_img_s = uplink_mbps * 1e6 / 8.0 / (image_kb * 1000.0);
+    cloud_img_s.min(upload_img_s)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 640×640 JPEG frame is roughly 120 KB on the wire.
+    const IMAGE_KB: f64 = 120.0;
+
+    let measure = SimDuration::from_millis(1200);
+    let edge = DualPhaseProfiler::new(&Platform::orin_nano())
+        .workload(&zoo::yolov8n(), Precision::Int8, 4, 1)?
+        .measure(measure)
+        .run_phase1()?
+        .0;
+    let cloud = DualPhaseProfiler::new(&Platform::cloud_a40())
+        .workload(&zoo::yolov8n(), Precision::Fp16, 16, 1)?
+        .measure(measure)
+        .run_phase1()?
+        .0;
+
+    println!(
+        "edge  (Orin Nano, yolov8n int8 b4):  {:.0} img/s @ {:.1} W",
+        edge.throughput, edge.mean_power_w
+    );
+    println!(
+        "cloud (A40, yolov8n fp16 b16):       {:.0} img/s (pre-network)\n",
+        cloud.throughput
+    );
+    assert!(
+        cloud.throughput > 1000.0,
+        "paper §1: the A40 exceeds 1000 img/s"
+    );
+
+    println!("| uplink Mbps | offloaded img/s | edge img/s | winner |");
+    println!("|---|---|---|---|");
+    let mut crossover: Option<f64> = None;
+    for uplink in [10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0] {
+        let offloaded = offloaded_throughput(cloud.throughput, uplink, IMAGE_KB);
+        let winner = if offloaded > edge.throughput {
+            "cloud"
+        } else {
+            "edge"
+        };
+        if winner == "cloud" && crossover.is_none() {
+            crossover = Some(uplink);
+        }
+        println!(
+            "| {uplink:.0} | {offloaded:.0} | {:.0} | {winner} |",
+            edge.throughput
+        );
+    }
+
+    match crossover {
+        Some(mbps) => println!(
+            "\n→ below ~{mbps:.0} Mbps of uplink, keep inference at the edge; above it, \
+             offloading to the A40 pays off (and a hybrid split balances both, paper §8)."
+        ),
+        None => println!("\n→ at these uplinks the edge always wins; do not offload."),
+    }
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Multi-tenant edge box: heterogeneous models sharing one Jetson.
+//!
+//! The paper studies homogeneous concurrency (N copies of one model);
+//! real edge deployments mix tenants — a detector, a classifier and a
+//! segmenter sharing the GPU. This example profiles such a mix on the
+//! Orin Nano, shows who wins and who starves under kernel-granularity
+//! time multiplexing, and prints each tenant's tail latency.
+//!
+//! ```sh
+//! cargo run --release --example multi_tenant
+//! ```
+
+use jetsim_lab::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = Platform::orin_nano();
+    let tenants: [(&str, ModelGraph, Precision, u32); 3] = [
+        ("gate-camera detector", zoo::yolov8n(), Precision::Int8, 1),
+        ("shelf classifier", zoo::resnet50(), Precision::Int8, 4),
+        ("floor segmenter", zoo::fcn_resnet50(), Precision::Fp16, 1),
+    ];
+
+    let mut builder = SimConfig::builder(platform.device().clone())
+        .warmup(SimDuration::from_millis(500))
+        .measure(SimDuration::from_secs(3));
+    for (_, model, precision, batch) in &tenants {
+        let engine = platform.build_engine(model, *precision, *batch)?;
+        builder = builder.add_engine(engine);
+    }
+    let config = builder.build()?;
+    println!(
+        "deploying {} tenants on {} ({:.1}% GPU memory)\n",
+        tenants.len(),
+        platform.name(),
+        platform
+            .device()
+            .memory
+            .gpu_percent(config.gpu_memory_bytes())
+    );
+
+    let trace = Simulation::new(config)?.run();
+    println!("| tenant | engine | img/s | EC p50 | EC p95 | EC p99 | blocking/EC |");
+    println!("|---|---|---|---|---|---|---|");
+    for (stats, (label, ..)) in trace.processes.iter().zip(&tenants) {
+        println!(
+            "| {label} | {} | {:.1} | {} | {} | {} | {} |",
+            stats.engine_name,
+            stats.throughput,
+            stats.p50_ec_time,
+            stats.p95_ec_time,
+            stats.p99_ec_time,
+            stats.mean_blocking_time,
+        );
+    }
+    println!(
+        "\nGPU {:.0}% busy at {:.2} W; aggregate {:.1} img/s",
+        trace.gpu_utilization() * 100.0,
+        trace.mean_power(),
+        trace.total_throughput()
+    );
+    println!(
+        "the segmenter's long kernels stretch everyone's tail latency — \
+         kernel-granularity time multiplexing has no isolation (paper §2)."
+    );
+    Ok(())
+}

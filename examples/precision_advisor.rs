@@ -1,0 +1,63 @@
+//! Precision advisor: pick the right numeric format per device.
+//!
+//! Reproduces the paper's §6.1 finding as a decision tool: int8 engines
+//! win on the Orin Nano, while on the Jetson Nano — whose Maxwell GPU has
+//! no int8/tf32 paths, so those engines silently fall back to fp32 —
+//! fp16 is both the fastest and the most energy-efficient choice.
+//!
+//! ```sh
+//! cargo run --release --example precision_advisor -- resnet50
+//! ```
+
+use jetsim_lab::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model_name = std::env::args().nth(1).unwrap_or_else(|| "resnet50".into());
+    let model = zoo::by_name(&model_name).ok_or_else(|| {
+        format!("unknown model `{model_name}`; try resnet50, fcn_resnet50, yolov8n")
+    })?;
+    println!(
+        "advising precision for {} ({})\n",
+        model.name(),
+        model.stats()
+    );
+
+    for platform in Platform::paper_platforms() {
+        println!("== {} ==", platform.name());
+        println!("| precision | native? | throughput | J/image | engine MB | GPU mem % |");
+        println!("|---|---|---|---|---|---|");
+        let cells = SweepSpec::new()
+            .precisions(Precision::ALL)
+            .measure(SimDuration::from_millis(1200))
+            .run(&platform, &model);
+        let mut best: Option<(Precision, f64)> = None;
+        for cell in &cells {
+            let engine = platform.build_engine(&model, cell.precision, 1)?;
+            let native = platform
+                .device()
+                .precision_support
+                .is_native(cell.precision);
+            if let Some(m) = cell.outcome.metrics() {
+                println!(
+                    "| {} | {} | {:.1} img/s | {:.3} | {:.1} | {:.2} |",
+                    cell.precision,
+                    if native { "yes" } else { "no (fp32 fallback)" },
+                    m.throughput,
+                    m.power_per_image,
+                    engine.engine_bytes() as f64 / 1e6,
+                    m.gpu_memory_percent
+                );
+                if best.map(|(_, t)| m.throughput > t).unwrap_or(true) {
+                    best = Some((cell.precision, m.throughput));
+                }
+            }
+        }
+        if let Some((precision, throughput)) = best {
+            println!(
+                "→ build {} engines here ({throughput:.1} img/s)\n",
+                precision
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Quickstart: profile one vision workload the way the paper does.
+//!
+//! Runs the dual-phase methodology (lightweight `trtexec`+`jetson-stats`
+//! pass, then an Nsight-style kernel-level pass) for ResNet50 int8 on a
+//! simulated Jetson Orin Nano, prints both tiers of metrics and the
+//! bottleneck diagnosis.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use jetsim_lab::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = Platform::orin_nano();
+    println!("platform: {platform}\n");
+
+    let profile = DualPhaseProfiler::new(&platform)
+        .workload(&zoo::resnet50(), Precision::Int8, 1, 1)?
+        .warmup(SimDuration::from_millis(300))
+        .measure(SimDuration::from_secs(2))
+        .run()?;
+
+    println!("== phase 1: trtexec + jetson-stats (no intrusion) ==");
+    println!("{}\n", profile.soc);
+
+    println!("== phase 2: Nsight-style kernel tracing ==");
+    println!(
+        "(intrusion cost: {:.0}% of throughput, as in the paper)",
+        profile.intrusion * 100.0
+    );
+    println!("{}\n", profile.kernel);
+
+    println!("== SM-active CDF (figure 5 style) ==");
+    for (value, fraction) in profile.kernel.cdfs.sm_active.curve(11) {
+        let bar = "#".repeat((value * 40.0) as usize);
+        println!(
+            "  p{:>3.0}  {:>5.1}%  {bar}",
+            fraction * 100.0,
+            value * 100.0
+        );
+    }
+
+    println!("\n== diagnosis ==");
+    println!("{}", profile.analyze());
+    Ok(())
+}

@@ -1,0 +1,28 @@
+//! `jetsim-lab` — workspace umbrella crate.
+//!
+//! This crate exists so the repository root can host runnable
+//! [examples](https://github.com/jetsim/jetsim/tree/main/examples) and
+//! cross-crate integration tests. It re-exports the public API of every
+//! workspace crate; downstream users should depend on [`jetsim`] directly.
+//!
+//! # Examples
+//!
+//! ```
+//! use jetsim_lab::prelude::*;
+//!
+//! let platform = Platform::orin_nano();
+//! assert_eq!(platform.name(), "Jetson Orin Nano");
+//! ```
+
+pub use jetsim;
+pub use jetsim_des;
+pub use jetsim_device;
+pub use jetsim_dnn;
+pub use jetsim_profile;
+pub use jetsim_sim;
+pub use jetsim_trt;
+
+/// Convenience re-exports of the most commonly used types.
+pub mod prelude {
+    pub use jetsim::prelude::*;
+}
