@@ -1,0 +1,140 @@
+//! Benchmarks for this PR's performance work: the process-wide engine
+//! cache (cold build vs warm lookup), the calendar-queue DES backend vs
+//! the binary heap, kernel-event trace gating, and a small sweep grid
+//! end to end.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use jetsim::prelude::*;
+use jetsim_des::{CalendarQueue, EventQueue, SimTime};
+
+fn bench_engine_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_cache");
+    let orin = Platform::orin_nano();
+    let model = zoo::resnet50();
+    group.bench_function("cold_build_resnet50_int8_b8", |b| {
+        b.iter(|| {
+            orin.build_engine_uncached(&model, Precision::Int8, 8)
+                .expect("builds")
+        })
+    });
+    // Prime the cache once; every iteration after is a read-lock hit.
+    orin.build_engine(&model, Precision::Int8, 8)
+        .expect("builds");
+    group.bench_function("warm_hit_resnet50_int8_b8", |b| {
+        b.iter(|| {
+            orin.build_engine(&model, Precision::Int8, 8)
+                .expect("cached")
+        })
+    });
+    group.finish();
+}
+
+fn bench_queue_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue_backends");
+    group.bench_function("heap_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(10_000);
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_nanos((i * 7919) % 100_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            black_box(sum)
+        })
+    });
+    group.bench_function("calendar_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = CalendarQueue::with_capacity(10_000);
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_nanos((i * 7919) % 100_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            black_box(sum)
+        })
+    });
+    // The simulator's real pattern: a handful of pending events, popped
+    // and rescheduled slightly into the future.
+    group.bench_function("calendar_hot_loop_100k", |b| {
+        b.iter(|| {
+            let mut q: CalendarQueue<u64> = CalendarQueue::with_capacity(32);
+            for i in 0..8u64 {
+                q.schedule(SimTime::from_nanos(i * 100), i);
+            }
+            let mut popped = 0u64;
+            while popped < 100_000 {
+                let (t, e) = q.pop().expect("non-empty");
+                popped += 1;
+                q.schedule(
+                    t + jetsim_des::SimDuration::from_nanos(500 + (e % 7) * 37),
+                    e,
+                );
+            }
+            black_box(popped)
+        })
+    });
+    group.finish();
+}
+
+fn sim_trace(record: bool) -> f64 {
+    let orin = Platform::orin_nano();
+    let engine = orin
+        .build_engine(&zoo::resnet50(), Precision::Int8, 4)
+        .expect("builds");
+    let config = SimConfig::builder(orin.device().clone())
+        .warmup(SimDuration::from_millis(50))
+        .measure(SimDuration::from_millis(200))
+        .record_kernel_events(record)
+        .add_engines(&engine, 2)
+        .build()
+        .expect("valid");
+    Simulation::new(config)
+        .expect("fits")
+        .run()
+        .total_throughput()
+}
+
+fn bench_trace_gating(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_trace_gating");
+    group.sample_size(10);
+    group.bench_function("resnet50_int8_b4_p2_with_kernel_events", |b| {
+        b.iter(|| black_box(sim_trace(true)))
+    });
+    group.bench_function("resnet50_int8_b4_p2_gated", |b| {
+        b.iter(|| black_box(sim_trace(false)))
+    });
+    group.finish();
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    let spec = SweepSpec::new()
+        .precisions([Precision::Int8])
+        .batches([1, 4])
+        .process_counts([1, 2])
+        .warmup(SimDuration::from_millis(50))
+        .measure(SimDuration::from_millis(200));
+    let orin = Platform::orin_nano();
+    let model = zoo::yolov8n();
+    // Prime the engine cache so the bench isolates simulation cost.
+    let _ = spec.run(&orin, &model);
+    group.bench_function("yolov8n_int8_4cells_warm", |b| {
+        b.iter(|| black_box(spec.run(&orin, &model).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine_cache,
+    bench_queue_backends,
+    bench_trace_gating,
+    bench_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Emits `BENCH_sweep.json`: wall-clock, cells/sec and events/sec for
+//! the paper's figure-6 concurrency grid, with the engine cache cold
+//! and warm.
+//!
+//! ```sh
+//! cargo run --release -p jetsim-bench --bin bench_sweep
+//! ```
+//!
+//! Numbers are host-dependent; the checked-in `BENCH_sweep.json` is a
+//! schema placeholder until regenerated on the target machine. Set
+//! `JETSIM_FAST=1` for a quick smoke run with shrunken windows.
+
+use std::time::Instant;
+
+use jetsim::prelude::*;
+use jetsim_trt::EngineCache;
+
+fn windows() -> (SimDuration, SimDuration) {
+    if std::env::var_os("JETSIM_FAST").is_some() {
+        (SimDuration::from_millis(100), SimDuration::from_millis(400))
+    } else {
+        (
+            SimDuration::from_millis(300),
+            SimDuration::from_millis(1500),
+        )
+    }
+}
+
+fn fig06_grid(platform: &Platform, models: &[ModelGraph]) -> (f64, usize, usize) {
+    let (warmup, measure) = windows();
+    let start = Instant::now();
+    let mut cells = 0usize;
+    let mut ok = 0usize;
+    for model in models {
+        let procs: Vec<u32> = if model.name() == "yolov8n" {
+            vec![1, 2, 4, 8, 16]
+        } else {
+            vec![1, 2, 4, 8]
+        };
+        let results = SweepSpec::new()
+            .precisions([Precision::Int8])
+            .batches([1, 2, 4, 8, 16])
+            .process_counts(procs)
+            .warmup(warmup)
+            .measure(measure)
+            .run(platform, model);
+        cells += results.len();
+        ok += results
+            .iter()
+            .filter(|c| c.outcome.metrics().is_some())
+            .count();
+    }
+    (start.elapsed().as_secs_f64(), cells, ok)
+}
+
+/// Simulated-event throughput of one representative cell (ResNet50
+/// int8, batch 4, two processes), kernel events gated off.
+fn events_per_sec(platform: &Platform) -> (u64, f64) {
+    let engine = platform
+        .build_engine(&zoo::resnet50(), Precision::Int8, 4)
+        .expect("builds");
+    let config = SimConfig::builder(platform.device().clone())
+        .warmup(SimDuration::from_millis(100))
+        .measure(SimDuration::from_secs_f64(1.0))
+        .record_kernel_events(false)
+        .add_engines(&engine, 2)
+        .build()
+        .expect("valid");
+    let start = Instant::now();
+    let trace = Simulation::new(config).expect("fits").run();
+    (trace.sim_events, start.elapsed().as_secs_f64())
+}
+
+fn main() -> std::io::Result<()> {
+    let platform = Platform::orin_nano();
+    let models = zoo::all();
+    let cache = EngineCache::global();
+
+    cache.clear();
+    let before = cache.stats();
+    let (cold_wall, cells, ok) = fig06_grid(&platform, &models);
+    let after_cold = cache.stats();
+
+    let (warm_wall, _, _) = fig06_grid(&platform, &models);
+    let after_warm = cache.stats();
+
+    let (sim_events, sim_wall) = events_per_sec(&platform);
+
+    let json = serde_json::json!({
+        "bench": "sweep_cache",
+        "grid": {
+            "figure": "fig06",
+            "device": platform.name(),
+            "precision": "int8",
+            "batches": [1, 2, 4, 8, 16],
+            "models": models.iter().map(|m| m.name()).collect::<Vec<_>>(),
+            "cells": cells,
+            "cells_ok": ok,
+        },
+        "cold": {
+            "wall_s": cold_wall,
+            "cells_per_s": cells as f64 / cold_wall,
+            "engine_builds": after_cold.misses - before.misses,
+        },
+        "warm": {
+            "wall_s": warm_wall,
+            "cells_per_s": cells as f64 / warm_wall,
+            "engine_builds": after_warm.misses - after_cold.misses,
+            "speedup_vs_cold": cold_wall / warm_wall,
+        },
+        "des": {
+            "sim_events": sim_events,
+            "wall_s": sim_wall,
+            "events_per_s": sim_events as f64 / sim_wall.max(1e-9),
+        },
+    });
+    let text = serde_json::to_string_pretty(&json).expect("serializable");
+    std::fs::write("BENCH_sweep.json", &text)?;
+    println!("{text}");
+    println!("\nwritten to BENCH_sweep.json");
+    Ok(())
+}

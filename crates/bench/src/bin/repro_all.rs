@@ -1,9 +1,11 @@
-//! Runs every table/figure harness and writes results/ + a summary.
+//! Runs every table/figure harness (in parallel, sharing the
+//! process-wide engine cache) and writes results/ + a summary.
 use std::fmt::Write as _;
 
 fn main() -> std::io::Result<()> {
+    let wall = std::time::Instant::now();
     let mut summary = String::from("# jetsim — regenerated tables and figures\n\n");
-    for fig in jetsim_bench::figures::all() {
+    for fig in jetsim_bench::figures::all_parallel() {
         fig.print();
         fig.save_csv()?;
         writeln!(summary, "## {} — {}\n", fig.id, fig.title).unwrap();
@@ -20,9 +22,14 @@ fn main() -> std::io::Result<()> {
     }
     std::fs::create_dir_all(jetsim_bench::results_dir())?;
     std::fs::write(jetsim_bench::results_dir().join("summary.md"), summary)?;
+    let cache = jetsim_trt::EngineCache::global().stats();
     println!(
-        "\nresults written to {}",
-        jetsim_bench::results_dir().display()
+        "\nresults written to {} in {:.1}s (engine cache: {} built, {} hits, {:.0}% hit rate)",
+        jetsim_bench::results_dir().display(),
+        wall.elapsed().as_secs_f64(),
+        cache.misses,
+        cache.hits,
+        cache.hit_rate() * 100.0,
     );
     Ok(())
 }

@@ -672,24 +672,77 @@ pub fn observation_checks() -> (FigureResult, usize, usize) {
     )
 }
 
+/// Every harness, as plain function pointers in paper order.
+fn harnesses() -> Vec<fn() -> FigureResult> {
+    vec![
+        table1,
+        table2,
+        fig01_batch_sweep,
+        fig03_precision,
+        fig04_power_precision,
+        fig05_util_cdf_precision,
+        fig06_concurrent_orin,
+        fig07_concurrent_nano,
+        fig08_power_orin,
+        fig09_power_nano,
+        fig10_util_cdf_concurrent,
+        fig11_events_orin,
+        fig12_events_nano,
+        headline_gap,
+    ]
+}
+
 /// Every figure and table, in paper order.
 pub fn all() -> Vec<FigureResult> {
-    vec![
-        table1(),
-        table2(),
-        fig01_batch_sweep(),
-        fig03_precision(),
-        fig04_power_precision(),
-        fig05_util_cdf_precision(),
-        fig06_concurrent_orin(),
-        fig07_concurrent_nano(),
-        fig08_power_orin(),
-        fig09_power_nano(),
-        fig10_util_cdf_concurrent(),
-        fig11_events_orin(),
-        fig12_events_nano(),
-        headline_gap(),
-    ]
+    harnesses().into_iter().map(|harness| harness()).collect()
+}
+
+/// Every figure and table, computed in parallel across worker threads
+/// but returned in paper order.
+///
+/// The harnesses are independent: the shared concurrency grids
+/// ([`orin_int8_grid`], [`nano_fp16_grid`]) sit behind `OnceLock`s so
+/// concurrent harnesses block on one computation instead of repeating
+/// it, and every engine build is served by the process-wide engine
+/// cache, so e.g. figures 6, 8 and 11 compile each `(model, int8,
+/// batch)` engine exactly once between them.
+pub fn all_parallel() -> Vec<FigureResult> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let harnesses = harnesses();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(harnesses.len());
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<FigureResult>> = Vec::new();
+    slots.resize_with(harnesses.len(), || None);
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|_| {
+                    let mut done: Vec<(usize, FigureResult)> = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&harness) = harnesses.get(index) else {
+                            break;
+                        };
+                        done.push((index, harness()));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (index, result) in handle.join().expect("figure worker panicked") {
+                slots[index] = Some(result);
+            }
+        }
+    })
+    .expect("figure scope");
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every harness ran"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -120,9 +120,18 @@ fn run(args: Args) -> Result<(), String> {
     } else {
         zoo::by_name(&args.model).ok_or_else(|| format!("unknown model `{}`", args.model))?
     };
+    let cache = jetsim_trt::EngineCache::global();
+    let misses_before = cache.stats().misses;
+    let build_start = std::time::Instant::now();
     let engine = platform
         .build_engine(&model, args.precision, args.batch)
         .map_err(|e| e.to_string())?;
+    let build_secs = build_start.elapsed().as_secs_f64();
+    let cache_state = if cache.stats().misses > misses_before {
+        "compiled"
+    } else {
+        "cache hit"
+    };
 
     println!("=== Model Options ===");
     println!("Model: {} ({})", model.name(), model.stats());
@@ -141,6 +150,11 @@ fn run(args: Args) -> Result<(), String> {
         "Engine size: {:.1} MiB | workspace {:.1} MiB",
         engine.engine_bytes() as f64 / (1024.0 * 1024.0),
         engine.workspace_bytes() as f64 / (1024.0 * 1024.0),
+    );
+    println!(
+        "Engine build: {:.1} ms ({cache_state}; {} engine(s) cached this process)",
+        build_secs * 1e3,
+        cache.len()
     );
     println!("=== Device ===");
     println!("{platform}");

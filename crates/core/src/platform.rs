@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use jetsim_device::{presets, DeviceSpec};
 use jetsim_dnn::{ModelGraph, Precision};
-use jetsim_trt::{BuildError, Engine, EngineBuilder};
+use jetsim_trt::{BuildError, Engine, EngineCache};
 
 /// A simulated edge (or cloud) platform to profile workloads on.
 ///
@@ -69,18 +69,37 @@ impl Platform {
 
     /// Builds a TensorRT-style engine for this platform.
     ///
+    /// Engines are served from the process-wide [`EngineCache`], keyed by
+    /// content fingerprints of the device spec and model graph plus the
+    /// precision and batch, so each distinct engine is compiled exactly
+    /// once per process — sweeps and figure harnesses that revisit the
+    /// same `(model, precision, batch)` point pay the build cost only on
+    /// the first visit. Engine building is deterministic, so a cached
+    /// engine is indistinguishable from a fresh one.
+    ///
     /// # Errors
     ///
     /// Propagates [`BuildError`] from the engine builder (invalid model,
-    /// bad batch size).
+    /// bad batch size). Failed builds are never cached.
     pub fn build_engine(
         &self,
         model: &ModelGraph,
         precision: Precision,
         batch: u32,
     ) -> Result<Arc<Engine>, BuildError> {
+        EngineCache::global().get_or_build(&self.spec, model, precision, batch)
+    }
+
+    /// Builds an engine bypassing the process-wide cache (for ablations
+    /// that mutate builder options, or benchmarks of the build itself).
+    pub fn build_engine_uncached(
+        &self,
+        model: &ModelGraph,
+        precision: Precision,
+        batch: u32,
+    ) -> Result<Arc<Engine>, BuildError> {
         Ok(Arc::new(
-            EngineBuilder::new(&self.spec)
+            jetsim_trt::EngineBuilder::new(&self.spec)
                 .precision(precision)
                 .batch(batch)
                 .build(model)?,
@@ -126,6 +145,21 @@ mod tests {
             0.0,
             "Maxwell fallback"
         );
+    }
+
+    #[test]
+    fn repeated_builds_share_one_cached_engine() {
+        let orin = Platform::orin_nano();
+        let model = zoo::fcn_resnet50();
+        let a = orin.build_engine(&model, Precision::Tf32, 3).unwrap();
+        let b = orin.build_engine(&model, Precision::Tf32, 3).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second build must be a cache hit");
+        // Uncached builds produce an equal engine but a fresh allocation.
+        let c = orin
+            .build_engine_uncached(&model, Precision::Tf32, 3)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(*a, *c, "engine building is deterministic");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! the paper's figures 1 and 3–12.
 
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use serde::Serialize;
 
@@ -35,6 +35,7 @@ pub struct SweepSpec {
     warmup: SimDuration,
     measure: SimDuration,
     seed: u64,
+    workers: Option<usize>,
 }
 
 impl SweepSpec {
@@ -48,6 +49,7 @@ impl SweepSpec {
             warmup: SimDuration::from_millis(300),
             measure: SimDuration::from_millis(1500),
             seed: 0x6A65_7473,
+            workers: None,
         }
     }
 
@@ -87,15 +89,33 @@ impl SweepSpec {
         self
     }
 
+    /// Pins the worker-thread count (defaults to the number of available
+    /// cores). Cell results are identical whatever the worker count:
+    /// each cell's seed depends only on its `(precision, batch,
+    /// processes)` coordinates, never on which thread ran it.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
     /// Number of grid cells.
     pub fn cells(&self) -> usize {
         self.precisions.len() * self.batches.len() * self.process_counts.len()
     }
 
     /// Runs the sweep for `model` on `platform`, one simulation per cell,
-    /// in parallel across available cores. Cells that exceed unified
-    /// memory come back as [`CellOutcome::OutOfMemory`] instead of
-    /// aborting the sweep — the paper hit exactly such cells (§6.2.1).
+    /// in parallel across available cores (or the [`SweepSpec::workers`]
+    /// override). Cells that exceed unified memory come back as
+    /// [`CellOutcome::OutOfMemory`] instead of aborting the sweep — the
+    /// paper hit exactly such cells (§6.2.1).
+    ///
+    /// Dispatch is a lock-free `fetch_add` over the flattened grid: each
+    /// worker claims the next cell index, runs it, and keeps the result
+    /// in a thread-local vector; results are merged back into grid order
+    /// after the scope joins, so no worker ever blocks on a results
+    /// mutex. The output is deterministic — identical whatever the
+    /// worker count, and identical whether the process-wide engine
+    /// cache is cold or warm.
     pub fn run(&self, platform: &Platform, model: &ModelGraph) -> Vec<SweepCell> {
         let mut params: Vec<(Precision, u32, u32)> = Vec::with_capacity(self.cells());
         for &precision in &self.precisions {
@@ -105,31 +125,44 @@ impl SweepSpec {
                 }
             }
         }
-        let results: Mutex<Vec<SweepCell>> = Mutex::new(Vec::with_capacity(params.len()));
-        let next: Mutex<usize> = Mutex::new(0);
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
+        let workers = self
+            .workers
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+            })
             .min(params.len().max(1));
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let index = {
-                        let mut guard = next.lock().expect("not poisoned");
-                        let i = *guard;
-                        if i >= params.len() {
-                            break;
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<SweepCell>> = vec![None; params.len()];
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|_| {
+                        let mut done: Vec<(usize, SweepCell)> = Vec::new();
+                        loop {
+                            let index = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&(precision, batch, procs)) = params.get(index) else {
+                                break;
+                            };
+                            let cell = self.run_cell(platform, model, precision, batch, procs);
+                            done.push((index, cell));
                         }
-                        *guard += 1;
-                        i
-                    };
-                    let (precision, batch, procs) = params[index];
-                    let cell = self.run_cell(platform, model, precision, batch, procs);
-                    results.lock().expect("not poisoned").push(cell);
-                });
+                        done
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (index, cell) in handle.join().expect("sweep worker panicked") {
+                    slots[index] = Some(cell);
+                }
             }
-        });
-        let mut cells = results.into_inner().expect("not poisoned");
+        })
+        .expect("sweep scope");
+        let mut cells: Vec<SweepCell> = slots
+            .into_iter()
+            .map(|slot| slot.expect("every cell dispatched exactly once"))
+            .collect();
         cells.sort_by_key(|c| (c.precision, c.batch, c.processes));
         cells
     }
@@ -153,6 +186,20 @@ impl SweepSpec {
         }
     }
 
+    /// Derives the per-cell RNG seed. Every grid coordinate — including
+    /// the precision, which the previous xor-shift scheme dropped, making
+    /// e.g. `(int8, b4, p2)` and `(fp16, b4, p2)` share one seed — feeds
+    /// a splitmix64 finalizer so neighbouring cells get uncorrelated
+    /// streams.
+    fn cell_seed(&self, precision: Precision, batch: u32, procs: u32) -> u64 {
+        splitmix64(
+            self.seed
+                ^ ((precision as u64) << 40)
+                ^ (u64::from(batch) << 8)
+                ^ (u64::from(procs) << 20),
+        )
+    }
+
     fn try_cell(
         &self,
         platform: &Platform,
@@ -168,7 +215,8 @@ impl SweepSpec {
         let mut builder = SimConfig::builder(platform.device().clone())
             .warmup(self.warmup)
             .measure(self.measure)
-            .seed(self.seed ^ u64::from(batch) << 8 ^ u64::from(procs) << 20)
+            .seed(self.cell_seed(precision, batch, procs))
+            .record_kernel_events(false)
             .profiler(ProfilerMode::Lightweight);
         builder = builder.add_engines(&engine, procs);
         match builder.build() {
@@ -196,9 +244,18 @@ impl SweepSpec {
                 required_mib: required_bytes / (1024 * 1024),
                 usable_mib: usable_bytes / (1024 * 1024),
             },
-            Err(e) => CellOutcome::BuildFailed(e.to_string()),
+            Err(e) => CellOutcome::SimFailed(e.to_string()),
         }
     }
+}
+
+/// Sebastiano Vigna's splitmix64 finalizer: a cheap, well-mixed 64-bit
+/// hash used to decorrelate per-cell seeds.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 fn mean_ms(trace: &jetsim_sim::RunTrace, f: fn(&jetsim_sim::ProcessStats) -> SimDuration) -> f64 {
@@ -261,6 +318,10 @@ pub enum CellOutcome {
     },
     /// The engine could not be built for these parameters.
     BuildFailed(String),
+    /// The engine built but the simulation itself was rejected for a
+    /// reason other than memory (e.g. an invalid configuration).
+    /// Previously these were mislabeled as [`CellOutcome::BuildFailed`].
+    SimFailed(String),
 }
 
 impl CellOutcome {
@@ -308,6 +369,7 @@ impl fmt::Display for SweepCell {
                 usable_mib,
             } => write!(f, "OOM ({required_mib} MiB > {usable_mib} MiB)"),
             CellOutcome::BuildFailed(e) => write!(f, "build failed: {e}"),
+            CellOutcome::SimFailed(e) => write!(f, "sim failed: {e}"),
         }
     }
 }
@@ -375,5 +437,33 @@ mod tests {
             .batches([1, 2, 4])
             .process_counts([1, 2]);
         assert_eq!(spec.cells(), 24);
+    }
+
+    #[test]
+    fn results_identical_across_worker_counts_and_cache_state() {
+        let spec = fast_spec()
+            .precisions([Precision::Int8, Precision::Fp16])
+            .batches([1, 4])
+            .process_counts([1, 2]);
+        let platform = Platform::orin_nano();
+        let model = zoo::yolov8n();
+        // The first run may compile engines (cache cold for this grid);
+        // the later runs hit the process-wide cache. Dispatch order and
+        // cache state must not leak into the results.
+        let cold = spec.clone().workers(1).run(&platform, &model);
+        let warm2 = spec.clone().workers(2).run(&platform, &model);
+        let warm8 = spec.clone().workers(8).run(&platform, &model);
+        let json = |cells: &[SweepCell]| serde_json::to_string(cells).expect("serializable");
+        assert_eq!(json(&cold), json(&warm2), "1 vs 2 workers");
+        assert_eq!(json(&cold), json(&warm8), "1 vs 8 workers (cache warm)");
+    }
+
+    #[test]
+    fn cell_seeds_depend_on_every_coordinate() {
+        let spec = SweepSpec::new();
+        let base = spec.cell_seed(Precision::Int8, 4, 2);
+        assert_ne!(base, spec.cell_seed(Precision::Fp16, 4, 2), "precision");
+        assert_ne!(base, spec.cell_seed(Precision::Int8, 8, 2), "batch");
+        assert_ne!(base, spec.cell_seed(Precision::Int8, 4, 4), "processes");
     }
 }

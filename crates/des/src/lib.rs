@@ -27,11 +27,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calendar;
 pub mod queue;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
+pub use calendar::CalendarQueue;
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

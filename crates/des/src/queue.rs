@@ -29,6 +29,7 @@ use crate::time::SimTime;
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     seq: u64,
+    now: SimTime,
 }
 
 #[derive(Debug, Clone)]
@@ -69,15 +70,32 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             seq: 0,
+            now: SimTime::ZERO,
         }
     }
 
     /// Creates an empty queue with space for `capacity` events.
+    ///
+    /// Simulators that know their expected event volume (engine kernel
+    /// count × iterations) should use this to avoid heap regrowth in the
+    /// hot loop.
     pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
             heap: BinaryHeap::with_capacity(capacity),
             seq: 0,
+            now: SimTime::ZERO,
         }
+    }
+
+    /// Reserves space for at least `additional` more events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// The timestamp of the most recently popped event — the queue's notion
+    /// of "now". Starts at [`SimTime::ZERO`].
+    pub fn now(&self) -> SimTime {
+        self.now
     }
 
     /// Schedules `event` to fire at `time`.
@@ -90,9 +108,36 @@ impl<E> EventQueue<E> {
         self.heap.push(Entry { time, seq, event });
     }
 
+    /// Schedules `event` to fire `delay` after [`EventQueue::now`].
+    ///
+    /// This is the common case in an event handler ("finish this kernel in
+    /// 42 µs") and saves the caller from threading the current timestamp
+    /// through every call site.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use jetsim_des::{EventQueue, SimDuration, SimTime};
+    ///
+    /// let mut q = EventQueue::new();
+    /// q.schedule(SimTime::from_nanos(100), "first");
+    /// let (t, _) = q.pop().unwrap();
+    /// assert_eq!(q.now(), t);
+    /// q.schedule_after(SimDuration::from_nanos(50), "second");
+    /// assert_eq!(q.peek_time(), Some(SimTime::from_nanos(150)));
+    /// ```
+    pub fn schedule_after(&mut self, delay: crate::time::SimDuration, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
     /// Removes and returns the earliest event, or `None` if empty.
+    ///
+    /// Popping advances [`EventQueue::now`] to the popped timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|entry| (entry.time, entry.event))
+        self.heap.pop().map(|entry| {
+            self.now = entry.time;
+            (entry.time, entry.event)
+        })
     }
 
     /// Returns the timestamp of the earliest event without removing it.
@@ -192,6 +237,20 @@ mod tests {
         assert_eq!(q.len(), 5);
         let first = q.pop().unwrap();
         assert_eq!(first.1, 4); // scheduled at t=1ns
+    }
+
+    #[test]
+    fn now_tracks_pops_and_schedule_after_is_relative() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.schedule(SimTime::from_nanos(40), "a");
+        q.schedule_after(SimDuration::from_nanos(10), "b"); // t = 10
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.now(), SimTime::from_nanos(10));
+        q.schedule_after(SimDuration::from_nanos(5), "c"); // t = 15
+        assert_eq!(q.pop().unwrap(), (SimTime::from_nanos(15), "c"));
+        assert_eq!(q.pop().unwrap(), (SimTime::from_nanos(40), "a"));
+        assert_eq!(q.now(), SimTime::from_nanos(40));
     }
 
     #[test]

@@ -2,9 +2,62 @@
 
 use proptest::prelude::*;
 
-use jetsim_des::{EventQueue, SimDuration, SimRng, SimTime, TraceBuffer};
+use jetsim_des::{CalendarQueue, EventQueue, SimDuration, SimRng, SimTime, TraceBuffer};
 
 proptest! {
+    /// The calendar queue is observationally identical to the binary
+    /// heap: same pops (time and payload) for any interleaving of
+    /// schedules and pops, including duplicate timestamps, events far
+    /// beyond the bucket horizon, and scheduling into the past.
+    ///
+    /// `Some(t)` schedules payload `i` at `t`; `None` pops both queues
+    /// and compares.
+    #[test]
+    fn calendar_queue_matches_heap(
+        ops in prop::collection::vec(
+            prop::option::weighted(0.7, 0u64..(1u64 << 34)),
+            1..300,
+        ),
+    ) {
+        let mut heap = EventQueue::new();
+        let mut cal = CalendarQueue::new();
+        for (i, op) in ops.into_iter().enumerate() {
+            match op {
+                Some(t) => {
+                    let time = SimTime::from_nanos(t);
+                    heap.schedule(time, i);
+                    cal.schedule(time, i);
+                }
+                None => prop_assert_eq!(heap.pop(), cal.pop()),
+            }
+        }
+        prop_assert_eq!(heap.len(), cal.len());
+        while let Some(expected) = heap.pop() {
+            prop_assert_eq!(cal.pop(), Some(expected));
+        }
+        prop_assert_eq!(cal.pop(), None);
+    }
+
+    /// `schedule_after` on both backends is relative to the same clock:
+    /// the time of the most recent pop.
+    #[test]
+    fn calendar_schedule_after_matches_heap(
+        delays in prop::collection::vec(0u64..100_000u64, 1..100),
+    ) {
+        let mut heap = EventQueue::new();
+        let mut cal = CalendarQueue::new();
+        for (i, &d) in delays.iter().enumerate() {
+            heap.schedule_after(SimDuration::from_nanos(d), i);
+            cal.schedule_after(SimDuration::from_nanos(d), i);
+            if i % 3 == 0 {
+                prop_assert_eq!(heap.pop(), cal.pop());
+                prop_assert_eq!(heap.now(), cal.now());
+            }
+        }
+        while let Some(expected) = heap.pop() {
+            prop_assert_eq!(cal.pop(), Some(expected));
+        }
+    }
     /// Popping the queue always yields events in non-decreasing time
     /// order, regardless of insertion order.
     #[test]

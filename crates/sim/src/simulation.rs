@@ -3,7 +3,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use jetsim_des::{EventQueue, SimDuration, SimRng, SimTime};
+use jetsim_des::{CalendarQueue, SimDuration, SimRng, SimTime};
 use jetsim_device::power::GpuLoad;
 use jetsim_device::DeviceSpec;
 use jetsim_trt::Engine;
@@ -269,7 +269,11 @@ impl Simulation {
 struct Runner {
     config: SimConfig,
     rng: SimRng,
-    queue: EventQueue<Event>,
+    /// Independent stream for kernel-event jitter samples, so toggling
+    /// `record_kernel_events` cannot perturb the simulation dynamics:
+    /// aggregate results are bit-identical with tracing on or off.
+    trace_rng: SimRng,
+    queue: CalendarQueue<Event>,
     procs: Vec<Proc>,
     gpu: Gpu,
     n_procs: u32,
@@ -280,6 +284,9 @@ struct Runner {
     kernel_events: Vec<KernelEvent>,
     power_samples: Vec<PowerSample>,
     gpu_busy_measured: SimDuration,
+    /// Events processed by the DES loop (for the sweep benchmarks'
+    /// events/sec figure).
+    events_processed: u64,
     /// Estimated junction temperature, °C.
     temp_c: f64,
     /// Threads currently holding heavy cores (run-queue mode).
@@ -291,10 +298,48 @@ struct Runner {
 impl Runner {
     fn new(config: SimConfig) -> Self {
         let rng = SimRng::seed_from(config.seed);
+        // Derived with a distinct stream constant so the jitter samples
+        // attached to kernel events never share draws with the main
+        // dynamics stream.
+        let trace_rng = SimRng::seed_from(
+            config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x7472_6163_655F_726E, // "trace_rn"
+        );
+        let top = config.device.gpu.freq.top();
+        // Expected per-process EC iterations at the top clock: used to
+        // pre-size the per-process EC records and the kernel-event trace
+        // so the hot loop never regrows them.
+        let total_secs = config.total_time().as_secs_f64();
+        let n = config.processes.len().max(1) as f64;
+        let est_ecs: Vec<usize> = config
+            .processes
+            .iter()
+            .map(|p| {
+                let ideal = p
+                    .engine
+                    .ideal_ec_time(&config.device.gpu, top)
+                    .as_secs_f64()
+                    .max(1e-6);
+                // The GPU time-multiplexes processes, so each gets ~1/n of
+                // its standalone rate; 25% slack absorbs jitter.
+                ((total_secs / (ideal * n)) * 1.25).ceil().min(2e6) as usize
+            })
+            .collect();
+        let est_events: usize = if config.record_kernel_events {
+            config
+                .processes
+                .iter()
+                .zip(&est_ecs)
+                .map(|(p, &ecs)| p.engine.kernel_count().saturating_mul(ecs))
+                .sum::<usize>()
+                .min(8 << 20)
+        } else {
+            0
+        };
         let procs = config
             .processes
             .iter()
-            .map(|p| Proc {
+            .zip(&est_ecs)
+            .map(|(p, &ecs)| Proc {
                 name: p.name.clone(),
                 engine: Arc::clone(&p.engine),
                 next_launch: 0,
@@ -310,18 +355,23 @@ impl Runner {
                 cur_queue_delay: SimDuration::ZERO,
                 cpu: RqThread::new(),
                 ready: VecDeque::new(),
-                ecs: Vec::new(),
+                ecs: Vec::with_capacity(ecs),
             })
             .collect::<Vec<_>>();
         let n_procs = procs.len() as u32;
         let warmup_end = SimTime::ZERO + config.warmup;
         let sim_end = SimTime::ZERO + config.total_time();
-        let top = config.device.gpu.freq.top();
         let ambient_c = config.device.thermal.ambient_c;
+        // The pending-event population is tiny (a couple of events per
+        // process plus the periodic ticks); the capacity hint sizes the
+        // calendar buckets so they never reallocate mid-run.
+        let queue = CalendarQueue::with_capacity(4 * procs.len() + 16);
+        let kernel_events = Vec::with_capacity(est_events);
         Runner {
             config,
             rng,
-            queue: EventQueue::new(),
+            trace_rng,
+            queue,
             procs,
             gpu: Gpu {
                 current: None,
@@ -334,9 +384,10 @@ impl Runner {
             sim_end,
             dvfs_window: Window::default(),
             sample_window: Window::default(),
-            kernel_events: Vec::new(),
+            kernel_events,
             power_samples: Vec::new(),
             gpu_busy_measured: SimDuration::ZERO,
+            events_processed: 0,
             temp_c: ambient_c,
             rq_running: 0,
             rq_ready: VecDeque::new(),
@@ -362,6 +413,7 @@ impl Runner {
             if now > self.sim_end {
                 break;
             }
+            self.events_processed += 1;
             match event {
                 Event::LaunchDone { pid } => self.on_launch_done(pid, now),
                 Event::ThreadResume { pid, kind } => match kind {
@@ -439,7 +491,7 @@ impl Runner {
             self.rq_request(pid, now, cost, RqJob::Launch);
         } else {
             self.charge_cpu(cost);
-            self.queue.schedule(now + cost, Event::LaunchDone { pid });
+            self.queue.schedule_after(cost, Event::LaunchDone { pid });
         }
     }
 
@@ -650,8 +702,8 @@ impl Runner {
             if self.rng.chance(0.6) {
                 self.procs[pid].cache_cold = true;
             }
-            self.queue.schedule(
-                now + blocking,
+            self.queue.schedule_after(
+                blocking,
                 Event::ThreadResume {
                     pid,
                     kind: Resume::ContinueLaunch,
@@ -687,11 +739,14 @@ impl Runner {
             self.gpu.slice_start = start;
         }
         let kernel_index = self.procs[pid].ready.pop_front().expect("picked non-empty");
-        let engine = Arc::clone(&self.procs[pid].engine);
+        // Disjoint-field borrows keep the engine referenced in place — no
+        // per-dispatch `Arc` refcount traffic on the hot path.
+        let engine = &self.procs[pid].engine;
+        let batch = engine.batch();
         let kernel = &engine.kernels()[kernel_index];
         let gpu_arch = &self.config.device.gpu;
         let mut exec = kernel
-            .exec_time(gpu_arch, engine.batch(), self.gpu.freq_step)
+            .exec_time(gpu_arch, batch, self.gpu.freq_step)
             .mul_f64(self.config.profiler.kernel_overhead_factor())
             .mul_f64(self.rng.uniform(0.95, 1.05));
         if let Some(overlap) = mps_overlap {
@@ -717,12 +772,11 @@ impl Runner {
             .device
             .power
             .precision_coefficient(kernel.precision);
-        let tc = kernel.tc_activity(gpu_arch, engine.batch(), self.gpu.freq_step);
+        let tc = kernel.tc_activity(gpu_arch, batch, self.gpu.freq_step);
         let exec_secs = exec.as_secs_f64();
         let work_fraction =
             1.0 - (gpu_arch.kernel_min_gap.as_secs_f64() / exec_secs.max(f64::EPSILON)).min(1.0);
-        let bytes_per_sec =
-            (kernel.bytes * u64::from(engine.batch())) as f64 / exec_secs.max(f64::EPSILON);
+        let bytes_per_sec = (kernel.bytes * u64::from(batch)) as f64 / exec_secs.max(f64::EPSILON);
         self.gpu.current = Some(InFlight {
             pid,
             kernel_index,
@@ -799,10 +853,6 @@ impl Runner {
     fn on_gpu_done(&mut self, now: SimTime) {
         self.accrue_gpu(now);
         let inflight = self.gpu.current.take().expect("GpuDone without kernel");
-        let engine = Arc::clone(&self.procs[inflight.pid].engine);
-        let kernel = &engine.kernels()[inflight.kernel_index];
-        let gpu_arch = &self.config.device.gpu;
-        let batch = engine.batch();
         let exec = inflight.end.since(inflight.start);
         self.procs[inflight.pid].cur_gpu += exec;
 
@@ -810,14 +860,23 @@ impl Runner {
             let clipped = inflight.end.since(self.warmup_end.max_of(inflight.start));
             self.gpu_busy_measured += clipped.max_of(SimDuration::ZERO);
         }
+        // Disjoint-field borrows: the engine stays referenced in place
+        // (no `Arc` clone per completion) while the jitter samples come
+        // from the dedicated trace stream, so disabling recording cannot
+        // change the dynamics.
+        let engine = &self.procs[inflight.pid].engine;
+        let kernel_count = engine.kernel_count();
         if inflight.end > self.warmup_end && self.config.record_kernel_events {
-            let sm =
-                (kernel.sm_active(gpu_arch, batch) * self.rng.uniform(0.92, 1.08)).clamp(0.0, 1.0);
+            let kernel = &engine.kernels()[inflight.kernel_index];
+            let gpu_arch = &self.config.device.gpu;
+            let batch = engine.batch();
+            let sm = (kernel.sm_active(gpu_arch, batch) * self.trace_rng.uniform(0.92, 1.08))
+                .clamp(0.0, 1.0);
             let issue = (kernel.issue_slot(gpu_arch, batch, self.gpu.freq_step)
-                * self.rng.uniform(0.85, 1.15))
+                * self.trace_rng.uniform(0.85, 1.15))
             .clamp(0.0, 0.8);
             let tc = (kernel.tc_activity(gpu_arch, batch, self.gpu.freq_step)
-                * self.rng.uniform(0.88, 1.12))
+                * self.trace_rng.uniform(0.88, 1.12))
             .clamp(0.0, 1.0);
             self.kernel_events.push(KernelEvent {
                 pid: inflight.pid,
@@ -833,7 +892,7 @@ impl Runner {
             });
         }
 
-        if inflight.kernel_index + 1 == engine.kernel_count() {
+        if inflight.kernel_index + 1 == kernel_count {
             if self.run_queue_mode() {
                 // The spinning thread notices completion once it holds a
                 // core; the queue wait *is* the wakeup latency.
@@ -846,8 +905,8 @@ impl Runner {
                     .cpu
                     .wakeup_delay(self.n_procs)
                     .mul_f64(self.rng.uniform(0.8, 1.2));
-                self.queue.schedule(
-                    now + wakeup,
+                self.queue.schedule_after(
+                    wakeup,
                     Event::ThreadResume {
                         pid: inflight.pid,
                         kind: Resume::SyncReturn,
@@ -909,8 +968,7 @@ impl Runner {
                     .total_watts(cpu_cores, load, ladder.ratio(step))
             };
             let budget = device.power.budget_w;
-            let over_limit =
-                device.thermal.throttles(self.temp_c) || watts_at(cur) > budget;
+            let over_limit = device.thermal.throttles(self.temp_c) || watts_at(cur) > budget;
             self.gpu.freq_step = if over_limit {
                 ladder.step_down(cur)
             } else {
@@ -928,7 +986,7 @@ impl Runner {
                 }
             };
         }
-        self.queue.schedule(now + interval, Event::DvfsTick);
+        self.queue.schedule_after(interval, Event::DvfsTick);
     }
 
     /// Periodic `jetson-stats` sample.
@@ -951,7 +1009,7 @@ impl Runner {
                 temp_c: self.temp_c,
             });
         }
-        self.queue.schedule(now + period, Event::SampleTick);
+        self.queue.schedule_after(period, Event::SampleTick);
     }
 
     fn charge_cpu(&mut self, cost: SimDuration) {
@@ -1012,10 +1070,23 @@ impl Runner {
             ec_records.push(measured);
         }
         let gpu_memory_bytes = self.config.gpu_memory_bytes();
-        let kernel_names = self
+        // Intern one name table per distinct engine: processes sharing an
+        // engine share one `Arc`, so an 8-process sweep cell clones each
+        // kernel name once instead of eight times.
+        let mut interned: Vec<(Arc<Engine>, Arc<Vec<String>>)> = Vec::new();
+        let kernel_names: Vec<Arc<Vec<String>>> = self
             .procs
             .iter()
-            .map(|p| p.engine.kernels().iter().map(|k| k.name.clone()).collect())
+            .map(|p| {
+                if let Some((_, names)) = interned.iter().find(|(e, _)| Arc::ptr_eq(e, &p.engine)) {
+                    Arc::clone(names)
+                } else {
+                    let names: Arc<Vec<String>> =
+                        Arc::new(p.engine.kernels().iter().map(|k| k.name.clone()).collect());
+                    interned.push((Arc::clone(&p.engine), Arc::clone(&names)));
+                    names
+                }
+            })
             .collect();
         RunTrace {
             device_name: self.config.device.name.clone(),
@@ -1025,6 +1096,7 @@ impl Runner {
             ec_records,
             kernel_events: std::mem::take(&mut self.kernel_events),
             power_samples: std::mem::take(&mut self.power_samples),
+            sim_events: self.events_processed,
             gpu_busy: self.gpu_busy_measured,
             gpu_memory_bytes,
             gpu_memory_percent: self.config.device.memory.gpu_percent(gpu_memory_bytes),

@@ -1,5 +1,7 @@
 //! Run traces: everything a simulation records for the profilers.
 
+use std::sync::Arc;
+
 use jetsim_des::{SimDuration, SimTime};
 use jetsim_dnn::Precision;
 
@@ -127,14 +129,18 @@ pub struct RunTrace {
     /// Per-process aggregated statistics.
     pub processes: Vec<ProcessStats>,
     /// Fused-kernel names per process (indexed by
-    /// [`KernelEvent::kernel_index`]), for timeline tooling.
-    pub kernel_names: Vec<Vec<String>>,
+    /// [`KernelEvent::kernel_index`]), for timeline tooling. Processes
+    /// sharing an engine share one interned table behind the `Arc`.
+    pub kernel_names: Vec<Arc<Vec<String>>>,
     /// Per-EC records (measured window only), grouped per process.
     pub ec_records: Vec<Vec<EcRecord>>,
     /// Per-kernel events (measured window only).
     pub kernel_events: Vec<KernelEvent>,
     /// Periodic power samples (measured window only).
     pub power_samples: Vec<PowerSample>,
+    /// Total events the DES loop processed over the whole run (warmup
+    /// included) — the denominator of the sweep benches' events/sec.
+    pub sim_events: u64,
     /// GPU busy time within the measured window.
     pub gpu_busy: SimDuration,
     /// Total GPU-side memory allocated by the deployment.
@@ -278,6 +284,7 @@ mod tests {
                     temp_c: 40.0,
                 },
             ],
+            sim_events: 0,
             gpu_busy: SimDuration::from_secs(1),
             gpu_memory_bytes: 0,
             gpu_memory_percent: 0.0,

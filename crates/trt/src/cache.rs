@@ -1,0 +1,334 @@
+//! A process-wide engine cache.
+//!
+//! Building an engine — fusion, precision assignment, memory planning —
+//! is by far the most expensive step of a sweep cell, and the paper's
+//! grids re-use the same `(device, model, precision, batch)` engine for
+//! every process-count point. [`EngineCache`] memoises built engines
+//! behind an [`Arc`], so each distinct engine is compiled exactly once
+//! per process no matter how many sweep cells, figure harnesses or
+//! worker threads request it.
+//!
+//! Keys are content fingerprints (FNV-1a over the serialised
+//! [`DeviceSpec`] / [`ModelGraph`]), not names, so mutated ablation specs
+//! created via `Platform::from_spec` can never alias a preset's cache
+//! entry.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::RwLock;
+
+use jetsim_device::DeviceSpec;
+use jetsim_dnn::{ModelGraph, Precision};
+
+use crate::builder::EngineBuilder;
+use crate::engine::Engine;
+use crate::error::BuildError;
+
+/// Identifies one distinct engine build: device and model by content
+/// fingerprint, plus the requested precision and batch size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EngineKey {
+    /// Fingerprint of the target [`DeviceSpec`].
+    pub device_fp: u64,
+    /// Fingerprint of the source [`ModelGraph`].
+    pub model_fp: u64,
+    /// Requested precision.
+    pub precision: Precision,
+    /// Fixed batch size.
+    pub batch: u32,
+}
+
+impl EngineKey {
+    /// Computes the key for a prospective default-options build.
+    pub fn of(device: &DeviceSpec, model: &ModelGraph, precision: Precision, batch: u32) -> Self {
+        EngineKey {
+            device_fp: fingerprint_device(device),
+            model_fp: fingerprint_model(model),
+            precision,
+            batch,
+        }
+    }
+}
+
+/// Hit/miss counters, for the sweep benchmarks and cache diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requests served from the cache.
+    pub hits: u64,
+    /// Requests that had to compile an engine.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`; zero for an untouched cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A thread-safe memo table from [`EngineKey`] to built engines.
+///
+/// Reads take a shared `parking_lot` lock, so concurrent sweep workers
+/// hitting a warm cache never contend; a miss takes the write lock for
+/// the duration of the build, guaranteeing each engine is compiled at
+/// most once even under racing workers.
+///
+/// # Examples
+///
+/// ```
+/// use jetsim_device::presets;
+/// use jetsim_dnn::{zoo, Precision};
+/// use jetsim_trt::EngineCache;
+///
+/// let cache = EngineCache::new();
+/// let device = presets::orin_nano();
+/// let model = zoo::resnet50();
+/// let a = cache.get_or_build(&device, &model, Precision::Fp16, 4)?;
+/// let b = cache.get_or_build(&device, &model, Precision::Fp16, 4)?;
+/// assert!(std::sync::Arc::ptr_eq(&a, &b)); // second call is a cache hit
+/// assert_eq!(cache.stats().misses, 1);
+/// # Ok::<(), jetsim_trt::BuildError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct EngineCache {
+    map: RwLock<HashMap<EngineKey, Arc<Engine>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EngineCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        EngineCache::default()
+    }
+
+    /// The process-wide shared cache used by `Platform::build_engine` and
+    /// the sweep/figure harnesses.
+    pub fn global() -> &'static EngineCache {
+        static GLOBAL: OnceLock<EngineCache> = OnceLock::new();
+        GLOBAL.get_or_init(EngineCache::new)
+    }
+
+    /// Returns the cached engine for `key`, if present.
+    pub fn get(&self, key: &EngineKey) -> Option<Arc<Engine>> {
+        let hit = self.map.read().get(key).cloned();
+        match &hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Returns the engine for `(device, model, precision, batch)`,
+    /// compiling it with default builder options on first request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BuildError`] from the underlying builder; failed
+    /// builds are not cached.
+    pub fn get_or_build(
+        &self,
+        device: &DeviceSpec,
+        model: &ModelGraph,
+        precision: Precision,
+        batch: u32,
+    ) -> Result<Arc<Engine>, BuildError> {
+        let key = EngineKey::of(device, model, precision, batch);
+        if let Some(engine) = self.map.read().get(&key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(engine);
+        }
+        // Take the write lock for the build itself: racing workers block
+        // here instead of compiling the same engine twice.
+        let mut map = self.map.write();
+        if let Some(engine) = map.get(&key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(engine);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let engine = Arc::new(
+            EngineBuilder::new(device)
+                .precision(precision)
+                .batch(batch)
+                .build(model)?,
+        );
+        map.insert(key, Arc::clone(&engine));
+        Ok(engine)
+    }
+
+    /// Inserts a pre-built engine (e.g. one built with non-default
+    /// builder options the caller wants re-served under the default key).
+    pub fn insert(&self, key: EngineKey, engine: Arc<Engine>) {
+        self.map.write().insert(key, engine);
+    }
+
+    /// Number of distinct engines currently cached.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Returns `true` if the cache holds no engines.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// Drops every cached engine (counters are kept).
+    pub fn clear(&self) {
+        self.map.write().clear();
+    }
+
+    /// Hit/miss counters since process start (for the global cache) or
+    /// construction.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// FNV-1a over a byte stream: tiny, dependency-free, and stable across
+/// platforms and runs — exactly what a content fingerprint needs.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Content fingerprint of a device specification.
+pub fn fingerprint_device(device: &DeviceSpec) -> u64 {
+    let bytes = serde_json::to_vec(device).expect("DeviceSpec serialises");
+    fnv1a(&bytes)
+}
+
+/// Content fingerprint of a model graph.
+pub fn fingerprint_model(model: &ModelGraph) -> u64 {
+    let bytes = serde_json::to_vec(model).expect("ModelGraph serialises");
+    fnv1a(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jetsim_device::presets;
+    use jetsim_dnn::zoo;
+
+    #[test]
+    fn second_request_is_a_pointer_equal_hit() {
+        let cache = EngineCache::new();
+        let device = presets::orin_nano();
+        let model = zoo::resnet50();
+        let a = cache
+            .get_or_build(&device, &model, Precision::Int8, 8)
+            .unwrap();
+        let b = cache
+            .get_or_build(&device, &model, Precision::Int8, 8)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn distinct_parameters_are_distinct_entries() {
+        let cache = EngineCache::new();
+        let device = presets::orin_nano();
+        let model = zoo::resnet50();
+        cache
+            .get_or_build(&device, &model, Precision::Int8, 1)
+            .unwrap();
+        cache
+            .get_or_build(&device, &model, Precision::Fp16, 1)
+            .unwrap();
+        cache
+            .get_or_build(&device, &model, Precision::Int8, 2)
+            .unwrap();
+        cache
+            .get_or_build(&device, &zoo::yolov8n(), Precision::Int8, 1)
+            .unwrap();
+        cache
+            .get_or_build(&presets::jetson_nano(), &model, Precision::Int8, 1)
+            .unwrap();
+        assert_eq!(cache.len(), 5);
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn mutated_spec_does_not_alias_preset() {
+        let cache = EngineCache::new();
+        let model = zoo::resnet50();
+        let stock = presets::orin_nano();
+        let mut tweaked = presets::orin_nano();
+        tweaked.gpu.sm_count *= 2;
+        let key_stock = EngineKey::of(&stock, &model, Precision::Fp16, 1);
+        let key_tweaked = EngineKey::of(&tweaked, &model, Precision::Fp16, 1);
+        assert_ne!(key_stock, key_tweaked);
+    }
+
+    #[test]
+    fn failed_builds_are_not_cached() {
+        let cache = EngineCache::new();
+        let device = presets::orin_nano();
+        let model = zoo::resnet50();
+        let err = cache.get_or_build(&device, &model, Precision::Fp16, 0);
+        assert!(err.is_err());
+        assert!(cache.is_empty());
+        // A subsequent valid request still works.
+        cache
+            .get_or_build(&device, &model, Precision::Fp16, 1)
+            .unwrap();
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let cache = EngineCache::new();
+        let device = presets::orin_nano();
+        let model = zoo::yolov8n();
+        cache
+            .get_or_build(&device, &model, Precision::Fp16, 1)
+            .unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn concurrent_requests_build_once() {
+        let cache = EngineCache::new();
+        let device = presets::orin_nano();
+        let model = zoo::resnet50();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    cache
+                        .get_or_build(&device, &model, Precision::Fp16, 4)
+                        .unwrap();
+                });
+            }
+        });
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn fingerprints_are_stable() {
+        let d1 = fingerprint_device(&presets::orin_nano());
+        let d2 = fingerprint_device(&presets::orin_nano());
+        assert_eq!(d1, d2);
+        assert_ne!(d1, fingerprint_device(&presets::jetson_nano()));
+        let m1 = fingerprint_model(&zoo::resnet50());
+        assert_eq!(m1, fingerprint_model(&zoo::resnet50()));
+        assert_ne!(m1, fingerprint_model(&zoo::yolov8n()));
+    }
+}

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod cache;
 pub mod calibration;
 pub mod context;
 pub mod engine;
@@ -46,6 +47,7 @@ pub mod error;
 pub mod kernel;
 
 pub use builder::EngineBuilder;
+pub use cache::{CacheStats, EngineCache, EngineKey};
 pub use calibration::CalibrationTable;
 pub use context::ExecutionContext;
 pub use engine::Engine;
