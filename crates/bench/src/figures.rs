@@ -716,10 +716,10 @@ pub fn all_parallel() -> Vec<FigureResult> {
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<FigureResult>> = Vec::new();
     slots.resize_with(harnesses.len(), || None);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
-                scope.spawn(|_| {
+                scope.spawn(|| {
                     let mut done: Vec<(usize, FigureResult)> = Vec::new();
                     loop {
                         let index = next.fetch_add(1, Ordering::Relaxed);
@@ -737,8 +737,7 @@ pub fn all_parallel() -> Vec<FigureResult> {
                 slots[index] = Some(result);
             }
         }
-    })
-    .expect("figure scope");
+    });
     slots
         .into_iter()
         .map(|slot| slot.expect("every harness ran"))

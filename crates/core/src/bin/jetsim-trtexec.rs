@@ -12,6 +12,7 @@ use std::process::ExitCode;
 
 use jetsim::prelude::*;
 use jetsim_profile::chrome_trace;
+use jetsim_sim::{FaultKind, FaultPlan};
 
 #[derive(Debug)]
 struct Args {
@@ -25,6 +26,8 @@ struct Args {
     nsight: bool,
     chrome_trace: Option<String>,
     seed: u64,
+    faults: bool,
+    fault_seed: Option<u64>,
 }
 
 impl Args {
@@ -33,7 +36,9 @@ impl Args {
          \x20                  zoo: resnet50, fcn_resnet50, yolov8n, resnet18, resnet34, resnet101, mobilenet_v2\n\
          \x20                  [--int8|--fp16|--tf32|--fp32] [--batch=N] [--processes=N] [--streams=N]\n\
          \x20                  [--device=orin-nano|jetson-nano|cloud-a40] [--duration=SECONDS]\n\
-         \x20                  [--nsight] [--chrome-trace=FILE] [--seed=N]"
+         \x20                  [--nsight] [--chrome-trace=FILE] [--seed=N] [--faults[=SEED]]\n\
+         \x20                  --faults injects a seeded fault plan (memory spikes + a throttle\n\
+         \x20                  lock) and swaps strict OOM admission for OOM-killer semantics"
     }
 
     fn parse(argv: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -48,6 +53,8 @@ impl Args {
             nsight: false,
             chrome_trace: None,
             seed: 0x6A65_7473,
+            faults: false,
+            fault_seed: None,
         };
         for arg in argv {
             let (key, value) = match arg.split_once('=') {
@@ -86,6 +93,13 @@ impl Args {
                         .map_err(|e| format!("bad --duration: {e}"))?
                 }
                 "--nsight" => args.nsight = true,
+                "--faults" => {
+                    args.faults = true;
+                    if let Some(v) = value {
+                        args.fault_seed =
+                            Some(v.parse().map_err(|e| format!("bad --faults: {e}"))?);
+                    }
+                }
                 "--chrome-trace" => args.chrome_trace = Some(required(value)?),
                 "--seed" => {
                     args.seed = required(value)?
@@ -159,15 +173,30 @@ fn run(args: Args) -> Result<(), String> {
     println!("=== Device ===");
     println!("{platform}");
 
+    let warmup = SimDuration::from_millis(500);
+    let measure = SimDuration::from_secs_f64(args.duration_secs);
     let mut builder = SimConfig::builder(platform.device().clone())
-        .warmup(SimDuration::from_millis(500))
-        .measure(SimDuration::from_secs_f64(args.duration_secs))
+        .warmup(warmup)
+        .measure(measure)
         .seed(args.seed)
         .profiler(if args.nsight {
             ProfilerMode::Nsight
         } else {
             ProfilerMode::Lightweight
         });
+    if args.faults {
+        let fault_seed = args.fault_seed.unwrap_or(args.seed);
+        let horizon = SimDuration::from_secs_f64(warmup.as_secs_f64() + measure.as_secs_f64());
+        let plan = FaultPlan::seeded(fault_seed, horizon, 2, 1)
+            .oom_policy(jetsim_sim::OomPolicy::KillLargest);
+        println!("=== Fault Plan (seed {fault_seed}) ===");
+        println!(
+            "{} memory spike(s), {} throttle lock(s), OOM policy: kill-largest",
+            plan.memory_spikes.len(),
+            plan.throttle_locks.len()
+        );
+        builder = builder.faults(plan);
+    }
     for _ in 0..args.processes {
         builder = builder.add_engine_streams(&engine, args.streams);
     }
@@ -195,6 +224,49 @@ fn run(args: Args) -> Result<(), String> {
     }
     println!("\n=== jetson-stats ===");
     println!("{}", jetsim_profile::JetsonStatsReport::from_trace(&trace));
+
+    if args.faults {
+        println!("\n=== Fault Events ===");
+        if trace.fault_events.is_empty() {
+            println!("(none fired inside the simulated window)");
+        }
+        for event in &trace.fault_events {
+            let t_ms = event.time.as_micros_f64() / 1e3;
+            match &event.kind {
+                FaultKind::MemorySpikeStart { bytes } => println!(
+                    "[{t_ms:9.3} ms] memory spike +{:.0} MiB",
+                    *bytes as f64 / (1024.0 * 1024.0)
+                ),
+                FaultKind::MemorySpikeEnd { bytes } => println!(
+                    "[{t_ms:9.3} ms] memory spike released -{:.0} MiB",
+                    *bytes as f64 / (1024.0 * 1024.0)
+                ),
+                FaultKind::ThrottleLockStart { step, mhz } => {
+                    println!("[{t_ms:9.3} ms] throttle lock: GPU pinned to step {step} ({mhz} MHz)")
+                }
+                FaultKind::ThrottleLockEnd => {
+                    println!("[{t_ms:9.3} ms] throttle lock released; governor resumes")
+                }
+                FaultKind::ProcessKilled {
+                    pid,
+                    name,
+                    freed_bytes,
+                } => println!(
+                    "[{t_ms:9.3} ms] OOM killer: {name} (pid {pid}) killed, {:.0} MiB freed",
+                    *freed_bytes as f64 / (1024.0 * 1024.0)
+                ),
+                _ => println!("[{t_ms:9.3} ms] fault: {:?}", event.kind),
+            }
+        }
+        if trace.killed_processes() > 0 {
+            println!(
+                "{} of {} processes killed; surviving throughput {:.2} qps",
+                trace.killed_processes(),
+                trace.processes.len(),
+                trace.surviving_throughput()
+            );
+        }
+    }
 
     if args.nsight {
         if let Some(report) = NsightReport::from_trace(&trace) {

@@ -49,7 +49,7 @@ pub mod sweep;
 pub use analysis::{Bottleneck, BottleneckReport};
 pub use platform::Platform;
 pub use profiler::{DualPhaseProfiler, WorkloadProfile};
-pub use sweep::{CellMetrics, CellOutcome, SweepCell, SweepSpec};
+pub use sweep::{CellChaos, CellMetrics, CellOutcome, SupervisorPolicy, SweepCell, SweepSpec};
 
 /// Convenience re-exports for downstream users and examples.
 pub mod prelude {
@@ -57,7 +57,9 @@ pub mod prelude {
     pub use crate::platform::Platform;
     pub use crate::profiler::{DualPhaseProfiler, WorkloadProfile};
     pub use crate::report::Table;
-    pub use crate::sweep::{CellMetrics, CellOutcome, SweepCell, SweepSpec};
+    pub use crate::sweep::{
+        CellChaos, CellMetrics, CellOutcome, SupervisorPolicy, SweepCell, SweepSpec,
+    };
     pub use jetsim_des::{SimDuration, SimTime};
     pub use jetsim_dnn::{zoo, ModelGraph, Precision};
     pub use jetsim_profile::{JetsonStatsReport, NsightReport};

@@ -2,16 +2,111 @@
 //! the paper's figures 1 and 3–12.
 
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use serde::Serialize;
 
 use jetsim_des::SimDuration;
 use jetsim_dnn::{ModelGraph, Precision};
 use jetsim_profile::JetsonStatsReport;
-use jetsim_sim::{ProfilerMode, SimConfig, SimError, Simulation};
+use jetsim_sim::{FaultPlan, ProfilerMode, SimConfig, SimError, Simulation};
+use jetsim_trt::{Engine, EngineBuilder};
 
 use crate::platform::Platform;
+
+/// Supervision policy for a sweep: what the runner does when a cell
+/// panics, runs away, hits OOM, or suffers injected faults.
+///
+/// The default policy is inert — no fault plan, no event budget, no
+/// retries, no chaos — and [`SweepSpec::run`] uses it, so plain sweeps
+/// behave exactly as before (byte-identical results).
+///
+/// # Examples
+///
+/// ```
+/// use jetsim::SupervisorPolicy;
+///
+/// let policy = SupervisorPolicy::new()
+///     .event_budget(50_000_000)
+///     .max_retries(3);
+/// assert_eq!(policy.max_retries, 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SupervisorPolicy {
+    /// Abort any cell whose simulation processes more than this many DES
+    /// events, reporting it as [`CellOutcome::BudgetExceeded`].
+    pub event_budget: Option<u64>,
+    /// How many times an OOM cell is retried at degraded parameters
+    /// (halve the batch first, then shed processes), and how many times a
+    /// transient engine-build failure is retried. `0` disables retries.
+    pub max_retries: u32,
+    /// Fault plan applied to every cell's simulation (memory spikes,
+    /// throttle locks, OOM-killer policy).
+    pub faults: FaultPlan,
+    /// Chaos injections for supervision tests: force specific grid cells
+    /// to panic or to fail engine builds transiently.
+    pub chaos: Vec<CellChaos>,
+}
+
+impl SupervisorPolicy {
+    /// The inert policy (no budget, no retries, no faults, no chaos).
+    pub fn new() -> Self {
+        SupervisorPolicy::default()
+    }
+
+    /// Sets the per-cell DES event budget.
+    pub fn event_budget(mut self, events: u64) -> Self {
+        self.event_budget = Some(events);
+        self
+    }
+
+    /// Sets the retry cap for OOM degradation and transient builds.
+    pub fn max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Sets the fault plan applied to every cell.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Adds a chaos injection.
+    pub fn chaos(mut self, chaos: CellChaos) -> Self {
+        self.chaos.push(chaos);
+        self
+    }
+}
+
+/// A targeted fault injected into one grid cell, used to exercise the
+/// supervisor's isolation and retry paths deterministically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CellChaos {
+    /// Panic inside the cell worker at these grid coordinates. The
+    /// supervisor must catch it and report [`CellOutcome::Panicked`]
+    /// while every other cell completes.
+    PanicOn {
+        /// Batch coordinate of the victim cell.
+        batch: u32,
+        /// Process-count coordinate of the victim cell.
+        processes: u32,
+    },
+    /// Make the engine build fail transiently this many times at these
+    /// grid coordinates before succeeding — the `cudaErrorUnknown`-style
+    /// flakiness long driver sessions exhibit.
+    TransientBuild {
+        /// How many consecutive build attempts fail before one succeeds.
+        failures: u32,
+        /// Batch coordinate of the victim cell.
+        batch: u32,
+        /// Process-count coordinate of the victim cell.
+        processes: u32,
+    },
+}
 
 /// The grid of parameters to sweep.
 ///
@@ -117,6 +212,27 @@ impl SweepSpec {
     /// worker count, and identical whether the process-wide engine
     /// cache is cold or warm.
     pub fn run(&self, platform: &Platform, model: &ModelGraph) -> Vec<SweepCell> {
+        self.run_supervised(platform, model, &SupervisorPolicy::default())
+    }
+
+    /// Runs the sweep under a [`SupervisorPolicy`]: every cell executes
+    /// inside `catch_unwind`, so a panicking cell surfaces as
+    /// [`CellOutcome::Panicked`] instead of tearing down the whole grid;
+    /// cells that exceed the policy's DES event budget come back as
+    /// [`CellOutcome::BudgetExceeded`]; OOM cells are retried at degraded
+    /// parameters up to `max_retries` times, with the full degradation
+    /// chain recorded in [`CellOutcome::Degraded`].
+    ///
+    /// Supervision preserves the determinism contract of [`SweepSpec::run`]:
+    /// the grid order and every cell's bytes are identical whatever the
+    /// worker count, and the inert default policy reproduces unsupervised
+    /// results exactly.
+    pub fn run_supervised(
+        &self,
+        platform: &Platform,
+        model: &ModelGraph,
+        policy: &SupervisorPolicy,
+    ) -> Vec<SweepCell> {
         let mut params: Vec<(Precision, u32, u32)> = Vec::with_capacity(self.cells());
         for &precision in &self.precisions {
             for &batch in &self.batches {
@@ -135,17 +251,18 @@ impl SweepSpec {
             .min(params.len().max(1));
         let next = AtomicUsize::new(0);
         let mut slots: Vec<Option<SweepCell>> = vec![None; params.len()];
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
-                    scope.spawn(|_| {
+                    scope.spawn(|| {
                         let mut done: Vec<(usize, SweepCell)> = Vec::new();
                         loop {
                             let index = next.fetch_add(1, Ordering::Relaxed);
                             let Some(&(precision, batch, procs)) = params.get(index) else {
                                 break;
                             };
-                            let cell = self.run_cell(platform, model, precision, batch, procs);
+                            let cell =
+                                self.run_cell(platform, model, precision, batch, procs, policy);
                             done.push((index, cell));
                         }
                         done
@@ -157,8 +274,7 @@ impl SweepSpec {
                     slots[index] = Some(cell);
                 }
             }
-        })
-        .expect("sweep scope");
+        });
         let mut cells: Vec<SweepCell> = slots
             .into_iter()
             .map(|slot| slot.expect("every cell dispatched exactly once"))
@@ -174,8 +290,18 @@ impl SweepSpec {
         precision: Precision,
         batch: u32,
         procs: u32,
+        policy: &SupervisorPolicy,
     ) -> SweepCell {
-        let outcome = self.try_cell(platform, model, precision, batch, procs);
+        // Panic isolation: a cell that panics (chaos-injected or a real
+        // bug in the model/simulator for one parameter combination) must
+        // not take down the sweep worker — the other cells of the grid
+        // still complete and the casualty is reported in place.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            self.supervise_cell(platform, model, precision, batch, procs, policy)
+        }))
+        .unwrap_or_else(|payload| CellOutcome::Panicked {
+            message: panic_message(payload),
+        });
         SweepCell {
             model: model.name().to_string(),
             device: platform.name().to_string(),
@@ -183,6 +309,66 @@ impl SweepSpec {
             batch,
             processes: procs,
             outcome,
+        }
+    }
+
+    /// Runs one cell with retry-with-degradation: an OOM outcome is
+    /// retried at the next-lower batch (halving), then at fewer
+    /// processes, until it fits or the retry budget runs out. The
+    /// returned outcome always keys on the cell's *original* grid
+    /// coordinates; a degraded success records where it finally ran.
+    fn supervise_cell(
+        &self,
+        platform: &Platform,
+        model: &ModelGraph,
+        precision: Precision,
+        batch: u32,
+        procs: u32,
+        policy: &SupervisorPolicy,
+    ) -> CellOutcome {
+        if policy.chaos.iter().any(|c| {
+            matches!(c, CellChaos::PanicOn { batch: b, processes: p }
+                     if *b == batch && *p == procs)
+        }) {
+            panic!("chaos: injected panic at b{batch} p{procs}");
+        }
+        let mut attempts: Vec<String> = Vec::new();
+        let mut cur_batch = batch;
+        let mut cur_procs = procs;
+        let mut retries_left = policy.max_retries;
+        loop {
+            let outcome = self.try_cell(
+                platform,
+                model,
+                precision,
+                cur_batch,
+                cur_procs,
+                (batch, procs),
+                policy,
+                &mut attempts,
+            );
+            match outcome {
+                CellOutcome::OutOfMemory { .. }
+                    if retries_left > 0 && (cur_batch > 1 || cur_procs > 1) =>
+                {
+                    attempts.push(format!("b{cur_batch}p{cur_procs}: OOM"));
+                    retries_left -= 1;
+                    if cur_batch > 1 {
+                        cur_batch /= 2;
+                    } else {
+                        cur_procs -= 1;
+                    }
+                }
+                CellOutcome::Ok(metrics) if (cur_batch, cur_procs) != (batch, procs) => {
+                    return CellOutcome::Degraded {
+                        metrics,
+                        attempts,
+                        final_batch: cur_batch,
+                        final_processes: cur_procs,
+                    };
+                }
+                other => return other,
+            }
         }
     }
 
@@ -200,6 +386,7 @@ impl SweepSpec {
         )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn try_cell(
         &self,
         platform: &Platform,
@@ -207,10 +394,21 @@ impl SweepSpec {
         precision: Precision,
         batch: u32,
         procs: u32,
+        grid_coords: (u32, u32),
+        policy: &SupervisorPolicy,
+        attempts: &mut Vec<String>,
     ) -> CellOutcome {
-        let engine = match platform.build_engine(model, precision, batch) {
+        let engine = match self.build_cell_engine(
+            platform,
+            model,
+            precision,
+            batch,
+            grid_coords,
+            policy,
+            attempts,
+        ) {
             Ok(engine) => engine,
-            Err(e) => return CellOutcome::BuildFailed(e.to_string()),
+            Err(outcome) => return outcome,
         };
         let mut builder = SimConfig::builder(platform.device().clone())
             .warmup(self.warmup)
@@ -218,10 +416,22 @@ impl SweepSpec {
             .seed(self.cell_seed(precision, batch, procs))
             .record_kernel_events(false)
             .profiler(ProfilerMode::Lightweight);
+        if !policy.faults.is_empty() {
+            builder = builder.faults(policy.faults.clone());
+        }
+        if let Some(budget) = policy.event_budget {
+            builder = builder.event_budget(budget);
+        }
         builder = builder.add_engines(&engine, procs);
         match builder.build() {
             Ok(config) => {
                 let trace = Simulation::new(config).expect("validated").run();
+                if trace.budget_exceeded {
+                    return CellOutcome::BudgetExceeded {
+                        events: trace.sim_events,
+                        budget: policy.event_budget.unwrap_or(u64::MAX),
+                    };
+                }
                 let report = JetsonStatsReport::from_trace(&trace);
                 CellOutcome::Ok(CellMetrics {
                     throughput: report.throughput,
@@ -246,6 +456,76 @@ impl SweepSpec {
             },
             Err(e) => CellOutcome::SimFailed(e.to_string()),
         }
+    }
+
+    /// Builds the cell's engine, retrying transient driver failures
+    /// (chaos-injected or real) up to the policy's retry cap. Chaos
+    /// matches on the cell's original grid coordinates so degraded
+    /// retries of an OOM cell do not re-trigger it.
+    #[allow(clippy::too_many_arguments)]
+    fn build_cell_engine(
+        &self,
+        platform: &Platform,
+        model: &ModelGraph,
+        precision: Precision,
+        batch: u32,
+        grid_coords: (u32, u32),
+        policy: &SupervisorPolicy,
+        attempts: &mut Vec<String>,
+    ) -> Result<Arc<Engine>, CellOutcome> {
+        let chaos_failures = policy.chaos.iter().find_map(|c| match c {
+            CellChaos::TransientBuild {
+                failures,
+                batch: b,
+                processes: p,
+            } if (*b, *p) == grid_coords => Some(*failures),
+            _ => None,
+        });
+        if let Some(failures) = chaos_failures {
+            // Bypass the process-wide engine cache: a cached hit would
+            // silently skip the injected failure and other sweeps must
+            // not observe this cell's flaky engine.
+            for attempt in 0..=policy.max_retries {
+                let result = EngineBuilder::new(platform.device())
+                    .precision(precision)
+                    .batch(batch)
+                    .transient_failures(failures.saturating_sub(attempt))
+                    .build(model);
+                match result {
+                    Ok(engine) => return Ok(Arc::new(engine)),
+                    Err(e) if e.is_transient() && attempt < policy.max_retries => {
+                        attempts.push(format!("b{batch} build attempt {}: {e}", attempt + 1));
+                    }
+                    Err(e) => return Err(CellOutcome::BuildFailed(e.to_string())),
+                }
+            }
+            unreachable!("loop returns on success or final failure");
+        }
+        let mut last_err = None;
+        for attempt in 0..=policy.max_retries {
+            match platform.build_engine(model, precision, batch) {
+                Ok(engine) => return Ok(engine),
+                Err(e) if e.is_transient() && attempt < policy.max_retries => {
+                    attempts.push(format!("b{batch} build attempt {}: {e}", attempt + 1));
+                    last_err = Some(e);
+                }
+                Err(e) => return Err(CellOutcome::BuildFailed(e.to_string())),
+            }
+        }
+        Err(CellOutcome::BuildFailed(
+            last_err.expect("retry loop ran at least once").to_string(),
+        ))
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "panic with non-string payload".to_string(),
+        },
     }
 }
 
@@ -304,7 +584,12 @@ pub struct CellMetrics {
 }
 
 /// What happened to one cell of the grid.
+///
+/// Marked `#[non_exhaustive]`: the supervisor grows new failure modes
+/// over time (panic isolation and budget watchdogs were added after the
+/// first release), so downstream matches need a `_` arm.
 #[derive(Debug, Clone, PartialEq, Serialize)]
+#[non_exhaustive]
 pub enum CellOutcome {
     /// The cell ran; metrics inside.
     Ok(CellMetrics),
@@ -322,13 +607,52 @@ pub enum CellOutcome {
     /// reason other than memory (e.g. an invalid configuration).
     /// Previously these were mislabeled as [`CellOutcome::BuildFailed`].
     SimFailed(String),
+    /// The cell's worker panicked; the supervisor caught it and the rest
+    /// of the grid completed normally.
+    Panicked {
+        /// The panic payload, best-effort stringified.
+        message: String,
+    },
+    /// The cell's simulation exceeded the supervisor's DES event budget
+    /// and was aborted mid-run (a runaway cell must not starve the grid).
+    BudgetExceeded {
+        /// Events the simulation had processed when the watchdog fired.
+        events: u64,
+        /// The budget it was given.
+        budget: u64,
+    },
+    /// The cell OOM'd at its grid coordinates but succeeded after the
+    /// supervisor degraded it (smaller batch, then fewer processes).
+    Degraded {
+        /// Metrics at the degraded operating point.
+        metrics: CellMetrics,
+        /// The degradation chain, e.g. `["b8p4: OOM", "b4p4: OOM"]`.
+        attempts: Vec<String>,
+        /// Batch size that finally fit.
+        final_batch: u32,
+        /// Process count that finally fit.
+        final_processes: u32,
+    },
 }
 
 impl CellOutcome {
     /// The metrics, if the cell ran.
+    ///
+    /// Degraded cells ran at reduced parameters — use
+    /// [`CellOutcome::degraded_metrics`] if those should count too.
     pub fn metrics(&self) -> Option<&CellMetrics> {
         match self {
             CellOutcome::Ok(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The metrics of a cell that ran, whether at its requested
+    /// parameters or at a degraded operating point.
+    pub fn degraded_metrics(&self) -> Option<&CellMetrics> {
+        match self {
+            CellOutcome::Ok(m) => Some(m),
+            CellOutcome::Degraded { metrics, .. } => Some(metrics),
             _ => None,
         }
     }
@@ -370,6 +694,24 @@ impl fmt::Display for SweepCell {
             } => write!(f, "OOM ({required_mib} MiB > {usable_mib} MiB)"),
             CellOutcome::BuildFailed(e) => write!(f, "build failed: {e}"),
             CellOutcome::SimFailed(e) => write!(f, "sim failed: {e}"),
+            CellOutcome::Panicked { message } => write!(f, "panicked: {message}"),
+            CellOutcome::BudgetExceeded { events, budget } => {
+                write!(f, "aborted: {events} DES events exceeded budget {budget}")
+            }
+            CellOutcome::Degraded {
+                metrics,
+                final_batch,
+                final_processes,
+                attempts,
+            } => write!(
+                f,
+                "degraded to b{} p{} after {} OOM retr{}: T/P {:.1} img/s",
+                final_batch,
+                final_processes,
+                attempts.len(),
+                if attempts.len() == 1 { "y" } else { "ies" },
+                metrics.throughput_per_process
+            ),
         }
     }
 }
@@ -456,6 +798,167 @@ mod tests {
         let json = |cells: &[SweepCell]| serde_json::to_string(cells).expect("serializable");
         assert_eq!(json(&cold), json(&warm2), "1 vs 2 workers");
         assert_eq!(json(&cold), json(&warm8), "1 vs 8 workers (cache warm)");
+    }
+
+    #[test]
+    fn panicking_cell_is_isolated_and_grid_completes() {
+        let spec = fast_spec()
+            .precisions([Precision::Int8])
+            .batches([1, 4])
+            .process_counts([1, 2]);
+        let policy = SupervisorPolicy::new().chaos(CellChaos::PanicOn {
+            batch: 4,
+            processes: 1,
+        });
+        let cells = spec.run_supervised(&Platform::orin_nano(), &zoo::resnet50(), &policy);
+        assert_eq!(cells.len(), 4, "every cell reported, panic included");
+        let keys: Vec<(u32, u32)> = cells.iter().map(|c| (c.batch, c.processes)).collect();
+        assert_eq!(keys, vec![(1, 1), (1, 2), (4, 1), (4, 2)], "grid order");
+        for cell in &cells {
+            if (cell.batch, cell.processes) == (4, 1) {
+                match &cell.outcome {
+                    CellOutcome::Panicked { message } => {
+                        assert!(message.contains("chaos"), "{message}");
+                    }
+                    other => panic!("expected Panicked, got {other:?}"),
+                }
+                assert!(format!("{cell}").contains("panicked"));
+            } else {
+                assert!(cell.outcome.metrics().is_some(), "{cell}");
+            }
+        }
+    }
+
+    #[test]
+    fn error_bearing_grids_are_deterministic_across_worker_counts() {
+        // A grid with a panic cell, an OOM cell (degraded via retries)
+        // and healthy cells must come back in grid order with identical
+        // bytes whatever the worker count — errors don't break the
+        // sweep's determinism contract.
+        let spec = fast_spec()
+            .precisions([Precision::Fp16])
+            .batches([1, 2])
+            .process_counts([1, 4]);
+        let policy = SupervisorPolicy::new()
+            .max_retries(4)
+            .chaos(CellChaos::PanicOn {
+                batch: 2,
+                processes: 1,
+            });
+        let platform = Platform::jetson_nano();
+        let model = zoo::fcn_resnet50();
+        let one = spec
+            .clone()
+            .workers(1)
+            .run_supervised(&platform, &model, &policy);
+        let four = spec
+            .clone()
+            .workers(4)
+            .run_supervised(&platform, &model, &policy);
+        assert_eq!(one.len(), 4);
+        let json = |cells: &[SweepCell]| serde_json::to_string(cells).expect("serializable");
+        assert_eq!(json(&one), json(&four), "1 vs 4 workers");
+        let keys: Vec<(u32, u32)> = one.iter().map(|c| (c.batch, c.processes)).collect();
+        assert_eq!(keys, vec![(1, 1), (1, 4), (2, 1), (2, 4)], "grid order");
+        // The p4 cells OOM at their grid coordinates and degrade.
+        assert!(
+            one.iter().any(|c| matches!(
+                &c.outcome,
+                CellOutcome::Degraded { attempts, .. } if !attempts.is_empty()
+            )),
+            "an OOM cell degraded: {one:?}"
+        );
+    }
+
+    #[test]
+    fn budget_watchdog_reports_runaway_cells() {
+        let spec = fast_spec()
+            .precisions([Precision::Int8])
+            .batches([1])
+            .process_counts([1]);
+        let policy = SupervisorPolicy::new().event_budget(200);
+        let cells = spec.run_supervised(&Platform::orin_nano(), &zoo::resnet50(), &policy);
+        match &cells[0].outcome {
+            CellOutcome::BudgetExceeded { events, budget } => {
+                assert_eq!(*budget, 200);
+                assert!(*events <= 200, "watchdog fired late: {events}");
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        assert!(format!("{}", cells[0]).contains("budget"));
+    }
+
+    #[test]
+    fn transient_build_failures_are_retried() {
+        let spec = fast_spec()
+            .precisions([Precision::Int8])
+            .batches([1])
+            .process_counts([1]);
+        let chaos = CellChaos::TransientBuild {
+            failures: 2,
+            batch: 1,
+            processes: 1,
+        };
+        // With retries the build recovers and the cell runs.
+        let policy = SupervisorPolicy::new().max_retries(3).chaos(chaos.clone());
+        let cells = spec.run_supervised(&Platform::orin_nano(), &zoo::resnet50(), &policy);
+        assert!(
+            cells[0].outcome.metrics().is_some(),
+            "recovered: {:?}",
+            cells[0].outcome
+        );
+        // Without retries the transient failure is terminal.
+        let policy = SupervisorPolicy::new().chaos(chaos);
+        let cells = spec.run_supervised(&Platform::orin_nano(), &zoo::resnet50(), &policy);
+        assert!(
+            matches!(&cells[0].outcome, CellOutcome::BuildFailed(_)),
+            "{:?}",
+            cells[0].outcome
+        );
+    }
+
+    #[test]
+    fn oom_cell_degrades_to_a_fitting_deployment() {
+        // 4 × FCN on the Nano is the paper's reboot scenario; with
+        // retries the supervisor sheds load until the deployment fits
+        // and reports the full degradation chain.
+        let spec = fast_spec()
+            .precisions([Precision::Fp16])
+            .batches([1])
+            .process_counts([4]);
+        let policy = SupervisorPolicy::new().max_retries(3);
+        let cells = spec.run_supervised(&Platform::jetson_nano(), &zoo::fcn_resnet50(), &policy);
+        match &cells[0].outcome {
+            CellOutcome::Degraded {
+                attempts,
+                final_batch,
+                final_processes,
+                metrics,
+            } => {
+                assert_eq!(*final_batch, 1);
+                assert!(*final_processes < 4);
+                assert!(attempts[0].contains("b1p4: OOM"), "{attempts:?}");
+                assert!(metrics.throughput >= 0.0);
+            }
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+        // The cell keeps its original grid coordinates.
+        assert_eq!(cells[0].processes, 4);
+        assert!(format!("{}", cells[0]).contains("degraded"));
+    }
+
+    #[test]
+    fn inert_policy_reproduces_unsupervised_results() {
+        let spec = fast_spec()
+            .precisions([Precision::Int8])
+            .batches([1, 4])
+            .process_counts([1, 2]);
+        let platform = Platform::orin_nano();
+        let model = zoo::yolov8n();
+        let plain = spec.run(&platform, &model);
+        let supervised = spec.run_supervised(&platform, &model, &SupervisorPolicy::default());
+        let json = |cells: &[SweepCell]| serde_json::to_string(cells).expect("serializable");
+        assert_eq!(json(&plain), json(&supervised));
     }
 
     #[test]

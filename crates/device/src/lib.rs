@@ -49,4 +49,4 @@ pub use memory::UnifiedMemory;
 pub use per_precision::PerPrecision;
 pub use power::{DvfsPolicy, PowerModel, ThermalModel};
 pub use precision_support::PrecisionSupport;
-pub use spec::DeviceSpec;
+pub use spec::{DeviceSpec, InvalidDeviceSpec};

@@ -42,8 +42,14 @@ pub struct UnifiedMemory {
 
 impl UnifiedMemory {
     /// RAM available to inference processes after the OS reservation.
+    ///
+    /// Saturates at zero when the reservation exceeds physical RAM —
+    /// such a spec is inconsistent (and rejected by
+    /// [`crate::DeviceSpec::validate`]), but arithmetic on it must not
+    /// panic: a hand-assembled ablation device should surface as "no
+    /// usable memory", not as an integer underflow.
     pub fn usable_bytes(&self) -> u64 {
-        self.total_bytes - self.os_reserved_bytes
+        self.total_bytes.saturating_sub(self.os_reserved_bytes)
     }
 
     /// Expresses a GPU allocation as a percentage of *total* RAM — the
@@ -107,5 +113,14 @@ mod tests {
     fn unit_helpers() {
         assert_eq!(mib(1), 1_048_576);
         assert_eq!(gib(1), 1024 * mib(1));
+    }
+
+    #[test]
+    fn usable_saturates_instead_of_underflowing() {
+        let mut m = memory();
+        m.os_reserved_bytes = m.total_bytes + 1;
+        assert_eq!(m.usable_bytes(), 0, "reservation past RAM must saturate");
+        assert!(m.would_oom(1), "nothing fits on a board with no headroom");
+        assert!(!m.would_oom(0));
     }
 }

@@ -87,7 +87,11 @@ impl DeviceSpec {
             problems.push("heavy_cores must be at least 1".to_string());
         }
         if self.memory.os_reserved_bytes >= self.memory.total_bytes {
-            problems.push("OS reservation consumes all RAM".to_string());
+            problems.push(format!(
+                "OS reservation ({} MiB) consumes all of RAM ({} MiB)",
+                self.memory.os_reserved_bytes / (1024 * 1024),
+                self.memory.total_bytes / (1024 * 1024),
+            ));
         }
         if self.gpu.mem_bandwidth_gbps <= 0.0 {
             problems.push("memory bandwidth must be positive".to_string());
@@ -102,7 +106,51 @@ impl DeviceSpec {
         }
         problems
     }
+
+    /// Validates the spec, rejecting inconsistent hand-assembled devices
+    /// with a descriptive error instead of letting them panic or produce
+    /// nonsense deep inside the simulator (e.g. an OS reservation larger
+    /// than physical RAM, which used to underflow
+    /// [`crate::UnifiedMemory::usable_bytes`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidDeviceSpec`] listing every consistency problem
+    /// found by [`DeviceSpec::consistency_problems`].
+    pub fn validate(&self) -> Result<(), InvalidDeviceSpec> {
+        let problems = self.consistency_problems();
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(InvalidDeviceSpec {
+                device: self.name.clone(),
+                problems,
+            })
+        }
+    }
 }
+
+/// An inconsistent [`DeviceSpec`], with every detected problem listed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidDeviceSpec {
+    /// The offending device's name.
+    pub device: String,
+    /// Human-readable consistency problems.
+    pub problems: Vec<String>,
+}
+
+impl fmt::Display for InvalidDeviceSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "device spec `{}` is inconsistent: {}",
+            self.device,
+            self.problems.join("; ")
+        )
+    }
+}
+
+impl std::error::Error for InvalidDeviceSpec {}
 
 impl fmt::Display for DeviceSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -150,5 +198,21 @@ mod tests {
         spec.power.budget_w = 0.5;
         let problems = spec.consistency_problems();
         assert_eq!(problems.len(), 2, "{problems:?}");
+    }
+
+    #[test]
+    fn validate_accepts_presets_and_rejects_broken_specs() {
+        assert!(presets::orin_nano().validate().is_ok());
+        let mut spec = presets::jetson_nano();
+        spec.memory.os_reserved_bytes = spec.memory.total_bytes + 1;
+        let err = spec.validate().unwrap_err();
+        assert_eq!(err.device, "Jetson Nano");
+        let text = err.to_string();
+        assert!(
+            text.contains("inconsistent") && text.contains("OS reservation"),
+            "{text}"
+        );
+        // The broken spec must degrade gracefully, never underflow.
+        assert_eq!(spec.memory.usable_bytes(), 0);
     }
 }

@@ -4,7 +4,7 @@
 
 use std::fmt::Write as _;
 
-use jetsim_sim::RunTrace;
+use jetsim_sim::{FaultKind, RunTrace};
 
 /// Serialises a run's kernel events as a Chrome trace-event JSON array.
 ///
@@ -76,6 +76,47 @@ pub fn to_chrome_trace(trace: &RunTrace) -> String {
         )
         .expect("write to String");
     }
+    // Fault-injection events render as global instants ("i" phase) so a
+    // kill or a throttle lock lines up visually with the kernels it
+    // perturbs.
+    for fault in &trace.fault_events {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let (name, args) = match &fault.kind {
+            FaultKind::MemorySpikeStart { bytes } => {
+                ("memory_spike_start", format!("{{\"bytes\":{bytes}}}"))
+            }
+            FaultKind::MemorySpikeEnd { bytes } => {
+                ("memory_spike_end", format!("{{\"bytes\":{bytes}}}"))
+            }
+            FaultKind::ThrottleLockStart { step, mhz } => (
+                "throttle_lock_start",
+                format!("{{\"step\":{step},\"mhz\":{mhz}}}"),
+            ),
+            FaultKind::ThrottleLockEnd => ("throttle_lock_end", "{}".to_string()),
+            FaultKind::ProcessKilled {
+                pid,
+                name,
+                freed_bytes,
+            } => (
+                "oom_process_killed",
+                format!(
+                    "{{\"victim_pid\":{pid},\"victim\":\"{}\",\"freed_bytes\":{freed_bytes}}}",
+                    escape(name)
+                ),
+            ),
+            _ => ("fault", "{}".to_string()),
+        };
+        write!(
+            out,
+            "{{\"name\":\"{name}\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"g\",\
+             \"pid\":0,\"tid\":0,\"ts\":{:.3},\"args\":{args}}}",
+            fault.time.as_micros_f64(),
+        )
+        .expect("write to String");
+    }
     out.push_str("\n]\n");
     out
 }
@@ -127,5 +168,30 @@ mod tests {
     #[test]
     fn escape_handles_quotes() {
         assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+
+    #[test]
+    fn fault_events_export_as_instants() {
+        use jetsim_des::SimTime;
+        use jetsim_sim::FaultPlan;
+        let plan = FaultPlan::new().throttle_lock(
+            SimTime::from_nanos(50_000_000),
+            SimDuration::from_millis(100),
+            0,
+        );
+        let config = SimConfig::builder(presets::orin_nano())
+            .add_model(&zoo::resnet50(), Precision::Int8, 1)
+            .unwrap()
+            .warmup(SimDuration::from_millis(100))
+            .measure(SimDuration::from_millis(300))
+            .faults(plan)
+            .build()
+            .unwrap();
+        let trace = Simulation::new(config).unwrap().run();
+        assert!(!trace.fault_events.is_empty());
+        let json = to_chrome_trace(&trace);
+        assert!(json.contains("\"ph\":\"i\""), "instant events present");
+        assert!(json.contains("throttle_lock_start"));
+        assert!(json.contains("\"cat\":\"fault\""));
     }
 }

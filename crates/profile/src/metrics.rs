@@ -27,7 +27,11 @@ impl fmt::Display for MetricLevel {
 }
 
 /// One collected metric: a row of the paper's Table 2.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Serialisable but not deserialisable: the fields are `&'static str`
+/// borrowed from the binary's registry, which no owned JSON input can
+/// provide.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct MetricDef {
     /// Metric name as the paper prints it.
     pub name: &'static str,

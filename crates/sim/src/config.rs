@@ -9,6 +9,7 @@ use jetsim_dnn::{ModelGraph, Precision};
 use jetsim_trt::{BuildError, Engine, EngineBuilder};
 
 use crate::error::SimError;
+use crate::faults::{FaultPlan, OomPolicy};
 
 /// How concurrent processes share the GPU.
 ///
@@ -164,6 +165,14 @@ pub struct SimConfig {
     /// Whether to retain per-kernel events (disable for long thermal
     /// soaks where the event list would dominate memory).
     pub record_kernel_events: bool,
+    /// Fault-injection schedule (empty and [`OomPolicy::Strict`] by
+    /// default, which leaves the run byte-identical to a fault-free
+    /// simulator).
+    pub faults: FaultPlan,
+    /// DES event budget: when set, the run aborts once this many events
+    /// have been processed and [`crate::RunTrace::budget_exceeded`] is
+    /// raised — a watchdog against runaway cells in supervised sweeps.
+    pub event_budget: Option<u64>,
 }
 
 impl SimConfig {
@@ -180,6 +189,8 @@ impl SimConfig {
             gpu_sharing: GpuSharing::TimeMultiplexed,
             cpu_model: CpuModel::Stochastic,
             record_kernel_events: true,
+            faults: FaultPlan::default(),
+            event_budget: None,
         }
     }
 
@@ -233,6 +244,8 @@ pub struct SimConfigBuilder {
     gpu_sharing: GpuSharing,
     cpu_model: CpuModel,
     record_kernel_events: bool,
+    faults: FaultPlan,
+    event_budget: Option<u64>,
 }
 
 impl SimConfigBuilder {
@@ -375,13 +388,33 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Attaches a fault-injection schedule. Under
+    /// [`OomPolicy::KillLargest`] over-committed deployments are
+    /// *admitted*: the OOM killer fires at start of run instead of
+    /// [`SimConfigBuilder::build`] erroring.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Caps the DES event count; exceeding it aborts the run with
+    /// [`crate::RunTrace::budget_exceeded`] set.
+    pub fn event_budget(mut self, events: u64) -> Self {
+        self.event_budget = Some(events);
+        self
+    }
+
     /// Finalises the configuration.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::NoProcesses`] for an empty process list and
-    /// [`SimError::OutOfMemory`] when the combined footprint exceeds the
-    /// board's usable RAM — the configuration that reboots a real Jetson.
+    /// [`SimError::OutOfMemory`] when the combined footprint (plus the
+    /// fault plan's peak concurrent memory-spike bytes) exceeds the
+    /// board's usable RAM — the configuration that reboots a real
+    /// Jetson. Under [`OomPolicy::KillLargest`] the memory check is
+    /// waived: the deployment is admitted and the simulated OOM killer
+    /// resolves the overcommit at run time.
     pub fn build(self) -> Result<SimConfig, SimError> {
         if self.processes.is_empty() {
             return Err(SimError::NoProcesses);
@@ -397,13 +430,19 @@ impl SimConfigBuilder {
             gpu_sharing: self.gpu_sharing,
             cpu_model: self.cpu_model,
             record_kernel_events: self.record_kernel_events,
+            faults: self.faults,
+            event_budget: self.event_budget,
         };
-        let footprint = config.total_footprint_bytes();
-        if config.device.memory.would_oom(footprint) {
-            return Err(SimError::OutOfMemory {
-                required_bytes: footprint,
-                usable_bytes: config.device.memory.usable_bytes(),
-            });
+        if config.faults.oom == OomPolicy::Strict {
+            let footprint = config
+                .total_footprint_bytes()
+                .saturating_add(config.faults.peak_spike_bytes());
+            if config.device.memory.would_oom(footprint) {
+                return Err(SimError::OutOfMemory {
+                    required_bytes: footprint,
+                    usable_bytes: config.device.memory.usable_bytes(),
+                });
+            }
         }
         Ok(config)
     }
@@ -470,6 +509,40 @@ mod tests {
             .unwrap()
             .build();
         assert!(resnet.is_ok(), "{resnet:?}");
+    }
+
+    #[test]
+    fn kill_policy_admits_the_fcn_overdeployment() {
+        // Same deployment as `fcn_overdeployment_on_nano_ooms`, but under
+        // `OomPolicy::KillLargest` admission succeeds: the OOM killer
+        // resolves the overcommit at runtime instead of erroring here.
+        let config = SimConfig::builder(presets::jetson_nano())
+            .add_model_processes(&zoo::fcn_resnet50(), Precision::Fp16, 1, 4)
+            .unwrap()
+            .faults(FaultPlan::kill_largest_on_oom())
+            .build();
+        assert!(config.is_ok(), "{config:?}");
+    }
+
+    #[test]
+    fn strict_policy_counts_scheduled_spikes_against_memory() {
+        // 4 ResNet50 processes fit on the Nano on their own, but a
+        // scheduled 3 GiB background spike pushes the peak footprint
+        // over the edge — strict admission must reject it up front.
+        let spike = FaultPlan::new().memory_spike(
+            jetsim_des::SimTime::from_nanos(500_000_000),
+            SimDuration::from_millis(100),
+            3 * 1024 * 1024 * 1024,
+        );
+        let config = SimConfig::builder(presets::jetson_nano())
+            .add_model_processes(&zoo::resnet50(), Precision::Fp16, 1, 4)
+            .unwrap()
+            .faults(spike)
+            .build();
+        assert!(
+            matches!(config, Err(SimError::OutOfMemory { .. })),
+            "{config:?}"
+        );
     }
 
     #[test]

@@ -3,7 +3,11 @@
 use std::fmt;
 
 /// Errors surfaced when configuring or starting a simulation.
+///
+/// Marked `#[non_exhaustive]`: future fault-model variants can be added
+/// without breaking downstream matches, so match with a `_` arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SimError {
     /// The configuration contains no processes.
     NoProcesses,

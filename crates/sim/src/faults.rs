@@ -1,0 +1,318 @@
+//! Deterministic fault injection: the paper's failure modes as
+//! first-class, schedulable events.
+//!
+//! The paper's sharpest observations are *failure behaviors* — the 4 ×
+//! FCN_ResNet50 over-deployment that thrashes and reboots the Jetson Nano
+//! (§6.2.1), DVFS throttling under the power budget (§6.1.2). A
+//! [`FaultPlan`] turns those from pre-flight errors into simulated
+//! outcomes: background memory-pressure spikes against unified memory,
+//! throttle locks that pin the DVFS ladder low for a window, and
+//! OOM-killer semantics that kill the largest process instead of refusing
+//! to run.
+//!
+//! Every fault is scheduled at plan-construction time, so injection is
+//! fully deterministic: the same seed and plan reproduce the same
+//! [`crate::RunTrace`] bit for bit, and an empty plan leaves a run
+//! byte-identical to one without any fault machinery at all.
+
+use jetsim_des::{SimDuration, SimRng, SimTime};
+
+/// What the simulator does when the live footprint exceeds usable
+/// unified memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum OomPolicy {
+    /// Refuse to simulate ([`crate::SimError::OutOfMemory`]): the
+    /// paper-faithful behavior, since the real board thrashes and
+    /// reboots (§6.2.1). The default.
+    #[default]
+    Strict,
+    /// Linux OOM-killer semantics: when the footprint crosses
+    /// `usable_bytes()` (at start or mid-run), kill the process whose
+    /// death frees the most memory, record a
+    /// [`FaultKind::ProcessKilled`] event, and keep simulating with the
+    /// survivors.
+    KillLargest,
+}
+
+/// A transient background allocation against unified memory (another
+/// tenant, a camera pipeline, a burst of page-cache pressure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemorySpike {
+    /// When the allocation appears.
+    pub at: SimTime,
+    /// How long it stays resident.
+    pub duration: SimDuration,
+    /// Its size.
+    pub bytes: u64,
+}
+
+impl MemorySpike {
+    /// When the allocation is released.
+    pub fn end(&self) -> SimTime {
+        self.at + self.duration
+    }
+}
+
+/// A window during which the DVFS governor is pinned to a low frequency
+/// step — a thermal trip or an externally imposed power-limit lock
+/// (`nvpmodel` switching budgets under the simulator's feet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThrottleLock {
+    /// When the lock engages.
+    pub at: SimTime,
+    /// How long the governor stays pinned.
+    pub duration: SimDuration,
+    /// Frequency-ladder step the clock is pinned to (clamped to the
+    /// device's ladder; `0` is the lowest step).
+    pub step: usize,
+}
+
+impl ThrottleLock {
+    /// When the lock releases (the governor resumes on its next tick).
+    pub fn end(&self) -> SimTime {
+        self.at + self.duration
+    }
+}
+
+/// The full fault schedule for one simulation run.
+///
+/// The default plan is empty and [`OomPolicy::Strict`]: simulations
+/// behave exactly as if no fault machinery existed.
+///
+/// # Examples
+///
+/// ```
+/// use jetsim_des::{SimDuration, SimTime};
+/// use jetsim_sim::{FaultPlan, OomPolicy};
+///
+/// let plan = FaultPlan::new()
+///     .oom_policy(OomPolicy::KillLargest)
+///     .memory_spike(
+///         SimTime::from_nanos(500_000_000),
+///         SimDuration::from_millis(200),
+///         512 << 20,
+///     )
+///     .throttle_lock(SimTime::from_nanos(100_000_000), SimDuration::from_millis(300), 0);
+/// assert!(!plan.is_empty());
+/// assert_eq!(plan.peak_spike_bytes(), 512 << 20);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Background memory-pressure spikes.
+    pub memory_spikes: Vec<MemorySpike>,
+    /// DVFS throttle-lock windows.
+    pub throttle_locks: Vec<ThrottleLock>,
+    /// What to do when the live footprint exceeds usable memory.
+    pub oom: OomPolicy,
+}
+
+impl FaultPlan {
+    /// An empty plan with [`OomPolicy::Strict`] — fault injection off.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// `true` when the plan changes nothing about a run: no scheduled
+    /// events and the strict OOM policy.
+    pub fn is_empty(&self) -> bool {
+        self.memory_spikes.is_empty()
+            && self.throttle_locks.is_empty()
+            && self.oom == OomPolicy::Strict
+    }
+
+    /// Sets the OOM policy.
+    pub fn oom_policy(mut self, oom: OomPolicy) -> Self {
+        self.oom = oom;
+        self
+    }
+
+    /// Shorthand for a plan whose only deviation is OOM-killer
+    /// semantics (no scheduled fault events).
+    pub fn kill_largest_on_oom() -> Self {
+        FaultPlan::new().oom_policy(OomPolicy::KillLargest)
+    }
+
+    /// Adds one memory-pressure spike.
+    pub fn memory_spike(mut self, at: SimTime, duration: SimDuration, bytes: u64) -> Self {
+        self.memory_spikes.push(MemorySpike {
+            at,
+            duration,
+            bytes,
+        });
+        self
+    }
+
+    /// Adds one throttle-lock window pinning the clock to `step`.
+    pub fn throttle_lock(mut self, at: SimTime, duration: SimDuration, step: usize) -> Self {
+        self.throttle_locks
+            .push(ThrottleLock { at, duration, step });
+        self
+    }
+
+    /// Derives a random-but-deterministic plan over `[0, horizon)`:
+    /// `spikes` memory spikes of 128–768 MiB lasting 5–20 % of the
+    /// horizon, and `locks` throttle locks to the bottom ladder step
+    /// lasting 10–25 % of the horizon.
+    ///
+    /// The RNG is seeded from `seed` alone (independent of the run's
+    /// dynamics stream), so the same `(seed, horizon, spikes, locks)`
+    /// always yields the same plan, and attaching a seeded plan never
+    /// perturbs the run's own random draws.
+    pub fn seeded(seed: u64, horizon: SimDuration, spikes: usize, locks: usize) -> Self {
+        // Distinct stream constant so a fault plan seeded from the run
+        // seed still draws from its own sequence ("faultpln").
+        let mut rng = SimRng::seed_from(seed ^ 0x6661_756C_7470_6C6E);
+        let horizon_ns = horizon.as_nanos().max(1) - 1;
+        let mut plan = FaultPlan::new();
+        for _ in 0..spikes {
+            let at = SimTime::from_nanos(rng.uniform_u64(0, horizon_ns));
+            let frac = rng.uniform(0.05, 0.20);
+            let bytes = rng.uniform_u64(128 << 20, 768 << 20);
+            plan = plan.memory_spike(at, horizon.mul_f64(frac), bytes);
+        }
+        for _ in 0..locks {
+            let at = SimTime::from_nanos(rng.uniform_u64(0, horizon_ns));
+            let frac = rng.uniform(0.10, 0.25);
+            plan = plan.throttle_lock(at, horizon.mul_f64(frac), 0);
+        }
+        plan
+    }
+
+    /// The largest number of spike bytes ever resident at once — what a
+    /// [`OomPolicy::Strict`] pre-flight check must budget for.
+    pub fn peak_spike_bytes(&self) -> u64 {
+        // Sweep-line over spike starts (+bytes) and ends (-bytes). Ends
+        // sort before starts at equal times: a spike released exactly
+        // when another appears never overlaps it.
+        let mut edges: Vec<(u64, bool, u64)> = Vec::with_capacity(self.memory_spikes.len() * 2);
+        for spike in &self.memory_spikes {
+            edges.push((spike.at.as_nanos(), true, spike.bytes));
+            edges.push((spike.end().as_nanos(), false, spike.bytes));
+        }
+        edges.sort_by_key(|&(t, is_start, _)| (t, is_start));
+        let mut live = 0u64;
+        let mut peak = 0u64;
+        for (_, is_start, bytes) in edges {
+            if is_start {
+                live += bytes;
+                peak = peak.max(live);
+            } else {
+                live = live.saturating_sub(bytes);
+            }
+        }
+        peak
+    }
+}
+
+/// One injected fault (or its consequence), as recorded in
+/// [`crate::RunTrace::fault_events`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// When it happened.
+    pub time: SimTime,
+    /// What happened.
+    pub kind: FaultKind,
+}
+
+/// What kind of fault event occurred.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// A background memory spike appeared.
+    MemorySpikeStart {
+        /// Spike size.
+        bytes: u64,
+    },
+    /// A background memory spike was released.
+    MemorySpikeEnd {
+        /// Spike size.
+        bytes: u64,
+    },
+    /// The DVFS governor was pinned low.
+    ThrottleLockStart {
+        /// Ladder step the clock is pinned to.
+        step: usize,
+        /// That step's frequency in MHz.
+        mhz: u32,
+    },
+    /// The throttle lock released; the governor resumes on its next
+    /// tick.
+    ThrottleLockEnd,
+    /// The OOM killer terminated a process
+    /// ([`OomPolicy::KillLargest`]).
+    ProcessKilled {
+        /// Index of the killed process.
+        pid: usize,
+        /// Its configured name.
+        name: String,
+        /// Unified-memory bytes its death freed.
+        freed_bytes: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_empty_and_strict() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.oom, OomPolicy::Strict);
+        assert_eq!(plan.peak_spike_bytes(), 0);
+    }
+
+    #[test]
+    fn kill_policy_alone_makes_plan_non_empty() {
+        assert!(!FaultPlan::kill_largest_on_oom().is_empty());
+    }
+
+    #[test]
+    fn seeded_plans_reproduce_and_depend_on_seed() {
+        let horizon = SimDuration::from_secs(2);
+        let a = FaultPlan::seeded(7, horizon, 3, 2);
+        let b = FaultPlan::seeded(7, horizon, 3, 2);
+        let c = FaultPlan::seeded(8, horizon, 3, 2);
+        assert_eq!(a, b, "same seed, same plan");
+        assert_ne!(a, c, "different seed, different plan");
+        assert_eq!(a.memory_spikes.len(), 3);
+        assert_eq!(a.throttle_locks.len(), 2);
+        for spike in &a.memory_spikes {
+            assert!(spike.at.as_nanos() < horizon.as_nanos());
+            assert!((128 << 20..=768 << 20).contains(&spike.bytes));
+        }
+    }
+
+    #[test]
+    fn peak_counts_only_concurrent_spikes() {
+        let s = |at_ms: u64, dur_ms: u64, bytes: u64| MemorySpike {
+            at: SimTime::from_nanos(at_ms * 1_000_000),
+            duration: SimDuration::from_millis(dur_ms),
+            bytes,
+        };
+        let plan = FaultPlan {
+            // [0,10) and [10,20) never overlap; [5,15) overlaps both.
+            memory_spikes: vec![s(0, 10, 100), s(10, 10, 200), s(5, 10, 50)],
+            throttle_locks: vec![],
+            oom: OomPolicy::Strict,
+        };
+        assert_eq!(plan.peak_spike_bytes(), 250, "200 + 50 at t=10..15");
+    }
+
+    #[test]
+    fn spike_and_lock_ends_derive_from_duration() {
+        let spike = MemorySpike {
+            at: SimTime::from_nanos(100),
+            duration: SimDuration::from_nanos(50),
+            bytes: 1,
+        };
+        assert_eq!(spike.end(), SimTime::from_nanos(150));
+        let lock = ThrottleLock {
+            at: SimTime::from_nanos(7),
+            duration: SimDuration::from_nanos(3),
+            step: 0,
+        };
+        assert_eq!(lock.end(), SimTime::from_nanos(10));
+    }
+}

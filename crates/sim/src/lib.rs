@@ -44,6 +44,7 @@
 
 pub mod config;
 pub mod error;
+pub mod faults;
 pub mod simulation;
 pub mod trace;
 
@@ -51,5 +52,6 @@ pub use config::{
     ArrivalModel, CpuModel, GpuSharing, ProcessConfig, ProfilerMode, SimConfig, SimConfigBuilder,
 };
 pub use error::SimError;
+pub use faults::{FaultEvent, FaultKind, FaultPlan, MemorySpike, OomPolicy, ThrottleLock};
 pub use simulation::Simulation;
 pub use trace::{EcRecord, KernelEvent, PowerSample, ProcessStats, RunTrace};

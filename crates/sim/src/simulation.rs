@@ -10,6 +10,7 @@ use jetsim_trt::Engine;
 
 use crate::config::{ArrivalModel, CpuModel, SimConfig};
 use crate::error::SimError;
+use crate::faults::{FaultEvent, FaultKind, OomPolicy};
 use crate::trace::{EcRecord, KernelEvent, PowerSample, ProcessStats, RunTrace};
 
 /// Events driving the simulation.
@@ -32,6 +33,23 @@ enum Event {
         /// Generation stamp; stale ticks are ignored.
         gen: u64,
     },
+    /// An injected fault fires (index into the precomputed timeline).
+    Fault { index: usize },
+}
+
+/// One entry of the precomputed fault timeline (derived from the
+/// config's [`crate::FaultPlan`] at construction, so injection costs
+/// nothing when the plan is empty and draws nothing from the run RNG).
+#[derive(Debug, Clone, Copy)]
+enum FaultAction {
+    /// A background memory spike appears.
+    SpikeStart { bytes: u64 },
+    /// A background memory spike is released.
+    SpikeEnd { bytes: u64 },
+    /// The DVFS governor gets pinned to `step` until `until`.
+    LockStart { until: SimTime, step: usize },
+    /// A throttle lock may release (ignored while a longer lock holds).
+    LockEnd,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -243,12 +261,16 @@ impl Simulation {
         if config.processes.is_empty() {
             return Err(SimError::NoProcesses);
         }
-        let footprint = config.total_footprint_bytes();
-        if config.device.memory.would_oom(footprint) {
-            return Err(SimError::OutOfMemory {
-                required_bytes: footprint,
-                usable_bytes: config.device.memory.usable_bytes(),
-            });
+        if config.faults.oom == OomPolicy::Strict {
+            let footprint = config
+                .total_footprint_bytes()
+                .saturating_add(config.faults.peak_spike_bytes());
+            if config.device.memory.would_oom(footprint) {
+                return Err(SimError::OutOfMemory {
+                    required_bytes: footprint,
+                    usable_bytes: config.device.memory.usable_bytes(),
+                });
+            }
         }
         Ok(Simulation { config })
     }
@@ -293,6 +315,22 @@ struct Runner {
     rq_running: u32,
     /// Ready queue of thread ids (run-queue mode).
     rq_ready: VecDeque<usize>,
+    /// Precomputed fault schedule, sorted by time (releases before
+    /// arrivals at equal timestamps).
+    fault_timeline: Vec<(SimTime, FaultAction)>,
+    /// Which processes are still running (`false` once the OOM killer
+    /// fires under [`OomPolicy::KillLargest`]).
+    alive: Vec<bool>,
+    /// When each process was killed, if it was.
+    killed_at: Vec<Option<SimTime>>,
+    /// Background spike bytes currently resident.
+    spike_bytes: u64,
+    /// Active throttle lock: `(until, pinned step)`.
+    throttle_lock: Option<(SimTime, usize)>,
+    /// Faults injected and their consequences, in event order.
+    fault_events: Vec<FaultEvent>,
+    /// Whether the event-budget watchdog aborted the run.
+    budget_exceeded: bool,
 }
 
 impl Runner {
@@ -367,6 +405,36 @@ impl Runner {
         // calendar buckets so they never reallocate mid-run.
         let queue = CalendarQueue::with_capacity(4 * procs.len() + 16);
         let kernel_events = Vec::with_capacity(est_events);
+        // Flatten the fault plan into a timeline of point actions.
+        // Releases sort before arrivals at equal timestamps so a spike
+        // ending exactly when another starts never double-counts.
+        let ladder_top = config.device.gpu.freq.top();
+        let mut fault_timeline: Vec<(SimTime, FaultAction)> = Vec::with_capacity(
+            2 * (config.faults.memory_spikes.len() + config.faults.throttle_locks.len()),
+        );
+        for spike in &config.faults.memory_spikes {
+            fault_timeline.push((spike.at, FaultAction::SpikeStart { bytes: spike.bytes }));
+            fault_timeline.push((spike.end(), FaultAction::SpikeEnd { bytes: spike.bytes }));
+        }
+        for lock in &config.faults.throttle_locks {
+            let step = lock.step.min(ladder_top);
+            fault_timeline.push((
+                lock.at,
+                FaultAction::LockStart {
+                    until: lock.end(),
+                    step,
+                },
+            ));
+            fault_timeline.push((lock.end(), FaultAction::LockEnd));
+        }
+        fault_timeline.sort_by_key(|&(at, action)| {
+            let release_first = match action {
+                FaultAction::SpikeEnd { .. } | FaultAction::LockEnd => 0u8,
+                FaultAction::SpikeStart { .. } | FaultAction::LockStart { .. } => 1,
+            };
+            (at.as_nanos(), release_first)
+        });
+        let proc_count = procs.len();
         Runner {
             config,
             rng,
@@ -391,6 +459,13 @@ impl Runner {
             temp_c: ambient_c,
             rq_running: 0,
             rq_ready: VecDeque::new(),
+            fault_timeline,
+            alive: vec![true; proc_count],
+            killed_at: vec![None; proc_count],
+            spike_bytes: 0,
+            throttle_lock: None,
+            fault_events: Vec::new(),
+            budget_exceeded: false,
         }
     }
 
@@ -399,9 +474,24 @@ impl Runner {
     }
 
     fn run(mut self) -> RunTrace {
-        // Start every process's first EC, the governor and the sampler.
+        // Resolve a start-of-run overcommit first: under
+        // `OomPolicy::KillLargest` the OOM killer culls the deployment
+        // until the survivors fit (the §6.2.1 "reboot" as an outcome).
+        self.enforce_memory(SimTime::ZERO);
+        // Schedule the fault timeline (no-op for an empty plan, so
+        // fault-free runs stay byte-identical to the pre-fault loop).
+        for index in 0..self.fault_timeline.len() {
+            let at = self.fault_timeline[index].0;
+            if at <= self.sim_end {
+                self.queue.schedule(at, Event::Fault { index });
+            }
+        }
+        // Start every surviving process's first EC, the governor and the
+        // sampler.
         for pid in 0..self.procs.len() {
-            self.begin_next_ec(pid, SimTime::ZERO);
+            if self.alive[pid] {
+                self.begin_next_ec(pid, SimTime::ZERO);
+            }
         }
         let dvfs_interval = self.config.device.dvfs.interval;
         self.queue
@@ -409,8 +499,16 @@ impl Runner {
         self.queue
             .schedule(SimTime::ZERO + self.config.sample_period, Event::SampleTick);
 
+        let budget = self.config.event_budget.unwrap_or(u64::MAX);
         while let Some((now, event)) = self.queue.pop() {
             if now > self.sim_end {
+                break;
+            }
+            if self.events_processed >= budget {
+                // Watchdog: a runaway cell (livelocked queue, absurd
+                // grid point) aborts instead of spinning forever; the
+                // trace reports what ran and flags the abort.
+                self.budget_exceeded = true;
                 break;
             }
             self.events_processed += 1;
@@ -424,14 +522,161 @@ impl Runner {
                 Event::DvfsTick => self.on_dvfs_tick(now),
                 Event::SampleTick => self.on_sample_tick(now),
                 Event::CpuTick { pid, gen } => self.rq_tick(pid, gen, now),
+                Event::Fault { index } => self.on_fault(index, now),
             }
         }
         self.finalize()
     }
 
+    // ----- fault injection (`crate::FaultPlan`) ------------------------
+
+    /// Applies one scheduled fault action.
+    fn on_fault(&mut self, index: usize, now: SimTime) {
+        let (_, action) = self.fault_timeline[index];
+        match action {
+            FaultAction::SpikeStart { bytes } => {
+                self.spike_bytes += bytes;
+                self.fault_events.push(FaultEvent {
+                    time: now,
+                    kind: FaultKind::MemorySpikeStart { bytes },
+                });
+                self.enforce_memory(now);
+            }
+            FaultAction::SpikeEnd { bytes } => {
+                self.spike_bytes = self.spike_bytes.saturating_sub(bytes);
+                self.fault_events.push(FaultEvent {
+                    time: now,
+                    kind: FaultKind::MemorySpikeEnd { bytes },
+                });
+            }
+            FaultAction::LockStart { until, step } => {
+                self.throttle_lock = Some((until, step));
+                self.gpu.freq_step = step;
+                self.fault_events.push(FaultEvent {
+                    time: now,
+                    kind: FaultKind::ThrottleLockStart {
+                        step,
+                        mhz: self.config.device.gpu.freq.mhz(step),
+                    },
+                });
+            }
+            FaultAction::LockEnd => {
+                // Only release when no longer-running lock superseded
+                // this one (overlapping locks keep the latest window).
+                if let Some((until, _)) = self.throttle_lock {
+                    if now >= until {
+                        self.throttle_lock = None;
+                        self.fault_events.push(FaultEvent {
+                            time: now,
+                            kind: FaultKind::ThrottleLockEnd,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Live unified-memory footprint of the alive processes, optionally
+    /// excluding one (to compute how much its death would free). Mirrors
+    /// [`SimConfig::total_footprint_bytes`] including memory-group
+    /// sharing: killing one stream of a shared group frees only its
+    /// per-context buffers unless it was the group's last member.
+    fn footprint_excluding(&self, excluded: Option<usize>) -> u64 {
+        use std::collections::HashSet;
+        let memory = &self.config.device.memory;
+        let mut seen: HashSet<usize> = HashSet::new();
+        self.config
+            .processes
+            .iter()
+            .enumerate()
+            .filter(|&(pid, _)| self.alive[pid] && Some(pid) != excluded)
+            .map(|(_, p)| {
+                let per_context = p.engine.io_bytes() + p.engine.workspace_bytes();
+                if seen.insert(p.memory_group) {
+                    memory.per_process_host_bytes
+                        + memory.cuda_context_bytes
+                        + p.engine.engine_bytes()
+                        + per_context
+                } else {
+                    per_context
+                }
+            })
+            .sum()
+    }
+
+    /// Kills processes (largest memory freed first, ties to the lowest
+    /// pid) until the live footprint plus background spikes fits in
+    /// usable memory. No-op under [`OomPolicy::Strict`], where the
+    /// pre-flight check already guaranteed fit.
+    fn enforce_memory(&mut self, now: SimTime) {
+        if self.config.faults.oom != OomPolicy::KillLargest {
+            return;
+        }
+        loop {
+            let current = self.footprint_excluding(None);
+            if !self
+                .config
+                .device
+                .memory
+                .would_oom(current.saturating_add(self.spike_bytes))
+            {
+                break;
+            }
+            let mut victim: Option<(u64, usize)> = None;
+            for pid in 0..self.procs.len() {
+                if !self.alive[pid] {
+                    continue;
+                }
+                let freed = current - self.footprint_excluding(Some(pid));
+                if victim.is_none_or(|(best, _)| freed > best) {
+                    victim = Some((freed, pid));
+                }
+            }
+            let Some((freed, pid)) = victim else {
+                break; // everyone is dead; the spike alone overcommits
+            };
+            self.kill_process(pid, freed, now);
+        }
+    }
+
+    /// Terminates `pid`: its queued kernels vanish, pending events for
+    /// it become stale, and (in run-queue mode) its core is released.
+    /// Its in-flight GPU kernel, if any, completes — the driver does not
+    /// revoke work already submitted to the hardware.
+    fn kill_process(&mut self, pid: usize, freed_bytes: u64, now: SimTime) {
+        self.alive[pid] = false;
+        self.killed_at[pid] = Some(now);
+        self.procs[pid].ready.clear();
+        if self.run_queue_mode() {
+            match self.procs[pid].cpu.state {
+                RqState::Running => self.rq_release(pid, now),
+                RqState::Queued => {
+                    self.rq_ready.retain(|&p| p != pid);
+                    let thread = &mut self.procs[pid].cpu;
+                    thread.state = RqState::Idle;
+                    thread.gen += 1;
+                }
+                RqState::Idle => {
+                    self.procs[pid].cpu.gen += 1;
+                }
+            }
+        }
+        self.fault_events.push(FaultEvent {
+            time: now,
+            kind: FaultKind::ProcessKilled {
+                pid,
+                name: self.procs[pid].name.clone(),
+                freed_bytes,
+            },
+        });
+    }
+
     /// Starts the next EC: immediately in saturated mode, otherwise when
     /// the next batch has arrived. Records the batch's queueing delay.
     fn begin_next_ec(&mut self, pid: usize, now: SimTime) {
+        if !self.alive[pid] {
+            return;
+        }
         let proc = &mut self.procs[pid];
         match proc.arrivals {
             ArrivalModel::Saturated => {
@@ -477,6 +722,9 @@ impl Runner {
 
     /// The host thread spends CPU time issuing the next kernel launch.
     fn start_launch(&mut self, pid: usize, now: SimTime) {
+        if !self.alive[pid] {
+            return; // stale resume for a process the OOM killer took
+        }
         let cpu = &self.config.device.cpu;
         let contention = 1.0 + 0.25 * f64::from(self.n_procs.saturating_sub(1));
         let launch_call_us = (self.rng.uniform(18.0, 40.0) * contention).min(110.0);
@@ -580,8 +828,8 @@ impl Runner {
     fn rq_tick(&mut self, pid: usize, gen: u64, now: SimTime) {
         {
             let thread = &self.procs[pid].cpu;
-            if thread.state != RqState::Running || thread.gen != gen {
-                return; // stale
+            if !self.alive[pid] || thread.state != RqState::Running || thread.gen != gen {
+                return; // stale (or the thread's process was killed)
             }
         }
         let ran = now.saturating_since(self.procs[pid].cpu.seg_start);
@@ -671,6 +919,9 @@ impl Runner {
 
     /// A launch call returned: the kernel is now visible to the GPU.
     fn on_launch_done(&mut self, pid: usize, now: SimTime) {
+        if !self.alive[pid] {
+            return; // the launch call died with its process
+        }
         let kernel_index = self.procs[pid].next_launch;
         self.procs[pid].ready.push_back(kernel_index);
         self.procs[pid].next_launch += 1;
@@ -892,7 +1143,7 @@ impl Runner {
             });
         }
 
-        if inflight.kernel_index + 1 == kernel_count {
+        if inflight.kernel_index + 1 == kernel_count && self.alive[inflight.pid] {
             if self.run_queue_mode() {
                 // The spinning thread notices completion once it holds a
                 // core; the queue wait *is* the wakeup latency.
@@ -920,6 +1171,9 @@ impl Runner {
     /// The thread returned from synchronize: record the EC and start the
     /// next one.
     fn on_sync_return(&mut self, pid: usize, now: SimTime) {
+        if !self.alive[pid] {
+            return; // wakeup raced the OOM killer
+        }
         if !self.run_queue_mode() {
             // In run-queue mode the sync-return burst was already charged
             // by the scheduler.
@@ -961,7 +1215,17 @@ impl Runner {
         self.temp_c = device
             .thermal
             .step(self.temp_c, watts_now, interval.as_secs_f64());
-        if device.dvfs.enabled {
+        // An injected throttle lock (`crate::ThrottleLock`) overrides the
+        // governor: the clock stays pinned until the lock's window ends,
+        // whatever the power budget says. Thermal state still integrates.
+        let locked = match self.throttle_lock {
+            Some((until, step)) if now <= until => {
+                self.gpu.freq_step = step;
+                true
+            }
+            _ => false,
+        };
+        if !locked && device.dvfs.enabled {
             let watts_at = |step: usize| {
                 device
                     .power
@@ -1021,7 +1285,7 @@ impl Runner {
         let measure_secs = self.config.measure.as_secs_f64();
         let mut processes = Vec::with_capacity(self.procs.len());
         let mut ec_records = Vec::with_capacity(self.procs.len());
-        for proc in &mut self.procs {
+        for (pid, proc) in self.procs.iter_mut().enumerate() {
             let measured: Vec<EcRecord> = proc
                 .ecs
                 .iter()
@@ -1066,6 +1330,7 @@ impl Runner {
                 mean_sync_time: mean(|r| r.sync_time),
                 mean_gpu_time: mean(|r| r.gpu_time),
                 mean_queue_delay: mean(|r| r.queue_delay),
+                killed_at: self.killed_at[pid],
             });
             ec_records.push(measured);
         }
@@ -1096,6 +1361,8 @@ impl Runner {
             ec_records,
             kernel_events: std::mem::take(&mut self.kernel_events),
             power_samples: std::mem::take(&mut self.power_samples),
+            fault_events: std::mem::take(&mut self.fault_events),
+            budget_exceeded: self.budget_exceeded,
             sim_events: self.events_processed,
             gpu_busy: self.gpu_busy_measured,
             gpu_memory_bytes,
@@ -1654,6 +1921,200 @@ mod tests {
             "thermal throttle must engage: {} MHz at {:.1} C",
             trace.final_freq_mhz,
             trace.power_samples.last().unwrap().temp_c
+        );
+    }
+
+    #[test]
+    fn oom_killer_resolves_fcn_overdeployment_on_nano() {
+        // Paper §6.2.1: 4 × FCN_ResNet50 reboots the Jetson Nano. Under
+        // `OomPolicy::KillLargest` the reboot becomes a simulated
+        // outcome: the OOM killer culls the deployment at admission and
+        // the survivors report real throughput.
+        use crate::faults::{FaultKind, FaultPlan};
+        let config = SimConfig::builder(presets::jetson_nano())
+            .add_model_processes(&zoo::fcn_resnet50(), Precision::Fp16, 1, 4)
+            .unwrap()
+            // FCN on the Nano takes ~0.7 s per EC solo and ~2 s when the
+            // survivors share the GPU, so give the window room to breathe.
+            .warmup(SimDuration::from_millis(500))
+            .measure(SimDuration::from_millis(8000))
+            .faults(FaultPlan::kill_largest_on_oom())
+            .build()
+            .expect("kill policy admits the overcommit");
+        let trace = Simulation::new(config).unwrap().run();
+        assert!(trace.killed_processes() >= 1, "someone must die");
+        assert!(trace.killed_processes() < 4, "someone must survive");
+        assert!(trace.surviving_throughput() > 0.0, "survivors keep working");
+        let kills = trace
+            .fault_events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::ProcessKilled { .. }))
+            .count();
+        assert_eq!(kills, trace.killed_processes(), "one event per casualty");
+        for p in &trace.processes {
+            if p.killed_at.is_some() {
+                assert_eq!(p.completed_ecs, 0, "killed at t=0, never ran");
+            }
+        }
+    }
+
+    #[test]
+    fn midrun_memory_spike_triggers_oom_kill() {
+        use crate::faults::{FaultKind, FaultPlan};
+        // 4 ResNet50 processes fit on the Nano; a 3 GiB background
+        // allocation 500 ms in does not.
+        let spike_at = SimTime::from_nanos(500_000_000);
+        let config = SimConfig::builder(presets::jetson_nano())
+            .add_model_processes(&zoo::resnet50(), Precision::Fp16, 1, 4)
+            .unwrap()
+            .warmup(SimDuration::from_millis(200))
+            .measure(SimDuration::from_millis(1000))
+            .faults(FaultPlan::kill_largest_on_oom().memory_spike(
+                spike_at,
+                SimDuration::from_millis(300),
+                3 << 30,
+            ))
+            .build()
+            .unwrap();
+        let trace = Simulation::new(config).unwrap().run();
+        assert!(trace.killed_processes() >= 1, "spike must force a kill");
+        for p in &trace.processes {
+            if let Some(at) = p.killed_at {
+                assert!(at >= spike_at, "kills happen when the spike lands");
+            }
+        }
+        assert!(trace
+            .fault_events
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::MemorySpikeStart { .. })));
+        assert!(trace
+            .fault_events
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::MemorySpikeEnd { .. })));
+    }
+
+    #[test]
+    fn throttle_lock_pins_the_clock_low() {
+        use crate::faults::{FaultKind, FaultPlan};
+        // Int8 ResNet50 normally leaves the Orin clock at the top
+        // (`int8_leaves_clock_at_top`); a lock covering the whole run
+        // pins it to the bottom ladder step instead.
+        let mut config = quick_config(
+            presets::orin_nano(),
+            &zoo::resnet50(),
+            Precision::Int8,
+            1,
+            1,
+        );
+        let base = Simulation::new(config.clone()).unwrap().run();
+        config.faults =
+            FaultPlan::new().throttle_lock(SimTime::ZERO, SimDuration::from_secs(30), 0);
+        let locked = Simulation::new(config).unwrap().run();
+        assert!(
+            locked.final_freq_mhz < base.final_freq_mhz,
+            "{} !< {}",
+            locked.final_freq_mhz,
+            base.final_freq_mhz
+        );
+        assert!(
+            locked.total_throughput() < base.total_throughput() * 0.8,
+            "pinned clock must cost throughput: {} vs {}",
+            locked.total_throughput(),
+            base.total_throughput()
+        );
+        assert!(locked
+            .fault_events
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::ThrottleLockStart { .. })));
+    }
+
+    #[test]
+    fn throttle_lock_releases_and_governor_recovers() {
+        use crate::faults::{FaultKind, FaultPlan};
+        let mut config = quick_config(
+            presets::orin_nano(),
+            &zoo::resnet50(),
+            Precision::Int8,
+            1,
+            1,
+        );
+        // Lock only the first 300 ms of a 1.2 s run.
+        config.faults =
+            FaultPlan::new().throttle_lock(SimTime::ZERO, SimDuration::from_millis(300), 0);
+        let trace = Simulation::new(config).unwrap().run();
+        assert!(trace
+            .fault_events
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::ThrottleLockEnd)));
+        assert_eq!(
+            trace.final_freq_mhz, 625,
+            "int8 load climbs back to the top after release"
+        );
+    }
+
+    #[test]
+    fn event_budget_watchdog_aborts_runaway_runs() {
+        let mut config = quick_config(
+            presets::orin_nano(),
+            &zoo::resnet50(),
+            Precision::Int8,
+            1,
+            2,
+        );
+        config.event_budget = Some(500);
+        let trace = Simulation::new(config.clone()).unwrap().run();
+        assert!(trace.budget_exceeded, "500 events cannot finish this run");
+        assert!(trace.sim_events <= 500);
+        config.event_budget = Some(u64::MAX);
+        let full = Simulation::new(config).unwrap().run();
+        assert!(!full.budget_exceeded);
+        assert!(full.sim_events > 500);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_byte_identical_to_no_plan() {
+        use crate::faults::FaultPlan;
+        let base = quick_config(
+            presets::orin_nano(),
+            &zoo::resnet50(),
+            Precision::Fp16,
+            2,
+            2,
+        );
+        let mut with_plan = base.clone();
+        with_plan.faults = FaultPlan::new(); // explicitly attached, still empty
+        let a = Simulation::new(base).unwrap().run();
+        let b = Simulation::new(with_plan).unwrap().run();
+        assert_eq!(a.total_throughput(), b.total_throughput());
+        assert_eq!(a.kernel_events, b.kernel_events);
+        assert_eq!(a.power_samples, b.power_samples);
+        assert_eq!(a.sim_events, b.sim_events);
+        assert!(b.fault_events.is_empty());
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        use crate::faults::FaultPlan;
+        let run = || {
+            let mut config = quick_config(
+                presets::jetson_nano(),
+                &zoo::resnet50(),
+                Precision::Fp16,
+                1,
+                4,
+            );
+            config.faults = FaultPlan::seeded(42, config.total_time(), 3, 2)
+                .oom_policy(crate::faults::OomPolicy::KillLargest);
+            Simulation::new(config).unwrap().run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.fault_events, b.fault_events);
+        assert_eq!(a.total_throughput(), b.total_throughput());
+        assert_eq!(a.kernel_events.len(), b.kernel_events.len());
+        assert_eq!(
+            a.processes.iter().map(|p| p.killed_at).collect::<Vec<_>>(),
+            b.processes.iter().map(|p| p.killed_at).collect::<Vec<_>>(),
         );
     }
 

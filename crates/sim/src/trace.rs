@@ -5,6 +5,8 @@ use std::sync::Arc;
 use jetsim_des::{SimDuration, SimTime};
 use jetsim_dnn::Precision;
 
+use crate::faults::FaultEvent;
+
 /// One GPU kernel execution, as an Nsight-style tracer would record it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KernelEvent {
@@ -117,6 +119,13 @@ pub struct ProcessStats {
     pub mean_gpu_time: SimDuration,
     /// Mean queueing delay before each EC began (open-loop arrivals).
     pub mean_queue_delay: SimDuration,
+    /// When the simulated OOM killer terminated this process
+    /// ([`crate::OomPolicy::KillLargest`]); `None` if it survived the
+    /// run. A killed process keeps the statistics it earned before
+    /// death — its throughput is still averaged over the full measured
+    /// window, exactly how a real profiling harness would report a
+    /// casualty.
+    pub killed_at: Option<SimTime>,
 }
 
 /// Everything one simulation run recorded.
@@ -138,6 +147,14 @@ pub struct RunTrace {
     pub kernel_events: Vec<KernelEvent>,
     /// Periodic power samples (measured window only).
     pub power_samples: Vec<PowerSample>,
+    /// Injected faults and their consequences (whole run, warmup
+    /// included — a kill during warmup still explains the measured
+    /// window). Empty unless a [`crate::FaultPlan`] was attached.
+    pub fault_events: Vec<FaultEvent>,
+    /// `true` when the run was aborted by the
+    /// [`crate::SimConfig::event_budget`] watchdog; statistics cover
+    /// only the portion that ran.
+    pub budget_exceeded: bool,
     /// Total events the DES loop processed over the whole run (warmup
     /// included) — the denominator of the sweep benches' events/sec.
     pub sim_events: u64,
@@ -168,6 +185,26 @@ impl RunTrace {
         } else {
             self.total_throughput() / self.processes.len() as f64
         }
+    }
+
+    /// Processes the simulated OOM killer terminated
+    /// ([`crate::OomPolicy::KillLargest`]).
+    pub fn killed_processes(&self) -> usize {
+        self.processes
+            .iter()
+            .filter(|p| p.killed_at.is_some())
+            .count()
+    }
+
+    /// Aggregate throughput of the processes that survived to the end
+    /// of the run, images/s — what the §6.2.1 over-deployment actually
+    /// delivers once the OOM killer has culled it.
+    pub fn surviving_throughput(&self) -> f64 {
+        self.processes
+            .iter()
+            .filter(|p| p.killed_at.is_none())
+            .map(|p| p.throughput)
+            .sum()
     }
 
     /// GPU utilisation over the measured window (0–1).
@@ -253,6 +290,7 @@ mod tests {
             mean_sync_time: SimDuration::from_micros(100),
             mean_gpu_time: SimDuration::from_millis(1),
             mean_queue_delay: SimDuration::ZERO,
+            killed_at: None,
         }
     }
 
@@ -284,6 +322,8 @@ mod tests {
                     temp_c: 40.0,
                 },
             ],
+            fault_events: vec![],
+            budget_exceeded: false,
             sim_events: 0,
             gpu_busy: SimDuration::from_secs(1),
             gpu_memory_bytes: 0,
@@ -299,6 +339,17 @@ mod tests {
         let t = trace(vec![stats("a", 100.0), stats("b", 50.0)]);
         assert_eq!(t.total_throughput(), 150.0);
         assert_eq!(t.throughput_per_process(), 75.0);
+    }
+
+    #[test]
+    fn kill_accounting_splits_survivors() {
+        let mut dead = stats("dead", 30.0);
+        dead.killed_at = Some(SimTime::from_nanos(5));
+        let t = trace(vec![stats("a", 100.0), dead]);
+        assert_eq!(t.killed_processes(), 1);
+        assert_eq!(t.surviving_throughput(), 100.0);
+        assert_eq!(t.total_throughput(), 130.0, "casualties still counted");
+        assert!(!t.budget_exceeded);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use proptest::prelude::*;
 use jetsim_des::SimDuration;
 use jetsim_device::presets;
 use jetsim_dnn::{zoo, Precision};
-use jetsim_sim::{SimConfig, Simulation};
+use jetsim_sim::{FaultPlan, SimConfig, Simulation};
 
 fn arb_precision() -> impl Strategy<Value = Precision> {
     prop::sample::select(Precision::ALL.to_vec())
@@ -102,6 +102,111 @@ proptest! {
                 "overlap: {:?}..{:?} then {:?}",
                 w[0].start, w[0].end, w[1].start
             );
+        }
+    }
+
+    /// Fault injection is fully deterministic: the same seed and the
+    /// same `FaultPlan` reproduce an identical `RunTrace` — fault events,
+    /// kill times, throughput, power and clocks all match bit for bit.
+    #[test]
+    fn fault_injection_replays_identically(
+        sim_seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        spikes in 0u32..3,
+        locks in 0u32..2,
+        procs in 1u32..4,
+    ) {
+        let horizon = SimDuration::from_millis(500);
+        let plan = FaultPlan::seeded(fault_seed, horizon, spikes as usize, locks as usize)
+            .oom_policy(jetsim_sim::OomPolicy::KillLargest);
+        let run_faulted = |plan: &FaultPlan| {
+            let config = SimConfig::builder(presets::orin_nano())
+                .add_model_processes(&zoo::resnet50(), Precision::Int8, 1, procs)
+                .expect("builds")
+                .warmup(SimDuration::from_millis(100))
+                .measure(SimDuration::from_millis(400))
+                .seed(sim_seed)
+                .faults(plan.clone())
+                .build()
+                .expect("kill policy always admits");
+            Simulation::new(config).expect("valid").run()
+        };
+        // The plan itself replays identically from its seed …
+        let replanned = FaultPlan::seeded(fault_seed, horizon, spikes as usize, locks as usize)
+            .oom_policy(jetsim_sim::OomPolicy::KillLargest);
+        prop_assert_eq!(&plan, &replanned);
+        // … and so does the simulation driven by it.
+        let a = run_faulted(&plan);
+        let b = run_faulted(&plan);
+        prop_assert_eq!(&a.fault_events, &b.fault_events);
+        prop_assert_eq!(a.total_throughput(), b.total_throughput());
+        prop_assert_eq!(a.killed_processes(), b.killed_processes());
+        prop_assert_eq!(a.sim_events, b.sim_events);
+        prop_assert_eq!(a.final_freq_mhz, b.final_freq_mhz);
+        let ka: Vec<_> = a.processes.iter().map(|p| p.killed_at).collect();
+        let kb: Vec<_> = b.processes.iter().map(|p| p.killed_at).collect();
+        prop_assert_eq!(ka, kb);
+        let pa: Vec<f64> = a.power_samples.iter().map(|s| s.watts).collect();
+        let pb: Vec<f64> = b.power_samples.iter().map(|s| s.watts).collect();
+        prop_assert_eq!(pa, pb);
+    }
+
+    /// An empty fault plan is invisible: the trace it produces is
+    /// indistinguishable from a run with no plan at all.
+    #[test]
+    fn empty_plan_is_inert(
+        precision in arb_precision(),
+        procs in 1u32..4,
+        seed in any::<u64>(),
+    ) {
+        let base = run(precision, 1, procs, seed);
+        let config = SimConfig::builder(presets::orin_nano())
+            .add_model_processes(&zoo::resnet50(), precision, 1, procs)
+            .expect("builds")
+            .warmup(SimDuration::from_millis(100))
+            .measure(SimDuration::from_millis(400))
+            .seed(seed)
+            .faults(FaultPlan::new())
+            .build()
+            .expect("fits");
+        let planned = Simulation::new(config).expect("valid").run();
+        prop_assert!(planned.fault_events.is_empty());
+        prop_assert_eq!(base.total_throughput(), planned.total_throughput());
+        prop_assert_eq!(base.sim_events, planned.sim_events);
+        prop_assert_eq!(base.kernel_events.len(), planned.kernel_events.len());
+        prop_assert_eq!(base.final_freq_mhz, planned.final_freq_mhz);
+    }
+
+    /// However the OOM killer culls an over-deployment, the survivors'
+    /// footprint fits in usable memory and accounting stays consistent.
+    #[test]
+    fn oom_killer_leaves_a_fitting_deployment(
+        fault_seed in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let plan = FaultPlan::seeded(fault_seed, SimDuration::from_millis(500), 2, 0)
+            .oom_policy(jetsim_sim::OomPolicy::KillLargest);
+        let config = SimConfig::builder(presets::jetson_nano())
+            .add_model_processes(&zoo::fcn_resnet50(), Precision::Fp16, 1, 4)
+            .expect("builds")
+            .warmup(SimDuration::from_millis(100))
+            .measure(SimDuration::from_millis(400))
+            .seed(seed)
+            .faults(plan)
+            .build()
+            .expect("kill policy admits");
+        let trace = Simulation::new(config).expect("valid").run();
+        prop_assert!(trace.killed_processes() >= 1, "overcommit must be culled");
+        prop_assert!(trace.killed_processes() < 4, "someone survives");
+        let kills = trace.fault_events.iter().filter(|e| matches!(
+            e.kind,
+            jetsim_sim::FaultKind::ProcessKilled { .. }
+        )).count();
+        prop_assert_eq!(kills, trace.killed_processes());
+        for p in &trace.processes {
+            if p.killed_at == Some(jetsim_des::SimTime::ZERO) {
+                prop_assert_eq!(p.completed_ecs, 0, "killed at t=0 never ran");
+            }
         }
     }
 

@@ -37,6 +37,9 @@ pub struct EngineBuilder<'d> {
     strict_calibration: bool,
     fusion: bool,
     max_batch: u32,
+    /// Armed fault injection: the next `N` build attempts fail with
+    /// [`BuildError::TransientDriver`] before succeeding.
+    transient_failures: std::cell::Cell<u32>,
 }
 
 impl<'d> EngineBuilder<'d> {
@@ -51,6 +54,7 @@ impl<'d> EngineBuilder<'d> {
             strict_calibration: false,
             fusion: true,
             max_batch: 256,
+            transient_failures: std::cell::Cell::new(0),
         }
     }
 
@@ -88,15 +92,38 @@ impl<'d> EngineBuilder<'d> {
         self
     }
 
+    /// Arms fault injection: the next `count` calls to
+    /// [`EngineBuilder::build`] fail with
+    /// [`BuildError::TransientDriver`] before builds succeed again.
+    ///
+    /// Real Jetson deployments see such transient failures — CUDA
+    /// context-initialisation hiccups under memory pressure, TensorRT
+    /// tactic timeouts on loaded boards — and profiling harnesses retry
+    /// them. This hook lets resilience tests and supervised sweep
+    /// runners exercise that path deterministically.
+    pub fn transient_failures(self, count: u32) -> Self {
+        self.transient_failures.set(count);
+        self
+    }
+
     /// Compiles `model` into an engine.
     ///
     /// # Errors
     ///
     /// Returns [`BuildError::InvalidModel`] for malformed graphs,
     /// [`BuildError::ZeroBatch`] / [`BuildError::BatchTooLarge`] for bad
-    /// batch sizes, and [`BuildError::MissingCalibration`] when strict
-    /// calibration is on and a native-int8 build has no table.
+    /// batch sizes, [`BuildError::MissingCalibration`] when strict
+    /// calibration is on and a native-int8 build has no table, and
+    /// [`BuildError::TransientDriver`] while injected transient failures
+    /// ([`EngineBuilder::transient_failures`]) remain armed.
     pub fn build(&self, model: &ModelGraph) -> Result<Engine, BuildError> {
+        let armed = self.transient_failures.get();
+        if armed > 0 {
+            self.transient_failures.set(armed - 1);
+            return Err(BuildError::TransientDriver {
+                remaining: armed - 1,
+            });
+        }
         model.validate()?;
         if self.batch == 0 {
             return Err(BuildError::ZeroBatch);
@@ -343,6 +370,30 @@ mod tests {
 
     fn orin() -> DeviceSpec {
         presets::orin_nano()
+    }
+
+    #[test]
+    fn injected_transient_failures_drain_then_build_succeeds() {
+        let device = orin();
+        let builder = EngineBuilder::new(&device)
+            .precision(Precision::Fp16)
+            .transient_failures(2);
+        let model = zoo::resnet50();
+        assert_eq!(
+            builder.build(&model).unwrap_err(),
+            BuildError::TransientDriver { remaining: 1 }
+        );
+        assert_eq!(
+            builder.build(&model).unwrap_err(),
+            BuildError::TransientDriver { remaining: 0 }
+        );
+        let engine = builder.build(&model).expect("injection drained");
+        // The fault path must not perturb the build itself.
+        let reference = EngineBuilder::new(&device)
+            .precision(Precision::Fp16)
+            .build(&model)
+            .unwrap();
+        assert_eq!(engine, reference);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 use jetsim_device::DeviceSpec;
 use jetsim_dnn::{ModelGraph, Precision};
@@ -75,7 +75,7 @@ impl CacheStats {
 
 /// A thread-safe memo table from [`EngineKey`] to built engines.
 ///
-/// Reads take a shared `parking_lot` lock, so concurrent sweep workers
+/// Reads take a shared `std::sync::RwLock` read lock, so concurrent sweep workers
 /// hitting a warm cache never contend; a miss takes the write lock for
 /// the duration of the build, guaranteeing each engine is compiled at
 /// most once even under racing workers.
@@ -118,7 +118,12 @@ impl EngineCache {
 
     /// Returns the cached engine for `key`, if present.
     pub fn get(&self, key: &EngineKey) -> Option<Arc<Engine>> {
-        let hit = self.map.read().get(key).cloned();
+        let hit = self
+            .map
+            .read()
+            .expect("engine cache lock poisoned")
+            .get(key)
+            .cloned();
         match &hit {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -141,13 +146,19 @@ impl EngineCache {
         batch: u32,
     ) -> Result<Arc<Engine>, BuildError> {
         let key = EngineKey::of(device, model, precision, batch);
-        if let Some(engine) = self.map.read().get(&key).cloned() {
+        if let Some(engine) = self
+            .map
+            .read()
+            .expect("engine cache lock poisoned")
+            .get(&key)
+            .cloned()
+        {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(engine);
         }
         // Take the write lock for the build itself: racing workers block
         // here instead of compiling the same engine twice.
-        let mut map = self.map.write();
+        let mut map = self.map.write().expect("engine cache lock poisoned");
         if let Some(engine) = map.get(&key).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(engine);
@@ -166,22 +177,31 @@ impl EngineCache {
     /// Inserts a pre-built engine (e.g. one built with non-default
     /// builder options the caller wants re-served under the default key).
     pub fn insert(&self, key: EngineKey, engine: Arc<Engine>) {
-        self.map.write().insert(key, engine);
+        self.map
+            .write()
+            .expect("engine cache lock poisoned")
+            .insert(key, engine);
     }
 
     /// Number of distinct engines currently cached.
     pub fn len(&self) -> usize {
-        self.map.read().len()
+        self.map.read().expect("engine cache lock poisoned").len()
     }
 
     /// Returns `true` if the cache holds no engines.
     pub fn is_empty(&self) -> bool {
-        self.map.read().is_empty()
+        self.map
+            .read()
+            .expect("engine cache lock poisoned")
+            .is_empty()
     }
 
     /// Drops every cached engine (counters are kept).
     pub fn clear(&self) {
-        self.map.write().clear();
+        self.map
+            .write()
+            .expect("engine cache lock poisoned")
+            .clear();
     }
 
     /// Hit/miss counters since process start (for the global cache) or
@@ -265,7 +285,6 @@ mod tests {
 
     #[test]
     fn mutated_spec_does_not_alias_preset() {
-        let cache = EngineCache::new();
         let model = zoo::resnet50();
         let stock = presets::orin_nano();
         let mut tweaked = presets::orin_nano();

@@ -5,7 +5,11 @@ use std::fmt;
 use jetsim_dnn::GraphError;
 
 /// Errors returned by [`crate::EngineBuilder::build`].
+///
+/// Marked `#[non_exhaustive]`: fault-injection and future build-failure
+/// modes add variants without breaking downstream matches.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum BuildError {
     /// The model graph failed structural validation.
     InvalidModel(GraphError),
@@ -21,6 +25,26 @@ pub enum BuildError {
     /// An int8 engine was requested without a calibration table on a
     /// device that runs int8 natively.
     MissingCalibration,
+    /// A transient driver/runtime failure (CUDA init hiccup, tactic
+    /// timeout) aborted this build attempt. Retrying the identical build
+    /// is expected to succeed — supervised sweep runners treat this as
+    /// retryable, unlike the structural errors above. Only produced when
+    /// fault injection is armed via
+    /// [`crate::EngineBuilder::transient_failures`].
+    TransientDriver {
+        /// Injected failures left after this one (for staged fault
+        /// scenarios).
+        remaining: u32,
+    },
+}
+
+impl BuildError {
+    /// Whether a retry of the *same* build could succeed. Structural
+    /// errors (bad model, bad batch, missing calibration) are permanent;
+    /// transient driver failures are not.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, BuildError::TransientDriver { .. })
+    }
 }
 
 impl fmt::Display for BuildError {
@@ -34,6 +58,11 @@ impl fmt::Display for BuildError {
             BuildError::MissingCalibration => {
                 f.write_str("int8 engines require a calibration table")
             }
+            BuildError::TransientDriver { remaining } => write!(
+                f,
+                "transient driver failure during engine build (retry may succeed; \
+                 {remaining} injected failure(s) remaining)"
+            ),
         }
     }
 }
@@ -68,6 +97,15 @@ mod tests {
             limit: 256,
         };
         assert!(e.to_string().contains("512") && e.to_string().contains("256"));
+    }
+
+    #[test]
+    fn transient_errors_are_the_only_retryable_kind() {
+        assert!(BuildError::TransientDriver { remaining: 2 }.is_transient());
+        assert!(!BuildError::ZeroBatch.is_transient());
+        assert!(!BuildError::MissingCalibration.is_transient());
+        let text = BuildError::TransientDriver { remaining: 1 }.to_string();
+        assert!(text.contains("transient") && text.contains("1"), "{text}");
     }
 
     #[test]

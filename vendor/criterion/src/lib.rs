@@ -1,0 +1,208 @@
+//! Offline stand-in for the `criterion` crate (API subset).
+//!
+//! Provides the macro + type surface `jetsim`'s `harness = false` bench
+//! targets use, with a simple warm-up + median-of-samples timing loop
+//! instead of criterion's full statistical machinery. Results print as
+//! one line per benchmark:
+//!
+//! ```text
+//! bench_name              median   1.234 ms   (11 samples, 8 iters/sample)
+//! ```
+
+// API-subset stub of the real crate; keep lints quiet so the
+// workspace lint gate (-D warnings) tracks first-party code only.
+#![allow(clippy::all)]
+#![forbid(unsafe_code)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benched
+/// work (forwards to [`std::hint::black_box`]).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Per-iteration timing harness handed to `bench_function` closures.
+pub struct Bencher {
+    /// Measured samples, one duration per sample of `iters` iterations.
+    samples: Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records timing samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: find an iteration count that takes
+        // roughly 5ms per sample, capped so slow benches still finish.
+        let calib_start = Instant::now();
+        black_box(routine());
+        let once = calib_start.elapsed().max(Duration::from_nanos(50));
+        let target = Duration::from_millis(5);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 10_000) as usize;
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed / iters as u32);
+        }
+    }
+
+    fn median(&self) -> Duration {
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        sorted
+            .get(sorted.len() / 2)
+            .copied()
+            .unwrap_or(Duration::ZERO)
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", d.as_secs_f64() * 1e3)
+    } else if nanos >= 1_000 {
+        format!("{:.3} us", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// The benchmark manager (`criterion::Criterion` subset).
+pub struct Criterion {
+    sample_count: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_count: 11 }
+    }
+}
+
+impl Criterion {
+    fn run_one(&self, name: &str, sample_count: usize, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_count,
+        };
+        f(&mut bencher);
+        let iters = bencher.samples.len();
+        println!(
+            "{name:<48} median {:>12}   ({iters} samples)",
+            fmt_duration(bencher.median()),
+        );
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        self.run_one(name.as_ref(), self.sample_count, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        println!("group: {}", name.as_ref());
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.as_ref().to_string(),
+            sample_count: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+    sample_count: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timing samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        let samples = self.sample_count.unwrap_or(self.criterion.sample_count);
+        let full = format!("{}/{}", self.prefix, name.as_ref());
+        self.criterion.run_one(&full, samples, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups (for `harness = false`
+/// bench targets).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+        c.bench_function(format!("{}_{}", "direct", 1), |b| {
+            b.iter(|| black_box(1 + 1))
+        });
+    }
+
+    criterion_group!(benches, quick);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert!(fmt_duration(Duration::from_nanos(5)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(5)).ends_with("us"));
+        assert!(fmt_duration(Duration::from_millis(5)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(5)).ends_with(" s"));
+    }
+}

@@ -1,0 +1,755 @@
+//! Offline stand-in for the `proptest` crate (API subset).
+//!
+//! Property tests run a fixed number of deterministically generated
+//! cases (seeded from the test's name and the case index, overridable
+//! via `PROPTEST_CASES`). Failing inputs are reported with the case
+//! number and every generated argument's `Debug` form; there is **no
+//! shrinking** — rerun with the printed inputs to debug.
+//!
+//! Supported surface (exactly what the `jetsim` workspace uses):
+//! `proptest!` with optional `#![proptest_config(...)]`, integer/float
+//! range strategies, tuple strategies, `prop::collection::vec`,
+//! `prop::sample::select`, `prop::option::weighted`,
+//! `prop::string::string_regex` (and `&str` literals as regex
+//! strategies), `any::<T>()` for primitive `T`, `.prop_map`,
+//! `prop_assert!` / `prop_assert_eq!`, and `ProptestConfig::with_cases`.
+
+// API-subset stub of the real crate; keep lints quiet so the
+// workspace lint gate (-D warnings) tracks first-party code only.
+#![allow(clippy::all)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Test-runner configuration (`proptest::test_runner::Config` subset).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 256 cases, like upstream; `PROPTEST_CASES` overrides.
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+/// Per-case source of randomness handed to strategies.
+#[derive(Debug)]
+pub struct TestRunner {
+    rng: SmallRng,
+}
+
+impl TestRunner {
+    /// A deterministic runner for `(test name, case index)`.
+    pub fn deterministic(test_name: &str, case: u64) -> Self {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        test_name.hash(&mut h);
+        let seed = h.finish() ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        TestRunner {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The underlying RNG.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}
+
+/// A failed property case (returned by `prop_assert!`-style macros).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+
+    /// Generates one value.
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: fmt::Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: fmt::Debug,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn new_value(&self, runner: &mut TestRunner) -> U {
+        (self.f)(self.source.new_value(runner))
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+int_range_strategies!(u8, u16, u32, u64, usize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, runner: &mut TestRunner) -> f64 {
+        runner.rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+
+    fn new_value(&self, runner: &mut TestRunner) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        if lo == hi {
+            return lo;
+        }
+        lo + (hi - lo) * runner.rng.gen::<f64>()
+    }
+}
+
+/// String literals act as regex strategies, like upstream.
+impl Strategy for &str {
+    type Value = String;
+
+    fn new_value(&self, runner: &mut TestRunner) -> String {
+        let gen = string::RegexGenerator::parse(self)
+            .unwrap_or_else(|e| panic!("invalid regex strategy `{self}`: {e}"));
+        gen.generate(&mut runner.rng)
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+                ($(self.$n.new_value(runner),)+)
+            }
+        }
+    )*};
+}
+tuple_strategies! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+/// Primitive types generatable by [`any`].
+pub trait Arbitrary: fmt::Debug + Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(runner: &mut TestRunner) -> Self;
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(runner: &mut TestRunner) -> $t {
+                runner.rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(runner: &mut TestRunner) -> bool {
+        runner.rng.gen::<bool>()
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Generates any value of `T` (upstream's `any::<T>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        T::arbitrary(runner)
+    }
+}
+
+// ---------------------------------------------------------------------
+// prop::collection
+// ---------------------------------------------------------------------
+
+/// `prop::collection` subset.
+pub mod collection {
+    use super::{Strategy, TestRunner};
+    use rand::Rng;
+
+    /// A length range for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: r.end() + 1,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec`s whose length falls in `size`, with elements from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let n = runner
+                .rng
+                .gen_range(self.size.lo..self.size.hi_exclusive.max(self.size.lo + 1));
+            (0..n).map(|_| self.element.new_value(runner)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// prop::sample
+// ---------------------------------------------------------------------
+
+/// `prop::sample` subset.
+pub mod sample {
+    use super::{Strategy, TestRunner};
+    use rand::Rng;
+
+    /// The strategy returned by [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Picks uniformly from `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics at generation time if `options` is empty.
+    pub fn select<T: Clone + std::fmt::Debug>(options: Vec<T>) -> Select<T> {
+        Select { options }
+    }
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+
+        fn new_value(&self, runner: &mut TestRunner) -> T {
+            assert!(!self.options.is_empty(), "select over empty options");
+            let i = runner.rng.gen_range(0..self.options.len());
+            self.options[i].clone()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// prop::option
+// ---------------------------------------------------------------------
+
+/// `prop::option` subset.
+pub mod option {
+    use super::{Strategy, TestRunner};
+    use rand::Rng;
+
+    /// The strategy returned by [`weighted`].
+    #[derive(Debug, Clone)]
+    pub struct Weighted<S> {
+        probability: f64,
+        inner: S,
+    }
+
+    /// Generates `Some` with probability `probability`, else `None`.
+    pub fn weighted<S: Strategy>(probability: f64, inner: S) -> Weighted<S> {
+        Weighted {
+            probability: probability.clamp(0.0, 1.0),
+            inner,
+        }
+    }
+
+    impl<S: Strategy> Strategy for Weighted<S> {
+        type Value = Option<S::Value>;
+
+        fn new_value(&self, runner: &mut TestRunner) -> Option<S::Value> {
+            if runner.rng.gen::<f64>() < self.probability {
+                Some(self.inner.new_value(runner))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// prop::string
+// ---------------------------------------------------------------------
+
+/// `prop::string` subset: a regex-lite string generator.
+pub mod string {
+    use super::{Strategy, TestRunner};
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Regex parse error.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// One pattern atom with its repetition bounds.
+    #[derive(Debug, Clone)]
+    struct Atom {
+        /// Candidate characters (a singleton for literals).
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// A compiled regex-lite pattern: a sequence of character classes
+    /// with `{m,n}` quantifiers. Supports literals, `\`-escapes and
+    /// `[...]` classes with ranges — the subset the workspace's patterns
+    /// use ("[ -~]{0,20}", "[a-z0-9 ]{0,12}", ...).
+    #[derive(Debug, Clone)]
+    pub struct RegexGenerator {
+        atoms: Vec<Atom>,
+    }
+
+    impl RegexGenerator {
+        /// Compiles `pattern`.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`Error`] on syntax outside the supported subset.
+        pub fn parse(pattern: &str) -> Result<Self, Error> {
+            let chars: Vec<char> = pattern.chars().collect();
+            let mut i = 0usize;
+            let mut atoms = Vec::new();
+            while i < chars.len() {
+                let class = match chars[i] {
+                    '[' => {
+                        let (class, next) = parse_class(&chars, i + 1)?;
+                        i = next;
+                        class
+                    }
+                    '\\' => {
+                        let c = *chars
+                            .get(i + 1)
+                            .ok_or_else(|| Error("dangling escape".into()))?;
+                        i += 2;
+                        vec![c]
+                    }
+                    '{' | '}' | ']' | '*' | '+' | '?' | '(' | ')' | '|' | '.' => {
+                        return Err(Error(format!(
+                            "unsupported regex syntax `{}` (vendored stub)",
+                            chars[i]
+                        )))
+                    }
+                    c => {
+                        i += 1;
+                        vec![c]
+                    }
+                };
+                let (min, max) = if chars.get(i) == Some(&'{') {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .ok_or_else(|| Error("unterminated quantifier".into()))?
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    let parts: Vec<&str> = body.split(',').collect();
+                    match parts.as_slice() {
+                        [n] => {
+                            let n = n
+                                .trim()
+                                .parse()
+                                .map_err(|_| Error(format!("bad quantifier {{{body}}}")))?;
+                            (n, n)
+                        }
+                        [m, n] => (
+                            m.trim()
+                                .parse()
+                                .map_err(|_| Error(format!("bad quantifier {{{body}}}")))?,
+                            n.trim()
+                                .parse()
+                                .map_err(|_| Error(format!("bad quantifier {{{body}}}")))?,
+                        ),
+                        _ => return Err(Error(format!("bad quantifier {{{body}}}"))),
+                    }
+                } else {
+                    (1, 1)
+                };
+                if min > max {
+                    return Err(Error(format!("inverted quantifier {{{min},{max}}}")));
+                }
+                atoms.push(Atom {
+                    chars: class,
+                    min,
+                    max,
+                });
+            }
+            Ok(RegexGenerator { atoms })
+        }
+
+        /// Generates one matching string.
+        pub fn generate(&self, rng: &mut SmallRng) -> String {
+            let mut out = String::new();
+            for atom in &self.atoms {
+                let n = rng.gen_range(atom.min..=atom.max);
+                for _ in 0..n {
+                    let i = rng.gen_range(0..atom.chars.len());
+                    out.push(atom.chars[i]);
+                }
+            }
+            out
+        }
+    }
+
+    fn parse_class(chars: &[char], mut i: usize) -> Result<(Vec<char>, usize), Error> {
+        let mut out = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            let c = if chars[i] == '\\' {
+                i += 1;
+                *chars
+                    .get(i)
+                    .ok_or_else(|| Error("dangling escape in class".into()))?
+            } else {
+                chars[i]
+            };
+            // Range `a-z` when `-` is neither first nor last.
+            if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']') {
+                let hi = chars[i + 2];
+                if (c as u32) > (hi as u32) {
+                    return Err(Error(format!("inverted class range {c}-{hi}")));
+                }
+                for code in (c as u32)..=(hi as u32) {
+                    if let Some(ch) = char::from_u32(code) {
+                        out.push(ch);
+                    }
+                }
+                i += 3;
+            } else {
+                out.push(c);
+                i += 1;
+            }
+        }
+        if i >= chars.len() {
+            return Err(Error("unterminated character class".into()));
+        }
+        if out.is_empty() {
+            return Err(Error("empty character class".into()));
+        }
+        Ok((out, i + 1)) // skip `]`
+    }
+
+    /// The strategy returned by [`string_regex`].
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        gen: RegexGenerator,
+    }
+
+    /// Compiles `pattern` into a string strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] on syntax outside the supported subset.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        RegexGenerator::parse(pattern).map(|gen| RegexGeneratorStrategy { gen })
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+
+        fn new_value(&self, runner: &mut TestRunner) -> String {
+            self.gen.generate(runner.rng())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// prelude + macros
+// ---------------------------------------------------------------------
+
+/// `use proptest::prelude::*;` — everything the tests need.
+pub mod prelude {
+    pub use crate::{any, Arbitrary, ProptestConfig, Strategy, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+
+    /// Mirror of upstream's `prelude::prop` module re-exports.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+        pub use crate::string;
+    }
+}
+
+/// Defines property tests. See the crate docs for the supported subset.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..u64::from(config.cases) {
+                let mut runner =
+                    $crate::TestRunner::deterministic(stringify!($name), case);
+                let mut inputs: ::std::vec::Vec<::std::string::String> =
+                    ::std::vec::Vec::new();
+                $(
+                    let value = $crate::Strategy::new_value(&$strat, &mut runner);
+                    inputs.push(format!(
+                        "{} = {:?}",
+                        stringify!($arg),
+                        value
+                    ));
+                    let $arg = value;
+                )+
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        },
+                    ),
+                );
+                match outcome {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => panic!(
+                        "proptest case {case} of {} failed: {e}\n  inputs:\n    {}",
+                        stringify!($name),
+                        inputs.join("\n    "),
+                    ),
+                    Err(payload) => {
+                        eprintln!(
+                            "proptest case {case} of {} panicked\n  inputs:\n    {}",
+                            stringify!($name),
+                            inputs.join("\n    "),
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_each! { ($cfg) $($rest)* }
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args...)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` / `prop_assert_eq!(a, b, "fmt", args...)`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                left, right
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                left,
+                right,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn generation_is_deterministic_per_case() {
+        let strat = (1u64..100, prop::collection::vec(0.0f64..1.0, 1..8));
+        let mut a = TestRunner::deterministic("t", 3);
+        let mut b = TestRunner::deterministic("t", 3);
+        assert_eq!(
+            format!("{:?}", strat.new_value(&mut a)),
+            format!("{:?}", strat.new_value(&mut b)),
+        );
+        let mut c = TestRunner::deterministic("t", 4);
+        // Overwhelmingly likely to differ.
+        assert_ne!(
+            format!("{:?}", strat.new_value(&mut a)),
+            format!("{:?}", strat.new_value(&mut c)),
+        );
+    }
+
+    #[test]
+    fn regex_lite_generates_matching_strings() {
+        let strat = prop::string::string_regex("[a-c]{2,4}x").expect("valid");
+        let mut runner = TestRunner::deterministic("re", 0);
+        for _ in 0..100 {
+            let s = strat.new_value(&mut runner);
+            assert!(s.ends_with('x'));
+            let body = &s[..s.len() - 1];
+            assert!((2..=4).contains(&body.len()), "{s}");
+            assert!(body.chars().all(|c| ('a'..='c').contains(&c)), "{s}");
+        }
+    }
+
+    #[test]
+    fn unsupported_regex_is_rejected() {
+        assert!(prop::string::string_regex("a|b").is_err());
+        assert!(prop::string::string_regex("[a-z").is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// The macro machinery itself: args bind, asserts work.
+        #[test]
+        fn macro_smoke(x in 1u64..10, v in prop::collection::vec(0u8..4, 2), s in "[a-b]{1,3}") {
+            prop_assert!(x >= 1 && x < 10);
+            prop_assert_eq!(v.len(), 2);
+            prop_assert!(!s.is_empty() && s.len() <= 3, "s={}", s);
+        }
+    }
+}

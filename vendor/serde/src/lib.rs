@@ -1,0 +1,460 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Instead of upstream's visitor-based data model, this stub routes all
+//! (de)serialisation through a self-describing [`Value`] tree: types
+//! implement [`Serialize`] by producing a `Value` and [`Deserialize`] by
+//! consuming one. The derive macros in `serde_derive` generate exactly
+//! those impls, and `serde_json` renders/parses the tree. This covers
+//! every use in the `jetsim` workspace (derives + `serde_json` entry
+//! points); hand-written upstream-style impls are *not* supported.
+
+// API-subset stub of the real crate; keep lints quiet so the
+// workspace lint gate (-D warnings) tracks first-party code only.
+#![allow(clippy::all)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing data tree, isomorphic to a JSON document.
+///
+/// Map entries preserve insertion order so serialised output is
+/// deterministic and field order matches declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer (non-negative JSON number without fraction).
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Value>),
+    /// JSON object, in insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrows the string content, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrows the entries, if this is a `Map`.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrows the elements, if this is a `Seq`.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a map entry by key.
+    pub fn get_field(&self, key: &str) -> Option<&Value> {
+        self.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// A short name for the variant, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+}
+
+/// A (de)serialisation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+
+    /// "expected X while deserialising Y"-style error.
+    pub fn expected(what: &str, while_deserialising: &str, got: &Value) -> Self {
+        Error::custom(format!(
+            "expected {what} while deserialising {while_deserialising}, got {}",
+            got.kind()
+        ))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves as a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a data tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a data tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the tree's shape does not match `Self`.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::U64(v as u64)
+                } else {
+                    Value::I64(v)
+                }
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", "bool", other)),
+        }
+    }
+}
+
+fn int_from_value(v: &Value) -> Option<i128> {
+    match v {
+        Value::U64(u) => Some(i128::from(*u)),
+        Value::I64(i) => Some(i128::from(*i)),
+        Value::F64(f) if f.fract() == 0.0 && f.abs() < 9.2e18 => Some(*f as i128),
+        _ => None,
+    }
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = int_from_value(v)
+                    .ok_or_else(|| Error::expected("integer", stringify!($t), v))?;
+                <$t>::try_from(raw).map_err(|_| {
+                    Error::custom(format!(
+                        "integer {raw} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::F64(f) => Ok(*f),
+            Value::U64(u) => Ok(*u as f64),
+            Value::I64(i) => Ok(*i as f64),
+            other => Err(Error::expected("number", "f64", other)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", "String", other)),
+        }
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = String::from_value(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let seq = v
+            .as_seq()
+            .ok_or_else(|| Error::expected("array", "Vec", v))?;
+        seq.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal; $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let seq = v
+                    .as_seq()
+                    .ok_or_else(|| Error::expected("array", "tuple", v))?;
+                if seq.len() != $len {
+                    return Err(Error::custom(format!(
+                        "expected array of length {}, got {}",
+                        $len,
+                        seq.len()
+                    )));
+                }
+                Ok(($($t::from_value(&seq[$n])?,)+))
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1; 0 A)
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Derive support helpers (used by serde_derive-generated code)
+// ---------------------------------------------------------------------
+
+/// Extracts and deserialises the field `name` from the map entries `m`.
+///
+/// A missing field is deserialised from `Null`, so `Option` fields
+/// default to `None` (matching upstream's `missing_field` behaviour)
+/// while all other types report the missing field.
+///
+/// # Errors
+///
+/// Returns [`Error`] when the field is missing (for non-optional types)
+/// or has the wrong shape.
+pub fn field<T: Deserialize>(m: &[(String, Value)], name: &str, ty: &str) -> Result<T, Error> {
+    match m.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v).map_err(|e| Error::custom(format!("{ty}.{name}: {e}"))),
+        None => T::from_value(&Value::Null)
+            .map_err(|_| Error::custom(format!("missing field `{name}` in {ty}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_value(&7u32.to_value()).unwrap(), 7);
+        assert_eq!(i64::from_value(&(-3i64).to_value()).unwrap(), -3);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert_eq!(
+            String::from_value(&"hi".to_value()).unwrap(),
+            "hi".to_string()
+        );
+    }
+
+    #[test]
+    fn numeric_coercion_is_liberal() {
+        // An integral F64 deserialises into integer types and vice versa.
+        assert_eq!(u64::from_value(&Value::F64(4.0)).unwrap(), 4);
+        assert_eq!(f64::from_value(&Value::U64(4)).unwrap(), 4.0);
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_value(&v.to_value()).unwrap(), v);
+        let t = (1u32, "x".to_string(), 2.5f64);
+        let back: (u32, String, f64) = Deserialize::from_value(&t.to_value()).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn missing_option_field_defaults_to_none() {
+        let m: Vec<(String, Value)> = vec![];
+        let v: Option<u32> = field(&m, "gone", "T").unwrap();
+        assert_eq!(v, None);
+        let e = field::<u32>(&m, "gone", "T").unwrap_err();
+        assert!(e.to_string().contains("missing field `gone`"));
+    }
+}

@@ -1,0 +1,516 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stub.
+//!
+//! Generates `serde::Serialize::to_value` / `serde::Deserialize::from_value`
+//! impls against the stub's `Value` tree. Implemented with hand-rolled
+//! token parsing (no `syn`/`quote` — this builds fully offline).
+//!
+//! Supported shapes — exactly what the `jetsim` workspace derives:
+//! named-field structs, unit structs, tuple structs (newtype =
+//! transparent, wider = array), enums with unit / newtype / tuple /
+//! struct variants (externally tagged, like upstream's default), at most
+//! a handful of plain type parameters, and the container attribute
+//! `#[serde(rename_all = "lowercase")]`.
+
+// API-subset stub of the real crate; keep lints quiet so the
+// workspace lint gate (-D warnings) tracks first-party code only.
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the stub `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derives the stub `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Tiny IR
+// ---------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    /// Type-parameter idents, e.g. `["T"]` for `PerPrecision<T>`.
+    generics: Vec<String>,
+    /// `#[serde(rename_all = "lowercase")]` present on the container.
+    rename_lowercase: bool,
+    data: Data,
+}
+
+enum Data {
+    /// Named-field struct; field names in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with this many fields (1 = newtype, transparent).
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected {what}, got {other:?}"),
+        }
+    }
+
+    /// Skips any leading `#[...]` attributes; returns true if one of them
+    /// was `#[serde(...)]` mentioning `lowercase`.
+    fn skip_attrs(&mut self) -> bool {
+        let mut lowercase = false;
+        while self.eat_punct('#') {
+            // Outer attribute group (inner `#![...]` never appears here).
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    let text = g.stream().to_string();
+                    if text.starts_with("serde") && text.contains("lowercase") {
+                        lowercase = true;
+                    }
+                }
+                other => panic!("serde_derive: malformed attribute: {other:?}"),
+            }
+        }
+        lowercase
+    }
+
+    fn skip_visibility(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1; // pub(crate), pub(super), ...
+                }
+            }
+        }
+    }
+
+    /// Consumes a `<...>` generics list, returning type-parameter names.
+    fn parse_generics(&mut self) -> Vec<String> {
+        if !self.eat_punct('<') {
+            return Vec::new();
+        }
+        let mut params = Vec::new();
+        let mut depth = 1usize;
+        let mut at_param_start = true;
+        while depth > 0 {
+            match self.next() {
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 1 => at_param_start = true,
+                    '\'' => {
+                        // Lifetime: consume its ident, stay "at start" so
+                        // `'a, T` still records T.
+                        let _ = self.next();
+                        at_param_start = false;
+                    }
+                    _ => at_param_start = false,
+                },
+                Some(TokenTree::Ident(i)) => {
+                    if at_param_start && depth == 1 {
+                        params.push(i.to_string());
+                    }
+                    at_param_start = false;
+                }
+                Some(_) => at_param_start = false,
+                None => panic!("serde_derive: unterminated generics"),
+            }
+        }
+        params
+    }
+
+    /// Skips tokens up to (not including) a top-level `,`, balancing
+    /// `<`/`>` so commas inside generic arguments don't terminate early.
+    fn skip_type(&mut self) {
+        let mut angle = 0usize;
+        while let Some(tok) = self.peek() {
+            match tok {
+                TokenTree::Punct(p) => match p.as_char() {
+                    ',' if angle == 0 => return,
+                    '<' => angle += 1,
+                    '>' => angle = angle.saturating_sub(1),
+                    _ => {}
+                },
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn cursor_of(stream: TokenStream) -> Cursor {
+    Cursor {
+        toks: stream.into_iter().collect(),
+        pos: 0,
+    }
+}
+
+/// Field names of a named-field body `{ ... }`.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let mut c = cursor_of(group);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        c.skip_attrs();
+        c.skip_visibility();
+        let name = c.expect_ident("field name");
+        assert!(
+            c.eat_punct(':'),
+            "serde_derive: expected `:` after field `{name}`"
+        );
+        c.skip_type();
+        c.eat_punct(',');
+        fields.push(name);
+    }
+    fields
+}
+
+/// Number of fields in a tuple body `( ... )`.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut c = cursor_of(group);
+    let mut count = 0usize;
+    while c.peek().is_some() {
+        c.skip_attrs();
+        c.skip_visibility();
+        c.skip_type();
+        count += 1;
+        c.eat_punct(',');
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut c = cursor_of(group);
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        c.skip_attrs();
+        let name = c.expect_ident("variant name");
+        let kind = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let stream = g.stream();
+                c.pos += 1;
+                match count_tuple_fields(stream) {
+                    1 => VariantKind::Newtype,
+                    n => VariantKind::Tuple(n),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let stream = g.stream();
+                c.pos += 1;
+                VariantKind::Struct(parse_named_fields(stream))
+            }
+            _ => VariantKind::Unit,
+        };
+        if c.eat_punct('=') {
+            // Explicit discriminant: skip its expression.
+            c.skip_type();
+        }
+        c.eat_punct(',');
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse(input: TokenStream) -> Item {
+    let mut c = cursor_of(input);
+    let rename_lowercase = c.skip_attrs();
+    c.skip_visibility();
+    let is_enum = if c.eat_ident("struct") {
+        false
+    } else if c.eat_ident("enum") {
+        true
+    } else {
+        panic!("serde_derive: only structs and enums are supported");
+    };
+    let name = c.expect_ident("type name");
+    let generics = c.parse_generics();
+    // Where-clauses are not used in this workspace; the next token is the
+    // body (or `;`/`(...)` for unit/tuple structs).
+    let data = if is_enum {
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body, got {other:?}"),
+        }
+    } else {
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::Unit,
+            other => panic!("serde_derive: expected struct body, got {other:?}"),
+        }
+    };
+    Item {
+        name,
+        generics,
+        rename_lowercase,
+        data,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_path: &str) -> String {
+    if item.generics.is_empty() {
+        format!("impl {trait_path} for {} ", item.name)
+    } else {
+        let bounded: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {trait_path}"))
+            .collect();
+        format!(
+            "impl<{}> {trait_path} for {}<{}> ",
+            bounded.join(", "),
+            item.name,
+            item.generics.join(", ")
+        )
+    }
+}
+
+fn variant_tag(item: &Item, variant: &str) -> String {
+    if item.rename_lowercase {
+        variant.to_lowercase()
+    } else {
+        variant.to_string()
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Data::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Data::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Seq(vec![{}])", entries.join(", "))
+        }
+        Data::Unit => "serde::Value::Null".to_string(),
+        Data::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let tag = variant_tag(item, &v.name);
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            format!("{name}::{vn} => serde::Value::Str(\"{tag}\".to_string()),")
+                        }
+                        VariantKind::Newtype => format!(
+                            "{name}::{vn}(x0) => serde::Value::Map(vec![(\"{tag}\"\
+                             .to_string(), serde::Serialize::to_value(x0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let entries: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Serialize::to_value(x{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => serde::Value::Map(vec![(\"{tag}\"\
+                                 .to_string(), serde::Value::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), \
+                                         serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => serde::Value::Map(vec![\
+                                 (\"{tag}\".to_string(), serde::Value::Map(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived] {header}{{ fn to_value(&self) -> serde::Value {{ {body} }} }}",
+        header = impl_header(item, "serde::Serialize"),
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: serde::field(m, \"{f}\", \"{name}\")?,"))
+                .collect();
+            format!(
+                "let m = v.as_map().ok_or_else(|| \
+                 serde::Error::expected(\"object\", \"{name}\", v))?; \
+                 Ok({name} {{ {} }})",
+                inits.join(" ")
+            )
+        }
+        Data::Tuple(1) => {
+            format!("Ok({name}(serde::Deserialize::from_value(v)?))")
+        }
+        Data::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&s[{i}])?"))
+                .collect();
+            format!(
+                "let s = v.as_seq().ok_or_else(|| \
+                 serde::Error::expected(\"array\", \"{name}\", v))?; \
+                 if s.len() != {n} {{ return Err(serde::Error::custom(format!(\
+                 \"expected {n} elements for {name}, got {{}}\", s.len()))); }} \
+                 Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Data::Unit => format!("let _ = v; Ok({name})"),
+        Data::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut data_arms = Vec::new();
+            for v in variants {
+                let tag = variant_tag(item, &v.name);
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push(format!("\"{tag}\" => Ok({name}::{vn}),"));
+                    }
+                    VariantKind::Newtype => {
+                        data_arms.push(format!(
+                            "\"{tag}\" => Ok({name}::{vn}(\
+                             serde::Deserialize::from_value(payload)?)),"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Deserialize::from_value(&s[{i}])?"))
+                            .collect();
+                        data_arms.push(format!(
+                            "\"{tag}\" => {{ let s = payload.as_seq().ok_or_else(|| \
+                             serde::Error::expected(\"array\", \"{name}::{vn}\", \
+                             payload))?; if s.len() != {n} {{ return \
+                             Err(serde::Error::custom(\"wrong tuple arity for \
+                             {name}::{vn}\".to_string())); }} Ok({name}::{vn}({})) }}",
+                            inits.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: serde::field(fm, \"{f}\", \"{name}::{vn}\")?,"))
+                            .collect();
+                        data_arms.push(format!(
+                            "\"{tag}\" => {{ let fm = payload.as_map().ok_or_else(|| \
+                             serde::Error::expected(\"object\", \"{name}::{vn}\", \
+                             payload))?; Ok({name}::{vn} {{ {} }}) }}",
+                            inits.join(" ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let Some(s) = v.as_str() {{ return match s {{ {} other => \
+                 Err(serde::Error::custom(format!(\"unknown variant `{{other}}` of \
+                 {name}\"))) }}; }} \
+                 if let Some(m) = v.as_map() {{ if m.len() == 1 {{ \
+                 let (tag, payload) = &m[0]; let _ = payload; \
+                 return match tag.as_str() {{ {} other => \
+                 Err(serde::Error::custom(format!(\"unknown variant `{{other}}` of \
+                 {name}\"))) }}; }} }} \
+                 Err(serde::Error::expected(\"variant of {name}\", \"{name}\", v))",
+                unit_arms.join(" "),
+                data_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] {header}{{ fn from_value(v: &serde::Value) -> \
+         Result<Self, serde::Error> {{ {body} }} }}",
+        header = impl_header(item, "serde::Deserialize"),
+    )
+}
