@@ -1,0 +1,371 @@
+//! The GPU engine: kernel dispatch, timeslice affinity, MPS packing,
+//! in-flight power/utilisation accrual and kernel-event tracing.
+
+use jetsim_des::{SimDuration, SimRng, SimTime};
+use jetsim_device::power::GpuLoad;
+use jetsim_device::DeviceSpec;
+
+use crate::config::{CpuModel, GpuSharing};
+use crate::trace::KernelEvent;
+
+use super::sched::{CpuSched, Resume, SchedEvent};
+use super::{Component, Ctx, Event};
+
+/// Events consumed by [`GpuEngine`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum GpuEvent {
+    /// The GPU finished its current kernel.
+    Done,
+}
+
+/// One kernel currently executing on the GPU.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    pid: usize,
+    kernel_index: usize,
+    ec_seq: u64,
+    start: SimTime,
+    end: SimTime,
+    /// Power coefficient of the kernel's precision.
+    coef: f64,
+    /// Tensor-core activity while it runs.
+    tc: f64,
+    /// Fraction of its span doing datapath work (the launch-gap head is
+    /// charged at idle power).
+    work_fraction: f64,
+    /// DRAM bytes per second while it runs.
+    bytes_per_sec: f64,
+    /// How far this kernel's window contribution has been accounted.
+    accounted_until: SimTime,
+}
+
+/// Accumulators over one governor/sampling window.
+#[derive(Debug, Clone, Copy, Default)]
+struct Window {
+    busy: SimDuration,
+    coef_weighted: f64,
+    tc_weighted: f64,
+    bytes: u64,
+    cpu_busy: SimDuration,
+}
+
+impl Window {
+    fn load(&self, interval: SimDuration, device: &DeviceSpec) -> (f64, GpuLoad) {
+        let secs = interval.as_secs_f64();
+        let busy_secs = self.busy.as_secs_f64();
+        let busy_frac = if secs == 0.0 {
+            0.0
+        } else {
+            (busy_secs / secs).min(1.0)
+        };
+        let load = GpuLoad {
+            busy: busy_frac,
+            precision_w: if busy_secs == 0.0 {
+                0.0
+            } else {
+                self.coef_weighted / busy_secs
+            },
+            tc_util: if busy_secs == 0.0 {
+                0.0
+            } else {
+                (self.tc_weighted / busy_secs).min(1.0)
+            },
+            mem_util: if secs == 0.0 {
+                0.0
+            } else {
+                (self.bytes as f64 / (device.gpu.bytes_per_sec() * secs)).min(1.0)
+            },
+        };
+        let cpu_cores = if secs == 0.0 {
+            0.0
+        } else {
+            self.cpu_busy.as_secs_f64() / secs
+        };
+        (cpu_cores, load)
+    }
+}
+
+/// The GPU component: owns execution state, the DVFS/sampling
+/// accounting windows, and the kernel-event trace (with its dedicated
+/// jitter RNG stream, so toggling recording cannot perturb dynamics).
+pub(crate) struct GpuEngine {
+    /// Currently executing kernel, if any.
+    current: Option<InFlight>,
+    /// Process whose queue the GPU is draining (timeslice affinity).
+    affinity: Option<usize>,
+    /// When the current timeslice started.
+    slice_start: SimTime,
+    /// Current DVFS frequency step (written by the governor and the
+    /// memory guard's throttle locks; read at dispatch time).
+    pub(crate) freq_step: usize,
+    /// Accumulator drained by the governor each DVFS tick.
+    dvfs_window: Window,
+    /// Accumulator drained by the sampler each sample tick.
+    sample_window: Window,
+    /// GPU busy time within the measured window.
+    pub(crate) gpu_busy_measured: SimDuration,
+    /// Kernel events recorded inside the measured window.
+    pub(crate) kernel_events: Vec<KernelEvent>,
+    /// Independent stream for kernel-event jitter samples, so toggling
+    /// `record_kernel_events` cannot perturb the simulation dynamics:
+    /// aggregate results are bit-identical with tracing on or off.
+    trace_rng: SimRng,
+}
+
+impl Component for GpuEngine {
+    type Event = GpuEvent;
+    type Deps<'d> = &'d mut CpuSched;
+
+    fn handle(&mut self, ev: GpuEvent, now: SimTime, ctx: &mut Ctx<'_>, sched: &mut CpuSched) {
+        match ev {
+            GpuEvent::Done => self.on_gpu_done(now, ctx, sched),
+        }
+    }
+}
+
+impl GpuEngine {
+    /// Creates the GPU engine at the top frequency step with pre-sized
+    /// trace storage.
+    pub(crate) fn new(top_step: usize, trace_rng: SimRng, est_events: usize) -> Self {
+        GpuEngine {
+            current: None,
+            affinity: None,
+            slice_start: SimTime::ZERO,
+            freq_step: top_step,
+            dvfs_window: Window::default(),
+            sample_window: Window::default(),
+            gpu_busy_measured: SimDuration::ZERO,
+            kernel_events: Vec::with_capacity(est_events),
+            trace_rng,
+        }
+    }
+
+    /// Charges host CPU busy time into both accounting windows.
+    pub(crate) fn charge_cpu(&mut self, cost: SimDuration) {
+        self.dvfs_window.cpu_busy += cost;
+        self.sample_window.cpu_busy += cost;
+    }
+
+    /// Drains the governor's accounting window into a load summary.
+    pub(crate) fn drain_dvfs_window(
+        &mut self,
+        interval: SimDuration,
+        device: &DeviceSpec,
+    ) -> (f64, GpuLoad) {
+        let out = self.dvfs_window.load(interval, device);
+        self.dvfs_window = Window::default();
+        out
+    }
+
+    /// Drains the sampler's accounting window into a load summary.
+    pub(crate) fn drain_sample_window(
+        &mut self,
+        period: SimDuration,
+        device: &DeviceSpec,
+    ) -> (f64, GpuLoad) {
+        let out = self.sample_window.load(period, device);
+        self.sample_window = Window::default();
+        out
+    }
+
+    /// Dispatches the next ready kernel if the GPU is idle.
+    pub(crate) fn try_dispatch(&mut self, now: SimTime, ctx: &mut Ctx<'_>) {
+        if self.current.is_some() {
+            return;
+        }
+        let Some(pid) = self.pick_process(now, ctx) else {
+            return;
+        };
+        let mut start = now;
+        let mps_overlap = match ctx.config.gpu_sharing {
+            GpuSharing::TimeMultiplexed => None,
+            GpuSharing::SpatialMps { overlap_efficiency } => {
+                Some(overlap_efficiency.clamp(0.0, 0.6))
+            }
+        };
+        if self.affinity != Some(pid) {
+            // No MPS on Jetson: crossing processes costs a GPU context
+            // switch. Under the MPS ablation the switch is free.
+            if self.affinity.is_some() && mps_overlap.is_none() {
+                start += ctx.config.device.gpu.ctx_switch;
+            }
+            self.affinity = Some(pid);
+            self.slice_start = start;
+        }
+        let kernel_index = ctx.procs[pid].ready.pop_front().expect("picked non-empty");
+        // Disjoint-field borrows keep the engine referenced in place — no
+        // per-dispatch `Arc` refcount traffic on the hot path.
+        let engine = &ctx.procs[pid].engine;
+        let batch = engine.batch();
+        let kernel = &engine.kernels()[kernel_index];
+        let gpu_arch = &ctx.config.device.gpu;
+        let mut exec = kernel
+            .exec_time(gpu_arch, batch, self.freq_step)
+            .mul_f64(ctx.config.profiler.kernel_overhead_factor())
+            .mul_f64(ctx.rng.uniform(0.95, 1.05));
+        if let Some(overlap) = mps_overlap {
+            // Spatial sharing packs this kernel against other processes'
+            // queued work, hiding part of its span.
+            let others_waiting =
+                (0..ctx.procs.len()).any(|p| p != pid && !ctx.procs[p].ready.is_empty());
+            if others_waiting {
+                exec = exec.mul_f64(1.0 - overlap);
+            }
+        }
+        let end = start + exec;
+        let ec_seq = ctx.procs[pid].ec_seq;
+        // Power/governor metadata. Launch-gap time at the front of every
+        // kernel keeps the GPU "busy" for the utilisation counter but
+        // toggles no datapath, so it is charged at idle power — this is
+        // why small-batch runs draw less despite ~100 % GPU utilisation
+        // (paper fig 8). Contributions accrue continuously so kernels
+        // longer than a governor window are charged to every window they
+        // span.
+        let kernel = &ctx.procs[pid].engine.kernels()[kernel_index];
+        let coef = ctx.config.device.power.precision_coefficient(kernel.precision);
+        let tc = kernel.tc_activity(gpu_arch, batch, self.freq_step);
+        let exec_secs = exec.as_secs_f64();
+        let work_fraction =
+            1.0 - (gpu_arch.kernel_min_gap.as_secs_f64() / exec_secs.max(f64::EPSILON)).min(1.0);
+        let bytes_per_sec = (kernel.bytes * u64::from(batch)) as f64 / exec_secs.max(f64::EPSILON);
+        self.current = Some(InFlight {
+            pid,
+            kernel_index,
+            ec_seq,
+            start,
+            end,
+            coef,
+            tc,
+            work_fraction,
+            bytes_per_sec,
+            accounted_until: start,
+        });
+        ctx.queue.schedule(end, Event::Gpu(GpuEvent::Done));
+    }
+
+    /// Chooses which process's queue the GPU serves next: stay with the
+    /// current one until it empties or its timeslice expires, then
+    /// round-robin.
+    fn pick_process(&self, now: SimTime, ctx: &Ctx<'_>) -> Option<usize> {
+        let procs = &ctx.procs;
+        let n = procs.len();
+        if let Some(cur) = self.affinity {
+            let slice_ok =
+                now.saturating_since(self.slice_start) < ctx.config.device.gpu.timeslice;
+            let others_waiting = (0..n).any(|p| p != cur && !procs[p].ready.is_empty());
+            if !procs[cur].ready.is_empty() && (slice_ok || !others_waiting) {
+                return Some(cur);
+            }
+            // Round-robin from the next process.
+            for offset in 1..=n {
+                let pid = (cur + offset) % n;
+                if !procs[pid].ready.is_empty() {
+                    return Some(pid);
+                }
+            }
+            None
+        } else {
+            (0..n).find(|&pid| !procs[pid].ready.is_empty())
+        }
+    }
+
+    /// Accrues the in-flight kernel's power/utilisation contribution up
+    /// to `now` into both accounting windows.
+    pub(crate) fn accrue_gpu(&mut self, now: SimTime) {
+        let Some(inflight) = self.current.as_mut() else {
+            return;
+        };
+        let upto = if now < inflight.end {
+            now
+        } else {
+            inflight.end
+        };
+        if upto <= inflight.accounted_until {
+            return;
+        }
+        let span = upto.since(inflight.accounted_until);
+        let secs = span.as_secs_f64();
+        let (coef, tc, wf, bps) = (
+            inflight.coef,
+            inflight.tc,
+            inflight.work_fraction,
+            inflight.bytes_per_sec,
+        );
+        inflight.accounted_until = upto;
+        for window in [&mut self.dvfs_window, &mut self.sample_window] {
+            window.busy += span;
+            window.coef_weighted += coef * secs * wf;
+            window.tc_weighted += tc * secs;
+            window.bytes += (bps * secs) as u64;
+        }
+    }
+
+    /// The GPU finished a kernel: emit its event, wake the owner if this
+    /// completed an EC, and dispatch the next kernel.
+    fn on_gpu_done(&mut self, now: SimTime, ctx: &mut Ctx<'_>, sched: &mut CpuSched) {
+        self.accrue_gpu(now);
+        let inflight = self.current.take().expect("GpuDone without kernel");
+        let exec = inflight.end.since(inflight.start);
+        ctx.procs[inflight.pid].cur_gpu += exec;
+
+        if inflight.end > ctx.warmup_end {
+            let clipped = inflight.end.since(ctx.warmup_end.max_of(inflight.start));
+            self.gpu_busy_measured += clipped.max_of(SimDuration::ZERO);
+        }
+        // Disjoint-field borrows: the engine stays referenced in place
+        // (no `Arc` clone per completion) while the jitter samples come
+        // from the dedicated trace stream, so disabling recording cannot
+        // change the dynamics.
+        let engine = &ctx.procs[inflight.pid].engine;
+        let kernel_count = engine.kernel_count();
+        if inflight.end > ctx.warmup_end && ctx.config.record_kernel_events {
+            let kernel = &engine.kernels()[inflight.kernel_index];
+            let gpu_arch = &ctx.config.device.gpu;
+            let batch = engine.batch();
+            let sm = (kernel.sm_active(gpu_arch, batch) * self.trace_rng.uniform(0.92, 1.08))
+                .clamp(0.0, 1.0);
+            let issue = (kernel.issue_slot(gpu_arch, batch, self.freq_step)
+                * self.trace_rng.uniform(0.85, 1.15))
+            .clamp(0.0, 0.8);
+            let tc = (kernel.tc_activity(gpu_arch, batch, self.freq_step)
+                * self.trace_rng.uniform(0.88, 1.12))
+            .clamp(0.0, 1.0);
+            self.kernel_events.push(KernelEvent {
+                pid: inflight.pid,
+                ec_seq: inflight.ec_seq,
+                kernel_index: inflight.kernel_index,
+                start: inflight.start,
+                end: inflight.end,
+                precision: kernel.precision,
+                sm_active: sm,
+                issue_slot: issue,
+                tc_activity: tc,
+                bytes: kernel.bytes * u64::from(batch),
+            });
+        }
+
+        if inflight.kernel_index + 1 == kernel_count && ctx.alive[inflight.pid] {
+            if ctx.config.cpu_model == CpuModel::RunQueue {
+                // The spinning thread notices completion once it holds a
+                // core; the queue wait *is* the wakeup latency.
+                sched.rq_notify_gpu_done(inflight.pid, now, ctx);
+            } else {
+                // Last kernel of the EC: wake the parked thread.
+                let wakeup = ctx
+                    .config
+                    .device
+                    .cpu
+                    .wakeup_delay(ctx.n_procs)
+                    .mul_f64(ctx.rng.uniform(0.8, 1.2));
+                ctx.queue.schedule_after(
+                    wakeup,
+                    Event::Sched(SchedEvent::ThreadResume {
+                        pid: inflight.pid,
+                        kind: Resume::SyncReturn,
+                    }),
+                );
+            }
+        }
+        self.try_dispatch(now, ctx);
+    }
+}

@@ -1,0 +1,265 @@
+//! The memory guard: unified-memory footprint accounting, the injected
+//! fault timeline, and OOM-killer enforcement — §6.2.1's over-deployment
+//! "reboot" as a simulated outcome.
+
+use jetsim_des::{CalendarQueue, SimTime};
+
+use crate::config::SimConfig;
+use crate::faults::{FaultEvent, FaultKind, OomPolicy};
+
+use super::governor::Governor;
+use super::gpu::GpuEngine;
+use super::sched::CpuSched;
+use super::{Component, Ctx, Event};
+
+/// Events consumed by [`MemoryGuard`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum MemoryEvent {
+    /// An injected fault fires (index into the precomputed timeline).
+    Fault {
+        /// Index into the guard's fault timeline.
+        index: usize,
+    },
+}
+
+/// One entry of the precomputed fault timeline (derived from the
+/// config's [`crate::FaultPlan`] at construction, so injection costs
+/// nothing when the plan is empty and draws nothing from the run RNG).
+#[derive(Debug, Clone, Copy)]
+enum FaultAction {
+    /// A background memory spike appears.
+    SpikeStart { bytes: u64 },
+    /// A background memory spike is released.
+    SpikeEnd { bytes: u64 },
+    /// The DVFS governor gets pinned to `step` until `until`.
+    LockStart { until: SimTime, step: usize },
+    /// A throttle lock may release (ignored while a longer lock holds).
+    LockEnd,
+}
+
+/// Peers a fault may drive: the scheduler (evicting killed threads), the
+/// GPU (frequency pinning) and the governor (throttle-lock state).
+pub(crate) struct GuardDeps<'d> {
+    /// The CPU scheduler (killed processes release their cores).
+    pub sched: &'d mut CpuSched,
+    /// The GPU engine (throttle locks pin its frequency step).
+    pub gpu: &'d mut GpuEngine,
+    /// The governor (owns the throttle-lock override state).
+    pub governor: &'d mut Governor,
+}
+
+/// The memory-guard component: owns footprint/spike accounting, the
+/// fault timeline, and the recorded fault events.
+pub(crate) struct MemoryGuard {
+    /// Precomputed fault schedule, sorted by time (releases before
+    /// arrivals at equal timestamps).
+    timeline: Vec<(SimTime, FaultAction)>,
+    /// Background spike bytes currently resident.
+    spike_bytes: u64,
+    /// Faults injected and their consequences, in event order.
+    pub(crate) fault_events: Vec<FaultEvent>,
+}
+
+impl Component for MemoryGuard {
+    type Event = MemoryEvent;
+    type Deps<'d> = GuardDeps<'d>;
+
+    fn handle(&mut self, ev: MemoryEvent, now: SimTime, ctx: &mut Ctx<'_>, deps: GuardDeps<'_>) {
+        match ev {
+            MemoryEvent::Fault { index } => self.on_fault(index, now, ctx, deps),
+        }
+    }
+}
+
+impl MemoryGuard {
+    /// Flattens the config's fault plan into a timeline of point
+    /// actions. Releases sort before arrivals at equal timestamps so a
+    /// spike ending exactly when another starts never double-counts.
+    pub(crate) fn new(config: &SimConfig) -> Self {
+        let ladder_top = config.device.gpu.freq.top();
+        let mut timeline: Vec<(SimTime, FaultAction)> = Vec::with_capacity(
+            2 * (config.faults.memory_spikes.len() + config.faults.throttle_locks.len()),
+        );
+        for spike in &config.faults.memory_spikes {
+            timeline.push((spike.at, FaultAction::SpikeStart { bytes: spike.bytes }));
+            timeline.push((spike.end(), FaultAction::SpikeEnd { bytes: spike.bytes }));
+        }
+        for lock in &config.faults.throttle_locks {
+            let step = lock.step.min(ladder_top);
+            timeline.push((
+                lock.at,
+                FaultAction::LockStart {
+                    until: lock.end(),
+                    step,
+                },
+            ));
+            timeline.push((lock.end(), FaultAction::LockEnd));
+        }
+        timeline.sort_by_key(|&(at, action)| {
+            let release_first = match action {
+                FaultAction::SpikeEnd { .. } | FaultAction::LockEnd => 0u8,
+                FaultAction::SpikeStart { .. } | FaultAction::LockStart { .. } => 1,
+            };
+            (at.as_nanos(), release_first)
+        });
+        MemoryGuard {
+            timeline,
+            spike_bytes: 0,
+            fault_events: Vec::new(),
+        }
+    }
+
+    /// Schedules every timeline entry that falls within the run (no-op
+    /// for an empty plan, so fault-free runs stay byte-identical to the
+    /// pre-fault loop).
+    pub(crate) fn schedule_timeline(&self, queue: &mut CalendarQueue<Event>, sim_end: SimTime) {
+        for index in 0..self.timeline.len() {
+            let at = self.timeline[index].0;
+            if at <= sim_end {
+                queue.schedule(at, Event::Memory(MemoryEvent::Fault { index }));
+            }
+        }
+    }
+
+    /// Applies one scheduled fault action.
+    fn on_fault(&mut self, index: usize, now: SimTime, ctx: &mut Ctx<'_>, deps: GuardDeps<'_>) {
+        let GuardDeps {
+            sched,
+            gpu,
+            governor,
+        } = deps;
+        let (_, action) = self.timeline[index];
+        match action {
+            FaultAction::SpikeStart { bytes } => {
+                self.spike_bytes += bytes;
+                self.fault_events.push(FaultEvent {
+                    time: now,
+                    kind: FaultKind::MemorySpikeStart { bytes },
+                });
+                self.enforce_memory(now, ctx, sched);
+            }
+            FaultAction::SpikeEnd { bytes } => {
+                self.spike_bytes = self.spike_bytes.saturating_sub(bytes);
+                self.fault_events.push(FaultEvent {
+                    time: now,
+                    kind: FaultKind::MemorySpikeEnd { bytes },
+                });
+            }
+            FaultAction::LockStart { until, step } => {
+                governor.throttle_lock = Some((until, step));
+                gpu.freq_step = step;
+                self.fault_events.push(FaultEvent {
+                    time: now,
+                    kind: FaultKind::ThrottleLockStart {
+                        step,
+                        mhz: ctx.config.device.gpu.freq.mhz(step),
+                    },
+                });
+            }
+            FaultAction::LockEnd => {
+                // Only release when no longer-running lock superseded
+                // this one (overlapping locks keep the latest window).
+                if let Some((until, _)) = governor.throttle_lock {
+                    if now >= until {
+                        governor.throttle_lock = None;
+                        self.fault_events.push(FaultEvent {
+                            time: now,
+                            kind: FaultKind::ThrottleLockEnd,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Live unified-memory footprint of the alive processes, optionally
+    /// excluding one (to compute how much its death would free). Mirrors
+    /// [`SimConfig::total_footprint_bytes`] including memory-group
+    /// sharing: killing one stream of a shared group frees only its
+    /// per-context buffers unless it was the group's last member.
+    fn footprint_excluding(&self, ctx: &Ctx<'_>, excluded: Option<usize>) -> u64 {
+        use std::collections::HashSet;
+        let memory = &ctx.config.device.memory;
+        let mut seen: HashSet<usize> = HashSet::new();
+        ctx.config
+            .processes
+            .iter()
+            .enumerate()
+            .filter(|&(pid, _)| ctx.alive[pid] && Some(pid) != excluded)
+            .map(|(_, p)| {
+                let per_context = p.engine.io_bytes() + p.engine.workspace_bytes();
+                if seen.insert(p.memory_group) {
+                    memory.per_process_host_bytes
+                        + memory.cuda_context_bytes
+                        + p.engine.engine_bytes()
+                        + per_context
+                } else {
+                    per_context
+                }
+            })
+            .sum()
+    }
+
+    /// Kills processes (largest memory freed first, ties to the lowest
+    /// pid) until the live footprint plus background spikes fits in
+    /// usable memory. No-op under [`OomPolicy::Strict`], where the
+    /// pre-flight check already guaranteed fit.
+    pub(crate) fn enforce_memory(&mut self, now: SimTime, ctx: &mut Ctx<'_>, sched: &mut CpuSched) {
+        if ctx.config.faults.oom != OomPolicy::KillLargest {
+            return;
+        }
+        loop {
+            let current = self.footprint_excluding(ctx, None);
+            if !ctx
+                .config
+                .device
+                .memory
+                .would_oom(current.saturating_add(self.spike_bytes))
+            {
+                break;
+            }
+            let mut victim: Option<(u64, usize)> = None;
+            for pid in 0..ctx.procs.len() {
+                if !ctx.alive[pid] {
+                    continue;
+                }
+                let freed = current - self.footprint_excluding(ctx, Some(pid));
+                if victim.is_none_or(|(best, _)| freed > best) {
+                    victim = Some((freed, pid));
+                }
+            }
+            let Some((freed, pid)) = victim else {
+                break; // everyone is dead; the spike alone overcommits
+            };
+            self.kill_process(pid, freed, now, ctx, sched);
+        }
+    }
+
+    /// Terminates `pid`: its queued kernels vanish, pending events for
+    /// it become stale, and (in run-queue mode) its core is released.
+    /// Its in-flight GPU kernel, if any, completes — the driver does not
+    /// revoke work already submitted to the hardware.
+    fn kill_process(
+        &mut self,
+        pid: usize,
+        freed_bytes: u64,
+        now: SimTime,
+        ctx: &mut Ctx<'_>,
+        sched: &mut CpuSched,
+    ) {
+        ctx.alive[pid] = false;
+        ctx.killed_at[pid] = Some(now);
+        ctx.procs[pid].ready.clear();
+        if ctx.config.cpu_model == crate::config::CpuModel::RunQueue {
+            sched.rq_evict(pid, now, ctx);
+        }
+        self.fault_events.push(FaultEvent {
+            time: now,
+            kind: FaultKind::ProcessKilled {
+                pid,
+                name: ctx.procs[pid].name.clone(),
+                freed_bytes,
+            },
+        });
+    }
+}

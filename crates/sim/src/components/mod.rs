@@ -1,0 +1,130 @@
+//! Typed simulation components.
+//!
+//! The simulator used to be one god-object: a 2,000-line `Runner` with a
+//! single untyped event match. It is now a set of cohesive components —
+//! each owning one subsystem's state behind the [`Component`] trait with
+//! its own typed event enum — coordinated by a slim `Runner` (in
+//! [`crate::simulation`]) that only routes events and owns the
+//! `jetsim-des` queue:
+//!
+//! * [`sched::CpuSched`] — host-thread lifecycle: EC arrivals, launch
+//!   bursts, the explicit run-queue quantum scheduler and the calibrated
+//!   stochastic contention model (§7);
+//! * [`gpu::GpuEngine`] — kernel dispatch, timeslice affinity, MPS
+//!   packing, in-flight power/utilisation accrual, kernel-event tracing;
+//! * [`governor::Governor`] — DVFS ladder walking, the thermal RC model,
+//!   and injected throttle locks (§6.1.2);
+//! * [`memory_guard::MemoryGuard`] — unified-memory footprint
+//!   accounting, fault timeline, and OOM-killer enforcement (§6.2.1);
+//! * [`sampler::Sampler`] — the periodic `jetson-stats`-style sample.
+//!
+//! Cross-component effects (the paper's actual findings are these
+//! interactions) are expressed as explicit dependencies: each component's
+//! [`Component::Deps`] names exactly the peers an event may drive, so the
+//! coupling that was implicit in the god-object is visible in the types.
+
+pub(crate) mod governor;
+pub(crate) mod gpu;
+pub(crate) mod memory_guard;
+pub(crate) mod sampler;
+pub(crate) mod sched;
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use jetsim_des::{CalendarQueue, SimDuration, SimRng, SimTime};
+use jetsim_trt::Engine;
+
+use crate::config::{ArrivalModel, SimConfig};
+use crate::trace::EcRecord;
+
+use sched::RqThread;
+
+/// Events driving the simulation, routed by the `Runner` to the
+/// component that owns the matching typed stream.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Event {
+    /// Host-thread lifecycle ([`sched::CpuSched`]).
+    Sched(sched::SchedEvent),
+    /// GPU completions ([`gpu::GpuEngine`]).
+    Gpu(gpu::GpuEvent),
+    /// DVFS governor ticks ([`governor::Governor`]).
+    Governor(governor::GovernorEvent),
+    /// Injected faults ([`memory_guard::MemoryGuard`]).
+    Memory(memory_guard::MemoryEvent),
+    /// `jetson-stats` sampling ticks ([`sampler::Sampler`]).
+    Sampler(sampler::SamplerEvent),
+}
+
+/// Shared simulation state every component may read or mutate while
+/// handling an event: the configuration, the event queue, the dynamics
+/// RNG and the per-process state. Subsystem-private state lives inside
+/// the components themselves.
+pub(crate) struct Ctx<'a> {
+    /// The run's immutable configuration.
+    pub config: &'a SimConfig,
+    /// The DES event queue (owned by the `Runner`, lent per event).
+    pub queue: &'a mut CalendarQueue<Event>,
+    /// The main dynamics RNG stream.
+    pub rng: &'a mut SimRng,
+    /// Per-process simulation state.
+    pub procs: &'a mut Vec<Proc>,
+    /// Liveness flags (`false` once the OOM killer fires).
+    pub alive: &'a mut Vec<bool>,
+    /// When each process was killed, if it was.
+    pub killed_at: &'a mut Vec<Option<SimTime>>,
+    /// Number of configured processes (cached as `u32` for the
+    /// contention formulas).
+    pub n_procs: u32,
+    /// End of the warmup window.
+    pub warmup_end: SimTime,
+}
+
+/// One simulation subsystem: owns its state, consumes its typed event
+/// stream, and names the peer components its events may drive.
+pub(crate) trait Component {
+    /// The typed event stream this component consumes.
+    type Event;
+    /// Peer components (dependencies) an event handler may call into.
+    type Deps<'d>;
+    /// Handles one event at simulation time `now`.
+    fn handle(&mut self, ev: Self::Event, now: SimTime, ctx: &mut Ctx<'_>, deps: Self::Deps<'_>);
+}
+
+/// Per-process simulation state, shared across components: the scheduler
+/// drives the host-thread fields, the GPU drains `ready`, and the
+/// finaliser aggregates `ecs`.
+pub(crate) struct Proc {
+    /// Process name.
+    pub name: String,
+    /// The engine this process executes.
+    pub engine: Arc<Engine>,
+    /// Next kernel index the host thread will launch.
+    pub next_launch: usize,
+    /// Sequence number of the current EC.
+    pub ec_seq: u64,
+    /// When the current EC's enqueue phase began.
+    pub ec_start: SimTime,
+    /// When the last launch of the current EC completed.
+    pub enqueue_done_at: SimTime,
+    /// Accumulated launch CPU time this EC.
+    pub cur_launch: SimDuration,
+    /// Accumulated blocking this EC.
+    pub cur_blocking: SimDuration,
+    /// Accumulated GPU time this EC.
+    pub cur_gpu: SimDuration,
+    /// Whether the thread recently migrated cores (cold caches).
+    pub cache_cold: bool,
+    /// How work arrives at this process.
+    pub arrivals: ArrivalModel,
+    /// Arrival time of the next unconsumed batch (open-loop modes).
+    pub next_arrival: SimTime,
+    /// Queueing delay of the EC currently in flight.
+    pub cur_queue_delay: SimDuration,
+    /// Run-queue scheduler state for this thread.
+    pub cpu: RqThread,
+    /// Kernels launched and ready for the GPU, FIFO.
+    pub ready: VecDeque<usize>,
+    /// Completed EC records (all; filtered to the measured window later).
+    pub ecs: Vec<EcRecord>,
+}

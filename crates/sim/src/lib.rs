@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub(crate) mod components;
 pub mod config;
 pub mod error;
 pub mod faults;

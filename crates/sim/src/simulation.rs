@@ -1,229 +1,22 @@
-//! The discrete-event simulation loop.
+//! The discrete-event simulation loop: a slim event router over the
+//! typed components in [`crate::components`].
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 use jetsim_des::{CalendarQueue, SimDuration, SimRng, SimTime};
-use jetsim_device::power::GpuLoad;
-use jetsim_device::DeviceSpec;
 use jetsim_trt::Engine;
 
-use crate::config::{ArrivalModel, CpuModel, SimConfig};
+use crate::components::governor::{Governor, GovernorEvent};
+use crate::components::gpu::GpuEngine;
+use crate::components::memory_guard::{GuardDeps, MemoryGuard};
+use crate::components::sampler::{Sampler, SamplerDeps, SamplerEvent};
+use crate::components::sched::{CpuSched, RqThread};
+use crate::components::{Component, Ctx, Event, Proc};
+use crate::config::SimConfig;
 use crate::error::SimError;
-use crate::faults::{FaultEvent, FaultKind, OomPolicy};
-use crate::trace::{EcRecord, KernelEvent, PowerSample, ProcessStats, RunTrace};
-
-/// Events driving the simulation.
-#[derive(Debug, Clone, Copy)]
-enum Event {
-    /// A host thread finished one kernel-launch call.
-    LaunchDone { pid: usize },
-    /// A host thread resumes after blocking or a sync wakeup.
-    ThreadResume { pid: usize, kind: Resume },
-    /// The GPU finished its current kernel.
-    GpuDone,
-    /// DVFS governor evaluation.
-    DvfsTick,
-    /// `jetson-stats`-style sampling.
-    SampleTick,
-    /// A run-queue CPU grant ends (burst completion or quantum expiry).
-    CpuTick {
-        /// Thread whose grant ends.
-        pid: usize,
-        /// Generation stamp; stale ticks are ignored.
-        gen: u64,
-    },
-    /// An injected fault fires (index into the precomputed timeline).
-    Fault { index: usize },
-}
-
-/// One entry of the precomputed fault timeline (derived from the
-/// config's [`crate::FaultPlan`] at construction, so injection costs
-/// nothing when the plan is empty and draws nothing from the run RNG).
-#[derive(Debug, Clone, Copy)]
-enum FaultAction {
-    /// A background memory spike appears.
-    SpikeStart { bytes: u64 },
-    /// A background memory spike is released.
-    SpikeEnd { bytes: u64 },
-    /// The DVFS governor gets pinned to `step` until `until`.
-    LockStart { until: SimTime, step: usize },
-    /// A throttle lock may release (ignored while a longer lock holds).
-    LockEnd,
-}
-
-#[derive(Debug, Clone, Copy)]
-enum Resume {
-    /// Continue launching kernels after a preemption.
-    ContinueLaunch,
-    /// Return from `cudaStreamSynchronize`; the EC is complete.
-    SyncReturn,
-}
-
-/// Per-process simulation state.
-struct Proc {
-    name: String,
-    engine: Arc<Engine>,
-    /// Next kernel index the host thread will launch.
-    next_launch: usize,
-    /// Sequence number of the current EC.
-    ec_seq: u64,
-    /// When the current EC's enqueue phase began.
-    ec_start: SimTime,
-    /// When the last launch of the current EC completed.
-    enqueue_done_at: SimTime,
-    /// Accumulated launch CPU time this EC.
-    cur_launch: SimDuration,
-    /// Accumulated blocking this EC.
-    cur_blocking: SimDuration,
-    /// Accumulated GPU time this EC.
-    cur_gpu: SimDuration,
-    /// Whether the thread recently migrated cores (cold caches).
-    cache_cold: bool,
-    /// How work arrives at this process.
-    arrivals: ArrivalModel,
-    /// Arrival time of the next unconsumed batch (open-loop modes).
-    next_arrival: SimTime,
-    /// Queueing delay of the EC currently in flight.
-    cur_queue_delay: SimDuration,
-    /// Run-queue scheduler state for this thread.
-    cpu: RqThread,
-    /// Kernels launched and ready for the GPU, FIFO.
-    ready: VecDeque<usize>,
-    /// Completed EC records (all; filtered to the measured window later).
-    ecs: Vec<EcRecord>,
-}
-
-/// Per-thread state of the explicit run-queue CPU scheduler
-/// ([`CpuModel::RunQueue`]).
-#[derive(Debug, Clone, Copy)]
-struct RqThread {
-    state: RqState,
-    job: RqJob,
-    /// Remaining work in the current burst; `None` while spin-waiting on
-    /// the GPU (CUDA's default busy-wait synchronisation).
-    remaining: Option<SimDuration>,
-    /// Generation stamp invalidating stale `CpuTick` events.
-    gen: u64,
-    /// When the thread entered the ready queue.
-    queued_since: SimTime,
-    /// When the current running segment began.
-    seg_start: SimTime,
-    /// When the current quantum expires.
-    slice_end: SimTime,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum RqState {
-    /// Not runnable (waiting for a frame arrival).
-    Idle,
-    /// Runnable, waiting for a heavy core.
-    Queued,
-    /// Holding a heavy core.
-    Running,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum RqJob {
-    /// Issuing kernel-launch calls.
-    Launch,
-    /// Processing a completed synchronisation.
-    SyncReturn,
-    /// Spin-waiting in `cudaStreamSynchronize`.
-    Spin,
-}
-
-impl RqThread {
-    fn new() -> Self {
-        RqThread {
-            state: RqState::Idle,
-            job: RqJob::Spin,
-            remaining: None,
-            gen: 0,
-            queued_since: SimTime::ZERO,
-            seg_start: SimTime::ZERO,
-            slice_end: SimTime::ZERO,
-        }
-    }
-}
-
-/// GPU execution state.
-struct Gpu {
-    /// Currently executing kernel, if any.
-    current: Option<InFlight>,
-    /// Process whose queue the GPU is draining (timeslice affinity).
-    affinity: Option<usize>,
-    /// When the current timeslice started.
-    slice_start: SimTime,
-    /// Current DVFS frequency step.
-    freq_step: usize,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct InFlight {
-    pid: usize,
-    kernel_index: usize,
-    ec_seq: u64,
-    start: SimTime,
-    end: SimTime,
-    /// Power coefficient of the kernel's precision.
-    coef: f64,
-    /// Tensor-core activity while it runs.
-    tc: f64,
-    /// Fraction of its span doing datapath work (the launch-gap head is
-    /// charged at idle power).
-    work_fraction: f64,
-    /// DRAM bytes per second while it runs.
-    bytes_per_sec: f64,
-    /// How far this kernel's window contribution has been accounted.
-    accounted_until: SimTime,
-}
-
-/// Accumulators over one governor/sampling window.
-#[derive(Debug, Clone, Copy, Default)]
-struct Window {
-    busy: SimDuration,
-    coef_weighted: f64,
-    tc_weighted: f64,
-    bytes: u64,
-    cpu_busy: SimDuration,
-}
-
-impl Window {
-    fn load(&self, interval: SimDuration, device: &DeviceSpec) -> (f64, GpuLoad) {
-        let secs = interval.as_secs_f64();
-        let busy_secs = self.busy.as_secs_f64();
-        let busy_frac = if secs == 0.0 {
-            0.0
-        } else {
-            (busy_secs / secs).min(1.0)
-        };
-        let load = GpuLoad {
-            busy: busy_frac,
-            precision_w: if busy_secs == 0.0 {
-                0.0
-            } else {
-                self.coef_weighted / busy_secs
-            },
-            tc_util: if busy_secs == 0.0 {
-                0.0
-            } else {
-                (self.tc_weighted / busy_secs).min(1.0)
-            },
-            mem_util: if secs == 0.0 {
-                0.0
-            } else {
-                (self.bytes as f64 / (device.gpu.bytes_per_sec() * secs)).min(1.0)
-            },
-        };
-        let cpu_cores = if secs == 0.0 {
-            0.0
-        } else {
-            self.cpu_busy.as_secs_f64() / secs
-        };
-        (cpu_cores, load)
-    }
-}
+use crate::faults::OomPolicy;
+use crate::trace::{EcRecord, ProcessStats, RunTrace};
 
 /// A configured, runnable simulation.
 ///
@@ -286,51 +79,51 @@ impl Simulation {
     }
 }
 
-/// The actual event-loop state (separate from `Simulation` so `run` can
-/// consume the config once).
+/// Builds a [`Ctx`] over the runner's shared state with disjoint field
+/// borrows, so the components being driven can be borrowed alongside it.
+macro_rules! ctx {
+    ($self:ident) => {
+        Ctx {
+            config: &$self.config,
+            queue: &mut $self.queue,
+            rng: &mut $self.rng,
+            procs: &mut $self.procs,
+            alive: &mut $self.alive,
+            killed_at: &mut $self.killed_at,
+            n_procs: $self.n_procs,
+            warmup_end: $self.warmup_end,
+        }
+    };
+}
+
+/// The event loop: owns the `jetsim-des` queue and the shared state,
+/// routes each typed event to the component that consumes it, and
+/// aggregates the final [`RunTrace`]. All subsystem behavior lives in
+/// the components themselves.
 struct Runner {
     config: SimConfig,
     rng: SimRng,
-    /// Independent stream for kernel-event jitter samples, so toggling
-    /// `record_kernel_events` cannot perturb the simulation dynamics:
-    /// aggregate results are bit-identical with tracing on or off.
-    trace_rng: SimRng,
     queue: CalendarQueue<Event>,
     procs: Vec<Proc>,
-    gpu: Gpu,
     n_procs: u32,
     warmup_end: SimTime,
     sim_end: SimTime,
-    dvfs_window: Window,
-    sample_window: Window,
-    kernel_events: Vec<KernelEvent>,
-    power_samples: Vec<PowerSample>,
-    gpu_busy_measured: SimDuration,
-    /// Events processed by the DES loop (for the sweep benchmarks'
-    /// events/sec figure).
-    events_processed: u64,
-    /// Estimated junction temperature, °C.
-    temp_c: f64,
-    /// Threads currently holding heavy cores (run-queue mode).
-    rq_running: u32,
-    /// Ready queue of thread ids (run-queue mode).
-    rq_ready: VecDeque<usize>,
-    /// Precomputed fault schedule, sorted by time (releases before
-    /// arrivals at equal timestamps).
-    fault_timeline: Vec<(SimTime, FaultAction)>,
     /// Which processes are still running (`false` once the OOM killer
     /// fires under [`OomPolicy::KillLargest`]).
     alive: Vec<bool>,
     /// When each process was killed, if it was.
     killed_at: Vec<Option<SimTime>>,
-    /// Background spike bytes currently resident.
-    spike_bytes: u64,
-    /// Active throttle lock: `(until, pinned step)`.
-    throttle_lock: Option<(SimTime, usize)>,
-    /// Faults injected and their consequences, in event order.
-    fault_events: Vec<FaultEvent>,
+    /// Events processed by the DES loop (for the sweep benchmarks'
+    /// events/sec figure).
+    events_processed: u64,
     /// Whether the event-budget watchdog aborted the run.
     budget_exceeded: bool,
+    // --- components -----------------------------------------------------
+    sched: CpuSched,
+    gpu: GpuEngine,
+    governor: Governor,
+    guard: MemoryGuard,
+    sampler: Sampler,
 }
 
 impl Runner {
@@ -404,100 +197,54 @@ impl Runner {
         // process plus the periodic ticks); the capacity hint sizes the
         // calendar buckets so they never reallocate mid-run.
         let queue = CalendarQueue::with_capacity(4 * procs.len() + 16);
-        let kernel_events = Vec::with_capacity(est_events);
-        // Flatten the fault plan into a timeline of point actions.
-        // Releases sort before arrivals at equal timestamps so a spike
-        // ending exactly when another starts never double-counts.
-        let ladder_top = config.device.gpu.freq.top();
-        let mut fault_timeline: Vec<(SimTime, FaultAction)> = Vec::with_capacity(
-            2 * (config.faults.memory_spikes.len() + config.faults.throttle_locks.len()),
-        );
-        for spike in &config.faults.memory_spikes {
-            fault_timeline.push((spike.at, FaultAction::SpikeStart { bytes: spike.bytes }));
-            fault_timeline.push((spike.end(), FaultAction::SpikeEnd { bytes: spike.bytes }));
-        }
-        for lock in &config.faults.throttle_locks {
-            let step = lock.step.min(ladder_top);
-            fault_timeline.push((
-                lock.at,
-                FaultAction::LockStart {
-                    until: lock.end(),
-                    step,
-                },
-            ));
-            fault_timeline.push((lock.end(), FaultAction::LockEnd));
-        }
-        fault_timeline.sort_by_key(|&(at, action)| {
-            let release_first = match action {
-                FaultAction::SpikeEnd { .. } | FaultAction::LockEnd => 0u8,
-                FaultAction::SpikeStart { .. } | FaultAction::LockStart { .. } => 1,
-            };
-            (at.as_nanos(), release_first)
-        });
+        let guard = MemoryGuard::new(&config);
         let proc_count = procs.len();
         Runner {
-            config,
             rng,
-            trace_rng,
             queue,
-            procs,
-            gpu: Gpu {
-                current: None,
-                affinity: None,
-                slice_start: SimTime::ZERO,
-                freq_step: top,
-            },
             n_procs,
             warmup_end,
             sim_end,
-            dvfs_window: Window::default(),
-            sample_window: Window::default(),
-            kernel_events,
-            power_samples: Vec::new(),
-            gpu_busy_measured: SimDuration::ZERO,
-            events_processed: 0,
-            temp_c: ambient_c,
-            rq_running: 0,
-            rq_ready: VecDeque::new(),
-            fault_timeline,
             alive: vec![true; proc_count],
             killed_at: vec![None; proc_count],
-            spike_bytes: 0,
-            throttle_lock: None,
-            fault_events: Vec::new(),
+            events_processed: 0,
             budget_exceeded: false,
+            sched: CpuSched::new(),
+            gpu: GpuEngine::new(top, trace_rng, est_events),
+            governor: Governor::new(ambient_c),
+            guard,
+            sampler: Sampler::new(),
+            procs,
+            config,
         }
-    }
-
-    fn run_queue_mode(&self) -> bool {
-        self.config.cpu_model == CpuModel::RunQueue
     }
 
     fn run(mut self) -> RunTrace {
         // Resolve a start-of-run overcommit first: under
         // `OomPolicy::KillLargest` the OOM killer culls the deployment
         // until the survivors fit (the §6.2.1 "reboot" as an outcome).
-        self.enforce_memory(SimTime::ZERO);
+        self.guard
+            .enforce_memory(SimTime::ZERO, &mut ctx!(self), &mut self.sched);
         // Schedule the fault timeline (no-op for an empty plan, so
         // fault-free runs stay byte-identical to the pre-fault loop).
-        for index in 0..self.fault_timeline.len() {
-            let at = self.fault_timeline[index].0;
-            if at <= self.sim_end {
-                self.queue.schedule(at, Event::Fault { index });
-            }
-        }
+        self.guard.schedule_timeline(&mut self.queue, self.sim_end);
         // Start every surviving process's first EC, the governor and the
         // sampler.
         for pid in 0..self.procs.len() {
             if self.alive[pid] {
-                self.begin_next_ec(pid, SimTime::ZERO);
+                self.sched
+                    .begin_next_ec(pid, SimTime::ZERO, &mut ctx!(self), &mut self.gpu);
             }
         }
         let dvfs_interval = self.config.device.dvfs.interval;
-        self.queue
-            .schedule(SimTime::ZERO + dvfs_interval, Event::DvfsTick);
-        self.queue
-            .schedule(SimTime::ZERO + self.config.sample_period, Event::SampleTick);
+        self.queue.schedule(
+            SimTime::ZERO + dvfs_interval,
+            Event::Governor(GovernorEvent::Tick),
+        );
+        self.queue.schedule(
+            SimTime::ZERO + self.config.sample_period,
+            Event::Sampler(SamplerEvent::Tick),
+        );
 
         let budget = self.config.event_budget.unwrap_or(u64::MAX);
         while let Some((now, event)) = self.queue.pop() {
@@ -513,772 +260,33 @@ impl Runner {
             }
             self.events_processed += 1;
             match event {
-                Event::LaunchDone { pid } => self.on_launch_done(pid, now),
-                Event::ThreadResume { pid, kind } => match kind {
-                    Resume::ContinueLaunch => self.start_launch(pid, now),
-                    Resume::SyncReturn => self.on_sync_return(pid, now),
-                },
-                Event::GpuDone => self.on_gpu_done(now),
-                Event::DvfsTick => self.on_dvfs_tick(now),
-                Event::SampleTick => self.on_sample_tick(now),
-                Event::CpuTick { pid, gen } => self.rq_tick(pid, gen, now),
-                Event::Fault { index } => self.on_fault(index, now),
+                Event::Sched(ev) => self.sched.handle(ev, now, &mut ctx!(self), &mut self.gpu),
+                Event::Gpu(ev) => self.gpu.handle(ev, now, &mut ctx!(self), &mut self.sched),
+                Event::Governor(ev) => {
+                    self.governor.handle(ev, now, &mut ctx!(self), &mut self.gpu)
+                }
+                Event::Memory(ev) => self.guard.handle(
+                    ev,
+                    now,
+                    &mut ctx!(self),
+                    GuardDeps {
+                        sched: &mut self.sched,
+                        gpu: &mut self.gpu,
+                        governor: &mut self.governor,
+                    },
+                ),
+                Event::Sampler(ev) => self.sampler.handle(
+                    ev,
+                    now,
+                    &mut ctx!(self),
+                    SamplerDeps {
+                        gpu: &mut self.gpu,
+                        governor: &self.governor,
+                    },
+                ),
             }
         }
         self.finalize()
-    }
-
-    // ----- fault injection (`crate::FaultPlan`) ------------------------
-
-    /// Applies one scheduled fault action.
-    fn on_fault(&mut self, index: usize, now: SimTime) {
-        let (_, action) = self.fault_timeline[index];
-        match action {
-            FaultAction::SpikeStart { bytes } => {
-                self.spike_bytes += bytes;
-                self.fault_events.push(FaultEvent {
-                    time: now,
-                    kind: FaultKind::MemorySpikeStart { bytes },
-                });
-                self.enforce_memory(now);
-            }
-            FaultAction::SpikeEnd { bytes } => {
-                self.spike_bytes = self.spike_bytes.saturating_sub(bytes);
-                self.fault_events.push(FaultEvent {
-                    time: now,
-                    kind: FaultKind::MemorySpikeEnd { bytes },
-                });
-            }
-            FaultAction::LockStart { until, step } => {
-                self.throttle_lock = Some((until, step));
-                self.gpu.freq_step = step;
-                self.fault_events.push(FaultEvent {
-                    time: now,
-                    kind: FaultKind::ThrottleLockStart {
-                        step,
-                        mhz: self.config.device.gpu.freq.mhz(step),
-                    },
-                });
-            }
-            FaultAction::LockEnd => {
-                // Only release when no longer-running lock superseded
-                // this one (overlapping locks keep the latest window).
-                if let Some((until, _)) = self.throttle_lock {
-                    if now >= until {
-                        self.throttle_lock = None;
-                        self.fault_events.push(FaultEvent {
-                            time: now,
-                            kind: FaultKind::ThrottleLockEnd,
-                        });
-                    }
-                }
-            }
-        }
-    }
-
-    /// Live unified-memory footprint of the alive processes, optionally
-    /// excluding one (to compute how much its death would free). Mirrors
-    /// [`SimConfig::total_footprint_bytes`] including memory-group
-    /// sharing: killing one stream of a shared group frees only its
-    /// per-context buffers unless it was the group's last member.
-    fn footprint_excluding(&self, excluded: Option<usize>) -> u64 {
-        use std::collections::HashSet;
-        let memory = &self.config.device.memory;
-        let mut seen: HashSet<usize> = HashSet::new();
-        self.config
-            .processes
-            .iter()
-            .enumerate()
-            .filter(|&(pid, _)| self.alive[pid] && Some(pid) != excluded)
-            .map(|(_, p)| {
-                let per_context = p.engine.io_bytes() + p.engine.workspace_bytes();
-                if seen.insert(p.memory_group) {
-                    memory.per_process_host_bytes
-                        + memory.cuda_context_bytes
-                        + p.engine.engine_bytes()
-                        + per_context
-                } else {
-                    per_context
-                }
-            })
-            .sum()
-    }
-
-    /// Kills processes (largest memory freed first, ties to the lowest
-    /// pid) until the live footprint plus background spikes fits in
-    /// usable memory. No-op under [`OomPolicy::Strict`], where the
-    /// pre-flight check already guaranteed fit.
-    fn enforce_memory(&mut self, now: SimTime) {
-        if self.config.faults.oom != OomPolicy::KillLargest {
-            return;
-        }
-        loop {
-            let current = self.footprint_excluding(None);
-            if !self
-                .config
-                .device
-                .memory
-                .would_oom(current.saturating_add(self.spike_bytes))
-            {
-                break;
-            }
-            let mut victim: Option<(u64, usize)> = None;
-            for pid in 0..self.procs.len() {
-                if !self.alive[pid] {
-                    continue;
-                }
-                let freed = current - self.footprint_excluding(Some(pid));
-                if victim.is_none_or(|(best, _)| freed > best) {
-                    victim = Some((freed, pid));
-                }
-            }
-            let Some((freed, pid)) = victim else {
-                break; // everyone is dead; the spike alone overcommits
-            };
-            self.kill_process(pid, freed, now);
-        }
-    }
-
-    /// Terminates `pid`: its queued kernels vanish, pending events for
-    /// it become stale, and (in run-queue mode) its core is released.
-    /// Its in-flight GPU kernel, if any, completes — the driver does not
-    /// revoke work already submitted to the hardware.
-    fn kill_process(&mut self, pid: usize, freed_bytes: u64, now: SimTime) {
-        self.alive[pid] = false;
-        self.killed_at[pid] = Some(now);
-        self.procs[pid].ready.clear();
-        if self.run_queue_mode() {
-            match self.procs[pid].cpu.state {
-                RqState::Running => self.rq_release(pid, now),
-                RqState::Queued => {
-                    self.rq_ready.retain(|&p| p != pid);
-                    let thread = &mut self.procs[pid].cpu;
-                    thread.state = RqState::Idle;
-                    thread.gen += 1;
-                }
-                RqState::Idle => {
-                    self.procs[pid].cpu.gen += 1;
-                }
-            }
-        }
-        self.fault_events.push(FaultEvent {
-            time: now,
-            kind: FaultKind::ProcessKilled {
-                pid,
-                name: self.procs[pid].name.clone(),
-                freed_bytes,
-            },
-        });
-    }
-
-    /// Starts the next EC: immediately in saturated mode, otherwise when
-    /// the next batch has arrived. Records the batch's queueing delay.
-    fn begin_next_ec(&mut self, pid: usize, now: SimTime) {
-        if !self.alive[pid] {
-            return;
-        }
-        let proc = &mut self.procs[pid];
-        match proc.arrivals {
-            ArrivalModel::Saturated => {
-                proc.cur_queue_delay = SimDuration::ZERO;
-                proc.ec_start = now;
-                self.start_launch(pid, now);
-            }
-            ArrivalModel::Periodic { fps } | ArrivalModel::Poisson { fps } => {
-                let arrival = proc.next_arrival;
-                let gap = match proc.arrivals {
-                    ArrivalModel::Poisson { .. } => {
-                        // Exponential inter-arrival with mean 1/fps.
-                        let u = self.rng.uniform(f64::EPSILON, 1.0);
-                        SimDuration::from_secs_f64(-u.ln() / fps)
-                    }
-                    _ => SimDuration::from_secs_f64(1.0 / fps),
-                };
-                self.procs[pid].next_arrival = arrival + gap;
-                let proc = &mut self.procs[pid];
-                if arrival <= now {
-                    proc.cur_queue_delay = now.saturating_since(arrival);
-                    proc.ec_start = now;
-                    self.start_launch(pid, now);
-                } else {
-                    proc.cur_queue_delay = SimDuration::ZERO;
-                    proc.ec_start = arrival;
-                    if self.run_queue_mode() && self.procs[pid].cpu.state == RqState::Running {
-                        // Nothing to do until the frame arrives: yield the
-                        // core instead of spinning on an empty queue.
-                        self.rq_release(pid, now);
-                    }
-                    self.queue.schedule(
-                        arrival,
-                        Event::ThreadResume {
-                            pid,
-                            kind: Resume::ContinueLaunch,
-                        },
-                    );
-                }
-            }
-        }
-    }
-
-    /// The host thread spends CPU time issuing the next kernel launch.
-    fn start_launch(&mut self, pid: usize, now: SimTime) {
-        if !self.alive[pid] {
-            return; // stale resume for a process the OOM killer took
-        }
-        let cpu = &self.config.device.cpu;
-        let contention = 1.0 + 0.25 * f64::from(self.n_procs.saturating_sub(1));
-        let launch_call_us = (self.rng.uniform(18.0, 40.0) * contention).min(110.0);
-        let mut cost = cpu.enqueue_cost + SimDuration::from_micros_f64(launch_call_us);
-        cost = cost.mul_f64(self.config.profiler.launch_overhead_factor());
-        if self.procs[pid].cache_cold {
-            cost = cost.mul_f64(cpu.migration_cache_penalty);
-        }
-        let proc = &mut self.procs[pid];
-        proc.cur_launch += cost;
-        if self.run_queue_mode() {
-            self.rq_request(pid, now, cost, RqJob::Launch);
-        } else {
-            self.charge_cpu(cost);
-            self.queue.schedule_after(cost, Event::LaunchDone { pid });
-        }
-    }
-
-    // ----- explicit run-queue CPU scheduler (CpuModel::RunQueue) -------
-
-    /// Submits a CPU burst for `pid`. If the thread already holds a core
-    /// the burst continues within its quantum; otherwise it queues for
-    /// one of the heavy cores.
-    fn rq_request(&mut self, pid: usize, now: SimTime, work: SimDuration, job: RqJob) {
-        let thread = &mut self.procs[pid].cpu;
-        thread.job = job;
-        thread.remaining = Some(work);
-        match thread.state {
-            RqState::Running => self.rq_reschedule(pid, now),
-            RqState::Queued => {} // keeps its queue position, new work noted
-            RqState::Idle => {
-                if self.rq_running < self.config.device.cpu.heavy_cores {
-                    self.rq_grant(pid, now);
-                } else {
-                    let thread = &mut self.procs[pid].cpu;
-                    thread.state = RqState::Queued;
-                    thread.queued_since = now;
-                    self.rq_ready.push_back(pid);
-                }
-            }
-        }
-    }
-
-    /// Gives `pid` a heavy core and a fresh quantum.
-    fn rq_grant(&mut self, pid: usize, now: SimTime) {
-        let waited = {
-            let thread = &mut self.procs[pid].cpu;
-            let waited = if thread.state == RqState::Queued {
-                Some(now.saturating_since(thread.queued_since))
-            } else {
-                None
-            };
-            thread.state = RqState::Running;
-            thread.slice_end = now + self.config.device.cpu.quantum;
-            waited
-        };
-        self.rq_running += 1;
-        if let Some(wait) = waited {
-            // Queue waits with launch work pending are the paper's B_l;
-            // waits while spinning surface as synchronisation time.
-            if self.procs[pid].cpu.job == RqJob::Launch && !wait.is_zero() {
-                self.procs[pid].cur_blocking += wait;
-            }
-            if !wait.is_zero() && self.rng.chance(0.6) {
-                self.procs[pid].cache_cold = true;
-            }
-        }
-        self.rq_reschedule(pid, now);
-    }
-
-    /// (Re)schedules the running thread's next tick: burst completion or
-    /// quantum expiry, whichever comes first.
-    fn rq_reschedule(&mut self, pid: usize, now: SimTime) {
-        let thread = &mut self.procs[pid].cpu;
-        debug_assert_eq!(thread.state, RqState::Running);
-        thread.gen += 1;
-        thread.seg_start = now;
-        let tick_at = match thread.remaining {
-            Some(work) => (now + work).min(thread.slice_end),
-            None => thread.slice_end,
-        };
-        let gen = thread.gen;
-        self.queue
-            .schedule(tick_at.max_of(now), Event::CpuTick { pid, gen });
-    }
-
-    /// Releases `pid`'s core (thread goes idle) and dispatches the next
-    /// queued thread.
-    fn rq_release(&mut self, pid: usize, now: SimTime) {
-        debug_assert_eq!(self.procs[pid].cpu.state, RqState::Running);
-        self.procs[pid].cpu.state = RqState::Idle;
-        self.procs[pid].cpu.gen += 1;
-        self.rq_running -= 1;
-        if let Some(next) = self.rq_ready.pop_front() {
-            self.rq_grant(next, now);
-        }
-    }
-
-    /// A running thread's grant ended: either its burst completed or its
-    /// quantum expired.
-    fn rq_tick(&mut self, pid: usize, gen: u64, now: SimTime) {
-        {
-            let thread = &self.procs[pid].cpu;
-            if !self.alive[pid] || thread.state != RqState::Running || thread.gen != gen {
-                return; // stale (or the thread's process was killed)
-            }
-        }
-        let ran = now.saturating_since(self.procs[pid].cpu.seg_start);
-        // Spinning or working, the core burns power the whole segment.
-        self.charge_cpu(ran);
-        let finished = {
-            let thread = &mut self.procs[pid].cpu;
-            match thread.remaining {
-                Some(work) => {
-                    let left = work.saturating_sub(ran);
-                    thread.remaining = Some(left);
-                    left.is_zero()
-                }
-                None => false,
-            }
-        };
-        if finished {
-            let job = self.procs[pid].cpu.job;
-            // The thread keeps its core through the continuation; the
-            // continuation decides whether to submit more work, spin, or
-            // go idle.
-            self.procs[pid].cpu.remaining = None;
-            self.procs[pid].cpu.job = RqJob::Spin;
-            match job {
-                RqJob::Launch => self.on_launch_done(pid, now),
-                RqJob::SyncReturn => self.on_sync_return(pid, now),
-                RqJob::Spin => unreachable!("spin bursts never finish"),
-            }
-            // If the continuation left the thread running (spin or more
-            // work was already rescheduled by rq_request), make sure a
-            // tick exists; rq_request/rq_set_spin handled it.
-            return;
-        }
-        // Quantum expired with work left (or spinning).
-        if self.rq_ready.is_empty() {
-            let thread = &mut self.procs[pid].cpu;
-            thread.slice_end = now + self.config.device.cpu.quantum;
-            self.rq_reschedule(pid, now);
-        } else {
-            let thread = &mut self.procs[pid].cpu;
-            thread.state = RqState::Queued;
-            thread.queued_since = now;
-            thread.gen += 1;
-            self.rq_ready.push_back(pid);
-            self.rq_running -= 1;
-            let next = self.rq_ready.pop_front().expect("non-empty");
-            self.rq_grant(next, now);
-        }
-    }
-
-    /// Parks a running thread in spin-wait (`cudaStreamSynchronize`
-    /// busy-polls by default, keeping the thread runnable — the root of
-    /// the paper's §7 oversubscription collapse).
-    fn rq_set_spin(&mut self, pid: usize, now: SimTime) {
-        let thread = &mut self.procs[pid].cpu;
-        debug_assert_eq!(thread.state, RqState::Running);
-        thread.job = RqJob::Spin;
-        thread.remaining = None;
-        self.rq_reschedule(pid, now);
-    }
-
-    /// The GPU finished `pid`'s EC: convert its spin into sync-return
-    /// work. If the thread is queued out, the remaining queue wait
-    /// becomes visible synchronisation latency.
-    fn rq_notify_gpu_done(&mut self, pid: usize, now: SimTime) {
-        let sync_cost = SimDuration::from_micros(30) + self.config.device.cpu.wakeup_base;
-        let state = self.procs[pid].cpu.state;
-        match state {
-            RqState::Running => {
-                let thread = &mut self.procs[pid].cpu;
-                thread.job = RqJob::SyncReturn;
-                thread.remaining = Some(sync_cost);
-                self.rq_reschedule(pid, now);
-            }
-            RqState::Queued => {
-                let thread = &mut self.procs[pid].cpu;
-                thread.job = RqJob::SyncReturn;
-                thread.remaining = Some(sync_cost);
-            }
-            RqState::Idle => {
-                // Should not happen (the thread spins during sync), but
-                // recover gracefully.
-                self.rq_request(pid, now, sync_cost, RqJob::SyncReturn);
-            }
-        }
-    }
-
-    /// A launch call returned: the kernel is now visible to the GPU.
-    fn on_launch_done(&mut self, pid: usize, now: SimTime) {
-        if !self.alive[pid] {
-            return; // the launch call died with its process
-        }
-        let kernel_index = self.procs[pid].next_launch;
-        self.procs[pid].ready.push_back(kernel_index);
-        self.procs[pid].next_launch += 1;
-        self.try_dispatch(now);
-
-        let kernel_count = self.procs[pid].engine.kernel_count();
-        if self.procs[pid].next_launch >= kernel_count {
-            // Whole EC enqueued; the thread parks in cudaStreamSynchronize.
-            self.procs[pid].enqueue_done_at = now;
-            if self.run_queue_mode() {
-                // CUDA's default sync spin-waits: the thread stays
-                // runnable on its core.
-                self.rq_set_spin(pid, now);
-            }
-            return;
-        }
-        if self.run_queue_mode() {
-            // The explicit scheduler produces preemption organically.
-            self.start_launch(pid, now);
-            return;
-        }
-        // Between launches the scheduler may preempt the thread — the
-        // paper's per-launch blocking intervals B_l (§7 observation 1).
-        let p = self.config.device.cpu.preemption_probability(self.n_procs);
-        if self.rng.chance(p) {
-            let blocking = SimDuration::from_micros_f64(self.rng.uniform(1000.0, 2000.0));
-            self.procs[pid].cur_blocking += blocking;
-            // Losing the core usually means landing on another one cold.
-            if self.rng.chance(0.6) {
-                self.procs[pid].cache_cold = true;
-            }
-            self.queue.schedule_after(
-                blocking,
-                Event::ThreadResume {
-                    pid,
-                    kind: Resume::ContinueLaunch,
-                },
-            );
-        } else {
-            self.start_launch(pid, now);
-        }
-    }
-
-    /// Dispatches the next ready kernel if the GPU is idle.
-    fn try_dispatch(&mut self, now: SimTime) {
-        if self.gpu.current.is_some() {
-            return;
-        }
-        let Some(pid) = self.pick_process(now) else {
-            return;
-        };
-        let mut start = now;
-        let mps_overlap = match self.config.gpu_sharing {
-            crate::config::GpuSharing::TimeMultiplexed => None,
-            crate::config::GpuSharing::SpatialMps { overlap_efficiency } => {
-                Some(overlap_efficiency.clamp(0.0, 0.6))
-            }
-        };
-        if self.gpu.affinity != Some(pid) {
-            // No MPS on Jetson: crossing processes costs a GPU context
-            // switch. Under the MPS ablation the switch is free.
-            if self.gpu.affinity.is_some() && mps_overlap.is_none() {
-                start += self.config.device.gpu.ctx_switch;
-            }
-            self.gpu.affinity = Some(pid);
-            self.gpu.slice_start = start;
-        }
-        let kernel_index = self.procs[pid].ready.pop_front().expect("picked non-empty");
-        // Disjoint-field borrows keep the engine referenced in place — no
-        // per-dispatch `Arc` refcount traffic on the hot path.
-        let engine = &self.procs[pid].engine;
-        let batch = engine.batch();
-        let kernel = &engine.kernels()[kernel_index];
-        let gpu_arch = &self.config.device.gpu;
-        let mut exec = kernel
-            .exec_time(gpu_arch, batch, self.gpu.freq_step)
-            .mul_f64(self.config.profiler.kernel_overhead_factor())
-            .mul_f64(self.rng.uniform(0.95, 1.05));
-        if let Some(overlap) = mps_overlap {
-            // Spatial sharing packs this kernel against other processes'
-            // queued work, hiding part of its span.
-            let others_waiting =
-                (0..self.procs.len()).any(|p| p != pid && !self.procs[p].ready.is_empty());
-            if others_waiting {
-                exec = exec.mul_f64(1.0 - overlap);
-            }
-        }
-        let end = start + exec;
-        let ec_seq = self.procs[pid].ec_seq;
-        // Power/governor metadata. Launch-gap time at the front of every
-        // kernel keeps the GPU "busy" for the utilisation counter but
-        // toggles no datapath, so it is charged at idle power — this is
-        // why small-batch runs draw less despite ~100 % GPU utilisation
-        // (paper fig 8). Contributions accrue continuously so kernels
-        // longer than a governor window are charged to every window they
-        // span.
-        let coef = self
-            .config
-            .device
-            .power
-            .precision_coefficient(kernel.precision);
-        let tc = kernel.tc_activity(gpu_arch, batch, self.gpu.freq_step);
-        let exec_secs = exec.as_secs_f64();
-        let work_fraction =
-            1.0 - (gpu_arch.kernel_min_gap.as_secs_f64() / exec_secs.max(f64::EPSILON)).min(1.0);
-        let bytes_per_sec = (kernel.bytes * u64::from(batch)) as f64 / exec_secs.max(f64::EPSILON);
-        self.gpu.current = Some(InFlight {
-            pid,
-            kernel_index,
-            ec_seq,
-            start,
-            end,
-            coef,
-            tc,
-            work_fraction,
-            bytes_per_sec,
-            accounted_until: start,
-        });
-        self.queue.schedule(end, Event::GpuDone);
-    }
-
-    /// Chooses which process's queue the GPU serves next: stay with the
-    /// current one until it empties or its timeslice expires, then
-    /// round-robin.
-    fn pick_process(&self, now: SimTime) -> Option<usize> {
-        let n = self.procs.len();
-        if let Some(cur) = self.gpu.affinity {
-            let slice_ok =
-                now.saturating_since(self.gpu.slice_start) < self.config.device.gpu.timeslice;
-            let others_waiting = (0..n).any(|p| p != cur && !self.procs[p].ready.is_empty());
-            if !self.procs[cur].ready.is_empty() && (slice_ok || !others_waiting) {
-                return Some(cur);
-            }
-            // Round-robin from the next process.
-            for offset in 1..=n {
-                let pid = (cur + offset) % n;
-                if !self.procs[pid].ready.is_empty() {
-                    return Some(pid);
-                }
-            }
-            None
-        } else {
-            (0..n).find(|&pid| !self.procs[pid].ready.is_empty())
-        }
-    }
-
-    /// Accrues the in-flight kernel's power/utilisation contribution up
-    /// to `now` into both accounting windows.
-    fn accrue_gpu(&mut self, now: SimTime) {
-        let Some(inflight) = self.gpu.current.as_mut() else {
-            return;
-        };
-        let upto = if now < inflight.end {
-            now
-        } else {
-            inflight.end
-        };
-        if upto <= inflight.accounted_until {
-            return;
-        }
-        let span = upto.since(inflight.accounted_until);
-        let secs = span.as_secs_f64();
-        let (coef, tc, wf, bps) = (
-            inflight.coef,
-            inflight.tc,
-            inflight.work_fraction,
-            inflight.bytes_per_sec,
-        );
-        inflight.accounted_until = upto;
-        for window in [&mut self.dvfs_window, &mut self.sample_window] {
-            window.busy += span;
-            window.coef_weighted += coef * secs * wf;
-            window.tc_weighted += tc * secs;
-            window.bytes += (bps * secs) as u64;
-        }
-    }
-
-    /// The GPU finished a kernel: emit its event, wake the owner if this
-    /// completed an EC, and dispatch the next kernel.
-    fn on_gpu_done(&mut self, now: SimTime) {
-        self.accrue_gpu(now);
-        let inflight = self.gpu.current.take().expect("GpuDone without kernel");
-        let exec = inflight.end.since(inflight.start);
-        self.procs[inflight.pid].cur_gpu += exec;
-
-        if inflight.end > self.warmup_end {
-            let clipped = inflight.end.since(self.warmup_end.max_of(inflight.start));
-            self.gpu_busy_measured += clipped.max_of(SimDuration::ZERO);
-        }
-        // Disjoint-field borrows: the engine stays referenced in place
-        // (no `Arc` clone per completion) while the jitter samples come
-        // from the dedicated trace stream, so disabling recording cannot
-        // change the dynamics.
-        let engine = &self.procs[inflight.pid].engine;
-        let kernel_count = engine.kernel_count();
-        if inflight.end > self.warmup_end && self.config.record_kernel_events {
-            let kernel = &engine.kernels()[inflight.kernel_index];
-            let gpu_arch = &self.config.device.gpu;
-            let batch = engine.batch();
-            let sm = (kernel.sm_active(gpu_arch, batch) * self.trace_rng.uniform(0.92, 1.08))
-                .clamp(0.0, 1.0);
-            let issue = (kernel.issue_slot(gpu_arch, batch, self.gpu.freq_step)
-                * self.trace_rng.uniform(0.85, 1.15))
-            .clamp(0.0, 0.8);
-            let tc = (kernel.tc_activity(gpu_arch, batch, self.gpu.freq_step)
-                * self.trace_rng.uniform(0.88, 1.12))
-            .clamp(0.0, 1.0);
-            self.kernel_events.push(KernelEvent {
-                pid: inflight.pid,
-                ec_seq: inflight.ec_seq,
-                kernel_index: inflight.kernel_index,
-                start: inflight.start,
-                end: inflight.end,
-                precision: kernel.precision,
-                sm_active: sm,
-                issue_slot: issue,
-                tc_activity: tc,
-                bytes: kernel.bytes * u64::from(batch),
-            });
-        }
-
-        if inflight.kernel_index + 1 == kernel_count && self.alive[inflight.pid] {
-            if self.run_queue_mode() {
-                // The spinning thread notices completion once it holds a
-                // core; the queue wait *is* the wakeup latency.
-                self.rq_notify_gpu_done(inflight.pid, now);
-            } else {
-                // Last kernel of the EC: wake the parked thread.
-                let wakeup = self
-                    .config
-                    .device
-                    .cpu
-                    .wakeup_delay(self.n_procs)
-                    .mul_f64(self.rng.uniform(0.8, 1.2));
-                self.queue.schedule_after(
-                    wakeup,
-                    Event::ThreadResume {
-                        pid: inflight.pid,
-                        kind: Resume::SyncReturn,
-                    },
-                );
-            }
-        }
-        self.try_dispatch(now);
-    }
-
-    /// The thread returned from synchronize: record the EC and start the
-    /// next one.
-    fn on_sync_return(&mut self, pid: usize, now: SimTime) {
-        if !self.alive[pid] {
-            return; // wakeup raced the OOM killer
-        }
-        if !self.run_queue_mode() {
-            // In run-queue mode the sync-return burst was already charged
-            // by the scheduler.
-            let sync_cost = SimDuration::from_micros(30);
-            self.charge_cpu(sync_cost);
-        }
-        let proc = &mut self.procs[pid];
-        let record = EcRecord {
-            start: proc.ec_start,
-            end: now,
-            launch_time: proc.cur_launch,
-            blocking_time: proc.cur_blocking,
-            sync_time: now.saturating_since(proc.enqueue_done_at),
-            gpu_time: proc.cur_gpu,
-            queue_delay: proc.cur_queue_delay,
-        };
-        proc.ecs.push(record);
-        proc.ec_seq += 1;
-        proc.next_launch = 0;
-        proc.cur_launch = SimDuration::ZERO;
-        proc.cur_blocking = SimDuration::ZERO;
-        proc.cur_gpu = SimDuration::ZERO;
-        proc.cache_cold = false;
-        self.begin_next_ec(pid, now);
-    }
-
-    /// Periodic DVFS governor: integrate the thermal model, estimate
-    /// draw, walk the ladder. The junction temperature throttles
-    /// unconditionally — the "thermal limit" half of the paper's §6.1.2.
-    fn on_dvfs_tick(&mut self, now: SimTime) {
-        self.accrue_gpu(now);
-        let device = &self.config.device;
-        let interval = device.dvfs.interval;
-        let (cpu_cores, load) = self.dvfs_window.load(interval, device);
-        self.dvfs_window = Window::default();
-        let ladder = &device.gpu.freq;
-        let cur = self.gpu.freq_step;
-        let watts_now = device.power.total_watts(cpu_cores, load, ladder.ratio(cur));
-        self.temp_c = device
-            .thermal
-            .step(self.temp_c, watts_now, interval.as_secs_f64());
-        // An injected throttle lock (`crate::ThrottleLock`) overrides the
-        // governor: the clock stays pinned until the lock's window ends,
-        // whatever the power budget says. Thermal state still integrates.
-        let locked = match self.throttle_lock {
-            Some((until, step)) if now <= until => {
-                self.gpu.freq_step = step;
-                true
-            }
-            _ => false,
-        };
-        if !locked && device.dvfs.enabled {
-            let watts_at = |step: usize| {
-                device
-                    .power
-                    .total_watts(cpu_cores, load, ladder.ratio(step))
-            };
-            let budget = device.power.budget_w;
-            let over_limit = device.thermal.throttles(self.temp_c) || watts_at(cur) > budget;
-            self.gpu.freq_step = if over_limit {
-                ladder.step_down(cur)
-            } else {
-                let up = ladder.step_up(cur);
-                // Predictive up-step: only raise the clock if the draw at
-                // the higher step would still respect the budget (with
-                // hysteresis), otherwise the governor would oscillate.
-                if up != cur
-                    && watts_at(up) < budget * device.dvfs.up_hysteresis
-                    && !device.thermal.throttles(self.temp_c)
-                {
-                    up
-                } else {
-                    cur
-                }
-            };
-        }
-        self.queue.schedule_after(interval, Event::DvfsTick);
-    }
-
-    /// Periodic `jetson-stats` sample.
-    fn on_sample_tick(&mut self, now: SimTime) {
-        self.accrue_gpu(now);
-        let device = &self.config.device;
-        let period = self.config.sample_period;
-        let (cpu_cores, load) = self.sample_window.load(period, device);
-        self.sample_window = Window::default();
-        let ratio = device.gpu.freq.ratio(self.gpu.freq_step);
-        let watts = device.power.total_watts(cpu_cores, load, ratio);
-        if now > self.warmup_end {
-            self.power_samples.push(PowerSample {
-                time: now,
-                watts,
-                gpu_utilization: load.busy,
-                gpu_freq_mhz: device.gpu.freq.mhz(self.gpu.freq_step),
-                gpu_memory_bytes: self.config.gpu_memory_bytes(),
-                cpu_busy_cores: cpu_cores,
-                temp_c: self.temp_c,
-            });
-        }
-        self.queue.schedule_after(period, Event::SampleTick);
-    }
-
-    fn charge_cpu(&mut self, cost: SimDuration) {
-        self.dvfs_window.cpu_busy += cost;
-        self.sample_window.cpu_busy += cost;
     }
 
     fn finalize(mut self) -> RunTrace {
@@ -1359,779 +367,17 @@ impl Runner {
             processes,
             kernel_names,
             ec_records,
-            kernel_events: std::mem::take(&mut self.kernel_events),
-            power_samples: std::mem::take(&mut self.power_samples),
-            fault_events: std::mem::take(&mut self.fault_events),
+            kernel_events: std::mem::take(&mut self.gpu.kernel_events),
+            power_samples: std::mem::take(&mut self.sampler.power_samples),
+            fault_events: std::mem::take(&mut self.guard.fault_events),
             budget_exceeded: self.budget_exceeded,
             sim_events: self.events_processed,
-            gpu_busy: self.gpu_busy_measured,
+            gpu_busy: self.gpu.gpu_busy_measured,
             gpu_memory_bytes,
             gpu_memory_percent: self.config.device.memory.gpu_percent(gpu_memory_bytes),
             final_freq_mhz: self.config.device.gpu.freq.mhz(self.gpu.freq_step),
             top_freq_mhz: self.config.device.gpu.freq.max_mhz(),
             mem_bandwidth_bytes_per_sec: self.config.device.gpu.bytes_per_sec(),
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::config::ProfilerMode;
-    use jetsim_device::presets;
-    use jetsim_dnn::{zoo, Precision};
-
-    fn quick_config(
-        device: DeviceSpec,
-        model: &jetsim_dnn::ModelGraph,
-        precision: Precision,
-        batch: u32,
-        procs: u32,
-    ) -> SimConfig {
-        SimConfig::builder(device)
-            .add_model_processes(model, precision, batch, procs)
-            .expect("engine builds")
-            .warmup(SimDuration::from_millis(200))
-            .measure(SimDuration::from_millis(1000))
-            .build()
-            .expect("config builds")
-    }
-
-    #[test]
-    fn deterministic_given_seed() {
-        let run = || {
-            let config = quick_config(
-                presets::orin_nano(),
-                &zoo::resnet50(),
-                Precision::Int8,
-                1,
-                2,
-            );
-            Simulation::new(config).unwrap().run()
-        };
-        let a = run();
-        let b = run();
-        assert_eq!(a.total_throughput(), b.total_throughput());
-        assert_eq!(a.kernel_events.len(), b.kernel_events.len());
-        assert_eq!(a.mean_power(), b.mean_power());
-    }
-
-    #[test]
-    fn different_seed_changes_details_not_shape() {
-        let config = quick_config(
-            presets::orin_nano(),
-            &zoo::resnet50(),
-            Precision::Int8,
-            1,
-            1,
-        );
-        let mut config2 = config.clone();
-        config2.seed = 99;
-        let a = Simulation::new(config).unwrap().run();
-        let b = Simulation::new(config2).unwrap().run();
-        assert_ne!(a.kernel_events.len(), 0);
-        let ratio = a.total_throughput() / b.total_throughput();
-        assert!(
-            (0.9..1.1).contains(&ratio),
-            "seeds change jitter only: {ratio}"
-        );
-    }
-
-    #[test]
-    fn single_process_resnet_int8_orin_throughput() {
-        let config = quick_config(
-            presets::orin_nano(),
-            &zoo::resnet50(),
-            Precision::Int8,
-            1,
-            1,
-        );
-        let trace = Simulation::new(config).unwrap().run();
-        let tput = trace.total_throughput();
-        assert!((250.0..700.0).contains(&tput), "tput = {tput}");
-    }
-
-    #[test]
-    fn throughput_per_process_falls_with_concurrency() {
-        let t1 = Simulation::new(quick_config(
-            presets::orin_nano(),
-            &zoo::yolov8n(),
-            Precision::Int8,
-            1,
-            1,
-        ))
-        .unwrap()
-        .run();
-        let t8 = Simulation::new(quick_config(
-            presets::orin_nano(),
-            &zoo::yolov8n(),
-            Precision::Int8,
-            1,
-            8,
-        ))
-        .unwrap()
-        .run();
-        assert!(
-            t8.throughput_per_process() < t1.throughput_per_process() / 3.0,
-            "T/P must collapse: {} vs {}",
-            t8.throughput_per_process(),
-            t1.throughput_per_process()
-        );
-    }
-
-    #[test]
-    fn blocking_negligible_when_cores_suffice() {
-        let trace = Simulation::new(quick_config(
-            presets::orin_nano(),
-            &zoo::resnet50(),
-            Precision::Int8,
-            1,
-            2,
-        ))
-        .unwrap()
-        .run();
-        for p in &trace.processes {
-            assert!(
-                p.mean_blocking_time < SimDuration::from_micros(100),
-                "{}: blocking {}",
-                p.name,
-                p.mean_blocking_time
-            );
-        }
-    }
-
-    #[test]
-    fn blocking_dominates_when_oversubscribed() {
-        let trace = Simulation::new(quick_config(
-            presets::orin_nano(),
-            &zoo::resnet50(),
-            Precision::Int8,
-            1,
-            8,
-        ))
-        .unwrap()
-        .run();
-        for p in &trace.processes {
-            assert!(
-                p.mean_blocking_time > SimDuration::from_millis(5),
-                "{}: blocking {}",
-                p.name,
-                p.mean_blocking_time
-            );
-        }
-    }
-
-    #[test]
-    fn power_respects_budget_with_dvfs() {
-        for (device, model) in [
-            (presets::orin_nano(), zoo::fcn_resnet50()),
-            (presets::jetson_nano(), zoo::fcn_resnet50()),
-        ] {
-            let budget = device.power.budget_w;
-            let config = quick_config(device, &model, Precision::Fp32, 4, 1);
-            let trace = Simulation::new(config).unwrap().run();
-            assert!(
-                trace.mean_power() <= budget * 1.08,
-                "mean power {} exceeds budget {budget}",
-                trace.mean_power()
-            );
-        }
-    }
-
-    #[test]
-    fn fp32_triggers_downclock_on_orin() {
-        let config = quick_config(
-            presets::orin_nano(),
-            &zoo::fcn_resnet50(),
-            Precision::Fp32,
-            4,
-            1,
-        );
-        let trace = Simulation::new(config).unwrap().run();
-        assert!(
-            trace.final_freq_mhz < 625,
-            "DVFS should throttle fp32: {} MHz",
-            trace.final_freq_mhz
-        );
-    }
-
-    #[test]
-    fn int8_leaves_clock_at_top() {
-        let config = quick_config(
-            presets::orin_nano(),
-            &zoo::resnet50(),
-            Precision::Int8,
-            1,
-            1,
-        );
-        let trace = Simulation::new(config).unwrap().run();
-        assert_eq!(trace.final_freq_mhz, 625);
-    }
-
-    #[test]
-    fn nsight_profiler_halves_throughput() {
-        let base = quick_config(
-            presets::orin_nano(),
-            &zoo::resnet50(),
-            Precision::Int8,
-            1,
-            1,
-        );
-        let mut nsight = base.clone();
-        nsight.profiler = ProfilerMode::Nsight;
-        let light = Simulation::new(base).unwrap().run().total_throughput();
-        let heavy = Simulation::new(nsight).unwrap().run().total_throughput();
-        let reduction = 1.0 - heavy / light;
-        assert!(
-            (0.3..0.7).contains(&reduction),
-            "paper §4: ~50% intrusion, got {reduction:.2}"
-        );
-    }
-
-    #[test]
-    fn kernel_events_cover_all_processes() {
-        let trace = Simulation::new(quick_config(
-            presets::orin_nano(),
-            &zoo::resnet50(),
-            Precision::Fp16,
-            1,
-            2,
-        ))
-        .unwrap()
-        .run();
-        assert!(trace.kernel_events.iter().any(|e| e.pid == 0));
-        assert!(trace.kernel_events.iter().any(|e| e.pid == 1));
-        for e in &trace.kernel_events {
-            assert!(e.end > e.start);
-            assert!((0.0..=1.0).contains(&e.sm_active));
-            assert!((0.0..=0.8).contains(&e.issue_slot));
-            assert!((0.0..=1.0).contains(&e.tc_activity));
-        }
-    }
-
-    #[test]
-    fn gpu_busy_never_exceeds_wall() {
-        let trace = Simulation::new(quick_config(
-            presets::orin_nano(),
-            &zoo::fcn_resnet50(),
-            Precision::Fp16,
-            1,
-            2,
-        ))
-        .unwrap()
-        .run();
-        assert!(trace.gpu_utilization() <= 1.0);
-        assert!(
-            trace.gpu_utilization() > 0.5,
-            "two FCN procs saturate the GPU"
-        );
-    }
-
-    #[test]
-    fn ec_decomposition_parts_bounded_by_total() {
-        let trace = Simulation::new(quick_config(
-            presets::orin_nano(),
-            &zoo::resnet50(),
-            Precision::Int8,
-            1,
-            4,
-        ))
-        .unwrap()
-        .run();
-        for records in &trace.ec_records {
-            for r in records {
-                assert!(
-                    r.launch_time + r.blocking_time <= r.duration() + SimDuration::from_micros(1)
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn batch_raises_throughput_per_process() {
-        let b1 = Simulation::new(quick_config(
-            presets::orin_nano(),
-            &zoo::yolov8n(),
-            Precision::Int8,
-            1,
-            1,
-        ))
-        .unwrap()
-        .run();
-        let b16 = Simulation::new(quick_config(
-            presets::orin_nano(),
-            &zoo::yolov8n(),
-            Precision::Int8,
-            16,
-            1,
-        ))
-        .unwrap()
-        .run();
-        assert!(
-            b16.throughput_per_process() > b1.throughput_per_process() * 1.1,
-            "batch must help: {} vs {}",
-            b16.throughput_per_process(),
-            b1.throughput_per_process()
-        );
-    }
-
-    #[test]
-    fn mps_sharing_recovers_concurrent_throughput() {
-        // The MPS ablation: spatial sharing should beat Jetson's
-        // time-multiplexing for multi-process workloads (paper §2 explains
-        // Jetson lacks MPS; this quantifies the cost).
-        let base = quick_config(
-            presets::orin_nano(),
-            &zoo::fcn_resnet50(),
-            Precision::Fp16,
-            1,
-            4,
-        );
-        let mut mps = base.clone();
-        mps.gpu_sharing = crate::config::GpuSharing::SpatialMps {
-            overlap_efficiency: 0.3,
-        };
-        let tm = Simulation::new(base).unwrap().run().total_throughput();
-        let sp = Simulation::new(mps).unwrap().run().total_throughput();
-        assert!(sp > tm * 1.1, "MPS {sp} vs time-multiplexed {tm}");
-    }
-
-    #[test]
-    fn latency_percentiles_ordered() {
-        let trace = Simulation::new(quick_config(
-            presets::orin_nano(),
-            &zoo::resnet50(),
-            Precision::Int8,
-            1,
-            4,
-        ))
-        .unwrap()
-        .run();
-        for p in &trace.processes {
-            assert!(p.p50_ec_time <= p.p95_ec_time);
-            assert!(p.p95_ec_time <= p.p99_ec_time);
-            assert!(p.p99_ec_time > SimDuration::ZERO);
-        }
-    }
-
-    fn rq_config(procs: u32) -> SimConfig {
-        let mut config = quick_config(
-            presets::orin_nano(),
-            &zoo::resnet50(),
-            Precision::Int8,
-            1,
-            procs,
-        );
-        config.cpu_model = crate::config::CpuModel::RunQueue;
-        config
-    }
-
-    #[test]
-    fn run_queue_single_process_matches_stochastic_regime() {
-        let stochastic = Simulation::new(quick_config(
-            presets::orin_nano(),
-            &zoo::resnet50(),
-            Precision::Int8,
-            1,
-            1,
-        ))
-        .unwrap()
-        .run();
-        let rq = Simulation::new(rq_config(1)).unwrap().run();
-        // With a dedicated core the scheduler is irrelevant: both models
-        // must land in the same throughput regime.
-        let ratio = rq.total_throughput() / stochastic.total_throughput();
-        assert!((0.8..1.25).contains(&ratio), "ratio = {ratio}");
-        assert!(
-            rq.processes[0].mean_blocking_time < SimDuration::from_micros(200),
-            "{}",
-            rq.processes[0].mean_blocking_time
-        );
-    }
-
-    #[test]
-    fn run_queue_oversubscription_collapses_mechanically() {
-        // 8 spin-waiting threads on 3 heavy cores: quantum time-sharing
-        // alone must blow the EC up — no tuned probabilities involved.
-        let p2 = Simulation::new(rq_config(2)).unwrap().run();
-        let p8 = Simulation::new(rq_config(8)).unwrap().run();
-        let ec2 = p2.mean_ec_time();
-        let ec8 = p8.mean_ec_time();
-        assert!(
-            ec8 > ec2 * 3,
-            "EC must explode past the heavy cores: {ec2} -> {ec8}"
-        );
-        assert!(
-            p8.throughput_per_process() < p2.throughput_per_process() / 2.5,
-            "{} vs {}",
-            p8.throughput_per_process(),
-            p2.throughput_per_process()
-        );
-    }
-
-    #[test]
-    fn run_queue_blocking_appears_only_when_oversubscribed() {
-        let p3 = Simulation::new(rq_config(3)).unwrap().run();
-        for p in &p3.processes {
-            assert!(
-                p.mean_blocking_time < SimDuration::from_millis(1),
-                "{}: {}",
-                p.name,
-                p.mean_blocking_time
-            );
-        }
-        let p6 = Simulation::new(rq_config(6)).unwrap().run();
-        let any_blocked = p6
-            .processes
-            .iter()
-            .any(|p| p.mean_blocking_time > SimDuration::from_millis(1));
-        assert!(any_blocked, "queue waits must surface as blocking");
-    }
-
-    #[test]
-    fn run_queue_is_deterministic() {
-        let a = Simulation::new(rq_config(4)).unwrap().run();
-        let b = Simulation::new(rq_config(4)).unwrap().run();
-        assert_eq!(a.total_throughput(), b.total_throughput());
-        assert_eq!(a.kernel_events.len(), b.kernel_events.len());
-    }
-
-    #[test]
-    fn periodic_arrivals_throttle_throughput() {
-        // A 30 fps camera feeding a 400+ img/s engine: throughput pins to
-        // the offered rate and the GPU goes mostly idle.
-        let engine = std::sync::Arc::new(
-            jetsim_trt::EngineBuilder::new(&presets::orin_nano())
-                .precision(Precision::Int8)
-                .build(&zoo::resnet50())
-                .unwrap(),
-        );
-        let config_for = |arrivals| {
-            SimConfig::builder(presets::orin_nano())
-                .add_engine_with_arrivals(std::sync::Arc::clone(&engine), arrivals)
-                .warmup(SimDuration::from_millis(200))
-                .measure(SimDuration::from_millis(1000))
-                .build()
-                .unwrap()
-        };
-        let open = Simulation::new(config_for(crate::config::ArrivalModel::Periodic {
-            fps: 30.0,
-        }))
-        .unwrap()
-        .run();
-        assert!(
-            (24.0..33.0).contains(&open.total_throughput()),
-            "pinned to offered rate: {}",
-            open.total_throughput()
-        );
-        assert!(open.gpu_utilization() < 0.4, "mostly idle GPU");
-        // Queue delay stays ~0: the engine drains each frame instantly.
-        assert!(
-            open.processes[0].mean_queue_delay < SimDuration::from_millis(1),
-            "{}",
-            open.processes[0].mean_queue_delay
-        );
-    }
-
-    #[test]
-    fn overloaded_open_loop_builds_queue_delay() {
-        // Offer 60 fps to an FCN engine that only sustains ~18 img/s:
-        // the backlog grows and queueing delay dwarfs service time.
-        let engine = std::sync::Arc::new(
-            jetsim_trt::EngineBuilder::new(&presets::orin_nano())
-                .precision(Precision::Fp16)
-                .build(&zoo::fcn_resnet50())
-                .unwrap(),
-        );
-        let config = SimConfig::builder(presets::orin_nano())
-            .add_engine_with_arrivals(
-                std::sync::Arc::clone(&engine),
-                crate::config::ArrivalModel::Periodic { fps: 60.0 },
-            )
-            .warmup(SimDuration::from_millis(200))
-            .measure(SimDuration::from_millis(1500))
-            .build()
-            .unwrap();
-        let trace = Simulation::new(config).unwrap().run();
-        assert!(
-            trace.processes[0].mean_queue_delay > SimDuration::from_millis(100),
-            "backlog must accumulate: {}",
-            trace.processes[0].mean_queue_delay
-        );
-    }
-
-    #[test]
-    fn poisson_arrivals_average_the_offered_rate() {
-        let engine = std::sync::Arc::new(
-            jetsim_trt::EngineBuilder::new(&presets::orin_nano())
-                .precision(Precision::Int8)
-                .build(&zoo::resnet50())
-                .unwrap(),
-        );
-        let config = SimConfig::builder(presets::orin_nano())
-            .add_engine_with_arrivals(
-                std::sync::Arc::clone(&engine),
-                crate::config::ArrivalModel::Poisson { fps: 100.0 },
-            )
-            .warmup(SimDuration::from_millis(200))
-            .measure(SimDuration::from_secs(2))
-            .build()
-            .unwrap();
-        let trace = Simulation::new(config).unwrap().run();
-        let t = trace.total_throughput();
-        assert!((75.0..125.0).contains(&t), "mean rate ≈100: {t}");
-    }
-
-    #[test]
-    fn temperature_rises_under_load_but_stays_safe() {
-        let trace = Simulation::new(quick_config(
-            presets::orin_nano(),
-            &zoo::fcn_resnet50(),
-            Precision::Fp16,
-            1,
-            1,
-        ))
-        .unwrap()
-        .run();
-        let first = trace.power_samples.first().unwrap().temp_c;
-        let last = trace.power_samples.last().unwrap().temp_c;
-        assert!(last > first, "junction must warm up: {first} -> {last}");
-        assert!(last < 60.0, "short runs stay far from the throttle point");
-    }
-
-    #[test]
-    fn tiny_thermal_mass_forces_throttling() {
-        // An artificial device with negligible thermal capacitance and a
-        // low ceiling hits the thermal limit within the run, forcing the
-        // governor down even though power is within budget.
-        let mut device = presets::orin_nano();
-        device.thermal.capacitance_j_per_c = 0.05;
-        device.thermal.throttle_c = 45.0;
-        device.power.budget_w = 50.0; // power limit out of the picture
-        let config = SimConfig::builder(device)
-            .add_model(&zoo::resnet50(), Precision::Fp16, 4)
-            .unwrap()
-            .warmup(SimDuration::from_millis(200))
-            .measure(SimDuration::from_millis(1000))
-            .build()
-            .unwrap();
-        let trace = Simulation::new(config).unwrap().run();
-        assert!(
-            trace.final_freq_mhz < 625,
-            "thermal throttle must engage: {} MHz at {:.1} C",
-            trace.final_freq_mhz,
-            trace.power_samples.last().unwrap().temp_c
-        );
-    }
-
-    #[test]
-    fn oom_killer_resolves_fcn_overdeployment_on_nano() {
-        // Paper §6.2.1: 4 × FCN_ResNet50 reboots the Jetson Nano. Under
-        // `OomPolicy::KillLargest` the reboot becomes a simulated
-        // outcome: the OOM killer culls the deployment at admission and
-        // the survivors report real throughput.
-        use crate::faults::{FaultKind, FaultPlan};
-        let config = SimConfig::builder(presets::jetson_nano())
-            .add_model_processes(&zoo::fcn_resnet50(), Precision::Fp16, 1, 4)
-            .unwrap()
-            // FCN on the Nano takes ~0.7 s per EC solo and ~2 s when the
-            // survivors share the GPU, so give the window room to breathe.
-            .warmup(SimDuration::from_millis(500))
-            .measure(SimDuration::from_millis(8000))
-            .faults(FaultPlan::kill_largest_on_oom())
-            .build()
-            .expect("kill policy admits the overcommit");
-        let trace = Simulation::new(config).unwrap().run();
-        assert!(trace.killed_processes() >= 1, "someone must die");
-        assert!(trace.killed_processes() < 4, "someone must survive");
-        assert!(trace.surviving_throughput() > 0.0, "survivors keep working");
-        let kills = trace
-            .fault_events
-            .iter()
-            .filter(|e| matches!(e.kind, FaultKind::ProcessKilled { .. }))
-            .count();
-        assert_eq!(kills, trace.killed_processes(), "one event per casualty");
-        for p in &trace.processes {
-            if p.killed_at.is_some() {
-                assert_eq!(p.completed_ecs, 0, "killed at t=0, never ran");
-            }
-        }
-    }
-
-    #[test]
-    fn midrun_memory_spike_triggers_oom_kill() {
-        use crate::faults::{FaultKind, FaultPlan};
-        // 4 ResNet50 processes fit on the Nano; a 3 GiB background
-        // allocation 500 ms in does not.
-        let spike_at = SimTime::from_nanos(500_000_000);
-        let config = SimConfig::builder(presets::jetson_nano())
-            .add_model_processes(&zoo::resnet50(), Precision::Fp16, 1, 4)
-            .unwrap()
-            .warmup(SimDuration::from_millis(200))
-            .measure(SimDuration::from_millis(1000))
-            .faults(FaultPlan::kill_largest_on_oom().memory_spike(
-                spike_at,
-                SimDuration::from_millis(300),
-                3 << 30,
-            ))
-            .build()
-            .unwrap();
-        let trace = Simulation::new(config).unwrap().run();
-        assert!(trace.killed_processes() >= 1, "spike must force a kill");
-        for p in &trace.processes {
-            if let Some(at) = p.killed_at {
-                assert!(at >= spike_at, "kills happen when the spike lands");
-            }
-        }
-        assert!(trace
-            .fault_events
-            .iter()
-            .any(|e| matches!(e.kind, FaultKind::MemorySpikeStart { .. })));
-        assert!(trace
-            .fault_events
-            .iter()
-            .any(|e| matches!(e.kind, FaultKind::MemorySpikeEnd { .. })));
-    }
-
-    #[test]
-    fn throttle_lock_pins_the_clock_low() {
-        use crate::faults::{FaultKind, FaultPlan};
-        // Int8 ResNet50 normally leaves the Orin clock at the top
-        // (`int8_leaves_clock_at_top`); a lock covering the whole run
-        // pins it to the bottom ladder step instead.
-        let mut config = quick_config(
-            presets::orin_nano(),
-            &zoo::resnet50(),
-            Precision::Int8,
-            1,
-            1,
-        );
-        let base = Simulation::new(config.clone()).unwrap().run();
-        config.faults =
-            FaultPlan::new().throttle_lock(SimTime::ZERO, SimDuration::from_secs(30), 0);
-        let locked = Simulation::new(config).unwrap().run();
-        assert!(
-            locked.final_freq_mhz < base.final_freq_mhz,
-            "{} !< {}",
-            locked.final_freq_mhz,
-            base.final_freq_mhz
-        );
-        assert!(
-            locked.total_throughput() < base.total_throughput() * 0.8,
-            "pinned clock must cost throughput: {} vs {}",
-            locked.total_throughput(),
-            base.total_throughput()
-        );
-        assert!(locked
-            .fault_events
-            .iter()
-            .any(|e| matches!(e.kind, FaultKind::ThrottleLockStart { .. })));
-    }
-
-    #[test]
-    fn throttle_lock_releases_and_governor_recovers() {
-        use crate::faults::{FaultKind, FaultPlan};
-        let mut config = quick_config(
-            presets::orin_nano(),
-            &zoo::resnet50(),
-            Precision::Int8,
-            1,
-            1,
-        );
-        // Lock only the first 300 ms of a 1.2 s run.
-        config.faults =
-            FaultPlan::new().throttle_lock(SimTime::ZERO, SimDuration::from_millis(300), 0);
-        let trace = Simulation::new(config).unwrap().run();
-        assert!(trace
-            .fault_events
-            .iter()
-            .any(|e| matches!(e.kind, FaultKind::ThrottleLockEnd)));
-        assert_eq!(
-            trace.final_freq_mhz, 625,
-            "int8 load climbs back to the top after release"
-        );
-    }
-
-    #[test]
-    fn event_budget_watchdog_aborts_runaway_runs() {
-        let mut config = quick_config(
-            presets::orin_nano(),
-            &zoo::resnet50(),
-            Precision::Int8,
-            1,
-            2,
-        );
-        config.event_budget = Some(500);
-        let trace = Simulation::new(config.clone()).unwrap().run();
-        assert!(trace.budget_exceeded, "500 events cannot finish this run");
-        assert!(trace.sim_events <= 500);
-        config.event_budget = Some(u64::MAX);
-        let full = Simulation::new(config).unwrap().run();
-        assert!(!full.budget_exceeded);
-        assert!(full.sim_events > 500);
-    }
-
-    #[test]
-    fn empty_fault_plan_is_byte_identical_to_no_plan() {
-        use crate::faults::FaultPlan;
-        let base = quick_config(
-            presets::orin_nano(),
-            &zoo::resnet50(),
-            Precision::Fp16,
-            2,
-            2,
-        );
-        let mut with_plan = base.clone();
-        with_plan.faults = FaultPlan::new(); // explicitly attached, still empty
-        let a = Simulation::new(base).unwrap().run();
-        let b = Simulation::new(with_plan).unwrap().run();
-        assert_eq!(a.total_throughput(), b.total_throughput());
-        assert_eq!(a.kernel_events, b.kernel_events);
-        assert_eq!(a.power_samples, b.power_samples);
-        assert_eq!(a.sim_events, b.sim_events);
-        assert!(b.fault_events.is_empty());
-    }
-
-    #[test]
-    fn fault_injection_is_deterministic() {
-        use crate::faults::FaultPlan;
-        let run = || {
-            let mut config = quick_config(
-                presets::jetson_nano(),
-                &zoo::resnet50(),
-                Precision::Fp16,
-                1,
-                4,
-            );
-            config.faults = FaultPlan::seeded(42, config.total_time(), 3, 2)
-                .oom_policy(crate::faults::OomPolicy::KillLargest);
-            Simulation::new(config).unwrap().run()
-        };
-        let a = run();
-        let b = run();
-        assert_eq!(a.fault_events, b.fault_events);
-        assert_eq!(a.total_throughput(), b.total_throughput());
-        assert_eq!(a.kernel_events.len(), b.kernel_events.len());
-        assert_eq!(
-            a.processes.iter().map(|p| p.killed_at).collect::<Vec<_>>(),
-            b.processes.iter().map(|p| p.killed_at).collect::<Vec<_>>(),
-        );
-    }
-
-    #[test]
-    fn power_samples_present_and_positive() {
-        let trace = Simulation::new(quick_config(
-            presets::jetson_nano(),
-            &zoo::resnet50(),
-            Precision::Fp16,
-            1,
-            1,
-        ))
-        .unwrap()
-        .run();
-        assert!(trace.power_samples.len() >= 3);
-        for s in &trace.power_samples {
-            assert!(s.watts > 1.0 && s.watts < 6.0, "watts = {}", s.watts);
         }
     }
 }
