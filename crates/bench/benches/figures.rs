@@ -35,7 +35,7 @@ fn run_cell(
 fn run_nsight(platform: &Platform, model: &ModelGraph, precision: Precision, procs: u32) -> f64 {
     let (warmup, measure) = windows();
     let profile = DualPhaseProfiler::new(platform)
-        .workload(model, precision, 1, procs)
+        .deployment(&Deployment::homogeneous(model, precision, 1, procs))
         .expect("builds")
         .warmup(warmup)
         .measure(measure)

@@ -261,15 +261,25 @@ pub fn ablation_cpu_model() -> FigureResult {
     }
 }
 
+/// Every ablation harness with its CLI name — the `repro` binary's
+/// ablation registry (figures have their own in
+/// [`crate::figures::registry`]).
+pub fn registry() -> Vec<(&'static str, crate::Harness)> {
+    vec![
+        ("ablation_dvfs", ablation_dvfs as fn() -> FigureResult),
+        ("ablation_fusion", ablation_fusion),
+        ("ablation_mps", ablation_mps),
+        ("ablation_timeslice", ablation_timeslice),
+        ("ablation_cpu_model", ablation_cpu_model),
+    ]
+}
+
 /// All ablations.
 pub fn all() -> Vec<FigureResult> {
-    vec![
-        ablation_dvfs(),
-        ablation_fusion(),
-        ablation_mps(),
-        ablation_timeslice(),
-        ablation_cpu_model(),
-    ]
+    registry()
+        .into_iter()
+        .map(|(_, harness)| harness())
+        .collect()
 }
 
 #[cfg(test)]

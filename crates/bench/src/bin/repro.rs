@@ -1,0 +1,75 @@
+//! `repro` — one front door for every table, figure and ablation.
+//!
+//! Replaces the fleet of thin `fig*`/`table*`/`ablation_*` binaries:
+//!
+//! ```sh
+//! repro --list                # what can be regenerated
+//! repro fig06_concurrent_orin # one harness, printed + results/*.csv
+//! repro table1 ablation_dvfs  # several, in the order given
+//! repro --all                 # everything, like repro_all
+//! ```
+//!
+//! `repro_all` remains the parallel everything-at-once entry point that
+//! also writes `results/summary.md`.
+
+use std::process::ExitCode;
+
+use jetsim_bench::Harness;
+
+fn registry() -> Vec<(&'static str, Harness)> {
+    let mut harnesses = jetsim_bench::figures::registry();
+    harnesses.extend(jetsim_bench::ablations::registry());
+    harnesses
+}
+
+fn usage(registry: &[(&'static str, Harness)]) -> String {
+    let mut out = String::from(
+        "usage: repro [--list | --all | <harness>...]\n\
+         regenerates the paper's tables/figures/ablations; CSVs land in results/\n\
+         harnesses:\n",
+    );
+    for (name, _) in registry {
+        out.push_str("  ");
+        out.push_str(name);
+        out.push('\n');
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let registry = registry();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprint!("{}", usage(&registry));
+        return ExitCode::FAILURE;
+    }
+    if args.iter().any(|a| a == "--list") {
+        for (name, _) in &registry {
+            println!("{name}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let selected: Vec<Harness> = if args.iter().any(|a| a == "--all") {
+        registry.iter().map(|&(_, harness)| harness).collect()
+    } else {
+        let mut selected = Vec::with_capacity(args.len());
+        for arg in &args {
+            match registry.iter().find(|(name, _)| name == arg) {
+                Some(&(_, harness)) => selected.push(harness),
+                None => {
+                    eprintln!("unknown harness `{arg}`\n{}", usage(&registry));
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        selected
+    };
+    for harness in selected {
+        let fig = harness();
+        fig.print();
+        if let Err(e) = fig.save_csv() {
+            eprintln!("warning: could not save CSV: {e}");
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -26,7 +26,7 @@ fn phase1(
     procs: u32,
 ) -> JetsonStatsReport {
     DualPhaseProfiler::new(platform)
-        .workload(model, precision, batch, procs)
+        .deployment(&Deployment::homogeneous(model, precision, batch, procs))
         .expect("engine builds")
         .warmup(SimDuration::from_millis(300))
         .measure(SimDuration::from_millis(1500))

@@ -299,7 +299,7 @@ fn nsight_profile(
 ) -> Option<NsightReport> {
     let (warmup, measure) = windows();
     DualPhaseProfiler::new(platform)
-        .workload(model, precision, 1, procs)
+        .deployment(&Deployment::homogeneous(model, precision, 1, procs))
         .ok()?
         .warmup(warmup)
         .measure(measure)
@@ -551,7 +551,7 @@ pub fn headline_gap() -> FigureResult {
         (zoo::yolov8n(), Precision::Int8),
     ] {
         let profile = DualPhaseProfiler::new(&Platform::orin_nano())
-            .workload(&model, precision, 1, 1)
+            .deployment(&Deployment::homogeneous(&model, precision, 1, 1))
             .expect("engine builds")
             .warmup(warmup)
             .measure(measure)
@@ -606,14 +606,24 @@ pub fn observation_checks() -> (FigureResult, usize, usize) {
         checks.push(observations::issue_slots_stall(&report));
     }
     let fcn = DualPhaseProfiler::new(&orin)
-        .workload(&zoo::fcn_resnet50(), Precision::Fp16, 1, 1)
+        .deployment(&Deployment::homogeneous(
+            &zoo::fcn_resnet50(),
+            Precision::Fp16,
+            1,
+            1,
+        ))
         .expect("builds")
         .warmup(warmup)
         .measure(measure)
         .run()
         .expect("fits");
     let resnet_int8 = DualPhaseProfiler::new(&orin)
-        .workload(&zoo::resnet50(), Precision::Int8, 1, 1)
+        .deployment(&Deployment::homogeneous(
+            &zoo::resnet50(),
+            Precision::Int8,
+            1,
+            1,
+        ))
         .expect("builds")
         .warmup(warmup)
         .measure(measure)
@@ -672,24 +682,31 @@ pub fn observation_checks() -> (FigureResult, usize, usize) {
     )
 }
 
+/// Every figure/table harness with its CLI name, in paper order — the
+/// registry behind the `repro` binary (ablations have their own in
+/// [`crate::ablations::registry`]).
+pub fn registry() -> Vec<(&'static str, crate::Harness)> {
+    vec![
+        ("table1", table1 as fn() -> FigureResult),
+        ("table2", table2),
+        ("fig01_batch_sweep", fig01_batch_sweep),
+        ("fig03_precision", fig03_precision),
+        ("fig04_power_precision", fig04_power_precision),
+        ("fig05_util_cdf_precision", fig05_util_cdf_precision),
+        ("fig06_concurrent_orin", fig06_concurrent_orin),
+        ("fig07_concurrent_nano", fig07_concurrent_nano),
+        ("fig08_power_orin", fig08_power_orin),
+        ("fig09_power_nano", fig09_power_nano),
+        ("fig10_util_cdf_concurrent", fig10_util_cdf_concurrent),
+        ("fig11_events_orin", fig11_events_orin),
+        ("fig12_events_nano", fig12_events_nano),
+        ("headline_gap", headline_gap),
+    ]
+}
+
 /// Every harness, as plain function pointers in paper order.
 fn harnesses() -> Vec<fn() -> FigureResult> {
-    vec![
-        table1,
-        table2,
-        fig01_batch_sweep,
-        fig03_precision,
-        fig04_power_precision,
-        fig05_util_cdf_precision,
-        fig06_concurrent_orin,
-        fig07_concurrent_nano,
-        fig08_power_orin,
-        fig09_power_nano,
-        fig10_util_cdf_concurrent,
-        fig11_events_orin,
-        fig12_events_nano,
-        headline_gap,
-    ]
+    registry().into_iter().map(|(_, harness)| harness).collect()
 }
 
 /// Every figure and table, in paper order.
@@ -701,7 +718,7 @@ pub fn all() -> Vec<FigureResult> {
 /// but returned in paper order.
 ///
 /// The harnesses are independent: the shared concurrency grids
-/// ([`orin_int8_grid`], [`nano_fp16_grid`]) sit behind `OnceLock`s so
+/// (`orin_int8_grid`, `nano_fp16_grid`) sit behind `OnceLock`s so
 /// concurrent harnesses block on one computation instead of repeating
 /// it, and every engine build is served by the process-wide engine
 /// cache, so e.g. figures 6, 8 and 11 compile each `(model, int8,

@@ -3,8 +3,9 @@
 //! Every table and figure of the paper's evaluation has a function in
 //! [`figures`] that reruns the underlying experiment on the simulated
 //! platforms and prints the same rows/series the paper reports. The
-//! `fig*`/`table*` binaries are thin wrappers; `repro_all` runs the lot
-//! and writes `results/*.csv` plus a summary.
+//! `repro` binary is the front door (`repro --list`, `repro fig06_concurrent_orin`);
+//! `repro_all` runs the lot in parallel and writes `results/*.csv` plus
+//! a summary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,6 +23,9 @@ pub fn results_dir() -> PathBuf {
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("results"))
 }
+
+/// A named harness entry: the constructor for one table/figure.
+pub type Harness = fn() -> FigureResult;
 
 /// One regenerated table/figure.
 #[derive(Debug, Clone)]

@@ -205,6 +205,7 @@ impl fmt::Display for BottleneckReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::deployment::Deployment;
     use crate::profiler::DualPhaseProfiler;
     use crate::Platform;
     use jetsim_des::SimDuration;
@@ -217,7 +218,7 @@ mod tests {
         procs: u32,
     ) -> WorkloadProfile {
         DualPhaseProfiler::new(&Platform::orin_nano())
-            .workload(model, precision, batch, procs)
+            .deployment(&Deployment::homogeneous(model, precision, batch, procs))
             .unwrap()
             .warmup(SimDuration::from_millis(150))
             .measure(SimDuration::from_millis(800))
@@ -272,7 +273,12 @@ mod tests {
         spec.gpu.mem_bandwidth_gbps = 3.0;
         let platform = Platform::from_spec(spec);
         let report = DualPhaseProfiler::new(&platform)
-            .workload(&zoo::resnet50(), Precision::Fp16, 4, 1)
+            .deployment(&Deployment::homogeneous(
+                &zoo::resnet50(),
+                Precision::Fp16,
+                4,
+                1,
+            ))
             .unwrap()
             .warmup(SimDuration::from_millis(150))
             .measure(SimDuration::from_millis(800))

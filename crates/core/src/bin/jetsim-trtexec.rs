@@ -7,9 +7,18 @@
 //! jetsim-trtexec --model=resnet50 --int8 --batch=8 --device=orin-nano \
 //!     --processes=2 --duration=2 --chrome-trace=/tmp/timeline.json
 //! ```
+//!
+//! Heterogeneous deployments use the repeatable `--tenant` flag instead
+//! of `--model`; each tenant is `model:precision:batch[:count]`:
+//!
+//! ```sh
+//! jetsim-trtexec --tenant=resnet50:int8:1:2 --tenant=yolov8n:fp16:4 \
+//!     --device=orin-nano --duration=2
+//! ```
 
 use std::process::ExitCode;
 
+use jetsim::deployment::Tenant;
 use jetsim::prelude::*;
 use jetsim_profile::chrome_trace;
 use jetsim_sim::{FaultKind, FaultPlan};
@@ -17,6 +26,7 @@ use jetsim_sim::{FaultKind, FaultPlan};
 #[derive(Debug)]
 struct Args {
     model: String,
+    tenants: Vec<String>,
     precision: Precision,
     batch: u32,
     processes: u32,
@@ -38,12 +48,17 @@ impl Args {
          \x20                  [--device=orin-nano|jetson-nano|cloud-a40] [--duration=SECONDS]\n\
          \x20                  [--nsight] [--chrome-trace=FILE] [--seed=N] [--faults[=SEED]]\n\
          \x20                  --faults injects a seeded fault plan (memory spikes + a throttle\n\
-         \x20                  lock) and swaps strict OOM admission for OOM-killer semantics"
+         \x20                  lock) and swaps strict OOM admission for OOM-killer semantics\n\
+         \x20      or: jetsim-trtexec --tenant=model:precision:batch[:count] [--tenant=...]\n\
+         \x20                  runs a heterogeneous deployment (repeat --tenant per model mix);\n\
+         \x20                  mutually exclusive with --model/--batch/--processes/--streams\n\
+         \x20                  and the precision flags"
     }
 
     fn parse(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         let mut args = Args {
             model: String::new(),
+            tenants: Vec::new(),
             precision: Precision::Fp32,
             batch: 1,
             processes: 1,
@@ -56,6 +71,7 @@ impl Args {
             faults: false,
             fault_seed: None,
         };
+        let mut workload_flags = false;
         for arg in argv {
             let (key, value) = match arg.split_once('=') {
                 Some((k, v)) => (k, Some(v)),
@@ -66,22 +82,41 @@ impl Args {
                     .ok_or_else(|| format!("{key} needs a value"))
             };
             match key {
-                "--model" | "--onnx" => args.model = required(value)?,
-                "--int8" => args.precision = Precision::Int8,
-                "--fp16" => args.precision = Precision::Fp16,
-                "--tf32" => args.precision = Precision::Tf32,
-                "--fp32" => args.precision = Precision::Fp32,
+                "--model" | "--onnx" => {
+                    workload_flags = true;
+                    args.model = required(value)?;
+                }
+                "--tenant" => args.tenants.push(required(value)?),
+                "--int8" => {
+                    workload_flags = true;
+                    args.precision = Precision::Int8;
+                }
+                "--fp16" => {
+                    workload_flags = true;
+                    args.precision = Precision::Fp16;
+                }
+                "--tf32" => {
+                    workload_flags = true;
+                    args.precision = Precision::Tf32;
+                }
+                "--fp32" => {
+                    workload_flags = true;
+                    args.precision = Precision::Fp32;
+                }
                 "--batch" => {
+                    workload_flags = true;
                     args.batch = required(value)?
                         .parse()
                         .map_err(|e| format!("bad --batch: {e}"))?
                 }
                 "--processes" => {
+                    workload_flags = true;
                     args.processes = required(value)?
                         .parse()
                         .map_err(|e| format!("bad --processes: {e}"))?
                 }
                 "--streams" => {
+                    workload_flags = true;
                     args.streams = required(value)?
                         .parse()
                         .map_err(|e| format!("bad --streams: {e}"))?
@@ -110,8 +145,18 @@ impl Args {
                 other => return Err(format!("unknown flag `{other}`\n{}", Args::usage())),
             }
         }
-        if args.model.is_empty() {
-            return Err(format!("--model is required\n{}", Args::usage()));
+        if !args.tenants.is_empty() && workload_flags {
+            return Err(format!(
+                "--tenant cannot be combined with --model/--batch/--processes/--streams \
+                 or precision flags (each tenant spec carries its own)\n{}",
+                Args::usage()
+            ));
+        }
+        if args.tenants.is_empty() && args.model.is_empty() {
+            return Err(format!(
+                "--model or --tenant is required\n{}",
+                Args::usage()
+            ));
         }
         Ok(args)
     }
@@ -128,50 +173,15 @@ impl Args {
 
 fn run(args: Args) -> Result<(), String> {
     let platform = args.platform()?;
-    let model = if args.model.ends_with(".json") {
-        jetsim::plan::load_model(&args.model)
-            .map_err(|e| format!("cannot load model file `{}`: {e}", args.model))?
+    let deployment = if args.tenants.is_empty() {
+        None
     } else {
-        zoo::by_name(&args.model).ok_or_else(|| format!("unknown model `{}`", args.model))?
+        let mut d = Deployment::new();
+        for spec in &args.tenants {
+            d = d.tenant(Tenant::parse(spec).map_err(|e| e.to_string())?);
+        }
+        Some(d)
     };
-    let cache = jetsim_trt::EngineCache::global();
-    let misses_before = cache.stats().misses;
-    let build_start = std::time::Instant::now();
-    let engine = platform
-        .build_engine(&model, args.precision, args.batch)
-        .map_err(|e| e.to_string())?;
-    let build_secs = build_start.elapsed().as_secs_f64();
-    let cache_state = if cache.stats().misses > misses_before {
-        "compiled"
-    } else {
-        "cache hit"
-    };
-
-    println!("=== Model Options ===");
-    println!("Model: {} ({})", model.name(), model.stats());
-    println!("=== Build Options ===");
-    println!(
-        "Precision: {} (engine runs {:.0}% of FLOPs at the requested format)",
-        args.precision,
-        engine.requested_precision_flop_fraction() * 100.0
-    );
-    println!(
-        "Batch: {} | Kernels after fusion: {}",
-        args.batch,
-        engine.kernel_count()
-    );
-    println!(
-        "Engine size: {:.1} MiB | workspace {:.1} MiB",
-        engine.engine_bytes() as f64 / (1024.0 * 1024.0),
-        engine.workspace_bytes() as f64 / (1024.0 * 1024.0),
-    );
-    println!(
-        "Engine build: {:.1} ms ({cache_state}; {} engine(s) cached this process)",
-        build_secs * 1e3,
-        cache.len()
-    );
-    println!("=== Device ===");
-    println!("{platform}");
 
     let warmup = SimDuration::from_millis(500);
     let measure = SimDuration::from_secs_f64(args.duration_secs);
@@ -184,6 +194,82 @@ fn run(args: Args) -> Result<(), String> {
         } else {
             ProfilerMode::Lightweight
         });
+
+    if let Some(d) = &deployment {
+        println!("=== Deployment ===");
+        println!(
+            "{} tenant(s), {} process(es): {}",
+            d.len(),
+            d.total_processes(),
+            d.label()
+        );
+        for tenant in d.tenants() {
+            let engine = platform
+                .build_engine(tenant.model(), tenant.precision(), tenant.batch())
+                .map_err(|e| e.to_string())?;
+            println!(
+                "  {} x{}: {} | {} kernels | engine {:.1} MiB + workspace {:.1} MiB",
+                tenant.label(),
+                tenant.instances(),
+                tenant.model().stats(),
+                engine.kernel_count(),
+                engine.engine_bytes() as f64 / (1024.0 * 1024.0),
+                engine.workspace_bytes() as f64 / (1024.0 * 1024.0),
+            );
+        }
+        builder = d
+            .add_to_config(&platform, builder)
+            .map_err(|e| e.to_string())?;
+    } else {
+        let model = if args.model.ends_with(".json") {
+            jetsim::plan::load_model(&args.model)
+                .map_err(|e| format!("cannot load model file `{}`: {e}", args.model))?
+        } else {
+            zoo::by_name(&args.model).ok_or_else(|| format!("unknown model `{}`", args.model))?
+        };
+        let cache = jetsim_trt::EngineCache::global();
+        let misses_before = cache.stats().misses;
+        let build_start = std::time::Instant::now();
+        let engine = platform
+            .build_engine(&model, args.precision, args.batch)
+            .map_err(|e| e.to_string())?;
+        let build_secs = build_start.elapsed().as_secs_f64();
+        let cache_state = if cache.stats().misses > misses_before {
+            "compiled"
+        } else {
+            "cache hit"
+        };
+
+        println!("=== Model Options ===");
+        println!("Model: {} ({})", model.name(), model.stats());
+        println!("=== Build Options ===");
+        println!(
+            "Precision: {} (engine runs {:.0}% of FLOPs at the requested format)",
+            args.precision,
+            engine.requested_precision_flop_fraction() * 100.0
+        );
+        println!(
+            "Batch: {} | Kernels after fusion: {}",
+            args.batch,
+            engine.kernel_count()
+        );
+        println!(
+            "Engine size: {:.1} MiB | workspace {:.1} MiB",
+            engine.engine_bytes() as f64 / (1024.0 * 1024.0),
+            engine.workspace_bytes() as f64 / (1024.0 * 1024.0),
+        );
+        println!(
+            "Engine build: {:.1} ms ({cache_state}; {} engine(s) cached this process)",
+            build_secs * 1e3,
+            cache.len()
+        );
+        for _ in 0..args.processes {
+            builder = builder.add_engine_streams(&engine, args.streams);
+        }
+    }
+    println!("=== Device ===");
+    println!("{platform}");
+
     if args.faults {
         let fault_seed = args.fault_seed.unwrap_or(args.seed);
         let horizon = SimDuration::from_secs_f64(warmup.as_secs_f64() + measure.as_secs_f64());
@@ -196,9 +282,6 @@ fn run(args: Args) -> Result<(), String> {
             plan.throttle_locks.len()
         );
         builder = builder.faults(plan);
-    }
-    for _ in 0..args.processes {
-        builder = builder.add_engine_streams(&engine, args.streams);
     }
     let config = builder.build().map_err(|e| e.to_string())?;
     let trace = Simulation::new(config).map_err(|e| e.to_string())?.run();
@@ -224,6 +307,13 @@ fn run(args: Args) -> Result<(), String> {
     }
     println!("\n=== jetson-stats ===");
     println!("{}", jetsim_profile::JetsonStatsReport::from_trace(&trace));
+
+    if let Some(d) = &deployment {
+        println!("\n=== Per-Tenant Summary ===");
+        for tenant in TenantMetrics::from_trace(&trace, d) {
+            println!("{tenant}");
+        }
+    }
 
     if args.faults {
         println!("\n=== Fault Events ===");

@@ -8,9 +8,13 @@
 //!
 //! * [`Platform`] — a simulated Jetson board ([`Platform::orin_nano`],
 //!   [`Platform::jetson_nano`]) or cloud comparator.
+//! * [`Deployment`] — an ordered list of tenants (model × precision ×
+//!   batch × count) sharing the device; homogeneous workloads are the
+//!   one-tenant case ([`Deployment::homogeneous`]).
 //! * [`DualPhaseProfiler`] — phase 1 (`trtexec` + `jetson-stats`,
 //!   negligible intrusion) and phase 2 (Nsight-style kernel tracing,
-//!   ~50 % throughput cost) in one call, yielding a [`WorkloadProfile`].
+//!   ~50 % throughput cost) in one call, yielding a [`WorkloadProfile`]
+//!   with per-tenant breakdowns.
 //! * [`analysis`] — bottleneck classification (CPU-blocking-bound,
 //!   launch-bound, memory-bound, DVFS-throttled, …).
 //! * [`observations`] — the paper's boxed takeaways as executable checks.
@@ -25,7 +29,7 @@
 //!
 //! let platform = Platform::orin_nano();
 //! let profile = DualPhaseProfiler::new(&platform)
-//!     .workload(&zoo::resnet50(), Precision::Int8, 1, 1)?
+//!     .deployment(&Deployment::homogeneous(&zoo::resnet50(), Precision::Int8, 1, 1))?
 //!     .measure(SimDuration::from_millis(600))
 //!     .warmup(SimDuration::from_millis(200))
 //!     .run()?;
@@ -39,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod deployment;
 pub mod observations;
 pub mod plan;
 pub mod platform;
@@ -47,6 +52,7 @@ pub mod report;
 pub mod sweep;
 
 pub use analysis::{Bottleneck, BottleneckReport};
+pub use deployment::{Deployment, DeploymentError, Tenant, TenantMetrics};
 pub use platform::Platform;
 pub use profiler::{DualPhaseProfiler, WorkloadProfile};
 pub use sweep::{CellChaos, CellMetrics, CellOutcome, SupervisorPolicy, SweepCell, SweepSpec};
@@ -54,6 +60,7 @@ pub use sweep::{CellChaos, CellMetrics, CellOutcome, SupervisorPolicy, SweepCell
 /// Convenience re-exports for downstream users and examples.
 pub mod prelude {
     pub use crate::analysis::{Bottleneck, BottleneckReport};
+    pub use crate::deployment::{Deployment, DeploymentError, Tenant, TenantMetrics};
     pub use crate::platform::Platform;
     pub use crate::profiler::{DualPhaseProfiler, WorkloadProfile};
     pub use crate::report::Table;

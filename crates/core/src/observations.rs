@@ -345,6 +345,7 @@ mod tests {
                 mean_blocking_ms: 0.0,
                 mean_sync_ms: 0.1,
                 final_gpu_freq_mhz: 625,
+                tenants: vec![],
             }),
         }
     }

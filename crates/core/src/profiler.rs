@@ -1,15 +1,15 @@
 //! The paper's dual-phase profiling methodology (§4).
 
 use std::fmt;
-use std::sync::Arc;
 
 use jetsim_des::SimDuration;
 use jetsim_dnn::{ModelGraph, Precision};
 use jetsim_profile::{JetsonStatsReport, NsightReport};
 use jetsim_sim::{ProfilerMode, SimConfig, SimError, Simulation};
-use jetsim_trt::{BuildError, Engine};
+use jetsim_trt::BuildError;
 
 use crate::analysis::BottleneckReport;
+use crate::deployment::{Deployment, DeploymentError, TenantMetrics};
 use crate::platform::Platform;
 
 /// Errors from the profiler facade.
@@ -17,6 +17,9 @@ use crate::platform::Platform;
 pub enum ProfileError {
     /// Engine building failed.
     Build(BuildError),
+    /// A deployment could not be assembled (bad tenant spec or a
+    /// tenant's engine failed to build).
+    Deployment(DeploymentError),
     /// The simulation rejected the deployment (usually out of memory).
     Sim(SimError),
     /// Phase 2 recorded no kernel events (measurement window too short).
@@ -27,6 +30,7 @@ impl fmt::Display for ProfileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ProfileError::Build(e) => write!(f, "engine build failed: {e}"),
+            ProfileError::Deployment(e) => write!(f, "deployment rejected: {e}"),
             ProfileError::Sim(e) => write!(f, "simulation rejected: {e}"),
             ProfileError::EmptyTrace => {
                 f.write_str("phase 2 recorded no kernels; lengthen the measurement window")
@@ -39,6 +43,7 @@ impl std::error::Error for ProfileError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ProfileError::Build(e) => Some(e),
+            ProfileError::Deployment(e) => Some(e),
             ProfileError::Sim(e) => Some(e),
             ProfileError::EmptyTrace => None,
         }
@@ -48,6 +53,12 @@ impl std::error::Error for ProfileError {
 impl From<BuildError> for ProfileError {
     fn from(e: BuildError) -> Self {
         ProfileError::Build(e)
+    }
+}
+
+impl From<DeploymentError> for ProfileError {
+    fn from(e: DeploymentError) -> Self {
+        ProfileError::Deployment(e)
     }
 }
 
@@ -68,23 +79,48 @@ impl From<SimError> for ProfileError {
 ///
 /// # Examples
 ///
+/// Homogeneous (the paper's setup) via [`Deployment::homogeneous`]:
+///
 /// ```
+/// use jetsim::deployment::Deployment;
 /// use jetsim::{DualPhaseProfiler, Platform};
 /// use jetsim_des::SimDuration;
 /// use jetsim_dnn::{zoo, Precision};
 ///
 /// let profile = DualPhaseProfiler::new(&Platform::jetson_nano())
-///     .workload(&zoo::yolov8n(), Precision::Fp16, 1, 1)?
+///     .deployment(&Deployment::homogeneous(&zoo::yolov8n(), Precision::Fp16, 1, 1))?
 ///     .warmup(SimDuration::from_millis(150))
 ///     .measure(SimDuration::from_millis(600))
 ///     .run()?;
 /// assert!((10.0..35.0).contains(&profile.soc.throughput));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
+///
+/// Mixed tenants break down per tenant in
+/// [`WorkloadProfile::tenants`]:
+///
+/// ```
+/// use jetsim::deployment::{Deployment, Tenant};
+/// use jetsim::{DualPhaseProfiler, Platform};
+/// use jetsim_des::SimDuration;
+/// use jetsim_dnn::{zoo, Precision};
+///
+/// let mixed = Deployment::new()
+///     .tenant(Tenant::new(zoo::resnet50(), Precision::Int8, 1))
+///     .tenant(Tenant::new(zoo::yolov8n(), Precision::Fp16, 4));
+/// let profile = DualPhaseProfiler::new(&Platform::orin_nano())
+///     .deployment(&mixed)?
+///     .warmup(SimDuration::from_millis(150))
+///     .measure(SimDuration::from_millis(600))
+///     .run()?;
+/// assert_eq!(profile.tenants.len(), 2);
+/// assert!(profile.tenants.iter().all(|t| t.throughput > 0.0));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct DualPhaseProfiler {
     platform: Platform,
-    engines: Vec<Arc<Engine>>,
+    deployment: Deployment,
     warmup: SimDuration,
     measure: SimDuration,
     seed: u64,
@@ -95,11 +131,33 @@ impl DualPhaseProfiler {
     pub fn new(platform: &Platform) -> Self {
         DualPhaseProfiler {
             platform: platform.clone(),
-            engines: Vec::new(),
+            deployment: Deployment::new(),
             warmup: SimDuration::from_millis(300),
             measure: SimDuration::from_millis(1500),
             seed: 0x6A65_7473,
         }
+    }
+
+    /// Appends a deployment's tenants to the profiled workload and
+    /// builds their engines eagerly (served from the process-wide engine
+    /// cache), so configuration errors surface here rather than in
+    /// [`DualPhaseProfiler::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::Deployment`] when a tenant's engine fails
+    /// to build.
+    pub fn deployment(mut self, deployment: &Deployment) -> Result<Self, ProfileError> {
+        for tenant in deployment.tenants() {
+            self.platform
+                .build_engine(tenant.model(), tenant.precision(), tenant.batch())
+                .map_err(|source| DeploymentError::Build {
+                    label: tenant.label(),
+                    source,
+                })?;
+            self.deployment = self.deployment.tenant(tenant.clone());
+        }
+        Ok(self)
     }
 
     /// Adds `processes` concurrent instances of `model` at the given
@@ -108,18 +166,18 @@ impl DualPhaseProfiler {
     /// # Errors
     ///
     /// Propagates engine-build failures.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `deployment(&Deployment::homogeneous(model, precision, batch, processes))`"
+    )]
     pub fn workload(
-        mut self,
+        self,
         model: &ModelGraph,
         precision: Precision,
         batch: u32,
         processes: u32,
     ) -> Result<Self, ProfileError> {
-        let engine = self.platform.build_engine(model, precision, batch)?;
-        for _ in 0..processes {
-            self.engines.push(Arc::clone(&engine));
-        }
-        Ok(self)
+        self.deployment(&Deployment::homogeneous(model, precision, batch, processes))
     }
 
     /// Sets the warmup interval for both phases.
@@ -140,16 +198,14 @@ impl DualPhaseProfiler {
         self
     }
 
-    fn config(&self, mode: ProfilerMode) -> Result<SimConfig, SimError> {
-        let mut builder = SimConfig::builder(self.platform.device().clone())
+    fn config(&self, mode: ProfilerMode) -> Result<SimConfig, ProfileError> {
+        let builder = SimConfig::builder(self.platform.device().clone())
             .warmup(self.warmup)
             .measure(self.measure)
             .seed(self.seed)
             .profiler(mode);
-        for engine in &self.engines {
-            builder = builder.add_engine(Arc::clone(engine));
-        }
-        builder.build()
+        let builder = self.deployment.add_to_config(&self.platform, builder)?;
+        Ok(builder.build()?)
     }
 
     /// Runs both phases and assembles the combined profile.
@@ -169,9 +225,11 @@ impl DualPhaseProfiler {
         } else {
             0.0
         };
+        let tenants = TenantMetrics::from_trace(&phase1, &self.deployment);
         Ok(WorkloadProfile {
             device_name: self.platform.name().to_string(),
-            processes: self.engines.len() as u32,
+            processes: self.deployment.total_processes(),
+            tenants,
             soc,
             kernel,
             phase1_trace: phase1,
@@ -199,6 +257,9 @@ pub struct WorkloadProfile {
     pub device_name: String,
     /// Number of concurrent processes.
     pub processes: u32,
+    /// Per-tenant breakdown of the phase-1 trace, in deployment order
+    /// (one entry for a homogeneous workload).
+    pub tenants: Vec<TenantMetrics>,
     /// Phase-1 SoC/GPU-level report (unperturbed throughput/power).
     pub soc: JetsonStatsReport,
     /// Phase-2 kernel-level report (collected under intrusion).
@@ -231,18 +292,30 @@ impl fmt::Display for WorkloadProfile {
             "phase 2 (intrusion {:.0}%): {}",
             self.intrusion * 100.0,
             self.kernel
-        )
+        )?;
+        if self.tenants.len() > 1 {
+            for tenant in &self.tenants {
+                write!(f, "\n  {tenant}")?;
+            }
+        }
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::deployment::Tenant;
     use jetsim_dnn::zoo;
 
     fn quick_profile(procs: u32) -> WorkloadProfile {
         DualPhaseProfiler::new(&Platform::orin_nano())
-            .workload(&zoo::resnet50(), Precision::Int8, 1, procs)
+            .deployment(&Deployment::homogeneous(
+                &zoo::resnet50(),
+                Precision::Int8,
+                1,
+                procs,
+            ))
             .unwrap()
             .warmup(SimDuration::from_millis(150))
             .measure(SimDuration::from_millis(700))
@@ -269,16 +342,68 @@ mod tests {
     #[test]
     fn oom_deployment_is_an_error() {
         let result = DualPhaseProfiler::new(&Platform::jetson_nano())
-            .workload(&zoo::fcn_resnet50(), Precision::Fp16, 1, 4)
+            .deployment(&Deployment::homogeneous(
+                &zoo::fcn_resnet50(),
+                Precision::Fp16,
+                1,
+                4,
+            ))
             .unwrap()
             .run();
         assert!(matches!(result, Err(ProfileError::Sim(_))), "{result:?}");
     }
 
     #[test]
+    fn mixed_deployment_profiles_per_tenant() {
+        let mixed = Deployment::new()
+            .tenant(Tenant::new(zoo::resnet50(), Precision::Int8, 1))
+            .tenant(Tenant::new(zoo::yolov8n(), Precision::Fp16, 4));
+        let profile = DualPhaseProfiler::new(&Platform::orin_nano())
+            .deployment(&mixed)
+            .unwrap()
+            .warmup(SimDuration::from_millis(150))
+            .measure(SimDuration::from_millis(700))
+            .run()
+            .unwrap();
+        assert_eq!(profile.processes, 2);
+        assert_eq!(profile.tenants.len(), 2);
+        assert_eq!(profile.tenants[0].label, "resnet50:int8:b1");
+        assert_eq!(profile.tenants[1].label, "yolov8n:fp16:b4");
+        let total: f64 = profile.tenants.iter().map(|t| t.throughput).sum();
+        assert!((total - profile.soc.throughput).abs() < 1e-9);
+        let text = format!("{profile}");
+        assert!(
+            text.contains("resnet50:int8:b1") && text.contains("yolov8n:fp16:b4"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_workload_shim_matches_deployment() {
+        // Satellite contract: `workload(...)` must stay a working shim
+        // over `Deployment::homogeneous` during the migration window.
+        let via_shim = DualPhaseProfiler::new(&Platform::orin_nano())
+            .workload(&zoo::resnet50(), Precision::Int8, 1, 2)
+            .unwrap()
+            .warmup(SimDuration::from_millis(150))
+            .measure(SimDuration::from_millis(700))
+            .run()
+            .unwrap();
+        let via_deployment = quick_profile(2);
+        assert_eq!(via_shim.soc.throughput, via_deployment.soc.throughput);
+        assert_eq!(via_shim.tenants, via_deployment.tenants);
+    }
+
+    #[test]
     fn phase1_only_runs() {
         let (report, trace) = DualPhaseProfiler::new(&Platform::orin_nano())
-            .workload(&zoo::yolov8n(), Precision::Int8, 1, 1)
+            .deployment(&Deployment::homogeneous(
+                &zoo::yolov8n(),
+                Precision::Int8,
+                1,
+                1,
+            ))
             .unwrap()
             .warmup(SimDuration::from_millis(100))
             .measure(SimDuration::from_millis(500))

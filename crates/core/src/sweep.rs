@@ -14,6 +14,7 @@ use jetsim_profile::JetsonStatsReport;
 use jetsim_sim::{FaultPlan, ProfilerMode, SimConfig, SimError, Simulation};
 use jetsim_trt::{Engine, EngineBuilder};
 
+use crate::deployment::{Deployment, Tenant, TenantMetrics};
 use crate::platform::Platform;
 
 /// Supervision policy for a sweep: what the runner does when a cell
@@ -283,6 +284,68 @@ impl SweepSpec {
         cells
     }
 
+    /// Runs one heterogeneous [`Deployment`] as a single supervised cell
+    /// with the inert default policy. Equivalent to
+    /// [`SweepSpec::run_deployment_supervised`] with
+    /// [`SupervisorPolicy::default`].
+    pub fn run_deployment(&self, platform: &Platform, deployment: &Deployment) -> SweepCell {
+        self.run_deployment_supervised(platform, deployment, &SupervisorPolicy::default())
+    }
+
+    /// Runs one heterogeneous [`Deployment`] under a
+    /// [`SupervisorPolicy`], with the same isolation guarantees as a
+    /// grid cell: panics are caught, OOM deployments are degraded
+    /// (largest tenant batch halves first, then the busiest tenant
+    /// sheds an instance), budget overruns abort cleanly.
+    ///
+    /// The returned [`SweepCell`] keys the deployment by its canonical
+    /// label ([`Deployment::label`]); `precision` is the first tenant's,
+    /// `batch` is the largest tenant batch, and `processes` is the total
+    /// across tenants. Chaos injections match on that `(batch,
+    /// processes)` pair. A homogeneous deployment reproduces the
+    /// corresponding grid cell's metrics byte-for-byte — the seed
+    /// derivation folds per tenant and reduces exactly to the grid
+    /// formula for one tenant.
+    pub fn run_deployment_supervised(
+        &self,
+        platform: &Platform,
+        deployment: &Deployment,
+        policy: &SupervisorPolicy,
+    ) -> SweepCell {
+        let device = platform.name().to_string();
+        if deployment.is_empty() {
+            return SweepCell {
+                model: "(empty)".to_string(),
+                device,
+                precision: Precision::Fp32,
+                batch: 0,
+                processes: 0,
+                outcome: CellOutcome::SimFailed("empty deployment".to_string()),
+            };
+        }
+        let batch = deployment
+            .tenants()
+            .iter()
+            .map(Tenant::batch)
+            .max()
+            .unwrap_or(1);
+        let procs = deployment.total_processes();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            self.supervise_deployment(platform, deployment, (batch, procs), policy)
+        }))
+        .unwrap_or_else(|payload| CellOutcome::Panicked {
+            message: panic_message(payload),
+        });
+        SweepCell {
+            model: deployment.label(),
+            device,
+            precision: deployment.tenants()[0].precision(),
+            batch,
+            processes: procs,
+            outcome,
+        }
+    }
+
     fn run_cell(
         &self,
         platform: &Platform,
@@ -292,12 +355,16 @@ impl SweepSpec {
         procs: u32,
         policy: &SupervisorPolicy,
     ) -> SweepCell {
-        // Panic isolation: a cell that panics (chaos-injected or a real
-        // bug in the model/simulator for one parameter combination) must
-        // not take down the sweep worker — the other cells of the grid
-        // still complete and the casualty is reported in place.
+        // A grid cell is the one-tenant deployment — there is exactly
+        // one execution path whether the workload is homogeneous or
+        // mixed. Panic isolation: a cell that panics (chaos-injected or
+        // a real bug in the model/simulator for one parameter
+        // combination) must not take down the sweep worker — the other
+        // cells of the grid still complete and the casualty is reported
+        // in place.
+        let deployment = Deployment::homogeneous(model, precision, batch, procs);
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            self.supervise_cell(platform, model, precision, batch, procs, policy)
+            self.supervise_deployment(platform, &deployment, (batch, procs), policy)
         }))
         .unwrap_or_else(|payload| CellOutcome::Panicked {
             message: panic_message(payload),
@@ -312,20 +379,21 @@ impl SweepSpec {
         }
     }
 
-    /// Runs one cell with retry-with-degradation: an OOM outcome is
-    /// retried at the next-lower batch (halving), then at fewer
-    /// processes, until it fits or the retry budget runs out. The
+    /// Runs one deployment with retry-with-degradation: an OOM outcome
+    /// is retried with the largest tenant batch halved, then with an
+    /// instance shed from the tenant running the most, until it fits or
+    /// the retry budget runs out. For a single tenant this is exactly
+    /// the classic chain (halve the batch, then drop processes). The
     /// returned outcome always keys on the cell's *original* grid
     /// coordinates; a degraded success records where it finally ran.
-    fn supervise_cell(
+    fn supervise_deployment(
         &self,
         platform: &Platform,
-        model: &ModelGraph,
-        precision: Precision,
-        batch: u32,
-        procs: u32,
+        deployment: &Deployment,
+        grid_coords: (u32, u32),
         policy: &SupervisorPolicy,
     ) -> CellOutcome {
+        let (batch, procs) = grid_coords;
         if policy.chaos.iter().any(|c| {
             matches!(c, CellChaos::PanicOn { batch: b, processes: p }
                      if *b == batch && *p == procs)
@@ -333,38 +401,29 @@ impl SweepSpec {
             panic!("chaos: injected panic at b{batch} p{procs}");
         }
         let mut attempts: Vec<String> = Vec::new();
-        let mut cur_batch = batch;
-        let mut cur_procs = procs;
+        let mut current = deployment.clone();
         let mut retries_left = policy.max_retries;
         loop {
-            let outcome = self.try_cell(
-                platform,
-                model,
-                precision,
-                cur_batch,
-                cur_procs,
-                (batch, procs),
-                policy,
-                &mut attempts,
-            );
+            let outcome =
+                self.try_deployment(platform, &current, grid_coords, policy, &mut attempts);
             match outcome {
-                CellOutcome::OutOfMemory { .. }
-                    if retries_left > 0 && (cur_batch > 1 || cur_procs > 1) =>
-                {
-                    attempts.push(format!("b{cur_batch}p{cur_procs}: OOM"));
+                CellOutcome::OutOfMemory { .. } if retries_left > 0 => {
+                    let Some(degraded) = degrade_deployment(&current) else {
+                        return outcome;
+                    };
+                    attempts.push(oom_attempt_tag(&current));
                     retries_left -= 1;
-                    if cur_batch > 1 {
-                        cur_batch /= 2;
-                    } else {
-                        cur_procs -= 1;
-                    }
+                    current = degraded;
                 }
-                CellOutcome::Ok(metrics) if (cur_batch, cur_procs) != (batch, procs) => {
+                CellOutcome::Ok(metrics)
+                    if deployment_coords(&current) != deployment_coords(deployment) =>
+                {
+                    let (final_batch, final_processes) = deployment_coords(&current);
                     return CellOutcome::Degraded {
                         metrics,
                         attempts,
-                        final_batch: cur_batch,
-                        final_processes: cur_procs,
+                        final_batch,
+                        final_processes,
                     };
                 }
                 other => return other,
@@ -372,48 +431,51 @@ impl SweepSpec {
         }
     }
 
-    /// Derives the per-cell RNG seed. Every grid coordinate — including
-    /// the precision, which the previous xor-shift scheme dropped, making
-    /// e.g. `(int8, b4, p2)` and `(fp16, b4, p2)` share one seed — feeds
-    /// a splitmix64 finalizer so neighbouring cells get uncorrelated
-    /// streams.
-    fn cell_seed(&self, precision: Precision, batch: u32, procs: u32) -> u64 {
-        splitmix64(
-            self.seed
-                ^ ((precision as u64) << 40)
-                ^ (u64::from(batch) << 8)
-                ^ (u64::from(procs) << 20),
-        )
+    /// Derives the deployment's RNG seed by folding every tenant's
+    /// coordinates — precision, batch, instance count — through a
+    /// splitmix64 finalizer. (The previous xor-shift scheme dropped the
+    /// precision, making e.g. `(int8, b4, p2)` and `(fp16, b4, p2)`
+    /// share one seed.) A single tenant reduces to exactly the classic
+    /// per-cell formula, so homogeneous deployments reproduce grid
+    /// cells byte-for-byte; tenant *order* feeds the fold, so the seed
+    /// respects the deployment's identity, not just its multiset.
+    fn deployment_seed(&self, deployment: &Deployment) -> u64 {
+        deployment.tenants().iter().fold(self.seed, |seed, t| {
+            splitmix64(
+                seed ^ ((t.precision() as u64) << 40)
+                    ^ (u64::from(t.batch()) << 8)
+                    ^ (u64::from(t.instances()) << 20),
+            )
+        })
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn try_cell(
+    fn try_deployment(
         &self,
         platform: &Platform,
-        model: &ModelGraph,
-        precision: Precision,
-        batch: u32,
-        procs: u32,
+        deployment: &Deployment,
         grid_coords: (u32, u32),
         policy: &SupervisorPolicy,
         attempts: &mut Vec<String>,
     ) -> CellOutcome {
-        let engine = match self.build_cell_engine(
-            platform,
-            model,
-            precision,
-            batch,
-            grid_coords,
-            policy,
-            attempts,
-        ) {
-            Ok(engine) => engine,
-            Err(outcome) => return outcome,
-        };
+        let mut engines: Vec<Arc<Engine>> = Vec::with_capacity(deployment.len());
+        for tenant in deployment.tenants() {
+            match self.build_cell_engine(
+                platform,
+                tenant.model(),
+                tenant.precision(),
+                tenant.batch(),
+                grid_coords,
+                policy,
+                attempts,
+            ) {
+                Ok(engine) => engines.push(engine),
+                Err(outcome) => return outcome,
+            }
+        }
         let mut builder = SimConfig::builder(platform.device().clone())
             .warmup(self.warmup)
             .measure(self.measure)
-            .seed(self.cell_seed(precision, batch, procs))
+            .seed(self.deployment_seed(deployment))
             .record_kernel_events(false)
             .profiler(ProfilerMode::Lightweight);
         if !policy.faults.is_empty() {
@@ -422,7 +484,13 @@ impl SweepSpec {
         if let Some(budget) = policy.event_budget {
             builder = builder.event_budget(budget);
         }
-        builder = builder.add_engines(&engine, procs);
+        for (tenant, engine) in deployment.tenants().iter().zip(&engines) {
+            let label = tenant.label();
+            for instance in 0..tenant.instances() {
+                builder =
+                    builder.add_engine_named(format!("{label}/{instance}"), Arc::clone(engine));
+            }
+        }
         match builder.build() {
             Ok(config) => {
                 let trace = Simulation::new(config).expect("validated").run();
@@ -445,6 +513,7 @@ impl SweepSpec {
                     mean_blocking_ms: mean_ms(&trace, |p| p.mean_blocking_time),
                     mean_sync_ms: mean_ms(&trace, |p| p.mean_sync_time),
                     final_gpu_freq_mhz: report.final_gpu_freq_mhz,
+                    tenants: TenantMetrics::from_trace(&trace, deployment),
                 })
             }
             Err(SimError::OutOfMemory {
@@ -462,7 +531,7 @@ impl SweepSpec {
     /// (chaos-injected or real) up to the policy's retry cap. Chaos
     /// matches on the cell's original grid coordinates so degraded
     /// retries of an OOM cell do not re-trigger it.
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments, clippy::result_large_err)]
     fn build_cell_engine(
         &self,
         platform: &Platform,
@@ -515,6 +584,76 @@ impl SweepSpec {
         Err(CellOutcome::BuildFailed(
             last_err.expect("retry loop ran at least once").to_string(),
         ))
+    }
+}
+
+/// The degradation coordinates of a deployment: (largest tenant batch,
+/// total processes). For a single tenant these are its `(batch, count)`.
+fn deployment_coords(deployment: &Deployment) -> (u32, u32) {
+    let batch = deployment
+        .tenants()
+        .iter()
+        .map(Tenant::batch)
+        .max()
+        .unwrap_or(0);
+    (batch, deployment.total_processes())
+}
+
+/// One step down the degradation ladder: halve the largest tenant batch
+/// while any batch exceeds 1, otherwise shed one instance from the
+/// tenant running the most (dropping the tenant entirely when its last
+/// instance goes). Returns `None` when the deployment is already at
+/// `b1` × one process — nothing left to shed. For a single tenant this
+/// is exactly the paper-era chain: halve the batch, then drop
+/// processes.
+fn degrade_deployment(deployment: &Deployment) -> Option<Deployment> {
+    let tenants = deployment.tenants();
+    let max_batch = tenants.iter().map(Tenant::batch).max()?;
+    if max_batch > 1 {
+        let victim = tenants.iter().position(|t| t.batch() == max_batch)?;
+        let rebuilt = tenants
+            .iter()
+            .enumerate()
+            .fold(Deployment::new(), |d, (i, t)| {
+                let batch = if i == victim {
+                    t.batch() / 2
+                } else {
+                    t.batch()
+                };
+                d.tenant(Tenant::new(t.model().clone(), t.precision(), batch).count(t.instances()))
+            });
+        return Some(rebuilt);
+    }
+    if deployment.total_processes() <= 1 {
+        return None;
+    }
+    let max_count = tenants.iter().map(Tenant::instances).max()?;
+    let victim = tenants.iter().position(|t| t.instances() == max_count)?;
+    let rebuilt = tenants
+        .iter()
+        .enumerate()
+        .fold(Deployment::new(), |d, (i, t)| {
+            let count = if i == victim {
+                t.instances() - 1
+            } else {
+                t.instances()
+            };
+            if count == 0 {
+                d
+            } else {
+                d.tenant(Tenant::new(t.model().clone(), t.precision(), t.batch()).count(count))
+            }
+        });
+    Some(rebuilt)
+}
+
+/// The degradation-chain tag for an OOM attempt. Single-tenant
+/// deployments keep the classic `b{B}p{P}: OOM` form; mixed deployments
+/// tag with their canonical label.
+fn oom_attempt_tag(deployment: &Deployment) -> String {
+    match deployment.tenants() {
+        [t] => format!("b{}p{}: OOM", t.batch(), t.instances()),
+        _ => format!("{}: OOM", deployment.label()),
     }
 }
 
@@ -581,6 +720,10 @@ pub struct CellMetrics {
     pub mean_sync_ms: f64,
     /// GPU frequency after DVFS settled, MHz.
     pub final_gpu_freq_mhz: u32,
+    /// Per-tenant breakdown, in deployment order. A homogeneous grid
+    /// cell has exactly one entry; a mixed deployment gets one per
+    /// tenant, keyed by the tenant's canonical label.
+    pub tenants: Vec<TenantMetrics>,
 }
 
 /// What happened to one cell of the grid.
@@ -964,9 +1107,124 @@ mod tests {
     #[test]
     fn cell_seeds_depend_on_every_coordinate() {
         let spec = SweepSpec::new();
-        let base = spec.cell_seed(Precision::Int8, 4, 2);
-        assert_ne!(base, spec.cell_seed(Precision::Fp16, 4, 2), "precision");
-        assert_ne!(base, spec.cell_seed(Precision::Int8, 8, 2), "batch");
-        assert_ne!(base, spec.cell_seed(Precision::Int8, 4, 4), "processes");
+        let model = zoo::resnet50();
+        let seed = |p, b, n| spec.deployment_seed(&Deployment::homogeneous(&model, p, b, n));
+        let base = seed(Precision::Int8, 4, 2);
+        assert_ne!(base, seed(Precision::Fp16, 4, 2), "precision");
+        assert_ne!(base, seed(Precision::Int8, 8, 2), "batch");
+        assert_ne!(base, seed(Precision::Int8, 4, 4), "processes");
+        // The legacy single-cell formula is the one-tenant fold.
+        let legacy =
+            splitmix64(spec.seed ^ ((Precision::Int8 as u64) << 40) ^ (4u64 << 8) ^ (2u64 << 20));
+        assert_eq!(base, legacy, "homogeneous fold reduces to the grid formula");
+    }
+
+    #[test]
+    fn deployment_seed_depends_on_tenant_order() {
+        let spec = SweepSpec::new();
+        let a = Tenant::new(zoo::resnet50(), Precision::Int8, 1);
+        let b = Tenant::new(zoo::yolov8n(), Precision::Fp16, 4);
+        let ab = Deployment::new().tenant(a.clone()).tenant(b.clone());
+        let ba = Deployment::new().tenant(b).tenant(a);
+        assert_ne!(spec.deployment_seed(&ab), spec.deployment_seed(&ba));
+    }
+
+    #[test]
+    fn homogeneous_deployment_matches_grid_cell_bytes() {
+        // The acceptance bar for the refactor: running a one-tenant
+        // deployment through the deployment path produces byte-identical
+        // metrics to the same cell of a classic grid sweep.
+        let spec = fast_spec()
+            .precisions([Precision::Int8])
+            .batches([4])
+            .process_counts([2]);
+        let platform = Platform::orin_nano();
+        let model = zoo::resnet50();
+        let grid = spec.run(&platform, &model);
+        let deployment = Deployment::homogeneous(&model, Precision::Int8, 4, 2);
+        let cell = spec.run_deployment(&platform, &deployment);
+        assert_eq!(cell.model, "resnet50:int8:b4x2");
+        assert_eq!((cell.batch, cell.processes), (4, 2));
+        let json = |o: &CellOutcome| serde_json::to_string(o).expect("serializable");
+        assert_eq!(json(&grid[0].outcome), json(&cell.outcome));
+    }
+
+    #[test]
+    fn mixed_deployment_reports_per_tenant_metrics() {
+        let spec = fast_spec();
+        let deployment = Deployment::new()
+            .tenant(Tenant::new(zoo::resnet50(), Precision::Int8, 1).count(2))
+            .tenant(Tenant::new(zoo::yolov8n(), Precision::Fp16, 4));
+        let cell = spec.run_deployment(&Platform::orin_nano(), &deployment);
+        assert_eq!(cell.model, "resnet50:int8:b1x2+yolov8n:fp16:b4");
+        assert_eq!(cell.batch, 4, "largest tenant batch");
+        assert_eq!(cell.processes, 3, "total across tenants");
+        let metrics = cell.outcome.metrics().expect("deployment fits");
+        assert_eq!(metrics.tenants.len(), 2);
+        assert_eq!(metrics.tenants[0].label, "resnet50:int8:b1");
+        assert_eq!(metrics.tenants[0].processes, 2);
+        assert_eq!(metrics.tenants[1].label, "yolov8n:fp16:b4");
+        assert_eq!(metrics.tenants[1].processes, 1);
+        let total: f64 = metrics.tenants.iter().map(|t| t.throughput).sum();
+        assert!(
+            (total - metrics.throughput).abs() < 1e-9,
+            "tenant throughputs sum to the aggregate"
+        );
+    }
+
+    #[test]
+    fn empty_deployment_is_rejected_not_fatal() {
+        let cell = SweepSpec::new().run_deployment(&Platform::orin_nano(), &Deployment::new());
+        assert!(
+            matches!(&cell.outcome, CellOutcome::SimFailed(e) if e.contains("empty")),
+            "{:?}",
+            cell.outcome
+        );
+    }
+
+    #[test]
+    fn oversized_mixed_deployment_degrades_tenant_by_tenant() {
+        // Two FCN tenants on the Nano cannot fit; the supervisor halves
+        // the largest batch first, then sheds instances from the
+        // busiest tenant, and the attempts chain uses deployment labels.
+        let spec = fast_spec();
+        let deployment = Deployment::new()
+            .tenant(Tenant::new(zoo::fcn_resnet50(), Precision::Fp16, 2).count(2))
+            .tenant(Tenant::new(zoo::fcn_resnet50(), Precision::Fp16, 1).count(2));
+        let policy = SupervisorPolicy::new().max_retries(6);
+        let cell = spec.run_deployment_supervised(&Platform::jetson_nano(), &deployment, &policy);
+        match &cell.outcome {
+            CellOutcome::Degraded {
+                attempts,
+                final_batch,
+                final_processes,
+                metrics,
+            } => {
+                assert!(!attempts.is_empty());
+                assert!(
+                    attempts[0].contains("fcn_resnet50") && attempts[0].contains("OOM"),
+                    "{attempts:?}"
+                );
+                assert!(*final_batch <= 2);
+                assert!(*final_processes < 4);
+                assert!(metrics.throughput >= 0.0);
+            }
+            CellOutcome::Ok(_) => panic!("expected the deployment to degrade"),
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+        // The cell keeps the deployment's original coordinates.
+        assert_eq!((cell.batch, cell.processes), (2, 4));
+    }
+
+    #[test]
+    fn degradation_ladder_reduces_to_the_classic_chain() {
+        let d = Deployment::homogeneous(&zoo::resnet50(), Precision::Int8, 4, 2);
+        let d = degrade_deployment(&d).expect("b4 halves");
+        assert_eq!(deployment_coords(&d), (2, 2));
+        let d = degrade_deployment(&d).expect("b2 halves");
+        assert_eq!(deployment_coords(&d), (1, 2));
+        let d = degrade_deployment(&d).expect("p2 sheds");
+        assert_eq!(deployment_coords(&d), (1, 1));
+        assert!(degrade_deployment(&d).is_none(), "b1p1 is the floor");
     }
 }

@@ -115,6 +115,46 @@ fn model_file_loads() {
 }
 
 #[test]
+fn tenant_flags_run_a_heterogeneous_deployment() {
+    let out = trtexec(&[
+        "--tenant=resnet50:int8:1:2",
+        "--tenant=yolov8n:fp16:4",
+        "--duration=0.5",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("=== Deployment ==="), "{stdout}");
+    assert!(
+        stdout.contains("resnet50:int8:b1x2+yolov8n:fp16:b4"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("resnet50:int8:b1/0"), "{stdout}");
+    assert!(stdout.contains("resnet50:int8:b1/1"), "{stdout}");
+    assert!(stdout.contains("yolov8n:fp16:b4/0"), "{stdout}");
+    assert!(stdout.contains("Per-Tenant Summary"), "{stdout}");
+}
+
+#[test]
+fn tenant_flag_rejects_workload_flags() {
+    let out = trtexec(&["--tenant=resnet50:int8:1", "--model=resnet50"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot be combined"), "{stderr}");
+}
+
+#[test]
+fn bad_tenant_spec_fails_cleanly() {
+    let out = trtexec(&["--tenant=nonesuch:int8:1"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad tenant spec"), "{stderr}");
+}
+
+#[test]
 fn streams_flag_creates_stream_contexts() {
     let out = trtexec(&[
         "--model=resnet50",

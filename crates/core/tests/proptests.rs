@@ -2,6 +2,7 @@
 
 use proptest::prelude::*;
 
+use jetsim::deployment::{Deployment, Tenant};
 use jetsim::report::{fmt_num, Table};
 
 fn arb_cell() -> impl Strategy<Value = String> {
@@ -79,5 +80,76 @@ proptest! {
             .batches((1..=nb as u32).collect::<Vec<_>>())
             .process_counts((1..=nn as u32).collect::<Vec<_>>());
         prop_assert_eq!(spec.cells(), np * nb * nn);
+    }
+
+    /// `Tenant::parse` round-trips the canonical label grammar for
+    /// every zoo model × precision × batch × count combination.
+    #[test]
+    fn tenant_spec_round_trips(
+        model_idx in 0usize..7,
+        precision_idx in 0usize..4,
+        batch in 1u32..64,
+        count in 1u32..9,
+    ) {
+        use jetsim_dnn::{zoo, Precision};
+        let models = [
+            zoo::resnet50(), zoo::fcn_resnet50(), zoo::yolov8n(),
+            zoo::resnet18(), zoo::resnet34(), zoo::resnet101(),
+            zoo::mobilenet_v2(),
+        ];
+        let model = &models[model_idx];
+        let precision = Precision::ALL[precision_idx];
+        let spec = format!("{}:{}:{}:{}", model.name(), precision, batch, count);
+        let tenant = Tenant::parse(&spec).expect("canonical spec parses");
+        prop_assert_eq!(tenant.model().name(), model.name());
+        prop_assert_eq!(tenant.precision(), precision);
+        prop_assert_eq!(tenant.batch(), batch);
+        prop_assert_eq!(tenant.instances(), count);
+        // The label regenerates the spec's model:precision:bBATCH head.
+        prop_assert_eq!(
+            tenant.label(),
+            format!("{}:{}:b{}", model.name(), precision, batch)
+        );
+    }
+}
+
+// Simulation-backed equivalence checks run far fewer cases: each case
+// is two full DES runs.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// THE refactor invariant: a single-tenant [`Deployment`] routed
+    /// through the deployment entry point reproduces the classic
+    /// homogeneous grid cell byte-for-byte — same seed derivation, same
+    /// processes, same metrics.
+    #[test]
+    fn single_tenant_deployment_matches_legacy_grid_cell(
+        precision_idx in 0usize..2,
+        batch_pow in 0u32..3,
+        procs in 1u32..4,
+    ) {
+        use jetsim::{Platform, SweepSpec};
+        use jetsim_des::SimDuration;
+        use jetsim_dnn::{zoo, Precision};
+
+        let precision = [Precision::Int8, Precision::Fp16][precision_idx];
+        let batch = 1u32 << batch_pow;
+        let spec = SweepSpec::new()
+            .warmup(SimDuration::from_millis(80))
+            .measure(SimDuration::from_millis(250))
+            .precisions([precision])
+            .batches([batch])
+            .process_counts([procs]);
+        let platform = Platform::orin_nano();
+        let model = zoo::yolov8n();
+        let grid = spec.run(&platform, &model);
+        prop_assert_eq!(grid.len(), 1);
+        let deployment = Deployment::homogeneous(&model, precision, batch, procs);
+        let cell = spec.run_deployment(&platform, &deployment);
+        let grid_json = serde_json::to_string(&grid[0].outcome).expect("serializable");
+        let cell_json = serde_json::to_string(&cell.outcome).expect("serializable");
+        prop_assert_eq!(grid_json, cell_json);
+        prop_assert_eq!(cell.processes, procs);
+        prop_assert_eq!(cell.batch, batch);
     }
 }

@@ -40,10 +40,18 @@ pub fn to_chrome_trace(trace: &RunTrace) -> String {
             out.push_str(",\n");
         }
         first = false;
+        // The process NAME carries tenant identity for heterogeneous
+        // deployments ("resnet50:int8:b1/0"); fall back to the engine
+        // name when the two coincide ("p0" era traces).
+        let label = if stats.name.contains(':') {
+            format!("{} [{}]", stats.name, stats.engine_name)
+        } else {
+            stats.engine_name.clone()
+        };
         write!(
             out,
             "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"args\":{{\"name\":\"{}\"}}}}",
-            escape(&stats.engine_name)
+            escape(&label)
         )
         .expect("write to String");
     }

@@ -222,7 +222,11 @@ impl GpuEngine {
         // longer than a governor window are charged to every window they
         // span.
         let kernel = &ctx.procs[pid].engine.kernels()[kernel_index];
-        let coef = ctx.config.device.power.precision_coefficient(kernel.precision);
+        let coef = ctx
+            .config
+            .device
+            .power
+            .precision_coefficient(kernel.precision);
         let tc = kernel.tc_activity(gpu_arch, batch, self.freq_step);
         let exec_secs = exec.as_secs_f64();
         let work_fraction =
@@ -250,8 +254,7 @@ impl GpuEngine {
         let procs = &ctx.procs;
         let n = procs.len();
         if let Some(cur) = self.affinity {
-            let slice_ok =
-                now.saturating_since(self.slice_start) < ctx.config.device.gpu.timeslice;
+            let slice_ok = now.saturating_since(self.slice_start) < ctx.config.device.gpu.timeslice;
             let others_waiting = (0..n).any(|p| p != cur && !procs[p].ready.is_empty());
             if !procs[cur].ready.is_empty() && (slice_ok || !others_waiting) {
                 return Some(cur);

@@ -225,7 +225,14 @@ impl CpuSched {
     /// Submits a CPU burst for `pid`. If the thread already holds a core
     /// the burst continues within its quantum; otherwise it queues for
     /// one of the heavy cores.
-    fn rq_request(&mut self, pid: usize, now: SimTime, work: SimDuration, job: RqJob, ctx: &mut Ctx<'_>) {
+    fn rq_request(
+        &mut self,
+        pid: usize,
+        now: SimTime,
+        work: SimDuration,
+        job: RqJob,
+        ctx: &mut Ctx<'_>,
+    ) {
         let thread = &mut ctx.procs[pid].cpu;
         thread.job = job;
         thread.remaining = Some(work);
@@ -321,7 +328,14 @@ impl CpuSched {
 
     /// A running thread's grant ended: either its burst completed or its
     /// quantum expired.
-    fn rq_tick(&mut self, pid: usize, gen: u64, now: SimTime, ctx: &mut Ctx<'_>, gpu: &mut GpuEngine) {
+    fn rq_tick(
+        &mut self,
+        pid: usize,
+        gen: u64,
+        now: SimTime,
+        ctx: &mut Ctx<'_>,
+        gpu: &mut GpuEngine,
+    ) {
         {
             let thread = &ctx.procs[pid].cpu;
             if !ctx.alive[pid] || thread.state != RqState::Running || thread.gen != gen {

@@ -262,6 +262,21 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Adds one process with an explicit name (tenant-labelled
+    /// deployments; the default names are `p<N>`). The process runs in
+    /// saturated mode with its own memory group, exactly like
+    /// [`SimConfigBuilder::add_engine`].
+    pub fn add_engine_named(mut self, name: impl Into<String>, engine: Arc<Engine>) -> Self {
+        let group = self.processes.len();
+        self.processes.push(ProcessConfig {
+            name: name.into(),
+            engine,
+            arrivals: ArrivalModel::Saturated,
+            memory_group: group,
+        });
+        self
+    }
+
     /// Adds one process fed by the given arrival model (open-loop camera
     /// pipelines instead of `trtexec` saturation).
     pub fn add_engine_with_arrivals(mut self, engine: Arc<Engine>, arrivals: ArrivalModel) -> Self {

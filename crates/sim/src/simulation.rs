@@ -1,5 +1,5 @@
 //! The discrete-event simulation loop: a slim event router over the
-//! typed components in [`crate::components`].
+//! typed components in the crate-private `components` module.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -263,7 +263,8 @@ impl Runner {
                 Event::Sched(ev) => self.sched.handle(ev, now, &mut ctx!(self), &mut self.gpu),
                 Event::Gpu(ev) => self.gpu.handle(ev, now, &mut ctx!(self), &mut self.sched),
                 Event::Governor(ev) => {
-                    self.governor.handle(ev, now, &mut ctx!(self), &mut self.gpu)
+                    self.governor
+                        .handle(ev, now, &mut ctx!(self), &mut self.gpu)
                 }
                 Event::Memory(ev) => self.guard.handle(
                     ev,

@@ -393,7 +393,9 @@ fn golden_trace_parity() {
         assert_eq!(cell.id, id, "cell order drifted");
         let got = trace_hash(&cell.trace);
         if got != expected {
-            failures.push(format!("{id}: expected 0x{expected:016x}, got 0x{got:016x}"));
+            failures.push(format!(
+                "{id}: expected 0x{expected:016x}, got 0x{got:016x}"
+            ));
         }
     }
     assert!(

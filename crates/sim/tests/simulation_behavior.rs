@@ -268,9 +268,7 @@ fn ec_decomposition_parts_bounded_by_total() {
     .run();
     for records in &trace.ec_records {
         for r in records {
-            assert!(
-                r.launch_time + r.blocking_time <= r.duration() + SimDuration::from_micros(1)
-            );
+            assert!(r.launch_time + r.blocking_time <= r.duration() + SimDuration::from_micros(1));
         }
     }
 }
@@ -635,8 +633,7 @@ fn throttle_lock_pins_the_clock_low() {
         1,
     );
     let base = Simulation::new(config.clone()).unwrap().run();
-    config.faults =
-        FaultPlan::new().throttle_lock(SimTime::ZERO, SimDuration::from_secs(30), 0);
+    config.faults = FaultPlan::new().throttle_lock(SimTime::ZERO, SimDuration::from_secs(30), 0);
     let locked = Simulation::new(config).unwrap().run();
     assert!(
         locked.final_freq_mhz < base.final_freq_mhz,
@@ -667,8 +664,7 @@ fn throttle_lock_releases_and_governor_recovers() {
         1,
     );
     // Lock only the first 300 ms of a 1.2 s run.
-    config.faults =
-        FaultPlan::new().throttle_lock(SimTime::ZERO, SimDuration::from_millis(300), 0);
+    config.faults = FaultPlan::new().throttle_lock(SimTime::ZERO, SimDuration::from_millis(300), 0);
     let trace = Simulation::new(config).unwrap().run();
     assert!(trace
         .fault_events

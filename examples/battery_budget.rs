@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for platform in Platform::paper_platforms() {
         for precision in Precision::ALL {
             let (report, trace) = DualPhaseProfiler::new(&platform)
-                .workload(&zoo::resnet50(), precision, 4, 1)?
+                .deployment(&Deployment::homogeneous(&zoo::resnet50(), precision, 4, 1))?
                 .measure(SimDuration::from_secs(2))
                 .run_phase1()?;
             let hours = trace.battery_life_hours(PACK_WH).unwrap_or(0.0);

@@ -68,7 +68,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let nano = Platform::jetson_nano();
     for procs in [1u32, 2, 3, 4] {
         let result = DualPhaseProfiler::new(&nano)
-            .workload(&zoo::fcn_resnet50(), Precision::Fp16, 1, procs)?
+            .deployment(&Deployment::homogeneous(
+                &zoo::fcn_resnet50(),
+                Precision::Fp16,
+                1,
+                procs,
+            ))?
             // FCN ECs take ~700 ms each on the Nano; give slow
             // configurations enough window to complete a few.
             .measure(SimDuration::from_secs(4))

@@ -25,12 +25,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let measure = SimDuration::from_millis(1200);
     let edge = DualPhaseProfiler::new(&Platform::orin_nano())
-        .workload(&zoo::yolov8n(), Precision::Int8, 4, 1)?
+        .deployment(&Deployment::homogeneous(
+            &zoo::yolov8n(),
+            Precision::Int8,
+            4,
+            1,
+        ))?
         .measure(measure)
         .run_phase1()?
         .0;
     let cloud = DualPhaseProfiler::new(&Platform::cloud_a40())
-        .workload(&zoo::yolov8n(), Precision::Fp16, 16, 1)?
+        .deployment(&Deployment::homogeneous(
+            &zoo::yolov8n(),
+            Precision::Fp16,
+            16,
+            1,
+        ))?
         .measure(measure)
         .run_phase1()?
         .0;

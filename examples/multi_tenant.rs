@@ -1,65 +1,72 @@
 //! Multi-tenant edge box: heterogeneous models sharing one Jetson.
 //!
 //! The paper studies homogeneous concurrency (N copies of one model);
-//! real edge deployments mix tenants — a detector, a classifier and a
-//! segmenter sharing the GPU. This example profiles such a mix on the
-//! Orin Nano, shows who wins and who starves under kernel-granularity
-//! time multiplexing, and prints each tenant's tail latency.
+//! real edge deployments mix tenants — a detector and a classifier
+//! sharing the GPU. This example builds a first-class [`Deployment`]
+//! (two ResNet50 int8 classifiers + one YOLOv8n fp16 detector), runs it
+//! through the same dual-phase profiler the homogeneous experiments
+//! use, and prints each tenant's share of the box plus the supervised
+//! sweep view of the same deployment.
 //!
 //! ```sh
 //! cargo run --release --example multi_tenant
 //! ```
 
+use jetsim_lab::deployment::Tenant;
 use jetsim_lab::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let platform = Platform::orin_nano();
-    let tenants: [(&str, ModelGraph, Precision, u32); 3] = [
-        ("gate-camera detector", zoo::yolov8n(), Precision::Int8, 1),
-        ("shelf classifier", zoo::resnet50(), Precision::Int8, 4),
-        ("floor segmenter", zoo::fcn_resnet50(), Precision::Fp16, 1),
-    ];
-
-    let mut builder = SimConfig::builder(platform.device().clone())
-        .warmup(SimDuration::from_millis(500))
-        .measure(SimDuration::from_secs(3));
-    for (_, model, precision, batch) in &tenants {
-        let engine = platform.build_engine(model, *precision, *batch)?;
-        builder = builder.add_engine(engine);
-    }
-    let config = builder.build()?;
+    let deployment = Deployment::new()
+        .tenant(Tenant::new(zoo::resnet50(), Precision::Int8, 1).count(2))
+        .tenant(Tenant::new(zoo::yolov8n(), Precision::Fp16, 4));
     println!(
-        "deploying {} tenants on {} ({:.1}% GPU memory)\n",
-        tenants.len(),
+        "deploying {} tenants ({} processes) on {}: {}\n",
+        deployment.len(),
+        deployment.total_processes(),
         platform.name(),
-        platform
-            .device()
-            .memory
-            .gpu_percent(config.gpu_memory_bytes())
+        deployment.label(),
     );
 
-    let trace = Simulation::new(config)?.run();
-    println!("| tenant | engine | img/s | EC p50 | EC p95 | EC p99 | blocking/EC |");
-    println!("|---|---|---|---|---|---|---|");
-    for (stats, (label, ..)) in trace.processes.iter().zip(&tenants) {
+    // Phase 1 + phase 2 through the exact pipeline the homogeneous
+    // experiments use — a mixed deployment is not a special case.
+    let profile = DualPhaseProfiler::new(&platform)
+        .deployment(&deployment)?
+        .warmup(SimDuration::from_millis(300))
+        .measure(SimDuration::from_secs(2))
+        .run()?;
+
+    println!("| tenant | procs | img/s | T/P | EC mean | EC p99 |");
+    println!("|---|---|---|---|---|---|");
+    for t in &profile.tenants {
         println!(
-            "| {label} | {} | {:.1} | {} | {} | {} | {} |",
-            stats.engine_name,
-            stats.throughput,
-            stats.p50_ec_time,
-            stats.p95_ec_time,
-            stats.p99_ec_time,
-            stats.mean_blocking_time,
+            "| {} | {} | {:.1} | {:.1} | {:.2} ms | {:.2} ms |",
+            t.label, t.processes, t.throughput, t.throughput_per_process, t.mean_ec_ms, t.p99_ec_ms,
         );
     }
     println!(
-        "\nGPU {:.0}% busy at {:.2} W; aggregate {:.1} img/s",
-        trace.gpu_utilization() * 100.0,
-        trace.mean_power(),
-        trace.total_throughput()
+        "\nSoC view: {:.1} img/s aggregate at {:.2} W, GPU {:.0}% busy, mem {:.1}%",
+        profile.soc.throughput,
+        profile.soc.mean_power_w,
+        profile.soc.gpu_utilization_percent,
+        profile.soc.gpu_memory_percent,
     );
+    println!("bottleneck: {}", profile.analyze());
+
+    // The supervised sweep consumes the same Deployment value: one cell,
+    // degradation and fault isolation included.
+    let cell = SweepSpec::new()
+        .warmup(SimDuration::from_millis(300))
+        .measure(SimDuration::from_secs(1))
+        .run_deployment(&platform, &deployment);
+    println!("\nsweep cell: {cell}");
+    if let Some(metrics) = cell.outcome.metrics() {
+        for t in &metrics.tenants {
+            println!("  {t}");
+        }
+    }
     println!(
-        "the segmenter's long kernels stretch everyone's tail latency — \
+        "\nthe detector's longer kernels stretch the classifiers' tails — \
          kernel-granularity time multiplexing has no isolation (paper §2)."
     );
     Ok(())

@@ -16,7 +16,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("platform: {platform}\n");
 
     let profile = DualPhaseProfiler::new(&platform)
-        .workload(&zoo::resnet50(), Precision::Int8, 1, 1)?
+        .deployment(&Deployment::homogeneous(
+            &zoo::resnet50(),
+            Precision::Int8,
+            1,
+            1,
+        ))?
         .warmup(SimDuration::from_millis(300))
         .measure(SimDuration::from_secs(2))
         .run()?;

@@ -15,6 +15,7 @@
 //! ```
 
 pub use jetsim;
+pub use jetsim::deployment;
 pub use jetsim_des;
 pub use jetsim_device;
 pub use jetsim_dnn;

@@ -15,7 +15,7 @@ fn phase1(
     procs: u32,
 ) -> JetsonStatsReport {
     DualPhaseProfiler::new(platform)
-        .workload(model, precision, batch, procs)
+        .deployment(&Deployment::homogeneous(model, precision, batch, procs))
         .expect("engine builds")
         .warmup(SimDuration::from_millis(300))
         .measure(SimDuration::from_millis(1500))
@@ -260,7 +260,12 @@ fn anchor_sixteen_yolo_processes_exceed_35_percent_memory() {
 fn anchor_nsight_intrusion_near_half() {
     // Paper §4: the Nsight phase costs ~50% of throughput.
     let profile = DualPhaseProfiler::new(&Platform::orin_nano())
-        .workload(&zoo::resnet50(), Precision::Int8, 1, 1)
+        .deployment(&Deployment::homogeneous(
+            &zoo::resnet50(),
+            Precision::Int8,
+            1,
+            1,
+        ))
         .unwrap()
         .warmup(SimDuration::from_millis(200))
         .measure(SimDuration::from_millis(1000))
@@ -280,7 +285,12 @@ fn anchor_kernel_launch_in_paper_band() {
     let orin = Platform::orin_nano();
     let per_launch_us = |procs: u32| {
         let trace = DualPhaseProfiler::new(&orin)
-            .workload(&zoo::resnet50(), Precision::Int8, 1, procs)
+            .deployment(&Deployment::homogeneous(
+                &zoo::resnet50(),
+                Precision::Int8,
+                1,
+                procs,
+            ))
             .unwrap()
             .warmup(SimDuration::from_millis(200))
             .measure(SimDuration::from_millis(800))
@@ -302,7 +312,12 @@ fn anchor_blocking_interval_one_to_two_ms() {
     // Paper §7 observation 1: individual blocking intervals b_l are
     // typically 1–2 ms once oversubscribed.
     let trace = DualPhaseProfiler::new(&Platform::orin_nano())
-        .workload(&zoo::resnet50(), Precision::Int8, 1, 8)
+        .deployment(&Deployment::homogeneous(
+            &zoo::resnet50(),
+            Precision::Int8,
+            1,
+            8,
+        ))
         .unwrap()
         .warmup(SimDuration::from_millis(200))
         .measure(SimDuration::from_millis(800))

@@ -12,7 +12,12 @@ use jetsim_trt::{BuildError, EngineBuilder};
 fn full_pipeline_produces_consistent_views() {
     let platform = Platform::orin_nano();
     let profile = DualPhaseProfiler::new(&platform)
-        .workload(&zoo::yolov8n(), Precision::Int8, 2, 2)
+        .deployment(&Deployment::homogeneous(
+            &zoo::yolov8n(),
+            Precision::Int8,
+            2,
+            2,
+        ))
         .unwrap()
         .warmup(SimDuration::from_millis(200))
         .measure(SimDuration::from_millis(900))
@@ -59,7 +64,12 @@ fn full_pipeline_produces_consistent_views() {
 fn whole_stack_is_deterministic() {
     let run = || {
         DualPhaseProfiler::new(&Platform::jetson_nano())
-            .workload(&zoo::resnet50(), Precision::Fp16, 1, 2)
+            .deployment(&Deployment::homogeneous(
+                &zoo::resnet50(),
+                Precision::Fp16,
+                1,
+                2,
+            ))
             .unwrap()
             .warmup(SimDuration::from_millis(150))
             .measure(SimDuration::from_millis(600))
@@ -208,7 +218,12 @@ fn sweep_and_profiler_agree_on_throughput() {
         .run(&platform, &zoo::resnet50());
     let sweep_tput = cells[0].outcome.metrics().unwrap().throughput;
     let profiler_tput = DualPhaseProfiler::new(&platform)
-        .workload(&zoo::resnet50(), Precision::Int8, 1, 1)
+        .deployment(&Deployment::homogeneous(
+            &zoo::resnet50(),
+            Precision::Int8,
+            1,
+            1,
+        ))
         .unwrap()
         .warmup(SimDuration::from_millis(300))
         .measure(SimDuration::from_millis(1000))

@@ -146,7 +146,7 @@ fn obs_7_batch_stabilizes_ec() {
 fn obs_613_issue_slots_stall_on_every_model() {
     for model in zoo::all() {
         let profile = DualPhaseProfiler::new(&Platform::orin_nano())
-            .workload(&model, Precision::Fp16, 1, 1)
+            .deployment(&Deployment::homogeneous(&model, Precision::Fp16, 1, 1))
             .unwrap()
             .warmup(SimDuration::from_millis(150))
             .measure(SimDuration::from_millis(700))
@@ -161,7 +161,7 @@ fn obs_613_issue_slots_stall_on_every_model() {
 fn obs_614_tc_activity_does_not_imply_throughput() {
     let run = |model: &ModelGraph, precision| {
         DualPhaseProfiler::new(&Platform::orin_nano())
-            .workload(model, precision, 1, 1)
+            .deployment(&Deployment::homogeneous(model, precision, 1, 1))
             .unwrap()
             .warmup(SimDuration::from_millis(150))
             .measure(SimDuration::from_millis(700))

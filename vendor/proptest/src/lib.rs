@@ -251,7 +251,7 @@ pub mod collection {
     use super::{Strategy, TestRunner};
     use rand::Rng;
 
-    /// A length range for [`vec`].
+    /// A length range for [`vec()`].
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
@@ -286,7 +286,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
