@@ -1,0 +1,85 @@
+//! Emits `BENCH_serve.json`: tail latency and goodput of the online
+//! serving path at a pinned offered load, plus a capacity search.
+//!
+//! ```sh
+//! cargo run --release -p jetsim-bench --bin bench_serve
+//! ```
+//!
+//! Numbers are host-dependent; the checked-in `BENCH_serve.json` is a
+//! schema placeholder until regenerated on the target machine. Set
+//! `JETSIM_FAST=1` for a quick smoke run with shrunken windows.
+
+use std::time::Instant;
+
+use jetsim::prelude::*;
+use jetsim_des::ArrivalProcess;
+use jetsim_serve::{ServeSpec, ServeTenant};
+
+/// (warmup, duration, refine_iters) for the serving windows.
+fn windows() -> (SimDuration, SimDuration, u32) {
+    if std::env::var_os("JETSIM_FAST").is_some() {
+        (SimDuration::from_millis(200), SimDuration::from_secs(1), 3)
+    } else {
+        (SimDuration::from_millis(500), SimDuration::from_secs(5), 6)
+    }
+}
+
+fn spec(platform: &Platform, qps: f64) -> ServeSpec {
+    let (warmup, duration, _) = windows();
+    let tenant =
+        ServeTenant::parse_with_arrivals("resnet50:int8:1:2", ArrivalProcess::poisson(qps))
+            .expect("valid spec");
+    ServeSpec::new(platform.clone())
+        .tenant(tenant)
+        .warmup(warmup)
+        .duration(duration)
+        .slo(SimDuration::from_millis(50))
+        .seed(7)
+}
+
+fn main() -> std::io::Result<()> {
+    let platform = Platform::orin_nano();
+    let (_, _, refine_iters) = windows();
+
+    // Pinned-load run: the paper's "steady 200 req/s" operating point.
+    let pinned_qps = 200.0;
+    let start = Instant::now();
+    let report = spec(&platform, pinned_qps).run().expect("serving run");
+    let pinned_wall = start.elapsed().as_secs_f64();
+    let group = &report.groups[0];
+
+    // Capacity search on the same deployment.
+    let start = Instant::now();
+    let estimate = spec(&platform, pinned_qps)
+        .find_max_qps(0.95, refine_iters)
+        .expect("capacity search");
+    let search_wall = start.elapsed().as_secs_f64();
+
+    let json = serde_json::json!({
+        "bench": "serve",
+        "device": report.device,
+        "tenant": group.label,
+        "slo_ms": report.slo_ms,
+        "pinned_load": {
+            "offered_qps": pinned_qps,
+            "served_qps": group.served_qps,
+            "goodput_qps": group.goodput_qps,
+            "slo_attainment": group.slo_attainment,
+            "p50_ms": group.p50_ms,
+            "p95_ms": group.p95_ms,
+            "p99_ms": group.p99_ms,
+            "wall_s": pinned_wall,
+        },
+        "capacity": {
+            "target_attainment": estimate.target_attainment,
+            "max_qps": estimate.max_qps,
+            "probes": estimate.probes.len(),
+            "wall_s": search_wall,
+        },
+    });
+    let text = serde_json::to_string_pretty(&json).expect("serializable");
+    std::fs::write("BENCH_serve.json", &text)?;
+    println!("{text}");
+    println!("\nwritten to BENCH_serve.json");
+    Ok(())
+}

@@ -100,6 +100,15 @@ fn outcome_cell(cell: &SweepCell, f: fn(&CellMetrics) -> f64) -> String {
     }
 }
 
+/// The throughput column, through `CellOutcome::throughput`; cells that
+/// failed for any reason render as "OOM".
+fn throughput_cell(cell: &SweepCell) -> String {
+    cell.outcome
+        .throughput()
+        .map(fmt_num)
+        .unwrap_or_else(|| "OOM".to_string())
+}
+
 // ---------------------------------------------------------------- tables
 
 /// Table 1 — the evaluated edge GPUs.
@@ -170,7 +179,7 @@ pub fn fig01_batch_sweep() -> FigureResult {
         table.row([
             cell.batch.to_string(),
             outcome_cell(cell, |m| m.gpu_memory_percent),
-            outcome_cell(cell, |m| m.throughput),
+            throughput_cell(cell),
             outcome_cell(cell, |m| m.gpu_utilization_percent),
         ]);
     }
@@ -193,7 +202,7 @@ pub fn fig03_precision() -> FigureResult {
                     model.clone(),
                     cell.precision.to_string(),
                     outcome_cell(cell, |m| m.gpu_memory_percent),
-                    outcome_cell(cell, |m| m.throughput),
+                    throughput_cell(cell),
                 ]);
             }
         }

@@ -111,7 +111,7 @@ impl Tenant {
         if !(3..=4).contains(&parts.len()) {
             return Err(DeploymentError::BadSpec {
                 spec: spec.to_string(),
-                reason: "expected model:precision:batch[:count]".to_string(),
+                reason: format!("{} field(s)", parts.len()),
             });
         }
         let model = zoo::by_name(parts[0]).ok_or_else(|| DeploymentError::BadSpec {
@@ -164,7 +164,11 @@ impl fmt::Display for DeploymentError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DeploymentError::BadSpec { spec, reason } => {
-                write!(f, "bad tenant spec `{spec}`: {reason}")
+                write!(
+                    f,
+                    "bad tenant spec `{spec}`: {reason} \
+                     (expected model:precision:batch[:count], e.g. resnet50:int8:1:2)"
+                )
             }
             DeploymentError::Build { label, source } => {
                 write!(f, "tenant {label}: engine build failed: {source}")
@@ -451,7 +455,16 @@ mod tests {
                 matches!(err, DeploymentError::BadSpec { .. }),
                 "{bad}: {err}"
             );
-            assert!(err.to_string().contains("bad tenant spec"), "{err}");
+            let message = err.to_string();
+            assert!(message.contains("bad tenant spec"), "{message}");
+            assert!(
+                message.contains(&format!("`{bad}`")),
+                "names the offending spec: {message}"
+            );
+            assert!(
+                message.contains("model:precision:batch[:count]"),
+                "teaches the grammar: {message}"
+            );
         }
     }
 

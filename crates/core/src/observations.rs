@@ -333,6 +333,7 @@ mod tests {
             precision,
             batch,
             processes: procs,
+            offered_load: None,
             outcome: CellOutcome::Ok(CellMetrics {
                 throughput: tput * f64::from(procs),
                 throughput_per_process: tput,

@@ -128,6 +128,7 @@ pub struct SweepSpec {
     precisions: Vec<Precision>,
     batches: Vec<u32>,
     process_counts: Vec<u32>,
+    offered_loads: Vec<Option<f64>>,
     warmup: SimDuration,
     measure: SimDuration,
     seed: u64,
@@ -142,6 +143,7 @@ impl SweepSpec {
             precisions: vec![Precision::Fp32],
             batches: vec![1],
             process_counts: vec![1],
+            offered_loads: vec![None],
             warmup: SimDuration::from_millis(300),
             measure: SimDuration::from_millis(1500),
             seed: 0x6A65_7473,
@@ -164,6 +166,19 @@ impl SweepSpec {
     /// Sets the concurrent process counts to sweep.
     pub fn process_counts<I: IntoIterator<Item = u32>>(mut self, n: I) -> Self {
         self.process_counts = n.into_iter().collect();
+        self
+    }
+
+    /// Sets the offered-load axis: `None` cells run closed-loop
+    /// (saturated, the classic grid), `Some(fps)` cells feed every
+    /// process an open-loop Poisson stream at that rate — the sweep
+    /// analogue of a serving deployment at fixed traffic. Defaults to
+    /// `[None]`, so plain sweeps are unchanged.
+    pub fn offered_loads<I: IntoIterator<Item = Option<f64>>>(mut self, loads: I) -> Self {
+        self.offered_loads = loads.into_iter().collect();
+        if self.offered_loads.is_empty() {
+            self.offered_loads.push(None);
+        }
         self
     }
 
@@ -196,7 +211,10 @@ impl SweepSpec {
 
     /// Number of grid cells.
     pub fn cells(&self) -> usize {
-        self.precisions.len() * self.batches.len() * self.process_counts.len()
+        self.precisions.len()
+            * self.batches.len()
+            * self.process_counts.len()
+            * self.offered_loads.len()
     }
 
     /// Runs the sweep for `model` on `platform`, one simulation per cell,
@@ -234,11 +252,13 @@ impl SweepSpec {
         model: &ModelGraph,
         policy: &SupervisorPolicy,
     ) -> Vec<SweepCell> {
-        let mut params: Vec<(Precision, u32, u32)> = Vec::with_capacity(self.cells());
+        let mut params: Vec<(Precision, u32, u32, Option<f64>)> = Vec::with_capacity(self.cells());
         for &precision in &self.precisions {
             for &batch in &self.batches {
                 for &procs in &self.process_counts {
-                    params.push((precision, batch, procs));
+                    for &load in &self.offered_loads {
+                        params.push((precision, batch, procs, load));
+                    }
                 }
             }
         }
@@ -259,11 +279,11 @@ impl SweepSpec {
                         let mut done: Vec<(usize, SweepCell)> = Vec::new();
                         loop {
                             let index = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(&(precision, batch, procs)) = params.get(index) else {
+                            let Some(&(precision, batch, procs, load)) = params.get(index) else {
                                 break;
                             };
-                            let cell =
-                                self.run_cell(platform, model, precision, batch, procs, policy);
+                            let cell = self
+                                .run_cell(platform, model, precision, batch, procs, load, policy);
                             done.push((index, cell));
                         }
                         done
@@ -320,6 +340,7 @@ impl SweepSpec {
                 precision: Precision::Fp32,
                 batch: 0,
                 processes: 0,
+                offered_load: None,
                 outcome: CellOutcome::SimFailed("empty deployment".to_string()),
             };
         }
@@ -331,7 +352,7 @@ impl SweepSpec {
             .unwrap_or(1);
         let procs = deployment.total_processes();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            self.supervise_deployment(platform, deployment, (batch, procs), policy)
+            self.supervise_deployment(platform, deployment, (batch, procs), None, policy)
         }))
         .unwrap_or_else(|payload| CellOutcome::Panicked {
             message: panic_message(payload),
@@ -342,10 +363,12 @@ impl SweepSpec {
             precision: deployment.tenants()[0].precision(),
             batch,
             processes: procs,
+            offered_load: None,
             outcome,
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_cell(
         &self,
         platform: &Platform,
@@ -353,6 +376,7 @@ impl SweepSpec {
         precision: Precision,
         batch: u32,
         procs: u32,
+        offered_load: Option<f64>,
         policy: &SupervisorPolicy,
     ) -> SweepCell {
         // A grid cell is the one-tenant deployment — there is exactly
@@ -364,7 +388,7 @@ impl SweepSpec {
         // in place.
         let deployment = Deployment::homogeneous(model, precision, batch, procs);
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            self.supervise_deployment(platform, &deployment, (batch, procs), policy)
+            self.supervise_deployment(platform, &deployment, (batch, procs), offered_load, policy)
         }))
         .unwrap_or_else(|payload| CellOutcome::Panicked {
             message: panic_message(payload),
@@ -375,6 +399,7 @@ impl SweepSpec {
             precision,
             batch,
             processes: procs,
+            offered_load,
             outcome,
         }
     }
@@ -391,6 +416,7 @@ impl SweepSpec {
         platform: &Platform,
         deployment: &Deployment,
         grid_coords: (u32, u32),
+        offered_load: Option<f64>,
         policy: &SupervisorPolicy,
     ) -> CellOutcome {
         let (batch, procs) = grid_coords;
@@ -404,8 +430,14 @@ impl SweepSpec {
         let mut current = deployment.clone();
         let mut retries_left = policy.max_retries;
         loop {
-            let outcome =
-                self.try_deployment(platform, &current, grid_coords, policy, &mut attempts);
+            let outcome = self.try_deployment(
+                platform,
+                &current,
+                grid_coords,
+                offered_load,
+                policy,
+                &mut attempts,
+            );
             match outcome {
                 CellOutcome::OutOfMemory { .. } if retries_left > 0 => {
                     let Some(degraded) = degrade_deployment(&current) else {
@@ -449,11 +481,13 @@ impl SweepSpec {
         })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn try_deployment(
         &self,
         platform: &Platform,
         deployment: &Deployment,
         grid_coords: (u32, u32),
+        offered_load: Option<f64>,
         policy: &SupervisorPolicy,
         attempts: &mut Vec<String>,
     ) -> CellOutcome {
@@ -484,11 +518,18 @@ impl SweepSpec {
         if let Some(budget) = policy.event_budget {
             builder = builder.event_budget(budget);
         }
+        let arrivals = match offered_load {
+            Some(fps) => jetsim_sim::ArrivalModel::Poisson { fps },
+            None => jetsim_sim::ArrivalModel::Saturated,
+        };
         for (tenant, engine) in deployment.tenants().iter().zip(&engines) {
             let label = tenant.label();
             for instance in 0..tenant.instances() {
-                builder =
-                    builder.add_engine_named(format!("{label}/{instance}"), Arc::clone(engine));
+                builder = builder.add_engine_named_with_arrivals(
+                    format!("{label}/{instance}"),
+                    Arc::clone(engine),
+                    arrivals,
+                );
             }
         }
         match builder.build() {
@@ -790,6 +831,18 @@ impl CellOutcome {
         }
     }
 
+    /// Whether the cell completed at its requested parameters.
+    pub fn is_success(&self) -> bool {
+        matches!(self, CellOutcome::Ok(_))
+    }
+
+    /// Aggregate throughput (images/s) of a cell that ran at its
+    /// requested parameters, `None` for every failure mode and for
+    /// degraded cells.
+    pub fn throughput(&self) -> Option<f64> {
+        self.metrics().map(|m| m.throughput)
+    }
+
     /// The metrics of a cell that ran, whether at its requested
     /// parameters or at a degraded operating point.
     pub fn degraded_metrics(&self) -> Option<&CellMetrics> {
@@ -814,6 +867,9 @@ pub struct SweepCell {
     pub batch: u32,
     /// Concurrent process count.
     pub processes: u32,
+    /// Open-loop offered load per process (batches/s, Poisson); `None`
+    /// for classic closed-loop (saturated) cells.
+    pub offered_load: Option<f64>,
     /// Outcome.
     pub outcome: CellOutcome,
 }
@@ -822,9 +878,13 @@ impl fmt::Display for SweepCell {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} {} b{} p{}: ",
+            "{} {} b{} p{}",
             self.model, self.precision, self.batch, self.processes
         )?;
+        if let Some(fps) = self.offered_load {
+            write!(f, " @{fps:.0}/s")?;
+        }
+        write!(f, ": ")?;
         match &self.outcome {
             CellOutcome::Ok(m) => write!(
                 f,
@@ -922,6 +982,53 @@ mod tests {
             .batches([1, 2, 4])
             .process_counts([1, 2]);
         assert_eq!(spec.cells(), 24);
+        let spec = spec.offered_loads([None, Some(30.0), Some(60.0)]);
+        assert_eq!(spec.cells(), 72);
+    }
+
+    #[test]
+    fn offered_load_axis_runs_open_loop_cells() {
+        let spec = fast_spec()
+            .precisions([Precision::Int8])
+            .batches([1])
+            .process_counts([1])
+            .offered_loads([None, Some(40.0)]);
+        let cells = spec.run(&Platform::orin_nano(), &zoo::resnet50());
+        assert_eq!(cells.len(), 2);
+        let saturated = cells.iter().find(|c| c.offered_load.is_none()).unwrap();
+        let loaded = cells.iter().find(|c| c.offered_load == Some(40.0)).unwrap();
+        let sat_tp = saturated.outcome.throughput().expect("saturated cell ran");
+        let load_tp = loaded.outcome.throughput().expect("loaded cell ran");
+        // 40 batches/s is far below this cell's ceiling: the open-loop
+        // cell serves roughly the offered rate, well under saturation.
+        assert!(
+            load_tp < sat_tp * 0.7,
+            "loaded {load_tp} vs saturated {sat_tp}"
+        );
+        assert!(
+            (load_tp - 40.0).abs() < 12.0,
+            "throughput tracks the offered rate, got {load_tp}"
+        );
+        assert!(format!("{loaded}").contains("@40/s"), "{loaded}");
+    }
+
+    #[test]
+    fn outcome_helpers_match_the_metrics_accessor() {
+        let spec = fast_spec()
+            .precisions([Precision::Fp16])
+            .batches([1])
+            .process_counts([1, 4]);
+        let cells = spec.run(&Platform::jetson_nano(), &zoo::fcn_resnet50());
+        for cell in &cells {
+            assert_eq!(cell.outcome.is_success(), cell.outcome.metrics().is_some());
+            assert_eq!(
+                cell.outcome.throughput(),
+                cell.outcome.metrics().map(|m| m.throughput)
+            );
+        }
+        assert!(cells[0].outcome.is_success());
+        assert!(!cells[1].outcome.is_success(), "{:?}", cells[1].outcome);
+        assert_eq!(cells[1].outcome.throughput(), None);
     }
 
     #[test]

@@ -155,6 +155,24 @@ fn bad_tenant_spec_fails_cleanly() {
 }
 
 #[test]
+fn bad_tenant_spec_names_the_spec_and_teaches_the_grammar() {
+    // A truncated spec must echo exactly what was typed plus the
+    // expected shape — the error is the documentation.
+    let out = trtexec(&["--tenant=resnet50:int8"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("`resnet50:int8`"), "{stderr}");
+    assert!(stderr.contains("model:precision:batch[:count]"), "{stderr}");
+
+    // A bad field (unknown precision) gets the same treatment.
+    let out = trtexec(&["--tenant=resnet50:int9:1"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("`resnet50:int9:1`"), "{stderr}");
+    assert!(stderr.contains("model:precision:batch[:count]"), "{stderr}");
+}
+
+#[test]
 fn streams_flag_creates_stream_contexts() {
     let out = trtexec(&[
         "--model=resnet50",

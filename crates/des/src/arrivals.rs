@@ -1,0 +1,354 @@
+//! Open-loop request arrival processes: Poisson, bursty (MMPP) and
+//! trace replay, as deterministic seeded gap generators.
+//!
+//! The closed-loop simulators in this workspace re-enqueue work the
+//! moment the previous batch returns; an online serving simulator needs
+//! the opposite — requests arrive on their own clock, indifferent to how
+//! busy the server is. An [`ArrivalStream`] turns an [`ArrivalProcess`]
+//! description plus a seed into a reproducible sequence of inter-arrival
+//! gaps: the same `(process, seed)` pair always yields the same request
+//! timeline, bit for bit, regardless of what the consumer does between
+//! draws. That property is what makes serving experiments replayable and
+//! lets two admission policies be compared against *identical* traffic.
+
+use std::sync::Arc;
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// A statistical (or recorded) description of how requests arrive.
+///
+/// # Examples
+///
+/// ```
+/// use jetsim_des::{ArrivalProcess, ArrivalStream, SimDuration};
+///
+/// let process = ArrivalProcess::poisson(200.0);
+/// let gaps: Vec<_> = ArrivalStream::new(process.clone(), 7).take(1000).collect();
+/// let mean = gaps.iter().map(|g| g.as_secs_f64()).sum::<f64>() / gaps.len() as f64;
+/// assert!((mean - 1.0 / 200.0).abs() < 1e-3, "mean gap ≈ 1/rate, got {mean}");
+///
+/// // Same seed ⇒ bit-identical replay.
+/// let replay: Vec<_> = ArrivalStream::new(process, 7).take(1000).collect();
+/// assert_eq!(gaps, replay);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at a constant mean rate (requests per
+    /// second) — aggregated independent clients.
+    Poisson {
+        /// Mean requests per second (finite, > 0).
+        rate: f64,
+    },
+    /// A two-state Markov-modulated Poisson process: traffic alternates
+    /// between a *calm* and a *burst* state, each memoryless with its
+    /// own rate, with exponentially distributed dwell times. The
+    /// standard model for bursty edge traffic (a camera that mostly
+    /// idles, then floods on motion).
+    Mmpp {
+        /// Mean requests per second in the calm state (finite, > 0).
+        calm_rate: f64,
+        /// Mean requests per second in the burst state (finite, > 0).
+        burst_rate: f64,
+        /// Mean dwell time in the calm state before a burst begins.
+        mean_calm: SimDuration,
+        /// Mean dwell time in the burst state before traffic calms.
+        mean_burst: SimDuration,
+    },
+    /// Replay of a recorded gap sequence. With `cycle` the sequence
+    /// wraps around forever; without it the stream ends when the trace
+    /// does.
+    Trace {
+        /// Inter-arrival gaps, in arrival order.
+        gaps: Arc<[SimDuration]>,
+        /// Wrap around at the end instead of stopping.
+        cycle: bool,
+    },
+}
+
+impl ArrivalProcess {
+    /// Poisson arrivals at `rate` requests per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rate` is not finite and positive.
+    pub fn poisson(rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "Poisson rate must be finite and positive, got {rate}"
+        );
+        ArrivalProcess::Poisson { rate }
+    }
+
+    /// A two-state MMPP alternating between `calm_rate` and `burst_rate`
+    /// requests per second, dwelling a mean of `mean_calm` /
+    /// `mean_burst` in each state. The stream starts calm.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either rate is not finite and positive or either
+    /// dwell time is zero.
+    pub fn mmpp(
+        calm_rate: f64,
+        burst_rate: f64,
+        mean_calm: SimDuration,
+        mean_burst: SimDuration,
+    ) -> Self {
+        assert!(
+            calm_rate.is_finite() && calm_rate > 0.0,
+            "MMPP calm rate must be finite and positive, got {calm_rate}"
+        );
+        assert!(
+            burst_rate.is_finite() && burst_rate > 0.0,
+            "MMPP burst rate must be finite and positive, got {burst_rate}"
+        );
+        assert!(!mean_calm.is_zero(), "MMPP calm dwell must be non-zero");
+        assert!(!mean_burst.is_zero(), "MMPP burst dwell must be non-zero");
+        ArrivalProcess::Mmpp {
+            calm_rate,
+            burst_rate,
+            mean_calm,
+            mean_burst,
+        }
+    }
+
+    /// Replays a recorded sequence of inter-arrival gaps, optionally
+    /// cycling forever.
+    pub fn trace<I: IntoIterator<Item = SimDuration>>(gaps: I, cycle: bool) -> Self {
+        ArrivalProcess::Trace {
+            gaps: gaps.into_iter().collect::<Vec<_>>().into(),
+            cycle,
+        }
+    }
+
+    /// The long-run mean offered rate in requests per second (`None`
+    /// for a finite, non-cycling trace, whose rate is transient).
+    pub fn mean_rate(&self) -> Option<f64> {
+        match self {
+            ArrivalProcess::Poisson { rate } => Some(*rate),
+            ArrivalProcess::Mmpp {
+                calm_rate,
+                burst_rate,
+                mean_calm,
+                mean_burst,
+            } => {
+                // Time-weighted average of the two state rates.
+                let calm = mean_calm.as_secs_f64();
+                let burst = mean_burst.as_secs_f64();
+                Some((calm_rate * calm + burst_rate * burst) / (calm + burst))
+            }
+            ArrivalProcess::Trace { gaps, cycle } => {
+                if !cycle || gaps.is_empty() {
+                    return None;
+                }
+                let total: f64 = gaps.iter().map(|g| g.as_secs_f64()).sum();
+                if total <= 0.0 {
+                    None
+                } else {
+                    Some(gaps.len() as f64 / total)
+                }
+            }
+        }
+    }
+}
+
+/// A deterministic generator of inter-arrival gaps for one
+/// [`ArrivalProcess`].
+///
+/// The stream owns its own [`SimRng`], so its draws never interleave
+/// with any other random stream: replaying a seed reproduces the exact
+/// arrival timeline whatever else the simulation does, and changing a
+/// scheduler or batcher policy cannot perturb the offered traffic.
+#[derive(Debug, Clone)]
+pub struct ArrivalStream {
+    process: ArrivalProcess,
+    rng: SimRng,
+    /// MMPP state: `true` while in the burst state.
+    bursting: bool,
+    /// Trace replay cursor.
+    cursor: usize,
+}
+
+impl ArrivalStream {
+    /// Creates a stream for `process` seeded with `seed`.
+    pub fn new(process: ArrivalProcess, seed: u64) -> Self {
+        // Distinct stream constant ("arrivals") so a stream seeded from
+        // a run's master seed never shares a sequence with the run's
+        // dynamics RNG.
+        ArrivalStream {
+            process,
+            rng: SimRng::seed_from(seed ^ 0x6172_7269_7661_6C73),
+            bursting: false,
+            cursor: 0,
+        }
+    }
+
+    /// The process this stream draws from.
+    pub fn process(&self) -> &ArrivalProcess {
+        &self.process
+    }
+
+    /// The gap to the next arrival, or `None` when a non-cycling trace
+    /// is exhausted.
+    pub fn next_gap(&mut self) -> Option<SimDuration> {
+        match &self.process {
+            ArrivalProcess::Poisson { rate } => {
+                let rate = *rate;
+                Some(Self::exponential(&mut self.rng, rate))
+            }
+            ArrivalProcess::Mmpp {
+                calm_rate,
+                burst_rate,
+                mean_calm,
+                mean_burst,
+            } => {
+                let (calm_rate, burst_rate) = (*calm_rate, *burst_rate);
+                let (calm_switch, burst_switch) = (
+                    1.0 / mean_calm.as_secs_f64(),
+                    1.0 / mean_burst.as_secs_f64(),
+                );
+                // Competing exponentials: in each state the next arrival
+                // races the next state switch; crossing a switch adds
+                // its dwell remnant to the gap and flips the state.
+                let mut gap = SimDuration::ZERO;
+                loop {
+                    let (rate, switch) = if self.bursting {
+                        (burst_rate, burst_switch)
+                    } else {
+                        (calm_rate, calm_switch)
+                    };
+                    let to_arrival = Self::exponential(&mut self.rng, rate);
+                    let to_switch = Self::exponential(&mut self.rng, switch);
+                    if to_arrival <= to_switch {
+                        return Some(gap + to_arrival);
+                    }
+                    gap += to_switch;
+                    self.bursting = !self.bursting;
+                }
+            }
+            ArrivalProcess::Trace { gaps, cycle } => {
+                if gaps.is_empty() {
+                    return None;
+                }
+                if self.cursor >= gaps.len() {
+                    if !cycle {
+                        return None;
+                    }
+                    self.cursor = 0;
+                }
+                let gap = gaps[self.cursor];
+                self.cursor += 1;
+                Some(gap)
+            }
+        }
+    }
+
+    /// An exponential variate with the given rate (mean `1/rate`).
+    fn exponential(rng: &mut SimRng, rate: f64) -> SimDuration {
+        let u = rng.uniform(f64::EPSILON, 1.0);
+        SimDuration::from_secs_f64(-u.ln() / rate)
+    }
+}
+
+impl Iterator for ArrivalStream {
+    type Item = SimDuration;
+
+    fn next(&mut self) -> Option<SimDuration> {
+        self.next_gap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaps(process: ArrivalProcess, seed: u64, n: usize) -> Vec<SimDuration> {
+        ArrivalStream::new(process, seed).take(n).collect()
+    }
+
+    #[test]
+    fn poisson_replays_bit_identically() {
+        let p = ArrivalProcess::poisson(150.0);
+        assert_eq!(gaps(p.clone(), 11, 500), gaps(p.clone(), 11, 500));
+        assert_ne!(gaps(p.clone(), 11, 500), gaps(p, 12, 500), "seed matters");
+    }
+
+    #[test]
+    fn poisson_mean_gap_matches_rate() {
+        let g = gaps(ArrivalProcess::poisson(100.0), 3, 20_000);
+        let mean = g.iter().map(|d| d.as_secs_f64()).sum::<f64>() / g.len() as f64;
+        assert!((mean - 0.01).abs() < 5e-4, "mean gap {mean}");
+    }
+
+    #[test]
+    fn mmpp_replays_and_mixes_rates() {
+        let p = ArrivalProcess::mmpp(
+            20.0,
+            400.0,
+            SimDuration::from_millis(500),
+            SimDuration::from_millis(100),
+        );
+        assert_eq!(gaps(p.clone(), 5, 500), gaps(p.clone(), 5, 500));
+        // Long-run rate sits strictly between the two state rates.
+        let g = gaps(p.clone(), 5, 50_000);
+        let total: f64 = g.iter().map(|d| d.as_secs_f64()).sum();
+        let rate = g.len() as f64 / total;
+        assert!((20.0..400.0).contains(&rate), "observed rate {rate}");
+        let expected = p.mean_rate().unwrap();
+        assert!(
+            (rate - expected).abs() / expected < 0.15,
+            "observed {rate} vs analytic {expected}"
+        );
+    }
+
+    #[test]
+    fn trace_replay_ends_or_cycles() {
+        let recorded = [
+            SimDuration::from_millis(5),
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(1),
+        ];
+        let mut once = ArrivalStream::new(ArrivalProcess::trace(recorded, false), 0);
+        let drained: Vec<_> = once.by_ref().collect();
+        assert_eq!(drained, recorded);
+        assert_eq!(once.next_gap(), None, "stays exhausted");
+
+        let cycled: Vec<_> = ArrivalStream::new(ArrivalProcess::trace(recorded, true), 0)
+            .take(7)
+            .collect();
+        assert_eq!(cycled[3], recorded[0], "wraps around");
+        assert_eq!(cycled[6], recorded[0]);
+    }
+
+    #[test]
+    fn empty_trace_is_immediately_exhausted() {
+        let mut s = ArrivalStream::new(ArrivalProcess::trace([], true), 0);
+        assert_eq!(s.next_gap(), None);
+    }
+
+    #[test]
+    fn mean_rate_analytics() {
+        assert_eq!(ArrivalProcess::poisson(50.0).mean_rate(), Some(50.0));
+        let mmpp = ArrivalProcess::mmpp(
+            10.0,
+            100.0,
+            SimDuration::from_secs(3),
+            SimDuration::from_secs(1),
+        );
+        let rate = mmpp.mean_rate().unwrap();
+        assert!(
+            (rate - 32.5).abs() < 1e-9,
+            "(10·3 + 100·1)/4 = 32.5, got {rate}"
+        );
+        let gaps = [SimDuration::from_millis(10); 4];
+        assert_eq!(ArrivalProcess::trace(gaps, true).mean_rate(), Some(100.0));
+        assert_eq!(ArrivalProcess::trace(gaps, false).mean_rate(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn zero_rate_rejected() {
+        let _ = ArrivalProcess::poisson(0.0);
+    }
+}

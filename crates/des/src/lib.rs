@@ -7,6 +7,8 @@
 //! * [`EventQueue`] — a deterministic future-event list,
 //! * [`SimRng`] — a seeded random-number generator wrapper so that every
 //!   experiment is exactly reproducible,
+//! * [`arrivals`] — open-loop request arrival generators (Poisson,
+//!   bursty MMPP, trace replay) for serving simulators,
 //! * [`trace`] — a lightweight append-only trace buffer used by the
 //!   profilers in `jetsim-profile`.
 //!
@@ -27,12 +29,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrivals;
 pub mod calendar;
 pub mod queue;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
+pub use arrivals::{ArrivalProcess, ArrivalStream};
 pub use calendar::CalendarQueue;
 pub use queue::EventQueue;
 pub use rng::SimRng;

@@ -4,7 +4,12 @@
 
 use std::fmt::Write as _;
 
+use jetsim_sim::serving::{DropKind, ServeEventKind};
 use jetsim_sim::{FaultKind, RunTrace};
+
+/// Serving rows get their own pid block so they never collide with real
+/// process pids (one row per serve group above this base).
+const SERVE_PID_BASE: usize = 10_000;
 
 /// Serialises a run's kernel events as a Chrome trace-event JSON array.
 ///
@@ -125,6 +130,104 @@ pub fn to_chrome_trace(trace: &RunTrace) -> String {
         )
         .expect("write to String");
     }
+    // Serving rows: one pid per serve group carrying queue-wait spans,
+    // batch formations, degradation flips and drops. Closed-loop traces
+    // have empty serving vectors and emit nothing here.
+    for (g, label) in trace.serve_group_labels.iter().enumerate() {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\
+             \"args\":{{\"name\":\"serve:{}\"}}}}",
+            SERVE_PID_BASE + g,
+            escape(label)
+        )
+        .expect("write to String");
+    }
+    for r in &trace.requests {
+        let Some(dispatched) = r.dispatched else {
+            continue;
+        };
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        write!(
+            out,
+            "{{\"name\":\"queue_wait\",\"cat\":\"serve\",\"ph\":\"X\",\"pid\":{},\
+             \"tid\":0,\"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"seq\":{},\
+             \"batch_size\":{},\"server_pid\":{},\"degraded\":{}}}}}",
+            SERVE_PID_BASE + r.group,
+            r.arrival.as_micros_f64(),
+            dispatched.since(r.arrival).as_micros_f64(),
+            r.seq,
+            r.batch_size,
+            r.pid.map(|p| p as i64).unwrap_or(-1),
+            r.degraded,
+        )
+        .expect("write to String");
+    }
+    for r in &trace.requests {
+        let Some(drop) = &r.dropped else { continue };
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let kind = match drop.kind {
+            DropKind::Rejected => "rejected",
+            DropKind::Shed => "shed",
+            _ => "dropped",
+        };
+        write!(
+            out,
+            "{{\"name\":\"request_dropped\",\"cat\":\"serve\",\"ph\":\"i\",\"s\":\"t\",\
+             \"pid\":{},\"tid\":0,\"ts\":{:.3},\"args\":{{\"seq\":{},\"kind\":\"{kind}\"}}}}",
+            SERVE_PID_BASE + r.group,
+            drop.at.as_micros_f64(),
+            r.seq,
+        )
+        .expect("write to String");
+    }
+    for event in &trace.serve_events {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let (name, args) = match event.kind {
+            ServeEventKind::BatchFormed {
+                pid,
+                size,
+                queue_depth,
+                degraded,
+                ..
+            } => (
+                "batch_formed",
+                format!(
+                    "{{\"server_pid\":{pid},\"size\":{size},\
+                     \"queue_depth\":{queue_depth},\"degraded\":{degraded}}}"
+                ),
+            ),
+            ServeEventKind::DegradeEnter { queue_depth } => (
+                "degrade_enter",
+                format!("{{\"queue_depth\":{queue_depth}}}"),
+            ),
+            ServeEventKind::DegradeExit { queue_depth } => {
+                ("degrade_exit", format!("{{\"queue_depth\":{queue_depth}}}"))
+            }
+            _ => ("serve_event", "{}".to_string()),
+        };
+        write!(
+            out,
+            "{{\"name\":\"{name}\",\"cat\":\"serve\",\"ph\":\"i\",\"s\":\"t\",\
+             \"pid\":{},\"tid\":0,\"ts\":{:.3},\"args\":{args}}}",
+            SERVE_PID_BASE + event.group,
+            event.time.as_micros_f64(),
+        )
+        .expect("write to String");
+    }
     out.push_str("\n]\n");
     out
 }
@@ -176,6 +279,40 @@ mod tests {
     #[test]
     fn escape_handles_quotes() {
         assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+
+    #[test]
+    fn closed_loop_traces_emit_no_serve_rows() {
+        let json = to_chrome_trace(&sample_trace());
+        assert!(!json.contains("\"cat\":\"serve\""));
+        assert!(!json.contains("serve:"));
+    }
+
+    #[test]
+    fn serve_runs_export_queue_rows_and_batch_instants() {
+        use jetsim_des::ArrivalProcess;
+        use jetsim_sim::{ServeGroup, ServePlan};
+        let platform = presets::orin_nano();
+        let plan = ServePlan::new().group(
+            ServeGroup::new("resnet50:int8:b1", ArrivalProcess::poisson(120.0))
+                .members([0])
+                .max_delay(SimDuration::from_millis(4)),
+        );
+        let config = SimConfig::builder(platform)
+            .add_model(&zoo::resnet50(), Precision::Int8, 1)
+            .unwrap()
+            .serve(plan)
+            .warmup(SimDuration::from_millis(100))
+            .measure(SimDuration::from_millis(400))
+            .build()
+            .unwrap();
+        let trace = Simulation::new(config).unwrap().run();
+        assert!(!trace.requests.is_empty());
+        let json = to_chrome_trace(&trace);
+        assert!(json.contains("serve:resnet50:int8:b1"));
+        assert!(json.contains("\"name\":\"queue_wait\""));
+        assert!(json.contains("\"name\":\"batch_formed\""));
+        assert!(json.contains(&format!("\"pid\":{SERVE_PID_BASE}")));
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! Command-line front-end for request-level online serving experiments.
+//!
+//! ```sh
+//! jetsim-serve --tenant resnet50:int8:1:2 --arrival poisson:200 \
+//!     --slo 50ms --duration 30s
+//! ```
+//!
+//! Each `--tenant model:precision:batch[:count]` takes the preceding (or
+//! last) `--arrival`; `--find-max-qps` turns the run into a capacity
+//! search for tenant 0. Both `--flag value` and `--flag=value` spellings
+//! work.
+
+use std::process::ExitCode;
+
+use jetsim::platform::Platform;
+use jetsim_des::{ArrivalProcess, SimDuration};
+use jetsim_serve::{AdmissionPolicy, ServeSpec, ServeTenant};
+
+#[derive(Debug)]
+struct Args {
+    tenants: Vec<(String, ArrivalProcess)>,
+    device: String,
+    slo: SimDuration,
+    duration: SimDuration,
+    warmup: SimDuration,
+    max_delay: SimDuration,
+    queue_cap: usize,
+    admission: AdmissionPolicy,
+    seed: u64,
+    find_max_qps: Option<f64>,
+    json: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: jetsim-serve --tenant model:precision:batch[:count] [--tenant ...]\n\
+     \x20                [--arrival poisson:RATE | mmpp:CALM:BURST:CALM_MS:BURST_MS]\n\
+     \x20                  each --arrival applies to the following --tenant(s);\n\
+     \x20                  default poisson:100\n\
+     \x20                [--slo DUR] [--duration DUR] [--warmup DUR] [--max-delay DUR]\n\
+     \x20                  DUR accepts us/ms/s suffixes; a bare number means seconds\n\
+     \x20                [--queue-cap N] [--admission reject|shed|degrade]\n\
+     \x20                [--device orin-nano|jetson-nano|cloud-a40] [--seed N]\n\
+     \x20                [--find-max-qps[=TARGET]] search the highest offered load that\n\
+     \x20                  keeps tenant 0's SLO attainment >= TARGET (default 0.95)\n\
+     \x20                [--json] emit the report as JSON"
+}
+
+/// Parses `50ms`, `200us`, `30s` or a bare number of seconds.
+fn parse_duration(s: &str) -> Result<SimDuration, String> {
+    let (digits, scale) = if let Some(v) = s.strip_suffix("us") {
+        (v, 1e-6)
+    } else if let Some(v) = s.strip_suffix("ms") {
+        (v, 1e-3)
+    } else if let Some(v) = s.strip_suffix('s') {
+        (v, 1.0)
+    } else {
+        (s, 1.0)
+    };
+    let value: f64 = digits
+        .parse()
+        .map_err(|_| format!("bad duration `{s}` (want e.g. 50ms, 200us, 30s)"))?;
+    if !value.is_finite() || value < 0.0 {
+        return Err(format!("bad duration `{s}`: must be non-negative"));
+    }
+    Ok(SimDuration::from_secs_f64(value * scale))
+}
+
+/// Parses `poisson:RATE` or `mmpp:CALM:BURST:CALM_MS:BURST_MS`.
+fn parse_arrival(s: &str) -> Result<ArrivalProcess, String> {
+    let grammar = "want poisson:RATE or mmpp:CALM:BURST:CALM_MS:BURST_MS";
+    let (kind, rest) = s
+        .split_once(':')
+        .ok_or_else(|| format!("bad arrival `{s}`: {grammar}"))?;
+    let rate = |v: &str, what: &str| -> Result<f64, String> {
+        let r: f64 = v
+            .parse()
+            .map_err(|_| format!("bad arrival `{s}`: {what} is not a number"))?;
+        if !r.is_finite() || r <= 0.0 {
+            return Err(format!("bad arrival `{s}`: {what} must be positive"));
+        }
+        Ok(r)
+    };
+    match kind {
+        "poisson" => Ok(ArrivalProcess::poisson(rate(rest, "rate")?)),
+        "mmpp" => {
+            let parts: Vec<&str> = rest.split(':').collect();
+            if parts.len() != 4 {
+                return Err(format!("bad arrival `{s}`: {grammar}"));
+            }
+            Ok(ArrivalProcess::mmpp(
+                rate(parts[0], "calm rate")?,
+                rate(parts[1], "burst rate")?,
+                SimDuration::from_secs_f64(rate(parts[2], "calm dwell (ms)")? * 1e-3),
+                SimDuration::from_secs_f64(rate(parts[3], "burst dwell (ms)")? * 1e-3),
+            ))
+        }
+        other => Err(format!(
+            "bad arrival `{s}`: unknown process `{other}`; {grammar}"
+        )),
+    }
+}
+
+impl Args {
+    fn parse(argv: impl Iterator<Item = String>) -> Result<Args, String> {
+        let mut args = Args {
+            tenants: Vec::new(),
+            device: "orin-nano".to_string(),
+            slo: SimDuration::from_millis(50),
+            duration: SimDuration::from_secs(3),
+            warmup: SimDuration::from_millis(500),
+            max_delay: SimDuration::from_millis(5),
+            queue_cap: 64,
+            admission: AdmissionPolicy::Reject,
+            seed: 0x6A65_7473,
+            find_max_qps: None,
+            json: false,
+        };
+        let mut arrivals = ArrivalProcess::poisson(100.0);
+        let mut argv = argv.peekable();
+        while let Some(arg) = argv.next() {
+            let (key, mut value) = match arg.split_once('=') {
+                Some((k, v)) => (k.to_string(), Some(v.to_string())),
+                None => (arg, None),
+            };
+            // `--flag value` spelling: take the next token unless it is
+            // itself a flag.
+            let mut required = |v: &mut Option<String>| -> Result<String, String> {
+                if v.is_none() {
+                    if let Some(next) = argv.peek() {
+                        if !next.starts_with("--") {
+                            *v = argv.next();
+                        }
+                    }
+                }
+                v.clone().ok_or_else(|| format!("{key} needs a value"))
+            };
+            match key.as_str() {
+                "--tenant" => {
+                    let spec = required(&mut value)?;
+                    args.tenants.push((spec, arrivals.clone()));
+                }
+                "--arrival" => {
+                    arrivals = parse_arrival(&required(&mut value)?)?;
+                    // Retroactively applies when --arrival follows the
+                    // final --tenant (the natural CLI reading).
+                    if let Some((_, a)) = args.tenants.last_mut() {
+                        *a = arrivals.clone();
+                    }
+                }
+                "--slo" => args.slo = parse_duration(&required(&mut value)?)?,
+                "--duration" => args.duration = parse_duration(&required(&mut value)?)?,
+                "--warmup" => args.warmup = parse_duration(&required(&mut value)?)?,
+                "--max-delay" => args.max_delay = parse_duration(&required(&mut value)?)?,
+                "--queue-cap" => {
+                    args.queue_cap = required(&mut value)?
+                        .parse()
+                        .map_err(|e| format!("bad --queue-cap: {e}"))?
+                }
+                "--admission" => {
+                    args.admission = match required(&mut value)?.as_str() {
+                        "reject" => AdmissionPolicy::Reject,
+                        "shed" => AdmissionPolicy::Shed,
+                        "degrade" => AdmissionPolicy::Degrade,
+                        other => {
+                            return Err(format!(
+                                "bad --admission `{other}`: want reject, shed or degrade"
+                            ))
+                        }
+                    }
+                }
+                "--device" => args.device = required(&mut value)?,
+                "--seed" => {
+                    args.seed = required(&mut value)?
+                        .parse()
+                        .map_err(|e| format!("bad --seed: {e}"))?
+                }
+                "--find-max-qps" => {
+                    args.find_max_qps = Some(match value {
+                        Some(v) => v
+                            .parse()
+                            .map_err(|e| format!("bad --find-max-qps target: {e}"))?,
+                        None => 0.95,
+                    })
+                }
+                "--json" => args.json = true,
+                "--help" | "-h" => return Err(usage().to_string()),
+                other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+            }
+        }
+        if args.tenants.is_empty() {
+            return Err(format!("--tenant is required\n{}", usage()));
+        }
+        Ok(args)
+    }
+
+    fn platform(&self) -> Result<Platform, String> {
+        match self.device.as_str() {
+            "orin-nano" | "orin" => Ok(Platform::orin_nano()),
+            "jetson-nano" | "nano" => Ok(Platform::jetson_nano()),
+            "cloud-a40" | "a40" => Ok(Platform::cloud_a40()),
+            other => Err(format!("unknown device `{other}`")),
+        }
+    }
+}
+
+fn run(args: Args) -> Result<(), String> {
+    let platform = args.platform()?;
+    let mut spec = ServeSpec::new(platform)
+        .slo(args.slo)
+        .duration(args.duration)
+        .warmup(args.warmup)
+        .seed(args.seed);
+    for (tenant_spec, arrivals) in &args.tenants {
+        let tenant = ServeTenant::parse_with_arrivals(tenant_spec, arrivals.clone())
+            .map_err(|e| e.to_string())?
+            .max_delay(args.max_delay)
+            .queue_cap(args.queue_cap)
+            .admission(args.admission);
+        spec = spec.tenant(tenant);
+    }
+
+    if let Some(target) = args.find_max_qps {
+        let estimate = spec.find_max_qps(target, 6).map_err(|e| e.to_string())?;
+        if args.json {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&estimate).map_err(|e| e.to_string())?
+            );
+        } else {
+            println!(
+                "max sustainable load for {}: {:.1} qps at >= {:.0}% SLO attainment \
+                 ({} probes)",
+                spec.tenants()[0].tenant.label(),
+                estimate.max_qps,
+                target * 100.0,
+                estimate.probes.len()
+            );
+            for p in &estimate.probes {
+                println!(
+                    "  probe {:>8.1} qps -> {:>5.1}% {}",
+                    p.qps,
+                    p.slo_attainment * 100.0,
+                    if p.feasible { "ok" } else { "MISS" }
+                );
+            }
+        }
+        return Ok(());
+    }
+
+    let report = spec.run().map_err(|e| e.to_string())?;
+    if args.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+    } else {
+        print!("{report}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match Args::parse(std::env::args().skip(1)) {
+        Ok(args) => match run(args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Capacity search: the highest offered load a deployment sustains at a
+//! target SLO attainment.
+
+use serde::Serialize;
+
+/// One probe the capacity search ran: a full simulation at `qps`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CapacityProbe {
+    /// Offered load probed, requests/s.
+    pub qps: f64,
+    /// SLO attainment measured at that load.
+    pub slo_attainment: f64,
+    /// Whether the attainment met the target.
+    pub feasible: bool,
+}
+
+/// The result of a [`find_max_qps`] search.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CapacityEstimate {
+    /// Highest probed load that met the target (0 when even the lowest
+    /// probe failed).
+    pub max_qps: f64,
+    /// Attainment target the search held probes to.
+    pub target_attainment: f64,
+    /// Every probe, in the order the search ran them.
+    pub probes: Vec<CapacityProbe>,
+}
+
+/// Finds the highest Poisson offered load (requests/s) for which
+/// `probe(qps)` — a function returning the measured SLO attainment at
+/// that load — stays at or above `target_attainment`.
+///
+/// The search first brackets: doubling from `start_qps` until a probe
+/// fails (or halving until one succeeds when `start_qps` itself fails),
+/// then bisects the feasible/infeasible bracket `refine_iters` times.
+/// The returned estimate is the highest load actually *probed and found
+/// feasible*, so it is always backed by a simulation run, never an
+/// interpolation. Deterministic probes (fixed spec and seed) therefore
+/// make the whole search reproducible.
+///
+/// # Errors
+///
+/// Propagates the first error `probe` returns.
+pub fn find_max_qps<E>(
+    probe: &mut dyn FnMut(f64) -> Result<f64, E>,
+    start_qps: f64,
+    target_attainment: f64,
+    refine_iters: u32,
+) -> Result<CapacityEstimate, E> {
+    let mut probes = Vec::new();
+    let mut run = |qps: f64, probes: &mut Vec<CapacityProbe>| -> Result<bool, E> {
+        let slo_attainment = probe(qps)?;
+        let feasible = slo_attainment >= target_attainment;
+        probes.push(CapacityProbe {
+            qps,
+            slo_attainment,
+            feasible,
+        });
+        Ok(feasible)
+    };
+
+    let start = start_qps.max(1.0);
+    let (mut lo, mut hi);
+    if run(start, &mut probes)? {
+        // Feasible at the start: double until we fall over.
+        lo = start;
+        hi = start * 2.0;
+        let mut doubles = 0;
+        while run(hi, &mut probes)? {
+            lo = hi;
+            hi *= 2.0;
+            doubles += 1;
+            if doubles >= 20 {
+                // Astronomically high and still feasible — call it here.
+                return Ok(CapacityEstimate {
+                    max_qps: lo,
+                    target_attainment,
+                    probes,
+                });
+            }
+        }
+    } else {
+        // Infeasible at the start: halve until something works.
+        hi = start;
+        lo = start / 2.0;
+        let mut halves = 0;
+        loop {
+            if run(lo, &mut probes)? {
+                break;
+            }
+            hi = lo;
+            lo /= 2.0;
+            halves += 1;
+            if halves >= 20 {
+                // Even a vanishing load misses the SLO: capacity is zero.
+                return Ok(CapacityEstimate {
+                    max_qps: 0.0,
+                    target_attainment,
+                    probes,
+                });
+            }
+        }
+    }
+
+    // Bisect the (feasible lo, infeasible hi) bracket.
+    for _ in 0..refine_iters {
+        let mid = (lo + hi) / 2.0;
+        if run(mid, &mut probes)? {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+
+    Ok(CapacityEstimate {
+        max_qps: lo,
+        target_attainment,
+        probes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::convert::Infallible;
+
+    /// A crisp synthetic capacity cliff at `cap` qps.
+    fn cliff(cap: f64) -> impl FnMut(f64) -> Result<f64, Infallible> {
+        move |qps| Ok(if qps <= cap { 1.0 } else { 0.0 })
+    }
+
+    #[test]
+    fn brackets_up_from_a_feasible_start() {
+        let est = find_max_qps(&mut cliff(1000.0), 100.0, 0.95, 8).unwrap();
+        assert!(
+            (est.max_qps - 1000.0).abs() / 1000.0 < 0.02,
+            "max_qps {} near the 1000 cliff",
+            est.max_qps
+        );
+        assert!(est.probes.iter().all(|p| p.feasible == (p.qps <= 1000.0)));
+    }
+
+    #[test]
+    fn brackets_down_from_an_infeasible_start() {
+        let est = find_max_qps(&mut cliff(50.0), 800.0, 0.95, 8).unwrap();
+        assert!(
+            (est.max_qps - 50.0).abs() / 50.0 < 0.05,
+            "max_qps {} near the 50 cliff",
+            est.max_qps
+        );
+    }
+
+    #[test]
+    fn hopeless_slo_reports_zero_capacity() {
+        let est = find_max_qps(&mut |_| Ok::<f64, Infallible>(0.0), 100.0, 0.95, 4).unwrap();
+        assert_eq!(est.max_qps, 0.0);
+    }
+
+    #[test]
+    fn estimate_is_always_a_feasible_probe() {
+        let est = find_max_qps(&mut cliff(333.0), 100.0, 0.95, 6).unwrap();
+        assert!(est
+            .probes
+            .iter()
+            .any(|p| p.feasible && p.qps == est.max_qps));
+    }
+
+    #[test]
+    fn probe_errors_propagate() {
+        let mut calls = 0;
+        let err = find_max_qps(
+            &mut |_| {
+                calls += 1;
+                if calls >= 3 {
+                    Err("boom")
+                } else {
+                    Ok(1.0)
+                }
+            },
+            100.0,
+            0.9,
+            4,
+        )
+        .unwrap_err();
+        assert_eq!(err, "boom");
+    }
+}

@@ -1,0 +1,254 @@
+//! SLO-aware request metrics distilled from a serving [`RunTrace`].
+
+use std::fmt;
+
+use jetsim_des::{SimDuration, SimTime};
+use jetsim_sim::serving::{DropKind, ServeEventKind};
+use jetsim_sim::RunTrace;
+use serde::Serialize;
+
+/// Per-tenant (serve group) request accounting over the measured window.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct GroupReport {
+    /// Serve group label (the tenant's `model:precision:bBATCH`).
+    pub label: String,
+    /// Requests that arrived inside the measured window.
+    pub offered: usize,
+    /// Requests completed successfully.
+    pub served: usize,
+    /// Requests turned away at admission ([`DropKind::Rejected`]).
+    pub rejected: usize,
+    /// Queued requests evicted to make room ([`DropKind::Shed`]).
+    pub shed: usize,
+    /// Requests still queued or in flight when the run ended.
+    pub unfinished: usize,
+    /// Offered load, requests/s.
+    pub offered_qps: f64,
+    /// Completed requests/s (regardless of latency).
+    pub served_qps: f64,
+    /// Completed requests/s that met the SLO — the number that matters.
+    pub goodput_qps: f64,
+    /// Fraction of *offered* requests that completed within the SLO.
+    pub slo_attainment: f64,
+    /// Median end-to-end latency, ms.
+    pub p50_ms: f64,
+    /// 95th-percentile latency, ms.
+    pub p95_ms: f64,
+    /// 99th-percentile latency, ms.
+    pub p99_ms: f64,
+    /// Mean time spent waiting in the admission queue, ms.
+    pub mean_queue_wait_ms: f64,
+    /// Mean dispatched batch size.
+    pub mean_batch: f64,
+    /// Deepest queue observed at a batch formation (queued + taken).
+    pub max_queue_depth: usize,
+    /// Batches dispatched on the degraded fallback engine.
+    pub degraded_batches: usize,
+}
+
+/// The full serving report: one [`GroupReport`] per tenant.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ServeReport {
+    /// Device the run simulated.
+    pub device: String,
+    /// Measured-window length, seconds (warmup excluded).
+    pub measured_secs: f64,
+    /// The SLO the latency columns are judged against, ms.
+    pub slo_ms: f64,
+    /// Per-tenant reports, in serve-group order.
+    pub groups: Vec<GroupReport>,
+}
+
+/// Nearest-rank percentile over an already-sorted slice, in ms.
+fn percentile_ms(sorted: &[SimDuration], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1].as_millis_f64()
+}
+
+impl ServeReport {
+    /// Distils per-tenant SLO metrics from a serving trace.
+    ///
+    /// Requests are attributed to the measured window by *arrival* time
+    /// (`arrival >= warmup`): a request that arrives in-window but
+    /// completes after the configured duration still counts against
+    /// attainment as `unfinished`, which is exactly the bias a real
+    /// load-test window has.
+    pub fn from_trace(trace: &RunTrace, slo: SimDuration, warmup: SimDuration) -> Self {
+        let window_start = SimTime::ZERO + warmup;
+        let measured_secs = trace.measured.as_secs_f64();
+        let groups = trace
+            .serve_group_labels
+            .iter()
+            .enumerate()
+            .map(|(g, label)| {
+                let mut offered = 0usize;
+                let mut served = 0usize;
+                let mut rejected = 0usize;
+                let mut shed = 0usize;
+                let mut unfinished = 0usize;
+                let mut within_slo = 0usize;
+                let mut latencies: Vec<SimDuration> = Vec::new();
+                let mut wait_total = SimDuration::ZERO;
+                let mut wait_count = 0usize;
+                for r in trace.requests.iter().filter(|r| r.group == g) {
+                    if r.arrival < window_start {
+                        continue;
+                    }
+                    offered += 1;
+                    if let Some(drop) = &r.dropped {
+                        match drop.kind {
+                            DropKind::Rejected => rejected += 1,
+                            DropKind::Shed => shed += 1,
+                            _ => {}
+                        }
+                        continue;
+                    }
+                    if let Some(latency) = r.latency() {
+                        served += 1;
+                        if latency <= slo {
+                            within_slo += 1;
+                        }
+                        latencies.push(latency);
+                        if let Some(wait) = r.queue_wait() {
+                            wait_total += wait;
+                            wait_count += 1;
+                        }
+                    } else {
+                        unfinished += 1;
+                    }
+                }
+                latencies.sort_unstable();
+
+                let mut batches = 0usize;
+                let mut batched_requests = 0u64;
+                let mut degraded_batches = 0usize;
+                let mut max_queue_depth = 0usize;
+                for e in trace
+                    .serve_events
+                    .iter()
+                    .filter(|e| e.group == g && e.time >= window_start)
+                {
+                    if let ServeEventKind::BatchFormed {
+                        size,
+                        queue_depth,
+                        degraded,
+                        ..
+                    } = e.kind
+                    {
+                        batches += 1;
+                        batched_requests += u64::from(size);
+                        degraded_batches += usize::from(degraded);
+                        max_queue_depth = max_queue_depth.max(queue_depth + size as usize);
+                    }
+                }
+
+                let per_sec = |n: usize| {
+                    if measured_secs > 0.0 {
+                        n as f64 / measured_secs
+                    } else {
+                        0.0
+                    }
+                };
+                GroupReport {
+                    label: label.clone(),
+                    offered,
+                    served,
+                    rejected,
+                    shed,
+                    unfinished,
+                    offered_qps: per_sec(offered),
+                    served_qps: per_sec(served),
+                    goodput_qps: per_sec(within_slo),
+                    slo_attainment: if offered > 0 {
+                        within_slo as f64 / offered as f64
+                    } else {
+                        0.0
+                    },
+                    p50_ms: percentile_ms(&latencies, 50.0),
+                    p95_ms: percentile_ms(&latencies, 95.0),
+                    p99_ms: percentile_ms(&latencies, 99.0),
+                    mean_queue_wait_ms: if wait_count > 0 {
+                        wait_total.as_millis_f64() / wait_count as f64
+                    } else {
+                        0.0
+                    },
+                    mean_batch: if batches > 0 {
+                        batched_requests as f64 / batches as f64
+                    } else {
+                        0.0
+                    },
+                    max_queue_depth,
+                    degraded_batches,
+                }
+            })
+            .collect();
+        ServeReport {
+            device: trace.device_name.clone(),
+            measured_secs,
+            slo_ms: slo.as_millis_f64(),
+            groups,
+        }
+    }
+}
+
+impl fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} — {:.1}s measured, {:.0}ms SLO",
+            self.device, self.measured_secs, self.slo_ms
+        )?;
+        writeln!(
+            f,
+            "{:<24} {:>8} {:>8} {:>7} {:>9} {:>9} {:>8} {:>8} {:>8} {:>6}",
+            "tenant",
+            "offered",
+            "served",
+            "drops",
+            "qps",
+            "goodput",
+            "p50ms",
+            "p95ms",
+            "p99ms",
+            "slo%"
+        )?;
+        for g in &self.groups {
+            writeln!(
+                f,
+                "{:<24} {:>8} {:>8} {:>7} {:>9.1} {:>9.1} {:>8.2} {:>8.2} {:>8.2} {:>5.1}%",
+                g.label,
+                g.offered,
+                g.served,
+                g.rejected + g.shed,
+                g.served_qps,
+                g.goodput_qps,
+                g.p50_ms,
+                g.p95_ms,
+                g.p99_ms,
+                g.slo_attainment * 100.0,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let ms: Vec<SimDuration> = (1..=100).map(SimDuration::from_millis).collect();
+        assert_eq!(percentile_ms(&ms, 50.0), 50.0);
+        assert_eq!(percentile_ms(&ms, 95.0), 95.0);
+        assert_eq!(percentile_ms(&ms, 99.0), 99.0);
+        assert_eq!(percentile_ms(&ms, 100.0), 100.0);
+        assert_eq!(percentile_ms(&[], 99.0), 0.0);
+        let one = [SimDuration::from_millis(7)];
+        assert_eq!(percentile_ms(&one, 50.0), 7.0);
+        assert_eq!(percentile_ms(&one, 99.0), 7.0);
+    }
+}

@@ -1,0 +1,357 @@
+//! Serving specifications: tenants, arrival processes and SLOs compiled
+//! onto the DES.
+
+use std::fmt;
+use std::sync::Arc;
+
+use jetsim::deployment::{DeploymentError, Tenant};
+use jetsim::platform::Platform;
+use jetsim_des::{ArrivalProcess, SimDuration};
+use jetsim_dnn::Precision;
+use jetsim_sim::serving::{AdmissionPolicy, ServeGroup, ServePlan};
+use jetsim_sim::{SimConfig, SimError, Simulation};
+use jetsim_trt::BuildError;
+
+use crate::capacity::{self, CapacityEstimate};
+use crate::metrics::ServeReport;
+
+/// One served tenant: a [`Tenant`] (model × precision × batch × instance
+/// count) plus the serving-side knobs — how its requests arrive, how
+/// long the batcher may hold a partial batch, and what happens when its
+/// queue fills up.
+#[derive(Debug, Clone)]
+pub struct ServeTenant {
+    /// What runs (each instance is one server process).
+    pub tenant: Tenant,
+    /// How requests arrive.
+    pub arrivals: ArrivalProcess,
+    /// Longest the dynamic batcher holds a partial batch.
+    pub max_delay: SimDuration,
+    /// Bounded admission-queue capacity.
+    pub queue_cap: usize,
+    /// Policy when the queue is full.
+    pub admission: AdmissionPolicy,
+}
+
+impl ServeTenant {
+    /// A served tenant with defaults: 5 ms batching delay, queue
+    /// capacity 64, [`AdmissionPolicy::Reject`].
+    pub fn new(tenant: Tenant, arrivals: ArrivalProcess) -> Self {
+        ServeTenant {
+            tenant,
+            arrivals,
+            max_delay: SimDuration::from_millis(5),
+            queue_cap: 64,
+            admission: AdmissionPolicy::Reject,
+        }
+    }
+
+    /// Parses a `model:precision:batch[:count]` tenant spec (the
+    /// `--tenant` grammar) and attaches an arrival process.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DeploymentError`] from [`Tenant::parse`].
+    pub fn parse_with_arrivals(
+        spec: &str,
+        arrivals: ArrivalProcess,
+    ) -> Result<Self, DeploymentError> {
+        Ok(ServeTenant::new(Tenant::parse(spec)?, arrivals))
+    }
+
+    /// Sets the batcher's flush deadline.
+    pub fn max_delay(mut self, max_delay: SimDuration) -> Self {
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// Sets the bounded queue capacity (clamped ≥ 1).
+    pub fn queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = cap.max(1);
+        self
+    }
+
+    /// Sets the admission policy.
+    pub fn admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+}
+
+/// Errors from building or running a serving simulation.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The spec has no tenants.
+    NoTenants,
+    /// Engine building failed for one tenant.
+    Build {
+        /// The tenant whose engine failed.
+        label: String,
+        /// The underlying build error.
+        source: BuildError,
+    },
+    /// The assembled simulation config was rejected.
+    Sim(SimError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::NoTenants => f.write_str("serving spec needs at least one tenant"),
+            ServeError::Build { label, source } => {
+                write!(f, "tenant {label}: engine build failed: {source}")
+            }
+            ServeError::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::NoTenants => None,
+            ServeError::Build { source, .. } => Some(source),
+            ServeError::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<SimError> for ServeError {
+    fn from(e: SimError) -> Self {
+        ServeError::Sim(e)
+    }
+}
+
+/// A complete serving experiment: platform, tenants, window and SLO.
+///
+/// # Examples
+///
+/// ```
+/// use jetsim::prelude::*;
+/// use jetsim_des::ArrivalProcess;
+/// use jetsim_serve::{ServeSpec, ServeTenant};
+///
+/// let spec = ServeSpec::new(Platform::orin_nano())
+///     .tenant(ServeTenant::new(
+///         Tenant::new(zoo::resnet50(), Precision::Int8, 1),
+///         ArrivalProcess::poisson(100.0),
+///     ))
+///     .duration(SimDuration::from_millis(500));
+/// let report = spec.run()?;
+/// assert_eq!(report.groups.len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServeSpec {
+    platform: Platform,
+    tenants: Vec<ServeTenant>,
+    warmup: SimDuration,
+    duration: SimDuration,
+    seed: u64,
+    slo: SimDuration,
+}
+
+impl ServeSpec {
+    /// A spec for `platform` with defaults: 500 ms warmup, 3 s measured
+    /// duration, a 50 ms SLO, and the workspace's standard seed.
+    pub fn new(platform: Platform) -> Self {
+        ServeSpec {
+            platform,
+            tenants: Vec::new(),
+            warmup: SimDuration::from_millis(500),
+            duration: SimDuration::from_secs(3),
+            seed: 0x6A65_7473,
+            slo: SimDuration::from_millis(50),
+        }
+    }
+
+    /// Appends a served tenant.
+    pub fn tenant(mut self, tenant: ServeTenant) -> Self {
+        self.tenants.push(tenant);
+        self
+    }
+
+    /// Sets the warmup interval (excluded from the report).
+    pub fn warmup(mut self, warmup: SimDuration) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Sets the measured duration.
+    pub fn duration(mut self, duration: SimDuration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Sets the RNG seed. The same spec and seed replays the exact
+    /// request timeline bit for bit.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the latency SLO that goodput and attainment are judged
+    /// against.
+    pub fn slo(mut self, slo: SimDuration) -> Self {
+        self.slo = slo;
+        self
+    }
+
+    /// The tenants, in group order.
+    pub fn tenants(&self) -> &[ServeTenant] {
+        &self.tenants
+    }
+
+    /// Overrides tenant `index`'s arrival process (used by the capacity
+    /// search to sweep offered load).
+    pub fn set_arrivals(&mut self, index: usize, arrivals: ArrivalProcess) {
+        self.tenants[index].arrivals = arrivals;
+    }
+
+    /// Compiles the spec into a [`SimConfig`] with a serve plan: each
+    /// tenant becomes one serve group whose members are its instances,
+    /// and [`AdmissionPolicy::Degrade`] tenants get a pre-built fallback
+    /// engine one rung down the pressure ladder.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoTenants`], [`ServeError::Build`] naming the
+    /// failing tenant, or [`ServeError::Sim`] from config validation.
+    pub fn build_config(&self) -> Result<SimConfig, ServeError> {
+        if self.tenants.is_empty() {
+            return Err(ServeError::NoTenants);
+        }
+        let mut builder = SimConfig::builder(self.platform.device().clone())
+            .warmup(self.warmup)
+            .measure(self.duration)
+            .seed(self.seed);
+        let mut plan = ServePlan::new();
+        let mut next_pid = 0usize;
+        for st in &self.tenants {
+            let t = &st.tenant;
+            let label = t.label();
+            let engine = self
+                .platform
+                .build_engine(t.model(), t.precision(), t.batch())
+                .map_err(|source| ServeError::Build {
+                    label: label.clone(),
+                    source,
+                })?;
+            let members: Vec<usize> = (next_pid..next_pid + t.instances() as usize).collect();
+            for instance in 0..t.instances() {
+                builder =
+                    builder.add_engine_named(format!("{label}/{instance}"), Arc::clone(&engine));
+            }
+            next_pid += t.instances() as usize;
+            let mut group = ServeGroup::new(label.clone(), st.arrivals.clone())
+                .members(members)
+                .max_delay(st.max_delay)
+                .queue_cap(st.queue_cap)
+                .admission(st.admission);
+            if st.admission == AdmissionPolicy::Degrade {
+                if let Some((precision, batch)) = degraded_variant(t.precision(), t.batch()) {
+                    let fallback = self
+                        .platform
+                        .build_engine(t.model(), precision, batch)
+                        .map_err(|source| ServeError::Build {
+                            label: label.clone(),
+                            source,
+                        })?;
+                    group = group.degraded_engine(fallback);
+                }
+            }
+            plan = plan.group(group);
+        }
+        builder.serve(plan).build().map_err(ServeError::Sim)
+    }
+
+    /// Runs the serving simulation and reports per-tenant SLO metrics.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeSpec::build_config`].
+    pub fn run(&self) -> Result<ServeReport, ServeError> {
+        let config = self.build_config()?;
+        let trace = Simulation::new(config)?.run();
+        Ok(ServeReport::from_trace(&trace, self.slo, self.warmup))
+    }
+
+    /// Searches for the highest offered load (requests/s, Poisson) that
+    /// tenant 0 sustains while keeping its SLO attainment at or above
+    /// `target_attainment`. Other tenants keep their configured traffic,
+    /// so the search answers "how much can this tenant take *given* its
+    /// neighbours".
+    ///
+    /// The search brackets by doubling/halving from the tenant's
+    /// configured mean rate, then bisects `refine_iters` times; every
+    /// probe is a full deterministic simulation, so the estimate is
+    /// reproducible for a fixed spec and seed.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeSpec::build_config`].
+    pub fn find_max_qps(
+        &self,
+        target_attainment: f64,
+        refine_iters: u32,
+    ) -> Result<CapacityEstimate, ServeError> {
+        if self.tenants.is_empty() {
+            return Err(ServeError::NoTenants);
+        }
+        let start = self.tenants[0].arrivals.mean_rate().unwrap_or(100.0);
+        let mut probe = |qps: f64| -> Result<f64, ServeError> {
+            let mut spec = self.clone();
+            spec.set_arrivals(0, ArrivalProcess::poisson(qps));
+            Ok(spec.run()?.groups[0].slo_attainment)
+        };
+        capacity::find_max_qps(&mut probe, start, target_attainment, refine_iters)
+    }
+}
+
+/// One rung down the degradation ladder the sweep supervisor uses for
+/// OOM pressure, applied online: drop to the next cheaper precision, or
+/// halve the batch once already at int8. `None` when the tenant is
+/// already at the floor (int8, batch 1).
+fn degraded_variant(precision: Precision, batch: u32) -> Option<(Precision, u32)> {
+    let idx = Precision::ALL.iter().position(|&p| p == precision)?;
+    if idx > 0 {
+        Some((Precision::ALL[idx - 1], batch))
+    } else if batch > 1 {
+        Some((precision, (batch / 2).max(1)))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrade_ladder_steps_down_then_halves() {
+        assert_eq!(
+            degraded_variant(Precision::Fp32, 4),
+            Some((Precision::Tf32, 4))
+        );
+        assert_eq!(
+            degraded_variant(Precision::Tf32, 4),
+            Some((Precision::Fp16, 4))
+        );
+        assert_eq!(
+            degraded_variant(Precision::Fp16, 4),
+            Some((Precision::Int8, 4))
+        );
+        assert_eq!(
+            degraded_variant(Precision::Int8, 4),
+            Some((Precision::Int8, 2))
+        );
+        assert_eq!(degraded_variant(Precision::Int8, 1), None);
+    }
+
+    #[test]
+    fn empty_spec_is_rejected() {
+        let err = ServeSpec::new(Platform::orin_nano()).run().unwrap_err();
+        assert!(matches!(err, ServeError::NoTenants), "{err}");
+        assert!(err.to_string().contains("at least one tenant"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for the serving primitives: arrival-stream
+//! replay determinism and batcher-policy safety bounds.
+
+use proptest::prelude::*;
+
+use jetsim_des::{ArrivalProcess, ArrivalStream, SimDuration, SimTime};
+use jetsim_serve::{BatchDecision, BatcherPolicy};
+
+/// Collects the first `n` gaps of a stream.
+fn gaps(process: &ArrivalProcess, seed: u64, n: usize) -> Vec<SimDuration> {
+    ArrivalStream::new(process.clone(), seed).take(n).collect()
+}
+
+/// Drives the pure batcher policy over an arrival timeline with an
+/// always-free server: requests queue as they arrive, the policy is
+/// consulted after every arrival and at every flush deadline, and each
+/// dispatch is recorded as (dispatch time, batch size, per-request
+/// arrival times).
+fn drive_batcher(policy: BatcherPolicy, arrival_gaps: &[u32]) -> Vec<(SimTime, u32, Vec<SimTime>)> {
+    let mut queued: Vec<SimTime> = Vec::new();
+    let mut dispatches = Vec::new();
+    let mut now = SimTime::ZERO;
+    let mut pending: Vec<SimTime> = arrival_gaps
+        .iter()
+        .scan(SimTime::ZERO, |t, &gap_us| {
+            *t += SimDuration::from_nanos(u64::from(gap_us) * 1_000);
+            Some(*t)
+        })
+        .collect();
+    pending.reverse(); // pop() yields arrivals in time order
+
+    loop {
+        let decision = policy.decide(now, queued.len(), queued.first().copied());
+        match decision {
+            BatchDecision::Dispatch(k) => {
+                let batch: Vec<SimTime> = queued.drain(..k as usize).collect();
+                dispatches.push((now, k, batch));
+                // Re-decide at the same instant (the queue may still be
+                // over max_batch).
+            }
+            BatchDecision::WaitUntil(deadline) => {
+                // Jump to whichever happens first: the flush deadline or
+                // the next arrival.
+                match pending.last().copied() {
+                    Some(arrival) if arrival <= deadline => {
+                        pending.pop();
+                        now = arrival;
+                        queued.push(arrival);
+                    }
+                    _ => now = deadline,
+                }
+            }
+            BatchDecision::Idle => match pending.pop() {
+                Some(arrival) => {
+                    now = arrival;
+                    queued.push(arrival);
+                }
+                None => break,
+            },
+        }
+    }
+    dispatches
+}
+
+proptest! {
+    /// A Poisson stream replays bit-identically for a fixed seed and
+    /// diverges for different seeds.
+    #[test]
+    fn poisson_streams_replay_bit_identically(
+        rate in 1.0f64..10_000.0,
+        seed in any::<u64>(),
+    ) {
+        let process = ArrivalProcess::poisson(rate);
+        let a = gaps(&process, seed, 64);
+        let b = gaps(&process, seed, 64);
+        prop_assert_eq!(&a, &b);
+        let c = gaps(&process, seed.wrapping_add(1), 64);
+        prop_assert!(a != c, "neighbouring seeds draw different streams");
+    }
+
+    /// An MMPP stream replays bit-identically for a fixed seed,
+    /// including its hidden calm/burst state transitions.
+    #[test]
+    fn mmpp_streams_replay_bit_identically(
+        calm in 1.0f64..500.0,
+        burst_mult in 2.0f64..50.0,
+        dwell_ms in 1u64..200,
+        seed in any::<u64>(),
+    ) {
+        let process = ArrivalProcess::mmpp(
+            calm,
+            calm * burst_mult,
+            SimDuration::from_millis(dwell_ms),
+            SimDuration::from_millis(dwell_ms * 2),
+        );
+        let a = gaps(&process, seed, 64);
+        let b = gaps(&process, seed, 64);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The batcher never dispatches more than `max_batch` requests at
+    /// once and never holds a request past `arrival + max_delay`,
+    /// for any arrival timeline.
+    #[test]
+    fn batcher_respects_size_and_delay_bounds(
+        max_batch in 1u32..16,
+        max_delay_us in 1u64..20_000,
+        arrival_gaps in prop::collection::vec(0u32..30_000, 1..120),
+    ) {
+        let policy = BatcherPolicy {
+            max_batch,
+            max_delay: SimDuration::from_nanos(max_delay_us * 1_000),
+        };
+        let dispatches = drive_batcher(policy, &arrival_gaps);
+
+        let total: u32 = dispatches.iter().map(|(_, k, _)| k).sum();
+        prop_assert_eq!(total as usize, arrival_gaps.len(), "every request dispatches");
+
+        for (at, size, batch) in &dispatches {
+            prop_assert!(*size >= 1 && *size <= max_batch,
+                "batch size {size} outside [1, {max_batch}]");
+            prop_assert_eq!(*size as usize, batch.len());
+            for &arrival in batch {
+                prop_assert!(*at >= arrival, "dispatch precedes arrival");
+                prop_assert!(
+                    at.since(arrival) <= policy.max_delay,
+                    "request waited {:?}, over the {:?} deadline",
+                    at.since(arrival),
+                    policy.max_delay
+                );
+            }
+        }
+    }
+
+    /// Back-to-back arrivals coalesce: when every gap is zero the
+    /// batcher fills whole batches instead of trickling singletons.
+    #[test]
+    fn simultaneous_arrivals_fill_batches(max_batch in 2u32..16, n in 2usize..64) {
+        let policy = BatcherPolicy {
+            max_batch,
+            max_delay: SimDuration::from_millis(1),
+        };
+        let zero_gaps = vec![0u32; n];
+        let dispatches = drive_batcher(policy, &zero_gaps);
+        for (i, (_, size, _)) in dispatches.iter().enumerate() {
+            if i + 1 < dispatches.len() {
+                prop_assert_eq!(*size, max_batch, "only the tail batch may be partial");
+            }
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! The ingress component: open-loop request arrivals, bounded admission
+//! queues and per-group dynamic batching in front of the server
+//! processes.
+//!
+//! Ingress sits *outside* the engine model: it decides when a server
+//! process starts its next execution context and on which engine, then
+//! hands the batch to [`CpuSched::start_launch`] — the launch, GPU and
+//! synchronisation paths are exactly the closed-loop ones. A server's
+//! sync return posts [`IngressEvent::ServerFree`] instead of
+//! re-enqueueing, which is the entire difference between `trtexec`
+//! saturation and online serving.
+//!
+//! Configs without a [`crate::serving::ServePlan`] construct an empty
+//! ingress: no groups, no events, no RNG draws — closed-loop runs stay
+//! byte-identical.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use jetsim_des::{ArrivalStream, SimTime};
+use jetsim_trt::Engine;
+
+use crate::config::SimConfig;
+use crate::serving::{
+    AdmissionPolicy, BatchDecision, BatcherPolicy, DropKind, DropRecord, RequestRecord, ServeEvent,
+    ServeEventKind,
+};
+
+use super::gpu::GpuEngine;
+use super::sched::CpuSched;
+use super::{Component, Ctx, Event};
+
+/// Events consumed by [`Ingress`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum IngressEvent {
+    /// A request arrives at a serve group.
+    Arrival {
+        /// The group it arrives at.
+        group: usize,
+    },
+    /// A partial batch's `max_delay` deadline expired.
+    Flush {
+        /// The group whose batcher should re-decide.
+        group: usize,
+        /// Generation stamp; stale flushes are ignored.
+        gen: u64,
+    },
+    /// A server process finished its batch and is free again.
+    ServerFree {
+        /// The server process.
+        pid: usize,
+    },
+}
+
+/// Peer components an ingress event may drive: dispatching a batch
+/// starts a host-thread launch burst, which may immediately reach the
+/// GPU.
+pub(crate) struct IngressDeps<'d> {
+    pub sched: &'d mut CpuSched,
+    pub gpu: &'d mut GpuEngine,
+}
+
+/// Runtime state of one serve group.
+struct GroupRt {
+    /// Member server pids.
+    members: Vec<usize>,
+    /// Members currently idle, FIFO.
+    free: VecDeque<usize>,
+    /// Queued request indices (into [`Ingress::requests`]), FIFO.
+    queue: VecDeque<usize>,
+    /// The group's seeded arrival gap generator.
+    stream: ArrivalStream,
+    /// The dynamic-batching rule (`max_batch` = the engine's built batch).
+    policy: BatcherPolicy,
+    /// Bounded queue capacity.
+    queue_cap: usize,
+    /// Full-queue policy.
+    admission: AdmissionPolicy,
+    /// The group's normal engine.
+    normal: Arc<Engine>,
+    /// Pre-built fallback engine for [`AdmissionPolicy::Degrade`].
+    degraded: Option<Arc<Engine>>,
+    /// Whether the group is currently serving on the degraded engine.
+    degraded_mode: bool,
+    /// Invalidates stale [`IngressEvent::Flush`] events.
+    flush_gen: u64,
+    /// Deadline of the currently scheduled flush, if any.
+    flush_at: Option<SimTime>,
+    /// `true` once a non-cycling trace ran out of arrivals.
+    exhausted: bool,
+    /// Arrival counter (request sequence numbers).
+    seq: u64,
+}
+
+/// The ingress component: owns every serve group's queue, batcher and
+/// arrival stream, plus the request/serve-event logs that end up in the
+/// [`crate::RunTrace`].
+pub(crate) struct Ingress {
+    groups: Vec<GroupRt>,
+    /// Which group each pid serves, `None` for closed-loop processes.
+    group_of_pid: Vec<Option<usize>>,
+    /// Requests currently executing on each pid.
+    inflight: Vec<Vec<usize>>,
+    /// Every request's lifecycle, in arrival order.
+    pub(crate) requests: Vec<RequestRecord>,
+    /// Batch formations and degradation flips, in time order.
+    pub(crate) serve_events: Vec<ServeEvent>,
+}
+
+impl Component for Ingress {
+    type Event = IngressEvent;
+    type Deps<'d> = IngressDeps<'d>;
+
+    fn handle(
+        &mut self,
+        ev: IngressEvent,
+        now: SimTime,
+        ctx: &mut Ctx<'_>,
+        mut deps: IngressDeps<'_>,
+    ) {
+        match ev {
+            IngressEvent::Arrival { group } => self.on_arrival(group, now, ctx, &mut deps),
+            IngressEvent::Flush { group, gen } => {
+                if self.groups[group].flush_gen == gen {
+                    self.groups[group].flush_at = None;
+                    self.try_dispatch(group, now, ctx, &mut deps);
+                }
+            }
+            IngressEvent::ServerFree { pid } => self.on_server_free(pid, now, ctx, &mut deps),
+        }
+    }
+}
+
+impl Ingress {
+    /// Builds the ingress state for `config`'s serve plan (empty state
+    /// for closed-loop configs).
+    pub(crate) fn new(config: &SimConfig) -> Self {
+        let n = config.processes.len();
+        let mut group_of_pid = vec![None; n];
+        let mut groups = Vec::new();
+        if let Some(plan) = &config.serve {
+            for (g, sg) in plan.groups.iter().enumerate() {
+                for &pid in &sg.members {
+                    group_of_pid[pid] = Some(g);
+                }
+                let lead = &config.processes[sg.members[0]];
+                // Per-group arrival seed folded from the run's master
+                // seed, so adding a group never perturbs another group's
+                // traffic (and the main dynamics RNG is untouched).
+                let seed = config
+                    .seed
+                    .wrapping_add((g as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                groups.push(GroupRt {
+                    members: sg.members.clone(),
+                    free: VecDeque::with_capacity(sg.members.len()),
+                    queue: VecDeque::with_capacity(sg.queue_cap.min(1 << 16)),
+                    stream: ArrivalStream::new(sg.arrivals.clone(), seed),
+                    policy: BatcherPolicy::new(lead.engine.batch(), sg.max_delay),
+                    queue_cap: sg.queue_cap,
+                    admission: sg.admission,
+                    normal: Arc::clone(&lead.engine),
+                    degraded: sg.degraded_engine.clone(),
+                    degraded_mode: false,
+                    flush_gen: 0,
+                    flush_at: None,
+                    exhausted: false,
+                    seq: 0,
+                });
+            }
+        }
+        Ingress {
+            groups,
+            group_of_pid,
+            inflight: vec![Vec::new(); n],
+            requests: Vec::new(),
+            serve_events: Vec::new(),
+        }
+    }
+
+    /// `true` when `pid` is a server (its ECs are driven by ingress, not
+    /// the closed loop).
+    pub(crate) fn serves(&self, pid: usize) -> bool {
+        self.group_of_pid.get(pid).is_some_and(|g| g.is_some())
+    }
+
+    /// Registers the surviving members as free servers and schedules
+    /// every group's first arrival. Called once at the start of the run,
+    /// after the memory guard resolved start-of-run overcommits.
+    pub(crate) fn start(&mut self, ctx: &mut Ctx<'_>) {
+        for g in 0..self.groups.len() {
+            let alive: Vec<usize> = self.groups[g]
+                .members
+                .iter()
+                .copied()
+                .filter(|&pid| ctx.alive[pid])
+                .collect();
+            self.groups[g].free.extend(alive);
+            self.schedule_next_arrival(g, SimTime::ZERO, ctx);
+        }
+    }
+
+    /// Draws the next inter-arrival gap and schedules the arrival.
+    fn schedule_next_arrival(&mut self, g: usize, now: SimTime, ctx: &mut Ctx<'_>) {
+        let grp = &mut self.groups[g];
+        if grp.exhausted {
+            return;
+        }
+        match grp.stream.next_gap() {
+            Some(gap) => ctx.queue.schedule(
+                now + gap,
+                Event::Ingress(IngressEvent::Arrival { group: g }),
+            ),
+            None => grp.exhausted = true,
+        }
+    }
+
+    /// A request arrives: record it, apply admission, dispatch if
+    /// possible, and schedule the next arrival.
+    fn on_arrival(
+        &mut self,
+        g: usize,
+        now: SimTime,
+        ctx: &mut Ctx<'_>,
+        deps: &mut IngressDeps<'_>,
+    ) {
+        let seq = self.groups[g].seq;
+        self.groups[g].seq += 1;
+        let ri = self.requests.len();
+        self.requests.push(RequestRecord {
+            group: g,
+            seq,
+            arrival: now,
+            dispatched: None,
+            completed: None,
+            dropped: None,
+            pid: None,
+            batch_size: 0,
+            degraded: false,
+        });
+        if self.groups[g].queue.len() >= self.groups[g].queue_cap {
+            match self.groups[g].admission {
+                AdmissionPolicy::Reject => {
+                    self.requests[ri].dropped = Some(DropRecord {
+                        at: now,
+                        kind: DropKind::Rejected,
+                    });
+                }
+                AdmissionPolicy::Shed | AdmissionPolicy::Degrade => {
+                    // Freshest-frame discipline: the stalest queued
+                    // request makes room for the newest.
+                    let victim = self.groups[g]
+                        .queue
+                        .pop_front()
+                        .expect("full queue has a front");
+                    self.requests[victim].dropped = Some(DropRecord {
+                        at: now,
+                        kind: DropKind::Shed,
+                    });
+                    self.groups[g].queue.push_back(ri);
+                    if self.groups[g].admission == AdmissionPolicy::Degrade
+                        && self.groups[g].degraded.is_some()
+                        && !self.groups[g].degraded_mode
+                    {
+                        self.groups[g].degraded_mode = true;
+                        let queue_depth = self.groups[g].queue.len();
+                        self.serve_events.push(ServeEvent {
+                            time: now,
+                            group: g,
+                            kind: ServeEventKind::DegradeEnter { queue_depth },
+                        });
+                    }
+                }
+            }
+        } else {
+            self.groups[g].queue.push_back(ri);
+        }
+        self.try_dispatch(g, now, ctx, deps);
+        self.schedule_next_arrival(g, now, ctx);
+    }
+
+    /// A server returned from synchronize: complete its batch, free it,
+    /// relax degraded mode if the queue drained, and keep dispatching.
+    fn on_server_free(
+        &mut self,
+        pid: usize,
+        now: SimTime,
+        ctx: &mut Ctx<'_>,
+        deps: &mut IngressDeps<'_>,
+    ) {
+        let Some(g) = self.group_of_pid[pid] else {
+            return;
+        };
+        for ri in std::mem::take(&mut self.inflight[pid]) {
+            self.requests[ri].completed = Some(now);
+        }
+        if ctx.alive[pid] {
+            self.groups[g].free.push_back(pid);
+        }
+        // Hysteresis: leave degraded mode only once the queue has
+        // drained well below capacity, so the group doesn't oscillate at
+        // the admission boundary.
+        let queue_depth = self.groups[g].queue.len();
+        if self.groups[g].degraded_mode && queue_depth * 4 <= self.groups[g].queue_cap {
+            self.groups[g].degraded_mode = false;
+            self.serve_events.push(ServeEvent {
+                time: now,
+                group: g,
+                kind: ServeEventKind::DegradeExit { queue_depth },
+            });
+        }
+        self.try_dispatch(g, now, ctx, deps);
+    }
+
+    /// Matches free servers against the queue until the batcher says
+    /// wait (or everything is busy/empty).
+    fn try_dispatch(
+        &mut self,
+        g: usize,
+        now: SimTime,
+        ctx: &mut Ctx<'_>,
+        deps: &mut IngressDeps<'_>,
+    ) {
+        loop {
+            // Next live free server (members the OOM killer took are
+            // dropped lazily here).
+            let pid = loop {
+                match self.groups[g].free.pop_front() {
+                    Some(p) if ctx.alive[p] => break p,
+                    Some(_) => continue,
+                    None => return,
+                }
+            };
+            let grp = &mut self.groups[g];
+            let oldest = grp.queue.front().map(|&ri| self.requests[ri].arrival);
+            match grp.policy.decide(now, grp.queue.len(), oldest) {
+                BatchDecision::Idle => {
+                    grp.free.push_front(pid);
+                    return;
+                }
+                BatchDecision::WaitUntil(deadline) => {
+                    grp.free.push_front(pid);
+                    if grp.flush_at != Some(deadline) {
+                        grp.flush_gen += 1;
+                        grp.flush_at = Some(deadline);
+                        let gen = grp.flush_gen;
+                        ctx.queue.schedule(
+                            deadline,
+                            Event::Ingress(IngressEvent::Flush { group: g, gen }),
+                        );
+                    }
+                    return;
+                }
+                BatchDecision::Dispatch(k) => {
+                    // Any pending flush is now stale.
+                    grp.flush_gen += 1;
+                    grp.flush_at = None;
+                    let degraded = grp.degraded_mode && grp.degraded.is_some();
+                    let engine = if degraded {
+                        Arc::clone(grp.degraded.as_ref().expect("checked"))
+                    } else {
+                        Arc::clone(&grp.normal)
+                    };
+                    let oldest = oldest.expect("dispatch implies a queued request");
+                    let batch: Vec<usize> = (0..k)
+                        .map(|_| grp.queue.pop_front().expect("decide bounded by queue"))
+                        .collect();
+                    let queue_depth = grp.queue.len();
+                    for &ri in &batch {
+                        let r = &mut self.requests[ri];
+                        r.dispatched = Some(now);
+                        r.pid = Some(pid);
+                        r.batch_size = k;
+                        r.degraded = degraded;
+                    }
+                    self.inflight[pid] = batch;
+                    self.serve_events.push(ServeEvent {
+                        time: now,
+                        group: g,
+                        kind: ServeEventKind::BatchFormed {
+                            pid,
+                            size: k,
+                            oldest_wait: now.saturating_since(oldest),
+                            queue_depth,
+                            degraded,
+                        },
+                    });
+                    // Hand the batch to the host thread: a server is idle
+                    // between batches (next_launch == 0), so swapping the
+                    // engine at this boundary is safe.
+                    let proc = &mut ctx.procs[pid];
+                    if !Arc::ptr_eq(&proc.engine, &engine) {
+                        proc.engine = engine;
+                    }
+                    proc.cur_queue_delay = now.saturating_since(oldest);
+                    proc.ec_start = now;
+                    deps.sched.start_launch(pid, now, ctx, deps.gpu);
+                }
+            }
+        }
+    }
+}

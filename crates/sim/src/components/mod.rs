@@ -25,6 +25,7 @@
 
 pub(crate) mod governor;
 pub(crate) mod gpu;
+pub(crate) mod ingress;
 pub(crate) mod memory_guard;
 pub(crate) mod sampler;
 pub(crate) mod sched;
@@ -54,6 +55,9 @@ pub(crate) enum Event {
     Memory(memory_guard::MemoryEvent),
     /// `jetson-stats` sampling ticks ([`sampler::Sampler`]).
     Sampler(sampler::SamplerEvent),
+    /// Request arrivals, batch flushes and server completions
+    /// ([`ingress::Ingress`]). Never scheduled for closed-loop configs.
+    Ingress(ingress::IngressEvent),
 }
 
 /// Shared simulation state every component may read or mutate while
@@ -121,6 +125,10 @@ pub(crate) struct Proc {
     pub next_arrival: SimTime,
     /// Queueing delay of the EC currently in flight.
     pub cur_queue_delay: SimDuration,
+    /// The serve group this process belongs to, `None` for closed-loop
+    /// processes. Servers don't self-enqueue: the ingress component
+    /// decides when (and on which engine) their next EC starts.
+    pub serve_group: Option<usize>,
     /// Run-queue scheduler state for this thread.
     pub cpu: RqThread,
     /// Kernels launched and ready for the GPU, FIFO.

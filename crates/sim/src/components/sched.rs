@@ -504,6 +504,20 @@ impl CpuSched {
         proc.cur_blocking = SimDuration::ZERO;
         proc.cur_gpu = SimDuration::ZERO;
         proc.cache_cold = false;
+        if ctx.procs[pid].serve_group.is_some() {
+            // Servers don't self-enqueue: release the core (a server
+            // with an empty queue must not spin on it) and hand control
+            // back to the ingress component, which completes the batch
+            // and decides when the next one starts.
+            if Self::run_queue_mode(ctx) && ctx.procs[pid].cpu.state == RqState::Running {
+                self.rq_release(pid, now, ctx);
+            }
+            ctx.queue.schedule(
+                now,
+                Event::Ingress(super::ingress::IngressEvent::ServerFree { pid }),
+            );
+            return;
+        }
         self.begin_next_ec(pid, now, ctx, gpu);
     }
 }

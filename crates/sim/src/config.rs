@@ -10,6 +10,7 @@ use jetsim_trt::{BuildError, Engine, EngineBuilder};
 
 use crate::error::SimError;
 use crate::faults::{FaultPlan, OomPolicy};
+use crate::serving::ServePlan;
 
 /// How concurrent processes share the GPU.
 ///
@@ -173,6 +174,11 @@ pub struct SimConfig {
     /// have been processed and [`crate::RunTrace::budget_exceeded`] is
     /// raised — a watchdog against runaway cells in supervised sweeps.
     pub event_budget: Option<u64>,
+    /// Request-level serving plan: designated processes become servers
+    /// fed by open-loop arrivals through admission queues and dynamic
+    /// batchers. `None` (the default) keeps the run byte-identical to a
+    /// simulator without serving machinery.
+    pub serve: Option<ServePlan>,
 }
 
 impl SimConfig {
@@ -191,6 +197,7 @@ impl SimConfig {
             record_kernel_events: true,
             faults: FaultPlan::default(),
             event_budget: None,
+            serve: None,
         }
     }
 
@@ -204,11 +211,29 @@ impl SimConfig {
     /// runtime, CUDA context and engine once.
     pub fn total_footprint_bytes(&self) -> u64 {
         self.shared_bytes(self.device.memory.per_process_host_bytes)
+            .saturating_add(self.serve_extra_bytes())
     }
 
     /// Combined GPU-side allocation (what `jetson-stats` reports).
     pub fn gpu_memory_bytes(&self) -> u64 {
         self.shared_bytes(0)
+            .saturating_add(self.serve_extra_bytes())
+    }
+
+    /// Extra resident bytes for serve groups' degraded fallback engines:
+    /// each member keeps both engines loaded so the swap at a batch
+    /// boundary costs nothing — which means both count against the
+    /// board's unified memory for the whole run.
+    fn serve_extra_bytes(&self) -> u64 {
+        let Some(plan) = &self.serve else { return 0 };
+        plan.groups
+            .iter()
+            .filter_map(|g| {
+                g.degraded_engine.as_ref().map(|e| {
+                    g.members.len() as u64 * (e.engine_bytes() + e.io_bytes() + e.workspace_bytes())
+                })
+            })
+            .sum()
     }
 
     fn shared_bytes(&self, per_group_host: u64) -> u64 {
@@ -246,6 +271,7 @@ pub struct SimConfigBuilder {
     record_kernel_events: bool,
     faults: FaultPlan,
     event_budget: Option<u64>,
+    serve: Option<ServePlan>,
 }
 
 impl SimConfigBuilder {
@@ -279,11 +305,23 @@ impl SimConfigBuilder {
 
     /// Adds one process fed by the given arrival model (open-loop camera
     /// pipelines instead of `trtexec` saturation).
-    pub fn add_engine_with_arrivals(mut self, engine: Arc<Engine>, arrivals: ArrivalModel) -> Self {
-        let group = self.processes.len();
+    pub fn add_engine_with_arrivals(self, engine: Arc<Engine>, arrivals: ArrivalModel) -> Self {
         let name = format!("p{}", self.processes.len());
+        self.add_engine_named_with_arrivals(name, engine, arrivals)
+    }
+
+    /// Adds one named process fed by the given arrival model —
+    /// tenant-labelled open-loop deployments, e.g. a sweep cell offering
+    /// a fixed request rate to each tenant instance.
+    pub fn add_engine_named_with_arrivals(
+        mut self,
+        name: impl Into<String>,
+        engine: Arc<Engine>,
+        arrivals: ArrivalModel,
+    ) -> Self {
+        let group = self.processes.len();
         self.processes.push(ProcessConfig {
-            name,
+            name: name.into(),
             engine,
             arrivals,
             memory_group: group,
@@ -419,6 +457,14 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Attaches a request-level serving plan: the plan's member
+    /// processes stop self-enqueueing and instead serve batches formed
+    /// from open-loop arrivals (see [`crate::serving`]).
+    pub fn serve(mut self, plan: ServePlan) -> Self {
+        self.serve = Some(plan);
+        self
+    }
+
     /// Finalises the configuration.
     ///
     /// # Errors
@@ -434,6 +480,9 @@ impl SimConfigBuilder {
         if self.processes.is_empty() {
             return Err(SimError::NoProcesses);
         }
+        if let Some(plan) = &self.serve {
+            Self::validate_serve(plan, self.processes.len())?;
+        }
         let config = SimConfig {
             device: self.device,
             processes: self.processes,
@@ -447,6 +496,7 @@ impl SimConfigBuilder {
             record_kernel_events: self.record_kernel_events,
             faults: self.faults,
             event_budget: self.event_budget,
+            serve: self.serve,
         };
         if config.faults.oom == OomPolicy::Strict {
             let footprint = config
@@ -460,6 +510,41 @@ impl SimConfigBuilder {
             }
         }
         Ok(config)
+    }
+
+    /// A serve plan is well-formed when every group has at least one
+    /// member, every member names an existing process, and no process
+    /// serves two groups.
+    fn validate_serve(plan: &ServePlan, n_processes: usize) -> Result<(), SimError> {
+        let mut claimed = vec![false; n_processes];
+        for group in &plan.groups {
+            if group.members.is_empty() {
+                return Err(SimError::InvalidServePlan {
+                    reason: format!("serve group `{}` has no member processes", group.label),
+                });
+            }
+            for &pid in &group.members {
+                if pid >= n_processes {
+                    return Err(SimError::InvalidServePlan {
+                        reason: format!(
+                            "serve group `{}` names process {pid}, but only {n_processes} \
+                             processes are configured",
+                            group.label
+                        ),
+                    });
+                }
+                if std::mem::replace(&mut claimed[pid], true) {
+                    return Err(SimError::InvalidServePlan {
+                        reason: format!(
+                            "process {pid} is a member of more than one serve group \
+                             (`{}` claims it again)",
+                            group.label
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 }
 

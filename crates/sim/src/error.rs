@@ -20,6 +20,12 @@ pub enum SimError {
         /// Bytes the board can actually provide.
         usable_bytes: u64,
     },
+    /// The serving plan references processes that don't exist, claims a
+    /// process for two groups, or contains an empty group.
+    InvalidServePlan {
+        /// Which rule the plan broke.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -36,6 +42,9 @@ impl fmt::Display for SimError {
                 *required_bytes as f64 / (1024.0 * 1024.0),
                 *usable_bytes as f64 / (1024.0 * 1024.0),
             ),
+            SimError::InvalidServePlan { reason } => {
+                write!(f, "invalid serve plan: {reason}")
+            }
         }
     }
 }

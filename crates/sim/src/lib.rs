@@ -46,6 +46,7 @@ pub(crate) mod components;
 pub mod config;
 pub mod error;
 pub mod faults;
+pub mod serving;
 pub mod simulation;
 pub mod trace;
 
@@ -54,5 +55,9 @@ pub use config::{
 };
 pub use error::SimError;
 pub use faults::{FaultEvent, FaultKind, FaultPlan, MemorySpike, OomPolicy, ThrottleLock};
+pub use serving::{
+    AdmissionPolicy, BatchDecision, BatcherPolicy, DropKind, DropRecord, RequestRecord, ServeEvent,
+    ServeEventKind, ServeGroup, ServePlan,
+};
 pub use simulation::Simulation;
 pub use trace::{EcRecord, KernelEvent, PowerSample, ProcessStats, RunTrace};

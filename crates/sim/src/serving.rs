@@ -1,0 +1,433 @@
+//! Request-level serving: open-loop arrivals, per-tenant dynamic
+//! batching and admission control layered over the closed-loop DES.
+//!
+//! A [`ServePlan`] attached to a [`crate::SimConfig`] turns designated
+//! processes into *servers*: instead of re-enqueueing work the moment an
+//! execution context returns (the paper's `trtexec` loop), each serve
+//! group draws requests from a seeded
+//! [`jetsim_des::ArrivalProcess`], queues them behind a bounded
+//! admission queue, coalesces them into batches under a
+//! [`BatcherPolicy`], and dispatches each batch through the unmodified
+//! engine/GPU model. TensorRT engines in this workspace are built at a
+//! fixed batch size, and a partial batch pays the full fixed-batch
+//! execution time (static-shape padding) — so batching never requires a
+//! second engine model, only the decision of *when* to stop waiting.
+//!
+//! A config with no serve plan schedules no serving events and draws no
+//! extra randomness: closed-loop runs stay byte-identical to a simulator
+//! without any serving machinery.
+
+use std::sync::Arc;
+
+use jetsim_des::{ArrivalProcess, SimDuration, SimTime};
+use jetsim_trt::Engine;
+
+/// What a serve group does with a new arrival when its queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum AdmissionPolicy {
+    /// Drop the newcomer (classic bounded queue). The default.
+    #[default]
+    Reject,
+    /// Drop the *oldest* queued request and admit the newcomer — the
+    /// freshest-frame discipline of live vision pipelines, where a stale
+    /// frame is worth less than the one the camera just produced.
+    Shed,
+    /// Shed the oldest request *and* enter degraded mode: members switch
+    /// to the group's pre-built degraded engine (lower precision or
+    /// halved batch — the sweep supervisor's ladder, applied online) at
+    /// their next batch boundary, and switch back once the queue drains
+    /// below a quarter of its capacity. Falls back to [`Shed`]
+    /// behaviour when the group has no degraded engine.
+    ///
+    /// [`Shed`]: AdmissionPolicy::Shed
+    Degrade,
+}
+
+/// When the dynamic batcher dispatches, given a free server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchDecision {
+    /// Dispatch this many queued requests now.
+    Dispatch(u32),
+    /// Hold: the queue is short of a full batch and the oldest request
+    /// has waited less than `max_delay`. Re-decide at this time.
+    WaitUntil(SimTime),
+    /// Nothing queued.
+    Idle,
+}
+
+/// The dynamic-batching rule: coalesce up to `max_batch` requests, but
+/// never hold the oldest one past `max_delay`.
+///
+/// The decision core is pure — no clock, no queue ownership — so the
+/// batcher's two invariants (batch size ≤ `max_batch`; no request held
+/// past `max_delay` while a server is free) can be property-tested
+/// without running a simulation.
+///
+/// # Examples
+///
+/// ```
+/// use jetsim_des::{SimDuration, SimTime};
+/// use jetsim_sim::serving::{BatchDecision, BatcherPolicy};
+///
+/// let policy = BatcherPolicy::new(4, SimDuration::from_millis(5));
+/// let t0 = SimTime::ZERO;
+/// // Two queued, oldest arrived just now: wait for more.
+/// assert_eq!(
+///     policy.decide(t0, 2, Some(t0)),
+///     BatchDecision::WaitUntil(t0 + SimDuration::from_millis(5))
+/// );
+/// // A full batch dispatches immediately.
+/// assert_eq!(policy.decide(t0, 6, Some(t0)), BatchDecision::Dispatch(4));
+/// // The deadline flushes a partial batch.
+/// let later = t0 + SimDuration::from_millis(5);
+/// assert_eq!(policy.decide(later, 2, Some(t0)), BatchDecision::Dispatch(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatcherPolicy {
+    /// Largest batch to form (the engine's built batch size — a partial
+    /// batch still pays the full fixed-shape execution).
+    pub max_batch: u32,
+    /// Longest the oldest queued request may wait before a partial
+    /// batch is flushed anyway.
+    pub max_delay: SimDuration,
+}
+
+impl BatcherPolicy {
+    /// A policy coalescing up to `max_batch` (clamped ≥ 1) requests for
+    /// at most `max_delay`.
+    pub fn new(max_batch: u32, max_delay: SimDuration) -> Self {
+        BatcherPolicy {
+            max_batch: max_batch.max(1),
+            max_delay,
+        }
+    }
+
+    /// Decides what a free server should do at `now` given `queued`
+    /// requests whose oldest arrived at `oldest_arrival`.
+    pub fn decide(
+        &self,
+        now: SimTime,
+        queued: usize,
+        oldest_arrival: Option<SimTime>,
+    ) -> BatchDecision {
+        let Some(oldest) = oldest_arrival else {
+            return BatchDecision::Idle;
+        };
+        if queued == 0 {
+            return BatchDecision::Idle;
+        }
+        if queued as u64 >= u64::from(self.max_batch) {
+            return BatchDecision::Dispatch(self.max_batch);
+        }
+        let deadline = oldest + self.max_delay;
+        if deadline <= now {
+            BatchDecision::Dispatch(queued as u32)
+        } else {
+            BatchDecision::WaitUntil(deadline)
+        }
+    }
+}
+
+/// One serve group: a set of server processes (typically one tenant's
+/// instances, all running the same engine) fed by one arrival stream
+/// through one queue and batcher.
+#[derive(Debug, Clone)]
+pub struct ServeGroup {
+    /// Group label, carried into [`crate::RunTrace::serve_group_labels`]
+    /// for reports and timeline tooling.
+    pub label: String,
+    /// How requests arrive.
+    pub arrivals: ArrivalProcess,
+    /// Longest the batcher holds a partial batch.
+    pub max_delay: SimDuration,
+    /// Bounded queue capacity; arrivals beyond it hit the
+    /// [`AdmissionPolicy`].
+    pub queue_cap: usize,
+    /// What happens to arrivals when the queue is full.
+    pub admission: AdmissionPolicy,
+    /// Process indices (into [`crate::SimConfig::processes`]) that serve
+    /// this group's requests. Each member must belong to exactly one
+    /// group.
+    pub members: Vec<usize>,
+    /// Pre-built fallback engine for [`AdmissionPolicy::Degrade`]:
+    /// members swap to it at a batch boundary while the group is under
+    /// pressure. Its memory footprint is counted against the board while
+    /// the plan is attached (both engines stay resident).
+    pub degraded_engine: Option<Arc<Engine>>,
+}
+
+impl ServeGroup {
+    /// A group with the given label and arrival process; defaults:
+    /// 5 ms `max_delay`, queue capacity 64, [`AdmissionPolicy::Reject`],
+    /// no members, no degraded engine.
+    pub fn new(label: impl Into<String>, arrivals: ArrivalProcess) -> Self {
+        ServeGroup {
+            label: label.into(),
+            arrivals,
+            max_delay: SimDuration::from_millis(5),
+            queue_cap: 64,
+            admission: AdmissionPolicy::Reject,
+            members: Vec::new(),
+            degraded_engine: None,
+        }
+    }
+
+    /// Sets the member process indices.
+    pub fn members<I: IntoIterator<Item = usize>>(mut self, members: I) -> Self {
+        self.members = members.into_iter().collect();
+        self
+    }
+
+    /// Sets the batcher's flush deadline.
+    pub fn max_delay(mut self, max_delay: SimDuration) -> Self {
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// Sets the bounded queue capacity (clamped ≥ 1).
+    pub fn queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = cap.max(1);
+        self
+    }
+
+    /// Sets the admission policy.
+    pub fn admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Attaches the degraded fallback engine for
+    /// [`AdmissionPolicy::Degrade`].
+    pub fn degraded_engine(mut self, engine: Arc<Engine>) -> Self {
+        self.degraded_engine = Some(engine);
+        self
+    }
+}
+
+/// The full serving configuration of one run: a list of groups.
+///
+/// Attached via [`crate::SimConfigBuilder::serve`]. An absent plan (the
+/// default) leaves the simulation byte-identical to one without any
+/// serving machinery.
+#[derive(Debug, Clone, Default)]
+pub struct ServePlan {
+    /// The serve groups, in order; a request's
+    /// [`RequestRecord::group`] indexes this list.
+    pub groups: Vec<ServeGroup>,
+}
+
+impl ServePlan {
+    /// An empty plan to extend with [`ServePlan::group`].
+    pub fn new() -> Self {
+        ServePlan::default()
+    }
+
+    /// Appends a group.
+    pub fn group(mut self, group: ServeGroup) -> Self {
+        self.groups.push(group);
+        self
+    }
+
+    /// `true` when the plan has no groups.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+}
+
+/// Why a request was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DropKind {
+    /// The queue was full and the group rejects newcomers.
+    Rejected,
+    /// The request was shed from the front of a full queue to admit a
+    /// fresher one ([`AdmissionPolicy::Shed`] / [`AdmissionPolicy::Degrade`]).
+    Shed,
+}
+
+/// When and why a request was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DropRecord {
+    /// When the drop happened.
+    pub at: SimTime,
+    /// Why.
+    pub kind: DropKind,
+}
+
+/// The full lifecycle of one request, as recorded in
+/// [`crate::RunTrace::requests`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestRecord {
+    /// Index of the serve group the request arrived at.
+    pub group: usize,
+    /// Arrival sequence number within the group.
+    pub seq: u64,
+    /// When the request arrived.
+    pub arrival: SimTime,
+    /// When it was dispatched in a batch (`None` if dropped or still
+    /// queued at the end of the run).
+    pub dispatched: Option<SimTime>,
+    /// When its batch's execution context completed (`None` if dropped
+    /// or unfinished).
+    pub completed: Option<SimTime>,
+    /// Set when the admission policy dropped the request.
+    pub dropped: Option<DropRecord>,
+    /// The server process that ran it, once dispatched.
+    pub pid: Option<usize>,
+    /// How many requests shared its batch (0 until dispatched).
+    pub batch_size: u32,
+    /// Whether it ran on the group's degraded engine.
+    pub degraded: bool,
+}
+
+impl RequestRecord {
+    /// End-to-end latency (arrival → completion), for served requests.
+    pub fn latency(&self) -> Option<SimDuration> {
+        self.completed
+            .map(|done| done.saturating_since(self.arrival))
+    }
+
+    /// Time spent queued before dispatch, for dispatched requests.
+    pub fn queue_wait(&self) -> Option<SimDuration> {
+        self.dispatched.map(|at| at.saturating_since(self.arrival))
+    }
+
+    /// `true` when the request completed service.
+    pub fn served(&self) -> bool {
+        self.completed.is_some()
+    }
+
+    /// `true` when the request was neither served nor dropped — still
+    /// queued or in flight when the simulation ended.
+    pub fn unfinished(&self) -> bool {
+        self.completed.is_none() && self.dropped.is_none()
+    }
+}
+
+/// A serving-side event, for queue-depth timelines and trace export.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeEvent {
+    /// When it happened.
+    pub time: SimTime,
+    /// The serve group it belongs to.
+    pub group: usize,
+    /// What happened.
+    pub kind: ServeEventKind,
+}
+
+/// What kind of serving event occurred.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeEventKind {
+    /// The batcher formed and dispatched a batch.
+    BatchFormed {
+        /// The server process it went to.
+        pid: usize,
+        /// Requests in the batch.
+        size: u32,
+        /// How long the batch's oldest request had waited.
+        oldest_wait: SimDuration,
+        /// Requests still queued after the batch left.
+        queue_depth: usize,
+        /// Whether the batch ran on the degraded engine.
+        degraded: bool,
+    },
+    /// Admission pressure flipped the group into degraded mode.
+    DegradeEnter {
+        /// Queue depth at the flip.
+        queue_depth: usize,
+    },
+    /// The queue drained and the group returned to its normal engine.
+    DegradeExit {
+        /// Queue depth at the flip.
+        queue_depth: usize,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batcher_dispatches_full_batches_immediately() {
+        let p = BatcherPolicy::new(8, SimDuration::from_millis(10));
+        let t = SimTime::from_nanos(1_000);
+        assert_eq!(p.decide(t, 8, Some(t)), BatchDecision::Dispatch(8));
+        assert_eq!(p.decide(t, 30, Some(t)), BatchDecision::Dispatch(8));
+    }
+
+    #[test]
+    fn batcher_flushes_partial_batches_at_the_deadline() {
+        let p = BatcherPolicy::new(8, SimDuration::from_millis(10));
+        let arrived = SimTime::from_nanos(5_000_000);
+        let deadline = arrived + SimDuration::from_millis(10);
+        assert_eq!(
+            p.decide(arrived, 3, Some(arrived)),
+            BatchDecision::WaitUntil(deadline)
+        );
+        assert_eq!(
+            p.decide(deadline, 3, Some(arrived)),
+            BatchDecision::Dispatch(3)
+        );
+    }
+
+    #[test]
+    fn batcher_idles_on_an_empty_queue() {
+        let p = BatcherPolicy::new(4, SimDuration::from_millis(1));
+        assert_eq!(p.decide(SimTime::ZERO, 0, None), BatchDecision::Idle);
+    }
+
+    #[test]
+    fn zero_delay_degenerates_to_no_batching() {
+        let p = BatcherPolicy::new(16, SimDuration::ZERO);
+        let t = SimTime::from_nanos(77);
+        assert_eq!(p.decide(t, 1, Some(t)), BatchDecision::Dispatch(1));
+    }
+
+    #[test]
+    fn request_record_accessors() {
+        let r = RequestRecord {
+            group: 0,
+            seq: 4,
+            arrival: SimTime::from_nanos(100),
+            dispatched: Some(SimTime::from_nanos(300)),
+            completed: Some(SimTime::from_nanos(1_100)),
+            dropped: None,
+            pid: Some(1),
+            batch_size: 2,
+            degraded: false,
+        };
+        assert_eq!(r.queue_wait(), Some(SimDuration::from_nanos(200)));
+        assert_eq!(r.latency(), Some(SimDuration::from_nanos(1_000)));
+        assert!(r.served() && !r.unfinished());
+
+        let dropped = RequestRecord {
+            dispatched: None,
+            completed: None,
+            pid: None,
+            batch_size: 0,
+            dropped: Some(DropRecord {
+                at: SimTime::from_nanos(100),
+                kind: DropKind::Rejected,
+            }),
+            ..r
+        };
+        assert!(!dropped.served() && !dropped.unfinished());
+        assert_eq!(dropped.latency(), None);
+    }
+
+    #[test]
+    fn plan_builder_collects_groups() {
+        let plan = ServePlan::new().group(
+            ServeGroup::new("g", ArrivalProcess::poisson(10.0))
+                .members([0, 1])
+                .queue_cap(0)
+                .admission(AdmissionPolicy::Shed),
+        );
+        assert!(!plan.is_empty());
+        assert_eq!(plan.groups[0].members, vec![0, 1]);
+        assert_eq!(plan.groups[0].queue_cap, 1, "clamped");
+        assert_eq!(plan.groups[0].admission, AdmissionPolicy::Shed);
+    }
+}

@@ -9,6 +9,7 @@ use jetsim_trt::Engine;
 
 use crate::components::governor::{Governor, GovernorEvent};
 use crate::components::gpu::GpuEngine;
+use crate::components::ingress::{Ingress, IngressDeps};
 use crate::components::memory_guard::{GuardDeps, MemoryGuard};
 use crate::components::sampler::{Sampler, SamplerDeps, SamplerEvent};
 use crate::components::sched::{CpuSched, RqThread};
@@ -124,6 +125,7 @@ struct Runner {
     governor: Governor,
     guard: MemoryGuard,
     sampler: Sampler,
+    ingress: Ingress,
 }
 
 impl Runner {
@@ -166,11 +168,20 @@ impl Runner {
         } else {
             0
         };
+        let mut serve_group = vec![None; config.processes.len()];
+        if let Some(plan) = &config.serve {
+            for (g, sg) in plan.groups.iter().enumerate() {
+                for &pid in &sg.members {
+                    serve_group[pid] = Some(g);
+                }
+            }
+        }
         let procs = config
             .processes
             .iter()
             .zip(&est_ecs)
-            .map(|(p, &ecs)| Proc {
+            .zip(&serve_group)
+            .map(|((p, &ecs), &group)| Proc {
                 name: p.name.clone(),
                 engine: Arc::clone(&p.engine),
                 next_launch: 0,
@@ -184,6 +195,7 @@ impl Runner {
                 arrivals: p.arrivals,
                 next_arrival: SimTime::ZERO,
                 cur_queue_delay: SimDuration::ZERO,
+                serve_group: group,
                 cpu: RqThread::new(),
                 ready: VecDeque::new(),
                 ecs: Vec::with_capacity(ecs),
@@ -198,6 +210,7 @@ impl Runner {
         // calendar buckets so they never reallocate mid-run.
         let queue = CalendarQueue::with_capacity(4 * procs.len() + 16);
         let guard = MemoryGuard::new(&config);
+        let ingress = Ingress::new(&config);
         let proc_count = procs.len();
         Runner {
             rng,
@@ -214,6 +227,7 @@ impl Runner {
             governor: Governor::new(ambient_c),
             guard,
             sampler: Sampler::new(),
+            ingress,
             procs,
             config,
         }
@@ -228,14 +242,16 @@ impl Runner {
         // Schedule the fault timeline (no-op for an empty plan, so
         // fault-free runs stay byte-identical to the pre-fault loop).
         self.guard.schedule_timeline(&mut self.queue, self.sim_end);
-        // Start every surviving process's first EC, the governor and the
-        // sampler.
+        // Start every surviving closed-loop process's first EC, the
+        // governor and the sampler. Server processes idle until the
+        // ingress component hands them a batch.
         for pid in 0..self.procs.len() {
-            if self.alive[pid] {
+            if self.alive[pid] && !self.ingress.serves(pid) {
                 self.sched
                     .begin_next_ec(pid, SimTime::ZERO, &mut ctx!(self), &mut self.gpu);
             }
         }
+        self.ingress.start(&mut ctx!(self));
         let dvfs_interval = self.config.device.dvfs.interval;
         self.queue.schedule(
             SimTime::ZERO + dvfs_interval,
@@ -283,6 +299,15 @@ impl Runner {
                     SamplerDeps {
                         gpu: &mut self.gpu,
                         governor: &self.governor,
+                    },
+                ),
+                Event::Ingress(ev) => self.ingress.handle(
+                    ev,
+                    now,
+                    &mut ctx!(self),
+                    IngressDeps {
+                        sched: &mut self.sched,
+                        gpu: &mut self.gpu,
                     },
                 ),
             }
@@ -371,6 +396,14 @@ impl Runner {
             kernel_events: std::mem::take(&mut self.gpu.kernel_events),
             power_samples: std::mem::take(&mut self.sampler.power_samples),
             fault_events: std::mem::take(&mut self.guard.fault_events),
+            requests: std::mem::take(&mut self.ingress.requests),
+            serve_events: std::mem::take(&mut self.ingress.serve_events),
+            serve_group_labels: self
+                .config
+                .serve
+                .as_ref()
+                .map(|plan| plan.groups.iter().map(|g| g.label.clone()).collect())
+                .unwrap_or_default(),
             budget_exceeded: self.budget_exceeded,
             sim_events: self.events_processed,
             gpu_busy: self.gpu.gpu_busy_measured,

@@ -6,6 +6,7 @@ use jetsim_des::{SimDuration, SimTime};
 use jetsim_dnn::Precision;
 
 use crate::faults::FaultEvent;
+use crate::serving::{RequestRecord, ServeEvent};
 
 /// One GPU kernel execution, as an Nsight-style tracer would record it.
 #[derive(Debug, Clone, PartialEq)]
@@ -151,6 +152,16 @@ pub struct RunTrace {
     /// included — a kill during warmup still explains the measured
     /// window). Empty unless a [`crate::FaultPlan`] was attached.
     pub fault_events: Vec<FaultEvent>,
+    /// Every serving request's lifecycle, in arrival order, warmup
+    /// included (SLO reports re-filter to the measured window). Empty
+    /// unless a [`crate::serving::ServePlan`] was attached.
+    pub requests: Vec<RequestRecord>,
+    /// Batch formations and degradation flips, in time order. Empty for
+    /// closed-loop runs.
+    pub serve_events: Vec<ServeEvent>,
+    /// Serve group labels (indexed by [`RequestRecord::group`] and
+    /// [`ServeEvent::group`]). Empty for closed-loop runs.
+    pub serve_group_labels: Vec<String>,
     /// `true` when the run was aborted by the
     /// [`crate::SimConfig::event_budget`] watchdog; statistics cover
     /// only the portion that ran.
@@ -323,6 +334,9 @@ mod tests {
                 },
             ],
             fault_events: vec![],
+            requests: vec![],
+            serve_events: vec![],
+            serve_group_labels: vec![],
             budget_exceeded: false,
             sim_events: 0,
             gpu_busy: SimDuration::from_secs(1),

@@ -20,6 +20,7 @@ pub use jetsim_des;
 pub use jetsim_device;
 pub use jetsim_dnn;
 pub use jetsim_profile;
+pub use jetsim_serve;
 pub use jetsim_sim;
 pub use jetsim_trt;
 

@@ -216,7 +216,7 @@ fn sweep_and_profiler_agree_on_throughput() {
         .warmup(SimDuration::from_millis(300))
         .measure(SimDuration::from_millis(1000))
         .run(&platform, &zoo::resnet50());
-    let sweep_tput = cells[0].outcome.metrics().unwrap().throughput;
+    let sweep_tput = cells[0].outcome.throughput().unwrap();
     let profiler_tput = DualPhaseProfiler::new(&platform)
         .deployment(&Deployment::homogeneous(
             &zoo::resnet50(),
