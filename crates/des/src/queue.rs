@@ -155,9 +155,15 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
-    /// Removes all pending events.
+    /// Removes all pending events and resets the queue to its freshly
+    /// constructed state: [`EventQueue::now`] returns to
+    /// [`SimTime::ZERO`] and sequence numbering restarts, so
+    /// `schedule_after` behaves exactly as on a new queue. The heap
+    /// allocation is retained.
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.seq = 0;
+        self.now = SimTime::ZERO;
     }
 }
 
@@ -228,6 +234,19 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn clear_restores_fresh_queue_semantics() {
+        // Regression: `clear` used to leave `now` at the old pop time, so
+        // `schedule_after` after a clear was relative to stale history.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(9_999), "late");
+        q.pop();
+        q.clear();
+        assert_eq!(q.now(), SimTime::ZERO, "cleared queue reads like new");
+        q.schedule_after(SimDuration::from_nanos(10), "fresh");
+        assert_eq!(q.pop().unwrap().0, SimTime::from_nanos(10));
     }
 
     #[test]

@@ -38,6 +38,137 @@ proptest! {
         prop_assert_eq!(cal.pop(), None);
     }
 
+    /// `schedule_batch` is observationally identical to scheduling the
+    /// same items one by one on the heap: bursts of deferred-sort
+    /// appends interleaved with pops never reorder anything.
+    #[test]
+    fn calendar_batch_matches_heap(
+        rounds in prop::collection::vec(
+            (
+                prop::collection::vec(0u64..(1u64 << 30), 0..20), // batch times
+                prop::option::weighted(0.5, 0u64..(1u64 << 30)),  // single schedule
+                0usize..4,                                        // pops
+            ),
+            1..40,
+        ),
+    ) {
+        let mut heap = EventQueue::new();
+        let mut cal = CalendarQueue::with_params(8, 32);
+        let mut id = 0u64;
+        for (batch, single, pops) in rounds {
+            let items: Vec<(SimTime, u64)> = batch
+                .into_iter()
+                .map(|t| {
+                    let item = (SimTime::from_nanos(t), id);
+                    id += 1;
+                    item
+                })
+                .collect();
+            heap.extend(items.iter().copied());
+            cal.schedule_batch(items);
+            if let Some(t) = single {
+                heap.schedule(SimTime::from_nanos(t), id);
+                cal.schedule(SimTime::from_nanos(t), id);
+                id += 1;
+            }
+            for _ in 0..pops {
+                prop_assert_eq!(heap.pop(), cal.pop());
+            }
+        }
+        while let Some(expected) = heap.pop() {
+            prop_assert_eq!(cal.pop(), Some(expected));
+        }
+        prop_assert_eq!(cal.pop(), None);
+    }
+
+    /// Adversarial geometries — a single bucket (every day collides) and
+    /// a huge `width_shift` (every event shares one day) — still match
+    /// the heap exactly. Geometry tunes speed, never order.
+    #[test]
+    fn calendar_adversarial_geometry_matches_heap(
+        width_shift in prop::sample::select(vec![0u32, 1, 30, 40, 63]),
+        buckets in prop::sample::select(vec![1usize, 2, 4, 1024]),
+        ops in prop::collection::vec(
+            prop::option::weighted(0.7, 0u64..(1u64 << 34)),
+            1..150,
+        ),
+    ) {
+        let mut heap = EventQueue::new();
+        let mut cal = CalendarQueue::with_params(width_shift, buckets);
+        for (i, op) in ops.into_iter().enumerate() {
+            match op {
+                Some(t) => {
+                    let time = SimTime::from_nanos(t);
+                    heap.schedule(time, i);
+                    cal.schedule(time, i);
+                }
+                None => prop_assert_eq!(heap.pop(), cal.pop()),
+            }
+        }
+        while let Some(expected) = heap.pop() {
+            prop_assert_eq!(cal.pop(), Some(expected));
+        }
+    }
+
+    /// After `clear`, both backends behave like freshly constructed
+    /// queues: `now` rewinds to zero, and scheduling times earlier than
+    /// anything popped before the clear needs no special handling.
+    #[test]
+    fn cleared_queues_accept_the_past(
+        before in prop::collection::vec(1_000_000u64..2_000_000, 1..20),
+        after in prop::collection::vec(0u64..1_000, 1..20),
+        delay in 0u64..10_000,
+    ) {
+        let mut heap = EventQueue::new();
+        let mut cal = CalendarQueue::with_params(6, 16);
+        for (i, &t) in before.iter().enumerate() {
+            heap.schedule(SimTime::from_nanos(t), i);
+            cal.schedule(SimTime::from_nanos(t), i);
+        }
+        // Pop a few to advance `now` deep into the run, then wipe.
+        for _ in 0..=(before.len() / 2) {
+            prop_assert_eq!(heap.pop(), cal.pop());
+        }
+        heap.clear();
+        cal.clear();
+        prop_assert_eq!(heap.now(), SimTime::ZERO);
+        prop_assert_eq!(cal.now(), SimTime::ZERO);
+        prop_assert!(heap.is_empty() && cal.is_empty());
+        // Scheduling into what used to be the past must work on both.
+        for (i, &t) in after.iter().enumerate() {
+            heap.schedule(SimTime::from_nanos(t), i);
+            cal.schedule(SimTime::from_nanos(t), i);
+        }
+        heap.schedule_after(SimDuration::from_nanos(delay), usize::MAX);
+        cal.schedule_after(SimDuration::from_nanos(delay), usize::MAX);
+        while let Some(expected) = heap.pop() {
+            prop_assert_eq!(cal.pop(), Some(expected));
+        }
+        prop_assert_eq!(cal.pop(), None);
+    }
+
+    /// `peek_time` never disagrees with the next pop, warm or cold
+    /// cursor, dirty or sorted buckets.
+    #[test]
+    fn calendar_peek_agrees_with_pop(
+        ops in prop::collection::vec(
+            prop::option::weighted(0.6, 0u64..(1u64 << 20)),
+            1..200,
+        ),
+    ) {
+        let mut cal = CalendarQueue::with_params(5, 8);
+        for (i, op) in ops.into_iter().enumerate() {
+            match op {
+                Some(t) => cal.schedule(SimTime::from_nanos(t), i),
+                None => {
+                    let peeked = cal.peek_time();
+                    let popped = cal.pop();
+                    prop_assert_eq!(peeked, popped.map(|(t, _)| t));
+                }
+            }
+        }
+    }
+
     /// `schedule_after` on both backends is relative to the same clock:
     /// the time of the most recent pop.
     #[test]

@@ -28,6 +28,7 @@ impl Component for Governor {
     type Event = GovernorEvent;
     type Deps<'d> = &'d mut GpuEngine;
 
+    #[inline]
     fn handle(&mut self, ev: GovernorEvent, now: SimTime, ctx: &mut Ctx<'_>, gpu: &mut GpuEngine) {
         match ev {
             GovernorEvent::Tick => self.on_dvfs_tick(now, ctx, gpu),

@@ -3,10 +3,11 @@
 
 use jetsim_des::{SimDuration, SimRng, SimTime};
 use jetsim_device::power::GpuLoad;
-use jetsim_device::DeviceSpec;
+use jetsim_device::{DeviceSpec, GpuArch};
+use jetsim_trt::Engine;
 
 use crate::config::{CpuModel, GpuSharing};
-use crate::trace::KernelEvent;
+use crate::soa::KernelEventColumns;
 
 use super::sched::{CpuSched, Resume, SchedEvent};
 use super::{Component, Ctx, Event};
@@ -85,6 +86,95 @@ impl Window {
     }
 }
 
+/// Memoised per-kernel dispatch quantities for one engine at one
+/// frequency step. `exec_time`/`tc_activity`/`sm_active`/`issue_slot`
+/// are pure roofline math (several `powf` chains) over inputs that only
+/// change when the governor moves the clock or the ingress swaps a
+/// serving engine — so they are computed once per (engine, step) here
+/// instead of on every dispatch. Values are bit-identical to the direct
+/// calls: the cache stores the same expressions, evaluated in the same
+/// order.
+#[derive(Debug, Default)]
+struct KernelTimeCache {
+    /// Identity of the engine the cache was built against (the `Arc`
+    /// address as an integer; engines live for the whole run, so an
+    /// address uniquely names one).
+    engine_id: usize,
+    /// Frequency step the cache was built at.
+    step: usize,
+    /// `exec_time(..) * kernel_overhead_factor`, per kernel.
+    exec_scaled: Vec<SimDuration>,
+    /// `tc_activity(..)`, per kernel.
+    tc: Vec<f64>,
+    /// `sm_active(..)`, per kernel (trace-recording path).
+    sm: Vec<f64>,
+    /// `issue_slot(..)`, per kernel (trace-recording path).
+    issue: Vec<f64>,
+}
+
+impl KernelTimeCache {
+    /// Computes every column for `(engine, step)`.
+    fn build(engine: &Engine, gpu: &GpuArch, step: usize, overhead: f64) -> Self {
+        let batch = engine.batch();
+        let kernels = engine.kernels();
+        let mut cache = KernelTimeCache {
+            engine_id: engine as *const Engine as usize,
+            step,
+            exec_scaled: Vec::with_capacity(kernels.len()),
+            tc: Vec::with_capacity(kernels.len()),
+            sm: Vec::with_capacity(kernels.len()),
+            issue: Vec::with_capacity(kernels.len()),
+        };
+        for k in kernels {
+            cache
+                .exec_scaled
+                .push(k.exec_time(gpu, batch, step).mul_f64(overhead));
+            cache.tc.push(k.tc_activity(gpu, batch, step));
+            cache.sm.push(k.sm_active(gpu, batch));
+            cache.issue.push(k.issue_slot(gpu, batch, step));
+        }
+        cache
+    }
+}
+
+/// A never-evicting memo table of [`KernelTimeCache`] entries, shared
+/// across processes: workloads that revisit a clock step (an oscillating
+/// governor, a throttle lock releasing) or alternate engines (a serving
+/// batcher toggling batch sizes) hit warm entries instead of re-running
+/// the roofline math. Bounded by the number of distinct
+/// `(engine, step)` pairs a run actually visits — a few kilobytes each.
+#[derive(Debug, Default)]
+struct KernelTimeCaches {
+    entries: Vec<KernelTimeCache>,
+}
+
+impl KernelTimeCaches {
+    /// The memoised timings for `(engine, step)`, building them on first
+    /// sight. The hit entry is swapped to the front so the common
+    /// steady-state lookup is one compare.
+    #[inline]
+    fn get(
+        &mut self,
+        engine: &Engine,
+        gpu: &GpuArch,
+        step: usize,
+        overhead: f64,
+    ) -> &KernelTimeCache {
+        let id = engine as *const Engine as usize;
+        if let Some(i) = self
+            .entries
+            .iter()
+            .position(|c| c.engine_id == id && c.step == step)
+        {
+            self.entries.swap(0, i);
+        } else {
+            let built = KernelTimeCache::build(engine, gpu, step, overhead);
+            self.entries.insert(0, built);
+        }
+        &self.entries[0]
+    }
+}
+
 /// The GPU component: owns execution state, the DVFS/sampling
 /// accounting windows, and the kernel-event trace (with its dedicated
 /// jitter RNG stream, so toggling recording cannot perturb dynamics).
@@ -104,18 +194,24 @@ pub(crate) struct GpuEngine {
     sample_window: Window,
     /// GPU busy time within the measured window.
     pub(crate) gpu_busy_measured: SimDuration,
-    /// Kernel events recorded inside the measured window.
-    pub(crate) kernel_events: Vec<KernelEvent>,
+    /// Kernel events recorded inside the measured window (columnar; the
+    /// hot loop appends word-sized columns, `finalize` materialises the
+    /// AoS view once).
+    pub(crate) kernel_events: KernelEventColumns,
     /// Independent stream for kernel-event jitter samples, so toggling
     /// `record_kernel_events` cannot perturb the simulation dynamics:
     /// aggregate results are bit-identical with tracing on or off.
     trace_rng: SimRng,
+    /// Memoised kernel timings per `(engine, step)` (see
+    /// [`KernelTimeCaches`]).
+    ktime: KernelTimeCaches,
 }
 
 impl Component for GpuEngine {
     type Event = GpuEvent;
     type Deps<'d> = &'d mut CpuSched;
 
+    #[inline]
     fn handle(&mut self, ev: GpuEvent, now: SimTime, ctx: &mut Ctx<'_>, sched: &mut CpuSched) {
         match ev {
             GpuEvent::Done => self.on_gpu_done(now, ctx, sched),
@@ -135,8 +231,9 @@ impl GpuEngine {
             dvfs_window: Window::default(),
             sample_window: Window::default(),
             gpu_busy_measured: SimDuration::ZERO,
-            kernel_events: Vec::with_capacity(est_events),
+            kernel_events: KernelEventColumns::with_capacity(est_events),
             trace_rng,
+            ktime: KernelTimeCaches::default(),
         }
     }
 
@@ -197,12 +294,11 @@ impl GpuEngine {
         // per-dispatch `Arc` refcount traffic on the hot path.
         let engine = &ctx.procs[pid].engine;
         let batch = engine.batch();
-        let kernel = &engine.kernels()[kernel_index];
         let gpu_arch = &ctx.config.device.gpu;
-        let mut exec = kernel
-            .exec_time(gpu_arch, batch, self.freq_step)
-            .mul_f64(ctx.config.profiler.kernel_overhead_factor())
-            .mul_f64(ctx.rng.uniform(0.95, 1.05));
+        let overhead = ctx.config.profiler.kernel_overhead_factor();
+        let times = self.ktime.get(engine, gpu_arch, self.freq_step, overhead);
+        let (exec_base, tc) = (times.exec_scaled[kernel_index], times.tc[kernel_index]);
+        let mut exec = exec_base.mul_f64(ctx.rng.uniform(0.95, 1.05));
         if let Some(overlap) = mps_overlap {
             // Spatial sharing packs this kernel against other processes'
             // queued work, hiding part of its span.
@@ -227,7 +323,6 @@ impl GpuEngine {
             .device
             .power
             .precision_coefficient(kernel.precision);
-        let tc = kernel.tc_activity(gpu_arch, batch, self.freq_step);
         let exec_secs = exec.as_secs_f64();
         let work_fraction =
             1.0 - (gpu_arch.kernel_min_gap.as_secs_f64() / exec_secs.max(f64::EPSILON)).min(1.0);
@@ -323,28 +418,33 @@ impl GpuEngine {
         let kernel_count = engine.kernel_count();
         if inflight.end > ctx.warmup_end && ctx.config.record_kernel_events {
             let kernel = &engine.kernels()[inflight.kernel_index];
-            let gpu_arch = &ctx.config.device.gpu;
             let batch = engine.batch();
-            let sm = (kernel.sm_active(gpu_arch, batch) * self.trace_rng.uniform(0.92, 1.08))
-                .clamp(0.0, 1.0);
-            let issue = (kernel.issue_slot(gpu_arch, batch, self.freq_step)
-                * self.trace_rng.uniform(0.85, 1.15))
-            .clamp(0.0, 0.8);
-            let tc = (kernel.tc_activity(gpu_arch, batch, self.freq_step)
-                * self.trace_rng.uniform(0.88, 1.12))
-            .clamp(0.0, 1.0);
-            self.kernel_events.push(KernelEvent {
-                pid: inflight.pid,
-                ec_seq: inflight.ec_seq,
-                kernel_index: inflight.kernel_index,
-                start: inflight.start,
-                end: inflight.end,
-                precision: kernel.precision,
-                sm_active: sm,
-                issue_slot: issue,
-                tc_activity: tc,
-                bytes: kernel.bytes * u64::from(batch),
-            });
+            // The clock may have moved since dispatch; the utilisation
+            // samples always read the *current* step, exactly as the
+            // uncached code did.
+            let gpu_arch = &ctx.config.device.gpu;
+            let overhead = ctx.config.profiler.kernel_overhead_factor();
+            let times = self.ktime.get(engine, gpu_arch, self.freq_step, overhead);
+            let (sm_base, issue_base, tc_base) = (
+                times.sm[inflight.kernel_index],
+                times.issue[inflight.kernel_index],
+                times.tc[inflight.kernel_index],
+            );
+            let sm = (sm_base * self.trace_rng.uniform(0.92, 1.08)).clamp(0.0, 1.0);
+            let issue = (issue_base * self.trace_rng.uniform(0.85, 1.15)).clamp(0.0, 0.8);
+            let tc = (tc_base * self.trace_rng.uniform(0.88, 1.12)).clamp(0.0, 1.0);
+            self.kernel_events.push(
+                inflight.pid,
+                inflight.ec_seq,
+                inflight.kernel_index,
+                inflight.start,
+                inflight.end,
+                kernel.precision,
+                sm,
+                issue,
+                tc,
+                kernel.bytes * u64::from(batch),
+            );
         }
 
         if inflight.kernel_index + 1 == kernel_count && ctx.alive[inflight.pid] {
@@ -363,7 +463,7 @@ impl GpuEngine {
                 ctx.queue.schedule_after(
                     wakeup,
                     Event::Sched(SchedEvent::ThreadResume {
-                        pid: inflight.pid,
+                        pid: inflight.pid as u32,
                         kind: Resume::SyncReturn,
                     }),
                 );

@@ -22,33 +22,36 @@ use jetsim_trt::Engine;
 
 use crate::config::SimConfig;
 use crate::serving::{
-    AdmissionPolicy, BatchDecision, BatcherPolicy, DropKind, DropRecord, RequestRecord, ServeEvent,
-    ServeEventKind,
+    AdmissionPolicy, BatchDecision, BatcherPolicy, DropKind, DropRecord, ServeEventKind,
 };
+use crate::soa::{RequestColumns, ServeEventColumns};
 
 use super::gpu::GpuEngine;
 use super::sched::CpuSched;
 use super::{Component, Ctx, Event};
 
 /// Events consumed by [`Ingress`].
+///
+/// Payloads are `u32` so the whole [`super::Event`] slab stays within
+/// 16 bytes — see the size test in `components::tests`.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum IngressEvent {
     /// A request arrives at a serve group.
     Arrival {
         /// The group it arrives at.
-        group: usize,
+        group: u32,
     },
     /// A partial batch's `max_delay` deadline expired.
     Flush {
         /// The group whose batcher should re-decide.
-        group: usize,
+        group: u32,
         /// Generation stamp; stale flushes are ignored.
-        gen: u64,
+        gen: u32,
     },
     /// A server process finished its batch and is free again.
     ServerFree {
         /// The server process.
-        pid: usize,
+        pid: u32,
     },
 }
 
@@ -82,8 +85,9 @@ struct GroupRt {
     degraded: Option<Arc<Engine>>,
     /// Whether the group is currently serving on the degraded engine.
     degraded_mode: bool,
-    /// Invalidates stale [`IngressEvent::Flush`] events.
-    flush_gen: u64,
+    /// Invalidates stale [`IngressEvent::Flush`] events (`u32` to keep
+    /// the event slab small; wrap needs > 4 × 10⁹ flushes in one group).
+    flush_gen: u32,
     /// Deadline of the currently scheduled flush, if any.
     flush_at: Option<SimTime>,
     /// `true` once a non-cycling trace ran out of arrivals.
@@ -101,16 +105,18 @@ pub(crate) struct Ingress {
     group_of_pid: Vec<Option<usize>>,
     /// Requests currently executing on each pid.
     inflight: Vec<Vec<usize>>,
-    /// Every request's lifecycle, in arrival order.
-    pub(crate) requests: Vec<RequestRecord>,
-    /// Batch formations and degradation flips, in time order.
-    pub(crate) serve_events: Vec<ServeEvent>,
+    /// Every request's lifecycle, in arrival order (columnar; each
+    /// lifecycle step touches only the columns it changes).
+    pub(crate) requests: RequestColumns,
+    /// Batch formations and degradation flips, in time order (columnar).
+    pub(crate) serve_events: ServeEventColumns,
 }
 
 impl Component for Ingress {
     type Event = IngressEvent;
     type Deps<'d> = IngressDeps<'d>;
 
+    #[inline]
     fn handle(
         &mut self,
         ev: IngressEvent,
@@ -119,14 +125,17 @@ impl Component for Ingress {
         mut deps: IngressDeps<'_>,
     ) {
         match ev {
-            IngressEvent::Arrival { group } => self.on_arrival(group, now, ctx, &mut deps),
+            IngressEvent::Arrival { group } => self.on_arrival(group as usize, now, ctx, &mut deps),
             IngressEvent::Flush { group, gen } => {
+                let group = group as usize;
                 if self.groups[group].flush_gen == gen {
                     self.groups[group].flush_at = None;
                     self.try_dispatch(group, now, ctx, &mut deps);
                 }
             }
-            IngressEvent::ServerFree { pid } => self.on_server_free(pid, now, ctx, &mut deps),
+            IngressEvent::ServerFree { pid } => {
+                self.on_server_free(pid as usize, now, ctx, &mut deps)
+            }
         }
     }
 }
@@ -172,8 +181,8 @@ impl Ingress {
             groups,
             group_of_pid,
             inflight: vec![Vec::new(); n],
-            requests: Vec::new(),
-            serve_events: Vec::new(),
+            requests: RequestColumns::default(),
+            serve_events: ServeEventColumns::default(),
         }
     }
 
@@ -208,7 +217,7 @@ impl Ingress {
         match grp.stream.next_gap() {
             Some(gap) => ctx.queue.schedule(
                 now + gap,
-                Event::Ingress(IngressEvent::Arrival { group: g }),
+                Event::Ingress(IngressEvent::Arrival { group: g as u32 }),
             ),
             None => grp.exhausted = true,
         }
@@ -225,25 +234,17 @@ impl Ingress {
     ) {
         let seq = self.groups[g].seq;
         self.groups[g].seq += 1;
-        let ri = self.requests.len();
-        self.requests.push(RequestRecord {
-            group: g,
-            seq,
-            arrival: now,
-            dispatched: None,
-            completed: None,
-            dropped: None,
-            pid: None,
-            batch_size: 0,
-            degraded: false,
-        });
+        let ri = self.requests.push_arrival(g, seq, now);
         if self.groups[g].queue.len() >= self.groups[g].queue_cap {
             match self.groups[g].admission {
                 AdmissionPolicy::Reject => {
-                    self.requests[ri].dropped = Some(DropRecord {
-                        at: now,
-                        kind: DropKind::Rejected,
-                    });
+                    self.requests.mark_dropped(
+                        ri,
+                        DropRecord {
+                            at: now,
+                            kind: DropKind::Rejected,
+                        },
+                    );
                 }
                 AdmissionPolicy::Shed | AdmissionPolicy::Degrade => {
                     // Freshest-frame discipline: the stalest queued
@@ -252,10 +253,13 @@ impl Ingress {
                         .queue
                         .pop_front()
                         .expect("full queue has a front");
-                    self.requests[victim].dropped = Some(DropRecord {
-                        at: now,
-                        kind: DropKind::Shed,
-                    });
+                    self.requests.mark_dropped(
+                        victim,
+                        DropRecord {
+                            at: now,
+                            kind: DropKind::Shed,
+                        },
+                    );
                     self.groups[g].queue.push_back(ri);
                     if self.groups[g].admission == AdmissionPolicy::Degrade
                         && self.groups[g].degraded.is_some()
@@ -263,11 +267,11 @@ impl Ingress {
                     {
                         self.groups[g].degraded_mode = true;
                         let queue_depth = self.groups[g].queue.len();
-                        self.serve_events.push(ServeEvent {
-                            time: now,
-                            group: g,
-                            kind: ServeEventKind::DegradeEnter { queue_depth },
-                        });
+                        self.serve_events.push(
+                            now,
+                            g,
+                            ServeEventKind::DegradeEnter { queue_depth },
+                        );
                     }
                 }
             }
@@ -291,7 +295,7 @@ impl Ingress {
             return;
         };
         for ri in std::mem::take(&mut self.inflight[pid]) {
-            self.requests[ri].completed = Some(now);
+            self.requests.mark_completed(ri, now);
         }
         if ctx.alive[pid] {
             self.groups[g].free.push_back(pid);
@@ -302,11 +306,8 @@ impl Ingress {
         let queue_depth = self.groups[g].queue.len();
         if self.groups[g].degraded_mode && queue_depth * 4 <= self.groups[g].queue_cap {
             self.groups[g].degraded_mode = false;
-            self.serve_events.push(ServeEvent {
-                time: now,
-                group: g,
-                kind: ServeEventKind::DegradeExit { queue_depth },
-            });
+            self.serve_events
+                .push(now, g, ServeEventKind::DegradeExit { queue_depth });
         }
         self.try_dispatch(g, now, ctx, deps);
     }
@@ -331,7 +332,7 @@ impl Ingress {
                 }
             };
             let grp = &mut self.groups[g];
-            let oldest = grp.queue.front().map(|&ri| self.requests[ri].arrival);
+            let oldest = grp.queue.front().map(|&ri| self.requests.arrival(ri));
             match grp.policy.decide(now, grp.queue.len(), oldest) {
                 BatchDecision::Idle => {
                     grp.free.push_front(pid);
@@ -345,7 +346,10 @@ impl Ingress {
                         let gen = grp.flush_gen;
                         ctx.queue.schedule(
                             deadline,
-                            Event::Ingress(IngressEvent::Flush { group: g, gen }),
+                            Event::Ingress(IngressEvent::Flush {
+                                group: g as u32,
+                                gen,
+                            }),
                         );
                     }
                     return;
@@ -366,24 +370,20 @@ impl Ingress {
                         .collect();
                     let queue_depth = grp.queue.len();
                     for &ri in &batch {
-                        let r = &mut self.requests[ri];
-                        r.dispatched = Some(now);
-                        r.pid = Some(pid);
-                        r.batch_size = k;
-                        r.degraded = degraded;
+                        self.requests.mark_dispatched(ri, now, pid, k, degraded);
                     }
                     self.inflight[pid] = batch;
-                    self.serve_events.push(ServeEvent {
-                        time: now,
-                        group: g,
-                        kind: ServeEventKind::BatchFormed {
+                    self.serve_events.push(
+                        now,
+                        g,
+                        ServeEventKind::BatchFormed {
                             pid,
                             size: k,
                             oldest_wait: now.saturating_since(oldest),
                             queue_depth,
                             degraded,
                         },
-                    });
+                    );
                     // Hand the batch to the host thread: a server is idle
                     // between batches (next_launch == 0), so swapping the
                     // engine at this boundary is safe.

@@ -5,7 +5,8 @@
 use jetsim_des::{CalendarQueue, SimTime};
 
 use crate::config::SimConfig;
-use crate::faults::{FaultEvent, FaultKind, OomPolicy};
+use crate::faults::{FaultKind, OomPolicy};
+use crate::soa::FaultColumns;
 
 use super::governor::Governor;
 use super::gpu::GpuEngine;
@@ -18,7 +19,7 @@ pub(crate) enum MemoryEvent {
     /// An injected fault fires (index into the precomputed timeline).
     Fault {
         /// Index into the guard's fault timeline.
-        index: usize,
+        index: u32,
     },
 }
 
@@ -57,16 +58,17 @@ pub(crate) struct MemoryGuard {
     /// Background spike bytes currently resident.
     spike_bytes: u64,
     /// Faults injected and their consequences, in event order.
-    pub(crate) fault_events: Vec<FaultEvent>,
+    pub(crate) fault_events: FaultColumns,
 }
 
 impl Component for MemoryGuard {
     type Event = MemoryEvent;
     type Deps<'d> = GuardDeps<'d>;
 
+    #[inline]
     fn handle(&mut self, ev: MemoryEvent, now: SimTime, ctx: &mut Ctx<'_>, deps: GuardDeps<'_>) {
         match ev {
-            MemoryEvent::Fault { index } => self.on_fault(index, now, ctx, deps),
+            MemoryEvent::Fault { index } => self.on_fault(index as usize, now, ctx, deps),
         }
     }
 }
@@ -105,7 +107,7 @@ impl MemoryGuard {
         MemoryGuard {
             timeline,
             spike_bytes: 0,
-            fault_events: Vec::new(),
+            fault_events: FaultColumns::default(),
         }
     }
 
@@ -113,12 +115,21 @@ impl MemoryGuard {
     /// for an empty plan, so fault-free runs stay byte-identical to the
     /// pre-fault loop).
     pub(crate) fn schedule_timeline(&self, queue: &mut CalendarQueue<Event>, sim_end: SimTime) {
-        for index in 0..self.timeline.len() {
-            let at = self.timeline[index].0;
-            if at <= sim_end {
-                queue.schedule(at, Event::Memory(MemoryEvent::Fault { index }));
-            }
-        }
+        // One deferred-sort batch instead of N bucket sorts: the timeline
+        // is precomputed, so the whole fault plan goes in at once.
+        queue.schedule_batch(
+            self.timeline
+                .iter()
+                .enumerate()
+                .filter_map(|(index, &(at, _))| {
+                    (at <= sim_end).then_some((
+                        at,
+                        Event::Memory(MemoryEvent::Fault {
+                            index: index as u32,
+                        }),
+                    ))
+                }),
+        );
     }
 
     /// Applies one scheduled fault action.
@@ -132,29 +143,25 @@ impl MemoryGuard {
         match action {
             FaultAction::SpikeStart { bytes } => {
                 self.spike_bytes += bytes;
-                self.fault_events.push(FaultEvent {
-                    time: now,
-                    kind: FaultKind::MemorySpikeStart { bytes },
-                });
+                self.fault_events
+                    .push(now, FaultKind::MemorySpikeStart { bytes });
                 self.enforce_memory(now, ctx, sched);
             }
             FaultAction::SpikeEnd { bytes } => {
                 self.spike_bytes = self.spike_bytes.saturating_sub(bytes);
-                self.fault_events.push(FaultEvent {
-                    time: now,
-                    kind: FaultKind::MemorySpikeEnd { bytes },
-                });
+                self.fault_events
+                    .push(now, FaultKind::MemorySpikeEnd { bytes });
             }
             FaultAction::LockStart { until, step } => {
                 governor.throttle_lock = Some((until, step));
                 gpu.freq_step = step;
-                self.fault_events.push(FaultEvent {
-                    time: now,
-                    kind: FaultKind::ThrottleLockStart {
+                self.fault_events.push(
+                    now,
+                    FaultKind::ThrottleLockStart {
                         step,
                         mhz: ctx.config.device.gpu.freq.mhz(step),
                     },
-                });
+                );
             }
             FaultAction::LockEnd => {
                 // Only release when no longer-running lock superseded
@@ -162,10 +169,7 @@ impl MemoryGuard {
                 if let Some((until, _)) = governor.throttle_lock {
                     if now >= until {
                         governor.throttle_lock = None;
-                        self.fault_events.push(FaultEvent {
-                            time: now,
-                            kind: FaultKind::ThrottleLockEnd,
-                        });
+                        self.fault_events.push(now, FaultKind::ThrottleLockEnd);
                     }
                 }
             }
@@ -253,13 +257,13 @@ impl MemoryGuard {
         if ctx.config.cpu_model == crate::config::CpuModel::RunQueue {
             sched.rq_evict(pid, now, ctx);
         }
-        self.fault_events.push(FaultEvent {
-            time: now,
-            kind: FaultKind::ProcessKilled {
+        self.fault_events.push(
+            now,
+            FaultKind::ProcessKilled {
                 pid,
                 name: ctx.procs[pid].name.clone(),
                 freed_bytes,
             },
-        });
+        );
     }
 }

@@ -37,7 +37,7 @@ use jetsim_des::{CalendarQueue, SimDuration, SimRng, SimTime};
 use jetsim_trt::Engine;
 
 use crate::config::{ArrivalModel, SimConfig};
-use crate::trace::EcRecord;
+use crate::soa::EcColumns;
 
 use sched::RqThread;
 
@@ -133,6 +133,26 @@ pub(crate) struct Proc {
     pub cpu: RqThread,
     /// Kernels launched and ready for the GPU, FIFO.
     pub ready: VecDeque<usize>,
-    /// Completed EC records (all; filtered to the measured window later).
-    pub ecs: Vec<EcRecord>,
+    /// Completed EC records, columnar (all; filtered to the measured
+    /// window at finalize).
+    pub ecs: EcColumns,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The event slab must stay small: every hot-loop schedule/pop moves
+    /// a `(SimTime, seq, Event)` entry, so the nested enum is packed into
+    /// `u32` payloads. 16 bytes is the budget (discriminants + largest
+    /// payload, `SchedEvent::CpuTick { pid: u32, gen: u32 }`).
+    #[test]
+    fn event_slab_fits_in_16_bytes() {
+        assert!(
+            std::mem::size_of::<Event>() <= 16,
+            "Event grew to {} bytes; keep payloads u32 so the calendar \
+             entries stay two words + payload",
+            std::mem::size_of::<Event>()
+        );
+    }
 }

@@ -34,6 +34,7 @@ impl Component for Sampler {
     type Event = SamplerEvent;
     type Deps<'d> = SamplerDeps<'d>;
 
+    #[inline]
     fn handle(&mut self, ev: SamplerEvent, now: SimTime, ctx: &mut Ctx<'_>, deps: SamplerDeps<'_>) {
         match ev {
             SamplerEvent::Tick => self.on_sample_tick(now, ctx, deps),

@@ -13,26 +13,31 @@ use super::gpu::GpuEngine;
 use super::{Component, Ctx, Event};
 
 /// Events consumed by [`CpuSched`].
+///
+/// Payloads are deliberately `u32` (process ids are tiny, generation
+/// stamps wrap far beyond any realistic run) so the whole
+/// [`super::Event`] slab stays within 16 bytes — see the size test in
+/// `components::tests`.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum SchedEvent {
     /// A host thread finished one kernel-launch call.
     LaunchDone {
         /// The launching process.
-        pid: usize,
+        pid: u32,
     },
     /// A host thread resumes after blocking or a sync wakeup.
     ThreadResume {
         /// The resuming process.
-        pid: usize,
+        pid: u32,
         /// What the thread does on resume.
         kind: Resume,
     },
     /// A run-queue CPU grant ends (burst completion or quantum expiry).
     CpuTick {
         /// Thread whose grant ends.
-        pid: usize,
+        pid: u32,
         /// Generation stamp; stale ticks are ignored.
-        gen: u64,
+        gen: u32,
     },
 }
 
@@ -54,8 +59,10 @@ pub(crate) struct RqThread {
     /// Remaining work in the current burst; `None` while spin-waiting on
     /// the GPU (CUDA's default busy-wait synchronisation).
     pub(crate) remaining: Option<SimDuration>,
-    /// Generation stamp invalidating stale `CpuTick` events.
-    pub(crate) gen: u64,
+    /// Generation stamp invalidating stale `CpuTick` events (`u32` to
+    /// keep the event slab small; it would take > 4 × 10⁹ grants on one
+    /// thread to wrap).
+    pub(crate) gen: u32,
     /// When the thread entered the ready queue.
     pub(crate) queued_since: SimTime,
     /// When the current running segment began.
@@ -111,14 +118,15 @@ impl Component for CpuSched {
     type Event = SchedEvent;
     type Deps<'d> = &'d mut GpuEngine;
 
+    #[inline]
     fn handle(&mut self, ev: SchedEvent, now: SimTime, ctx: &mut Ctx<'_>, gpu: &mut GpuEngine) {
         match ev {
-            SchedEvent::LaunchDone { pid } => self.on_launch_done(pid, now, ctx, gpu),
+            SchedEvent::LaunchDone { pid } => self.on_launch_done(pid as usize, now, ctx, gpu),
             SchedEvent::ThreadResume { pid, kind } => match kind {
-                Resume::ContinueLaunch => self.start_launch(pid, now, ctx, gpu),
-                Resume::SyncReturn => self.on_sync_return(pid, now, ctx, gpu),
+                Resume::ContinueLaunch => self.start_launch(pid as usize, now, ctx, gpu),
+                Resume::SyncReturn => self.on_sync_return(pid as usize, now, ctx, gpu),
             },
-            SchedEvent::CpuTick { pid, gen } => self.rq_tick(pid, gen, now, ctx, gpu),
+            SchedEvent::CpuTick { pid, gen } => self.rq_tick(pid as usize, gen, now, ctx, gpu),
         }
     }
 }
@@ -181,7 +189,7 @@ impl CpuSched {
                     ctx.queue.schedule(
                         arrival,
                         Event::Sched(SchedEvent::ThreadResume {
-                            pid,
+                            pid: pid as u32,
                             kind: Resume::ContinueLaunch,
                         }),
                     );
@@ -215,8 +223,10 @@ impl CpuSched {
             self.rq_request(pid, now, cost, RqJob::Launch, ctx);
         } else {
             gpu.charge_cpu(cost);
-            ctx.queue
-                .schedule_after(cost, Event::Sched(SchedEvent::LaunchDone { pid }));
+            ctx.queue.schedule_after(
+                cost,
+                Event::Sched(SchedEvent::LaunchDone { pid: pid as u32 }),
+            );
         }
     }
 
@@ -293,7 +303,10 @@ impl CpuSched {
         let gen = thread.gen;
         ctx.queue.schedule(
             tick_at.max_of(now),
-            Event::Sched(SchedEvent::CpuTick { pid, gen }),
+            Event::Sched(SchedEvent::CpuTick {
+                pid: pid as u32,
+                gen,
+            }),
         );
     }
 
@@ -331,7 +344,7 @@ impl CpuSched {
     fn rq_tick(
         &mut self,
         pid: usize,
-        gen: u64,
+        gen: u32,
         now: SimTime,
         ctx: &mut Ctx<'_>,
         gpu: &mut GpuEngine,
@@ -466,7 +479,7 @@ impl CpuSched {
             ctx.queue.schedule_after(
                 blocking,
                 Event::Sched(SchedEvent::ThreadResume {
-                    pid,
+                    pid: pid as u32,
                     kind: Resume::ContinueLaunch,
                 }),
             );
@@ -514,7 +527,7 @@ impl CpuSched {
             }
             ctx.queue.schedule(
                 now,
-                Event::Ingress(super::ingress::IngressEvent::ServerFree { pid }),
+                Event::Ingress(super::ingress::IngressEvent::ServerFree { pid: pid as u32 }),
             );
             return;
         }

@@ -17,6 +17,7 @@ use crate::components::{Component, Ctx, Event, Proc};
 use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::faults::OomPolicy;
+use crate::soa::EcColumns;
 use crate::trace::{EcRecord, ProcessStats, RunTrace};
 
 /// A configured, runnable simulation.
@@ -198,17 +199,30 @@ impl Runner {
                 serve_group: group,
                 cpu: RqThread::new(),
                 ready: VecDeque::new(),
-                ecs: Vec::with_capacity(ecs),
+                ecs: EcColumns::with_capacity(ecs),
             })
             .collect::<Vec<_>>();
+        // Expected event density for the calendar geometry: every kernel
+        // costs a GpuDone plus a couple of sched events per EC, so the
+        // mean inter-event gap is roughly total_time / total events. The
+        // estimate only tunes bucket width/count — pop order (and thus
+        // every trace byte) is geometry-independent.
+        let est_total_events: f64 = config
+            .processes
+            .iter()
+            .zip(&est_ecs)
+            .map(|(p, &ecs)| (2 * p.engine.kernel_count() + 4) as f64 * ecs as f64)
+            .sum::<f64>()
+            .max(1.0);
+        let expected_gap = SimDuration::from_secs_f64(total_secs.max(1e-9) / est_total_events);
         let n_procs = procs.len() as u32;
         let warmup_end = SimTime::ZERO + config.warmup;
         let sim_end = SimTime::ZERO + config.total_time();
         let ambient_c = config.device.thermal.ambient_c;
         // The pending-event population is tiny (a couple of events per
-        // process plus the periodic ticks); the capacity hint sizes the
-        // calendar buckets so they never reallocate mid-run.
-        let queue = CalendarQueue::with_capacity(4 * procs.len() + 16);
+        // process plus the periodic ticks); the expected gap sizes the
+        // bucket width so consecutive events land in distinct days.
+        let queue = CalendarQueue::with_tuned(expected_gap, 4 * procs.len() + 16);
         let guard = MemoryGuard::new(&config);
         let ingress = Ingress::new(&config);
         let proc_count = procs.len();
@@ -253,21 +267,36 @@ impl Runner {
         }
         self.ingress.start(&mut ctx!(self));
         let dvfs_interval = self.config.device.dvfs.interval;
-        self.queue.schedule(
-            SimTime::ZERO + dvfs_interval,
-            Event::Governor(GovernorEvent::Tick),
-        );
-        self.queue.schedule(
-            SimTime::ZERO + self.config.sample_period,
-            Event::Sampler(SamplerEvent::Tick),
-        );
+        self.queue.schedule_batch([
+            (
+                SimTime::ZERO + dvfs_interval,
+                Event::Governor(GovernorEvent::Tick),
+            ),
+            (
+                SimTime::ZERO + self.config.sample_period,
+                Event::Sampler(SamplerEvent::Tick),
+            ),
+        ]);
 
-        let budget = self.config.event_budget.unwrap_or(u64::MAX);
+        // Monomorphise the drive loop on whether a budget watchdog is
+        // armed: the common (unbudgeted) loop carries no per-event
+        // compare against the budget at all.
+        match self.config.event_budget {
+            Some(budget) => self.drive::<true>(budget),
+            None => self.drive::<false>(u64::MAX),
+        }
+        self.finalize()
+    }
+
+    /// The hot loop: pop, route, repeat. `BUDGETED` folds the watchdog
+    /// check away when no [`SimConfig::event_budget`] is set.
+    #[inline]
+    fn drive<const BUDGETED: bool>(&mut self, budget: u64) {
         while let Some((now, event)) = self.queue.pop() {
             if now > self.sim_end {
                 break;
             }
-            if self.events_processed >= budget {
+            if BUDGETED && self.events_processed >= budget {
                 // Watchdog: a runaway cell (livelocked queue, absurd
                 // grid point) aborts instead of spinning forever; the
                 // trace reports what ran and flags the abort.
@@ -275,44 +304,49 @@ impl Runner {
                 break;
             }
             self.events_processed += 1;
-            match event {
-                Event::Sched(ev) => self.sched.handle(ev, now, &mut ctx!(self), &mut self.gpu),
-                Event::Gpu(ev) => self.gpu.handle(ev, now, &mut ctx!(self), &mut self.sched),
-                Event::Governor(ev) => {
-                    self.governor
-                        .handle(ev, now, &mut ctx!(self), &mut self.gpu)
-                }
-                Event::Memory(ev) => self.guard.handle(
-                    ev,
-                    now,
-                    &mut ctx!(self),
-                    GuardDeps {
-                        sched: &mut self.sched,
-                        gpu: &mut self.gpu,
-                        governor: &mut self.governor,
-                    },
-                ),
-                Event::Sampler(ev) => self.sampler.handle(
-                    ev,
-                    now,
-                    &mut ctx!(self),
-                    SamplerDeps {
-                        gpu: &mut self.gpu,
-                        governor: &self.governor,
-                    },
-                ),
-                Event::Ingress(ev) => self.ingress.handle(
-                    ev,
-                    now,
-                    &mut ctx!(self),
-                    IngressDeps {
-                        sched: &mut self.sched,
-                        gpu: &mut self.gpu,
-                    },
-                ),
-            }
+            self.dispatch(event, now);
         }
-        self.finalize()
+    }
+
+    /// Routes one event to its component. The [`Ctx`] is built once per
+    /// event from field borrows disjoint to every component, so each arm
+    /// borrows its peer components alongside it without re-borrowing.
+    #[inline]
+    fn dispatch(&mut self, event: Event, now: SimTime) {
+        let mut ctx = ctx!(self);
+        match event {
+            Event::Sched(ev) => self.sched.handle(ev, now, &mut ctx, &mut self.gpu),
+            Event::Gpu(ev) => self.gpu.handle(ev, now, &mut ctx, &mut self.sched),
+            Event::Governor(ev) => self.governor.handle(ev, now, &mut ctx, &mut self.gpu),
+            Event::Memory(ev) => self.guard.handle(
+                ev,
+                now,
+                &mut ctx,
+                GuardDeps {
+                    sched: &mut self.sched,
+                    gpu: &mut self.gpu,
+                    governor: &mut self.governor,
+                },
+            ),
+            Event::Sampler(ev) => self.sampler.handle(
+                ev,
+                now,
+                &mut ctx,
+                SamplerDeps {
+                    gpu: &mut self.gpu,
+                    governor: &self.governor,
+                },
+            ),
+            Event::Ingress(ev) => self.ingress.handle(
+                ev,
+                now,
+                &mut ctx,
+                IngressDeps {
+                    sched: &mut self.sched,
+                    gpu: &mut self.gpu,
+                },
+            ),
+        }
     }
 
     fn finalize(mut self) -> RunTrace {
@@ -324,7 +358,6 @@ impl Runner {
                 .ecs
                 .iter()
                 .filter(|r| r.end > self.warmup_end)
-                .copied()
                 .collect();
             let completed = measured.len() as u64;
             let images = completed * u64::from(proc.engine.batch());
@@ -393,11 +426,11 @@ impl Runner {
             processes,
             kernel_names,
             ec_records,
-            kernel_events: std::mem::take(&mut self.gpu.kernel_events),
+            kernel_events: std::mem::take(&mut self.gpu.kernel_events).into_vec(),
             power_samples: std::mem::take(&mut self.sampler.power_samples),
-            fault_events: std::mem::take(&mut self.guard.fault_events),
-            requests: std::mem::take(&mut self.ingress.requests),
-            serve_events: std::mem::take(&mut self.ingress.serve_events),
+            fault_events: std::mem::take(&mut self.guard.fault_events).into_vec(),
+            requests: std::mem::take(&mut self.ingress.requests).into_vec(),
+            serve_events: std::mem::take(&mut self.ingress.serve_events).into_vec(),
             serve_group_labels: self
                 .config
                 .serve
