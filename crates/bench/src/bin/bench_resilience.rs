@@ -1,0 +1,227 @@
+//! Emits `BENCH_resilience.json`: what each resilience policy bundle
+//! buys under injected faults — goodput retained, deadline-hit rate,
+//! recovery time and retry amplification — across two chaos scenarios
+//! (an OOM storm that kills replicas, and a DVFS throttle storm that
+//! only slows them down).
+//!
+//! ```sh
+//! cargo run --release -p jetsim-bench --bin bench_resilience            # emit
+//! cargo run --release -p jetsim-bench --bin bench_resilience -- --check # gate
+//! ```
+//!
+//! Unlike `bench_des`, every gated number here is *simulated*: the chaos
+//! harness is bit-deterministic per seed and host-independent, so
+//! `--check` compares the committed baseline (near-)exactly — any drift
+//! means the resilience machinery changed behaviour, not that the host
+//! got slower. Wall-clock time is recorded for context and never gated,
+//! and the windows are fixed (no `JETSIM_FAST` shrink) for the same
+//! reason.
+
+use std::time::Instant;
+
+use jetsim::platform::Platform;
+use jetsim_des::{ArrivalProcess, SimDuration, SimTime};
+use jetsim_serve::{
+    chaos_sweep_with_plan, FaultPlan, HedgePolicy, OomPolicy, ResiliencePolicies, ResilienceReport,
+    RetryPolicy, ServeSpec, ServeTenant,
+};
+
+/// Absolute slack for float comparisons in `--check`: wide enough to
+/// absorb the shortest-roundtrip JSON formatting, far below any real
+/// behaviour change.
+const FLOAT_TOLERANCE: f64 = 1e-9;
+
+const FAULT_SEED: u64 = 0x0DD5_EED5;
+
+/// OOM storm: a two-replica fp16 ResNet-50 deployment on the Jetson
+/// Nano, hit by a memory spike sized to the whole board — the OOM
+/// killer fires deterministically 600 ms in and takes both replicas.
+fn oom_storm() -> Result<ResilienceReport, Box<dyn std::error::Error>> {
+    let slo = SimDuration::from_millis(250);
+    let base = ServeSpec::new(Platform::jetson_nano())
+        .tenant(
+            ServeTenant::parse_with_arrivals("resnet50:fp16:1:2", ArrivalProcess::poisson(12.0))?
+                .queue_cap(32),
+        )
+        .slo(slo)
+        .warmup(SimDuration::from_millis(300))
+        .duration(SimDuration::from_secs(2));
+    let plan = FaultPlan::seeded(FAULT_SEED, base.horizon(), 0, 1)
+        .memory_spike(
+            SimTime::from_nanos(600_000_000),
+            SimDuration::from_millis(150),
+            4 << 30,
+        )
+        .oom_policy(OomPolicy::KillLargest);
+    let policies = [
+        ("none", ResiliencePolicies::none()),
+        (
+            "deadline+retry",
+            ResiliencePolicies::none()
+                .deadline(SimDuration::from_millis(1_000))
+                .retry(RetryPolicy::new(3, SimDuration::from_millis(125))),
+        ),
+        (
+            "hedged",
+            ResiliencePolicies::none()
+                .deadline(SimDuration::from_millis(1_000))
+                .retry(RetryPolicy::new(3, SimDuration::from_millis(125)))
+                .hedge(HedgePolicy::fixed(SimDuration::from_millis(40))),
+        ),
+        ("full", ResiliencePolicies::standard(slo)),
+    ];
+    Ok(chaos_sweep_with_plan(&base, &policies, plan, FAULT_SEED)?)
+}
+
+/// DVFS storm: two int8 ResNet-50 replicas on the Orin Nano at a brisk
+/// 200 qps, under seeded throttle locks only — nothing dies, but the
+/// clock floor stretches latencies past the SLO and the breaker and
+/// retry paths earn (or waste) their keep.
+fn dvfs_storm() -> Result<ResilienceReport, Box<dyn std::error::Error>> {
+    let slo = SimDuration::from_millis(50);
+    let base = ServeSpec::new(Platform::orin_nano())
+        .tenant(
+            ServeTenant::parse_with_arrivals("resnet50:int8:1:2", ArrivalProcess::poisson(200.0))?
+                .queue_cap(64),
+        )
+        .slo(slo)
+        .warmup(SimDuration::from_millis(300))
+        .duration(SimDuration::from_secs(2));
+    let plan =
+        FaultPlan::seeded(FAULT_SEED, base.horizon(), 0, 4).oom_policy(OomPolicy::KillLargest);
+    let policies = [
+        ("none", ResiliencePolicies::none()),
+        (
+            "deadline+retry",
+            ResiliencePolicies::none()
+                .deadline(SimDuration::from_millis(200))
+                .retry(RetryPolicy::new(3, SimDuration::from_millis(25))),
+        ),
+        ("full", ResiliencePolicies::standard(slo)),
+    ];
+    Ok(chaos_sweep_with_plan(&base, &policies, plan, FAULT_SEED)?)
+}
+
+/// Recursively compares two JSON values: exact for integers, bools and
+/// strings, `FLOAT_TOLERANCE` slack for floats. Records one line per
+/// mismatch.
+fn diff_value(
+    path: &str,
+    base: &serde_json::Value,
+    fresh: &serde_json::Value,
+    out: &mut Vec<String>,
+) {
+    use serde_json::Value;
+    let as_f64 = |v: &Value| -> Option<f64> {
+        match v {
+            Value::F64(f) => Some(*f),
+            Value::U64(u) => Some(*u as f64),
+            Value::I64(i) => Some(*i as f64),
+            _ => None,
+        }
+    };
+    match (base, fresh) {
+        (Value::Map(b), Value::Map(f)) => {
+            for (key, bv) in b {
+                match f.iter().find(|(k, _)| k == key) {
+                    Some((_, fv)) => diff_value(&format!("{path}.{key}"), bv, fv, out),
+                    None => out.push(format!("{path}.{key}: missing from fresh run")),
+                }
+            }
+            for (key, _) in f {
+                if !b.iter().any(|(k, _)| k == key) {
+                    out.push(format!("{path}.{key}: not in baseline (regenerate?)"));
+                }
+            }
+        }
+        (Value::Seq(b), Value::Seq(f)) => {
+            if b.len() != f.len() {
+                out.push(format!("{path}: length {} vs {}", b.len(), f.len()));
+                return;
+            }
+            for (i, (bv, fv)) in b.iter().zip(f).enumerate() {
+                diff_value(&format!("{path}[{i}]"), bv, fv, out);
+            }
+        }
+        _ => {
+            // Numbers tolerate formatting slack; everything else is exact.
+            if let (Some(b), Some(f)) = (as_f64(base), as_f64(fresh)) {
+                if (b - f).abs() > FLOAT_TOLERANCE {
+                    out.push(format!("{path}: baseline {b} vs fresh {f}"));
+                }
+            } else if base != fresh {
+                out.push(format!("{path}: baseline {base:?} vs fresh {fresh:?}"));
+            }
+        }
+    }
+}
+
+fn check(scenarios: &[(&str, &ResilienceReport)]) -> std::io::Result<()> {
+    let text = std::fs::read_to_string("BENCH_resilience.json").map_err(|e| {
+        std::io::Error::other(format!(
+            "--check needs a committed BENCH_resilience.json baseline: {e}"
+        ))
+    })?;
+    let baseline: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| std::io::Error::other(e.to_string()))?;
+    let mut failures = Vec::new();
+    for (name, report) in scenarios {
+        let fresh = serde_json::to_value(*report);
+        match baseline
+            .get_field("scenarios")
+            .and_then(|s| s.get_field(name))
+        {
+            Some(base) => diff_value(name, base, &fresh, &mut failures),
+            None => failures.push(format!("{name}: missing from committed baseline")),
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "bench_resilience check passed ({} scenarios byte-equivalent)",
+            scenarios.len()
+        );
+        return Ok(());
+    }
+    for f in &failures {
+        eprintln!("MISMATCH  {f}");
+    }
+    eprintln!(
+        "\nthe chaos metrics diverged from the committed BENCH_resilience.json \
+         baseline; the resilience machinery changed behaviour (these numbers \
+         are simulated — host speed cannot move them). If the change is \
+         intended, regenerate with `cargo run --release -p jetsim-bench \
+         --bin bench_resilience`."
+    );
+    std::process::exit(1);
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let checking = std::env::args().any(|a| a == "--check");
+    let start = Instant::now();
+    let oom = oom_storm()?;
+    let dvfs = dvfs_storm()?;
+    let wall_s = start.elapsed().as_secs_f64();
+
+    if checking {
+        check(&[("oom_storm", &oom), ("dvfs_storm", &dvfs)])?;
+        return Ok(());
+    }
+
+    eprintln!("oom_storm\n{oom}");
+    eprintln!("dvfs_storm\n{dvfs}");
+    let json = serde_json::json!({
+        "bench": "resilience",
+        "note": "all metrics are simulated and bit-deterministic per fault seed; --check compares them (near-)exactly — wall_s is context, never gated",
+        "fault_seed": FAULT_SEED,
+        "wall_s": wall_s,
+        "scenarios": {
+            "oom_storm": oom,
+            "dvfs_storm": dvfs,
+        },
+    });
+    let text = serde_json::to_string_pretty(&json).expect("serializable");
+    std::fs::write("BENCH_resilience.json", &text)?;
+    println!("{text}");
+    println!("\nwritten to BENCH_resilience.json");
+    Ok(())
+}

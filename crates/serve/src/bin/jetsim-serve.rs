@@ -14,7 +14,10 @@ use std::process::ExitCode;
 
 use jetsim::platform::Platform;
 use jetsim_des::{ArrivalProcess, SimDuration};
-use jetsim_serve::{AdmissionPolicy, ServeSpec, ServeTenant};
+use jetsim_serve::{
+    AdmissionPolicy, BreakerMode, BreakerPolicy, FaultPlan, HedgePolicy, OomPolicy, RecoverySpec,
+    ResiliencePolicies, RetryPolicy, ServeSpec, ServeTenant,
+};
 
 #[derive(Debug)]
 struct Args {
@@ -29,6 +32,12 @@ struct Args {
     seed: u64,
     find_max_qps: Option<f64>,
     json: bool,
+    fault_seed: Option<u64>,
+    deadline: Option<SimDuration>,
+    retry: Option<u32>,
+    hedge: Option<Option<SimDuration>>,
+    breaker: Option<BreakerMode>,
+    recovery: Option<u32>,
 }
 
 fn usage() -> &'static str {
@@ -42,6 +51,16 @@ fn usage() -> &'static str {
      \x20                [--device orin-nano|jetson-nano|cloud-a40] [--seed N]\n\
      \x20                [--find-max-qps[=TARGET]] search the highest offered load that\n\
      \x20                  keeps tenant 0's SLO attainment >= TARGET (default 0.95)\n\
+     \x20                [--faults[=SEED]] inject a seeded fault plan (2 memory spikes,\n\
+     \x20                  1 throttle lock, OOM killer armed; SEED defaults to --seed)\n\
+     \x20                [--deadline DUR] fail requests still queued after DUR\n\
+     \x20                [--retry[=N]] retry failed requests, N total attempts (default 3)\n\
+     \x20                [--hedge[=DUR|auto]] duplicate slow requests after DUR\n\
+     \x20                  (default auto: the rolling p95 latency)\n\
+     \x20                [--breaker[=shed|brownout]] circuit-break on rolling error rate\n\
+     \x20                  (default shed)\n\
+     \x20                [--recovery[=N]] restart OOM-killed replicas up to N times\n\
+     \x20                  (default 2; cost derived from the engine cache)\n\
      \x20                [--json] emit the report as JSON"
 }
 
@@ -114,6 +133,12 @@ impl Args {
             seed: 0x6A65_7473,
             find_max_qps: None,
             json: false,
+            fault_seed: None,
+            deadline: None,
+            retry: None,
+            hedge: None,
+            breaker: None,
+            recovery: None,
         };
         let mut arrivals = ArrivalProcess::poisson(100.0);
         let mut argv = argv.peekable();
@@ -182,6 +207,44 @@ impl Args {
                         None => 0.95,
                     })
                 }
+                "--faults" => {
+                    args.fault_seed = Some(match value {
+                        Some(v) => v.parse().map_err(|e| format!("bad --faults seed: {e}"))?,
+                        None => args.seed,
+                    })
+                }
+                "--deadline" => args.deadline = Some(parse_duration(&required(&mut value)?)?),
+                "--retry" => {
+                    args.retry = Some(match value {
+                        Some(v) => v
+                            .parse()
+                            .map_err(|e| format!("bad --retry attempts: {e}"))?,
+                        None => 3,
+                    })
+                }
+                "--hedge" => {
+                    args.hedge = Some(match value.as_deref() {
+                        Some("auto") | None => None,
+                        Some(v) => Some(parse_duration(v)?),
+                    })
+                }
+                "--breaker" => {
+                    args.breaker = Some(match value.as_deref() {
+                        Some("shed") | None => BreakerMode::Shed,
+                        Some("brownout") => BreakerMode::Brownout,
+                        Some(other) => {
+                            return Err(format!("bad --breaker `{other}`: want shed or brownout"))
+                        }
+                    })
+                }
+                "--recovery" => {
+                    args.recovery = Some(match value {
+                        Some(v) => v
+                            .parse()
+                            .map_err(|e| format!("bad --recovery restarts: {e}"))?,
+                        None => 2,
+                    })
+                }
                 "--json" => args.json = true,
                 "--help" | "-h" => return Err(usage().to_string()),
                 other => return Err(format!("unknown flag `{other}`\n{}", usage())),
@@ -210,6 +273,34 @@ fn run(args: Args) -> Result<(), String> {
         .duration(args.duration)
         .warmup(args.warmup)
         .seed(args.seed);
+    let mut resilience = ResiliencePolicies::none();
+    if let Some(deadline) = args.deadline {
+        resilience = resilience.deadline(deadline);
+    }
+    if let Some(attempts) = args.retry {
+        // Back off from half the SLO: the first retry lands inside the
+        // deadline window for any sane deadline ≥ the SLO.
+        let base = SimDuration::from_secs_f64(args.slo.as_secs_f64() * 0.5);
+        resilience = resilience.retry(RetryPolicy::new(attempts, base));
+    }
+    if let Some(delay) = args.hedge {
+        resilience = resilience.hedge(match delay {
+            Some(d) => HedgePolicy::fixed(d),
+            None => HedgePolicy::auto(),
+        });
+    }
+    if let Some(mode) = args.breaker {
+        resilience = resilience.breaker(BreakerPolicy::new(32, 0.5).mode(mode));
+    }
+    if let Some(restarts) = args.recovery {
+        resilience = resilience.recovery(RecoverySpec::auto(restarts));
+    }
+    spec = spec.resilience(resilience);
+    if let Some(fault_seed) = args.fault_seed {
+        let plan =
+            FaultPlan::seeded(fault_seed, spec.horizon(), 2, 1).oom_policy(OomPolicy::KillLargest);
+        spec = spec.faults(plan);
+    }
     for (tenant_spec, arrivals) in &args.tenants {
         let tenant = ServeTenant::parse_with_arrivals(tenant_spec, arrivals.clone())
             .map_err(|e| e.to_string())?

@@ -52,16 +52,23 @@
 
 pub mod capacity;
 pub mod metrics;
+pub mod resilience;
 pub mod spec;
 
 pub use capacity::{find_max_qps, CapacityEstimate, CapacityProbe};
 pub use metrics::{GroupReport, ServeReport};
+pub use resilience::{
+    chaos_sweep, chaos_sweep_with_plan, ChaosCell, RecoverySpec, ResiliencePolicies,
+    ResilienceReport, RestartCost,
+};
 pub use spec::{ServeError, ServeSpec, ServeTenant};
 
 // Re-export the serving vocabulary so downstream users need only this
 // crate for online-serving experiments.
 pub use jetsim_des::{ArrivalProcess, ArrivalStream};
 pub use jetsim_sim::serving::{
-    AdmissionPolicy, BatchDecision, BatcherPolicy, DropKind, RequestRecord, ServeEvent,
+    AdmissionPolicy, BatchDecision, BatcherPolicy, BreakerMode, BreakerPolicy, DropKind,
+    HedgePolicy, RecoveryPolicy, ReplicaHealth, RequestRecord, RetryPolicy, ServeEvent,
     ServeEventKind,
 };
+pub use jetsim_sim::{FaultPlan, OomPolicy};

@@ -1,5 +1,16 @@
 //! SLO-aware request metrics distilled from a serving [`RunTrace`].
+//!
+//! Accounting is **logical**: a retry or hedge duplicate links back to
+//! its parent via [`jetsim_sim::serving::RequestRecord::retry_of`] /
+//! `hedge_of`, and the report counts each *chain* once — by its root.
+//! A logical request is served when any chain member completes (the
+//! earliest completion wins, so a hedge pair can never double-count
+//! goodput), failed when every member reached a terminal drop, and
+//! unfinished when the run ended with a member still queued or in
+//! flight. Without resilience policies every chain is a single record
+//! and the numbers reduce to the plain per-request accounting.
 
+use std::collections::HashMap;
 use std::fmt;
 
 use jetsim_des::{SimDuration, SimTime};
@@ -12,31 +23,57 @@ use serde::Serialize;
 pub struct GroupReport {
     /// Serve group label (the tenant's `model:precision:bBATCH`).
     pub label: String,
-    /// Requests that arrived inside the measured window.
+    /// Logical requests that arrived inside the measured window (chain
+    /// roots; retries and hedge duplicates attribute to their root).
     pub offered: usize,
-    /// Requests completed successfully.
+    /// Logical requests completed successfully (any chain member).
     pub served: usize,
-    /// Requests turned away at admission ([`DropKind::Rejected`]).
+    /// Logical requests whose every attempt ended in a terminal drop.
+    pub failed: usize,
+    /// Physical arrivals turned away at admission ([`DropKind::Rejected`]).
     pub rejected: usize,
-    /// Queued requests evicted to make room ([`DropKind::Shed`]).
+    /// Physical queued requests evicted to make room ([`DropKind::Shed`]).
     pub shed: usize,
-    /// Requests still queued or in flight when the run ended.
+    /// Physical requests dropped because their queueing deadline expired
+    /// ([`DropKind::DeadlineExpired`]).
+    pub deadline_expired: usize,
+    /// Physical requests that died in flight on an OOM-killed replica
+    /// ([`DropKind::Killed`]).
+    pub killed_inflight: usize,
+    /// Hedge duplicates cancelled because their twin won
+    /// ([`DropKind::HedgeLoser`]).
+    pub hedge_losers: usize,
+    /// Physical arrivals shed by an open circuit breaker
+    /// ([`DropKind::BreakerOpen`]).
+    pub breaker_rejected: usize,
+    /// Logical requests still queued or in flight when the run ended.
     pub unfinished: usize,
-    /// Offered load, requests/s.
+    /// Physical attempts submitted for the window's logical requests
+    /// (roots + retries + hedge duplicates).
+    pub attempts: usize,
+    /// `attempts / offered` — 1.0 means no retry or hedge amplification.
+    pub retry_amplification: f64,
+    /// Offered load, logical requests/s.
     pub offered_qps: f64,
-    /// Completed requests/s (regardless of latency).
+    /// Completed logical requests/s (regardless of latency).
     pub served_qps: f64,
-    /// Completed requests/s that met the SLO — the number that matters.
+    /// Completed logical requests/s that met the SLO — the number that
+    /// matters.
     pub goodput_qps: f64,
-    /// Fraction of *offered* requests that completed within the SLO.
+    /// Fraction of *offered* logical requests that completed within the
+    /// SLO.
     pub slo_attainment: f64,
-    /// Median end-to-end latency, ms.
+    /// Fraction of offered logical requests that completed within the
+    /// group's deadline (the SLO when no deadline is configured).
+    pub deadline_hit_rate: f64,
+    /// Median end-to-end latency, ms (root arrival → first completion).
     pub p50_ms: f64,
     /// 95th-percentile latency, ms.
     pub p95_ms: f64,
     /// 99th-percentile latency, ms.
     pub p99_ms: f64,
-    /// Mean time spent waiting in the admission queue, ms.
+    /// Mean time spent waiting in the admission queue, ms (completed
+    /// physical attempts).
     pub mean_queue_wait_ms: f64,
     /// Mean dispatched batch size.
     pub mean_batch: f64,
@@ -44,6 +81,15 @@ pub struct GroupReport {
     pub max_queue_depth: usize,
     /// Batches dispatched on the degraded fallback engine.
     pub degraded_batches: usize,
+    /// Circuit-breaker trips inside the window.
+    pub breaker_trips: usize,
+    /// Replica restarts completed inside the window.
+    pub replica_restarts: usize,
+    /// Replicas ejected for good inside the window.
+    pub replica_ejected: usize,
+    /// Mean time-to-recovery across completed restarts, ms (0 when no
+    /// replica recovered).
+    pub mttr_ms: f64,
 }
 
 /// The full serving report: one [`GroupReport`] per tenant.
@@ -68,17 +114,103 @@ fn percentile_ms(sorted: &[SimDuration], p: f64) -> f64 {
     sorted[rank.clamp(1, sorted.len()) - 1].as_millis_f64()
 }
 
+/// Rolled-up outcome of one logical request (chain of attempts).
+struct Chain {
+    group: usize,
+    arrival: SimTime,
+    in_window: bool,
+    /// Earliest completion across members, if any.
+    completion: Option<SimTime>,
+    /// A member is still queued or in flight.
+    pending: bool,
+    /// Physical members.
+    attempts: usize,
+}
+
 impl ServeReport {
     /// Distils per-tenant SLO metrics from a serving trace.
     ///
-    /// Requests are attributed to the measured window by *arrival* time
-    /// (`arrival >= warmup`): a request that arrives in-window but
-    /// completes after the configured duration still counts against
-    /// attainment as `unfinished`, which is exactly the bias a real
-    /// load-test window has.
+    /// Logical requests are attributed to the measured window by their
+    /// *root's arrival* time (`arrival >= warmup`): a request that
+    /// arrives in-window but completes after the configured duration
+    /// still counts against attainment as `unfinished`, which is exactly
+    /// the bias a real load-test window has. `deadline_hit_rate` is
+    /// judged against the SLO; use [`ServeReport::from_trace_with_deadline`]
+    /// when the run enforced explicit deadlines.
     pub fn from_trace(trace: &RunTrace, slo: SimDuration, warmup: SimDuration) -> Self {
+        Self::from_trace_with_deadline(trace, slo, warmup, None)
+    }
+
+    /// [`ServeReport::from_trace`] with the deadline the groups enforced,
+    /// so `deadline_hit_rate` is judged against the real promise instead
+    /// of the SLO.
+    pub fn from_trace_with_deadline(
+        trace: &RunTrace,
+        slo: SimDuration,
+        warmup: SimDuration,
+        deadline: Option<SimDuration>,
+    ) -> Self {
         let window_start = SimTime::ZERO + warmup;
         let measured_secs = trace.measured.as_secs_f64();
+
+        // Resolve every physical record to its chain root in one pass —
+        // parents always precede children in arrival order — then roll
+        // chains up. Physical drop-cause counters stay per-record so the
+        // report still shows *why* attempts died.
+        let n = trace.requests.len();
+        let mut root = vec![0usize; n];
+        let mut chains: HashMap<usize, Chain> = HashMap::new();
+        let n_groups = trace.serve_group_labels.len();
+        let mut rejected = vec![0usize; n_groups];
+        let mut shed = vec![0usize; n_groups];
+        let mut deadline_expired = vec![0usize; n_groups];
+        let mut killed_inflight = vec![0usize; n_groups];
+        let mut hedge_losers = vec![0usize; n_groups];
+        let mut breaker_rejected = vec![0usize; n_groups];
+        let mut wait_total = vec![SimDuration::ZERO; n_groups];
+        let mut wait_count = vec![0usize; n_groups];
+        for (i, r) in trace.requests.iter().enumerate() {
+            root[i] = match r.retry_of.or(r.hedge_of) {
+                Some(parent) => root[parent],
+                None => i,
+            };
+            let chain = chains.entry(root[i]).or_insert_with(|| Chain {
+                group: r.group,
+                arrival: r.arrival,
+                in_window: r.arrival >= window_start,
+                completion: None,
+                pending: false,
+                attempts: 0,
+            });
+            chain.attempts += 1;
+            let in_window = chain.in_window;
+            if let Some(at) = r.completed {
+                chain.completion = Some(chain.completion.map_or(at, |best| best.min(at)));
+            } else if r.dropped.is_none() {
+                chain.pending = true;
+            }
+            if !in_window {
+                continue;
+            }
+            if let Some(drop) = &r.dropped {
+                match drop.kind {
+                    DropKind::Rejected => rejected[r.group] += 1,
+                    DropKind::Shed => shed[r.group] += 1,
+                    DropKind::DeadlineExpired => deadline_expired[r.group] += 1,
+                    DropKind::Killed => killed_inflight[r.group] += 1,
+                    DropKind::HedgeLoser => hedge_losers[r.group] += 1,
+                    DropKind::BreakerOpen => breaker_rejected[r.group] += 1,
+                    _ => {}
+                }
+            }
+            if r.completed.is_some() {
+                if let Some(wait) = r.queue_wait() {
+                    wait_total[r.group] += wait;
+                    wait_count[r.group] += 1;
+                }
+            }
+        }
+
         let groups = trace
             .serve_group_labels
             .iter()
@@ -86,38 +218,33 @@ impl ServeReport {
             .map(|(g, label)| {
                 let mut offered = 0usize;
                 let mut served = 0usize;
-                let mut rejected = 0usize;
-                let mut shed = 0usize;
+                let mut failed = 0usize;
                 let mut unfinished = 0usize;
+                let mut attempts = 0usize;
                 let mut within_slo = 0usize;
+                let mut within_deadline = 0usize;
                 let mut latencies: Vec<SimDuration> = Vec::new();
-                let mut wait_total = SimDuration::ZERO;
-                let mut wait_count = 0usize;
-                for r in trace.requests.iter().filter(|r| r.group == g) {
-                    if r.arrival < window_start {
+                let promise = deadline.unwrap_or(slo);
+                for chain in chains.values() {
+                    if chain.group != g || !chain.in_window {
                         continue;
                     }
                     offered += 1;
-                    if let Some(drop) = &r.dropped {
-                        match drop.kind {
-                            DropKind::Rejected => rejected += 1,
-                            DropKind::Shed => shed += 1,
-                            _ => {}
+                    attempts += chain.attempts;
+                    match chain.completion {
+                        Some(at) => {
+                            served += 1;
+                            let latency = at.saturating_since(chain.arrival);
+                            if latency <= slo {
+                                within_slo += 1;
+                            }
+                            if latency <= promise {
+                                within_deadline += 1;
+                            }
+                            latencies.push(latency);
                         }
-                        continue;
-                    }
-                    if let Some(latency) = r.latency() {
-                        served += 1;
-                        if latency <= slo {
-                            within_slo += 1;
-                        }
-                        latencies.push(latency);
-                        if let Some(wait) = r.queue_wait() {
-                            wait_total += wait;
-                            wait_count += 1;
-                        }
-                    } else {
-                        unfinished += 1;
+                        None if chain.pending => unfinished += 1,
+                        None => failed += 1,
                     }
                 }
                 latencies.sort_unstable();
@@ -126,28 +253,53 @@ impl ServeReport {
                 let mut batched_requests = 0u64;
                 let mut degraded_batches = 0usize;
                 let mut max_queue_depth = 0usize;
+                let mut breaker_trips = 0usize;
+                let mut replica_restarts = 0usize;
+                let mut replica_ejected = 0usize;
+                let mut down_at: HashMap<usize, SimTime> = HashMap::new();
+                let mut recovery_total = SimDuration::ZERO;
                 for e in trace
                     .serve_events
                     .iter()
                     .filter(|e| e.group == g && e.time >= window_start)
                 {
-                    if let ServeEventKind::BatchFormed {
-                        size,
-                        queue_depth,
-                        degraded,
-                        ..
-                    } = e.kind
-                    {
-                        batches += 1;
-                        batched_requests += u64::from(size);
-                        degraded_batches += usize::from(degraded);
-                        max_queue_depth = max_queue_depth.max(queue_depth + size as usize);
+                    match e.kind {
+                        ServeEventKind::BatchFormed {
+                            size,
+                            queue_depth,
+                            degraded,
+                            ..
+                        } => {
+                            batches += 1;
+                            batched_requests += u64::from(size);
+                            degraded_batches += usize::from(degraded);
+                            max_queue_depth = max_queue_depth.max(queue_depth + size as usize);
+                        }
+                        ServeEventKind::BreakerTrip { .. } => breaker_trips += 1,
+                        ServeEventKind::ReplicaDown { pid, .. } => {
+                            down_at.insert(pid, e.time);
+                        }
+                        ServeEventKind::ReplicaUp { pid } => {
+                            replica_restarts += 1;
+                            if let Some(down) = down_at.remove(&pid) {
+                                recovery_total += e.time.saturating_since(down);
+                            }
+                        }
+                        ServeEventKind::ReplicaEjected { .. } => replica_ejected += 1,
+                        _ => {}
                     }
                 }
 
-                let per_sec = |n: usize| {
+                let per_sec = |count: usize| {
                     if measured_secs > 0.0 {
-                        n as f64 / measured_secs
+                        count as f64 / measured_secs
+                    } else {
+                        0.0
+                    }
+                };
+                let over_offered = |count: usize| {
+                    if offered > 0 {
+                        count as f64 / offered as f64
                     } else {
                         0.0
                     }
@@ -156,22 +308,26 @@ impl ServeReport {
                     label: label.clone(),
                     offered,
                     served,
-                    rejected,
-                    shed,
+                    failed,
+                    rejected: rejected[g],
+                    shed: shed[g],
+                    deadline_expired: deadline_expired[g],
+                    killed_inflight: killed_inflight[g],
+                    hedge_losers: hedge_losers[g],
+                    breaker_rejected: breaker_rejected[g],
                     unfinished,
+                    attempts,
+                    retry_amplification: over_offered(attempts),
                     offered_qps: per_sec(offered),
                     served_qps: per_sec(served),
                     goodput_qps: per_sec(within_slo),
-                    slo_attainment: if offered > 0 {
-                        within_slo as f64 / offered as f64
-                    } else {
-                        0.0
-                    },
+                    slo_attainment: over_offered(within_slo),
+                    deadline_hit_rate: over_offered(within_deadline),
                     p50_ms: percentile_ms(&latencies, 50.0),
                     p95_ms: percentile_ms(&latencies, 95.0),
                     p99_ms: percentile_ms(&latencies, 99.0),
-                    mean_queue_wait_ms: if wait_count > 0 {
-                        wait_total.as_millis_f64() / wait_count as f64
+                    mean_queue_wait_ms: if wait_count[g] > 0 {
+                        wait_total[g].as_millis_f64() / wait_count[g] as f64
                     } else {
                         0.0
                     },
@@ -182,6 +338,14 @@ impl ServeReport {
                     },
                     max_queue_depth,
                     degraded_batches,
+                    breaker_trips,
+                    replica_restarts,
+                    replica_ejected,
+                    mttr_ms: if replica_restarts > 0 {
+                        recovery_total.as_millis_f64() / replica_restarts as f64
+                    } else {
+                        0.0
+                    },
                 }
             })
             .collect();
@@ -222,7 +386,7 @@ impl fmt::Display for ServeReport {
                 g.label,
                 g.offered,
                 g.served,
-                g.rejected + g.shed,
+                g.rejected + g.shed + g.deadline_expired + g.killed_inflight + g.breaker_rejected,
                 g.served_qps,
                 g.goodput_qps,
                 g.p50_ms,

@@ -1,0 +1,356 @@
+//! Request-level resilience policies and the chaos-evaluation harness.
+//!
+//! [`ResiliencePolicies`] bundles the per-group knobs the DES enforces —
+//! deadlines, retries with seeded backoff jitter, hedging, circuit
+//! breaking and replica recovery — and [`chaos_sweep`] measures what
+//! they buy: each policy runs against identical traffic twice, once
+//! fault-free and once under a seeded [`FaultPlan`], and the
+//! [`ResilienceReport`] compares goodput retained, deadline-hit rate,
+//! recovery time and retry amplification across policies.
+//!
+//! Everything is deterministic: the same base spec, policy set and fault
+//! seed produce a byte-identical report, so two chaos runs can be
+//! diffed directly (CI does exactly that).
+
+use std::fmt;
+
+use jetsim_des::SimDuration;
+use jetsim_sim::serving::{BreakerPolicy, HedgePolicy, RecoveryPolicy, RetryPolicy};
+use jetsim_sim::{FaultPlan, OomPolicy};
+use jetsim_trt::{Engine, EngineCache, EngineKey};
+use serde::Serialize;
+
+use crate::spec::{ServeError, ServeSpec};
+
+/// How a recovering replica's restart time is charged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RestartCost {
+    /// Derive from the engine cache at config-build time: a cache hit
+    /// restarts at [`Engine::load_cost_estimate`] (deserialize the plan
+    /// file), a miss at [`Engine::build_cost_estimate`] (full tactic
+    /// search). The first process to serve a spec pays cold restarts;
+    /// one that already built the engines restarts warm.
+    Auto,
+    /// A fixed restart cost (clamped ≥ 1 ms by the DES).
+    Fixed(SimDuration),
+}
+
+/// Replica-recovery spec: how many restarts each replica gets and what
+/// each one costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoverySpec {
+    /// Restarts allowed per replica before it is ejected for good.
+    pub max_restarts: u32,
+    /// How the restart time is charged.
+    pub cost: RestartCost,
+}
+
+impl RecoverySpec {
+    /// Recovery with cache-derived restart costs.
+    pub fn auto(max_restarts: u32) -> Self {
+        RecoverySpec {
+            max_restarts,
+            cost: RestartCost::Auto,
+        }
+    }
+
+    /// Recovery with a fixed restart cost.
+    pub fn fixed(cost: SimDuration, max_restarts: u32) -> Self {
+        RecoverySpec {
+            max_restarts,
+            cost: RestartCost::Fixed(cost),
+        }
+    }
+
+    /// Resolves this spec against a concrete engine into the
+    /// [`RecoveryPolicy`] the DES enforces. `warm` says whether the
+    /// engine was already in the [`EngineCache`] when the config was
+    /// compiled.
+    pub(crate) fn resolve(&self, engine: &Engine, warm: bool) -> RecoveryPolicy {
+        let cost = match self.cost {
+            RestartCost::Fixed(d) => d,
+            RestartCost::Auto if warm => engine.load_cost_estimate(),
+            RestartCost::Auto => engine.build_cost_estimate(),
+        };
+        RecoveryPolicy::new(cost, self.max_restarts)
+    }
+}
+
+/// The full per-group resilience bundle applied to every tenant of a
+/// [`ServeSpec`]. Every knob is optional; [`ResiliencePolicies::none`]
+/// reproduces the pre-resilience serving behaviour byte for byte.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResiliencePolicies {
+    /// Queueing deadline: a request still queued this long after arrival
+    /// is failed with a distinct terminal state.
+    pub deadline: Option<SimDuration>,
+    /// Retry failed requests with exponential backoff and seeded jitter.
+    pub retry: Option<RetryPolicy>,
+    /// Duplicate slow in-flight requests onto a second replica.
+    pub hedge: Option<HedgePolicy>,
+    /// Trip on rolling error rate; shed or brown out until a probe
+    /// succeeds.
+    pub breaker: Option<BreakerPolicy>,
+    /// Restart OOM-killed replicas instead of leaving them dead.
+    pub recovery: Option<RecoverySpec>,
+}
+
+impl ResiliencePolicies {
+    /// No resilience: every fault is terminal, requests have no deadline
+    /// and are never retried, hedged or gated. The pre-resilience
+    /// behaviour.
+    pub fn none() -> Self {
+        ResiliencePolicies::default()
+    }
+
+    /// A reasonable production bundle derived from the SLO: deadline at
+    /// 4× SLO, 3 attempts backing off from SLO/2, a 32-outcome breaker
+    /// tripping at 50% errors, and 2 cache-costed restarts per replica.
+    /// Hedging stays off (it trades load for tail latency and deserves
+    /// an explicit opt-in).
+    pub fn standard(slo: SimDuration) -> Self {
+        ResiliencePolicies {
+            deadline: Some(SimDuration::from_secs_f64(slo.as_secs_f64() * 4.0)),
+            retry: Some(RetryPolicy::new(
+                3,
+                SimDuration::from_secs_f64(slo.as_secs_f64() * 0.5),
+            )),
+            hedge: None,
+            breaker: Some(BreakerPolicy::new(32, 0.5)),
+            recovery: Some(RecoverySpec::auto(2)),
+        }
+    }
+
+    /// Sets the queueing deadline.
+    pub fn deadline(mut self, deadline: SimDuration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the retry policy.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = Some(retry);
+        self
+    }
+
+    /// Sets the hedging policy.
+    pub fn hedge(mut self, hedge: HedgePolicy) -> Self {
+        self.hedge = Some(hedge);
+        self
+    }
+
+    /// Sets the circuit-breaker policy.
+    pub fn breaker(mut self, breaker: BreakerPolicy) -> Self {
+        self.breaker = Some(breaker);
+        self
+    }
+
+    /// Sets the replica-recovery spec.
+    pub fn recovery(mut self, recovery: RecoverySpec) -> Self {
+        self.recovery = Some(recovery);
+        self
+    }
+
+    /// `true` when at least one knob is set.
+    pub fn is_any(&self) -> bool {
+        self.deadline.is_some()
+            || self.retry.is_some()
+            || self.hedge.is_some()
+            || self.breaker.is_some()
+            || self.recovery.is_some()
+    }
+}
+
+/// One chaos cell: a named policy bundle evaluated fault-free and under
+/// the shared fault plan, against identical traffic.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ChaosCell {
+    /// The policy bundle's name.
+    pub policy: String,
+    /// Goodput with no faults injected, logical requests/s (all groups).
+    pub baseline_goodput_qps: f64,
+    /// Goodput under the fault plan, logical requests/s.
+    pub faulted_goodput_qps: f64,
+    /// `faulted / baseline` — the number the tentpole is judged by.
+    pub goodput_retained: f64,
+    /// Offered→served fraction within the deadline under faults.
+    pub deadline_hit_rate: f64,
+    /// Mean time-to-recovery across replica restarts under faults, ms.
+    pub mttr_ms: f64,
+    /// Physical attempts per logical request under faults.
+    pub retry_amplification: f64,
+    /// Logical requests served under faults.
+    pub served: usize,
+    /// Logical requests that failed terminally under faults.
+    pub failed: usize,
+    /// Replica restarts completed under faults.
+    pub replica_restarts: usize,
+    /// Replicas ejected for good under faults.
+    pub replica_ejected: usize,
+}
+
+/// The chaos harness's verdict: one [`ChaosCell`] per policy bundle,
+/// all evaluated against the same seeded fault plan and traffic.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ResilienceReport {
+    /// Device the cells simulated.
+    pub device: String,
+    /// Seed of the injected fault plan.
+    pub fault_seed: u64,
+    /// Background memory spikes injected.
+    pub spikes: usize,
+    /// DVFS throttle locks injected.
+    pub locks: usize,
+    /// Per-policy cells, in sweep order.
+    pub cells: Vec<ChaosCell>,
+}
+
+impl fmt::Display for ResilienceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} — fault seed {:#x} ({} spikes, {} locks)",
+            self.device, self.fault_seed, self.spikes, self.locks
+        )?;
+        writeln!(
+            f,
+            "{:<20} {:>9} {:>9} {:>9} {:>9} {:>8} {:>7} {:>9}",
+            "policy",
+            "base-qps",
+            "fault-qps",
+            "retained",
+            "deadline%",
+            "mttr-ms",
+            "amplif",
+            "restarts"
+        )?;
+        for c in &self.cells {
+            writeln!(
+                f,
+                "{:<20} {:>9.1} {:>9.1} {:>8.1}% {:>8.1}% {:>8.1} {:>7.2} {:>9}",
+                c.policy,
+                c.baseline_goodput_qps,
+                c.faulted_goodput_qps,
+                c.goodput_retained * 100.0,
+                c.deadline_hit_rate * 100.0,
+                c.mttr_ms,
+                c.retry_amplification,
+                c.replica_restarts,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Sweeps `policies` over `base`: for each bundle, one fault-free run
+/// and one under `FaultPlan::seeded(fault_seed, …)` with the OOM killer
+/// armed, against byte-identical traffic (the base spec's seed governs
+/// arrivals in every cell).
+///
+/// # Errors
+///
+/// See [`ServeSpec::build_config`].
+pub fn chaos_sweep(
+    base: &ServeSpec,
+    policies: &[(&str, ResiliencePolicies)],
+    fault_seed: u64,
+    spikes: usize,
+    locks: usize,
+) -> Result<ResilienceReport, ServeError> {
+    let plan = FaultPlan::seeded(fault_seed, base.horizon(), spikes, locks)
+        .oom_policy(OomPolicy::KillLargest);
+    chaos_sweep_with_plan(base, policies, plan, fault_seed)
+}
+
+/// [`chaos_sweep`] with an explicit fault plan — for scenarios that need
+/// guaranteed pressure (e.g. a spike sized to the device's memory so the
+/// OOM killer demonstrably fires) on top of, or instead of, the seeded
+/// draw. `fault_seed` is recorded in the report for provenance.
+///
+/// # Errors
+///
+/// See [`ServeSpec::build_config`].
+pub fn chaos_sweep_with_plan(
+    base: &ServeSpec,
+    policies: &[(&str, ResiliencePolicies)],
+    plan: FaultPlan,
+    fault_seed: u64,
+) -> Result<ResilienceReport, ServeError> {
+    let spikes = plan.memory_spikes.len();
+    let locks = plan.throttle_locks.len();
+    let mut cells = Vec::with_capacity(policies.len());
+    let mut device = String::new();
+    for &(name, policy) in policies {
+        let spec = base.clone().resilience(policy);
+        let baseline = spec.clone().run()?;
+        let faulted = spec.faults(plan.clone()).run()?;
+        device = faulted.device.clone();
+        let goodput = |r: &crate::metrics::ServeReport| -> f64 {
+            r.groups.iter().map(|g| g.goodput_qps).sum()
+        };
+        let offered: usize = faulted.groups.iter().map(|g| g.offered).sum();
+        let weighted = |f: &dyn Fn(&crate::metrics::GroupReport) -> f64| -> f64 {
+            if offered == 0 {
+                return 0.0;
+            }
+            faulted
+                .groups
+                .iter()
+                .map(|g| f(g) * g.offered as f64)
+                .sum::<f64>()
+                / offered as f64
+        };
+        let base_qps = goodput(&baseline);
+        let fault_qps = goodput(&faulted);
+        let restarts: usize = faulted.groups.iter().map(|g| g.replica_restarts).sum();
+        let recovery_ms: f64 = faulted
+            .groups
+            .iter()
+            .map(|g| g.mttr_ms * g.replica_restarts as f64)
+            .sum();
+        cells.push(ChaosCell {
+            policy: name.to_string(),
+            baseline_goodput_qps: base_qps,
+            faulted_goodput_qps: fault_qps,
+            goodput_retained: if base_qps > 0.0 {
+                fault_qps / base_qps
+            } else {
+                0.0
+            },
+            deadline_hit_rate: weighted(&|g| g.deadline_hit_rate),
+            mttr_ms: if restarts > 0 {
+                recovery_ms / restarts as f64
+            } else {
+                0.0
+            },
+            retry_amplification: weighted(&|g| g.retry_amplification),
+            served: faulted.groups.iter().map(|g| g.served).sum(),
+            failed: faulted.groups.iter().map(|g| g.failed).sum(),
+            replica_restarts: restarts,
+            replica_ejected: faulted.groups.iter().map(|g| g.replica_ejected).sum(),
+        });
+    }
+    Ok(ResilienceReport {
+        device,
+        fault_seed,
+        spikes,
+        locks,
+        cells,
+    })
+}
+
+/// Probes whether `EngineCache` already holds the engine for this
+/// platform/model/precision/batch — the warm/cold split
+/// [`RestartCost::Auto`] keys off. Split out so
+/// [`ServeSpec::build_config`] can probe *before* building (building
+/// populates the cache).
+pub(crate) fn engine_is_cached(
+    platform: &jetsim::platform::Platform,
+    model: &jetsim_dnn::ModelGraph,
+    precision: jetsim_dnn::Precision,
+    batch: u32,
+) -> bool {
+    EngineCache::global()
+        .get(&EngineKey::of(platform.device(), model, precision, batch))
+        .is_some()
+}

@@ -8,12 +8,13 @@ use jetsim::deployment::{DeploymentError, Tenant};
 use jetsim::platform::Platform;
 use jetsim_des::{ArrivalProcess, SimDuration};
 use jetsim_dnn::Precision;
-use jetsim_sim::serving::{AdmissionPolicy, ServeGroup, ServePlan};
-use jetsim_sim::{SimConfig, SimError, Simulation};
+use jetsim_sim::serving::{AdmissionPolicy, BreakerMode, ServeGroup, ServePlan};
+use jetsim_sim::{FaultPlan, SimConfig, SimError, Simulation};
 use jetsim_trt::BuildError;
 
 use crate::capacity::{self, CapacityEstimate};
 use crate::metrics::ServeReport;
+use crate::resilience::{engine_is_cached, ResiliencePolicies};
 
 /// One served tenant: a [`Tenant`] (model × precision × batch × instance
 /// count) plus the serving-side knobs — how its requests arrive, how
@@ -149,6 +150,8 @@ pub struct ServeSpec {
     duration: SimDuration,
     seed: u64,
     slo: SimDuration,
+    faults: FaultPlan,
+    resilience: ResiliencePolicies,
 }
 
 impl ServeSpec {
@@ -162,6 +165,8 @@ impl ServeSpec {
             duration: SimDuration::from_secs(3),
             seed: 0x6A65_7473,
             slo: SimDuration::from_millis(50),
+            faults: FaultPlan::new(),
+            resilience: ResiliencePolicies::none(),
         }
     }
 
@@ -197,6 +202,25 @@ impl ServeSpec {
         self
     }
 
+    /// Injects a fault plan (memory spikes, throttle locks, and the OOM
+    /// policy) into the run. Seeded plans replay bit for bit.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Applies a resilience bundle to every tenant's serve group.
+    pub fn resilience(mut self, resilience: ResiliencePolicies) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
+    /// Total simulated horizon (warmup + measured duration), which fault
+    /// plans are drawn over.
+    pub fn horizon(&self) -> SimDuration {
+        self.warmup + self.duration
+    }
+
     /// The tenants, in group order.
     pub fn tenants(&self) -> &[ServeTenant] {
         &self.tenants
@@ -224,12 +248,19 @@ impl ServeSpec {
         let mut builder = SimConfig::builder(self.platform.device().clone())
             .warmup(self.warmup)
             .measure(self.duration)
-            .seed(self.seed);
+            .seed(self.seed)
+            .faults(self.faults.clone());
         let mut plan = ServePlan::new();
         let mut next_pid = 0usize;
+        let res = &self.resilience;
         for st in &self.tenants {
             let t = &st.tenant;
             let label = t.label();
+            // Probe the cache *before* building: whether this exact
+            // engine was already built decides the warm/cold restart
+            // cost under RestartCost::Auto.
+            let warm = res.recovery.is_some()
+                && engine_is_cached(&self.platform, t.model(), t.precision(), t.batch());
             let engine = self
                 .platform
                 .build_engine(t.model(), t.precision(), t.batch())
@@ -248,7 +279,12 @@ impl ServeSpec {
                 .max_delay(st.max_delay)
                 .queue_cap(st.queue_cap)
                 .admission(st.admission);
-            if st.admission == AdmissionPolicy::Degrade {
+            // A degraded fallback is needed by Degrade admission and by
+            // a brownout breaker (which forces the cheap engine while
+            // open).
+            let wants_fallback = st.admission == AdmissionPolicy::Degrade
+                || matches!(res.breaker, Some(b) if b.mode == BreakerMode::Brownout);
+            if wants_fallback {
                 if let Some((precision, batch)) = degraded_variant(t.precision(), t.batch()) {
                     let fallback = self
                         .platform
@@ -259,6 +295,21 @@ impl ServeSpec {
                         })?;
                     group = group.degraded_engine(fallback);
                 }
+            }
+            if let Some(deadline) = res.deadline {
+                group = group.deadline(deadline);
+            }
+            if let Some(retry) = res.retry {
+                group = group.retry(retry);
+            }
+            if let Some(hedge) = res.hedge {
+                group = group.hedge(hedge);
+            }
+            if let Some(breaker) = res.breaker {
+                group = group.breaker(breaker);
+            }
+            if let Some(recovery) = res.recovery {
+                group = group.recovery(recovery.resolve(&engine, warm));
             }
             plan = plan.group(group);
         }
@@ -273,7 +324,12 @@ impl ServeSpec {
     pub fn run(&self) -> Result<ServeReport, ServeError> {
         let config = self.build_config()?;
         let trace = Simulation::new(config)?.run();
-        Ok(ServeReport::from_trace(&trace, self.slo, self.warmup))
+        Ok(ServeReport::from_trace_with_deadline(
+            &trace,
+            self.slo,
+            self.warmup,
+            self.resilience.deadline,
+        ))
     }
 
     /// Searches for the highest offered load (requests/s, Poisson) that

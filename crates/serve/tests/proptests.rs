@@ -1,10 +1,18 @@
 //! Property-based tests for the serving primitives: arrival-stream
-//! replay determinism and batcher-policy safety bounds.
+//! replay determinism, batcher-policy safety bounds, and the resilience
+//! machinery's three core guarantees (bit-replayable retry timelines,
+//! hedges that never double-count goodput, breakers that admit nothing
+//! while open).
 
 use proptest::prelude::*;
 
+use jetsim::platform::Platform;
 use jetsim_des::{ArrivalProcess, ArrivalStream, SimDuration, SimTime};
-use jetsim_serve::{BatchDecision, BatcherPolicy};
+use jetsim_serve::{
+    BatchDecision, BatcherPolicy, BreakerPolicy, DropKind, FaultPlan, HedgePolicy, OomPolicy,
+    RecoverySpec, ResiliencePolicies, ServeEventKind, ServeSpec, ServeTenant,
+};
+use jetsim_sim::Simulation;
 
 /// Collects the first `n` gaps of a stream.
 fn gaps(process: &ArrivalProcess, seed: u64, n: usize) -> Vec<SimDuration> {
@@ -145,6 +153,154 @@ proptest! {
         for (i, (_, size, _)) in dispatches.iter().enumerate() {
             if i + 1 < dispatches.len() {
                 prop_assert_eq!(*size, max_batch, "only the tail batch may be partial");
+            }
+        }
+    }
+}
+
+/// A resilient two-replica fp16 deployment on the Jetson Nano under a
+/// seeded fault plan (OOM killer armed) — the chaos shape the replay
+/// property runs twice. Recovery uses a *fixed* restart cost so the
+/// config is independent of global engine-cache state (test order).
+fn resilient_spec(seed: u64, fault_seed: u64, rate: f64) -> ServeSpec {
+    let slo = SimDuration::from_millis(100);
+    let policies = ResiliencePolicies::standard(slo)
+        .hedge(HedgePolicy::fixed(SimDuration::from_millis(20)))
+        .recovery(RecoverySpec::fixed(SimDuration::from_millis(80), 2));
+    let base = ServeSpec::new(Platform::jetson_nano())
+        .tenant(
+            ServeTenant::parse_with_arrivals("resnet50:fp16:1:2", ArrivalProcess::poisson(rate))
+                .unwrap()
+                .queue_cap(16),
+        )
+        .slo(slo)
+        .warmup(SimDuration::from_millis(100))
+        .duration(SimDuration::from_millis(500))
+        .seed(seed)
+        .resilience(policies);
+    let plan =
+        FaultPlan::seeded(fault_seed, base.horizon(), 2, 1).oom_policy(OomPolicy::KillLargest);
+    base.faults(plan)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Retry, hedge and recovery timelines are bit-replayable: the same
+    /// seed and fault plan reproduce the exact request timeline — every
+    /// backoff draw, hedge firing and restart included.
+    #[test]
+    fn resilient_timelines_replay_bit_identically(
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        rate in 20.0f64..120.0,
+    ) {
+        let spec = resilient_spec(seed, fault_seed, rate);
+        let a = Simulation::new(spec.build_config().unwrap()).unwrap().run();
+        let b = Simulation::new(spec.build_config().unwrap()).unwrap().run();
+        prop_assert_eq!(&a.requests, &b.requests);
+        prop_assert_eq!(&a.serve_events, &b.serve_events);
+        prop_assert_eq!(&a.fault_events, &b.fault_events);
+        prop_assert_eq!(a.sim_events, b.sim_events);
+    }
+
+    /// Hedged pairs never double-count goodput: the report counts chain
+    /// roots, so served can never exceed offered even when both physical
+    /// twins complete.
+    #[test]
+    fn hedged_pairs_never_double_count_goodput(
+        seed in any::<u64>(),
+        rate in 50.0f64..250.0,
+        hedge_ms in 1u64..10,
+    ) {
+        let warmup = SimDuration::from_millis(100);
+        let spec = ServeSpec::new(Platform::orin_nano())
+            .tenant(
+                ServeTenant::parse_with_arrivals(
+                    "resnet50:int8:1:2",
+                    ArrivalProcess::poisson(rate),
+                )
+                .unwrap(),
+            )
+            .slo(SimDuration::from_millis(50))
+            .warmup(warmup)
+            .duration(SimDuration::from_millis(500))
+            .seed(seed)
+            .resilience(
+                ResiliencePolicies::none()
+                    .hedge(HedgePolicy::fixed(SimDuration::from_millis(hedge_ms))),
+            );
+        let trace = Simulation::new(spec.build_config().unwrap()).unwrap().run();
+        let report = spec.run().unwrap();
+        let g = &report.groups[0];
+        prop_assert_eq!(g.served + g.failed + g.unfinished, g.offered);
+        prop_assert!(g.served <= g.offered);
+        prop_assert!(g.goodput_qps <= g.served_qps + 1e-9);
+        // Offered is exactly the in-window chain roots …
+        let window_start = SimTime::ZERO + warmup;
+        let roots = trace
+            .requests
+            .iter()
+            .filter(|r| r.is_root() && r.arrival >= window_start)
+            .count();
+        prop_assert_eq!(g.offered, roots);
+        // … while physical completions may exceed it (both twins ran).
+        let completions = trace.requests.iter().filter(|r| r.served()).count();
+        prop_assert!(completions >= g.served, "a served root has a completed attempt");
+        prop_assert!(g.attempts >= g.offered, "hedges only add attempts");
+    }
+
+    /// A tripped breaker admits zero requests until its half-open probe:
+    /// every arrival strictly between a BreakerTrip and the next
+    /// BreakerHalfOpen (retries and hedges included) is turned away with
+    /// [`DropKind::BreakerOpen`].
+    #[test]
+    fn tripped_breaker_admits_zero_until_half_open(
+        seed in any::<u64>(),
+        window in 8usize..32,
+        cooldown_ms in 10u64..40,
+    ) {
+        let spec = ServeSpec::new(Platform::orin_nano())
+            .tenant(
+                ServeTenant::parse_with_arrivals(
+                    "resnet50:int8:1",
+                    ArrivalProcess::poisson(4000.0),
+                )
+                .unwrap()
+                .queue_cap(8),
+            )
+            .slo(SimDuration::from_millis(50))
+            .warmup(SimDuration::from_millis(100))
+            .duration(SimDuration::from_millis(500))
+            .seed(seed)
+            .resilience(ResiliencePolicies::none().breaker(
+                BreakerPolicy::new(window, 0.5)
+                    .cooldown(SimDuration::from_millis(cooldown_ms)),
+            ));
+        let end = SimTime::ZERO + spec.horizon();
+        let trace = Simulation::new(spec.build_config().unwrap()).unwrap().run();
+        let trips: Vec<SimTime> = trace
+            .serve_events
+            .iter()
+            .filter(|e| matches!(e.kind, ServeEventKind::BreakerTrip { .. }))
+            .map(|e| e.time)
+            .collect();
+        prop_assert!(!trips.is_empty(), "a 4000 qps flood on queue_cap 8 must trip");
+        for &trip in &trips {
+            let until = trace
+                .serve_events
+                .iter()
+                .find(|e| e.time > trip && matches!(e.kind, ServeEventKind::BreakerHalfOpen))
+                .map_or(end, |e| e.time);
+            for r in &trace.requests {
+                if r.arrival > trip && r.arrival < until {
+                    prop_assert_eq!(
+                        r.dropped.map(|d| d.kind),
+                        Some(DropKind::BreakerOpen),
+                        "request at {:?} slipped through an open breaker",
+                        r.arrival
+                    );
+                }
             }
         }
     }

@@ -1,6 +1,7 @@
 //! The ingress component: open-loop request arrivals, bounded admission
 //! queues and per-group dynamic batching in front of the server
-//! processes.
+//! processes — plus the request-level resilience machinery (deadlines,
+//! retries, hedging, circuit breaking and replica recovery).
 //!
 //! Ingress sits *outside* the engine model: it decides when a server
 //! process starts its next execution context and on which engine, then
@@ -10,25 +11,37 @@
 //! re-enqueueing, which is the entire difference between `trtexec`
 //! saturation and online serving.
 //!
-//! Configs without a [`crate::serving::ServePlan`] construct an empty
-//! ingress: no groups, no events, no RNG draws — closed-loop runs stay
-//! byte-identical.
+//! Resilience is strictly opt-in per [`crate::serving::ServeGroup`]: a
+//! group without a deadline/retry/hedge/breaker/recovery policy
+//! schedules none of the new timer events and draws no extra randomness,
+//! so pre-existing serving configs replay byte-identically. Configs
+//! without a [`crate::serving::ServePlan`] at all construct an empty
+//! ingress: no groups, no events, no RNG draws.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use jetsim_des::{ArrivalStream, SimTime};
+use jetsim_des::{ArrivalStream, SimRng, SimTime};
 use jetsim_trt::Engine;
 
 use crate::config::SimConfig;
 use crate::serving::{
-    AdmissionPolicy, BatchDecision, BatcherPolicy, DropKind, DropRecord, ServeEventKind,
+    AdmissionPolicy, BatchDecision, BatcherPolicy, BreakerMode, BreakerPolicy, DropKind,
+    DropRecord, HedgePolicy, RecoveryPolicy, ReplicaHealth, RetryPolicy, ServeEventKind,
 };
 use crate::soa::{RequestColumns, ServeEventColumns};
 
 use super::gpu::GpuEngine;
-use super::sched::CpuSched;
+use super::memory_guard::MemoryGuard;
+use super::sched::{CpuSched, RqThread};
 use super::{Component, Ctx, Event};
+
+/// Completed-latency samples kept per group for the hedge p95.
+const LAT_RING_CAP: usize = 128;
+
+/// Stream constant folded into the per-group retry-backoff RNG seed so
+/// retry jitter never shares draws with arrivals or the dynamics stream.
+const RETRY_STREAM: u64 = 0x7265_7472_795F_726E; // "retry_rn"
 
 /// Events consumed by [`Ingress`].
 ///
@@ -53,14 +66,48 @@ pub(crate) enum IngressEvent {
         /// The server process.
         pid: u32,
     },
+    /// A request's queueing deadline expired (ignored unless it is
+    /// still queued).
+    Deadline {
+        /// The request (index into [`Ingress::requests`]).
+        req: u32,
+    },
+    /// A failed request's backoff elapsed; submit its retry attempt.
+    Retry {
+        /// The *failed* request being retried.
+        req: u32,
+    },
+    /// A hedged request's delay elapsed; duplicate it if it is still in
+    /// flight.
+    HedgeFire {
+        /// The primary request.
+        req: u32,
+    },
+    /// A killed replica's restart cost has been paid.
+    RestartDone {
+        /// The restarting server process.
+        pid: u32,
+    },
 }
 
 /// Peer components an ingress event may drive: dispatching a batch
-/// starts a host-thread launch burst, which may immediately reach the
-/// GPU.
+/// starts a host-thread launch burst (which may immediately reach the
+/// GPU), and a replica restart re-checks memory fit with the guard.
 pub(crate) struct IngressDeps<'d> {
     pub sched: &'d mut CpuSched,
     pub gpu: &'d mut GpuEngine,
+    pub guard: &'d mut MemoryGuard,
+}
+
+/// Circuit-breaker state of one group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BrState {
+    /// Healthy; outcomes accumulate in the rolling window.
+    Closed,
+    /// Tripped; arrivals are shed (or browned out) until `until`.
+    Open { until: SimTime },
+    /// Cooldown elapsed; `probe` is the single admitted trial request.
+    HalfOpen { probe: Option<usize> },
 }
 
 /// Runtime state of one serve group.
@@ -83,7 +130,7 @@ struct GroupRt {
     normal: Arc<Engine>,
     /// Pre-built fallback engine for [`AdmissionPolicy::Degrade`].
     degraded: Option<Arc<Engine>>,
-    /// Whether the group is currently serving on the degraded engine.
+    /// Whether admission pressure has the group on the degraded engine.
     degraded_mode: bool,
     /// Invalidates stale [`IngressEvent::Flush`] events (`u32` to keep
     /// the event slab small; wrap needs > 4 × 10⁹ flushes in one group).
@@ -92,23 +139,60 @@ struct GroupRt {
     flush_at: Option<SimTime>,
     /// `true` once a non-cycling trace ran out of arrivals.
     exhausted: bool,
-    /// Arrival counter (request sequence numbers).
+    /// Arrival counter (request sequence numbers; retries and hedges
+    /// share it).
     seq: u64,
+    // --- resilience (all optional; absent policies cost nothing) -------
+    /// Queueing deadline.
+    deadline: Option<jetsim_des::SimDuration>,
+    /// Retry policy.
+    retry: Option<RetryPolicy>,
+    /// Dedicated backoff-jitter stream (seeded per group from the run
+    /// seed; drawn only when a retry actually fires).
+    retry_rng: SimRng,
+    /// Hedging policy.
+    hedge: Option<HedgePolicy>,
+    /// Rolling completed-latency ring feeding the hedge p95.
+    lat_ring: Vec<jetsim_des::SimDuration>,
+    /// Next overwrite position once the ring is full.
+    lat_pos: usize,
+    /// Circuit-breaker policy.
+    breaker: Option<BreakerPolicy>,
+    /// Breaker state machine.
+    br_state: BrState,
+    /// Rolling terminal outcomes (`true` = success), newest at the back.
+    br_window: VecDeque<bool>,
+    /// Failures currently in `br_window`.
+    br_failures: usize,
+    /// Brownout: the open breaker is forcing the degraded engine.
+    br_forced: bool,
+    /// Replica-recovery policy.
+    recovery: Option<RecoveryPolicy>,
 }
 
-/// The ingress component: owns every serve group's queue, batcher and
-/// arrival stream, plus the request/serve-event logs that end up in the
-/// [`crate::RunTrace`].
+/// The ingress component: owns every serve group's queue, batcher,
+/// arrival stream and resilience state, plus the request/serve-event
+/// logs that end up in the [`crate::RunTrace`].
 pub(crate) struct Ingress {
     groups: Vec<GroupRt>,
     /// Which group each pid serves, `None` for closed-loop processes.
     group_of_pid: Vec<Option<usize>>,
     /// Requests currently executing on each pid.
     inflight: Vec<Vec<usize>>,
+    /// Whether each pid currently holds a dispatched batch (guards the
+    /// free list against stale wakeups from a pre-restart life).
+    busy: Vec<bool>,
+    /// Replica health, per pid (always `Up` for closed-loop processes).
+    health: Vec<ReplicaHealth>,
+    /// Restarts consumed, per pid.
+    restarts_used: Vec<u32>,
+    /// Hedge pairing: each member of an unresolved pair maps to its twin.
+    hedge_peer: HashMap<usize, usize>,
     /// Every request's lifecycle, in arrival order (columnar; each
     /// lifecycle step touches only the columns it changes).
     pub(crate) requests: RequestColumns,
-    /// Batch formations and degradation flips, in time order (columnar).
+    /// Batch formations, degradation flips, breaker transitions and
+    /// replica health changes, in time order (columnar).
     pub(crate) serve_events: ServeEventColumns,
 }
 
@@ -135,6 +219,14 @@ impl Component for Ingress {
             }
             IngressEvent::ServerFree { pid } => {
                 self.on_server_free(pid as usize, now, ctx, &mut deps)
+            }
+            IngressEvent::Deadline { req } => self.on_deadline(req as usize, now, ctx, &mut deps),
+            IngressEvent::Retry { req } => self.on_retry(req as usize, now, ctx, &mut deps),
+            IngressEvent::HedgeFire { req } => {
+                self.on_hedge_fire(req as usize, now, ctx, &mut deps)
+            }
+            IngressEvent::RestartDone { pid } => {
+                self.on_restart_done(pid as usize, now, ctx, &mut deps)
             }
         }
     }
@@ -174,6 +266,23 @@ impl Ingress {
                     flush_at: None,
                     exhausted: false,
                     seq: 0,
+                    deadline: sg.deadline,
+                    retry: sg.retry,
+                    // A distinct stream per group: constructing the RNG
+                    // draws nothing, so retry-free groups stay inert.
+                    retry_rng: SimRng::seed_from(
+                        (config.seed ^ RETRY_STREAM)
+                            .wrapping_add((g as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                    ),
+                    hedge: sg.hedge,
+                    lat_ring: Vec::new(),
+                    lat_pos: 0,
+                    breaker: sg.breaker,
+                    br_state: BrState::Closed,
+                    br_window: VecDeque::new(),
+                    br_failures: 0,
+                    br_forced: false,
+                    recovery: sg.recovery,
                 });
             }
         }
@@ -181,6 +290,10 @@ impl Ingress {
             groups,
             group_of_pid,
             inflight: vec![Vec::new(); n],
+            busy: vec![false; n],
+            health: vec![ReplicaHealth::Up; n],
+            restarts_used: vec![0; n],
+            hedge_peer: HashMap::new(),
             requests: RequestColumns::default(),
             serve_events: ServeEventColumns::default(),
         }
@@ -223,8 +336,8 @@ impl Ingress {
         }
     }
 
-    /// A request arrives: record it, apply admission, dispatch if
-    /// possible, and schedule the next arrival.
+    /// A request arrives: record it, run it through the breaker gate and
+    /// admission, dispatch if possible, and schedule the next arrival.
     fn on_arrival(
         &mut self,
         g: usize,
@@ -235,16 +348,30 @@ impl Ingress {
         let seq = self.groups[g].seq;
         self.groups[g].seq += 1;
         let ri = self.requests.push_arrival(g, seq, now);
+        self.admit(g, ri, now, ctx);
+        self.try_dispatch(g, now, ctx, deps);
+        self.schedule_next_arrival(g, now, ctx);
+    }
+
+    /// Runs one freshly recorded request through the breaker gate and
+    /// the admission policy. Returns `true` when it ended up queued.
+    fn admit(&mut self, g: usize, ri: usize, now: SimTime, ctx: &mut Ctx<'_>) -> bool {
+        if !self.breaker_gate(g, ri, now) {
+            self.requests.mark_dropped(
+                ri,
+                DropRecord {
+                    at: now,
+                    kind: DropKind::BreakerOpen,
+                },
+            );
+            self.unlink_hedge(ri);
+            return false;
+        }
         if self.groups[g].queue.len() >= self.groups[g].queue_cap {
             match self.groups[g].admission {
                 AdmissionPolicy::Reject => {
-                    self.requests.mark_dropped(
-                        ri,
-                        DropRecord {
-                            at: now,
-                            kind: DropKind::Rejected,
-                        },
-                    );
+                    self.drop_request(g, ri, DropKind::Rejected, now, ctx);
+                    return false;
                 }
                 AdmissionPolicy::Shed | AdmissionPolicy::Degrade => {
                     // Freshest-frame discipline: the stalest queued
@@ -253,13 +380,7 @@ impl Ingress {
                         .queue
                         .pop_front()
                         .expect("full queue has a front");
-                    self.requests.mark_dropped(
-                        victim,
-                        DropRecord {
-                            at: now,
-                            kind: DropKind::Shed,
-                        },
-                    );
+                    self.drop_request(g, victim, DropKind::Shed, now, ctx);
                     self.groups[g].queue.push_back(ri);
                     if self.groups[g].admission == AdmissionPolicy::Degrade
                         && self.groups[g].degraded.is_some()
@@ -278,8 +399,278 @@ impl Ingress {
         } else {
             self.groups[g].queue.push_back(ri);
         }
+        // Queued: arm the optional timers. Both are lazily invalidated —
+        // a deadline for a request that dispatched in time is ignored,
+        // and a hedge for one that completed (or never dispatched) is
+        // ignored too.
+        if let Some(deadline) = self.groups[g].deadline {
+            ctx.queue.schedule(
+                now + deadline,
+                Event::Ingress(IngressEvent::Deadline { req: ri as u32 }),
+            );
+        }
+        if let Some(hp) = self.groups[g].hedge {
+            if !self.requests.is_hedge(ri) {
+                if let Some(delay) = self.hedge_delay(g, hp) {
+                    ctx.queue.schedule(
+                        now + delay,
+                        Event::Ingress(IngressEvent::HedgeFire { req: ri as u32 }),
+                    );
+                }
+            }
+        }
+        true
+    }
+
+    /// Breaker admission gate. Returns `false` when the arrival must be
+    /// dropped with [`DropKind::BreakerOpen`]; on the half-open
+    /// transition the admitted request `ri` becomes the probe.
+    fn breaker_gate(&mut self, g: usize, ri: usize, now: SimTime) -> bool {
+        let Some(policy) = self.groups[g].breaker else {
+            return true;
+        };
+        match self.groups[g].br_state {
+            BrState::Closed => true,
+            BrState::Open { until } => {
+                if now >= until {
+                    self.groups[g].br_state = BrState::HalfOpen { probe: Some(ri) };
+                    self.serve_events
+                        .push(now, g, ServeEventKind::BreakerHalfOpen);
+                    true
+                } else {
+                    policy.mode == BreakerMode::Brownout
+                }
+            }
+            BrState::HalfOpen { probe: None } => {
+                self.groups[g].br_state = BrState::HalfOpen { probe: Some(ri) };
+                true
+            }
+            BrState::HalfOpen { probe: Some(_) } => policy.mode == BreakerMode::Brownout,
+        }
+    }
+
+    /// The hedge delay: fixed, or the rolling p95 of completed latencies
+    /// (`None` until enough samples have been observed).
+    fn hedge_delay(&self, g: usize, hp: HedgePolicy) -> Option<jetsim_des::SimDuration> {
+        if let Some(delay) = hp.delay {
+            return Some(delay);
+        }
+        let ring = &self.groups[g].lat_ring;
+        if ring.len() < hp.min_samples.max(1) {
+            return None;
+        }
+        let mut sorted = ring.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() as f64) * 0.95).ceil() as usize;
+        Some(sorted[rank.clamp(1, sorted.len()) - 1])
+    }
+
+    /// Terminal failure of `ri` for cause `kind`: record the drop, feed
+    /// the breaker, resolve an outstanding probe, unlink any hedge twin
+    /// and schedule a retry when the policy allows one.
+    ///
+    /// [`DropKind::HedgeLoser`] and [`DropKind::BreakerOpen`] are
+    /// *exempt* causes — they neither count against the breaker (an open
+    /// breaker must not keep itself open, and a cancelled twin is a
+    /// success story) nor spawn retries.
+    fn drop_request(
+        &mut self,
+        g: usize,
+        ri: usize,
+        kind: DropKind,
+        now: SimTime,
+        ctx: &mut Ctx<'_>,
+    ) {
+        self.requests.mark_dropped(ri, DropRecord { at: now, kind });
+        self.unlink_hedge(ri);
+        let exempt = matches!(kind, DropKind::HedgeLoser | DropKind::BreakerOpen);
+        if exempt {
+            self.resolve_probe_neutral(g, ri);
+            return;
+        }
+        self.breaker_record(g, false, now);
+        self.resolve_probe(g, ri, false, now);
+        if !self.requests.is_hedge(ri) {
+            self.maybe_retry(g, ri, now, ctx);
+        }
+    }
+
+    /// Schedules a retry of failed request `ri` if the group's policy
+    /// has attempts left. The backoff is exponential with deterministic
+    /// jitter from the group's dedicated stream.
+    fn maybe_retry(&mut self, g: usize, ri: usize, now: SimTime, ctx: &mut Ctx<'_>) {
+        let Some(policy) = self.groups[g].retry else {
+            return;
+        };
+        let next_attempt = self.requests.attempt(ri) + 1;
+        if next_attempt >= policy.max_attempts {
+            return;
+        }
+        let base = policy.base_backoff_for(next_attempt).as_secs_f64();
+        let jittered = self.groups[g].retry_rng.jitter(base, policy.jitter);
+        let backoff = jetsim_des::SimDuration::from_secs_f64(jittered);
+        ctx.queue.schedule(
+            now + backoff,
+            Event::Ingress(IngressEvent::Retry { req: ri as u32 }),
+        );
+    }
+
+    /// A failed request's backoff elapsed: submit the next attempt as a
+    /// fresh arrival linked to its parent.
+    fn on_retry(
+        &mut self,
+        parent: usize,
+        now: SimTime,
+        ctx: &mut Ctx<'_>,
+        deps: &mut IngressDeps<'_>,
+    ) {
+        let g = self.requests.group(parent);
+        let seq = self.groups[g].seq;
+        self.groups[g].seq += 1;
+        let ri = self.requests.push_arrival(g, seq, now);
+        self.requests
+            .mark_retry(ri, self.requests.attempt(parent) + 1, parent);
+        self.admit(g, ri, now, ctx);
         self.try_dispatch(g, now, ctx, deps);
-        self.schedule_next_arrival(g, now, ctx);
+    }
+
+    /// A request's queueing deadline expired: if it is still waiting in
+    /// the queue, fail it (dispatched requests run to completion — the
+    /// report judges their lateness).
+    fn on_deadline(
+        &mut self,
+        ri: usize,
+        now: SimTime,
+        ctx: &mut Ctx<'_>,
+        deps: &mut IngressDeps<'_>,
+    ) {
+        if !self.requests.is_queued(ri) {
+            return;
+        }
+        let g = self.requests.group(ri);
+        self.groups[g].queue.retain(|&q| q != ri);
+        self.drop_request(g, ri, DropKind::DeadlineExpired, now, ctx);
+        self.try_dispatch(g, now, ctx, deps);
+    }
+
+    /// A hedged primary's delay elapsed: if it is dispatched but not yet
+    /// completed, submit a duplicate to race it.
+    fn on_hedge_fire(
+        &mut self,
+        primary: usize,
+        now: SimTime,
+        ctx: &mut Ctx<'_>,
+        deps: &mut IngressDeps<'_>,
+    ) {
+        if !self.requests.is_in_flight(primary) || self.hedge_peer.contains_key(&primary) {
+            return;
+        }
+        let g = self.requests.group(primary);
+        let seq = self.groups[g].seq;
+        self.groups[g].seq += 1;
+        let ri = self.requests.push_arrival(g, seq, now);
+        self.requests.mark_hedge(ri, primary);
+        self.hedge_peer.insert(primary, ri);
+        self.hedge_peer.insert(ri, primary);
+        if !self.admit(g, ri, now, ctx) {
+            // The duplicate died at admission; the pair never formed.
+            self.unlink_hedge(ri);
+        }
+        self.try_dispatch(g, now, ctx, deps);
+    }
+
+    /// Removes `ri`'s hedge pairing (both directions), if any.
+    fn unlink_hedge(&mut self, ri: usize) {
+        if let Some(peer) = self.hedge_peer.remove(&ri) {
+            self.hedge_peer.remove(&peer);
+        }
+    }
+
+    /// `winner` completed: cancel its still-queued twin, if the pair is
+    /// still live. A twin already in flight completes naturally and is
+    /// deduplicated by the report's logical-request accounting.
+    fn resolve_hedge_on_complete(&mut self, g: usize, winner: usize, now: SimTime) {
+        let Some(peer) = self.hedge_peer.remove(&winner) else {
+            return;
+        };
+        self.hedge_peer.remove(&peer);
+        if self.requests.is_queued(peer) {
+            self.groups[g].queue.retain(|&q| q != peer);
+            self.requests.mark_dropped(
+                peer,
+                DropRecord {
+                    at: now,
+                    kind: DropKind::HedgeLoser,
+                },
+            );
+            self.resolve_probe_neutral(g, peer);
+        }
+    }
+
+    /// Feeds one terminal outcome into the breaker's rolling window and
+    /// trips it when the error rate crosses the threshold.
+    fn breaker_record(&mut self, g: usize, ok: bool, now: SimTime) {
+        let Some(policy) = self.groups[g].breaker else {
+            return;
+        };
+        if self.groups[g].br_state != BrState::Closed {
+            return;
+        }
+        let grp = &mut self.groups[g];
+        grp.br_window.push_back(ok);
+        if !ok {
+            grp.br_failures += 1;
+        }
+        while grp.br_window.len() > policy.window {
+            if let Some(old) = grp.br_window.pop_front() {
+                if !old {
+                    grp.br_failures -= 1;
+                }
+            }
+        }
+        if grp.br_window.len() >= policy.min_samples && grp.br_failures > 0 {
+            let error_rate = grp.br_failures as f64 / grp.br_window.len() as f64;
+            if error_rate >= policy.error_threshold {
+                grp.br_state = BrState::Open {
+                    until: now + policy.cooldown,
+                };
+                grp.br_forced = policy.mode == BreakerMode::Brownout;
+                grp.br_window.clear();
+                grp.br_failures = 0;
+                self.serve_events
+                    .push(now, g, ServeEventKind::BreakerTrip { error_rate });
+            }
+        }
+    }
+
+    /// Resolves an outstanding half-open probe: success closes the
+    /// breaker, failure re-opens it for another cooldown.
+    fn resolve_probe(&mut self, g: usize, ri: usize, ok: bool, now: SimTime) {
+        let Some(policy) = self.groups[g].breaker else {
+            return;
+        };
+        if self.groups[g].br_state != (BrState::HalfOpen { probe: Some(ri) }) {
+            return;
+        }
+        if ok {
+            self.groups[g].br_state = BrState::Closed;
+            self.groups[g].br_forced = false;
+            self.groups[g].br_window.clear();
+            self.groups[g].br_failures = 0;
+            self.serve_events.push(now, g, ServeEventKind::BreakerClose);
+        } else {
+            self.groups[g].br_state = BrState::Open {
+                until: now + policy.cooldown,
+            };
+        }
+    }
+
+    /// A probe that ended for an exempt reason (hedge cancellation)
+    /// re-arms the half-open slot instead of deciding the breaker.
+    fn resolve_probe_neutral(&mut self, g: usize, ri: usize) {
+        if self.groups[g].br_state == (BrState::HalfOpen { probe: Some(ri) }) {
+            self.groups[g].br_state = BrState::HalfOpen { probe: None };
+        }
     }
 
     /// A server returned from synchronize: complete its batch, free it,
@@ -294,10 +685,30 @@ impl Ingress {
         let Some(g) = self.group_of_pid[pid] else {
             return;
         };
+        let was_busy = std::mem::replace(&mut self.busy[pid], false);
         for ri in std::mem::take(&mut self.inflight[pid]) {
             self.requests.mark_completed(ri, now);
+            let latency = now.saturating_since(self.requests.arrival(ri));
+            if self.groups[g].hedge.is_some() {
+                let grp = &mut self.groups[g];
+                if grp.lat_ring.len() < LAT_RING_CAP {
+                    grp.lat_ring.push(latency);
+                } else {
+                    grp.lat_ring[grp.lat_pos] = latency;
+                    grp.lat_pos = (grp.lat_pos + 1) % LAT_RING_CAP;
+                }
+            }
+            // A completion that missed the group's deadline is a success
+            // for the requester *only* if no deadline was promised.
+            let ok = match self.groups[g].deadline {
+                Some(deadline) => latency <= deadline,
+                None => true,
+            };
+            self.breaker_record(g, ok, now);
+            self.resolve_probe(g, ri, ok, now);
+            self.resolve_hedge_on_complete(g, ri, now);
         }
-        if ctx.alive[pid] {
+        if ctx.alive[pid] && was_busy && self.health[pid] == ReplicaHealth::Up {
             self.groups[g].free.push_back(pid);
         }
         // Hysteresis: leave degraded mode only once the queue has
@@ -312,6 +723,102 @@ impl Ingress {
         self.try_dispatch(g, now, ctx, deps);
     }
 
+    /// The OOM killer took a serve replica: its in-flight requests are
+    /// failed with [`DropKind::Killed`] (they were neither completed nor
+    /// answered — the pre-resilience bookkeeping silently leaked them),
+    /// retries are scheduled where policy allows, and the replica either
+    /// schedules a restart or is ejected.
+    pub(crate) fn on_replica_killed(&mut self, pid: usize, now: SimTime, ctx: &mut Ctx<'_>) {
+        let Some(g) = self.group_of_pid[pid] else {
+            return;
+        };
+        self.busy[pid] = false;
+        self.groups[g].free.retain(|&p| p != pid);
+        let dead = std::mem::take(&mut self.inflight[pid]);
+        let failed_inflight = dead.len();
+        for ri in dead {
+            self.drop_request(g, ri, DropKind::Killed, now, ctx);
+        }
+        self.serve_events.push(
+            now,
+            g,
+            ServeEventKind::ReplicaDown {
+                pid,
+                failed_inflight,
+            },
+        );
+        match self.groups[g].recovery {
+            Some(policy) if self.restarts_used[pid] < policy.max_restarts => {
+                self.restarts_used[pid] += 1;
+                self.health[pid] = ReplicaHealth::Restarting;
+                ctx.queue.schedule(
+                    now + policy.restart_cost,
+                    Event::Ingress(IngressEvent::RestartDone { pid: pid as u32 }),
+                );
+            }
+            _ => {
+                self.health[pid] = ReplicaHealth::Ejected;
+                self.serve_events
+                    .push(now, g, ServeEventKind::ReplicaEjected { pid });
+            }
+        }
+    }
+
+    /// A killed replica paid its restart cost: re-admit it if its memory
+    /// still fits (the board may have tightened since), reset its process
+    /// state and hand it back to its group. A revival that does not fit
+    /// burns another restart attempt and waits a further restart period —
+    /// a supervisor retrying, not giving up — until attempts run out.
+    fn on_restart_done(
+        &mut self,
+        pid: usize,
+        now: SimTime,
+        ctx: &mut Ctx<'_>,
+        deps: &mut IngressDeps<'_>,
+    ) {
+        if self.health[pid] != ReplicaHealth::Restarting {
+            return;
+        }
+        let Some(g) = self.group_of_pid[pid] else {
+            return;
+        };
+        if !deps.guard.revival_fits(ctx, pid) {
+            match self.groups[g].recovery {
+                Some(policy) if self.restarts_used[pid] < policy.max_restarts => {
+                    self.restarts_used[pid] += 1;
+                    ctx.queue.schedule(
+                        now + policy.restart_cost,
+                        Event::Ingress(IngressEvent::RestartDone { pid: pid as u32 }),
+                    );
+                }
+                _ => {
+                    self.health[pid] = ReplicaHealth::Ejected;
+                    self.serve_events
+                        .push(now, g, ServeEventKind::ReplicaEjected { pid });
+                }
+            }
+            return;
+        }
+        ctx.alive[pid] = true;
+        let proc = &mut ctx.procs[pid];
+        proc.next_launch = 0;
+        proc.ready.clear();
+        proc.cur_launch = jetsim_des::SimDuration::ZERO;
+        proc.cur_blocking = jetsim_des::SimDuration::ZERO;
+        proc.cur_gpu = jetsim_des::SimDuration::ZERO;
+        // A restarted process comes up with cold caches, and a bumped
+        // scheduler generation invalidates any tick from its former life.
+        proc.cache_cold = true;
+        let gen = proc.cpu.gen.wrapping_add(1);
+        proc.cpu = RqThread::new();
+        proc.cpu.gen = gen;
+        self.health[pid] = ReplicaHealth::Up;
+        self.serve_events
+            .push(now, g, ServeEventKind::ReplicaUp { pid });
+        self.groups[g].free.push_back(pid);
+        self.try_dispatch(g, now, ctx, deps);
+    }
+
     /// Matches free servers against the queue until the batcher says
     /// wait (or everything is busy/empty).
     fn try_dispatch(
@@ -323,10 +830,11 @@ impl Ingress {
     ) {
         loop {
             // Next live free server (members the OOM killer took are
-            // dropped lazily here).
+            // dropped lazily here; restarting/ejected members were
+            // removed eagerly but a stale entry is filtered the same way).
             let pid = loop {
                 match self.groups[g].free.pop_front() {
-                    Some(p) if ctx.alive[p] => break p,
+                    Some(p) if ctx.alive[p] && self.health[p] == ReplicaHealth::Up => break p,
                     Some(_) => continue,
                     None => return,
                 }
@@ -358,7 +866,7 @@ impl Ingress {
                     // Any pending flush is now stale.
                     grp.flush_gen += 1;
                     grp.flush_at = None;
-                    let degraded = grp.degraded_mode && grp.degraded.is_some();
+                    let degraded = (grp.degraded_mode || grp.br_forced) && grp.degraded.is_some();
                     let engine = if degraded {
                         Arc::clone(grp.degraded.as_ref().expect("checked"))
                     } else {
@@ -373,6 +881,7 @@ impl Ingress {
                         self.requests.mark_dispatched(ri, now, pid, k, degraded);
                     }
                     self.inflight[pid] = batch;
+                    self.busy[pid] = true;
                     self.serve_events.push(
                         now,
                         g,

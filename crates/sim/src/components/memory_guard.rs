@@ -10,6 +10,7 @@ use crate::soa::FaultColumns;
 
 use super::governor::Governor;
 use super::gpu::GpuEngine;
+use super::ingress::Ingress;
 use super::sched::CpuSched;
 use super::{Component, Ctx, Event};
 
@@ -39,7 +40,9 @@ enum FaultAction {
 }
 
 /// Peers a fault may drive: the scheduler (evicting killed threads), the
-/// GPU (frequency pinning) and the governor (throttle-lock state).
+/// GPU (frequency pinning), the governor (throttle-lock state) and the
+/// ingress (a killed serve replica fails its in-flight requests and may
+/// schedule a restart).
 pub(crate) struct GuardDeps<'d> {
     /// The CPU scheduler (killed processes release their cores).
     pub sched: &'d mut CpuSched,
@@ -47,6 +50,8 @@ pub(crate) struct GuardDeps<'d> {
     pub gpu: &'d mut GpuEngine,
     /// The governor (owns the throttle-lock override state).
     pub governor: &'d mut Governor,
+    /// The ingress (killed serve replicas fail over and recover).
+    pub ingress: &'d mut Ingress,
 }
 
 /// The memory-guard component: owns footprint/spike accounting, the
@@ -138,6 +143,7 @@ impl MemoryGuard {
             sched,
             gpu,
             governor,
+            ingress,
         } = deps;
         let (_, action) = self.timeline[index];
         match action {
@@ -145,7 +151,7 @@ impl MemoryGuard {
                 self.spike_bytes += bytes;
                 self.fault_events
                     .push(now, FaultKind::MemorySpikeStart { bytes });
-                self.enforce_memory(now, ctx, sched);
+                self.enforce_memory(now, ctx, sched, ingress);
             }
             FaultAction::SpikeEnd { bytes } => {
                 self.spike_bytes = self.spike_bytes.saturating_sub(bytes);
@@ -208,7 +214,13 @@ impl MemoryGuard {
     /// pid) until the live footprint plus background spikes fits in
     /// usable memory. No-op under [`OomPolicy::Strict`], where the
     /// pre-flight check already guaranteed fit.
-    pub(crate) fn enforce_memory(&mut self, now: SimTime, ctx: &mut Ctx<'_>, sched: &mut CpuSched) {
+    pub(crate) fn enforce_memory(
+        &mut self,
+        now: SimTime,
+        ctx: &mut Ctx<'_>,
+        sched: &mut CpuSched,
+        ingress: &mut Ingress,
+    ) {
         if ctx.config.faults.oom != OomPolicy::KillLargest {
             return;
         }
@@ -235,8 +247,37 @@ impl MemoryGuard {
             let Some((freed, pid)) = victim else {
                 break; // everyone is dead; the spike alone overcommits
             };
-            self.kill_process(pid, freed, now, ctx, sched);
+            self.kill_process(pid, freed, now, ctx, sched, ingress);
         }
+    }
+
+    /// Whether reviving `pid` (alive again on top of the current
+    /// survivors and background spikes) would still fit in usable
+    /// memory. Consulted by the ingress before a restarted replica
+    /// rejoins its group — the board may have tightened since the kill.
+    pub(crate) fn revival_fits(&self, ctx: &Ctx<'_>, pid: usize) -> bool {
+        use std::collections::HashSet;
+        let memory = &ctx.config.device.memory;
+        let mut seen: HashSet<usize> = HashSet::new();
+        let total: u64 = ctx
+            .config
+            .processes
+            .iter()
+            .enumerate()
+            .filter(|&(p, _)| ctx.alive[p] || p == pid)
+            .map(|(_, p)| {
+                let per_context = p.engine.io_bytes() + p.engine.workspace_bytes();
+                if seen.insert(p.memory_group) {
+                    memory.per_process_host_bytes
+                        + memory.cuda_context_bytes
+                        + p.engine.engine_bytes()
+                        + per_context
+                } else {
+                    per_context
+                }
+            })
+            .sum();
+        !memory.would_oom(total.saturating_add(self.spike_bytes))
     }
 
     /// Terminates `pid`: its queued kernels vanish, pending events for
@@ -250,6 +291,7 @@ impl MemoryGuard {
         now: SimTime,
         ctx: &mut Ctx<'_>,
         sched: &mut CpuSched,
+        ingress: &mut Ingress,
     ) {
         ctx.alive[pid] = false;
         ctx.killed_at[pid] = Some(now);
@@ -265,5 +307,8 @@ impl MemoryGuard {
                 freed_bytes,
             },
         );
+        // Serve replicas fail their in-flight requests and may recover;
+        // no-op for closed-loop processes.
+        ingress.on_replica_killed(pid, now, ctx);
     }
 }

@@ -57,7 +57,8 @@ pub use config::{
 pub use error::SimError;
 pub use faults::{FaultEvent, FaultKind, FaultPlan, MemorySpike, OomPolicy, ThrottleLock};
 pub use serving::{
-    AdmissionPolicy, BatchDecision, BatcherPolicy, DropKind, DropRecord, RequestRecord, ServeEvent,
+    AdmissionPolicy, BatchDecision, BatcherPolicy, BreakerMode, BreakerPolicy, DropKind,
+    DropRecord, HedgePolicy, RecoveryPolicy, ReplicaHealth, RequestRecord, RetryPolicy, ServeEvent,
     ServeEventKind, ServeGroup, ServePlan,
 };
 pub use simulation::Simulation;

@@ -22,6 +22,205 @@ use std::sync::Arc;
 use jetsim_des::{ArrivalProcess, SimDuration, SimTime};
 use jetsim_trt::Engine;
 
+/// Retry discipline for failed requests: a dropped request (rejected,
+/// shed, expired, or killed with its server) is re-submitted as a fresh
+/// attempt after an exponential backoff with seeded deterministic
+/// jitter.
+///
+/// Backoff for attempt `n` (0-based: the first *retry* is attempt 1) is
+/// `base * multiplier^(n-1)`, jittered by ±`jitter` via a per-group RNG
+/// stream derived from the run seed — so the same seed replays the same
+/// retry timeline bit for bit, and a config without a retry policy draws
+/// nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts allowed, including the first (clamped ≥ 1; 1 means
+    /// no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: SimDuration,
+    /// Multiplier applied to the backoff for each further retry.
+    pub multiplier: f64,
+    /// Relative jitter spread applied to each backoff (`0.1` = ±10%).
+    pub jitter: f64,
+}
+
+impl RetryPolicy {
+    /// A policy allowing `max_attempts` total attempts with the given
+    /// base backoff; multiplier 2.0, jitter ±10%.
+    pub fn new(max_attempts: u32, base_backoff: SimDuration) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base_backoff,
+            multiplier: 2.0,
+            jitter: 0.1,
+        }
+    }
+
+    /// Sets the backoff multiplier.
+    pub fn multiplier(mut self, multiplier: f64) -> Self {
+        self.multiplier = multiplier.max(1.0);
+        self
+    }
+
+    /// Sets the relative jitter spread.
+    pub fn jitter(mut self, jitter: f64) -> Self {
+        self.jitter = jitter.clamp(0.0, 0.95);
+        self
+    }
+
+    /// The un-jittered backoff before attempt `attempt` (1-based retry
+    /// index: `1` is the first retry).
+    pub fn base_backoff_for(&self, attempt: u32) -> SimDuration {
+        let scale = self.multiplier.powi(attempt.saturating_sub(1) as i32);
+        SimDuration::from_secs_f64(self.base_backoff.as_secs_f64() * scale)
+    }
+}
+
+/// Hedging discipline: a request that has been dispatched but not
+/// completed after the hedge delay is duplicated onto a second replica;
+/// the first completion wins and the loser is cancelled (if still
+/// queued) or deduplicated in the report (if already in flight).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgePolicy {
+    /// Fixed hedge delay; `None` derives it from the group's rolling p95
+    /// completion latency (no hedges fire until `min_samples` latencies
+    /// have been observed).
+    pub delay: Option<SimDuration>,
+    /// Completed-latency samples required before auto-delay hedging
+    /// activates.
+    pub min_samples: usize,
+}
+
+impl HedgePolicy {
+    /// Hedge after a fixed delay.
+    pub fn fixed(delay: SimDuration) -> Self {
+        HedgePolicy {
+            delay: Some(delay),
+            min_samples: 0,
+        }
+    }
+
+    /// Hedge after the group's rolling p95 completion latency, once at
+    /// least 16 completions have been observed.
+    pub fn auto() -> Self {
+        HedgePolicy {
+            delay: None,
+            min_samples: 16,
+        }
+    }
+}
+
+/// What an open circuit breaker does with arrivals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum BreakerMode {
+    /// Drop arrivals outright ([`DropKind::BreakerOpen`]) until the
+    /// half-open probe succeeds. The default.
+    #[default]
+    Shed,
+    /// Brownout: keep admitting, but force the group onto its degraded
+    /// engine (when one is configured) until the half-open probe
+    /// succeeds.
+    Brownout,
+}
+
+/// Per-group circuit breaker: trips when the rolling error rate over the
+/// last `window` terminal outcomes reaches `error_threshold`, stays open
+/// for `cooldown`, then admits exactly one half-open probe whose outcome
+/// closes the breaker or re-opens it.
+///
+/// A *failure* is any terminal drop (rejected, shed, deadline-expired,
+/// killed) or a completion that missed the group's deadline; hedge
+/// losers and breaker-shed arrivals are not counted, so an open breaker
+/// cannot keep itself open.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerPolicy {
+    /// Rolling window of terminal outcomes the error rate is judged
+    /// over (clamped ≥ 1).
+    pub window: usize,
+    /// Error-rate fraction that trips the breaker (`0.5` = half the
+    /// window failed).
+    pub error_threshold: f64,
+    /// Minimum outcomes in the window before the breaker may trip.
+    pub min_samples: usize,
+    /// How long the breaker stays open before admitting a probe.
+    pub cooldown: SimDuration,
+    /// What an open breaker does with arrivals.
+    pub mode: BreakerMode,
+}
+
+impl BreakerPolicy {
+    /// A breaker over the last `window` outcomes tripping at
+    /// `error_threshold`, with a 50 ms cooldown, [`BreakerMode::Shed`],
+    /// and `min_samples` = `window / 4` (≥ 1).
+    pub fn new(window: usize, error_threshold: f64) -> Self {
+        let window = window.max(1);
+        BreakerPolicy {
+            window,
+            error_threshold: error_threshold.clamp(0.0, 1.0),
+            min_samples: (window / 4).max(1),
+            cooldown: SimDuration::from_millis(50),
+            mode: BreakerMode::Shed,
+        }
+    }
+
+    /// Sets the open-state cooldown.
+    pub fn cooldown(mut self, cooldown: SimDuration) -> Self {
+        self.cooldown = cooldown;
+        self
+    }
+
+    /// Sets the open-state behaviour.
+    pub fn mode(mut self, mode: BreakerMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the minimum window occupancy before tripping.
+    pub fn min_samples(mut self, min_samples: usize) -> Self {
+        self.min_samples = min_samples.max(1);
+        self
+    }
+}
+
+/// Replica-recovery discipline: an OOM-killed server schedules a restart
+/// instead of staying dead. The restart cost is supplied by the caller —
+/// the serve layer charges it through the engine cache (warm hit = fast
+/// deserialize, cold = full rebuild) — and is clamped ≥ 1 ms so a
+/// revived process can never race wakeups from its previous life.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Wall time between the kill and the replica rejoining its group.
+    pub restart_cost: SimDuration,
+    /// Restarts allowed per replica before it is ejected for good.
+    pub max_restarts: u32,
+}
+
+impl RecoveryPolicy {
+    /// A policy restarting each killed replica up to `max_restarts`
+    /// times after `restart_cost` (clamped ≥ 1 ms).
+    pub fn new(restart_cost: SimDuration, max_restarts: u32) -> Self {
+        RecoveryPolicy {
+            restart_cost: restart_cost.max(SimDuration::from_millis(1)),
+            max_restarts,
+        }
+    }
+}
+
+/// Health state of one serve replica, as routing and admission see it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplicaHealth {
+    /// Serving (or idle and eligible to serve).
+    #[default]
+    Up,
+    /// Killed and waiting out its restart cost.
+    Restarting,
+    /// Killed with no restarts left (or its memory no longer fits); it
+    /// never rejoins.
+    Ejected,
+}
+
 /// What a serve group does with a new arrival when its queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[non_exhaustive]
@@ -155,6 +354,18 @@ pub struct ServeGroup {
     /// pressure. Its memory footprint is counted against the board while
     /// the plan is attached (both engines stay resident).
     pub degraded_engine: Option<Arc<Engine>>,
+    /// Per-request deadline: a request still *queued* this long after
+    /// arrival is dropped with [`DropKind::DeadlineExpired`] (dispatched
+    /// requests run to completion; the report judges their lateness).
+    pub deadline: Option<SimDuration>,
+    /// Retry discipline for dropped requests.
+    pub retry: Option<RetryPolicy>,
+    /// Hedging discipline for slow in-flight requests.
+    pub hedge: Option<HedgePolicy>,
+    /// Circuit breaker over the group's rolling outcome window.
+    pub breaker: Option<BreakerPolicy>,
+    /// Replica-recovery discipline for killed members.
+    pub recovery: Option<RecoveryPolicy>,
 }
 
 impl ServeGroup {
@@ -170,6 +381,11 @@ impl ServeGroup {
             admission: AdmissionPolicy::Reject,
             members: Vec::new(),
             degraded_engine: None,
+            deadline: None,
+            retry: None,
+            hedge: None,
+            breaker: None,
+            recovery: None,
         }
     }
 
@@ -201,6 +417,36 @@ impl ServeGroup {
     /// [`AdmissionPolicy::Degrade`].
     pub fn degraded_engine(mut self, engine: Arc<Engine>) -> Self {
         self.degraded_engine = Some(engine);
+        self
+    }
+
+    /// Sets the per-request queueing deadline.
+    pub fn deadline(mut self, deadline: SimDuration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a retry policy.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = Some(retry);
+        self
+    }
+
+    /// Attaches a hedging policy.
+    pub fn hedge(mut self, hedge: HedgePolicy) -> Self {
+        self.hedge = Some(hedge);
+        self
+    }
+
+    /// Attaches a circuit breaker.
+    pub fn breaker(mut self, breaker: BreakerPolicy) -> Self {
+        self.breaker = Some(breaker);
+        self
+    }
+
+    /// Attaches a replica-recovery policy.
+    pub fn recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = Some(recovery);
         self
     }
 }
@@ -244,6 +490,18 @@ pub enum DropKind {
     /// The request was shed from the front of a full queue to admit a
     /// fresher one ([`AdmissionPolicy::Shed`] / [`AdmissionPolicy::Degrade`]).
     Shed,
+    /// The request was still queued when its [`ServeGroup::deadline`]
+    /// expired.
+    DeadlineExpired,
+    /// The request was in flight on a server when the OOM killer took
+    /// the process — it was neither completed nor answered.
+    Killed,
+    /// The request was a hedge duplicate (or hedged primary) cancelled
+    /// while still queued because its twin completed first.
+    HedgeLoser,
+    /// The group's circuit breaker was open ([`BreakerMode::Shed`]) and
+    /// turned the arrival away.
+    BreakerOpen,
 }
 
 /// When and why a request was dropped.
@@ -279,6 +537,15 @@ pub struct RequestRecord {
     pub batch_size: u32,
     /// Whether it ran on the group's degraded engine.
     pub degraded: bool,
+    /// Attempt index within the logical request: 0 for the original
+    /// submission, `n` for its n-th retry.
+    pub attempt: u32,
+    /// Index (into [`crate::RunTrace::requests`]) of the attempt this
+    /// record retries, `None` for original submissions.
+    pub retry_of: Option<usize>,
+    /// Index of the in-flight attempt this record hedges, `None` for
+    /// non-hedge records.
+    pub hedge_of: Option<usize>,
 }
 
 impl RequestRecord {
@@ -302,6 +569,13 @@ impl RequestRecord {
     /// queued or in flight when the simulation ended.
     pub fn unfinished(&self) -> bool {
         self.completed.is_none() && self.dropped.is_none()
+    }
+
+    /// `true` when this record is the root of its logical request — not
+    /// a retry and not a hedge duplicate. Reports count logical requests
+    /// by their roots so retries and hedges never double-count goodput.
+    pub fn is_root(&self) -> bool {
+        self.retry_of.is_none() && self.hedge_of.is_none()
     }
 }
 
@@ -342,6 +616,33 @@ pub enum ServeEventKind {
     DegradeExit {
         /// Queue depth at the flip.
         queue_depth: usize,
+    },
+    /// The circuit breaker tripped open.
+    BreakerTrip {
+        /// Rolling error rate that tripped it.
+        error_rate: f64,
+    },
+    /// The breaker's cooldown elapsed; the next admission is the probe.
+    BreakerHalfOpen,
+    /// The half-open probe succeeded; the breaker closed.
+    BreakerClose,
+    /// A serve replica was killed; its in-flight requests failed.
+    ReplicaDown {
+        /// The killed server process.
+        pid: usize,
+        /// In-flight requests that died with it.
+        failed_inflight: usize,
+    },
+    /// A killed replica finished restarting and rejoined its group.
+    ReplicaUp {
+        /// The restarted server process.
+        pid: usize,
+    },
+    /// A killed replica was ejected for good — no restarts left, or its
+    /// memory no longer fits.
+    ReplicaEjected {
+        /// The ejected server process.
+        pid: usize,
     },
 }
 
@@ -397,10 +698,14 @@ mod tests {
             pid: Some(1),
             batch_size: 2,
             degraded: false,
+            attempt: 0,
+            retry_of: None,
+            hedge_of: None,
         };
         assert_eq!(r.queue_wait(), Some(SimDuration::from_nanos(200)));
         assert_eq!(r.latency(), Some(SimDuration::from_nanos(1_000)));
         assert!(r.served() && !r.unfinished());
+        assert!(r.is_root());
 
         let dropped = RequestRecord {
             dispatched: None,
@@ -415,6 +720,44 @@ mod tests {
         };
         assert!(!dropped.served() && !dropped.unfinished());
         assert_eq!(dropped.latency(), None);
+
+        let retry = RequestRecord {
+            retry_of: Some(0),
+            attempt: 1,
+            ..r.clone()
+        };
+        assert!(!retry.is_root());
+        let hedge = RequestRecord {
+            hedge_of: Some(0),
+            ..r
+        };
+        assert!(!hedge.is_root());
+    }
+
+    #[test]
+    fn retry_backoff_grows_exponentially() {
+        let p = RetryPolicy::new(4, SimDuration::from_millis(2)).multiplier(2.0);
+        assert_eq!(p.base_backoff_for(1), SimDuration::from_millis(2));
+        assert_eq!(p.base_backoff_for(2), SimDuration::from_millis(4));
+        assert_eq!(p.base_backoff_for(3), SimDuration::from_millis(8));
+    }
+
+    #[test]
+    fn recovery_clamps_restart_cost() {
+        let p = RecoveryPolicy::new(SimDuration::ZERO, 3);
+        assert_eq!(p.restart_cost, SimDuration::from_millis(1));
+        assert_eq!(p.max_restarts, 3);
+    }
+
+    #[test]
+    fn breaker_builder_defaults() {
+        let b = BreakerPolicy::new(32, 0.5);
+        assert_eq!(b.window, 32);
+        assert_eq!(b.min_samples, 8);
+        assert_eq!(b.mode, BreakerMode::Shed);
+        let b = b.mode(BreakerMode::Brownout).min_samples(0);
+        assert_eq!(b.mode, BreakerMode::Brownout);
+        assert_eq!(b.min_samples, 1, "clamped");
     }
 
     #[test]

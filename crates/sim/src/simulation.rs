@@ -251,8 +251,12 @@ impl Runner {
         // Resolve a start-of-run overcommit first: under
         // `OomPolicy::KillLargest` the OOM killer culls the deployment
         // until the survivors fit (the §6.2.1 "reboot" as an outcome).
-        self.guard
-            .enforce_memory(SimTime::ZERO, &mut ctx!(self), &mut self.sched);
+        self.guard.enforce_memory(
+            SimTime::ZERO,
+            &mut ctx!(self),
+            &mut self.sched,
+            &mut self.ingress,
+        );
         // Schedule the fault timeline (no-op for an empty plan, so
         // fault-free runs stay byte-identical to the pre-fault loop).
         self.guard.schedule_timeline(&mut self.queue, self.sim_end);
@@ -326,6 +330,7 @@ impl Runner {
                     sched: &mut self.sched,
                     gpu: &mut self.gpu,
                     governor: &mut self.governor,
+                    ingress: &mut self.ingress,
                 },
             ),
             Event::Sampler(ev) => self.sampler.handle(
@@ -344,6 +349,7 @@ impl Runner {
                 IngressDeps {
                     sched: &mut self.sched,
                     gpu: &mut self.gpu,
+                    guard: &mut self.guard,
                 },
             ),
         }

@@ -226,6 +226,9 @@ pub(crate) struct RequestColumns {
     pid: Vec<Option<u32>>,
     batch_size: Vec<u32>,
     degraded: Vec<bool>,
+    attempt: Vec<u32>,
+    retry_of: Vec<Option<u32>>,
+    hedge_of: Vec<Option<u32>>,
 }
 
 impl RequestColumns {
@@ -242,12 +245,57 @@ impl RequestColumns {
         self.pid.push(None);
         self.batch_size.push(0);
         self.degraded.push(false);
+        self.attempt.push(0);
+        self.retry_of.push(None);
+        self.hedge_of.push(None);
         ri
     }
 
     #[inline]
     pub(crate) fn arrival(&self, ri: usize) -> SimTime {
         self.arrival[ri]
+    }
+
+    #[inline]
+    pub(crate) fn group(&self, ri: usize) -> usize {
+        self.group[ri] as usize
+    }
+
+    #[inline]
+    pub(crate) fn attempt(&self, ri: usize) -> u32 {
+        self.attempt[ri]
+    }
+
+    /// `true` while the request is still waiting in its admission queue.
+    #[inline]
+    pub(crate) fn is_queued(&self, ri: usize) -> bool {
+        self.dispatched[ri].is_none() && self.dropped[ri].is_none() && self.completed[ri].is_none()
+    }
+
+    /// `true` while the request is dispatched but not yet terminal.
+    #[inline]
+    pub(crate) fn is_in_flight(&self, ri: usize) -> bool {
+        self.dispatched[ri].is_some() && self.dropped[ri].is_none() && self.completed[ri].is_none()
+    }
+
+    /// Marks `ri` as attempt `attempt` retrying the earlier record
+    /// `parent`.
+    #[inline]
+    pub(crate) fn mark_retry(&mut self, ri: usize, attempt: u32, parent: usize) {
+        self.attempt[ri] = attempt;
+        self.retry_of[ri] = Some(parent as u32);
+    }
+
+    /// Marks `ri` as the hedge duplicate of the in-flight `primary`.
+    #[inline]
+    pub(crate) fn mark_hedge(&mut self, ri: usize, primary: usize) {
+        self.hedge_of[ri] = Some(primary as u32);
+    }
+
+    /// `true` when `ri` is a hedge duplicate.
+    #[inline]
+    pub(crate) fn is_hedge(&self, ri: usize) -> bool {
+        self.hedge_of[ri].is_some()
     }
 
     #[inline]
@@ -290,6 +338,9 @@ impl RequestColumns {
                 pid: self.pid[i].map(|p| p as usize),
                 batch_size: self.batch_size[i],
                 degraded: self.degraded[i],
+                attempt: self.attempt[i],
+                retry_of: self.retry_of[i].map(|p| p as usize),
+                hedge_of: self.hedge_of[i].map(|p| p as usize),
             });
         }
         out
@@ -363,12 +414,36 @@ mod tests {
         assert_eq!(v[0].pid, Some(2));
         assert_eq!(v[0].batch_size, 4);
         assert!(v[0].degraded);
+        assert!(v[0].is_root());
         assert_eq!(v[0].latency(), Some(SimDuration::from_nanos(15)));
         assert_eq!(
             v[1].dropped.as_ref().map(|d| d.at),
             Some(SimTime::from_nanos(7))
         );
         assert_eq!(v[1].pid, None);
+    }
+
+    #[test]
+    fn request_columns_track_retry_and_hedge_links() {
+        let mut cols = RequestColumns::default();
+        let root = cols.push_arrival(0, 0, SimTime::from_nanos(1));
+        let retry = cols.push_arrival(0, 1, SimTime::from_nanos(10));
+        cols.mark_retry(retry, 1, root);
+        let hedge = cols.push_arrival(0, 2, SimTime::from_nanos(20));
+        cols.mark_hedge(hedge, retry);
+        assert_eq!(cols.group(hedge), 0);
+        assert_eq!(cols.attempt(retry), 1);
+        assert!(cols.is_queued(root));
+        cols.mark_dispatched(root, SimTime::from_nanos(5), 0, 1, false);
+        assert!(!cols.is_queued(root));
+        assert!(cols.is_in_flight(root));
+        cols.mark_completed(root, SimTime::from_nanos(9));
+        assert!(!cols.is_in_flight(root));
+        let v = cols.into_vec();
+        assert_eq!(v[retry].retry_of, Some(root));
+        assert_eq!(v[retry].attempt, 1);
+        assert_eq!(v[hedge].hedge_of, Some(retry));
+        assert!(v[root].is_root() && !v[retry].is_root() && !v[hedge].is_root());
     }
 
     #[test]

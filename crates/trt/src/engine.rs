@@ -181,6 +181,32 @@ impl Engine {
             .sum();
         at_requested as f64 / total as f64
     }
+
+    /// Estimated wall time for a **cold** engine build: tactic selection
+    /// per fused kernel (lower-precision builds time more tactic
+    /// candidates — INT8 additionally calibrates) plus weight
+    /// conversion/serialisation throughput. This is the cold-start cost a
+    /// recovering serve replica pays when its engine is not in the
+    /// [`crate::EngineCache`].
+    pub fn build_cost_estimate(&self) -> SimDuration {
+        let tactic_factor = match self.requested_precision {
+            Precision::Int8 => 1.6,
+            Precision::Fp16 => 1.2,
+            Precision::Tf32 => 1.1,
+            Precision::Fp32 => 1.0,
+        };
+        let tactic_secs = self.kernel_count() as f64 * 0.045 * tactic_factor;
+        let weight_secs = self.weight_bytes as f64 / (150.0 * 1024.0 * 1024.0);
+        SimDuration::from_secs_f64(0.2 + tactic_secs + weight_secs)
+    }
+
+    /// Estimated wall time to deserialize an already-built plan file and
+    /// stand up an execution context — the **warm** restart cost when the
+    /// [`crate::EngineCache`] still holds this engine.
+    pub fn load_cost_estimate(&self) -> SimDuration {
+        let read_secs = self.engine_bytes() as f64 / (1024.0 * 1024.0 * 1024.0);
+        SimDuration::from_secs_f64(0.08 + read_secs)
+    }
 }
 
 impl fmt::Display for Engine {
@@ -217,6 +243,19 @@ mod tests {
         let fp32 = build(Precision::Fp32, 1);
         assert!(fp32.engine_bytes() > 2 * int8.weight_bytes());
         assert!(fp32.weight_bytes() > 3 * int8.weight_bytes());
+    }
+
+    #[test]
+    fn cold_build_costs_dominate_warm_loads() {
+        let engine = build(Precision::Int8, 1);
+        let build_cost = engine.build_cost_estimate();
+        let load_cost = engine.load_cost_estimate();
+        // A cold rebuild is the expensive path: tactic timing across
+        // every fused kernel vs. a straight plan-file deserialize.
+        assert!(build_cost > load_cost * 5);
+        // Both are macroscopic (whole-engine operations, not kernels).
+        assert!(load_cost.as_secs_f64() > 0.05);
+        assert!(build_cost.as_secs_f64() < 60.0);
     }
 
     #[test]
