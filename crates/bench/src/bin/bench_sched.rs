@@ -1,0 +1,185 @@
+//! Emits `BENCH_sched.json`: DES event throughput of every GPU
+//! scheduling policy on one contended 8-process shape — the dispatch
+//! hot path the `GpuSchedPolicy` layer sits on. The `rr` cell is the
+//! canary: it runs the same decision logic the pre-policy engine
+//! hard-coded, so a slowdown there means the trait seam itself (or the
+//! `ReadySet` scan) regressed, not a fancier policy.
+//!
+//! ```sh
+//! cargo run --release -p jetsim-bench --bin bench_sched            # emit
+//! cargo run --release -p jetsim-bench --bin bench_sched -- --check # gate
+//! ```
+//!
+//! `--check` re-measures and fails (exit 1) if any cell's events/s
+//! drops more than 30% below the committed `BENCH_sched.json` baseline.
+//! Numbers are host-dependent; regenerate on the machine that gates.
+//! Set `JETSIM_FAST=1` for a quick smoke run with shrunken windows.
+
+use std::time::Instant;
+
+use jetsim::prelude::*;
+use jetsim_sim::GpuPolicy;
+
+/// Fraction of the baseline a cell may lose before `--check` fails.
+const REGRESSION_TOLERANCE: f64 = 0.30;
+
+fn measure_window() -> SimDuration {
+    if std::env::var_os("JETSIM_FAST").is_some() {
+        SimDuration::from_millis(400)
+    } else {
+        SimDuration::from_secs(2)
+    }
+}
+
+/// One measured cell: simulated events, wall seconds, events/s.
+struct Cell {
+    name: &'static str,
+    sim_events: u64,
+    wall_s: f64,
+}
+
+impl Cell {
+    fn events_per_s(&self) -> f64 {
+        self.sim_events as f64 / self.wall_s.max(1e-9)
+    }
+}
+
+/// Times one run of `config`, best of three (the first run warms the
+/// allocator and the engine cache).
+fn time_cell(name: &'static str, mut build: impl FnMut() -> SimConfig) -> Cell {
+    let mut best: Option<Cell> = None;
+    for _ in 0..3 {
+        let config = build();
+        let start = Instant::now();
+        let trace = Simulation::new(config).expect("fits").run();
+        let wall_s = start.elapsed().as_secs_f64();
+        let cell = Cell {
+            name,
+            sim_events: trace.sim_events,
+            wall_s,
+        };
+        if best
+            .as_ref()
+            .is_none_or(|b| cell.events_per_s() > b.events_per_s())
+        {
+            best = Some(cell);
+        }
+    }
+    best.expect("three runs")
+}
+
+/// Contended 8-process ResNet50 int8 cell under `policy` — the shape
+/// where the per-dispatch pick runs hottest. The priority cell mixes
+/// priorities (half the fleet at 5, half at 0) so the preemption path
+/// actually fires; the mps cell splits SM shares the same way.
+fn policy_cell(platform: &Platform, name: &'static str, policy: GpuPolicy) -> Cell {
+    let engine = platform
+        .build_engine(&zoo::resnet50(), Precision::Int8, 4)
+        .expect("builds");
+    time_cell(name, || {
+        let mut builder = SimConfig::builder(platform.device().clone())
+            .warmup(SimDuration::from_millis(100))
+            .measure(measure_window())
+            .record_kernel_events(false)
+            .gpu_policy(policy);
+        for i in 0..8u8 {
+            builder = builder
+                .add_engine(engine.clone())
+                .process_priority(if i % 2 == 0 { 5 } else { 0 })
+                .process_sm_share(if i % 2 == 0 { 2.0 } else { 1.0 });
+        }
+        builder.build().expect("valid")
+    })
+}
+
+fn check(cells: &[Cell]) -> std::io::Result<()> {
+    let text = std::fs::read_to_string("BENCH_sched.json").map_err(|e| {
+        std::io::Error::other(format!(
+            "--check needs a committed BENCH_sched.json baseline: {e}"
+        ))
+    })?;
+    let baseline: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| std::io::Error::other(e.to_string()))?;
+    let rate_of = |name: &str| -> Option<f64> {
+        match baseline
+            .get_field("cells")?
+            .get_field(name)?
+            .get_field("events_per_s")?
+        {
+            serde_json::Value::F64(f) => Some(*f),
+            serde_json::Value::U64(u) => Some(*u as f64),
+            serde_json::Value::I64(i) => Some(*i as f64),
+            _ => None,
+        }
+    };
+    let mut failed = false;
+    for cell in cells {
+        let Some(base) = rate_of(cell.name) else {
+            eprintln!("baseline missing cells.{}.events_per_s", cell.name);
+            failed = true;
+            continue;
+        };
+        let measured = cell.events_per_s();
+        let floor = base * (1.0 - REGRESSION_TOLERANCE);
+        let verdict = if measured < floor { "FAIL" } else { "ok" };
+        println!(
+            "{verdict:>4}  {:<16} {:>12.0} events/s (baseline {:>12.0}, floor {:>12.0})",
+            cell.name, measured, base, floor
+        );
+        failed |= measured < floor;
+    }
+    if failed {
+        eprintln!(
+            "events/s regressed more than {:.0}% below the committed baseline",
+            REGRESSION_TOLERANCE * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("bench_sched check passed");
+    Ok(())
+}
+
+fn main() -> std::io::Result<()> {
+    let checking = std::env::args().any(|a| a == "--check");
+    let platform = Platform::orin_nano();
+    let cells = [
+        policy_cell(&platform, "rr_8p", GpuPolicy::TimesliceRR),
+        policy_cell(&platform, "fifo_8p", "fifo".parse().expect("known")),
+        policy_cell(&platform, "priority_8p", "priority".parse().expect("known")),
+        policy_cell(&platform, "mps_8p", "mps".parse().expect("known")),
+    ];
+    if checking {
+        return check(&cells);
+    }
+
+    let total_events: u64 = cells.iter().map(|c| c.sim_events).sum();
+    let total_wall: f64 = cells.iter().map(|c| c.wall_s).sum();
+    let cell_json = |c: &Cell| {
+        serde_json::json!({
+            "sim_events": c.sim_events,
+            "wall_s": c.wall_s,
+            "events_per_s": c.events_per_s(),
+        })
+    };
+    let json = serde_json::json!({
+        "bench": "sched",
+        "device": platform.name(),
+        "note": "events/s are host-dependent; regenerate on the gating machine; best of 3 runs per cell",
+        "cells": {
+            "rr_8p": cell_json(&cells[0]),
+            "fifo_8p": cell_json(&cells[1]),
+            "priority_8p": cell_json(&cells[2]),
+            "mps_8p": cell_json(&cells[3]),
+        },
+        "total": {
+            "sim_events": total_events,
+            "wall_s": total_wall,
+            "events_per_s": total_events as f64 / total_wall.max(1e-9),
+        },
+    });
+    let text = serde_json::to_string_pretty(&json).expect("serializable");
+    std::fs::write("BENCH_sched.json", &text)?;
+    println!("{text}");
+    println!("\nwritten to BENCH_sched.json");
+    Ok(())
+}

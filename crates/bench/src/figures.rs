@@ -10,7 +10,10 @@ use jetsim::observations;
 use jetsim::prelude::*;
 use jetsim::report::fmt_num;
 use jetsim::report::Table;
+use jetsim_des::ArrivalProcess;
 use jetsim_profile::metrics;
+use jetsim_serve::{ServeSpec, ServeTenant};
+use jetsim_sim::GpuPolicy;
 
 use crate::FigureResult;
 
@@ -691,6 +694,104 @@ pub fn observation_checks() -> (FigureResult, usize, usize) {
     )
 }
 
+/// Jain fairness index over per-group goodput: `(Σx)² / (n·Σx²)`.
+/// 1.0 is perfectly even; `1/n` is one group taking everything.
+fn jain(values: &[f64]) -> f64 {
+    let n = values.len() as f64;
+    let sum: f64 = values.iter().sum();
+    let sq: f64 = values.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n * sq)
+}
+
+/// The low-priority side of one mixed-criticality deployment, built for
+/// a given offered rate (the high-priority tenant is fixed).
+fn policy_lo_tenants(deployment: &str, lo_rate: f64) -> Vec<ServeTenant> {
+    match deployment {
+        "resnet50-hi+fcn" => vec![ServeTenant::new(
+            Tenant::new(zoo::fcn_resnet50(), Precision::Fp16, 1),
+            ArrivalProcess::poisson(lo_rate),
+        )],
+        "resnet50-hi+2xyolo" => vec![ServeTenant::new(
+            Tenant::new(zoo::yolov8n(), Precision::Fp16, 1).count(2),
+            ArrivalProcess::poisson(lo_rate),
+        )],
+        other => unreachable!("unknown policy deployment {other}"),
+    }
+}
+
+/// One cell of the policy comparison: the full serving report for a
+/// mixed-criticality deployment under `policy` at `rate` req/s total
+/// offered load (25 % high-priority, 75 % background).
+fn policy_cell(deployment: &str, rate: f64, policy: GpuPolicy) -> jetsim_serve::ServeReport {
+    let (warmup, measure) = windows();
+    let hi = ServeTenant::new(
+        Tenant::new(zoo::resnet50(), Precision::Int8, 1)
+            .priority(5)
+            .sm_share(2.0),
+        ArrivalProcess::poisson(rate * 0.25),
+    );
+    let mut spec = ServeSpec::new(Platform::orin_nano())
+        .warmup(warmup)
+        .duration(measure)
+        .gpu_policy(policy)
+        .tenant(hi);
+    for tenant in policy_lo_tenants(deployment, rate * 0.75) {
+        spec = spec.tenant(tenant);
+    }
+    spec.run().expect("policy cell builds and fits")
+}
+
+/// GPU scheduling policy comparison (new analysis, not in the paper):
+/// every `--gpu-policy` against two mixed-criticality deployments at a
+/// light and a saturating offered load on the Orin Nano. The
+/// high-priority tenant is always `resnet50 int8 b1` at priority 5 /
+/// SM share 2.0; the same seed replays the same request timeline under
+/// every policy, so rows differ only by scheduling.
+pub fn policy_comparison() -> FigureResult {
+    let mut table = Table::new([
+        "deployment",
+        "offered_rps",
+        "policy",
+        "hi_p99_ms",
+        "hi_goodput_qps",
+        "lo_p99_ms",
+        "total_goodput_qps",
+        "fairness",
+    ]);
+    for deployment in ["resnet50-hi+fcn", "resnet50-hi+2xyolo"] {
+        for rate in [40.0, 120.0] {
+            for name in ["rr", "fifo", "priority", "mps"] {
+                let policy: GpuPolicy = name.parse().expect("known policy");
+                let report = policy_cell(deployment, rate, policy);
+                let hi = &report.groups[0];
+                let goodputs: Vec<f64> = report.groups.iter().map(|g| g.goodput_qps).collect();
+                let lo_p99 = report.groups[1..]
+                    .iter()
+                    .map(|g| g.p99_ms)
+                    .fold(0.0_f64, f64::max);
+                table.row([
+                    deployment.to_string(),
+                    format!("{rate:.0}"),
+                    name.to_string(),
+                    format!("{:.2}", hi.p99_ms),
+                    format!("{:.1}", hi.goodput_qps),
+                    format!("{lo_p99:.2}"),
+                    format!("{:.1}", goodputs.iter().sum::<f64>()),
+                    format!("{:.3}", jain(&goodputs)),
+                ]);
+            }
+        }
+    }
+    FigureResult {
+        id: "policy_comparison",
+        title: "GPU scheduling policies under mixed-criticality serving",
+        tables: vec![("policies".to_string(), table)],
+    }
+}
+
 /// Every figure/table harness with its CLI name, in paper order — the
 /// registry behind the `repro` binary (ablations have their own in
 /// [`crate::ablations::registry`]).
@@ -710,6 +811,7 @@ pub fn registry() -> Vec<(&'static str, crate::Harness)> {
         ("fig11_events_orin", fig11_events_orin),
         ("fig12_events_nano", fig12_events_nano),
         ("headline_gap", headline_gap),
+        ("policy_comparison", policy_comparison),
     ]
 }
 
@@ -798,5 +900,40 @@ mod tests {
         fast();
         let fig = headline_gap();
         assert_eq!(fig.tables[0].1.len(), 3);
+    }
+
+    #[test]
+    fn policy_comparison_covers_grid() {
+        fast();
+        let fig = policy_comparison();
+        // 2 deployments × 2 rates × 4 policies.
+        assert_eq!(fig.tables[0].1.len(), 16);
+    }
+
+    #[test]
+    fn priority_policy_improves_hi_tenant_p99() {
+        fast();
+        // Under contention, preemptive priority must cut the
+        // high-priority tenant's tail latency relative to fair
+        // round-robin in at least one swept cell (the PR's acceptance
+        // criterion).
+        let mut wins = 0;
+        for deployment in ["resnet50-hi+fcn", "resnet50-hi+2xyolo"] {
+            for rate in [40.0, 120.0] {
+                let rr = policy_cell(deployment, rate, GpuPolicy::TimesliceRR);
+                let pr = policy_cell(deployment, rate, "priority".parse().unwrap());
+                if pr.groups[0].p99_ms < rr.groups[0].p99_ms {
+                    wins += 1;
+                }
+            }
+        }
+        assert!(wins >= 1, "priority never beat rr on hi-tenant p99");
+    }
+
+    #[test]
+    fn jain_index_bounds() {
+        assert!((jain(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        assert!((jain(&[1.0, 0.0]) - 0.5).abs() < 1e-12);
+        assert!((jain(&[0.0, 0.0]) - 1.0).abs() < 1e-12);
     }
 }

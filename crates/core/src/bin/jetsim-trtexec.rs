@@ -21,7 +21,7 @@ use std::process::ExitCode;
 use jetsim::deployment::Tenant;
 use jetsim::prelude::*;
 use jetsim_profile::chrome_trace;
-use jetsim_sim::{FaultKind, FaultPlan};
+use jetsim_sim::{FaultKind, FaultPlan, GpuPolicy};
 
 #[derive(Debug)]
 struct Args {
@@ -38,6 +38,7 @@ struct Args {
     seed: u64,
     faults: bool,
     fault_seed: Option<u64>,
+    gpu_policy: GpuPolicy,
 }
 
 impl Args {
@@ -47,9 +48,10 @@ impl Args {
          \x20                  [--int8|--fp16|--tf32|--fp32] [--batch=N] [--processes=N] [--streams=N]\n\
          \x20                  [--device=orin-nano|jetson-nano|cloud-a40] [--duration=SECONDS]\n\
          \x20                  [--nsight] [--chrome-trace=FILE] [--seed=N] [--faults[=SEED]]\n\
+         \x20                  [--gpu-policy=rr|fifo|priority[:PENALTY_US]|mps[:OVERLAP]]\n\
          \x20                  --faults injects a seeded fault plan (memory spikes + a throttle\n\
          \x20                  lock) and swaps strict OOM admission for OOM-killer semantics\n\
-         \x20      or: jetsim-trtexec --tenant=model:precision:batch[:count] [--tenant=...]\n\
+         \x20      or: jetsim-trtexec --tenant=model:precision:batch[:count[:priority]] [--tenant=...]\n\
          \x20                  runs a heterogeneous deployment (repeat --tenant per model mix);\n\
          \x20                  mutually exclusive with --model/--batch/--processes/--streams\n\
          \x20                  and the precision flags"
@@ -70,6 +72,7 @@ impl Args {
             seed: 0x6A65_7473,
             faults: false,
             fault_seed: None,
+            gpu_policy: GpuPolicy::TimesliceRR,
         };
         let mut workload_flags = false;
         for arg in argv {
@@ -135,6 +138,11 @@ impl Args {
                             Some(v.parse().map_err(|e| format!("bad --faults: {e}"))?);
                     }
                 }
+                "--gpu-policy" => {
+                    args.gpu_policy = required(value)?
+                        .parse()
+                        .map_err(|e| format!("bad --gpu-policy: {e}"))?
+                }
                 "--chrome-trace" => args.chrome_trace = Some(required(value)?),
                 "--seed" => {
                     args.seed = required(value)?
@@ -189,6 +197,7 @@ fn run(args: Args) -> Result<(), String> {
         .warmup(warmup)
         .measure(measure)
         .seed(args.seed)
+        .gpu_policy(args.gpu_policy)
         .profiler(if args.nsight {
             ProfilerMode::Nsight
         } else {
@@ -269,6 +278,9 @@ fn run(args: Args) -> Result<(), String> {
     }
     println!("=== Device ===");
     println!("{platform}");
+    if args.gpu_policy != GpuPolicy::TimesliceRR {
+        println!("GPU scheduling policy: {}", args.gpu_policy);
+    }
 
     if args.faults {
         let fault_seed = args.fault_seed.unwrap_or(args.seed);
@@ -304,6 +316,9 @@ fn run(args: Args) -> Result<(), String> {
             p.mean_sync_time,
             p.mean_blocking_time,
         );
+    }
+    if !trace.preemptions.is_empty() {
+        println!("Kernel preemptions: {}", trace.preemptions.len());
     }
     println!("\n=== jetson-stats ===");
     println!("{}", jetsim_profile::JetsonStatsReport::from_trace(&trace));

@@ -43,6 +43,8 @@ pub struct Tenant {
     precision: Precision,
     batch: u32,
     count: u32,
+    priority: u8,
+    sm_share: f64,
 }
 
 impl Tenant {
@@ -53,6 +55,8 @@ impl Tenant {
             precision,
             batch: batch.max(1),
             count: 1,
+            priority: 0,
+            sm_share: 1.0,
         }
     }
 
@@ -60,6 +64,30 @@ impl Tenant {
     pub fn count(mut self, count: u32) -> Self {
         self.count = count.max(1);
         self
+    }
+
+    /// Sets the tenant's GPU scheduling priority (higher wins under the
+    /// `priority` GPU policy; every other policy ignores it). Default 0.
+    pub fn priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the tenant's fractional SM share (weight under the `mps` GPU
+    /// policy; every other policy ignores it). Default 1.0.
+    pub fn sm_share(mut self, share: f64) -> Self {
+        self.sm_share = share;
+        self
+    }
+
+    /// The tenant's GPU scheduling priority.
+    pub fn gpu_priority(&self) -> u8 {
+        self.priority
+    }
+
+    /// The tenant's fractional SM share.
+    pub fn gpu_sm_share(&self) -> f64 {
+        self.sm_share
     }
 
     /// The tenant's model graph.
@@ -88,8 +116,10 @@ impl Tenant {
         format!("{}:{}:b{}", self.model.name(), self.precision, self.batch)
     }
 
-    /// Parses a `model:precision:batch[:count]` spec, the grammar of the
-    /// `jetsim-trtexec --tenant` flag. The model must be a zoo name.
+    /// Parses a `model:precision:batch[:count[:priority]]` spec, the
+    /// grammar of the `jetsim-trtexec --tenant` flag. The model must be
+    /// a zoo name. The optional fifth field sets the tenant's GPU
+    /// scheduling priority (used by `--gpu-policy=priority`).
     ///
     /// # Examples
     ///
@@ -99,16 +129,18 @@ impl Tenant {
     /// let t = Tenant::parse("yolov8n:fp16:4:2").unwrap();
     /// assert_eq!(t.label(), "yolov8n:fp16:b4");
     /// assert_eq!(t.instances(), 2);
+    /// let t = Tenant::parse("resnet50:int8:1:1:5").unwrap();
+    /// assert_eq!(t.gpu_priority(), 5);
     /// assert!(Tenant::parse("nonesuch:fp16:1").is_err());
     /// ```
     ///
     /// # Errors
     ///
     /// Returns [`DeploymentError`] for unknown models, unknown
-    /// precisions, or malformed batch/count fields.
+    /// precisions, or malformed batch/count/priority fields.
     pub fn parse(spec: &str) -> Result<Tenant, DeploymentError> {
         let parts: Vec<&str> = spec.split(':').collect();
-        if !(3..=4).contains(&parts.len()) {
+        if !(3..=5).contains(&parts.len()) {
             return Err(DeploymentError::BadSpec {
                 spec: spec.to_string(),
                 reason: format!("{} field(s)", parts.len()),
@@ -137,7 +169,16 @@ impl Tenant {
             })?,
             None => 1,
         };
-        Ok(Tenant::new(model, precision, batch).count(count))
+        let priority: u8 = match parts.get(4) {
+            Some(p) => p.parse().map_err(|e| DeploymentError::BadSpec {
+                spec: spec.to_string(),
+                reason: format!("bad priority: {e}"),
+            })?,
+            None => 0,
+        };
+        Ok(Tenant::new(model, precision, batch)
+            .count(count)
+            .priority(priority))
     }
 }
 
@@ -167,7 +208,7 @@ impl fmt::Display for DeploymentError {
                 write!(
                     f,
                     "bad tenant spec `{spec}`: {reason} \
-                     (expected model:precision:batch[:count], e.g. resnet50:int8:1:2)"
+                     (expected model:precision:batch[:count[:priority]], e.g. resnet50:int8:1:2)"
                 )
             }
             DeploymentError::Build { label, source } => {
@@ -299,10 +340,13 @@ impl Deployment {
                 })?;
             let label = tenant.label();
             for instance in 0..tenant.instances() {
-                builder = builder.add_engine_named(
-                    format!("{label}/{instance}"),
-                    std::sync::Arc::clone(&engine),
-                );
+                builder = builder
+                    .add_engine_named(
+                        format!("{label}/{instance}"),
+                        std::sync::Arc::clone(&engine),
+                    )
+                    .process_priority(tenant.gpu_priority())
+                    .process_sm_share(tenant.gpu_sm_share());
             }
         }
         Ok(builder)
@@ -437,6 +481,11 @@ mod tests {
         let t = Tenant::parse("fcn_resnet50:fp16:b2:3").unwrap();
         assert_eq!(t.batch(), 2);
         assert_eq!(t.instances(), 3);
+        assert_eq!(t.gpu_priority(), 0, "priority defaults to 0");
+        let t = Tenant::parse("resnet50:int8:1:2:7").unwrap();
+        assert_eq!(t.instances(), 2);
+        assert_eq!(t.gpu_priority(), 7);
+        assert_eq!(t.gpu_sm_share(), 1.0);
     }
 
     #[test]
@@ -448,7 +497,8 @@ mod tests {
             "resnet50:int9:1",
             "resnet50:int8:zero",
             "resnet50:int8:1:many",
-            "resnet50:int8:1:2:3",
+            "resnet50:int8:1:2:high",
+            "resnet50:int8:1:2:3:4",
         ] {
             let err = Tenant::parse(bad).unwrap_err();
             assert!(
@@ -462,7 +512,7 @@ mod tests {
                 "names the offending spec: {message}"
             );
             assert!(
-                message.contains("model:precision:batch[:count]"),
+                message.contains("model:precision:batch[:count[:priority]]"),
                 "teaches the grammar: {message}"
             );
         }

@@ -334,6 +334,7 @@ mod tests {
             batch,
             processes: procs,
             offered_load: None,
+            gpu_policy: "rr".into(),
             outcome: CellOutcome::Ok(CellMetrics {
                 throughput: tput * f64::from(procs),
                 throughput_per_process: tput,

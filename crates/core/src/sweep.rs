@@ -11,7 +11,7 @@ use serde::Serialize;
 use jetsim_des::SimDuration;
 use jetsim_dnn::{ModelGraph, Precision};
 use jetsim_profile::JetsonStatsReport;
-use jetsim_sim::{FaultPlan, ProfilerMode, SimConfig, SimError, Simulation};
+use jetsim_sim::{FaultPlan, GpuPolicy, ProfilerMode, SimConfig, SimError, Simulation};
 use jetsim_trt::{Engine, EngineBuilder};
 
 use crate::deployment::{Deployment, Tenant, TenantMetrics};
@@ -129,6 +129,7 @@ pub struct SweepSpec {
     batches: Vec<u32>,
     process_counts: Vec<u32>,
     offered_loads: Vec<Option<f64>>,
+    gpu_policies: Vec<GpuPolicy>,
     warmup: SimDuration,
     measure: SimDuration,
     seed: u64,
@@ -144,6 +145,7 @@ impl SweepSpec {
             batches: vec![1],
             process_counts: vec![1],
             offered_loads: vec![None],
+            gpu_policies: vec![GpuPolicy::TimesliceRR],
             warmup: SimDuration::from_millis(300),
             measure: SimDuration::from_millis(1500),
             seed: 0x6A65_7473,
@@ -182,6 +184,20 @@ impl SweepSpec {
         self
     }
 
+    /// Sets the GPU scheduling-policy axis: each cell of the grid runs
+    /// once per policy. Defaults to `[GpuPolicy::TimesliceRR]` (the
+    /// simulator default), so plain sweeps are unchanged. Cell seeds
+    /// depend only on workload coordinates, never on the policy, so two
+    /// policies see bit-identical arrival/kernel randomness — the
+    /// comparison isolates the scheduler.
+    pub fn gpu_policies<I: IntoIterator<Item = GpuPolicy>>(mut self, policies: I) -> Self {
+        self.gpu_policies = policies.into_iter().collect();
+        if self.gpu_policies.is_empty() {
+            self.gpu_policies.push(GpuPolicy::TimesliceRR);
+        }
+        self
+    }
+
     /// Sets the per-cell warmup window.
     pub fn warmup(mut self, warmup: SimDuration) -> Self {
         self.warmup = warmup;
@@ -215,6 +231,7 @@ impl SweepSpec {
             * self.batches.len()
             * self.process_counts.len()
             * self.offered_loads.len()
+            * self.gpu_policies.len()
     }
 
     /// Runs the sweep for `model` on `platform`, one simulation per cell,
@@ -252,12 +269,15 @@ impl SweepSpec {
         model: &ModelGraph,
         policy: &SupervisorPolicy,
     ) -> Vec<SweepCell> {
-        let mut params: Vec<(Precision, u32, u32, Option<f64>)> = Vec::with_capacity(self.cells());
+        let mut params: Vec<(Precision, u32, u32, Option<f64>, GpuPolicy)> =
+            Vec::with_capacity(self.cells());
         for &precision in &self.precisions {
             for &batch in &self.batches {
                 for &procs in &self.process_counts {
                     for &load in &self.offered_loads {
-                        params.push((precision, batch, procs, load));
+                        for &gpu_policy in &self.gpu_policies {
+                            params.push((precision, batch, procs, load, gpu_policy));
+                        }
                     }
                 }
             }
@@ -279,11 +299,14 @@ impl SweepSpec {
                         let mut done: Vec<(usize, SweepCell)> = Vec::new();
                         loop {
                             let index = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(&(precision, batch, procs, load)) = params.get(index) else {
+                            let Some(&(precision, batch, procs, load, gpu_policy)) =
+                                params.get(index)
+                            else {
                                 break;
                             };
-                            let cell = self
-                                .run_cell(platform, model, precision, batch, procs, load, policy);
+                            let cell = self.run_cell(
+                                platform, model, precision, batch, procs, load, gpu_policy, policy,
+                            );
                             done.push((index, cell));
                         }
                         done
@@ -333,6 +356,7 @@ impl SweepSpec {
         policy: &SupervisorPolicy,
     ) -> SweepCell {
         let device = platform.name().to_string();
+        let gpu_policy = self.gpu_policies.first().copied().unwrap_or_default();
         if deployment.is_empty() {
             return SweepCell {
                 model: "(empty)".to_string(),
@@ -341,6 +365,7 @@ impl SweepSpec {
                 batch: 0,
                 processes: 0,
                 offered_load: None,
+                gpu_policy: gpu_policy.to_string(),
                 outcome: CellOutcome::SimFailed("empty deployment".to_string()),
             };
         }
@@ -352,7 +377,14 @@ impl SweepSpec {
             .unwrap_or(1);
         let procs = deployment.total_processes();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            self.supervise_deployment(platform, deployment, (batch, procs), None, policy)
+            self.supervise_deployment(
+                platform,
+                deployment,
+                (batch, procs),
+                None,
+                gpu_policy,
+                policy,
+            )
         }))
         .unwrap_or_else(|payload| CellOutcome::Panicked {
             message: panic_message(payload),
@@ -364,6 +396,7 @@ impl SweepSpec {
             batch,
             processes: procs,
             offered_load: None,
+            gpu_policy: gpu_policy.to_string(),
             outcome,
         }
     }
@@ -377,6 +410,7 @@ impl SweepSpec {
         batch: u32,
         procs: u32,
         offered_load: Option<f64>,
+        gpu_policy: GpuPolicy,
         policy: &SupervisorPolicy,
     ) -> SweepCell {
         // A grid cell is the one-tenant deployment — there is exactly
@@ -388,7 +422,14 @@ impl SweepSpec {
         // in place.
         let deployment = Deployment::homogeneous(model, precision, batch, procs);
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            self.supervise_deployment(platform, &deployment, (batch, procs), offered_load, policy)
+            self.supervise_deployment(
+                platform,
+                &deployment,
+                (batch, procs),
+                offered_load,
+                gpu_policy,
+                policy,
+            )
         }))
         .unwrap_or_else(|payload| CellOutcome::Panicked {
             message: panic_message(payload),
@@ -400,6 +441,7 @@ impl SweepSpec {
             batch,
             processes: procs,
             offered_load,
+            gpu_policy: gpu_policy.to_string(),
             outcome,
         }
     }
@@ -411,12 +453,14 @@ impl SweepSpec {
     /// the classic chain (halve the batch, then drop processes). The
     /// returned outcome always keys on the cell's *original* grid
     /// coordinates; a degraded success records where it finally ran.
+    #[allow(clippy::too_many_arguments)]
     fn supervise_deployment(
         &self,
         platform: &Platform,
         deployment: &Deployment,
         grid_coords: (u32, u32),
         offered_load: Option<f64>,
+        gpu_policy: GpuPolicy,
         policy: &SupervisorPolicy,
     ) -> CellOutcome {
         let (batch, procs) = grid_coords;
@@ -435,6 +479,7 @@ impl SweepSpec {
                 &current,
                 grid_coords,
                 offered_load,
+                gpu_policy,
                 policy,
                 &mut attempts,
             );
@@ -488,6 +533,7 @@ impl SweepSpec {
         deployment: &Deployment,
         grid_coords: (u32, u32),
         offered_load: Option<f64>,
+        gpu_policy: GpuPolicy,
         policy: &SupervisorPolicy,
         attempts: &mut Vec<String>,
     ) -> CellOutcome {
@@ -510,6 +556,7 @@ impl SweepSpec {
             .warmup(self.warmup)
             .measure(self.measure)
             .seed(self.deployment_seed(deployment))
+            .gpu_policy(gpu_policy)
             .record_kernel_events(false)
             .profiler(ProfilerMode::Lightweight);
         if !policy.faults.is_empty() {
@@ -525,11 +572,14 @@ impl SweepSpec {
         for (tenant, engine) in deployment.tenants().iter().zip(&engines) {
             let label = tenant.label();
             for instance in 0..tenant.instances() {
-                builder = builder.add_engine_named_with_arrivals(
-                    format!("{label}/{instance}"),
-                    Arc::clone(engine),
-                    arrivals,
-                );
+                builder = builder
+                    .add_engine_named_with_arrivals(
+                        format!("{label}/{instance}"),
+                        Arc::clone(engine),
+                        arrivals,
+                    )
+                    .process_priority(tenant.gpu_priority())
+                    .process_sm_share(tenant.gpu_sm_share());
             }
         }
         match builder.build() {
@@ -661,7 +711,12 @@ fn degrade_deployment(deployment: &Deployment) -> Option<Deployment> {
                 } else {
                     t.batch()
                 };
-                d.tenant(Tenant::new(t.model().clone(), t.precision(), batch).count(t.instances()))
+                d.tenant(
+                    Tenant::new(t.model().clone(), t.precision(), batch)
+                        .count(t.instances())
+                        .priority(t.gpu_priority())
+                        .sm_share(t.gpu_sm_share()),
+                )
             });
         return Some(rebuilt);
     }
@@ -682,7 +737,12 @@ fn degrade_deployment(deployment: &Deployment) -> Option<Deployment> {
             if count == 0 {
                 d
             } else {
-                d.tenant(Tenant::new(t.model().clone(), t.precision(), t.batch()).count(count))
+                d.tenant(
+                    Tenant::new(t.model().clone(), t.precision(), t.batch())
+                        .count(count)
+                        .priority(t.gpu_priority())
+                        .sm_share(t.gpu_sm_share()),
+                )
             }
         });
     Some(rebuilt)
@@ -870,6 +930,9 @@ pub struct SweepCell {
     /// Open-loop offered load per process (batches/s, Poisson); `None`
     /// for classic closed-loop (saturated) cells.
     pub offered_load: Option<f64>,
+    /// GPU scheduling policy the cell ran under, in `--gpu-policy`
+    /// grammar (`"rr"` for classic cells).
+    pub gpu_policy: String,
     /// Outcome.
     pub outcome: CellOutcome,
 }
@@ -883,6 +946,9 @@ impl fmt::Display for SweepCell {
         )?;
         if let Some(fps) = self.offered_load {
             write!(f, " @{fps:.0}/s")?;
+        }
+        if self.gpu_policy != "rr" {
+            write!(f, " [{}]", self.gpu_policy)?;
         }
         write!(f, ": ")?;
         match &self.outcome {

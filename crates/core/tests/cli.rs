@@ -162,14 +162,20 @@ fn bad_tenant_spec_names_the_spec_and_teaches_the_grammar() {
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("`resnet50:int8`"), "{stderr}");
-    assert!(stderr.contains("model:precision:batch[:count]"), "{stderr}");
+    assert!(
+        stderr.contains("model:precision:batch[:count[:priority]]"),
+        "{stderr}"
+    );
 
     // A bad field (unknown precision) gets the same treatment.
     let out = trtexec(&["--tenant=resnet50:int9:1"]);
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("`resnet50:int9:1`"), "{stderr}");
-    assert!(stderr.contains("model:precision:batch[:count]"), "{stderr}");
+    assert!(
+        stderr.contains("model:precision:batch[:count[:priority]]"),
+        "{stderr}"
+    );
 }
 
 #[test]

@@ -18,6 +18,7 @@ use jetsim_serve::{
     AdmissionPolicy, BreakerMode, BreakerPolicy, FaultPlan, HedgePolicy, OomPolicy, RecoverySpec,
     ResiliencePolicies, RetryPolicy, ServeSpec, ServeTenant,
 };
+use jetsim_sim::GpuPolicy;
 
 #[derive(Debug)]
 struct Args {
@@ -38,10 +39,11 @@ struct Args {
     hedge: Option<Option<SimDuration>>,
     breaker: Option<BreakerMode>,
     recovery: Option<u32>,
+    gpu_policy: GpuPolicy,
 }
 
 fn usage() -> &'static str {
-    "usage: jetsim-serve --tenant model:precision:batch[:count] [--tenant ...]\n\
+    "usage: jetsim-serve --tenant model:precision:batch[:count[:priority]] [--tenant ...]\n\
      \x20                [--arrival poisson:RATE | mmpp:CALM:BURST:CALM_MS:BURST_MS]\n\
      \x20                  each --arrival applies to the following --tenant(s);\n\
      \x20                  default poisson:100\n\
@@ -61,6 +63,9 @@ fn usage() -> &'static str {
      \x20                  (default shed)\n\
      \x20                [--recovery[=N]] restart OOM-killed replicas up to N times\n\
      \x20                  (default 2; cost derived from the engine cache)\n\
+     \x20                [--gpu-policy rr|fifo|priority[:PENALTY_US]|mps[:OVERLAP]]\n\
+     \x20                  GPU scheduling policy (default rr); tenant priorities come\n\
+     \x20                  from the 5th --tenant field\n\
      \x20                [--json] emit the report as JSON"
 }
 
@@ -139,6 +144,7 @@ impl Args {
             hedge: None,
             breaker: None,
             recovery: None,
+            gpu_policy: GpuPolicy::TimesliceRR,
         };
         let mut arrivals = ArrivalProcess::poisson(100.0);
         let mut argv = argv.peekable();
@@ -245,6 +251,11 @@ impl Args {
                         None => 2,
                     })
                 }
+                "--gpu-policy" => {
+                    args.gpu_policy = required(&mut value)?
+                        .parse()
+                        .map_err(|e| format!("bad --gpu-policy: {e}"))?
+                }
                 "--json" => args.json = true,
                 "--help" | "-h" => return Err(usage().to_string()),
                 other => return Err(format!("unknown flag `{other}`\n{}", usage())),
@@ -272,7 +283,8 @@ fn run(args: Args) -> Result<(), String> {
         .slo(args.slo)
         .duration(args.duration)
         .warmup(args.warmup)
-        .seed(args.seed);
+        .seed(args.seed)
+        .gpu_policy(args.gpu_policy);
     let mut resilience = ResiliencePolicies::none();
     if let Some(deadline) = args.deadline {
         resilience = resilience.deadline(deadline);

@@ -9,7 +9,7 @@ use jetsim::platform::Platform;
 use jetsim_des::{ArrivalProcess, SimDuration};
 use jetsim_dnn::Precision;
 use jetsim_sim::serving::{AdmissionPolicy, BreakerMode, ServeGroup, ServePlan};
-use jetsim_sim::{FaultPlan, SimConfig, SimError, Simulation};
+use jetsim_sim::{FaultPlan, GpuPolicy, SimConfig, SimError, Simulation};
 use jetsim_trt::BuildError;
 
 use crate::capacity::{self, CapacityEstimate};
@@ -32,18 +32,30 @@ pub struct ServeTenant {
     pub queue_cap: usize,
     /// Policy when the queue is full.
     pub admission: AdmissionPolicy,
+    /// GPU scheduling priority the tenant's servers run at (higher wins
+    /// under the `priority` GPU policy; other policies ignore it).
+    pub priority: u8,
+    /// Fractional SM share of the tenant's servers (weight under the
+    /// `mps` GPU policy; other policies ignore it).
+    pub sm_share: f64,
 }
 
 impl ServeTenant {
     /// A served tenant with defaults: 5 ms batching delay, queue
-    /// capacity 64, [`AdmissionPolicy::Reject`].
+    /// capacity 64, [`AdmissionPolicy::Reject`]. Priority and SM share
+    /// are inherited from the inner [`Tenant`] (so a
+    /// `model:precision:batch:count:priority` spec carries through).
     pub fn new(tenant: Tenant, arrivals: ArrivalProcess) -> Self {
+        let priority = tenant.gpu_priority();
+        let sm_share = tenant.gpu_sm_share();
         ServeTenant {
             tenant,
             arrivals,
             max_delay: SimDuration::from_millis(5),
             queue_cap: 64,
             admission: AdmissionPolicy::Reject,
+            priority,
+            sm_share,
         }
     }
 
@@ -75,6 +87,18 @@ impl ServeTenant {
     /// Sets the admission policy.
     pub fn admission(mut self, admission: AdmissionPolicy) -> Self {
         self.admission = admission;
+        self
+    }
+
+    /// Sets the GPU scheduling priority.
+    pub fn priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the fractional SM share.
+    pub fn sm_share(mut self, share: f64) -> Self {
+        self.sm_share = share;
         self
     }
 }
@@ -152,6 +176,7 @@ pub struct ServeSpec {
     slo: SimDuration,
     faults: FaultPlan,
     resilience: ResiliencePolicies,
+    gpu_policy: GpuPolicy,
 }
 
 impl ServeSpec {
@@ -167,6 +192,7 @@ impl ServeSpec {
             slo: SimDuration::from_millis(50),
             faults: FaultPlan::new(),
             resilience: ResiliencePolicies::none(),
+            gpu_policy: GpuPolicy::TimesliceRR,
         }
     }
 
@@ -215,6 +241,14 @@ impl ServeSpec {
         self
     }
 
+    /// Sets the GPU scheduling policy (`--gpu-policy` grammar). The
+    /// default, [`GpuPolicy::TimesliceRR`], is byte-identical to specs
+    /// predating the policy layer.
+    pub fn gpu_policy(mut self, policy: GpuPolicy) -> Self {
+        self.gpu_policy = policy;
+        self
+    }
+
     /// Total simulated horizon (warmup + measured duration), which fault
     /// plans are drawn over.
     pub fn horizon(&self) -> SimDuration {
@@ -249,6 +283,7 @@ impl ServeSpec {
             .warmup(self.warmup)
             .measure(self.duration)
             .seed(self.seed)
+            .gpu_policy(self.gpu_policy)
             .faults(self.faults.clone());
         let mut plan = ServePlan::new();
         let mut next_pid = 0usize;
@@ -278,7 +313,9 @@ impl ServeSpec {
                 .members(members)
                 .max_delay(st.max_delay)
                 .queue_cap(st.queue_cap)
-                .admission(st.admission);
+                .admission(st.admission)
+                .priority(st.priority)
+                .sm_share(st.sm_share);
             // A degraded fallback is needed by Degrade admission and by
             // a brownout breaker (which forces the cheap engine while
             // open).

@@ -6,17 +6,24 @@ use jetsim_device::power::GpuLoad;
 use jetsim_device::{DeviceSpec, GpuArch};
 use jetsim_trt::Engine;
 
-use crate::config::{CpuModel, GpuSharing};
-use crate::soa::KernelEventColumns;
+use crate::config::{CpuModel, GpuPolicy, SimConfig};
+use crate::soa::{KernelEventColumns, PreemptionColumns};
 
+use super::gpu_policy::{make_policy, GpuSchedPolicy, PolicyView, ReadySet};
 use super::sched::{CpuSched, Resume, SchedEvent};
 use super::{Component, Ctx, Event};
 
 /// Events consumed by [`GpuEngine`].
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum GpuEvent {
-    /// The GPU finished its current kernel.
-    Done,
+    /// The GPU finished the kernel dispatched under the given
+    /// generation. The calendar queue cannot unschedule, so a preemption
+    /// bumps the engine's generation instead and the stale completion is
+    /// dropped on delivery.
+    Done {
+        /// Dispatch generation the kernel was started under.
+        gen: u32,
+    },
 }
 
 /// One kernel currently executing on the GPU.
@@ -102,6 +109,11 @@ struct KernelTimeCache {
     engine_id: usize,
     /// Frequency step the cache was built at.
     step: usize,
+    /// Bit pattern of the profiler overhead factor the cache was built
+    /// with. Constant per run today, but keyed anyway so a future
+    /// per-policy or per-phase overhead cannot silently serve stale
+    /// timings.
+    overhead_bits: u64,
     /// `exec_time(..) * kernel_overhead_factor`, per kernel.
     exec_scaled: Vec<SimDuration>,
     /// `tc_activity(..)`, per kernel.
@@ -120,6 +132,7 @@ impl KernelTimeCache {
         let mut cache = KernelTimeCache {
             engine_id: engine as *const Engine as usize,
             step,
+            overhead_bits: overhead.to_bits(),
             exec_scaled: Vec::with_capacity(kernels.len()),
             tc: Vec::with_capacity(kernels.len()),
             sm: Vec::with_capacity(kernels.len()),
@@ -161,10 +174,11 @@ impl KernelTimeCaches {
         overhead: f64,
     ) -> &KernelTimeCache {
         let id = engine as *const Engine as usize;
+        let overhead_bits = overhead.to_bits();
         if let Some(i) = self
             .entries
             .iter()
-            .position(|c| c.engine_id == id && c.step == step)
+            .position(|c| c.engine_id == id && c.step == step && c.overhead_bits == overhead_bits)
         {
             self.entries.swap(0, i);
         } else {
@@ -205,6 +219,28 @@ pub(crate) struct GpuEngine {
     /// Memoised kernel timings per `(engine, step)` (see
     /// [`KernelTimeCaches`]).
     ktime: KernelTimeCaches,
+    /// The scheduling discipline deciding dispatch order and preemption.
+    policy: Box<dyn GpuSchedPolicy>,
+    /// Whether the policy can ever preempt — hoisted so the enqueue hot
+    /// path skips the decision machinery entirely for the common
+    /// non-preemptive disciplines.
+    can_preempt: bool,
+    /// O(1) occupancy index over the per-process ready queues, kept in
+    /// lockstep with `Proc::ready` by the enqueue/pop/clear helpers.
+    ready_set: ReadySet,
+    /// Per-process scheduling priorities (from the config; static).
+    priorities: Vec<u8>,
+    /// Per-process SM share weights (from the config; static).
+    sm_shares: Vec<f64>,
+    /// Dispatch generation: bumped on preemption so the cancelled
+    /// kernel's already-scheduled `Done` event is dropped on delivery.
+    gen: u32,
+    /// Stall charged ahead of the next dispatch (set by a preemption,
+    /// consumed — and reset — by `try_dispatch`; zero on every
+    /// non-preemptive path).
+    pending_penalty: SimDuration,
+    /// Preemption events recorded inside the measured window.
+    pub(crate) preemptions: PreemptionColumns,
 }
 
 impl Component for GpuEngine {
@@ -214,15 +250,37 @@ impl Component for GpuEngine {
     #[inline]
     fn handle(&mut self, ev: GpuEvent, now: SimTime, ctx: &mut Ctx<'_>, sched: &mut CpuSched) {
         match ev {
-            GpuEvent::Done => self.on_gpu_done(now, ctx, sched),
+            GpuEvent::Done { gen } => self.on_gpu_done(gen, now, ctx, sched),
         }
     }
 }
 
+/// Builds a [`PolicyView`] over `$gpu`'s disjoint fields at `$now`, so a
+/// `&mut` policy call can coexist with the immutable view borrows.
+macro_rules! policy_view {
+    ($gpu:expr, $now:expr, $ctx:expr) => {
+        PolicyView {
+            now: $now,
+            affinity: $gpu.affinity,
+            slice_start: $gpu.slice_start,
+            timeslice: $ctx.config.device.gpu.timeslice,
+            gpu_sharing: $ctx.config.gpu_sharing,
+            ready: &$gpu.ready_set,
+            priorities: &$gpu.priorities,
+            sm_shares: &$gpu.sm_shares,
+        }
+    };
+}
+
 impl GpuEngine {
     /// Creates the GPU engine at the top frequency step with pre-sized
-    /// trace storage.
-    pub(crate) fn new(top_step: usize, trace_rng: SimRng, est_events: usize) -> Self {
+    /// trace storage, running the policy named by `config.gpu_policy`.
+    pub(crate) fn new(
+        config: &SimConfig,
+        top_step: usize,
+        trace_rng: SimRng,
+        est_events: usize,
+    ) -> Self {
         GpuEngine {
             current: None,
             affinity: None,
@@ -234,7 +292,52 @@ impl GpuEngine {
             kernel_events: KernelEventColumns::with_capacity(est_events),
             trace_rng,
             ktime: KernelTimeCaches::default(),
+            policy: make_policy(&config.gpu_policy),
+            can_preempt: matches!(config.gpu_policy, GpuPolicy::Priority { .. }),
+            ready_set: ReadySet::new(config.processes.len()),
+            priorities: config.processes.iter().map(|p| p.priority).collect(),
+            sm_shares: config.processes.iter().map(|p| p.sm_share).collect(),
+            gen: 0,
+            pending_penalty: SimDuration::ZERO,
+            preemptions: PreemptionColumns::default(),
         }
+    }
+
+    /// Enqueues a newly launched kernel at the back of `pid`'s ready
+    /// queue — the single GPU-queue enqueue point, keeping the occupancy
+    /// bitset and the policy's arrival log in lockstep, and giving a
+    /// preemptive policy its chance to cancel the in-flight kernel.
+    pub(crate) fn enqueue_ready(
+        &mut self,
+        pid: usize,
+        kernel_index: usize,
+        now: SimTime,
+        ctx: &mut Ctx<'_>,
+    ) {
+        ctx.procs[pid].ready.push_back(kernel_index);
+        self.ready_set.set(pid);
+        self.policy.on_ready(pid);
+        if self.can_preempt && self.current.is_some() {
+            self.maybe_preempt(now, ctx);
+        }
+    }
+
+    /// Wipes `pid`'s ready queue (OOM kill, replica restart), keeping
+    /// the occupancy bitset and the policy's bookkeeping consistent.
+    pub(crate) fn clear_ready(&mut self, pid: usize, ctx: &mut Ctx<'_>) {
+        ctx.procs[pid].ready.clear();
+        self.ready_set.unset(pid);
+        self.policy.on_cleared(pid);
+    }
+
+    /// Pops the head of `pid`'s ready queue (which the policy guaranteed
+    /// non-empty), clearing its occupancy bit on the empty transition.
+    fn pop_ready(&mut self, pid: usize, ctx: &mut Ctx<'_>) -> usize {
+        let kernel_index = ctx.procs[pid].ready.pop_front().expect("picked non-empty");
+        if ctx.procs[pid].ready.is_empty() {
+            self.ready_set.unset(pid);
+        }
+        kernel_index
     }
 
     /// Charges host CPU busy time into both accounting windows.
@@ -267,29 +370,34 @@ impl GpuEngine {
 
     /// Dispatches the next ready kernel if the GPU is idle.
     pub(crate) fn try_dispatch(&mut self, now: SimTime, ctx: &mut Ctx<'_>) {
-        if self.current.is_some() {
+        if self.current.is_some() || self.ready_set.is_empty() {
             return;
         }
-        let Some(pid) = self.pick_process(now, ctx) else {
+        // One immutable view serves all three policy questions; the pick
+        // guarantees the chosen queue is non-empty. The hide fraction can
+        // be read before the pop because a process is excluded from its
+        // own contention scan either way.
+        let view = policy_view!(self, now, ctx);
+        let Some(pid) = self.policy.pick(&view) else {
             return;
         };
-        let mut start = now;
-        let mps_overlap = match ctx.config.gpu_sharing {
-            GpuSharing::TimeMultiplexed => None,
-            GpuSharing::SpatialMps { overlap_efficiency } => {
-                Some(overlap_efficiency.clamp(0.0, 0.6))
-            }
-        };
+        let spatial = self.policy.spatial(&view);
+        let hide = self.policy.hide_fraction(pid, &view);
+        // A preemption charges its context-discard stall to whatever runs
+        // next; zero on every non-preemptive path.
+        let penalty = self.pending_penalty;
+        self.pending_penalty = SimDuration::ZERO;
+        let mut start = now + penalty;
         if self.affinity != Some(pid) {
             // No MPS on Jetson: crossing processes costs a GPU context
-            // switch. Under the MPS ablation the switch is free.
-            if self.affinity.is_some() && mps_overlap.is_none() {
+            // switch. Under spatial sharing the switch is free.
+            if self.affinity.is_some() && !spatial {
                 start += ctx.config.device.gpu.ctx_switch;
             }
             self.affinity = Some(pid);
             self.slice_start = start;
         }
-        let kernel_index = ctx.procs[pid].ready.pop_front().expect("picked non-empty");
+        let kernel_index = self.pop_ready(pid, ctx);
         // Disjoint-field borrows keep the engine referenced in place — no
         // per-dispatch `Arc` refcount traffic on the hot path.
         let engine = &ctx.procs[pid].engine;
@@ -299,14 +407,10 @@ impl GpuEngine {
         let times = self.ktime.get(engine, gpu_arch, self.freq_step, overhead);
         let (exec_base, tc) = (times.exec_scaled[kernel_index], times.tc[kernel_index]);
         let mut exec = exec_base.mul_f64(ctx.rng.uniform(0.95, 1.05));
-        if let Some(overlap) = mps_overlap {
+        if let Some(hidden) = hide {
             // Spatial sharing packs this kernel against other processes'
             // queued work, hiding part of its span.
-            let others_waiting =
-                (0..ctx.procs.len()).any(|p| p != pid && !ctx.procs[p].ready.is_empty());
-            if others_waiting {
-                exec = exec.mul_f64(1.0 - overlap);
-            }
+            exec = exec.mul_f64(1.0 - hidden);
         }
         let end = start + exec;
         let ec_seq = ctx.procs[pid].ec_seq;
@@ -339,32 +443,59 @@ impl GpuEngine {
             bytes_per_sec,
             accounted_until: start,
         });
-        ctx.queue.schedule(end, Event::Gpu(GpuEvent::Done));
+        ctx.queue
+            .schedule(end, Event::Gpu(GpuEvent::Done { gen: self.gen }));
     }
 
-    /// Chooses which process's queue the GPU serves next: stay with the
-    /// current one until it empties or its timeslice expires, then
-    /// round-robin.
-    fn pick_process(&self, now: SimTime, ctx: &Ctx<'_>) -> Option<usize> {
-        let procs = &ctx.procs;
-        let n = procs.len();
-        if let Some(cur) = self.affinity {
-            let slice_ok = now.saturating_since(self.slice_start) < ctx.config.device.gpu.timeslice;
-            let others_waiting = (0..n).any(|p| p != cur && !procs[p].ready.is_empty());
-            if !procs[cur].ready.is_empty() && (slice_ok || !others_waiting) {
-                return Some(cur);
-            }
-            // Round-robin from the next process.
-            for offset in 1..=n {
-                let pid = (cur + offset) % n;
-                if !procs[pid].ready.is_empty() {
-                    return Some(pid);
-                }
-            }
-            None
-        } else {
-            (0..n).find(|&pid| !procs[pid].ready.is_empty())
+    /// Asks a preemptive policy whether the freshly enqueued work should
+    /// cancel the in-flight kernel, and performs the cancellation: the
+    /// partial occupancy is accrued and charged to the victim's EC (the
+    /// work is wasted — the kernel re-runs from scratch), the kernel
+    /// returns to the *front* of its owner's queue, the scheduled `Done`
+    /// is invalidated by bumping the generation, and the policy's
+    /// penalty stalls the next dispatch.
+    fn maybe_preempt(&mut self, now: SimTime, ctx: &mut Ctx<'_>) {
+        let Some(snapshot) = self.current else {
+            return;
+        };
+        if snapshot.end <= now {
+            // Completing at this very instant: let the Done land.
+            return;
         }
+        let view = policy_view!(self, now, ctx);
+        let Some(by_pid) = self.policy.preempt(snapshot.pid, &view) else {
+            return;
+        };
+        self.accrue_gpu(now);
+        let inflight = self.current.take().expect("checked in-flight above");
+        // Occupancy until the cut is real GPU time: the victim's EC and
+        // the measured busy counter both absorb it.
+        // `start` can sit *after* `now`: dispatch pushes it forward by a
+        // context switch or a preemption penalty, and a cut can land in
+        // that gap. Saturating spans charge zero occupancy then, and the
+        // trace clamps `preempted_at` so it never precedes `start`.
+        ctx.procs[inflight.pid].cur_gpu += now.saturating_since(inflight.start);
+        if now > ctx.warmup_end {
+            let clipped = now.saturating_since(ctx.warmup_end.max_of(inflight.start));
+            self.gpu_busy_measured += clipped;
+            self.preemptions.push(
+                inflight.pid,
+                inflight.ec_seq,
+                inflight.kernel_index,
+                inflight.start,
+                now.max_of(inflight.start),
+                by_pid,
+            );
+        }
+        // The cancelled kernel is still the next thing its stream must
+        // run: back to the head of the queue, not the tail.
+        ctx.procs[inflight.pid]
+            .ready
+            .push_front(inflight.kernel_index);
+        self.ready_set.set(inflight.pid);
+        self.policy.on_requeue_front(inflight.pid);
+        self.gen = self.gen.wrapping_add(1);
+        self.pending_penalty = self.policy.preempt_penalty();
     }
 
     /// Accrues the in-flight kernel's power/utilisation contribution up
@@ -399,8 +530,13 @@ impl GpuEngine {
     }
 
     /// The GPU finished a kernel: emit its event, wake the owner if this
-    /// completed an EC, and dispatch the next kernel.
-    fn on_gpu_done(&mut self, now: SimTime, ctx: &mut Ctx<'_>, sched: &mut CpuSched) {
+    /// completed an EC, and dispatch the next kernel. Completions from a
+    /// generation older than the engine's were preempted after their
+    /// `Done` was scheduled and are dropped here.
+    fn on_gpu_done(&mut self, gen: u32, now: SimTime, ctx: &mut Ctx<'_>, sched: &mut CpuSched) {
+        if gen != self.gen {
+            return;
+        }
         self.accrue_gpu(now);
         let inflight = self.current.take().expect("GpuDone without kernel");
         let exec = inflight.end.since(inflight.start);

@@ -800,9 +800,9 @@ impl Ingress {
             return;
         }
         ctx.alive[pid] = true;
+        deps.gpu.clear_ready(pid, ctx);
         let proc = &mut ctx.procs[pid];
         proc.next_launch = 0;
-        proc.ready.clear();
         proc.cur_launch = jetsim_des::SimDuration::ZERO;
         proc.cur_blocking = jetsim_des::SimDuration::ZERO;
         proc.cur_gpu = jetsim_des::SimDuration::ZERO;

@@ -151,7 +151,7 @@ impl MemoryGuard {
                 self.spike_bytes += bytes;
                 self.fault_events
                     .push(now, FaultKind::MemorySpikeStart { bytes });
-                self.enforce_memory(now, ctx, sched, ingress);
+                self.enforce_memory(now, ctx, sched, gpu, ingress);
             }
             FaultAction::SpikeEnd { bytes } => {
                 self.spike_bytes = self.spike_bytes.saturating_sub(bytes);
@@ -219,6 +219,7 @@ impl MemoryGuard {
         now: SimTime,
         ctx: &mut Ctx<'_>,
         sched: &mut CpuSched,
+        gpu: &mut GpuEngine,
         ingress: &mut Ingress,
     ) {
         if ctx.config.faults.oom != OomPolicy::KillLargest {
@@ -247,7 +248,7 @@ impl MemoryGuard {
             let Some((freed, pid)) = victim else {
                 break; // everyone is dead; the spike alone overcommits
             };
-            self.kill_process(pid, freed, now, ctx, sched, ingress);
+            self.kill_process(pid, freed, now, ctx, sched, gpu, ingress);
         }
     }
 
@@ -284,6 +285,7 @@ impl MemoryGuard {
     /// it become stale, and (in run-queue mode) its core is released.
     /// Its in-flight GPU kernel, if any, completes — the driver does not
     /// revoke work already submitted to the hardware.
+    #[allow(clippy::too_many_arguments)]
     fn kill_process(
         &mut self,
         pid: usize,
@@ -291,11 +293,12 @@ impl MemoryGuard {
         now: SimTime,
         ctx: &mut Ctx<'_>,
         sched: &mut CpuSched,
+        gpu: &mut GpuEngine,
         ingress: &mut Ingress,
     ) {
         ctx.alive[pid] = false;
         ctx.killed_at[pid] = Some(now);
-        ctx.procs[pid].ready.clear();
+        gpu.clear_ready(pid, ctx);
         if ctx.config.cpu_model == crate::config::CpuModel::RunQueue {
             sched.rq_evict(pid, now, ctx);
         }

@@ -25,6 +25,7 @@
 
 pub(crate) mod governor;
 pub(crate) mod gpu;
+pub(crate) mod gpu_policy;
 pub(crate) mod ingress;
 pub(crate) mod memory_guard;
 pub(crate) mod sampler;

@@ -446,7 +446,7 @@ impl CpuSched {
             return; // the launch call died with its process
         }
         let kernel_index = ctx.procs[pid].next_launch;
-        ctx.procs[pid].ready.push_back(kernel_index);
+        gpu.enqueue_ready(pid, kernel_index, now, ctx);
         ctx.procs[pid].next_launch += 1;
         gpu.try_dispatch(now, ctx);
 

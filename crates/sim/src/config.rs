@@ -31,9 +31,141 @@ pub enum GpuSharing {
     /// kernels).
     SpatialMps {
         /// Fraction of a kernel's time hidden by co-scheduling when other
-        /// processes have work queued (clamped to `[0, 0.6]`).
+        /// processes have work queued. Must lie in `[0, 0.6]`;
+        /// [`SimConfigBuilder::build`] rejects out-of-range values.
         overlap_efficiency: f64,
     },
+}
+
+/// Which scheduling discipline the GPU engine runs.
+///
+/// The discipline decides *which process's kernel queue* the GPU serves
+/// at each dispatch and whether in-flight kernels can be cancelled; the
+/// kernel-timing physics is shared by all of them. The default
+/// reproduces Jetson's observed behaviour and is pinned byte-identical
+/// by the golden-trace parity suite.
+///
+/// Parse from the CLI grammar with [`str::parse`]:
+/// `rr | fifo | priority[:PENALTY_US] | mps[:OVERLAP]`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum GpuPolicy {
+    /// Timeslice-affinity round-robin — the measured Jetson behaviour
+    /// and the default.
+    #[default]
+    TimesliceRR,
+    /// Global kernel-arrival order, no timeslice affinity.
+    Fifo,
+    /// Strict per-process priority levels with preemption: a
+    /// higher-priority arrival cancels the in-flight kernel, which is
+    /// re-queued and re-run from scratch after the penalty stall.
+    Priority {
+        /// GPU stall charged before the dispatch that follows a
+        /// preemption (context save/discard).
+        preempt_penalty: SimDuration,
+    },
+    /// MPS-style fractional spatial sharing with per-process SM shares
+    /// (set via [`SimConfigBuilder::process_sm_share`]); generalises
+    /// [`GpuSharing::SpatialMps`].
+    FractionalMps {
+        /// Peak fraction of a kernel's time hidden by co-scheduling,
+        /// scaled by the contending processes' share mass. Must lie in
+        /// `[0, 0.6]` like [`GpuSharing::SpatialMps`].
+        overlap_efficiency: f64,
+    },
+}
+
+impl GpuPolicy {
+    /// Default preemption penalty for [`GpuPolicy::Priority`]: roughly a
+    /// kernel-level context save/discard on an edge GPU.
+    pub const DEFAULT_PREEMPT_PENALTY: SimDuration = SimDuration::from_micros(20);
+
+    /// Default overlap efficiency for [`GpuPolicy::FractionalMps`],
+    /// matching the published MPS gains used by `GpuSharing::SpatialMps`
+    /// ablations.
+    pub const DEFAULT_MPS_OVERLAP: f64 = 0.3;
+
+    /// Short stable name for sweep axes and result tables (`rr`,
+    /// `fifo`, `priority`, `mps`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            GpuPolicy::TimesliceRR => "rr",
+            GpuPolicy::Fifo => "fifo",
+            GpuPolicy::Priority { .. } => "priority",
+            GpuPolicy::FractionalMps { .. } => "mps",
+        }
+    }
+}
+
+impl std::fmt::Display for GpuPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GpuPolicy::TimesliceRR => f.write_str("rr"),
+            GpuPolicy::Fifo => f.write_str("fifo"),
+            GpuPolicy::Priority { preempt_penalty } => {
+                write!(f, "priority:{}", preempt_penalty.as_micros_f64())
+            }
+            GpuPolicy::FractionalMps { overlap_efficiency } => {
+                write!(f, "mps:{overlap_efficiency}")
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for GpuPolicy {
+    type Err = String;
+
+    /// Parses the `--gpu-policy` grammar:
+    /// `rr | fifo | priority[:PENALTY_US] | mps[:OVERLAP]` — the
+    /// priority penalty is in microseconds, the MPS overlap a fraction
+    /// in `[0, 0.6]`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (head, arg) = match s.split_once(':') {
+            Some((h, a)) => (h, Some(a)),
+            None => (s, None),
+        };
+        match (head, arg) {
+            ("rr" | "timeslice", None) => Ok(GpuPolicy::TimesliceRR),
+            ("fifo", None) => Ok(GpuPolicy::Fifo),
+            ("priority", arg) => {
+                let micros = match arg {
+                    None => return Ok(GpuPolicy::Priority {
+                        preempt_penalty: Self::DEFAULT_PREEMPT_PENALTY,
+                    }),
+                    Some(a) => a.parse::<f64>().map_err(|_| {
+                        format!("invalid priority preemption penalty `{a}` (want microseconds, e.g. `priority:20`)")
+                    })?,
+                };
+                if !micros.is_finite() || micros < 0.0 {
+                    return Err(format!(
+                        "priority preemption penalty must be a non-negative number of \
+                         microseconds, got `{micros}`"
+                    ));
+                }
+                Ok(GpuPolicy::Priority {
+                    preempt_penalty: SimDuration::from_nanos((micros * 1_000.0).round() as u64),
+                })
+            }
+            ("mps", arg) => {
+                let oe = match arg {
+                    None => Self::DEFAULT_MPS_OVERLAP,
+                    Some(a) => a.parse::<f64>().map_err(|_| {
+                        format!("invalid MPS overlap efficiency `{a}` (want a fraction, e.g. `mps:0.3`)")
+                    })?,
+                };
+                if !(0.0..=0.6).contains(&oe) {
+                    return Err(format!(
+                        "MPS overlap efficiency must lie in [0, 0.6], got `{oe}`"
+                    ));
+                }
+                Ok(GpuPolicy::FractionalMps {
+                    overlap_efficiency: oe,
+                })
+            }
+            _ => Err(format!(
+                "unknown GPU policy `{s}` (want rr | fifo | priority[:PENALTY_US] | mps[:OVERLAP])"
+            )),
+        }
+    }
 }
 
 /// How the host-side CPU contention of §7 is modelled.
@@ -137,6 +269,12 @@ pub struct ProcessConfig {
     /// weights, paying only per-context I/O and workspace. Defaults to a
     /// unique group per entry (separate processes).
     pub memory_group: usize,
+    /// GPU scheduling priority (higher wins). Only
+    /// [`GpuPolicy::Priority`] consults it; default 0.
+    pub priority: u8,
+    /// SM share weight under [`GpuPolicy::FractionalMps`] (relative,
+    /// not normalised). Must be positive and finite; default 1.0.
+    pub sm_share: f64,
 }
 
 /// Full configuration of one simulation run.
@@ -161,6 +299,8 @@ pub struct SimConfig {
     pub sample_period: SimDuration,
     /// GPU sharing discipline across processes.
     pub gpu_sharing: GpuSharing,
+    /// GPU scheduling policy (dispatch order, preemption, packing).
+    pub gpu_policy: GpuPolicy,
     /// CPU contention model.
     pub cpu_model: CpuModel,
     /// Whether to retain per-kernel events (disable for long thermal
@@ -193,6 +333,7 @@ impl SimConfig {
             profiler: ProfilerMode::Lightweight,
             sample_period: SimDuration::from_millis(200),
             gpu_sharing: GpuSharing::TimeMultiplexed,
+            gpu_policy: GpuPolicy::TimesliceRR,
             cpu_model: CpuModel::Stochastic,
             record_kernel_events: true,
             faults: FaultPlan::default(),
@@ -236,6 +377,46 @@ impl SimConfig {
             .sum()
     }
 
+    /// Validates the dynamic-model parameters that used to be silently
+    /// clamped or ignored at dispatch time: the MPS overlap efficiency
+    /// (either sharing knob or policy) must lie in `[0, 0.6]` and every
+    /// SM share must be positive and finite. Called from
+    /// [`SimConfigBuilder::build`] and re-checked by
+    /// [`crate::Simulation::new`] for hand-assembled configs.
+    pub(crate) fn validate_dynamics(&self) -> Result<(), SimError> {
+        if let GpuSharing::SpatialMps { overlap_efficiency } = self.gpu_sharing {
+            if !(0.0..=0.6).contains(&overlap_efficiency) {
+                return Err(SimError::InvalidConfig {
+                    reason: format!(
+                        "SpatialMps overlap_efficiency must lie in [0, 0.6], got \
+                         {overlap_efficiency}"
+                    ),
+                });
+            }
+        }
+        if let GpuPolicy::FractionalMps { overlap_efficiency } = self.gpu_policy {
+            if !(0.0..=0.6).contains(&overlap_efficiency) {
+                return Err(SimError::InvalidConfig {
+                    reason: format!(
+                        "FractionalMps overlap_efficiency must lie in [0, 0.6], got \
+                         {overlap_efficiency}"
+                    ),
+                });
+            }
+        }
+        for p in &self.processes {
+            if !(p.sm_share.is_finite() && p.sm_share > 0.0) {
+                return Err(SimError::InvalidConfig {
+                    reason: format!(
+                        "process `{}` has sm_share {}, want a positive finite weight",
+                        p.name, p.sm_share
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
     fn shared_bytes(&self, per_group_host: u64) -> u64 {
         use std::collections::HashSet;
         let mut seen: HashSet<usize> = HashSet::new();
@@ -267,6 +448,7 @@ pub struct SimConfigBuilder {
     profiler: ProfilerMode,
     sample_period: SimDuration,
     gpu_sharing: GpuSharing,
+    gpu_policy: GpuPolicy,
     cpu_model: CpuModel,
     record_kernel_events: bool,
     faults: FaultPlan,
@@ -284,6 +466,8 @@ impl SimConfigBuilder {
             engine,
             arrivals: ArrivalModel::Saturated,
             memory_group: group,
+            priority: 0,
+            sm_share: 1.0,
         });
         self
     }
@@ -299,6 +483,8 @@ impl SimConfigBuilder {
             engine,
             arrivals: ArrivalModel::Saturated,
             memory_group: group,
+            priority: 0,
+            sm_share: 1.0,
         });
         self
     }
@@ -325,6 +511,8 @@ impl SimConfigBuilder {
             engine,
             arrivals,
             memory_group: group,
+            priority: 0,
+            sm_share: 1.0,
         });
         self
     }
@@ -341,6 +529,8 @@ impl SimConfigBuilder {
                 engine: Arc::clone(engine),
                 arrivals: ArrivalModel::Saturated,
                 memory_group: group,
+                priority: 0,
+                sm_share: 1.0,
             });
         }
         self
@@ -428,6 +618,43 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Sets the GPU scheduling policy. [`GpuPolicy::TimesliceRR`] (the
+    /// default) is byte-identical to the pre-policy simulator.
+    pub fn gpu_policy(mut self, policy: GpuPolicy) -> Self {
+        self.gpu_policy = policy;
+        self
+    }
+
+    /// Sets the GPU scheduling priority of the *most recently added*
+    /// process (higher wins under [`GpuPolicy::Priority`]; other
+    /// policies ignore it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no process has been added yet.
+    pub fn process_priority(mut self, priority: u8) -> Self {
+        self.processes
+            .last_mut()
+            .expect("process_priority needs a process: call add_engine* first")
+            .priority = priority;
+        self
+    }
+
+    /// Sets the SM share weight of the *most recently added* process
+    /// (consulted by [`GpuPolicy::FractionalMps`]; other policies ignore
+    /// it). Shares are relative weights, not normalised fractions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no process has been added yet.
+    pub fn process_sm_share(mut self, share: f64) -> Self {
+        self.processes
+            .last_mut()
+            .expect("process_sm_share needs a process: call add_engine* first")
+            .sm_share = share;
+        self
+    }
+
     /// Sets the CPU contention model.
     pub fn cpu_model(mut self, model: CpuModel) -> Self {
         self.cpu_model = model;
@@ -469,8 +696,11 @@ impl SimConfigBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::NoProcesses`] for an empty process list and
-    /// [`SimError::OutOfMemory`] when the combined footprint (plus the
+    /// Returns [`SimError::NoProcesses`] for an empty process list,
+    /// [`SimError::InvalidConfig`] for out-of-range dynamics parameters
+    /// (MPS overlap efficiency outside `[0, 0.6]`, non-positive SM
+    /// shares) and [`SimError::OutOfMemory`] when the combined footprint
+    /// (plus the
     /// fault plan's peak concurrent memory-spike bytes) exceeds the
     /// board's usable RAM — the configuration that reboots a real
     /// Jetson. Under [`OomPolicy::KillLargest`] the memory check is
@@ -483,21 +713,37 @@ impl SimConfigBuilder {
         if let Some(plan) = &self.serve {
             Self::validate_serve(plan, self.processes.len())?;
         }
+        let mut processes = self.processes;
+        // Serve-group ingress tags its members: every process of a group
+        // inherits the group's GPU priority and SM share, so request
+        // streams compete under the configured policy. The defaults
+        // (priority 0, share 1.0) match ProcessConfig's, leaving plans
+        // that set neither byte-identical.
+        if let Some(plan) = &self.serve {
+            for group in &plan.groups {
+                for &pid in &group.members {
+                    processes[pid].priority = group.priority;
+                    processes[pid].sm_share = group.sm_share;
+                }
+            }
+        }
         let config = SimConfig {
             device: self.device,
-            processes: self.processes,
+            processes,
             warmup: self.warmup,
             measure: self.measure,
             seed: self.seed,
             profiler: self.profiler,
             sample_period: self.sample_period,
             gpu_sharing: self.gpu_sharing,
+            gpu_policy: self.gpu_policy,
             cpu_model: self.cpu_model,
             record_kernel_events: self.record_kernel_events,
             faults: self.faults,
             event_budget: self.event_budget,
             serve: self.serve,
         };
+        config.validate_dynamics()?;
         if config.faults.oom == OomPolicy::Strict {
             let footprint = config
                 .total_footprint_bytes()
@@ -728,6 +974,124 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(config.total_time(), SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn gpu_policy_parses_cli_grammar() {
+        assert_eq!("rr".parse::<GpuPolicy>(), Ok(GpuPolicy::TimesliceRR));
+        assert_eq!("fifo".parse::<GpuPolicy>(), Ok(GpuPolicy::Fifo));
+        assert_eq!(
+            "priority".parse::<GpuPolicy>(),
+            Ok(GpuPolicy::Priority {
+                preempt_penalty: GpuPolicy::DEFAULT_PREEMPT_PENALTY
+            })
+        );
+        assert_eq!(
+            "priority:50".parse::<GpuPolicy>(),
+            Ok(GpuPolicy::Priority {
+                preempt_penalty: SimDuration::from_micros(50)
+            })
+        );
+        assert_eq!(
+            "mps".parse::<GpuPolicy>(),
+            Ok(GpuPolicy::FractionalMps {
+                overlap_efficiency: GpuPolicy::DEFAULT_MPS_OVERLAP
+            })
+        );
+        assert_eq!(
+            "mps:0.5".parse::<GpuPolicy>(),
+            Ok(GpuPolicy::FractionalMps {
+                overlap_efficiency: 0.5
+            })
+        );
+        for bad in ["nope", "mps:0.9", "mps:x", "priority:-3", "rr:1"] {
+            assert!(bad.parse::<GpuPolicy>().is_err(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    fn gpu_policy_display_round_trips() {
+        for p in [
+            GpuPolicy::TimesliceRR,
+            GpuPolicy::Fifo,
+            GpuPolicy::Priority {
+                preempt_penalty: SimDuration::from_micros(35),
+            },
+            GpuPolicy::FractionalMps {
+                overlap_efficiency: 0.25,
+            },
+        ] {
+            assert_eq!(p.to_string().parse::<GpuPolicy>(), Ok(p));
+        }
+    }
+
+    #[test]
+    fn out_of_range_overlap_rejected_at_build() {
+        // Previously clamped silently at every dispatch; now a build error.
+        for oe in [-0.1, 0.61, f64::NAN] {
+            let err = SimConfig::builder(presets::orin_nano())
+                .add_model(&zoo::resnet50(), Precision::Int8, 1)
+                .unwrap()
+                .gpu_sharing(GpuSharing::SpatialMps {
+                    overlap_efficiency: oe,
+                })
+                .build()
+                .unwrap_err();
+            assert!(matches!(err, SimError::InvalidConfig { .. }), "{err:?}");
+        }
+        let err = SimConfig::builder(presets::orin_nano())
+            .add_model(&zoo::resnet50(), Precision::Int8, 1)
+            .unwrap()
+            .gpu_policy(GpuPolicy::FractionalMps {
+                overlap_efficiency: 0.7,
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn in_range_overlap_accepted() {
+        for oe in [0.0, 0.3, 0.6] {
+            let ok = SimConfig::builder(presets::orin_nano())
+                .add_model(&zoo::resnet50(), Precision::Int8, 1)
+                .unwrap()
+                .gpu_sharing(GpuSharing::SpatialMps {
+                    overlap_efficiency: oe,
+                })
+                .build();
+            assert!(ok.is_ok(), "{ok:?}");
+        }
+    }
+
+    #[test]
+    fn bad_sm_share_rejected_at_build() {
+        for share in [0.0, -1.0, f64::INFINITY, f64::NAN] {
+            let err = SimConfig::builder(presets::orin_nano())
+                .add_model(&zoo::resnet50(), Precision::Int8, 1)
+                .unwrap()
+                .process_sm_share(share)
+                .build()
+                .unwrap_err();
+            assert!(matches!(err, SimError::InvalidConfig { .. }), "{err:?}");
+        }
+    }
+
+    #[test]
+    fn priority_and_share_attach_to_last_process() {
+        let config = SimConfig::builder(presets::orin_nano())
+            .add_model(&zoo::resnet50(), Precision::Int8, 1)
+            .unwrap()
+            .process_priority(3)
+            .process_sm_share(2.5)
+            .add_model(&zoo::yolov8n(), Precision::Int8, 1)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(config.processes[0].priority, 3);
+        assert_eq!(config.processes[0].sm_share, 2.5);
+        assert_eq!(config.processes[1].priority, 0);
+        assert_eq!(config.processes[1].sm_share, 1.0);
     }
 
     #[test]

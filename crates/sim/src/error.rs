@@ -26,6 +26,14 @@ pub enum SimError {
         /// Which rule the plan broke.
         reason: String,
     },
+    /// A configuration parameter is out of its valid range (e.g. an MPS
+    /// overlap efficiency outside `[0, 0.6]`, or a non-positive SM
+    /// share). Raised at build time so bad values fail loudly instead of
+    /// being silently clamped in the dispatch hot path.
+    InvalidConfig {
+        /// Which parameter is invalid and why.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -44,6 +52,9 @@ impl fmt::Display for SimError {
             ),
             SimError::InvalidServePlan { reason } => {
                 write!(f, "invalid serve plan: {reason}")
+            }
+            SimError::InvalidConfig { reason } => {
+                write!(f, "invalid configuration: {reason}")
             }
         }
     }

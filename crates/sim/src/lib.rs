@@ -52,7 +52,8 @@ pub(crate) mod soa;
 pub mod trace;
 
 pub use config::{
-    ArrivalModel, CpuModel, GpuSharing, ProcessConfig, ProfilerMode, SimConfig, SimConfigBuilder,
+    ArrivalModel, CpuModel, GpuPolicy, GpuSharing, ProcessConfig, ProfilerMode, SimConfig,
+    SimConfigBuilder,
 };
 pub use error::SimError;
 pub use faults::{FaultEvent, FaultKind, FaultPlan, MemorySpike, OomPolicy, ThrottleLock};
@@ -62,4 +63,4 @@ pub use serving::{
     ServeEventKind, ServeGroup, ServePlan,
 };
 pub use simulation::Simulation;
-pub use trace::{EcRecord, KernelEvent, PowerSample, ProcessStats, RunTrace};
+pub use trace::{EcRecord, KernelEvent, KernelPreempted, PowerSample, ProcessStats, RunTrace};

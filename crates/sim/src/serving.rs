@@ -366,6 +366,14 @@ pub struct ServeGroup {
     pub breaker: Option<BreakerPolicy>,
     /// Replica-recovery discipline for killed members.
     pub recovery: Option<RecoveryPolicy>,
+    /// GPU scheduling priority stamped onto every member process at
+    /// build time (higher wins under [`crate::GpuPolicy::Priority`];
+    /// other policies ignore it). Default 0.
+    pub priority: u8,
+    /// Fractional SM share stamped onto every member process (weight
+    /// under [`crate::GpuPolicy::FractionalMps`]; other policies ignore
+    /// it). Default 1.0.
+    pub sm_share: f64,
 }
 
 impl ServeGroup {
@@ -386,6 +394,8 @@ impl ServeGroup {
             hedge: None,
             breaker: None,
             recovery: None,
+            priority: 0,
+            sm_share: 1.0,
         }
     }
 
@@ -447,6 +457,18 @@ impl ServeGroup {
     /// Attaches a replica-recovery policy.
     pub fn recovery(mut self, recovery: RecoveryPolicy) -> Self {
         self.recovery = Some(recovery);
+        self
+    }
+
+    /// Sets the GPU scheduling priority every member inherits.
+    pub fn priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the fractional SM share every member inherits.
+    pub fn sm_share(mut self, share: f64) -> Self {
+        self.sm_share = share;
         self
     }
 }

@@ -49,13 +49,15 @@ impl Simulation {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::NoProcesses`] or [`SimError::OutOfMemory`] for
-    /// invalid deployments (the builder normally catches these already;
-    /// they are re-checked here for hand-assembled configs).
+    /// Returns [`SimError::NoProcesses`], [`SimError::InvalidConfig`] or
+    /// [`SimError::OutOfMemory`] for invalid deployments (the builder
+    /// normally catches these already; they are re-checked here for
+    /// hand-assembled configs).
     pub fn new(config: SimConfig) -> Result<Self, SimError> {
         if config.processes.is_empty() {
             return Err(SimError::NoProcesses);
         }
+        config.validate_dynamics()?;
         if config.faults.oom == OomPolicy::Strict {
             let footprint = config
                 .total_footprint_bytes()
@@ -237,7 +239,7 @@ impl Runner {
             events_processed: 0,
             budget_exceeded: false,
             sched: CpuSched::new(),
-            gpu: GpuEngine::new(top, trace_rng, est_events),
+            gpu: GpuEngine::new(&config, top, trace_rng, est_events),
             governor: Governor::new(ambient_c),
             guard,
             sampler: Sampler::new(),
@@ -255,6 +257,7 @@ impl Runner {
             SimTime::ZERO,
             &mut ctx!(self),
             &mut self.sched,
+            &mut self.gpu,
             &mut self.ingress,
         );
         // Schedule the fault timeline (no-op for an empty plan, so
@@ -433,6 +436,7 @@ impl Runner {
             kernel_names,
             ec_records,
             kernel_events: std::mem::take(&mut self.gpu.kernel_events).into_vec(),
+            preemptions: std::mem::take(&mut self.gpu.preemptions).into_vec(),
             power_samples: std::mem::take(&mut self.sampler.power_samples),
             fault_events: std::mem::take(&mut self.guard.fault_events).into_vec(),
             requests: std::mem::take(&mut self.ingress.requests).into_vec(),

@@ -20,7 +20,7 @@ use jetsim_dnn::Precision;
 
 use crate::faults::{FaultEvent, FaultKind};
 use crate::serving::{DropRecord, RequestRecord, ServeEvent, ServeEventKind};
-use crate::trace::{EcRecord, KernelEvent};
+use crate::trace::{EcRecord, KernelEvent, KernelPreempted};
 
 /// Columnar [`KernelEvent`] storage — the highest-volume trace stream
 /// (one push per GPU kernel).
@@ -177,6 +177,55 @@ impl FaultColumns {
             .zip(self.kind)
             .map(|(time, kind)| FaultEvent { time, kind })
             .collect()
+    }
+}
+
+/// Columnar [`KernelPreempted`] storage (one push per cancelled
+/// kernel; only preemptive policies ever append).
+#[derive(Debug, Default)]
+pub(crate) struct PreemptionColumns {
+    pid: Vec<u32>,
+    ec_seq: Vec<u64>,
+    kernel_index: Vec<u32>,
+    start: Vec<SimTime>,
+    preempted_at: Vec<SimTime>,
+    by_pid: Vec<u32>,
+}
+
+impl PreemptionColumns {
+    /// Records one cancelled kernel.
+    #[inline]
+    pub(crate) fn push(
+        &mut self,
+        pid: usize,
+        ec_seq: u64,
+        kernel_index: usize,
+        start: SimTime,
+        preempted_at: SimTime,
+        by_pid: usize,
+    ) {
+        self.pid.push(pid as u32);
+        self.ec_seq.push(ec_seq);
+        self.kernel_index.push(kernel_index as u32);
+        self.start.push(start);
+        self.preempted_at.push(preempted_at);
+        self.by_pid.push(by_pid as u32);
+    }
+
+    /// Materialises the AoS view consumed by [`crate::RunTrace`].
+    pub(crate) fn into_vec(self) -> Vec<KernelPreempted> {
+        let mut out = Vec::with_capacity(self.pid.len());
+        for i in 0..self.pid.len() {
+            out.push(KernelPreempted {
+                pid: self.pid[i] as usize,
+                ec_seq: self.ec_seq[i],
+                kernel_index: self.kernel_index[i] as usize,
+                start: self.start[i],
+                preempted_at: self.preempted_at[i],
+                by_pid: self.by_pid[i] as usize,
+            });
+        }
+        out
     }
 }
 
@@ -444,6 +493,26 @@ mod tests {
         assert_eq!(v[retry].attempt, 1);
         assert_eq!(v[hedge].hedge_of, Some(retry));
         assert!(v[root].is_root() && !v[retry].is_root() && !v[hedge].is_root());
+    }
+
+    #[test]
+    fn preemption_columns_round_trip() {
+        let mut cols = PreemptionColumns::default();
+        cols.push(
+            2,
+            11,
+            4,
+            SimTime::from_nanos(100),
+            SimTime::from_nanos(160),
+            0,
+        );
+        let v = cols.into_vec();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].pid, 2);
+        assert_eq!(v[0].ec_seq, 11);
+        assert_eq!(v[0].kernel_index, 4);
+        assert_eq!(v[0].by_pid, 0);
+        assert_eq!(v[0].wasted(), SimDuration::from_nanos(60));
     }
 
     #[test]

@@ -40,6 +40,34 @@ impl KernelEvent {
     }
 }
 
+/// One kernel cancelled mid-flight by a preemptive GPU policy
+/// ([`crate::config::GpuPolicy::Priority`]). The partial execution is
+/// wasted work — the kernel re-runs from scratch — so these events are
+/// the audit trail for the occupancy a preemptive discipline burns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelPreempted {
+    /// Index of the process whose kernel was cancelled.
+    pub pid: usize,
+    /// Sequence number of the execution context the kernel belonged to.
+    pub ec_seq: u64,
+    /// Index of the kernel within the engine.
+    pub kernel_index: usize,
+    /// When the cancelled attempt started on the GPU.
+    pub start: SimTime,
+    /// When it was cut short.
+    pub preempted_at: SimTime,
+    /// Index of the higher-priority process whose arrival triggered the
+    /// preemption.
+    pub by_pid: usize,
+}
+
+impl KernelPreempted {
+    /// GPU time the cancelled attempt burned before the cut.
+    pub fn wasted(&self) -> SimDuration {
+        self.preempted_at.since(self.start)
+    }
+}
+
 /// A periodic power/frequency/utilisation sample (`jetson-stats` style).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PowerSample {
@@ -146,6 +174,10 @@ pub struct RunTrace {
     pub ec_records: Vec<Vec<EcRecord>>,
     /// Per-kernel events (measured window only).
     pub kernel_events: Vec<KernelEvent>,
+    /// Kernels cancelled mid-flight by a preemptive GPU policy
+    /// (measured window only). Empty under every non-preemptive policy,
+    /// including the default.
+    pub preemptions: Vec<KernelPreempted>,
     /// Periodic power samples (measured window only).
     pub power_samples: Vec<PowerSample>,
     /// Injected faults and their consequences (whole run, warmup
@@ -313,6 +345,7 @@ mod tests {
             kernel_names: vec![],
             ec_records: vec![],
             kernel_events: vec![],
+            preemptions: vec![],
             power_samples: vec![
                 PowerSample {
                     time: SimTime::ZERO,
