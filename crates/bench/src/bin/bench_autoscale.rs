@@ -1,0 +1,303 @@
+//! Emits `BENCH_autoscale.json`: what the serverless autoscaling layer
+//! buys (and costs) under bursty traffic — goodput and tail latency vs
+//! static provisioning, replica-seconds actually held up, cold/warm
+//! start counts and the cold-start tax — plus the capacity search with
+//! and without the autoscaler.
+//!
+//! ```sh
+//! cargo run --release -p jetsim-bench --bin bench_autoscale            # emit
+//! cargo run --release -p jetsim-bench --bin bench_autoscale -- --check # gate
+//! ```
+//!
+//! Like `bench_resilience`, every gated number is *simulated*: the DES
+//! is bit-deterministic per seed and host-independent, so `--check`
+//! compares the committed baseline (near-)exactly — drift means the
+//! autoscaling machinery changed behaviour, not that the host got
+//! slower. The windows are fixed (no `JETSIM_FAST` shrink) for the same
+//! reason; wall-clock time is recorded for context and never gated.
+
+use std::time::Instant;
+
+use jetsim::platform::Platform;
+use jetsim::prelude::*;
+use jetsim_des::ArrivalProcess;
+use jetsim_serve::{
+    AutoscaleSpec, FaultPlan, OomPolicy, RecoverySpec, ResiliencePolicies, ServeSpec, ServeTenant,
+};
+
+/// Absolute slack for float comparisons in `--check`: wide enough to
+/// absorb the shortest-roundtrip JSON formatting, far below any real
+/// behaviour change.
+const FLOAT_TOLERANCE: f64 = 1e-9;
+
+const WARMUP_MS: u64 = 300;
+const MEASURE_MS: u64 = 3_000;
+
+/// The provisioning policies under comparison. `None` = static at
+/// `replicas`; `Some(floor)` autoscales between `floor` and `replicas`.
+const POLICIES: [(&str, Option<u32>, u32); 4] = [
+    ("static_min", None, 1),
+    ("static_max", None, 3),
+    ("autoscale", Some(1), 3),
+    ("scale_to_zero", Some(0), 3),
+];
+
+/// One mobilenet_v2 fp16 b1 tenant (launch-bound: replicas genuinely
+/// add capacity, ~210 qps each up to 3) under calm/burst MMPP traffic.
+fn tenant(autoscale: Option<u32>, replicas: u32) -> ServeTenant {
+    let mut tenant = ServeTenant::new(
+        Tenant::new(zoo::mobilenet_v2(), Precision::Fp16, 1).count(replicas),
+        ArrivalProcess::mmpp(
+            50.0,
+            700.0,
+            SimDuration::from_millis(350),
+            SimDuration::from_millis(200),
+        ),
+    )
+    .queue_cap(512);
+    if let Some(floor) = autoscale {
+        tenant = tenant.autoscale(
+            AutoscaleSpec::new(floor)
+                .target_queue_per_replica(2.0)
+                .keep_alive(SimDuration::from_millis(150))
+                .evaluate_every(SimDuration::from_millis(10)),
+        );
+    }
+    tenant
+}
+
+fn base_spec(autoscale: Option<u32>, replicas: u32, faults: bool) -> ServeSpec {
+    let warmup = SimDuration::from_millis(WARMUP_MS);
+    let measure = SimDuration::from_millis(MEASURE_MS);
+    let mut spec = ServeSpec::new(Platform::orin_nano())
+        .warmup(warmup)
+        .duration(measure)
+        .slo(SimDuration::from_millis(50))
+        .tenant(tenant(autoscale, replicas));
+    if faults {
+        // Randomly seeded spikes (128-768 MB) never threaten an 8 GB
+        // board hosting mobilenet engines, so the storm is explicit: a
+        // 7 GiB squeeze mid-burst that forces the OOM killer while the
+        // autoscaler is holding extra replicas up.
+        let spike_at = SimTime::from_nanos((warmup + measure.mul_f64(0.3)).as_nanos());
+        spec = spec
+            .resilience(ResiliencePolicies::none().recovery(RecoverySpec::auto(2)))
+            .faults(
+                FaultPlan::new()
+                    .memory_spike(spike_at, measure.mul_f64(0.15), 7 << 30)
+                    .oom_policy(OomPolicy::KillLargest),
+            );
+    }
+    spec
+}
+
+/// One policy cell as the pinned metric map.
+fn cell(autoscale: Option<u32>, replicas: u32, faults: bool) -> serde_json::Value {
+    let report = base_spec(autoscale, replicas, faults)
+        .run()
+        .expect("cell builds and fits");
+    let g = &report.groups[0];
+    let replica_seconds = if autoscale.is_some() {
+        g.replica_seconds
+    } else {
+        replicas as f64 * MEASURE_MS as f64 / 1e3
+    };
+    serde_json::json!({
+        "goodput_qps": g.goodput_qps,
+        "p99_ms": g.p99_ms,
+        "slo_attainment": g.slo_attainment,
+        "replica_seconds": replica_seconds,
+        "cold_starts": g.cold_starts as u64,
+        "warm_starts": g.warm_starts as u64,
+        "reaps": g.reaps as u64,
+        "scale_to_zero_parks": g.scale_to_zero_parks as u64,
+        "cold_start_tax_ms": g.cold_start_tax_ms,
+    })
+}
+
+fn scenario(faults: bool) -> serde_json::Value {
+    let mut entries = Vec::new();
+    for (name, autoscale, replicas) in POLICIES {
+        entries.push((name.to_string(), cell(autoscale, replicas, faults)));
+    }
+    let v = serde_json::Value::Map(entries);
+    if !faults {
+        // The headline claims this bench exists to pin: autoscaling
+        // beats the static floor by >= 1.5x goodput while holding
+        // fewer replica-seconds than the static ceiling.
+        let f = |policy: &str, field: &str| -> f64 {
+            match v.get_field(policy).and_then(|p| p.get_field(field)) {
+                Some(serde_json::Value::F64(x)) => *x,
+                Some(serde_json::Value::U64(x)) => *x as f64,
+                _ => panic!("missing {policy}.{field}"),
+            }
+        };
+        assert!(
+            f("autoscale", "goodput_qps") >= 1.5 * f("static_min", "goodput_qps"),
+            "autoscaling must beat the static floor by >= 1.5x goodput"
+        );
+        assert!(
+            f("autoscale", "replica_seconds") < f("static_max", "replica_seconds"),
+            "autoscaling must hold fewer replica-seconds than the static ceiling"
+        );
+        assert!(
+            f("scale_to_zero", "cold_start_tax_ms") > 0.0
+                && f("scale_to_zero", "p99_ms") > f("static_max", "p99_ms"),
+            "scale-to-zero pays a visible cold-start tax in the tail"
+        );
+    }
+    v
+}
+
+fn capacity() -> serde_json::Value {
+    let mut entries = Vec::new();
+    for (name, autoscale, replicas) in [("static_min", None, 1u32), ("autoscale", Some(1), 3)] {
+        let warmup = SimDuration::from_millis(WARMUP_MS);
+        let measure = SimDuration::from_millis(MEASURE_MS);
+        let spec = ServeSpec::new(Platform::orin_nano())
+            .warmup(warmup)
+            .duration(measure)
+            .slo(SimDuration::from_millis(50))
+            .tenant({
+                let mut t = tenant(autoscale, replicas);
+                t.arrivals = ArrivalProcess::poisson(150.0);
+                t
+            });
+        let estimate = spec.find_max_qps(0.9, 4).expect("capacity search runs");
+        entries.push((
+            name.to_string(),
+            serde_json::json!({
+                "max_qps": estimate.max_qps,
+                "probes": estimate.probes.len() as u64,
+            }),
+        ));
+    }
+    serde_json::Value::Map(entries)
+}
+
+/// Recursively compares two JSON values: exact for integers, bools and
+/// strings, `FLOAT_TOLERANCE` slack for floats. Records one line per
+/// mismatch.
+fn diff_value(
+    path: &str,
+    base: &serde_json::Value,
+    fresh: &serde_json::Value,
+    out: &mut Vec<String>,
+) {
+    use serde_json::Value;
+    let as_f64 = |v: &Value| -> Option<f64> {
+        match v {
+            Value::F64(f) => Some(*f),
+            Value::U64(u) => Some(*u as f64),
+            Value::I64(i) => Some(*i as f64),
+            _ => None,
+        }
+    };
+    match (base, fresh) {
+        (Value::Map(b), Value::Map(f)) => {
+            for (key, bv) in b {
+                match f.iter().find(|(k, _)| k == key) {
+                    Some((_, fv)) => diff_value(&format!("{path}.{key}"), bv, fv, out),
+                    None => out.push(format!("{path}.{key}: missing from fresh run")),
+                }
+            }
+            for (key, _) in f {
+                if !b.iter().any(|(k, _)| k == key) {
+                    out.push(format!("{path}.{key}: not in baseline (regenerate?)"));
+                }
+            }
+        }
+        (Value::Seq(b), Value::Seq(f)) => {
+            if b.len() != f.len() {
+                out.push(format!("{path}: length {} vs {}", b.len(), f.len()));
+                return;
+            }
+            for (i, (bv, fv)) in b.iter().zip(f).enumerate() {
+                diff_value(&format!("{path}[{i}]"), bv, fv, out);
+            }
+        }
+        _ => {
+            if let (Some(b), Some(f)) = (as_f64(base), as_f64(fresh)) {
+                if (b - f).abs() > FLOAT_TOLERANCE {
+                    out.push(format!("{path}: baseline {b} vs fresh {f}"));
+                }
+            } else if base != fresh {
+                out.push(format!("{path}: baseline {base:?} vs fresh {fresh:?}"));
+            }
+        }
+    }
+}
+
+fn check(scenarios: &[(&str, &serde_json::Value)]) -> std::io::Result<()> {
+    let text = std::fs::read_to_string("BENCH_autoscale.json").map_err(|e| {
+        std::io::Error::other(format!(
+            "--check needs a committed BENCH_autoscale.json baseline: {e}"
+        ))
+    })?;
+    let baseline: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| std::io::Error::other(e.to_string()))?;
+    let mut failures = Vec::new();
+    for (name, fresh) in scenarios {
+        match baseline
+            .get_field("scenarios")
+            .and_then(|s| s.get_field(name))
+        {
+            Some(base) => diff_value(name, base, fresh, &mut failures),
+            None => failures.push(format!("{name}: missing from committed baseline")),
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "bench_autoscale check passed ({} scenarios byte-equivalent)",
+            scenarios.len()
+        );
+        return Ok(());
+    }
+    for f in &failures {
+        eprintln!("MISMATCH  {f}");
+    }
+    eprintln!(
+        "\nthe autoscaling metrics diverged from the committed BENCH_autoscale.json \
+         baseline; the autoscaler or the serving DES changed behaviour (these \
+         numbers are simulated — host speed cannot move them). If the change is \
+         intended, regenerate with `cargo run --release -p jetsim-bench \
+         --bin bench_autoscale`."
+    );
+    std::process::exit(1);
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let checking = std::env::args().any(|a| a == "--check");
+    let start = Instant::now();
+    let burst = scenario(false);
+    let storm = scenario(true);
+    let cap = capacity();
+    let wall_s = start.elapsed().as_secs_f64();
+
+    if checking {
+        check(&[
+            ("mmpp_burst", &burst),
+            ("oom_storm", &storm),
+            ("capacity", &cap),
+        ])?;
+        return Ok(());
+    }
+
+    let json = serde_json::json!({
+        "bench": "autoscale",
+        "note": "all metrics are simulated and bit-deterministic per seed; --check compares them (near-)exactly — wall_s is context, never gated",
+        "warmup_ms": WARMUP_MS,
+        "measure_ms": MEASURE_MS,
+        "wall_s": wall_s,
+        "scenarios": {
+            "mmpp_burst": burst,
+            "oom_storm": storm,
+            "capacity": cap,
+        },
+    });
+    let text = serde_json::to_string_pretty(&json).expect("serializable");
+    std::fs::write("BENCH_autoscale.json", &text)?;
+    println!("{text}");
+    println!("\nwritten to BENCH_autoscale.json");
+    Ok(())
+}

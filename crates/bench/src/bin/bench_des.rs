@@ -109,9 +109,8 @@ fn closed_loop_8p(platform: &Platform) -> Cell {
 /// Online serving cell: Poisson arrivals through the ingress path
 /// (admission, batching, flush timers) — the `find_max_qps` shape.
 fn serving(platform: &Platform) -> Cell {
-    let tenant =
-        ServeTenant::parse_with_arrivals("resnet50:int8:1:2", ArrivalProcess::poisson(200.0))
-            .expect("valid spec");
+    let tenant = ServeTenant::parse("resnet50:int8:1:2", ArrivalProcess::poisson(200.0))
+        .expect("valid spec");
     time_cell("serving", || {
         ServeSpec::new(platform.clone())
             .tenant(tenant.clone())

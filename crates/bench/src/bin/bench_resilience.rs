@@ -40,8 +40,7 @@ fn oom_storm() -> Result<ResilienceReport, Box<dyn std::error::Error>> {
     let slo = SimDuration::from_millis(250);
     let base = ServeSpec::new(Platform::jetson_nano())
         .tenant(
-            ServeTenant::parse_with_arrivals("resnet50:fp16:1:2", ArrivalProcess::poisson(12.0))?
-                .queue_cap(32),
+            ServeTenant::parse("resnet50:fp16:1:2", ArrivalProcess::poisson(12.0))?.queue_cap(32),
         )
         .slo(slo)
         .warmup(SimDuration::from_millis(300))
@@ -81,8 +80,7 @@ fn dvfs_storm() -> Result<ResilienceReport, Box<dyn std::error::Error>> {
     let slo = SimDuration::from_millis(50);
     let base = ServeSpec::new(Platform::orin_nano())
         .tenant(
-            ServeTenant::parse_with_arrivals("resnet50:int8:1:2", ArrivalProcess::poisson(200.0))?
-                .queue_cap(64),
+            ServeTenant::parse("resnet50:int8:1:2", ArrivalProcess::poisson(200.0))?.queue_cap(64),
         )
         .slo(slo)
         .warmup(SimDuration::from_millis(300))

@@ -27,8 +27,7 @@ fn windows() -> (SimDuration, SimDuration, u32) {
 fn spec(platform: &Platform, qps: f64) -> ServeSpec {
     let (warmup, duration, _) = windows();
     let tenant =
-        ServeTenant::parse_with_arrivals("resnet50:int8:1:2", ArrivalProcess::poisson(qps))
-            .expect("valid spec");
+        ServeTenant::parse("resnet50:int8:1:2", ArrivalProcess::poisson(qps)).expect("valid spec");
     ServeSpec::new(platform.clone())
         .tenant(tenant)
         .warmup(warmup)

@@ -12,7 +12,9 @@ use jetsim::report::fmt_num;
 use jetsim::report::Table;
 use jetsim_des::ArrivalProcess;
 use jetsim_profile::metrics;
-use jetsim_serve::{ServeSpec, ServeTenant};
+use jetsim_serve::{
+    AutoscaleSpec, FaultPlan, OomPolicy, RecoverySpec, ResiliencePolicies, ServeSpec, ServeTenant,
+};
 use jetsim_sim::GpuPolicy;
 
 use crate::FigureResult;
@@ -792,6 +794,148 @@ pub fn policy_comparison() -> FigureResult {
     }
 }
 
+/// One provisioning policy of the autoscale comparison: a mobilenet_v2
+/// fp16 b1 group (launch-bound, so replicas genuinely add capacity —
+/// ~210 qps each up to 3; beyond that time-slice thrash wins) with
+/// `replicas` slots under bursty MMPP traffic. `None` = static;
+/// `Some(floor)` arms the autoscaler between `floor` and `replicas`.
+fn autoscale_cell(
+    autoscale: Option<u32>,
+    replicas: u32,
+    faults: bool,
+) -> (jetsim_serve::ServeReport, f64) {
+    let (warmup, measure) = windows();
+    let mut tenant = ServeTenant::new(
+        Tenant::new(zoo::mobilenet_v2(), Precision::Fp16, 1).count(replicas),
+        ArrivalProcess::mmpp(
+            50.0,
+            700.0,
+            SimDuration::from_millis(350),
+            SimDuration::from_millis(200),
+        ),
+    )
+    .queue_cap(512);
+    if let Some(floor) = autoscale {
+        tenant = tenant.autoscale(
+            AutoscaleSpec::new(floor)
+                .target_queue_per_replica(2.0)
+                .keep_alive(SimDuration::from_millis(150))
+                .evaluate_every(SimDuration::from_millis(10)),
+        );
+    }
+    let mut spec = ServeSpec::new(Platform::orin_nano())
+        .warmup(warmup)
+        .duration(measure)
+        .slo(SimDuration::from_millis(50))
+        .tenant(tenant);
+    if faults {
+        // Seeded spikes (128-768 MB) never threaten an 8 GB board
+        // hosting mobilenet engines; an explicit 7 GiB squeeze
+        // mid-window forces the OOM killer for real.
+        let spike_at = SimTime::from_nanos((warmup + measure.mul_f64(0.3)).as_nanos());
+        spec = spec
+            .resilience(ResiliencePolicies::none().recovery(RecoverySpec::auto(2)))
+            .faults(
+                FaultPlan::new()
+                    .memory_spike(spike_at, measure.mul_f64(0.15), 7 << 30)
+                    .oom_policy(OomPolicy::KillLargest),
+            );
+    }
+    let report = spec.run().expect("autoscale cell builds and fits");
+    // Static groups hold every replica up for the whole window; the
+    // autoscaled group's integral comes from its scaling telemetry.
+    let replica_seconds = if autoscale.is_some() {
+        report.groups[0].replica_seconds
+    } else {
+        replicas as f64 * measure.as_secs_f64()
+    };
+    (report, replica_seconds)
+}
+
+/// Serverless autoscaling comparison (new analysis, not in the paper):
+/// the same bursty MMPP request timeline served by a static minimal
+/// deployment, a static maximal one, and the autoscaler — first on a
+/// healthy board, then through an OOM storm with replica recovery
+/// armed. The capacity table runs the bracketing search on the static
+/// floor vs the autoscaled group.
+pub fn autoscale_comparison() -> FigureResult {
+    let mut table = Table::new([
+        "scenario",
+        "policy",
+        "goodput_qps",
+        "p99_ms",
+        "slo_att",
+        "replica_s",
+        "cold",
+        "warm",
+        "reaps",
+        "cold_tax_ms",
+    ]);
+    for (scenario, faults) in [("mmpp-burst", false), ("oom-storm", true)] {
+        for (policy, autoscale, replicas) in [
+            ("static-min", None, 1),
+            ("static-max", None, 3),
+            ("autoscale 1..3", Some(1), 3),
+            ("scale-to-zero", Some(0), 3),
+        ] {
+            let (report, replica_seconds) = autoscale_cell(autoscale, replicas, faults);
+            let g = &report.groups[0];
+            table.row([
+                scenario.to_string(),
+                policy.to_string(),
+                format!("{:.1}", g.goodput_qps),
+                format!("{:.2}", g.p99_ms),
+                format!("{:.3}", g.slo_attainment),
+                format!("{replica_seconds:.2}"),
+                format!("{}", g.cold_starts),
+                format!("{}", g.warm_starts),
+                format!("{}", g.reaps),
+                format!("{:.2}", g.cold_start_tax_ms),
+            ]);
+        }
+    }
+
+    let (warmup, measure) = windows();
+    let mut capacity = Table::new(["policy", "max_qps", "probes"]);
+    for (policy, autoscale, replicas) in
+        [("static-min", None, 1u32), ("autoscale 1..3", Some(1), 3)]
+    {
+        let mut tenant = ServeTenant::new(
+            Tenant::new(zoo::mobilenet_v2(), Precision::Fp16, 1).count(replicas),
+            ArrivalProcess::poisson(150.0),
+        )
+        .queue_cap(512);
+        if let Some(floor) = autoscale {
+            tenant = tenant.autoscale(
+                AutoscaleSpec::new(floor)
+                    .target_queue_per_replica(2.0)
+                    .keep_alive(SimDuration::from_millis(150))
+                    .evaluate_every(SimDuration::from_millis(10)),
+            );
+        }
+        let spec = ServeSpec::new(Platform::orin_nano())
+            .warmup(warmup)
+            .duration(measure)
+            .slo(SimDuration::from_millis(50))
+            .tenant(tenant);
+        let estimate = spec.find_max_qps(0.9, 4).expect("capacity search runs");
+        capacity.row([
+            policy.to_string(),
+            format!("{:.1}", estimate.max_qps),
+            format!("{}", estimate.probes.len()),
+        ]);
+    }
+
+    FigureResult {
+        id: "autoscale_comparison",
+        title: "Serverless autoscaling vs static provisioning under bursts",
+        tables: vec![
+            ("provisioning".to_string(), table),
+            ("capacity".to_string(), capacity),
+        ],
+    }
+}
+
 /// Every figure/table harness with its CLI name, in paper order — the
 /// registry behind the `repro` binary (ablations have their own in
 /// [`crate::ablations::registry`]).
@@ -812,6 +956,7 @@ pub fn registry() -> Vec<(&'static str, crate::Harness)> {
         ("fig12_events_nano", fig12_events_nano),
         ("headline_gap", headline_gap),
         ("policy_comparison", policy_comparison),
+        ("autoscale_comparison", autoscale_comparison),
     ]
 }
 

@@ -20,6 +20,7 @@ use std::process::ExitCode;
 
 use jetsim::deployment::Tenant;
 use jetsim::prelude::*;
+use jetsim::scenario::{parse_duration, ScenarioSpec};
 use jetsim_profile::chrome_trace;
 use jetsim_sim::{FaultKind, FaultPlan, GpuPolicy};
 
@@ -52,12 +53,50 @@ impl Args {
          \x20                  --faults injects a seeded fault plan (memory spikes + a throttle\n\
          \x20                  lock) and swaps strict OOM admission for OOM-killer semantics\n\
          \x20      or: jetsim-trtexec --tenant=model:precision:batch[:count[:priority]] [--tenant=...]\n\
-         \x20                  runs a heterogeneous deployment (repeat --tenant per model mix);\n\
+         \x20                  runs a heterogeneous deployment (repeat --tenant per model mix;\n\
+         \x20                  key=value specs like model=resnet50,precision=int8,batch=4 also work);\n\
          \x20                  mutually exclusive with --model/--batch/--processes/--streams\n\
-         \x20                  and the precision flags"
+         \x20                  and the precision flags\n\
+         \x20      or: jetsim-trtexec --scenario=FILE\n\
+         \x20                  load a TOML/JSON scenario document as the base configuration\n\
+         \x20                  (device, seed, duration, gpu_policy, fault_seed and tenant specs;\n\
+         \x20                  serving-only fields are ignored by this closed-loop tool);\n\
+         \x20                  explicit flags override individual fields"
+    }
+
+    /// Applies the closed-loop subset of a scenario document as base
+    /// values (flags parsed afterwards override them). Serving-only
+    /// fields — SLO, arrivals, resilience, autoscaling — have no
+    /// meaning under closed-loop load and are ignored.
+    fn apply_scenario(&mut self, sc: &ScenarioSpec) -> Result<(), String> {
+        if let Some(device) = &sc.device {
+            self.device = device.clone();
+        }
+        if let Some(seed) = sc.seed {
+            self.seed = seed;
+        }
+        if let Some(duration) = &sc.duration {
+            self.duration_secs = parse_duration(duration)?.as_secs_f64();
+        }
+        if let Some(policy) = &sc.gpu_policy {
+            self.gpu_policy = policy
+                .parse()
+                .map_err(|e| format!("scenario gpu_policy: {e}"))?;
+        }
+        if let Some(fault_seed) = sc.fault_seed {
+            self.faults = true;
+            self.fault_seed = Some(fault_seed);
+        }
+        for tenant in sc.tenants.iter().flatten() {
+            if let Some(spec) = &tenant.spec {
+                self.tenants.push(spec.clone());
+            }
+        }
+        Ok(())
     }
 
     fn parse(argv: impl Iterator<Item = String>) -> Result<Args, String> {
+        let argv: Vec<String> = argv.collect();
         let mut args = Args {
             model: String::new(),
             tenants: Vec::new(),
@@ -74,6 +113,20 @@ impl Args {
             fault_seed: None,
             gpu_policy: GpuPolicy::TimesliceRR,
         };
+        // Pass 1: an optional scenario file supplies base values; any
+        // explicit flag (pass 2) overrides the corresponding field.
+        let mut tenants_from_scenario = false;
+        for arg in &argv {
+            if let Some(path) = arg.strip_prefix("--scenario=") {
+                let scenario: ScenarioSpec = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read scenario `{path}`: {e}"))?
+                    .parse()
+                    .map_err(|e| format!("{path}: {e}"))?;
+                args.tenants.clear();
+                args.apply_scenario(&scenario)?;
+                tenants_from_scenario = !args.tenants.is_empty();
+            }
+        }
         let mut workload_flags = false;
         for arg in argv {
             let (key, value) = match arg.split_once('=') {
@@ -89,7 +142,18 @@ impl Args {
                     workload_flags = true;
                     args.model = required(value)?;
                 }
-                "--tenant" => args.tenants.push(required(value)?),
+                "--scenario" => {
+                    // Applied in pass 1; just validate the spelling.
+                    required(value)?;
+                }
+                "--tenant" => {
+                    if tenants_from_scenario {
+                        // Explicit --tenant flags redefine the workload.
+                        args.tenants.clear();
+                        tenants_from_scenario = false;
+                    }
+                    args.tenants.push(required(value)?)
+                }
                 "--int8" => {
                     workload_flags = true;
                     args.precision = Precision::Int8;
@@ -153,6 +217,11 @@ impl Args {
                 other => return Err(format!("unknown flag `{other}`\n{}", Args::usage())),
             }
         }
+        if tenants_from_scenario && workload_flags {
+            // A --model invocation on top of a scenario file keeps the
+            // scenario's device/seed/duration but swaps the workload.
+            args.tenants.clear();
+        }
         if !args.tenants.is_empty() && workload_flags {
             return Err(format!(
                 "--tenant cannot be combined with --model/--batch/--processes/--streams \
@@ -162,7 +231,7 @@ impl Args {
         }
         if args.tenants.is_empty() && args.model.is_empty() {
             return Err(format!(
-                "--model or --tenant is required\n{}",
+                "--model, --tenant or --scenario is required\n{}",
                 Args::usage()
             ));
         }
@@ -170,12 +239,7 @@ impl Args {
     }
 
     fn platform(&self) -> Result<Platform, String> {
-        match self.device.as_str() {
-            "orin-nano" | "orin" => Ok(Platform::orin_nano()),
-            "jetson-nano" | "nano" => Ok(Platform::jetson_nano()),
-            "cloud-a40" | "a40" => Ok(Platform::cloud_a40()),
-            other => Err(format!("unknown device `{other}`")),
-        }
+        Platform::by_name(&self.device).ok_or_else(|| format!("unknown device `{}`", self.device))
     }
 }
 

@@ -116,10 +116,16 @@ impl Tenant {
         format!("{}:{}:b{}", self.model.name(), self.precision, self.batch)
     }
 
-    /// Parses a `model:precision:batch[:count[:priority]]` spec, the
-    /// grammar of the `jetsim-trtexec --tenant` flag. The model must be
-    /// a zoo name. The optional fifth field sets the tenant's GPU
-    /// scheduling priority (used by `--gpu-policy=priority`).
+    /// Parses a `--tenant` spec in either grammar the CLIs accept:
+    ///
+    /// * positional — `model:precision:batch[:count[:priority]]`;
+    /// * key=value — comma-separated `key=value` fields, where `model`,
+    ///   `precision` and `batch` are required and `count`, `priority`
+    ///   and `sm_share` are optional. `sm_share` (the weight under
+    ///   `--gpu-policy=mps`) has no positional slot, so the key=value
+    ///   form is the only way to set it from a spec string.
+    ///
+    /// The model must be a zoo name. Errors name the offending field.
     ///
     /// # Examples
     ///
@@ -131,14 +137,21 @@ impl Tenant {
     /// assert_eq!(t.instances(), 2);
     /// let t = Tenant::parse("resnet50:int8:1:1:5").unwrap();
     /// assert_eq!(t.gpu_priority(), 5);
+    /// let t = Tenant::parse("model=resnet50,precision=int8,batch=4,count=2,sm_share=0.5")
+    ///     .unwrap();
+    /// assert_eq!(t.batch(), 4);
+    /// assert_eq!(t.gpu_sm_share(), 0.5);
     /// assert!(Tenant::parse("nonesuch:fp16:1").is_err());
     /// ```
     ///
     /// # Errors
     ///
     /// Returns [`DeploymentError`] for unknown models, unknown
-    /// precisions, or malformed batch/count/priority fields.
+    /// precisions, unknown keys, or malformed field values.
     pub fn parse(spec: &str) -> Result<Tenant, DeploymentError> {
+        if spec.contains('=') {
+            return Self::parse_kv(spec);
+        }
         let parts: Vec<&str> = spec.split(':').collect();
         if !(3..=5).contains(&parts.len()) {
             return Err(DeploymentError::BadSpec {
@@ -180,6 +193,102 @@ impl Tenant {
             .count(count)
             .priority(priority))
     }
+
+    /// The comma-separated key=value arm of [`Tenant::parse`].
+    fn parse_kv(spec: &str) -> Result<Tenant, DeploymentError> {
+        let bad = |reason: String| DeploymentError::BadSpec {
+            spec: spec.to_string(),
+            reason,
+        };
+        let mut model = None;
+        let mut precision: Option<Precision> = None;
+        let mut batch: Option<u32> = None;
+        let mut count = 1u32;
+        let mut priority = 0u8;
+        let mut sm_share = 1.0f64;
+        for field in spec.split(',') {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| bad(format!("field `{field}` is not key=value")))?;
+            let value = value.trim();
+            match key.trim() {
+                "model" => {
+                    model = Some(
+                        zoo::by_name(value)
+                            .ok_or_else(|| bad(format!("model: unknown model `{value}`")))?,
+                    );
+                }
+                "precision" => {
+                    precision = Some(value.parse().map_err(|e| bad(format!("precision: {e}")))?);
+                }
+                "batch" => {
+                    batch = Some(
+                        value
+                            .trim_start_matches('b')
+                            .parse()
+                            .map_err(|e| bad(format!("batch: {e}")))?,
+                    );
+                }
+                "count" => count = value.parse().map_err(|e| bad(format!("count: {e}")))?,
+                "priority" => {
+                    priority = value.parse().map_err(|e| bad(format!("priority: {e}")))?
+                }
+                "sm_share" => {
+                    sm_share = value.parse().map_err(|e| bad(format!("sm_share: {e}")))?;
+                    if !(sm_share > 0.0 && sm_share <= 1.0) {
+                        return Err(bad(format!("sm_share: `{value}` not in (0, 1]")));
+                    }
+                }
+                other => return Err(bad(format!("unknown field `{other}`"))),
+            }
+        }
+        let model = model.ok_or_else(|| bad("missing field `model`".to_string()))?;
+        let precision = precision.ok_or_else(|| bad("missing field `precision`".to_string()))?;
+        let batch = batch.ok_or_else(|| bad("missing field `batch`".to_string()))?;
+        Ok(Tenant::new(model, precision, batch)
+            .count(count)
+            .priority(priority)
+            .sm_share(sm_share))
+    }
+
+    /// The canonical spec string [`Tenant::parse`] round-trips: the
+    /// shortest positional form when the SM share is the default, the
+    /// key=value form otherwise (sm_share has no positional slot).
+    pub fn to_spec(&self) -> String {
+        if self.sm_share == 1.0 {
+            let mut s = format!("{}:{}:{}", self.model.name(), self.precision, self.batch);
+            if self.priority != 0 {
+                s.push_str(&format!(":{}:{}", self.count, self.priority));
+            } else if self.count != 1 {
+                s.push_str(&format!(":{}", self.count));
+            }
+            s
+        } else {
+            format!(
+                "model={},precision={},batch={},count={},priority={},sm_share={}",
+                self.model.name(),
+                self.precision,
+                self.batch,
+                self.count,
+                self.priority,
+                self.sm_share
+            )
+        }
+    }
+}
+
+impl fmt::Display for Tenant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_spec())
+    }
+}
+
+impl std::str::FromStr for Tenant {
+    type Err = DeploymentError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Tenant::parse(s)
+    }
 }
 
 /// Errors from assembling or parsing a deployment.
@@ -208,7 +317,8 @@ impl fmt::Display for DeploymentError {
                 write!(
                     f,
                     "bad tenant spec `{spec}`: {reason} \
-                     (expected model:precision:batch[:count[:priority]], e.g. resnet50:int8:1:2)"
+                     (expected model:precision:batch[:count[:priority]], e.g. resnet50:int8:1:2, \
+                     or key=value fields, e.g. model=resnet50,precision=int8,batch=4,sm_share=0.5)"
                 )
             }
             DeploymentError::Build { label, source } => {
@@ -486,6 +596,84 @@ mod tests {
         assert_eq!(t.instances(), 2);
         assert_eq!(t.gpu_priority(), 7);
         assert_eq!(t.gpu_sm_share(), 1.0);
+    }
+
+    #[test]
+    fn parse_key_value_grammar() {
+        let t = Tenant::parse("model=resnet50,precision=int8,batch=4").unwrap();
+        assert_eq!(t.label(), "resnet50:int8:b4");
+        assert_eq!(
+            (t.instances(), t.gpu_priority(), t.gpu_sm_share()),
+            (1, 0, 1.0)
+        );
+        let t = Tenant::parse(
+            "model=yolov8n, precision=fp16, batch=b2, count=3, priority=5, sm_share=0.25",
+        )
+        .unwrap();
+        assert_eq!(t.label(), "yolov8n:fp16:b2");
+        assert_eq!(
+            (t.instances(), t.gpu_priority(), t.gpu_sm_share()),
+            (3, 5, 0.25)
+        );
+    }
+
+    #[test]
+    fn parse_key_value_names_the_offending_field() {
+        for (bad, field) in [
+            ("model=resnet50,precision=int8", "missing field `batch`"),
+            ("precision=int8,batch=1", "missing field `model`"),
+            ("model=resnet50,batch=1", "missing field `precision`"),
+            (
+                "model=nonesuch,precision=int8,batch=1",
+                "unknown model `nonesuch`",
+            ),
+            (
+                "model=resnet50,precision=int8,batch=1,sm_share=1.5",
+                "sm_share",
+            ),
+            (
+                "model=resnet50,precision=int8,batch=1,sm_share=0",
+                "sm_share",
+            ),
+            (
+                "model=resnet50,precision=int8,batch=1,gpu=2",
+                "unknown field `gpu`",
+            ),
+            (
+                "model=resnet50,precision=int8,batch=1,count",
+                "not key=value",
+            ),
+            ("model=resnet50,precision=int9,batch=1", "precision"),
+        ] {
+            let err = Tenant::parse(bad).unwrap_err();
+            assert!(
+                err.to_string().contains(field),
+                "`{bad}` should name `{field}`: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn to_spec_round_trips_both_grammars() {
+        for spec in [
+            "resnet50:int8:1",
+            "yolov8n:fp16:4:2",
+            "resnet50:int8:1:2:7",
+            "model=resnet50,precision=int8,batch=4,count=2,priority=1,sm_share=0.5",
+        ] {
+            let t = Tenant::parse(spec).unwrap();
+            let back: Tenant = t.to_spec().parse().unwrap();
+            assert_eq!(t.label(), back.label(), "{spec}");
+            assert_eq!(t.instances(), back.instances(), "{spec}");
+            assert_eq!(t.gpu_priority(), back.gpu_priority(), "{spec}");
+            assert_eq!(t.gpu_sm_share(), back.gpu_sm_share(), "{spec}");
+            assert_eq!(format!("{t}"), t.to_spec());
+        }
+        // Canonical form stays positional while sm_share is default.
+        assert_eq!(
+            Tenant::parse("resnet50:int8:1:2").unwrap().to_spec(),
+            "resnet50:int8:1:2"
+        );
     }
 
     #[test]

@@ -49,12 +49,14 @@ pub mod plan;
 pub mod platform;
 pub mod profiler;
 pub mod report;
+pub mod scenario;
 pub mod sweep;
 
 pub use analysis::{Bottleneck, BottleneckReport};
 pub use deployment::{Deployment, DeploymentError, Tenant, TenantMetrics};
 pub use platform::Platform;
 pub use profiler::{DualPhaseProfiler, WorkloadProfile};
+pub use scenario::{AutoscaleScenario, ScenarioSpec, TenantScenario};
 pub use sweep::{CellChaos, CellMetrics, CellOutcome, SupervisorPolicy, SweepCell, SweepSpec};
 
 /// Convenience re-exports for downstream users and examples.

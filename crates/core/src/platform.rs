@@ -47,6 +47,19 @@ impl Platform {
         }
     }
 
+    /// Resolves a CLI platform name (the `--platform` grammar shared by
+    /// `jetsim-trtexec` and `jetsim-serve`): `orin-nano`/`orin`,
+    /// `jetson-nano`/`nano`, or `cloud-a40`/`a40`. `None` for anything
+    /// else.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "orin-nano" | "orin" => Some(Platform::orin_nano()),
+            "jetson-nano" | "nano" => Some(Platform::jetson_nano()),
+            "cloud-a40" | "a40" => Some(Platform::cloud_a40()),
+            _ => None,
+        }
+    }
+
     /// Wraps a custom device specification (for ablations).
     pub fn from_spec(spec: DeviceSpec) -> Self {
         Platform { spec }

@@ -1,0 +1,636 @@
+//! Declarative scenario files: the whole experiment config as one
+//! serde-backed document.
+//!
+//! A [`ScenarioSpec`] captures everything the `jetsim-serve` and
+//! `jetsim-trtexec` CLIs take as flags — platform, window, seed, GPU
+//! policy, faults, resilience knobs, autoscaling, and the tenant list —
+//! as a plain data value with **every field optional**. Missing fields
+//! mean "use the default", which makes a scenario simultaneously:
+//!
+//! * a complete experiment description (`--scenario run.toml`),
+//! * an overlay (CLI flags parse into a sparse `ScenarioSpec` that is
+//!   [`ScenarioSpec::merge`]d over the file), and
+//! * a reproducibility artefact (`--dump-scenario` prints the merged
+//!   document; re-running it replays the experiment byte for bit).
+//!
+//! Scenarios round-trip through two encodings: JSON (via the workspace
+//! serde stub) and a TOML subset — top-level `key = value` pairs,
+//! `[table]` headers and `[[array-of-tables]]` headers, which covers
+//! this schema exactly. [`std::fmt::Display`] renders TOML;
+//! [`std::str::FromStr`] sniffs the first non-space byte (`{` = JSON).
+//!
+//! Field values reuse the CLI grammars verbatim — durations are strings
+//! like `"50ms"`, arrivals `"poisson:200"` or
+//! `"mmpp:CALM:BURST:CALM_MS:BURST_MS"`, tenants either positional
+//! `model:precision:batch[:count[:priority]]` or key=value form — so a
+//! scenario reads exactly like the command line it replaces.
+
+use std::fmt;
+use std::str::FromStr;
+
+use jetsim_des::{ArrivalProcess, SimDuration};
+use serde::{Deserialize, Serialize, Value};
+
+/// One experiment, fully described: every CLI flag as an optional field.
+///
+/// `max_delay`, `queue_cap` and `admission` at this level are defaults
+/// for tenants that do not set their own. Serving-only fields (SLO,
+/// resilience, autoscaling, arrivals) are ignored by `jetsim-trtexec`,
+/// which reads only the closed-loop subset: `device`, `seed`,
+/// `duration`, `gpu_policy`, `fault_seed` and the tenant `spec` strings.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Platform name (`orin-nano`, `jetson-nano`, `cloud-a40`, or their
+    /// short aliases).
+    pub device: Option<String>,
+    /// RNG seed; identical scenarios and seeds replay bit for bit.
+    pub seed: Option<u64>,
+    /// Measured duration (duration grammar: `us`/`ms`/`s` suffix or
+    /// bare seconds).
+    pub duration: Option<String>,
+    /// Warmup excluded from reports (duration grammar).
+    pub warmup: Option<String>,
+    /// Latency SLO (duration grammar).
+    pub slo: Option<String>,
+    /// GPU scheduling policy (`rr`, `fifo`, `priority[:PENALTY_US]`,
+    /// `mps[:OVERLAP]`).
+    pub gpu_policy: Option<String>,
+    /// Seed for an injected fault plan; present = faults armed.
+    pub fault_seed: Option<u64>,
+    /// Queueing deadline (duration grammar).
+    pub deadline: Option<String>,
+    /// Total retry attempts.
+    pub retry: Option<u32>,
+    /// Hedge trigger: `"auto"` or a duration.
+    pub hedge: Option<String>,
+    /// Circuit-breaker mode: `"shed"` or `"brownout"`.
+    pub breaker: Option<String>,
+    /// Max replica restarts after an OOM kill.
+    pub recovery: Option<u32>,
+    /// Default batching deadline for tenants without their own
+    /// (duration grammar).
+    pub max_delay: Option<String>,
+    /// Default admission-queue capacity.
+    pub queue_cap: Option<u64>,
+    /// Default admission policy: `reject`, `shed` or `degrade`.
+    pub admission: Option<String>,
+    /// Spec-wide autoscaler, applied to tenants without their own.
+    pub autoscale: Option<AutoscaleScenario>,
+    /// The tenants. An overlay with tenants replaces the base list
+    /// wholesale (CLI `--tenant` flags redefine the workload).
+    pub tenants: Option<Vec<TenantScenario>>,
+}
+
+/// One tenant of a scenario.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TenantScenario {
+    /// Tenant spec in either `--tenant` grammar (positional or
+    /// key=value). Required when the scenario is resolved.
+    pub spec: Option<String>,
+    /// Arrival process (`poisson:RATE` or
+    /// `mmpp:CALM:BURST:CALM_MS:BURST_MS`); serving CLIs default to
+    /// `poisson:100`.
+    pub arrival: Option<String>,
+    /// Batching deadline override (duration grammar).
+    pub max_delay: Option<String>,
+    /// Admission-queue capacity override.
+    pub queue_cap: Option<u64>,
+    /// Admission policy override.
+    pub admission: Option<String>,
+    /// Per-tenant autoscaler (overrides the spec-wide one).
+    pub autoscale: Option<AutoscaleScenario>,
+}
+
+/// Autoscaling knobs of a scenario (see the serve crate's
+/// `AutoscaleSpec` for semantics and defaults).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct AutoscaleScenario {
+    /// Replica floor (0 = scale to zero). Defaults to 1.
+    pub min_replicas: Option<u32>,
+    /// Replica ceiling; defaults to the tenant's instance count.
+    pub max_replicas: Option<u32>,
+    /// Queued requests per up replica that trigger a scale-up.
+    pub target_queue: Option<f64>,
+    /// Idle time before a replica above the floor is reaped (duration
+    /// grammar).
+    pub keep_alive: Option<String>,
+    /// Autoscaler evaluation interval (duration grammar).
+    pub evaluate_every: Option<String>,
+    /// Enable the SLO-burn scale-up criterion.
+    pub slo_burn: Option<bool>,
+    /// Replica start cost: `"auto"` (derive cold/warm from the engine
+    /// cache) or a fixed duration.
+    pub start_cost: Option<String>,
+}
+
+macro_rules! merge_fields {
+    ($base:expr, $overlay:expr; $($field:ident),+ $(,)?) => {{
+        Self {
+            $($field: $overlay.$field.clone().or_else(|| $base.$field.clone()),)+
+        }
+    }};
+}
+
+impl ScenarioSpec {
+    /// Layers `overlay` over `self`: any field the overlay sets wins,
+    /// anything it leaves `None` falls through to `self`. The tenant
+    /// list and the autoscale table are replaced wholesale when the
+    /// overlay provides them (an overlay that names tenants redefines
+    /// the workload; it does not splice into the base's list).
+    pub fn merge(&self, overlay: &ScenarioSpec) -> ScenarioSpec {
+        merge_fields!(self, overlay;
+            device, seed, duration, warmup, slo, gpu_policy, fault_seed,
+            deadline, retry, hedge, breaker, recovery, max_delay,
+            queue_cap, admission, autoscale, tenants,
+        )
+    }
+
+    /// Renders the scenario as the TOML subset [`ScenarioSpec`] parses:
+    /// unset fields are omitted, so parsing the output reproduces
+    /// `self` exactly.
+    pub fn to_toml(&self) -> String {
+        let mut out = String::new();
+        write_toml_table(&mut out, &self.to_value(), &[]);
+        out
+    }
+}
+
+impl fmt::Display for ScenarioSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_toml())
+    }
+}
+
+impl FromStr for ScenarioSpec {
+    type Err = String;
+
+    /// Parses a scenario document: JSON when the first non-space byte
+    /// is `{`, the TOML subset otherwise.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let value = if s.trim_start().starts_with('{') {
+            serde_json::from_str::<Value>(s).map_err(|e| format!("scenario JSON: {e}"))?
+        } else {
+            parse_toml(s)?
+        };
+        ScenarioSpec::from_value(&value).map_err(|e| format!("scenario: {e}"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared CLI value grammars
+// ---------------------------------------------------------------------
+
+/// Parses the CLI duration grammar: `50ms`, `200us`, `30s`, or a bare
+/// number of seconds.
+///
+/// # Errors
+///
+/// Returns a message naming the offending literal.
+pub fn parse_duration(s: &str) -> Result<SimDuration, String> {
+    let (digits, scale) = if let Some(v) = s.strip_suffix("us") {
+        (v, 1e-6)
+    } else if let Some(v) = s.strip_suffix("ms") {
+        (v, 1e-3)
+    } else if let Some(v) = s.strip_suffix('s') {
+        (v, 1.0)
+    } else {
+        (s, 1.0)
+    };
+    let value: f64 = digits
+        .parse()
+        .map_err(|_| format!("bad duration `{s}` (want e.g. 50ms, 200us, 30s)"))?;
+    if !value.is_finite() || value < 0.0 {
+        return Err(format!("bad duration `{s}`: must be non-negative"));
+    }
+    Ok(SimDuration::from_secs_f64(value * scale))
+}
+
+/// Parses the CLI arrival grammar: `poisson:RATE` or
+/// `mmpp:CALM:BURST:CALM_MS:BURST_MS`.
+///
+/// # Errors
+///
+/// Returns a message naming the offending field.
+pub fn parse_arrival(s: &str) -> Result<ArrivalProcess, String> {
+    let grammar = "want poisson:RATE or mmpp:CALM:BURST:CALM_MS:BURST_MS";
+    let (kind, rest) = s
+        .split_once(':')
+        .ok_or_else(|| format!("bad arrival `{s}`: {grammar}"))?;
+    let rate = |v: &str, what: &str| -> Result<f64, String> {
+        let r: f64 = v
+            .parse()
+            .map_err(|_| format!("bad arrival `{s}`: {what} is not a number"))?;
+        if !r.is_finite() || r <= 0.0 {
+            return Err(format!("bad arrival `{s}`: {what} must be positive"));
+        }
+        Ok(r)
+    };
+    match kind {
+        "poisson" => Ok(ArrivalProcess::poisson(rate(rest, "rate")?)),
+        "mmpp" => {
+            let parts: Vec<&str> = rest.split(':').collect();
+            if parts.len() != 4 {
+                return Err(format!("bad arrival `{s}`: {grammar}"));
+            }
+            Ok(ArrivalProcess::mmpp(
+                rate(parts[0], "calm rate")?,
+                rate(parts[1], "burst rate")?,
+                SimDuration::from_secs_f64(rate(parts[2], "calm dwell (ms)")? * 1e-3),
+                SimDuration::from_secs_f64(rate(parts[3], "burst dwell (ms)")? * 1e-3),
+            ))
+        }
+        other => Err(format!(
+            "bad arrival `{s}`: unknown process `{other}`; {grammar}"
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------
+// TOML subset writer
+// ---------------------------------------------------------------------
+
+/// Writes a serde `Value::Map` as the TOML subset: scalars first, then
+/// `[path.to.table]` sections, then `[[path.to.array]]` sections, each
+/// recursing. `Null` entries (unset `Option` fields) are omitted.
+fn write_toml_table(out: &mut String, v: &Value, path: &[&str]) {
+    let Some(entries) = v.as_map() else {
+        return;
+    };
+    for (key, value) in entries {
+        match value {
+            Value::Null | Value::Map(_) | Value::Seq(_) => {}
+            scalar => {
+                out.push_str(key);
+                out.push_str(" = ");
+                write_toml_scalar(out, scalar);
+                out.push('\n');
+            }
+        }
+    }
+    for (key, value) in entries {
+        let child_path: Vec<&str> = path.iter().copied().chain([key.as_str()]).collect();
+        match value {
+            Value::Map(_) => {
+                out.push_str(&format!("\n[{}]\n", child_path.join(".")));
+                write_toml_table(out, value, &child_path);
+            }
+            Value::Seq(items) => {
+                for item in items {
+                    out.push_str(&format!("\n[[{}]]\n", child_path.join(".")));
+                    write_toml_table(out, item, &child_path);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn write_toml_scalar(out: &mut String, v: &Value) {
+    match v {
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::U64(u) => out.push_str(&u.to_string()),
+        Value::I64(i) => out.push_str(&i.to_string()),
+        // Shortest round-trip float; an integral float renders without
+        // a fraction and re-parses as an integer, which the liberal
+        // numeric deserialiser coerces back.
+        Value::F64(f) => out.push_str(&format!("{f}")),
+        Value::Str(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        Value::Null | Value::Seq(_) | Value::Map(_) => unreachable!("filtered by caller"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// TOML subset parser
+// ---------------------------------------------------------------------
+
+/// Parses the TOML subset into a serde `Value::Map`: `key = value`
+/// lines, `[table]` and `[[array-of-tables]]` headers (dotted paths
+/// descend, through the *last* element of arrays), `#` comments.
+fn parse_toml(s: &str) -> Result<Value, String> {
+    let mut root: Vec<(String, Value)> = Vec::new();
+    let mut path: Vec<String> = Vec::new();
+    for (idx, raw) in s.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |m: String| format!("scenario TOML line {}: {m}", idx + 1);
+        if let Some(header) = line.strip_prefix("[[").and_then(|h| h.strip_suffix("]]")) {
+            let segments = split_header(header).map_err(&at)?;
+            table_mut(&mut root, &segments, true).map_err(&at)?;
+            path = segments;
+        } else if let Some(header) = line.strip_prefix('[').and_then(|h| h.strip_suffix(']')) {
+            let segments = split_header(header).map_err(&at)?;
+            table_mut(&mut root, &segments, false).map_err(&at)?;
+            path = segments;
+        } else if let Some((key, value)) = line.split_once('=') {
+            let key = key.trim();
+            if key.is_empty() {
+                return Err(at("missing key before `=`".to_string()));
+            }
+            let value = parse_toml_scalar(value.trim()).map_err(&at)?;
+            let table = table_mut(&mut root, &path, false).map_err(&at)?;
+            match table.iter_mut().find(|(k, _)| k == key) {
+                Some((_, slot)) => *slot = value,
+                None => table.push((key.to_string(), value)),
+            }
+        } else {
+            return Err(at(format!("cannot parse `{line}`")));
+        }
+    }
+    Ok(Value::Map(root))
+}
+
+fn split_header(header: &str) -> Result<Vec<String>, String> {
+    let segments: Vec<String> = header.split('.').map(|s| s.trim().to_string()).collect();
+    if segments.iter().any(String::is_empty) {
+        return Err(format!("empty segment in header `{header}`"));
+    }
+    Ok(segments)
+}
+
+/// Drops a `#` comment, respecting (unescaped) string quoting.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Finds (creating on demand) the table at `path`. With `append`, the
+/// final segment is an array of tables and a fresh element is pushed;
+/// otherwise intermediate arrays are traversed through their last
+/// element (standard TOML sub-table-of-last-element semantics).
+fn table_mut<'a>(
+    map: &'a mut Vec<(String, Value)>,
+    path: &[String],
+    append: bool,
+) -> Result<&'a mut Vec<(String, Value)>, String> {
+    let Some((first, rest)) = path.split_first() else {
+        return Ok(map);
+    };
+    let idx = match map.iter().position(|(k, _)| k == first) {
+        Some(i) => i,
+        None => {
+            let fresh = if rest.is_empty() && append {
+                Value::Seq(Vec::new())
+            } else {
+                Value::Map(Vec::new())
+            };
+            map.push((first.clone(), fresh));
+            map.len() - 1
+        }
+    };
+    match &mut map[idx].1 {
+        Value::Map(m) => {
+            if rest.is_empty() {
+                if append {
+                    return Err(format!("`{first}` is a table, not an array of tables"));
+                }
+                Ok(m)
+            } else {
+                table_mut(m, rest, append)
+            }
+        }
+        Value::Seq(items) => {
+            if rest.is_empty() && append {
+                items.push(Value::Map(Vec::new()));
+            }
+            match items.last_mut() {
+                Some(Value::Map(m)) => {
+                    if rest.is_empty() {
+                        Ok(m)
+                    } else {
+                        table_mut(m, rest, append)
+                    }
+                }
+                _ => Err(format!("`{first}` is not an array of tables")),
+            }
+        }
+        _ => Err(format!("`{first}` is not a table")),
+    }
+}
+
+fn parse_toml_scalar(v: &str) -> Result<Value, String> {
+    if let Some(inner) = v.strip_prefix('"') {
+        let inner = inner
+            .strip_suffix('"')
+            .ok_or_else(|| format!("unterminated string `{v}`"))?;
+        let mut out = String::with_capacity(inner.len());
+        let mut chars = inner.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    other => return Err(format!("unknown escape `\\{}`", other.unwrap_or(' '))),
+                }
+            } else if c == '"' {
+                return Err(format!("unescaped quote inside `{v}`"));
+            } else {
+                out.push(c);
+            }
+        }
+        return Ok(Value::Str(out));
+    }
+    match v {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if let Ok(u) = v.parse::<u64>() {
+        return Ok(Value::U64(u));
+    }
+    if let Ok(i) = v.parse::<i64>() {
+        return Ok(Value::I64(i));
+    }
+    if let Ok(f) = v.parse::<f64>() {
+        if f.is_finite() {
+            return Ok(Value::F64(f));
+        }
+    }
+    Err(format!(
+        "cannot parse value `{v}` (want a quoted string, boolean or number)"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ScenarioSpec {
+        ScenarioSpec {
+            device: Some("orin-nano".to_string()),
+            seed: Some(7),
+            duration: Some("2s".to_string()),
+            warmup: Some("200ms".to_string()),
+            slo: Some("50ms".to_string()),
+            gpu_policy: Some("priority:40".to_string()),
+            fault_seed: Some(99),
+            deadline: Some("80ms".to_string()),
+            retry: Some(3),
+            hedge: Some("auto".to_string()),
+            breaker: Some("brownout".to_string()),
+            recovery: Some(2),
+            max_delay: Some("5ms".to_string()),
+            queue_cap: Some(64),
+            admission: Some("shed".to_string()),
+            autoscale: Some(AutoscaleScenario {
+                min_replicas: Some(0),
+                max_replicas: Some(4),
+                target_queue: Some(3.5),
+                keep_alive: Some("150ms".to_string()),
+                evaluate_every: Some("20ms".to_string()),
+                slo_burn: Some(true),
+                start_cost: Some("auto".to_string()),
+            }),
+            tenants: Some(vec![
+                TenantScenario {
+                    spec: Some("resnet50:int8:1:4".to_string()),
+                    arrival: Some("mmpp:50:400:300:80".to_string()),
+                    max_delay: None,
+                    queue_cap: Some(32),
+                    admission: None,
+                    autoscale: Some(AutoscaleScenario {
+                        min_replicas: Some(1),
+                        ..AutoscaleScenario::default()
+                    }),
+                },
+                TenantScenario {
+                    spec: Some("model=yolov8n,precision=fp16,batch=2,sm_share=0.5".to_string()),
+                    arrival: Some("poisson:40".to_string()),
+                    ..TenantScenario::default()
+                },
+            ]),
+        }
+    }
+
+    #[test]
+    fn toml_round_trips() {
+        let spec = sample();
+        let toml = spec.to_toml();
+        let back: ScenarioSpec = toml.parse().unwrap();
+        assert_eq!(back, spec, "TOML:\n{toml}");
+        assert_eq!(format!("{spec}"), toml);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let spec = sample();
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let back: ScenarioSpec = json.parse().unwrap();
+        assert_eq!(back, spec, "JSON:\n{json}");
+    }
+
+    #[test]
+    fn sparse_scenario_round_trips_and_defaults_stay_none() {
+        let spec = ScenarioSpec {
+            tenants: Some(vec![TenantScenario {
+                spec: Some("resnet50:int8:1".to_string()),
+                ..TenantScenario::default()
+            }]),
+            ..ScenarioSpec::default()
+        };
+        let back: ScenarioSpec = spec.to_toml().parse().unwrap();
+        assert_eq!(back, spec);
+        let empty: ScenarioSpec = "".parse().unwrap();
+        assert_eq!(empty, ScenarioSpec::default());
+    }
+
+    #[test]
+    fn toml_comments_and_overwrites() {
+        let doc = "\
+# a comment line
+seed = 1 # trailing comment
+seed = 2
+device = \"orin-nano\" # hash in comment: #5
+
+[[tenants]]
+spec = \"resnet50:int8:1\"
+
+[tenants.autoscale]
+min_replicas = 0
+";
+        let spec: ScenarioSpec = doc.parse().unwrap();
+        assert_eq!(spec.seed, Some(2), "later key wins");
+        assert_eq!(spec.device.as_deref(), Some("orin-nano"));
+        let tenants = spec.tenants.unwrap();
+        assert_eq!(tenants.len(), 1);
+        assert_eq!(
+            tenants[0].autoscale.as_ref().unwrap().min_replicas,
+            Some(0),
+            "[tenants.autoscale] attaches to the last [[tenants]] element"
+        );
+    }
+
+    #[test]
+    fn toml_errors_name_the_line() {
+        let err = "seed = ".parse::<ScenarioSpec>().unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        let err = "[tenants..autoscale]\n"
+            .parse::<ScenarioSpec>()
+            .unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        let err = "seed = 1\nnonsense\n".parse::<ScenarioSpec>().unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = "seed = \"unterminated\n"
+            .parse::<ScenarioSpec>()
+            .unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn merge_overlay_wins_fieldwise() {
+        let base = sample();
+        let overlay = ScenarioSpec {
+            seed: Some(42),
+            device: Some("jetson-nano".to_string()),
+            ..ScenarioSpec::default()
+        };
+        let merged = base.merge(&overlay);
+        assert_eq!(merged.seed, Some(42));
+        assert_eq!(merged.device.as_deref(), Some("jetson-nano"));
+        assert_eq!(merged.slo, base.slo, "unset overlay fields fall through");
+        assert_eq!(merged.tenants, base.tenants);
+        // Identity laws.
+        assert_eq!(base.merge(&ScenarioSpec::default()), base);
+        assert_eq!(ScenarioSpec::default().merge(&base), base);
+    }
+
+    #[test]
+    fn duration_and_arrival_grammars() {
+        assert_eq!(
+            parse_duration("50ms").unwrap(),
+            SimDuration::from_millis(50)
+        );
+        assert_eq!(
+            parse_duration("200us").unwrap(),
+            SimDuration::from_micros(200)
+        );
+        assert_eq!(parse_duration("2s").unwrap(), SimDuration::from_secs(2));
+        assert_eq!(parse_duration("2").unwrap(), SimDuration::from_secs(2));
+        assert!(parse_duration("-1s").is_err());
+        assert!(parse_duration("fast").is_err());
+        assert!(parse_arrival("poisson:100").is_ok());
+        assert!(parse_arrival("mmpp:50:400:300:80").is_ok());
+        assert!(parse_arrival("poisson:-3").is_err());
+        assert!(parse_arrival("uniform:5").is_err());
+        assert!(parse_arrival("mmpp:50:400:300").is_err());
+    }
+}

@@ -5,48 +5,52 @@
 //!     --slo 50ms --duration 30s
 //! ```
 //!
-//! Each `--tenant model:precision:batch[:count]` takes the preceding (or
-//! last) `--arrival`; `--find-max-qps` turns the run into a capacity
-//! search for tenant 0. Both `--flag value` and `--flag=value` spellings
-//! work.
+//! Each `--tenant model:precision:batch[:count]` (or key=value form)
+//! takes the preceding (or last) `--arrival`; `--find-max-qps` turns the
+//! run into a capacity search for tenant 0. Both `--flag value` and
+//! `--flag=value` spellings work.
+//!
+//! Every flag is an overlay over a declarative scenario document: with
+//! `--scenario FILE` the file (TOML or JSON [`ScenarioSpec`]) supplies
+//! the base configuration and explicit flags override individual
+//! fields; without it the overlay stands alone. `--dump-scenario`
+//! prints the merged document instead of running — feeding it back via
+//! `--scenario` reproduces the run byte for byte.
 
 use std::process::ExitCode;
 
-use jetsim::platform::Platform;
-use jetsim_des::{ArrivalProcess, SimDuration};
-use jetsim_serve::{
-    AdmissionPolicy, BreakerMode, BreakerPolicy, FaultPlan, HedgePolicy, OomPolicy, RecoverySpec,
-    ResiliencePolicies, RetryPolicy, ServeSpec, ServeTenant,
-};
+use jetsim::scenario::{parse_arrival, parse_duration};
+use jetsim_serve::scenario::{build_serve_spec, DEFAULT_SEED};
+use jetsim_serve::{AutoscaleScenario, ScenarioSpec, TenantScenario};
 use jetsim_sim::GpuPolicy;
 
 #[derive(Debug)]
 struct Args {
-    tenants: Vec<(String, ArrivalProcess)>,
-    device: String,
-    slo: SimDuration,
-    duration: SimDuration,
-    warmup: SimDuration,
-    max_delay: SimDuration,
-    queue_cap: usize,
-    admission: AdmissionPolicy,
-    seed: u64,
+    /// Path of the base scenario document, when given.
+    scenario: Option<String>,
+    /// Every config-shaped flag, parsed into a sparse overlay.
+    overlay: ScenarioSpec,
+    /// `--faults` armed without an explicit seed: resolve against the
+    /// *merged* seed after the scenario file is applied.
+    faults_default_seed: bool,
+    /// `--arrival` given with no `--tenant` flags: override the arrival
+    /// process of every tenant the scenario file supplies.
+    bare_arrival: Option<String>,
     find_max_qps: Option<f64>,
     json: bool,
-    fault_seed: Option<u64>,
-    deadline: Option<SimDuration>,
-    retry: Option<u32>,
-    hedge: Option<Option<SimDuration>>,
-    breaker: Option<BreakerMode>,
-    recovery: Option<u32>,
-    gpu_policy: GpuPolicy,
+    dump_scenario: bool,
 }
 
 fn usage() -> &'static str {
     "usage: jetsim-serve --tenant model:precision:batch[:count[:priority]] [--tenant ...]\n\
+     \x20                  or key=value form: model=resnet50,precision=int8,batch=4,\n\
+     \x20                  count=2,priority=1,sm_share=0.5\n\
      \x20                [--arrival poisson:RATE | mmpp:CALM:BURST:CALM_MS:BURST_MS]\n\
      \x20                  each --arrival applies to the following --tenant(s);\n\
      \x20                  default poisson:100\n\
+     \x20                [--scenario FILE] load a TOML/JSON scenario as the base config;\n\
+     \x20                  explicit flags override individual fields\n\
+     \x20                [--dump-scenario] print the merged scenario (TOML) and exit\n\
      \x20                [--slo DUR] [--duration DUR] [--warmup DUR] [--max-delay DUR]\n\
      \x20                  DUR accepts us/ms/s suffixes; a bare number means seconds\n\
      \x20                [--queue-cap N] [--admission reject|shed|degrade]\n\
@@ -63,90 +67,38 @@ fn usage() -> &'static str {
      \x20                  (default shed)\n\
      \x20                [--recovery[=N]] restart OOM-killed replicas up to N times\n\
      \x20                  (default 2; cost derived from the engine cache)\n\
+     \x20                [--autoscale MIN[:MAX]] autoscale every tenant between MIN and\n\
+     \x20                  MAX replicas (MIN 0 = scale to zero; MAX defaults to the\n\
+     \x20                  tenant's instance count)\n\
+     \x20                [--target-queue N] queued requests per replica that trigger a\n\
+     \x20                  scale-up (default 4)\n\
+     \x20                [--keep-alive DUR] idle time before reaping above the floor\n\
+     \x20                  (default 200ms)\n\
+     \x20                [--scale-every DUR] autoscaler evaluation period (default 20ms)\n\
+     \x20                [--scale-slo-burn] also scale up on SLO burn\n\
+     \x20                [--scale-cost DUR|auto] replica start cost (default auto:\n\
+     \x20                  cold/warm derived from the engine cache)\n\
      \x20                [--gpu-policy rr|fifo|priority[:PENALTY_US]|mps[:OVERLAP]]\n\
      \x20                  GPU scheduling policy (default rr); tenant priorities come\n\
      \x20                  from the 5th --tenant field\n\
      \x20                [--json] emit the report as JSON"
 }
 
-/// Parses `50ms`, `200us`, `30s` or a bare number of seconds.
-fn parse_duration(s: &str) -> Result<SimDuration, String> {
-    let (digits, scale) = if let Some(v) = s.strip_suffix("us") {
-        (v, 1e-6)
-    } else if let Some(v) = s.strip_suffix("ms") {
-        (v, 1e-3)
-    } else if let Some(v) = s.strip_suffix('s') {
-        (v, 1.0)
-    } else {
-        (s, 1.0)
-    };
-    let value: f64 = digits
-        .parse()
-        .map_err(|_| format!("bad duration `{s}` (want e.g. 50ms, 200us, 30s)"))?;
-    if !value.is_finite() || value < 0.0 {
-        return Err(format!("bad duration `{s}`: must be non-negative"));
-    }
-    Ok(SimDuration::from_secs_f64(value * scale))
-}
-
-/// Parses `poisson:RATE` or `mmpp:CALM:BURST:CALM_MS:BURST_MS`.
-fn parse_arrival(s: &str) -> Result<ArrivalProcess, String> {
-    let grammar = "want poisson:RATE or mmpp:CALM:BURST:CALM_MS:BURST_MS";
-    let (kind, rest) = s
-        .split_once(':')
-        .ok_or_else(|| format!("bad arrival `{s}`: {grammar}"))?;
-    let rate = |v: &str, what: &str| -> Result<f64, String> {
-        let r: f64 = v
-            .parse()
-            .map_err(|_| format!("bad arrival `{s}`: {what} is not a number"))?;
-        if !r.is_finite() || r <= 0.0 {
-            return Err(format!("bad arrival `{s}`: {what} must be positive"));
-        }
-        Ok(r)
-    };
-    match kind {
-        "poisson" => Ok(ArrivalProcess::poisson(rate(rest, "rate")?)),
-        "mmpp" => {
-            let parts: Vec<&str> = rest.split(':').collect();
-            if parts.len() != 4 {
-                return Err(format!("bad arrival `{s}`: {grammar}"));
-            }
-            Ok(ArrivalProcess::mmpp(
-                rate(parts[0], "calm rate")?,
-                rate(parts[1], "burst rate")?,
-                SimDuration::from_secs_f64(rate(parts[2], "calm dwell (ms)")? * 1e-3),
-                SimDuration::from_secs_f64(rate(parts[3], "burst dwell (ms)")? * 1e-3),
-            ))
-        }
-        other => Err(format!(
-            "bad arrival `{s}`: unknown process `{other}`; {grammar}"
-        )),
-    }
-}
-
 impl Args {
     fn parse(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         let mut args = Args {
-            tenants: Vec::new(),
-            device: "orin-nano".to_string(),
-            slo: SimDuration::from_millis(50),
-            duration: SimDuration::from_secs(3),
-            warmup: SimDuration::from_millis(500),
-            max_delay: SimDuration::from_millis(5),
-            queue_cap: 64,
-            admission: AdmissionPolicy::Reject,
-            seed: 0x6A65_7473,
+            scenario: None,
+            overlay: ScenarioSpec::default(),
+            faults_default_seed: false,
+            bare_arrival: None,
             find_max_qps: None,
             json: false,
-            fault_seed: None,
-            deadline: None,
-            retry: None,
-            hedge: None,
-            breaker: None,
-            recovery: None,
-            gpu_policy: GpuPolicy::TimesliceRR,
+            dump_scenario: false,
         };
-        let mut arrivals = ArrivalProcess::poisson(100.0);
+        let mut tenants: Vec<TenantScenario> = Vec::new();
+        let mut arrival: Option<String> = None;
+        let mut autoscale = AutoscaleScenario::default();
+        let mut autoscale_set = false;
         let mut argv = argv.peekable();
         while let Some(arg) = argv.next() {
             let (key, mut value) = match arg.split_once('=') {
@@ -165,33 +117,48 @@ impl Args {
                 }
                 v.clone().ok_or_else(|| format!("{key} needs a value"))
             };
+            // Validate a duration flag eagerly but keep the raw grammar
+            // string: the overlay stays a plain scenario document.
+            let mut duration_field = |v: &mut Option<String>| -> Result<String, String> {
+                let raw = required(v)?;
+                parse_duration(&raw)?;
+                Ok(raw)
+            };
             match key.as_str() {
+                "--scenario" => args.scenario = Some(required(&mut value)?),
+                "--dump-scenario" => args.dump_scenario = true,
                 "--tenant" => {
-                    let spec = required(&mut value)?;
-                    args.tenants.push((spec, arrivals.clone()));
+                    tenants.push(TenantScenario {
+                        spec: Some(required(&mut value)?),
+                        arrival: arrival.clone(),
+                        ..TenantScenario::default()
+                    });
                 }
                 "--arrival" => {
-                    arrivals = parse_arrival(&required(&mut value)?)?;
+                    let raw = required(&mut value)?;
+                    parse_arrival(&raw)?;
                     // Retroactively applies when --arrival follows the
                     // final --tenant (the natural CLI reading).
-                    if let Some((_, a)) = args.tenants.last_mut() {
-                        *a = arrivals.clone();
+                    if let Some(t) = tenants.last_mut() {
+                        t.arrival = Some(raw.clone());
                     }
+                    arrival = Some(raw);
                 }
-                "--slo" => args.slo = parse_duration(&required(&mut value)?)?,
-                "--duration" => args.duration = parse_duration(&required(&mut value)?)?,
-                "--warmup" => args.warmup = parse_duration(&required(&mut value)?)?,
-                "--max-delay" => args.max_delay = parse_duration(&required(&mut value)?)?,
+                "--slo" => args.overlay.slo = Some(duration_field(&mut value)?),
+                "--duration" => args.overlay.duration = Some(duration_field(&mut value)?),
+                "--warmup" => args.overlay.warmup = Some(duration_field(&mut value)?),
+                "--max-delay" => args.overlay.max_delay = Some(duration_field(&mut value)?),
                 "--queue-cap" => {
-                    args.queue_cap = required(&mut value)?
-                        .parse()
-                        .map_err(|e| format!("bad --queue-cap: {e}"))?
+                    args.overlay.queue_cap = Some(
+                        required(&mut value)?
+                            .parse()
+                            .map_err(|e| format!("bad --queue-cap: {e}"))?,
+                    )
                 }
                 "--admission" => {
-                    args.admission = match required(&mut value)?.as_str() {
-                        "reject" => AdmissionPolicy::Reject,
-                        "shed" => AdmissionPolicy::Shed,
-                        "degrade" => AdmissionPolicy::Degrade,
+                    let policy = required(&mut value)?;
+                    match policy.as_str() {
+                        "reject" | "shed" | "degrade" => args.overlay.admission = Some(policy),
                         other => {
                             return Err(format!(
                                 "bad --admission `{other}`: want reject, shed or degrade"
@@ -199,11 +166,13 @@ impl Args {
                         }
                     }
                 }
-                "--device" => args.device = required(&mut value)?,
+                "--device" => args.overlay.device = Some(required(&mut value)?),
                 "--seed" => {
-                    args.seed = required(&mut value)?
-                        .parse()
-                        .map_err(|e| format!("bad --seed: {e}"))?
+                    args.overlay.seed = Some(
+                        required(&mut value)?
+                            .parse()
+                            .map_err(|e| format!("bad --seed: {e}"))?,
+                    )
                 }
                 "--find-max-qps" => {
                     args.find_max_qps = Some(match value {
@@ -213,15 +182,16 @@ impl Args {
                         None => 0.95,
                     })
                 }
-                "--faults" => {
-                    args.fault_seed = Some(match value {
-                        Some(v) => v.parse().map_err(|e| format!("bad --faults seed: {e}"))?,
-                        None => args.seed,
-                    })
-                }
-                "--deadline" => args.deadline = Some(parse_duration(&required(&mut value)?)?),
+                "--faults" => match value {
+                    Some(v) => {
+                        args.overlay.fault_seed =
+                            Some(v.parse().map_err(|e| format!("bad --faults seed: {e}"))?)
+                    }
+                    None => args.faults_default_seed = true,
+                },
+                "--deadline" => args.overlay.deadline = Some(duration_field(&mut value)?),
                 "--retry" => {
-                    args.retry = Some(match value {
+                    args.overlay.retry = Some(match value {
                         Some(v) => v
                             .parse()
                             .map_err(|e| format!("bad --retry attempts: {e}"))?,
@@ -229,98 +199,139 @@ impl Args {
                     })
                 }
                 "--hedge" => {
-                    args.hedge = Some(match value.as_deref() {
-                        Some("auto") | None => None,
-                        Some(v) => Some(parse_duration(v)?),
+                    args.overlay.hedge = Some(match value.as_deref() {
+                        Some("auto") | None => "auto".to_string(),
+                        Some(v) => {
+                            parse_duration(v)?;
+                            v.to_string()
+                        }
                     })
                 }
                 "--breaker" => {
-                    args.breaker = Some(match value.as_deref() {
-                        Some("shed") | None => BreakerMode::Shed,
-                        Some("brownout") => BreakerMode::Brownout,
+                    args.overlay.breaker = Some(match value.as_deref() {
+                        Some("shed") | None => "shed".to_string(),
+                        Some("brownout") => "brownout".to_string(),
                         Some(other) => {
                             return Err(format!("bad --breaker `{other}`: want shed or brownout"))
                         }
                     })
                 }
                 "--recovery" => {
-                    args.recovery = Some(match value {
+                    args.overlay.recovery = Some(match value {
                         Some(v) => v
                             .parse()
                             .map_err(|e| format!("bad --recovery restarts: {e}"))?,
                         None => 2,
                     })
                 }
+                "--autoscale" => {
+                    let spec = required(&mut value)?;
+                    let (min, max) = match spec.split_once(':') {
+                        Some((min, max)) => (
+                            min.parse()
+                                .map_err(|e| format!("bad --autoscale MIN: {e}"))?,
+                            Some(
+                                max.parse()
+                                    .map_err(|e| format!("bad --autoscale MAX: {e}"))?,
+                            ),
+                        ),
+                        None => (
+                            spec.parse()
+                                .map_err(|e| format!("bad --autoscale MIN: {e}"))?,
+                            None,
+                        ),
+                    };
+                    autoscale.min_replicas = Some(min);
+                    autoscale.max_replicas = max;
+                    autoscale_set = true;
+                }
+                "--target-queue" => {
+                    autoscale.target_queue = Some(
+                        required(&mut value)?
+                            .parse()
+                            .map_err(|e| format!("bad --target-queue: {e}"))?,
+                    );
+                    autoscale_set = true;
+                }
+                "--keep-alive" => {
+                    autoscale.keep_alive = Some(duration_field(&mut value)?);
+                    autoscale_set = true;
+                }
+                "--scale-every" => {
+                    autoscale.evaluate_every = Some(duration_field(&mut value)?);
+                    autoscale_set = true;
+                }
+                "--scale-slo-burn" => {
+                    autoscale.slo_burn = Some(true);
+                    autoscale_set = true;
+                }
+                "--scale-cost" => {
+                    let cost = required(&mut value)?;
+                    if cost != "auto" {
+                        parse_duration(&cost)?;
+                    }
+                    autoscale.start_cost = Some(cost);
+                    autoscale_set = true;
+                }
                 "--gpu-policy" => {
-                    args.gpu_policy = required(&mut value)?
-                        .parse()
-                        .map_err(|e| format!("bad --gpu-policy: {e}"))?
+                    let policy = required(&mut value)?;
+                    policy
+                        .parse::<GpuPolicy>()
+                        .map_err(|e| format!("bad --gpu-policy: {e}"))?;
+                    args.overlay.gpu_policy = Some(policy);
                 }
                 "--json" => args.json = true,
                 "--help" | "-h" => return Err(usage().to_string()),
                 other => return Err(format!("unknown flag `{other}`\n{}", usage())),
             }
         }
-        if args.tenants.is_empty() {
-            return Err(format!("--tenant is required\n{}", usage()));
+        if !tenants.is_empty() {
+            args.overlay.tenants = Some(tenants);
+        } else {
+            // A bare --arrival with the tenant list coming from the
+            // scenario file overrides every tenant's arrivals.
+            args.bare_arrival = arrival;
+        }
+        if autoscale_set {
+            args.overlay.autoscale = Some(autoscale);
+        }
+        if args.scenario.is_none() && args.overlay.tenants.is_none() && !args.dump_scenario {
+            return Err(format!("--tenant or --scenario is required\n{}", usage()));
         }
         Ok(args)
     }
 
-    fn platform(&self) -> Result<Platform, String> {
-        match self.device.as_str() {
-            "orin-nano" | "orin" => Ok(Platform::orin_nano()),
-            "jetson-nano" | "nano" => Ok(Platform::jetson_nano()),
-            "cloud-a40" | "a40" => Ok(Platform::cloud_a40()),
-            other => Err(format!("unknown device `{other}`")),
+    /// Loads the scenario file (if any), layers the flag overlay on
+    /// top, and resolves the armed-but-unseeded `--faults` default
+    /// against the merged seed.
+    fn merged_scenario(&self) -> Result<ScenarioSpec, String> {
+        let base = match &self.scenario {
+            Some(path) => std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read scenario `{path}`: {e}"))?
+                .parse::<ScenarioSpec>()
+                .map_err(|e| format!("{path}: {e}"))?,
+            None => ScenarioSpec::default(),
+        };
+        let mut merged = base.merge(&self.overlay);
+        if self.faults_default_seed && merged.fault_seed.is_none() {
+            merged.fault_seed = Some(merged.seed.unwrap_or(DEFAULT_SEED));
         }
+        if let Some(arrival) = &self.bare_arrival {
+            for tenant in merged.tenants.iter_mut().flatten() {
+                tenant.arrival = Some(arrival.clone());
+            }
+        }
+        Ok(merged)
     }
 }
 
 fn run(args: Args) -> Result<(), String> {
-    let platform = args.platform()?;
-    let mut spec = ServeSpec::new(platform)
-        .slo(args.slo)
-        .duration(args.duration)
-        .warmup(args.warmup)
-        .seed(args.seed)
-        .gpu_policy(args.gpu_policy);
-    let mut resilience = ResiliencePolicies::none();
-    if let Some(deadline) = args.deadline {
-        resilience = resilience.deadline(deadline);
+    let scenario = args.merged_scenario()?;
+    if args.dump_scenario {
+        print!("{scenario}");
+        return Ok(());
     }
-    if let Some(attempts) = args.retry {
-        // Back off from half the SLO: the first retry lands inside the
-        // deadline window for any sane deadline ≥ the SLO.
-        let base = SimDuration::from_secs_f64(args.slo.as_secs_f64() * 0.5);
-        resilience = resilience.retry(RetryPolicy::new(attempts, base));
-    }
-    if let Some(delay) = args.hedge {
-        resilience = resilience.hedge(match delay {
-            Some(d) => HedgePolicy::fixed(d),
-            None => HedgePolicy::auto(),
-        });
-    }
-    if let Some(mode) = args.breaker {
-        resilience = resilience.breaker(BreakerPolicy::new(32, 0.5).mode(mode));
-    }
-    if let Some(restarts) = args.recovery {
-        resilience = resilience.recovery(RecoverySpec::auto(restarts));
-    }
-    spec = spec.resilience(resilience);
-    if let Some(fault_seed) = args.fault_seed {
-        let plan =
-            FaultPlan::seeded(fault_seed, spec.horizon(), 2, 1).oom_policy(OomPolicy::KillLargest);
-        spec = spec.faults(plan);
-    }
-    for (tenant_spec, arrivals) in &args.tenants {
-        let tenant = ServeTenant::parse_with_arrivals(tenant_spec, arrivals.clone())
-            .map_err(|e| e.to_string())?
-            .max_delay(args.max_delay)
-            .queue_cap(args.queue_cap)
-            .admission(args.admission);
-        spec = spec.tenant(tenant);
-    }
+    let spec = build_serve_spec(&scenario)?;
 
     if let Some(target) = args.find_max_qps {
         let estimate = spec.find_max_qps(target, 6).map_err(|e| e.to_string())?;

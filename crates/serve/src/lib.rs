@@ -33,7 +33,7 @@
 //! use jetsim_serve::{ServeSpec, ServeTenant};
 //!
 //! let report = ServeSpec::new(Platform::orin_nano())
-//!     .tenant(ServeTenant::parse_with_arrivals(
+//!     .tenant(ServeTenant::parse(
 //!         "resnet50:int8:1:2",
 //!         ArrivalProcess::poisson(200.0),
 //!     )?)
@@ -53,6 +53,7 @@
 pub mod capacity;
 pub mod metrics;
 pub mod resilience;
+pub mod scenario;
 pub mod spec;
 
 pub use capacity::{find_max_qps, CapacityEstimate, CapacityProbe};
@@ -61,14 +62,20 @@ pub use resilience::{
     chaos_sweep, chaos_sweep_with_plan, ChaosCell, RecoverySpec, ResiliencePolicies,
     ResilienceReport, RestartCost,
 };
-pub use spec::{ServeError, ServeSpec, ServeTenant};
+pub use scenario::{build_autoscale, build_serve_spec};
+pub use spec::{AutoscaleSpec, ServeError, ServeSpec, ServeTenant};
 
 // Re-export the serving vocabulary so downstream users need only this
 // crate for online-serving experiments.
 pub use jetsim_des::{ArrivalProcess, ArrivalStream};
 pub use jetsim_sim::serving::{
-    AdmissionPolicy, BatchDecision, BatcherPolicy, BreakerMode, BreakerPolicy, DropKind,
-    HedgePolicy, RecoveryPolicy, ReplicaHealth, RequestRecord, RetryPolicy, ServeEvent,
-    ServeEventKind,
+    AdmissionPolicy, AutoscalerPolicy, BatchDecision, BatcherPolicy, BreakerMode, BreakerPolicy,
+    DropKind, HedgePolicy, RecoveryPolicy, ReplicaHealth, RequestRecord, RetryPolicy,
+    ScaleDecision, ScaleSignals, ServeEvent, ServeEventKind,
 };
 pub use jetsim_sim::{FaultPlan, OomPolicy};
+
+// The declarative scenario document lives in the core crate (so the
+// closed-loop `jetsim-trtexec` CLI can read the same files); re-export
+// it here as the serving-facing entry point.
+pub use jetsim::scenario::{AutoscaleScenario, ScenarioSpec, TenantScenario};

@@ -10,7 +10,7 @@
 //! flight. Without resilience policies every chain is a single record
 //! and the numbers reduce to the plain per-request accounting.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use jetsim_des::{SimDuration, SimTime};
@@ -90,6 +90,22 @@ pub struct GroupReport {
     /// Mean time-to-recovery across completed restarts, ms (0 when no
     /// replica recovered).
     pub mttr_ms: f64,
+    /// Integral of serving (warmed, un-reaped) replicas over the
+    /// measured window, in replica-seconds — the capacity bill an
+    /// autoscaled group actually pays. 0.0 for static groups, whose bill
+    /// is `instances × measured_secs` by construction.
+    pub replica_seconds: f64,
+    /// Cold provisions over the whole run (engine build + plan load).
+    pub cold_starts: usize,
+    /// Warm provisions over the whole run (plan load only).
+    pub warm_starts: usize,
+    /// Mean provision→serving latency across cold starts, ms — the
+    /// cold-start tax a scaled-from-zero arrival eats.
+    pub cold_start_tax_ms: f64,
+    /// Idle replicas reaped by the keep-alive timer over the whole run.
+    pub reaps: usize,
+    /// Times the group scaled to zero live replicas.
+    pub scale_to_zero_parks: usize,
 }
 
 /// The full serving report: one [`GroupReport`] per tenant.
@@ -290,6 +306,79 @@ impl ServeReport {
                     }
                 }
 
+                // Autoscaling telemetry replays the *full* event history:
+                // the serving set at window start is the product of
+                // warmups, provisions and reaps during warmup, so the
+                // replica-seconds integral cannot start from the
+                // in-window events alone. Static groups emit none of
+                // these events and fall through with zeros.
+                let window_end = window_start + trace.measured;
+                let mut up_set: HashSet<usize> = HashSet::new();
+                let mut serving_at_down: HashMap<usize, bool> = HashMap::new();
+                let mut provisioned_at: HashMap<usize, (SimTime, bool)> = HashMap::new();
+                let mut cold_starts = 0usize;
+                let mut warm_starts = 0usize;
+                let mut cold_tax_total = SimDuration::ZERO;
+                let mut cold_tax_count = 0usize;
+                let mut reaps = 0usize;
+                let mut scale_to_zero_parks = 0usize;
+                let mut replica_seconds = 0.0f64;
+                let mut last_t = SimTime::ZERO;
+                let advance = |to: SimTime, up: usize, last_t: &mut SimTime, acc: &mut f64| {
+                    let from = (*last_t).max(window_start);
+                    let until = to.min(window_end);
+                    if until > from {
+                        *acc += up as f64 * until.saturating_since(from).as_secs_f64();
+                    }
+                    *last_t = to;
+                };
+                for e in trace.serve_events.iter().filter(|e| e.group == g) {
+                    match e.kind {
+                        ServeEventKind::ReplicaProvisioned { pid, cold } => {
+                            provisioned_at.insert(pid, (e.time, cold));
+                            if cold {
+                                cold_starts += 1;
+                            } else {
+                                warm_starts += 1;
+                            }
+                        }
+                        ServeEventKind::ReplicaWarmed { pid } => {
+                            advance(e.time, up_set.len(), &mut last_t, &mut replica_seconds);
+                            up_set.insert(pid);
+                            if let Some((at, cold)) = provisioned_at.remove(&pid) {
+                                if cold {
+                                    cold_tax_total += e.time.saturating_since(at);
+                                    cold_tax_count += 1;
+                                }
+                            }
+                        }
+                        ServeEventKind::ReplicaReaped { pid } => {
+                            advance(e.time, up_set.len(), &mut last_t, &mut replica_seconds);
+                            up_set.remove(&pid);
+                            reaps += 1;
+                        }
+                        ServeEventKind::ReplicaDown { pid, .. } => {
+                            advance(e.time, up_set.len(), &mut last_t, &mut replica_seconds);
+                            // A kill mid-provision cancels the start;
+                            // drop the pending tax entry too.
+                            provisioned_at.remove(&pid);
+                            serving_at_down.insert(pid, up_set.remove(&pid));
+                        }
+                        // Restarts revive the *process*; it rejoins the
+                        // serving set only if it was serving when it
+                        // went down (parked replicas come back parked).
+                        ServeEventKind::ReplicaUp { pid }
+                            if serving_at_down.remove(&pid).unwrap_or(false) =>
+                        {
+                            advance(e.time, up_set.len(), &mut last_t, &mut replica_seconds);
+                            up_set.insert(pid);
+                        }
+                        ServeEventKind::ParkedToZero => scale_to_zero_parks += 1,
+                        _ => {}
+                    }
+                }
+                advance(window_end, up_set.len(), &mut last_t, &mut replica_seconds);
+
                 let per_sec = |count: usize| {
                     if measured_secs > 0.0 {
                         count as f64 / measured_secs
@@ -346,6 +435,16 @@ impl ServeReport {
                     } else {
                         0.0
                     },
+                    replica_seconds,
+                    cold_starts,
+                    warm_starts,
+                    cold_start_tax_ms: if cold_tax_count > 0 {
+                        cold_tax_total.as_millis_f64() / cold_tax_count as f64
+                    } else {
+                        0.0
+                    },
+                    reaps,
+                    scale_to_zero_parks,
                 }
             })
             .collect();

@@ -8,13 +8,138 @@ use jetsim::deployment::{DeploymentError, Tenant};
 use jetsim::platform::Platform;
 use jetsim_des::{ArrivalProcess, SimDuration};
 use jetsim_dnn::Precision;
-use jetsim_sim::serving::{AdmissionPolicy, BreakerMode, ServeGroup, ServePlan};
+use jetsim_sim::serving::{AdmissionPolicy, AutoscalerPolicy, BreakerMode, ServeGroup, ServePlan};
 use jetsim_sim::{FaultPlan, GpuPolicy, SimConfig, SimError, Simulation};
-use jetsim_trt::BuildError;
+use jetsim_trt::{BuildError, Engine};
 
 use crate::capacity::{self, CapacityEstimate};
 use crate::metrics::ServeReport;
-use crate::resilience::{engine_is_cached, ResiliencePolicies};
+use crate::resilience::{engine_is_cached, ResiliencePolicies, RestartCost};
+
+/// Serverless autoscaling spec for a served tenant: replica bounds, the
+/// scaling knobs, and how replica start costs are charged. Resolved
+/// against the tenant's concrete engine (and the [`jetsim_trt`] engine
+/// cache's warm/cold state) into the [`AutoscalerPolicy`] the DES
+/// enforces.
+///
+/// The tenant's instance count is the provisioning ceiling: all
+/// instances exist as processes (their memory counts against the board
+/// for the whole run), but only `min_replicas` start up — the rest park
+/// until the autoscaler provisions them, paying a TensorRT cold start
+/// (build + plan-load) while no plan exists and a warm plan-load after.
+/// `min_replicas == 0` scales to zero: the group parks entirely and the
+/// first arrival eats the cold start.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoscaleSpec {
+    /// Replica floor the idle reaper never goes below (0 = scale to
+    /// zero).
+    pub min_replicas: u32,
+    /// Replica ceiling; `None` uses the tenant's instance count. Always
+    /// clamped to the instance count.
+    pub max_replicas: Option<u32>,
+    /// Queued requests per up replica that trigger a scale-up.
+    pub target_queue_per_replica: f64,
+    /// Idle time before a replica above the floor is reaped.
+    pub keep_alive: SimDuration,
+    /// Autoscaler evaluation interval.
+    pub evaluate_every: SimDuration,
+    /// When `true`, completions over the spec's SLO count as burn and a
+    /// burning window (≥ 50%) adds a replica per tick.
+    pub slo_burn: bool,
+    /// How replica start time is charged: [`RestartCost::Auto`] derives
+    /// cold = build + load, warm = load from the engine estimates (with
+    /// the engine-cache probe deciding whether the *first* start is
+    /// already warm); [`RestartCost::Fixed`] charges a flat cost for
+    /// both.
+    pub cost: RestartCost,
+}
+
+impl AutoscaleSpec {
+    /// An autoscaler keeping at least `min_replicas` up; defaults:
+    /// ceiling = instance count, target queue 4.0, 200 ms keep-alive,
+    /// 20 ms ticks, no SLO-burn criterion, cache-derived start costs.
+    pub fn new(min_replicas: u32) -> Self {
+        AutoscaleSpec {
+            min_replicas,
+            max_replicas: None,
+            target_queue_per_replica: 4.0,
+            keep_alive: SimDuration::from_millis(200),
+            evaluate_every: SimDuration::from_millis(20),
+            slo_burn: false,
+            cost: RestartCost::Auto,
+        }
+    }
+
+    /// Sets the replica ceiling (clamped to the tenant's instance count
+    /// at build time).
+    pub fn max_replicas(mut self, max: u32) -> Self {
+        self.max_replicas = Some(max.max(1));
+        self
+    }
+
+    /// Sets the queued-per-replica scale-up threshold.
+    pub fn target_queue_per_replica(mut self, target: f64) -> Self {
+        self.target_queue_per_replica = target;
+        self
+    }
+
+    /// Sets the idle-reap keep-alive.
+    pub fn keep_alive(mut self, keep_alive: SimDuration) -> Self {
+        self.keep_alive = keep_alive;
+        self
+    }
+
+    /// Sets the evaluation interval.
+    pub fn evaluate_every(mut self, every: SimDuration) -> Self {
+        self.evaluate_every = every;
+        self
+    }
+
+    /// Enables the SLO-burn scale-up criterion.
+    pub fn slo_burn(mut self, enabled: bool) -> Self {
+        self.slo_burn = enabled;
+        self
+    }
+
+    /// Sets how replica starts are charged.
+    pub fn cost(mut self, cost: RestartCost) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Resolves this spec against a concrete engine into the policy the
+    /// DES enforces. `warm` says whether the engine was already in the
+    /// cache when the config was compiled (the first start then skips
+    /// the build), `instances` is the tenant's process count, and `slo`
+    /// feeds the optional burn criterion.
+    pub(crate) fn resolve(
+        &self,
+        engine: &Engine,
+        warm: bool,
+        instances: u32,
+        slo: SimDuration,
+    ) -> AutoscalerPolicy {
+        let max = self
+            .max_replicas
+            .unwrap_or(instances)
+            .clamp(1, instances.max(1));
+        let mut policy = AutoscalerPolicy::new(self.min_replicas.min(max), max)
+            .target_queue_per_replica(self.target_queue_per_replica)
+            .keep_alive(self.keep_alive)
+            .evaluate_every(self.evaluate_every);
+        if self.slo_burn {
+            policy = policy.slo_target(slo);
+        }
+        let (cold, warm_cost) = match self.cost {
+            RestartCost::Fixed(d) => (d, d),
+            RestartCost::Auto => (
+                engine.start_cost_estimate(warm),
+                engine.start_cost_estimate(true),
+            ),
+        };
+        policy.start_costs(cold, warm_cost)
+    }
+}
 
 /// One served tenant: a [`Tenant`] (model × precision × batch × instance
 /// count) plus the serving-side knobs — how its requests arrive, how
@@ -38,6 +163,9 @@ pub struct ServeTenant {
     /// Fractional SM share of the tenant's servers (weight under the
     /// `mps` GPU policy; other policies ignore it).
     pub sm_share: f64,
+    /// Per-tenant autoscaler; `None` falls back to the spec-wide
+    /// autoscaler (and to static serving when that is unset too).
+    pub autoscale: Option<AutoscaleSpec>,
 }
 
 impl ServeTenant {
@@ -56,20 +184,33 @@ impl ServeTenant {
             admission: AdmissionPolicy::Reject,
             priority,
             sm_share,
+            autoscale: None,
         }
     }
 
-    /// Parses a `model:precision:batch[:count]` tenant spec (the
-    /// `--tenant` grammar) and attaches an arrival process.
+    /// Parses a `--tenant` spec — positional
+    /// `model:precision:batch[:count[:priority]]` or key=value
+    /// `model=resnet50,precision=int8,batch=4,count=2` — and attaches an
+    /// arrival process.
     ///
     /// # Errors
     ///
     /// Propagates [`DeploymentError`] from [`Tenant::parse`].
+    pub fn parse(spec: &str, arrivals: ArrivalProcess) -> Result<Self, DeploymentError> {
+        Ok(ServeTenant::new(Tenant::parse(spec)?, arrivals))
+    }
+
+    /// Former name of [`ServeTenant::parse`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DeploymentError`] from [`Tenant::parse`].
+    #[deprecated(since = "0.3.0", note = "use `ServeTenant::parse(spec, arrivals)`")]
     pub fn parse_with_arrivals(
         spec: &str,
         arrivals: ArrivalProcess,
     ) -> Result<Self, DeploymentError> {
-        Ok(ServeTenant::new(Tenant::parse(spec)?, arrivals))
+        Self::parse(spec, arrivals)
     }
 
     /// Sets the batcher's flush deadline.
@@ -99,6 +240,12 @@ impl ServeTenant {
     /// Sets the fractional SM share.
     pub fn sm_share(mut self, share: f64) -> Self {
         self.sm_share = share;
+        self
+    }
+
+    /// Attaches a per-tenant autoscaler (overrides any spec-wide one).
+    pub fn autoscale(mut self, autoscale: AutoscaleSpec) -> Self {
+        self.autoscale = Some(autoscale);
         self
     }
 }
@@ -177,6 +324,7 @@ pub struct ServeSpec {
     faults: FaultPlan,
     resilience: ResiliencePolicies,
     gpu_policy: GpuPolicy,
+    autoscale: Option<AutoscaleSpec>,
 }
 
 impl ServeSpec {
@@ -193,6 +341,7 @@ impl ServeSpec {
             faults: FaultPlan::new(),
             resilience: ResiliencePolicies::none(),
             gpu_policy: GpuPolicy::TimesliceRR,
+            autoscale: None,
         }
     }
 
@@ -249,6 +398,15 @@ impl ServeSpec {
         self
     }
 
+    /// Applies an autoscaler to every tenant that does not carry its own
+    /// [`ServeTenant::autoscale`] override. Without either, serving is
+    /// static: all instances are up for the whole run, byte-identical to
+    /// specs predating the autoscaling layer.
+    pub fn autoscale(mut self, autoscale: AutoscaleSpec) -> Self {
+        self.autoscale = Some(autoscale);
+        self
+    }
+
     /// Total simulated horizon (warmup + measured duration), which fault
     /// plans are drawn over.
     pub fn horizon(&self) -> SimDuration {
@@ -291,10 +449,12 @@ impl ServeSpec {
         for st in &self.tenants {
             let t = &st.tenant;
             let label = t.label();
+            let scaling = st.autoscale.as_ref().or(self.autoscale.as_ref());
             // Probe the cache *before* building: whether this exact
-            // engine was already built decides the warm/cold restart
-            // cost under RestartCost::Auto.
-            let warm = res.recovery.is_some()
+            // engine was already built decides the warm/cold start cost
+            // under RestartCost::Auto (for restarts and provisioning
+            // alike).
+            let warm = (res.recovery.is_some() || scaling.is_some())
                 && engine_is_cached(&self.platform, t.model(), t.precision(), t.batch());
             let engine = self
                 .platform
@@ -347,6 +507,9 @@ impl ServeSpec {
             }
             if let Some(recovery) = res.recovery {
                 group = group.recovery(recovery.resolve(&engine, warm));
+            }
+            if let Some(aspec) = scaling {
+                group = group.autoscaler(aspec.resolve(&engine, warm, t.instances(), self.slo));
             }
             plan = plan.group(group);
         }
@@ -446,5 +609,47 @@ mod tests {
         let err = ServeSpec::new(Platform::orin_nano()).run().unwrap_err();
         assert!(matches!(err, ServeError::NoTenants), "{err}");
         assert!(err.to_string().contains("at least one tenant"));
+    }
+
+    #[test]
+    fn autoscale_resolve_clamps_to_instances_and_splits_costs() {
+        let platform = Platform::orin_nano();
+        let engine = platform
+            .build_engine(&jetsim_dnn::zoo::resnet50(), Precision::Fp16, 1)
+            .unwrap();
+        let slo = SimDuration::from_millis(50);
+        // Ceiling defaults to the instance count; explicit ceilings clamp.
+        let policy = AutoscaleSpec::new(1).resolve(&engine, false, 4, slo);
+        assert_eq!((policy.min_replicas, policy.max_replicas), (1, 4));
+        let policy = AutoscaleSpec::new(2)
+            .max_replicas(16)
+            .resolve(&engine, false, 3, slo);
+        assert_eq!((policy.min_replicas, policy.max_replicas), (2, 3));
+        // Auto on a cold cache charges build + load for the first start
+        // and plan-load for later ones; a warm cache collapses them.
+        let cold = AutoscaleSpec::new(0).resolve(&engine, false, 2, slo);
+        assert_eq!(cold.cold_start, engine.start_cost_estimate(false));
+        assert_eq!(cold.warm_start, engine.start_cost_estimate(true));
+        assert!(cold.cold_start > cold.warm_start);
+        let warm = AutoscaleSpec::new(0).resolve(&engine, true, 2, slo);
+        assert_eq!(warm.cold_start, warm.warm_start);
+        // Fixed charges a flat cost either way; slo_burn wires the SLO.
+        let fixed = AutoscaleSpec::new(0)
+            .cost(RestartCost::Fixed(SimDuration::from_millis(33)))
+            .slo_burn(true)
+            .resolve(&engine, false, 2, slo);
+        assert_eq!(fixed.cold_start, SimDuration::from_millis(33));
+        assert_eq!(fixed.warm_start, SimDuration::from_millis(33));
+        assert_eq!(fixed.slo_target, Some(slo));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_parse_with_arrivals_shim_matches_parse() {
+        let arrivals = ArrivalProcess::poisson(80.0);
+        let old = ServeTenant::parse_with_arrivals("resnet50:int8:1:2", arrivals.clone()).unwrap();
+        let new = ServeTenant::parse("resnet50:int8:1:2", arrivals).unwrap();
+        assert_eq!(old.tenant.label(), new.tenant.label());
+        assert_eq!(old.tenant.instances(), new.tenant.instances());
     }
 }

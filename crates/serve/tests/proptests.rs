@@ -9,8 +9,9 @@ use proptest::prelude::*;
 use jetsim::platform::Platform;
 use jetsim_des::{ArrivalProcess, ArrivalStream, SimDuration, SimTime};
 use jetsim_serve::{
-    BatchDecision, BatcherPolicy, BreakerPolicy, DropKind, FaultPlan, HedgePolicy, OomPolicy,
-    RecoverySpec, ResiliencePolicies, ServeEventKind, ServeSpec, ServeTenant,
+    AutoscaleScenario, BatchDecision, BatcherPolicy, BreakerPolicy, DropKind, FaultPlan,
+    HedgePolicy, OomPolicy, RecoverySpec, ResiliencePolicies, ScenarioSpec, ServeEventKind,
+    ServeSpec, ServeTenant, TenantScenario,
 };
 use jetsim_sim::Simulation;
 
@@ -158,6 +159,181 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// ScenarioSpec round-trip and overlay laws
+// ---------------------------------------------------------------------
+
+/// Generates `Some` half the time.
+fn opt<S: Strategy>(inner: S) -> proptest::option::Weighted<S> {
+    proptest::option::weighted(0.5, inner)
+}
+
+/// A plausible CLI-grammar string: tenant specs, policies, arrival
+/// grammars — plus quotes and backslashes to exercise TOML escaping.
+/// Round-tripping does not require the grammar to validate.
+fn grammar_string() -> impl Strategy<Value = String> {
+    "[a-z0-9:=,. \"\\\\-]{0,24}"
+}
+
+fn duration_string() -> impl Strategy<Value = String> {
+    (1u64..100_000, prop::sample::select(vec!["us", "ms", "s"]))
+        .prop_map(|(v, unit)| format!("{v}{unit}"))
+}
+
+fn autoscale_strategy() -> impl Strategy<Value = AutoscaleScenario> {
+    let costs =
+        (0u32..4, duration_string()).prop_map(|(k, d)| if k == 0 { "auto".to_string() } else { d });
+    (
+        (
+            opt(0u32..8),
+            opt(1u32..8),
+            opt(0.25f64..16.0),
+            opt(duration_string()),
+        ),
+        (opt(duration_string()), opt(any::<bool>()), opt(costs)),
+    )
+        .prop_map(
+            |(
+                (min_replicas, max_replicas, target_queue, keep_alive),
+                (evaluate_every, slo_burn, start_cost),
+            )| AutoscaleScenario {
+                min_replicas,
+                max_replicas,
+                target_queue,
+                keep_alive,
+                evaluate_every,
+                slo_burn,
+                start_cost,
+            },
+        )
+}
+
+fn tenant_strategy() -> impl Strategy<Value = TenantScenario> {
+    (
+        opt(grammar_string()),
+        opt(grammar_string()),
+        opt(duration_string()),
+        opt(0u64..4096),
+        opt(grammar_string()),
+        opt(autoscale_strategy()),
+    )
+        .prop_map(
+            |(spec, arrival, max_delay, queue_cap, admission, autoscale)| TenantScenario {
+                spec,
+                arrival,
+                max_delay,
+                queue_cap,
+                admission,
+                autoscale,
+            },
+        )
+}
+
+/// An arbitrary sparse scenario. The tenant list, when present, is
+/// non-empty: TOML has no spelling for an empty array-of-tables, so
+/// `Some(vec![])` is not expressible in the document format.
+fn scenario_strategy() -> impl Strategy<Value = ScenarioSpec> {
+    let head = (
+        opt(grammar_string()),
+        opt(any::<u64>()),
+        opt(duration_string()),
+        opt(duration_string()),
+        opt(duration_string()),
+        opt(grammar_string()),
+    );
+    let mid = (
+        opt(any::<u64>()),
+        opt(duration_string()),
+        opt(0u32..16),
+        opt(grammar_string()),
+        opt(grammar_string()),
+        opt(0u32..16),
+    );
+    let tail = (
+        opt(duration_string()),
+        opt(0u64..4096),
+        opt(grammar_string()),
+        opt(autoscale_strategy()),
+        opt(prop::collection::vec(tenant_strategy(), 1..3)),
+    );
+    (head, mid, tail).prop_map(
+        |(
+            (device, seed, duration, warmup, slo, gpu_policy),
+            (fault_seed, deadline, retry, hedge, breaker, recovery),
+            (max_delay, queue_cap, admission, autoscale, tenants),
+        )| ScenarioSpec {
+            device,
+            seed,
+            duration,
+            warmup,
+            slo,
+            gpu_policy,
+            fault_seed,
+            deadline,
+            retry,
+            hedge,
+            breaker,
+            recovery,
+            max_delay,
+            queue_cap,
+            admission,
+            autoscale,
+            tenants,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any scenario the API can express round-trips losslessly through
+    /// both document formats: parse(to_toml(s)) == s == parse(json(s)).
+    #[test]
+    fn scenarios_round_trip_through_toml_and_json(sc in scenario_strategy()) {
+        let toml = sc.to_toml();
+        let back: ScenarioSpec = toml
+            .parse()
+            .map_err(|e| TestCaseError::fail(format!("TOML reparse: {e}\n---\n{toml}")))?;
+        prop_assert_eq!(&back, &sc, "TOML round-trip:\n{}", toml);
+
+        let json = serde_json::to_string(&sc).expect("scenario serializes");
+        let back: ScenarioSpec = json
+            .parse()
+            .map_err(|e| TestCaseError::fail(format!("JSON reparse: {e}")))?;
+        prop_assert_eq!(&back, &sc, "JSON round-trip:\n{}", json);
+    }
+
+    /// Overlay laws: the empty scenario is an identity on both sides,
+    /// and for every field the merged value is the overlay's when set,
+    /// the base's otherwise.
+    #[test]
+    fn merge_is_lawful(base in scenario_strategy(), overlay in scenario_strategy()) {
+        let empty = ScenarioSpec::default();
+        prop_assert_eq!(base.merge(&empty), base.clone(), "right identity");
+        prop_assert_eq!(empty.merge(&base), base.clone(), "left identity");
+        prop_assert_eq!(
+            base.merge(&base), base.clone(),
+            "merging a scenario over itself changes nothing"
+        );
+
+        let merged = base.merge(&overlay);
+        macro_rules! check {
+            ($($field:ident),+ $(,)?) => {$(
+                let want = overlay.$field.clone().or_else(|| base.$field.clone());
+                prop_assert_eq!(
+                    &merged.$field, &want,
+                    "field {}: overlay wins, base fills", stringify!($field)
+                );
+            )+};
+        }
+        check!(
+            device, seed, duration, warmup, slo, gpu_policy, fault_seed,
+            deadline, retry, hedge, breaker, recovery, max_delay,
+            queue_cap, admission, autoscale, tenants,
+        );
+    }
+}
+
 /// A resilient two-replica fp16 deployment on the Jetson Nano under a
 /// seeded fault plan (OOM killer armed) — the chaos shape the replay
 /// property runs twice. Recovery uses a *fixed* restart cost so the
@@ -169,7 +345,7 @@ fn resilient_spec(seed: u64, fault_seed: u64, rate: f64) -> ServeSpec {
         .recovery(RecoverySpec::fixed(SimDuration::from_millis(80), 2));
     let base = ServeSpec::new(Platform::jetson_nano())
         .tenant(
-            ServeTenant::parse_with_arrivals("resnet50:fp16:1:2", ArrivalProcess::poisson(rate))
+            ServeTenant::parse("resnet50:fp16:1:2", ArrivalProcess::poisson(rate))
                 .unwrap()
                 .queue_cap(16),
         )
@@ -216,7 +392,7 @@ proptest! {
         let warmup = SimDuration::from_millis(100);
         let spec = ServeSpec::new(Platform::orin_nano())
             .tenant(
-                ServeTenant::parse_with_arrivals(
+                ServeTenant::parse(
                     "resnet50:int8:1:2",
                     ArrivalProcess::poisson(rate),
                 )
@@ -262,7 +438,7 @@ proptest! {
     ) {
         let spec = ServeSpec::new(Platform::orin_nano())
             .tenant(
-                ServeTenant::parse_with_arrivals(
+                ServeTenant::parse(
                     "resnet50:int8:1",
                     ArrivalProcess::poisson(4000.0),
                 )

@@ -3,14 +3,11 @@
 
 use jetsim::platform::Platform;
 use jetsim_des::{ArrivalProcess, SimDuration};
-use jetsim_serve::{AdmissionPolicy, ServeSpec, ServeTenant};
+use jetsim_serve::{AdmissionPolicy, AutoscaleSpec, ServeSpec, ServeTenant};
 
 fn base_spec() -> ServeSpec {
     ServeSpec::new(Platform::orin_nano())
-        .tenant(
-            ServeTenant::parse_with_arrivals("resnet50:int8:1:2", ArrivalProcess::poisson(200.0))
-                .unwrap(),
-        )
+        .tenant(ServeTenant::parse("resnet50:int8:1:2", ArrivalProcess::poisson(200.0)).unwrap())
         .slo(SimDuration::from_millis(50))
         .duration(SimDuration::from_secs(2))
         .warmup(SimDuration::from_millis(200))
@@ -60,14 +57,8 @@ fn report_invariants_hold() {
 #[test]
 fn multi_tenant_reports_cover_every_group() {
     let report = ServeSpec::new(Platform::orin_nano())
-        .tenant(
-            ServeTenant::parse_with_arrivals("resnet50:int8:1", ArrivalProcess::poisson(100.0))
-                .unwrap(),
-        )
-        .tenant(
-            ServeTenant::parse_with_arrivals("yolov8n:fp16:1", ArrivalProcess::poisson(50.0))
-                .unwrap(),
-        )
+        .tenant(ServeTenant::parse("resnet50:int8:1", ArrivalProcess::poisson(100.0)).unwrap())
+        .tenant(ServeTenant::parse("yolov8n:fp16:1", ArrivalProcess::poisson(50.0)).unwrap())
         .duration(SimDuration::from_secs(2))
         .warmup(SimDuration::from_millis(200))
         .run()
@@ -99,7 +90,7 @@ fn overload_degrades_gracefully_not_catastrophically() {
 fn shed_beats_reject_on_served_freshness() {
     let mk = |admission| {
         let mut spec = ServeSpec::new(Platform::orin_nano()).tenant(
-            ServeTenant::parse_with_arrivals("resnet50:int8:1", ArrivalProcess::poisson(3000.0))
+            ServeTenant::parse("resnet50:int8:1", ArrivalProcess::poisson(3000.0))
                 .unwrap()
                 .queue_cap(16)
                 .admission(admission),
@@ -124,10 +115,7 @@ fn shed_beats_reject_on_served_freshness() {
 #[test]
 fn find_max_qps_is_stable_and_sane() {
     let spec = ServeSpec::new(Platform::orin_nano())
-        .tenant(
-            ServeTenant::parse_with_arrivals("resnet50:int8:1", ArrivalProcess::poisson(100.0))
-                .unwrap(),
-        )
+        .tenant(ServeTenant::parse("resnet50:int8:1", ArrivalProcess::poisson(100.0)).unwrap())
         .duration(SimDuration::from_secs(1))
         .warmup(SimDuration::from_millis(200));
     let a = spec.find_max_qps(0.95, 5).unwrap();
@@ -142,4 +130,117 @@ fn find_max_qps_is_stable_and_sane() {
     );
     // The estimate is backed by an actually-feasible probe.
     assert!(a.probes.iter().any(|p| p.feasible && p.qps == a.max_qps));
+}
+
+#[test]
+fn autoscaled_group_reports_scaling_telemetry() {
+    // mobilenet fp16 is launch-bound on the Orin Nano, so extra
+    // replicas genuinely add capacity: an autoscaler riding a burst
+    // must beat the static floor on goodput while reporting the
+    // provisioning churn it caused.
+    let spec = |autoscale: Option<AutoscaleSpec>| {
+        let mut tenant = ServeTenant::parse(
+            "mobilenet_v2:fp16:1:3",
+            ArrivalProcess::mmpp(
+                50.0,
+                700.0,
+                SimDuration::from_millis(350),
+                SimDuration::from_millis(200),
+            ),
+        )
+        .unwrap()
+        .queue_cap(512);
+        if let Some(a) = autoscale {
+            tenant = tenant.autoscale(a);
+        }
+        ServeSpec::new(Platform::orin_nano())
+            .tenant(tenant)
+            .slo(SimDuration::from_millis(50))
+            .warmup(SimDuration::from_millis(300))
+            .duration(SimDuration::from_secs(2))
+    };
+    let scaler = AutoscaleSpec::new(1)
+        .target_queue_per_replica(2.0)
+        .keep_alive(SimDuration::from_millis(150))
+        .evaluate_every(SimDuration::from_millis(10));
+    let scaled = spec(Some(scaler)).run().unwrap();
+    let g = &scaled.groups[0];
+    assert!(g.warm_starts > 0, "the burst must provision extra replicas");
+    assert!(
+        g.replica_seconds > 0.0 && g.replica_seconds < 3.0 * 2.0 + 1e-9,
+        "replica-seconds integral {} outside (0, ceiling x window]",
+        g.replica_seconds
+    );
+    assert_eq!(
+        g.cold_starts, 0,
+        "a warm floor replica seeds the engine cache"
+    );
+
+    // A static group reports no scaling churn at all.
+    let floor = {
+        let t = ServeTenant::parse(
+            "mobilenet_v2:fp16:1:1",
+            ArrivalProcess::mmpp(
+                50.0,
+                700.0,
+                SimDuration::from_millis(350),
+                SimDuration::from_millis(200),
+            ),
+        )
+        .unwrap()
+        .queue_cap(512);
+        ServeSpec::new(Platform::orin_nano())
+            .tenant(t)
+            .slo(SimDuration::from_millis(50))
+            .warmup(SimDuration::from_millis(300))
+            .duration(SimDuration::from_secs(2))
+            .run()
+            .unwrap()
+    };
+    let s = &floor.groups[0];
+    assert_eq!(
+        (s.cold_starts, s.warm_starts, s.reaps, s.scale_to_zero_parks),
+        (0, 0, 0, 0),
+        "a static group must report zero scaling churn"
+    );
+    assert_eq!(s.replica_seconds, 0.0, "no scaling events, no integral");
+    assert!(
+        g.goodput_qps >= 1.5 * s.goodput_qps,
+        "autoscaling ({} qps) must beat the static floor ({} qps) by 1.5x under this burst",
+        g.goodput_qps,
+        s.goodput_qps
+    );
+}
+
+#[test]
+fn scale_to_zero_reports_parks_and_the_cold_start_tax() {
+    let tenant = ServeTenant::parse("mobilenet_v2:fp16:1:2", ArrivalProcess::poisson(20.0))
+        .unwrap()
+        .queue_cap(64)
+        .autoscale(
+            AutoscaleSpec::new(0)
+                .target_queue_per_replica(1.0)
+                .keep_alive(SimDuration::from_millis(20))
+                .evaluate_every(SimDuration::from_millis(5)),
+        );
+    let report = ServeSpec::new(Platform::orin_nano())
+        .tenant(tenant)
+        .slo(SimDuration::from_millis(50))
+        .warmup(SimDuration::from_millis(300))
+        .duration(SimDuration::from_secs(2))
+        .run()
+        .unwrap();
+    let g = &report.groups[0];
+    assert!(
+        g.scale_to_zero_parks > 0,
+        "sparse arrivals must park the group"
+    );
+    assert!(
+        g.cold_start_tax_ms > 0.0,
+        "waking a parked group charges a visible start cost"
+    );
+    assert!(
+        g.cold_starts + g.warm_starts > 0,
+        "arrivals after a park must re-provision (in-window starts reported)"
+    );
 }

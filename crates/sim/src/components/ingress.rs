@@ -26,8 +26,9 @@ use jetsim_trt::Engine;
 
 use crate::config::SimConfig;
 use crate::serving::{
-    AdmissionPolicy, BatchDecision, BatcherPolicy, BreakerMode, BreakerPolicy, DropKind,
-    DropRecord, HedgePolicy, RecoveryPolicy, ReplicaHealth, RetryPolicy, ServeEventKind,
+    AdmissionPolicy, AutoscalerPolicy, BatchDecision, BatcherPolicy, BreakerMode, BreakerPolicy,
+    DropKind, DropRecord, HedgePolicy, RecoveryPolicy, ReplicaHealth, RetryPolicy, ScaleDecision,
+    ScaleSignals, ServeEventKind,
 };
 use crate::soa::{RequestColumns, ServeEventColumns};
 
@@ -88,6 +89,36 @@ pub(crate) enum IngressEvent {
         /// The restarting server process.
         pid: u32,
     },
+    /// An autoscaled group's periodic evaluation tick.
+    AutoscaleTick {
+        /// The group to evaluate.
+        group: u32,
+    },
+    /// A provisioning replica finished its current start phase
+    /// (`Provisioning → Warming`, or `Warming → Up`).
+    ScaleUpDone {
+        /// The replica being provisioned.
+        pid: u32,
+        /// Generation stamp; a kill or reap mid-provision bumps the
+        /// replica's generation so the stale timer is ignored.
+        gen: u32,
+    },
+}
+
+/// Autoscale lifecycle state of one replica, orthogonal to
+/// [`ReplicaHealth`]: health tracks kills and restarts, scale state
+/// tracks whether the autoscaler currently wants the replica serving.
+/// Every pid in a group without an autoscaler is permanently `Up`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScaleState {
+    /// Eligible to serve (the only state non-autoscaled pids ever hold).
+    Up,
+    /// Paying the engine build / plan fetch part of a cold start.
+    Provisioning,
+    /// Paying the plan-load + first-inference warmup.
+    Warming,
+    /// Scaled down (or never scaled up); invisible to dispatch.
+    Parked,
 }
 
 /// Peer components an ingress event may drive: dispatching a batch
@@ -168,6 +199,19 @@ struct GroupRt {
     br_forced: bool,
     /// Replica-recovery policy.
     recovery: Option<RecoveryPolicy>,
+    // --- autoscaling (optional; absent policies cost nothing) ----------
+    /// Serverless autoscaling policy.
+    autoscaler: Option<AutoscalerPolicy>,
+    /// Arrivals (retries and hedges included) since the last tick.
+    win_arrivals: u32,
+    /// Completions since the last tick.
+    win_completions: u32,
+    /// Completions since the last tick that missed the policy's
+    /// `slo_target`.
+    win_slo_miss: u32,
+    /// `true` once any replica has started (the TensorRT plan exists, so
+    /// later provisions pay the warm load, not the cold build).
+    engine_built: bool,
 }
 
 /// The ingress component: owns every serve group's queue, batcher,
@@ -186,6 +230,13 @@ pub(crate) struct Ingress {
     health: Vec<ReplicaHealth>,
     /// Restarts consumed, per pid.
     restarts_used: Vec<u32>,
+    /// Autoscale lifecycle, per pid (`Up` for every pid outside an
+    /// autoscaled group).
+    scale: Vec<ScaleState>,
+    /// Invalidates stale [`IngressEvent::ScaleUpDone`] timers, per pid.
+    scale_gen: Vec<u32>,
+    /// When each pid last became idle (feeds the keep-alive reaper).
+    idle_since: Vec<SimTime>,
     /// Hedge pairing: each member of an unresolved pair maps to its twin.
     hedge_peer: HashMap<usize, usize>,
     /// Every request's lifecycle, in arrival order (columnar; each
@@ -227,6 +278,12 @@ impl Component for Ingress {
             }
             IngressEvent::RestartDone { pid } => {
                 self.on_restart_done(pid as usize, now, ctx, &mut deps)
+            }
+            IngressEvent::AutoscaleTick { group } => {
+                self.on_autoscale_tick(group as usize, now, ctx)
+            }
+            IngressEvent::ScaleUpDone { pid, gen } => {
+                self.on_scale_up_done(pid as usize, gen, now, ctx, &mut deps)
             }
         }
     }
@@ -283,6 +340,11 @@ impl Ingress {
                     br_failures: 0,
                     br_forced: false,
                     recovery: sg.recovery,
+                    autoscaler: sg.autoscaler,
+                    win_arrivals: 0,
+                    win_completions: 0,
+                    win_slo_miss: 0,
+                    engine_built: false,
                 });
             }
         }
@@ -293,6 +355,9 @@ impl Ingress {
             busy: vec![false; n],
             health: vec![ReplicaHealth::Up; n],
             restarts_used: vec![0; n],
+            scale: vec![ScaleState::Up; n],
+            scale_gen: vec![0; n],
+            idle_since: vec![SimTime::ZERO; n],
             hedge_peer: HashMap::new(),
             requests: RequestColumns::default(),
             serve_events: ServeEventColumns::default(),
@@ -316,7 +381,33 @@ impl Ingress {
                 .copied()
                 .filter(|&pid| ctx.alive[pid])
                 .collect();
-            self.groups[g].free.extend(alive);
+            match self.groups[g].autoscaler {
+                Some(policy) => {
+                    // The first `min_replicas` live members are the
+                    // pre-warmed steady-state fleet; everyone else parks
+                    // until the autoscaler provisions them. The `Warmed`
+                    // events at t = 0 seed the report's replica-seconds
+                    // replay with the initial up-set.
+                    let initial = (policy.min_replicas as usize).min(alive.len());
+                    for &pid in &alive[..initial] {
+                        self.serve_events.push(
+                            SimTime::ZERO,
+                            g,
+                            ServeEventKind::ReplicaWarmed { pid },
+                        );
+                        self.groups[g].free.push_back(pid);
+                    }
+                    for &pid in &alive[initial..] {
+                        self.scale[pid] = ScaleState::Parked;
+                    }
+                    self.groups[g].engine_built = initial > 0;
+                    ctx.queue.schedule(
+                        SimTime::ZERO + policy.evaluate_every,
+                        Event::Ingress(IngressEvent::AutoscaleTick { group: g as u32 }),
+                    );
+                }
+                None => self.groups[g].free.extend(alive),
+            }
             self.schedule_next_arrival(g, SimTime::ZERO, ctx);
         }
     }
@@ -356,6 +447,9 @@ impl Ingress {
     /// Runs one freshly recorded request through the breaker gate and
     /// the admission policy. Returns `true` when it ended up queued.
     fn admit(&mut self, g: usize, ri: usize, now: SimTime, ctx: &mut Ctx<'_>) -> bool {
+        if self.groups[g].autoscaler.is_some() {
+            self.groups[g].win_arrivals += 1;
+        }
         if !self.breaker_gate(g, ri, now) {
             self.requests.mark_dropped(
                 ri,
@@ -419,7 +513,211 @@ impl Ingress {
                 }
             }
         }
+        // Scale-from-zero: a queued request in a fully parked group
+        // starts a replica immediately — the request pays the start cost
+        // instead of waiting out the next evaluation tick.
+        self.wake_if_parked(g, now, ctx);
         true
+    }
+
+    /// Live replicas the autoscaler counts as serving capacity (`Up`
+    /// scale state, healthy, alive — busy or idle).
+    fn up_count(&self, g: usize, ctx: &Ctx<'_>) -> u32 {
+        self.groups[g]
+            .members
+            .iter()
+            .filter(|&&pid| {
+                ctx.alive[pid]
+                    && self.health[pid] == ReplicaHealth::Up
+                    && self.scale[pid] == ScaleState::Up
+            })
+            .count() as u32
+    }
+
+    /// Replicas mid cold/warm start.
+    fn pending_count(&self, g: usize, ctx: &Ctx<'_>) -> u32 {
+        self.groups[g]
+            .members
+            .iter()
+            .filter(|&&pid| {
+                ctx.alive[pid]
+                    && self.health[pid] == ReplicaHealth::Up
+                    && matches!(
+                        self.scale[pid],
+                        ScaleState::Provisioning | ScaleState::Warming
+                    )
+            })
+            .count() as u32
+    }
+
+    /// Starts one parked replica if the group is autoscaled, has queued
+    /// work and zero serving or pending capacity.
+    fn wake_if_parked(&mut self, g: usize, now: SimTime, ctx: &mut Ctx<'_>) {
+        if self.groups[g].autoscaler.is_none() || self.groups[g].queue.is_empty() {
+            return;
+        }
+        if self.up_count(g, ctx) == 0 && self.pending_count(g, ctx) == 0 {
+            self.provision(g, 1, now, ctx);
+        }
+    }
+
+    /// Provisions up to `k` parked replicas (member order). The first
+    /// provision while no plan exists pays the full cold start; every
+    /// later one pays the warm plan-load.
+    fn provision(&mut self, g: usize, k: u32, now: SimTime, ctx: &mut Ctx<'_>) {
+        let Some(policy) = self.groups[g].autoscaler else {
+            return;
+        };
+        let candidates: Vec<usize> = self.groups[g]
+            .members
+            .iter()
+            .copied()
+            .filter(|&pid| {
+                ctx.alive[pid]
+                    && self.health[pid] == ReplicaHealth::Up
+                    && self.scale[pid] == ScaleState::Parked
+            })
+            .take(k as usize)
+            .collect();
+        for pid in candidates {
+            let cold = !self.groups[g].engine_built;
+            self.groups[g].engine_built = true;
+            self.scale[pid] = ScaleState::Provisioning;
+            self.scale_gen[pid] = self.scale_gen[pid].wrapping_add(1);
+            self.serve_events
+                .push(now, g, ServeEventKind::ReplicaProvisioned { pid, cold });
+            // A cold start splits into the build/plan-fetch phase
+            // (skipped warm) and the Warming plan-load phase everyone
+            // pays; `start_costs` clamps cold ≥ warm ≥ 1 ms.
+            let build_phase = if cold {
+                policy.cold_start.saturating_sub(policy.warm_start)
+            } else {
+                jetsim_des::SimDuration::ZERO
+            };
+            ctx.queue.schedule(
+                now + build_phase,
+                Event::Ingress(IngressEvent::ScaleUpDone {
+                    pid: pid as u32,
+                    gen: self.scale_gen[pid],
+                }),
+            );
+        }
+    }
+
+    /// A provisioning replica finished its current phase: `Provisioning`
+    /// rolls into `Warming` (the plan-load), `Warming` brings it `Up`
+    /// and into the free pool. Stale generations (killed or reaped mid
+    /// start) are ignored.
+    fn on_scale_up_done(
+        &mut self,
+        pid: usize,
+        gen: u32,
+        now: SimTime,
+        ctx: &mut Ctx<'_>,
+        deps: &mut IngressDeps<'_>,
+    ) {
+        if self.scale_gen[pid] != gen || self.health[pid] != ReplicaHealth::Up || !ctx.alive[pid] {
+            return;
+        }
+        let Some(g) = self.group_of_pid[pid] else {
+            return;
+        };
+        let Some(policy) = self.groups[g].autoscaler else {
+            return;
+        };
+        match self.scale[pid] {
+            ScaleState::Provisioning => {
+                self.scale[pid] = ScaleState::Warming;
+                ctx.queue.schedule(
+                    now + policy.warm_start,
+                    Event::Ingress(IngressEvent::ScaleUpDone {
+                        pid: pid as u32,
+                        gen,
+                    }),
+                );
+            }
+            ScaleState::Warming => {
+                self.scale[pid] = ScaleState::Up;
+                self.serve_events
+                    .push(now, g, ServeEventKind::ReplicaWarmed { pid });
+                self.idle_since[pid] = now;
+                self.groups[g].free.push_back(pid);
+                self.try_dispatch(g, now, ctx, deps);
+            }
+            _ => {}
+        }
+    }
+
+    /// One autoscaler evaluation: judge the window's signals, provision
+    /// on pressure, reap on idleness, re-arm the tick.
+    fn on_autoscale_tick(&mut self, g: usize, now: SimTime, ctx: &mut Ctx<'_>) {
+        let Some(policy) = self.groups[g].autoscaler else {
+            return;
+        };
+        let up = self.up_count(g, ctx);
+        let pending = self.pending_count(g, ctx);
+        let window_secs = policy.evaluate_every.as_secs_f64();
+        let grp = &mut self.groups[g];
+        let arrival_rate = if window_secs > 0.0 {
+            f64::from(grp.win_arrivals) / window_secs
+        } else {
+            0.0
+        };
+        let slo_burn = if grp.win_completions > 0 {
+            f64::from(grp.win_slo_miss) / f64::from(grp.win_completions)
+        } else {
+            0.0
+        };
+        grp.win_arrivals = 0;
+        grp.win_completions = 0;
+        grp.win_slo_miss = 0;
+        let signals = ScaleSignals {
+            queued: grp.queue.len(),
+            up,
+            pending,
+            arrival_rate,
+            slo_burn,
+        };
+        match policy.decide(signals) {
+            ScaleDecision::Up(k) => self.provision(g, k, now, ctx),
+            ScaleDecision::Hold => {
+                // Keep-alive reaper: park replicas idle past the
+                // keep-alive, never below the floor, and never while
+                // requests wait (a drained free pool must not strand a
+                // queue that sees no further arrivals).
+                if self.groups[g].queue.is_empty() {
+                    let mut live = up;
+                    let mut reaped = false;
+                    let members = self.groups[g].members.clone();
+                    for pid in members {
+                        if live <= policy.min_replicas {
+                            break;
+                        }
+                        let idle = ctx.alive[pid]
+                            && self.health[pid] == ReplicaHealth::Up
+                            && self.scale[pid] == ScaleState::Up
+                            && !self.busy[pid]
+                            && now.saturating_since(self.idle_since[pid]) >= policy.keep_alive;
+                        if idle {
+                            self.scale[pid] = ScaleState::Parked;
+                            self.scale_gen[pid] = self.scale_gen[pid].wrapping_add(1);
+                            self.groups[g].free.retain(|&p| p != pid);
+                            self.serve_events
+                                .push(now, g, ServeEventKind::ReplicaReaped { pid });
+                            live -= 1;
+                            reaped = true;
+                        }
+                    }
+                    if reaped && live == 0 && pending == 0 && policy.min_replicas == 0 {
+                        self.serve_events.push(now, g, ServeEventKind::ParkedToZero);
+                    }
+                }
+            }
+        }
+        ctx.queue.schedule(
+            now + policy.evaluate_every,
+            Event::Ingress(IngressEvent::AutoscaleTick { group: g as u32 }),
+        );
     }
 
     /// Breaker admission gate. Returns `false` when the arrival must be
@@ -689,6 +987,12 @@ impl Ingress {
         for ri in std::mem::take(&mut self.inflight[pid]) {
             self.requests.mark_completed(ri, now);
             let latency = now.saturating_since(self.requests.arrival(ri));
+            if let Some(policy) = self.groups[g].autoscaler {
+                self.groups[g].win_completions += 1;
+                if policy.slo_target.is_some_and(|target| latency > target) {
+                    self.groups[g].win_slo_miss += 1;
+                }
+            }
             if self.groups[g].hedge.is_some() {
                 let grp = &mut self.groups[g];
                 if grp.lat_ring.len() < LAT_RING_CAP {
@@ -708,7 +1012,12 @@ impl Ingress {
             self.resolve_probe(g, ri, ok, now);
             self.resolve_hedge_on_complete(g, ri, now);
         }
-        if ctx.alive[pid] && was_busy && self.health[pid] == ReplicaHealth::Up {
+        if ctx.alive[pid]
+            && was_busy
+            && self.health[pid] == ReplicaHealth::Up
+            && self.scale[pid] == ScaleState::Up
+        {
+            self.idle_since[pid] = now;
             self.groups[g].free.push_back(pid);
         }
         // Hysteresis: leave degraded mode only once the queue has
@@ -747,6 +1056,18 @@ impl Ingress {
                 failed_inflight,
             },
         );
+        // A kill mid cold-start cancels the provision (the stale
+        // `ScaleUpDone` is generation-gated); the replica returns parked
+        // and the autoscaler re-provisions on its own signals — recovery
+        // restores the *process*, never serving capacity, so the two
+        // supervisors cannot double-provision.
+        if matches!(
+            self.scale[pid],
+            ScaleState::Provisioning | ScaleState::Warming
+        ) {
+            self.scale[pid] = ScaleState::Parked;
+            self.scale_gen[pid] = self.scale_gen[pid].wrapping_add(1);
+        }
         match self.groups[g].recovery {
             Some(policy) if self.restarts_used[pid] < policy.max_restarts => {
                 self.restarts_used[pid] += 1;
@@ -815,8 +1136,14 @@ impl Ingress {
         self.health[pid] = ReplicaHealth::Up;
         self.serve_events
             .push(now, g, ServeEventKind::ReplicaUp { pid });
-        self.groups[g].free.push_back(pid);
-        self.try_dispatch(g, now, ctx, deps);
+        // A replica that was parked (or mid-provision) when killed comes
+        // back as a healthy *parked* process: the autoscaler, not the
+        // supervisor, decides when it serves again.
+        if self.scale[pid] == ScaleState::Up {
+            self.idle_since[pid] = now;
+            self.groups[g].free.push_back(pid);
+            self.try_dispatch(g, now, ctx, deps);
+        }
     }
 
     /// Matches free servers against the queue until the batcher says
@@ -834,7 +1161,13 @@ impl Ingress {
             // removed eagerly but a stale entry is filtered the same way).
             let pid = loop {
                 match self.groups[g].free.pop_front() {
-                    Some(p) if ctx.alive[p] && self.health[p] == ReplicaHealth::Up => break p,
+                    Some(p)
+                        if ctx.alive[p]
+                            && self.health[p] == ReplicaHealth::Up
+                            && self.scale[p] == ScaleState::Up =>
+                    {
+                        break p
+                    }
                     Some(_) => continue,
                     None => return,
                 }

@@ -789,6 +789,19 @@ impl SimConfigBuilder {
                     });
                 }
             }
+            if let Some(policy) = &group.autoscaler {
+                if policy.min_replicas as usize > group.members.len() {
+                    return Err(SimError::InvalidServePlan {
+                        reason: format!(
+                            "serve group `{}` autoscales with min_replicas {} but has only \
+                             {} member processes",
+                            group.label,
+                            policy.min_replicas,
+                            group.members.len()
+                        ),
+                    });
+                }
+            }
         }
         Ok(())
     }

@@ -58,9 +58,9 @@ pub use config::{
 pub use error::SimError;
 pub use faults::{FaultEvent, FaultKind, FaultPlan, MemorySpike, OomPolicy, ThrottleLock};
 pub use serving::{
-    AdmissionPolicy, BatchDecision, BatcherPolicy, BreakerMode, BreakerPolicy, DropKind,
-    DropRecord, HedgePolicy, RecoveryPolicy, ReplicaHealth, RequestRecord, RetryPolicy, ServeEvent,
-    ServeEventKind, ServeGroup, ServePlan,
+    AdmissionPolicy, AutoscalerPolicy, BatchDecision, BatcherPolicy, BreakerMode, BreakerPolicy,
+    DropKind, DropRecord, HedgePolicy, RecoveryPolicy, ReplicaHealth, RequestRecord, RetryPolicy,
+    ScaleDecision, ScaleSignals, ServeEvent, ServeEventKind, ServeGroup, ServePlan,
 };
 pub use simulation::Simulation;
 pub use trace::{EcRecord, KernelEvent, KernelPreempted, PowerSample, ProcessStats, RunTrace};

@@ -208,6 +208,203 @@ impl RecoveryPolicy {
     }
 }
 
+/// The load signals an [`AutoscalerPolicy`] judges at each evaluation
+/// tick, aggregated over the window since the previous tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleSignals {
+    /// Requests currently queued (not yet dispatched).
+    pub queued: usize,
+    /// Replicas serving or idle-and-eligible (`Up` scale state with
+    /// healthy process).
+    pub up: u32,
+    /// Replicas mid cold/warm start (`Provisioning` or `Warming`).
+    pub pending: u32,
+    /// Mean arrival rate over the window, in requests/s.
+    pub arrival_rate: f64,
+    /// Fraction of window completions that missed the policy's
+    /// `slo_target` (0.0 when no target or no completions).
+    pub slo_burn: f64,
+}
+
+/// An autoscaler's verdict for one evaluation tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleDecision {
+    /// Capacity matches load; idle-reap timers still run.
+    Hold,
+    /// Provision this many parked replicas (cold or warm start charged).
+    Up(u32),
+}
+
+/// Serverless replica autoscaling for one serve group: watches queue
+/// depth, arrival rate and SLO burn over a sliding window and provisions
+/// or reaps replicas between `min_replicas` and the group's member
+/// count.
+///
+/// Scale-up charges an engine **cold start** (TensorRT build +
+/// plan-load, from the engine-cache warm/cold split the serve layer
+/// resolves into `cold_start`/`warm_start`): the replica walks
+/// `Provisioning → Warming → Up` before it can serve. Scale-down is
+/// driven by the `keep_alive` idle-reap timer, and `min_replicas == 0`
+/// allows **scale-to-zero** — the group parks until the next arrival,
+/// which then eats the cold start (the dslab-faas economics, priced
+/// with TensorRT build costs).
+///
+/// The decision core ([`AutoscalerPolicy::decide`]) is pure — no clock,
+/// no RNG — so scale decisions are deterministic per seed and
+/// property-testable without a simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoscalerPolicy {
+    /// Floor the reaper never goes below; 0 enables scale-to-zero.
+    pub min_replicas: u32,
+    /// Ceiling on live replicas (clamped to the group's member count at
+    /// build time — members beyond `min_replicas` start parked).
+    pub max_replicas: u32,
+    /// Scale up when queued requests per `Up` replica exceed this
+    /// (clamped ≥ 1.0).
+    pub target_queue_per_replica: f64,
+    /// Optional arrival-rate criterion: scale to
+    /// `ceil(rate / max_rate_per_replica)` replicas when set.
+    pub max_rate_per_replica: Option<f64>,
+    /// Latency target for the SLO-burn criterion; completions over it
+    /// count as burn.
+    pub slo_target: Option<SimDuration>,
+    /// Burn fraction that triggers a one-replica scale-up (when
+    /// `slo_target` is set).
+    pub burn_threshold: f64,
+    /// Evaluation-tick interval (clamped ≥ 1 ms).
+    pub evaluate_every: SimDuration,
+    /// How long a replica must sit idle before the reaper takes it.
+    pub keep_alive: SimDuration,
+    /// Full cold-start cost (engine build + plan load) charged to the
+    /// first provision while no plan exists; resolved by the serve
+    /// layer from the engine's build/load estimates.
+    pub cold_start: SimDuration,
+    /// Warm-start cost (plan deserialize + context setup) charged to
+    /// every later provision; this is also the `Warming` phase of a
+    /// cold start.
+    pub warm_start: SimDuration,
+}
+
+impl AutoscalerPolicy {
+    /// A policy scaling between `min_replicas` and `max_replicas`;
+    /// defaults: target queue 4.0 per replica, no rate criterion, no
+    /// SLO-burn criterion, 20 ms ticks, 200 ms keep-alive, 500 ms cold /
+    /// 80 ms warm start.
+    pub fn new(min_replicas: u32, max_replicas: u32) -> Self {
+        AutoscalerPolicy {
+            min_replicas: min_replicas.min(max_replicas),
+            max_replicas: max_replicas.max(1),
+            target_queue_per_replica: 4.0,
+            max_rate_per_replica: None,
+            slo_target: None,
+            burn_threshold: 0.5,
+            evaluate_every: SimDuration::from_millis(20),
+            keep_alive: SimDuration::from_millis(200),
+            cold_start: SimDuration::from_millis(500),
+            warm_start: SimDuration::from_millis(80),
+        }
+    }
+
+    /// Sets the queued-requests-per-replica scale-up threshold
+    /// (clamped ≥ 1.0).
+    pub fn target_queue_per_replica(mut self, target: f64) -> Self {
+        self.target_queue_per_replica = if target.is_finite() {
+            target.max(1.0)
+        } else {
+            1.0
+        };
+        self
+    }
+
+    /// Enables the arrival-rate criterion (requests/s one replica is
+    /// trusted with).
+    pub fn max_rate_per_replica(mut self, rate: f64) -> Self {
+        self.max_rate_per_replica = (rate.is_finite() && rate > 0.0).then_some(rate);
+        self
+    }
+
+    /// Enables the SLO-burn criterion: one extra replica whenever the
+    /// window's miss fraction reaches `burn_threshold`.
+    pub fn slo_target(mut self, target: SimDuration) -> Self {
+        self.slo_target = Some(target);
+        self
+    }
+
+    /// Sets the burn fraction that triggers the SLO criterion.
+    pub fn burn_threshold(mut self, threshold: f64) -> Self {
+        self.burn_threshold = threshold.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the evaluation-tick interval (clamped ≥ 1 ms).
+    pub fn evaluate_every(mut self, every: SimDuration) -> Self {
+        self.evaluate_every = every.max(SimDuration::from_millis(1));
+        self
+    }
+
+    /// Sets the idle-reap keep-alive.
+    pub fn keep_alive(mut self, keep_alive: SimDuration) -> Self {
+        self.keep_alive = keep_alive;
+        self
+    }
+
+    /// Sets the cold/warm start costs (cold is clamped ≥ warm; both
+    /// clamped ≥ 1 ms so a provisioned replica can never race wakeups
+    /// from an earlier life).
+    pub fn start_costs(mut self, cold: SimDuration, warm: SimDuration) -> Self {
+        self.warm_start = warm.max(SimDuration::from_millis(1));
+        self.cold_start = cold.max(self.warm_start);
+        self
+    }
+
+    /// Decides what to do at an evaluation tick given the window's
+    /// signals. Pure: the same signals always yield the same decision.
+    ///
+    /// Scale-down is not decided here — it is the per-replica
+    /// `keep_alive` idle-reap timer, which the ingress applies at the
+    /// same tick.
+    pub fn decide(&self, signals: ScaleSignals) -> ScaleDecision {
+        let capacity = signals.up + signals.pending;
+        let max = self.max_replicas.max(self.min_replicas);
+        let headroom = max.saturating_sub(capacity);
+        if headroom == 0 {
+            return ScaleDecision::Hold;
+        }
+        let mut want = capacity.max(self.min_replicas);
+
+        // Queue-depth criterion: enough replicas to bring queued-per-Up
+        // back under target. A parked group with anything queued always
+        // wants at least one.
+        let target = self.target_queue_per_replica.max(1.0);
+        if signals.queued as f64 > target * f64::from(signals.up.max(signals.pending)) {
+            let by_queue = (signals.queued as f64 / target).ceil() as u32;
+            want = want.max(by_queue.max(capacity + 1));
+        }
+
+        // Arrival-rate criterion (optional): provision for the window's
+        // offered load even before the queue backs up.
+        if let Some(per_replica) = self.max_rate_per_replica {
+            if signals.arrival_rate > 0.0 {
+                let by_rate = (signals.arrival_rate / per_replica).ceil() as u32;
+                want = want.max(by_rate);
+            }
+        }
+
+        // SLO-burn criterion (optional): latency is burning — add one
+        // replica per tick until it stops.
+        if self.slo_target.is_some() && signals.slo_burn >= self.burn_threshold {
+            want = want.max(capacity + 1);
+        }
+
+        let want = want.min(max);
+        if want > capacity {
+            ScaleDecision::Up(want - capacity)
+        } else {
+            ScaleDecision::Hold
+        }
+    }
+}
+
 /// Health state of one serve replica, as routing and admission see it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ReplicaHealth {
@@ -366,6 +563,11 @@ pub struct ServeGroup {
     pub breaker: Option<BreakerPolicy>,
     /// Replica-recovery discipline for killed members.
     pub recovery: Option<RecoveryPolicy>,
+    /// Serverless autoscaling: members beyond the policy's
+    /// `min_replicas` start parked and are provisioned (cold/warm start
+    /// charged) and reaped as load moves. Absent (the default), every
+    /// member is up from `t = 0` — the static path stays byte-identical.
+    pub autoscaler: Option<AutoscalerPolicy>,
     /// GPU scheduling priority stamped onto every member process at
     /// build time (higher wins under [`crate::GpuPolicy::Priority`];
     /// other policies ignore it). Default 0.
@@ -394,6 +596,7 @@ impl ServeGroup {
             hedge: None,
             breaker: None,
             recovery: None,
+            autoscaler: None,
             priority: 0,
             sm_share: 1.0,
         }
@@ -457,6 +660,12 @@ impl ServeGroup {
     /// Attaches a replica-recovery policy.
     pub fn recovery(mut self, recovery: RecoveryPolicy) -> Self {
         self.recovery = Some(recovery);
+        self
+    }
+
+    /// Attaches a serverless autoscaling policy.
+    pub fn autoscaler(mut self, autoscaler: AutoscalerPolicy) -> Self {
+        self.autoscaler = Some(autoscaler);
         self
     }
 
@@ -666,6 +875,30 @@ pub enum ServeEventKind {
         /// The ejected server process.
         pid: usize,
     },
+    /// The autoscaler began provisioning a parked replica; it walks
+    /// `Provisioning → Warming → Up` before serving.
+    ReplicaProvisioned {
+        /// The replica being provisioned.
+        pid: usize,
+        /// `true` when this provision pays the full cold start (engine
+        /// build — no plan in the cache yet); `false` for a warm
+        /// plan-load.
+        cold: bool,
+    },
+    /// A provisioned replica finished warming and joined the free pool.
+    ReplicaWarmed {
+        /// The now-serving replica.
+        pid: usize,
+    },
+    /// The idle-reap timer took an `Up` replica back to parked.
+    ReplicaReaped {
+        /// The reaped replica.
+        pid: usize,
+    },
+    /// The reaper took the group's last live replica (`min_replicas ==
+    /// 0`): the group is parked until the next arrival, which pays the
+    /// start cost.
+    ParkedToZero,
 }
 
 #[cfg(test)]
@@ -780,6 +1013,103 @@ mod tests {
         let b = b.mode(BreakerMode::Brownout).min_samples(0);
         assert_eq!(b.mode, BreakerMode::Brownout);
         assert_eq!(b.min_samples, 1, "clamped");
+    }
+
+    #[test]
+    fn autoscaler_scales_up_on_queue_pressure() {
+        let p = AutoscalerPolicy::new(1, 4).target_queue_per_replica(4.0);
+        let calm = ScaleSignals {
+            queued: 3,
+            up: 1,
+            pending: 0,
+            arrival_rate: 10.0,
+            slo_burn: 0.0,
+        };
+        assert_eq!(p.decide(calm), ScaleDecision::Hold);
+        let pressured = ScaleSignals { queued: 9, ..calm };
+        // ceil(9 / 4) = 3 wanted, 1 up → +2.
+        assert_eq!(p.decide(pressured), ScaleDecision::Up(2));
+        let flood = ScaleSignals { queued: 64, ..calm };
+        // Wants 16 but the ceiling is 4 → +3.
+        assert_eq!(p.decide(flood), ScaleDecision::Up(3));
+    }
+
+    #[test]
+    fn autoscaler_counts_pending_as_capacity() {
+        let p = AutoscalerPolicy::new(0, 4);
+        let s = ScaleSignals {
+            queued: 9,
+            up: 0,
+            pending: 3,
+            arrival_rate: 0.0,
+            slo_burn: 0.0,
+        };
+        // 3 already provisioning cover the ceil(9/4) = 3 wanted.
+        assert_eq!(p.decide(s), ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn autoscaler_parked_group_wakes_for_one_request() {
+        let p = AutoscalerPolicy::new(0, 4);
+        let s = ScaleSignals {
+            queued: 1,
+            up: 0,
+            pending: 0,
+            arrival_rate: 0.0,
+            slo_burn: 0.0,
+        };
+        assert_eq!(p.decide(s), ScaleDecision::Up(1));
+    }
+
+    #[test]
+    fn autoscaler_rate_and_burn_criteria() {
+        let p = AutoscalerPolicy::new(1, 8)
+            .max_rate_per_replica(100.0)
+            .slo_target(SimDuration::from_millis(50))
+            .burn_threshold(0.5);
+        let idle_queue = ScaleSignals {
+            queued: 0,
+            up: 1,
+            pending: 0,
+            arrival_rate: 350.0,
+            slo_burn: 0.0,
+        };
+        // Rate alone asks for ceil(350/100) = 4 replicas.
+        assert_eq!(p.decide(idle_queue), ScaleDecision::Up(3));
+        let burning = ScaleSignals {
+            arrival_rate: 0.0,
+            slo_burn: 0.6,
+            ..idle_queue
+        };
+        assert_eq!(p.decide(burning), ScaleDecision::Up(1));
+    }
+
+    #[test]
+    fn autoscaler_respects_min_floor() {
+        let p = AutoscalerPolicy::new(2, 4);
+        let s = ScaleSignals {
+            queued: 0,
+            up: 1,
+            pending: 0,
+            arrival_rate: 0.0,
+            slo_burn: 0.0,
+        };
+        // Below the floor (a replica was ejected): refill to min.
+        assert_eq!(p.decide(s), ScaleDecision::Up(1));
+    }
+
+    #[test]
+    fn autoscaler_builder_clamps() {
+        let p = AutoscalerPolicy::new(6, 4);
+        assert_eq!(p.min_replicas, 4, "min clamped to max");
+        let p = AutoscalerPolicy::new(0, 2)
+            .target_queue_per_replica(0.0)
+            .start_costs(SimDuration::ZERO, SimDuration::from_millis(40))
+            .evaluate_every(SimDuration::ZERO);
+        assert_eq!(p.target_queue_per_replica, 1.0);
+        assert_eq!(p.warm_start, SimDuration::from_millis(40));
+        assert_eq!(p.cold_start, SimDuration::from_millis(40), "cold ≥ warm");
+        assert_eq!(p.evaluate_every, SimDuration::from_millis(1));
     }
 
     #[test]

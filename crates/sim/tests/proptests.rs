@@ -223,4 +223,90 @@ proptest! {
             one.total_throughput()
         );
     }
+
+    /// Autoscaled serving conserves replicas for arbitrary floors,
+    /// rates and seeds: lifecycle events per pid alternate (no double
+    /// provision, no phantom reap), the up-set never exceeds the
+    /// ceiling, and the same seed replays the same scaling timeline.
+    #[test]
+    fn autoscaler_conserves_replicas_and_is_deterministic(
+        min in 0u32..=2,
+        rate in 50.0f64..800.0,
+        seed in any::<u64>(),
+    ) {
+        let trace = autoscaled_run(min, rate, seed);
+        let mut up = std::collections::HashSet::new();
+        let mut provisioning = std::collections::HashSet::new();
+        let mut provisions = 0usize;
+        let mut warms = 0usize;
+        for e in &trace.serve_events {
+            match e.kind {
+                ServeEventKind::ReplicaProvisioned { pid, .. } => {
+                    prop_assert!(!provisioning.contains(&pid), "double provision of {pid}");
+                    prop_assert!(!up.contains(&pid), "provisioned while up: {pid}");
+                    provisioning.insert(pid);
+                    provisions += 1;
+                }
+                ServeEventKind::ReplicaWarmed { pid } => {
+                    provisioning.remove(&pid);
+                    prop_assert!(up.insert(pid), "warmed while up: {pid}");
+                    warms += 1;
+                }
+                ServeEventKind::ReplicaReaped { pid } => {
+                    prop_assert!(up.remove(&pid), "reaped while not up: {pid}");
+                }
+                ServeEventKind::ReplicaDown { pid, .. } => {
+                    up.remove(&pid);
+                    provisioning.remove(&pid);
+                }
+                _ => {}
+            }
+            prop_assert!(up.len() <= 3, "up-set exceeds max_replicas");
+        }
+        // Every warm came from the t=0 floor seeding or a provision.
+        prop_assert!(warms <= provisions + min as usize);
+        let replay = autoscaled_run(min, rate, seed);
+        prop_assert_eq!(trace.serve_events.len(), replay.serve_events.len());
+        for (a, b) in trace.serve_events.iter().zip(&replay.serve_events) {
+            prop_assert_eq!(a.time, b.time);
+            prop_assert_eq!(a.group, b.group);
+        }
+        prop_assert_eq!(trace.requests.len(), replay.requests.len());
+    }
+}
+
+use jetsim_sim::serving::{AutoscalerPolicy, ServeEventKind};
+use jetsim_sim::{ServeGroup, ServePlan};
+
+/// A 3-slot autoscaled resnet50 group on the Orin Nano.
+fn autoscaled_run(min: u32, rate: f64, seed: u64) -> jetsim_sim::RunTrace {
+    let device = presets::orin_nano();
+    let eng = std::sync::Arc::new(
+        jetsim_trt::EngineBuilder::new(&device)
+            .precision(Precision::Int8)
+            .batch(1)
+            .build(&zoo::resnet50())
+            .unwrap(),
+    );
+    let mut builder = SimConfig::builder(device);
+    for i in 0..3 {
+        builder = builder.add_engine_named(format!("resnet50/{i}"), std::sync::Arc::clone(&eng));
+    }
+    let scaler = AutoscalerPolicy::new(min, 3)
+        .target_queue_per_replica(2.0)
+        .evaluate_every(SimDuration::from_millis(10))
+        .keep_alive(SimDuration::from_millis(40))
+        .start_costs(SimDuration::from_millis(50), SimDuration::from_millis(10));
+    let group = ServeGroup::new("resnet50", jetsim_des::ArrivalProcess::poisson(rate))
+        .members(0..3)
+        .queue_cap(128)
+        .autoscaler(scaler);
+    let config = builder
+        .serve(ServePlan::new().group(group))
+        .warmup(SimDuration::from_millis(100))
+        .measure(SimDuration::from_millis(400))
+        .seed(seed)
+        .build()
+        .unwrap();
+    Simulation::new(config).unwrap().run()
 }

@@ -207,6 +207,21 @@ impl Engine {
         let read_secs = self.engine_bytes() as f64 / (1024.0 * 1024.0 * 1024.0);
         SimDuration::from_secs_f64(0.08 + read_secs)
     }
+
+    /// Estimated wall time to bring a fresh serve replica of this
+    /// engine up: the warm path deserializes the cached plan
+    /// ([`Engine::load_cost_estimate`]); the cold path must first build
+    /// it ([`Engine::build_cost_estimate`]) and then load the result.
+    /// This is the start cost an autoscaler charges a provisioned
+    /// replica, split against the [`crate::EngineCache`] warm/cold
+    /// state.
+    pub fn start_cost_estimate(&self, warm: bool) -> SimDuration {
+        if warm {
+            self.load_cost_estimate()
+        } else {
+            self.build_cost_estimate() + self.load_cost_estimate()
+        }
+    }
 }
 
 impl fmt::Display for Engine {
@@ -243,6 +258,19 @@ mod tests {
         let fp32 = build(Precision::Fp32, 1);
         assert!(fp32.engine_bytes() > 2 * int8.weight_bytes());
         assert!(fp32.weight_bytes() > 3 * int8.weight_bytes());
+    }
+
+    #[test]
+    fn start_cost_splits_on_cache_warmth() {
+        let engine = build(Precision::Int8, 1);
+        assert_eq!(
+            engine.start_cost_estimate(true),
+            engine.load_cost_estimate()
+        );
+        assert_eq!(
+            engine.start_cost_estimate(false),
+            engine.build_cost_estimate() + engine.load_cost_estimate()
+        );
     }
 
     #[test]

@@ -35,8 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let slo = SimDuration::from_millis(250);
     let base = ServeSpec::new(platform)
         .tenant(
-            ServeTenant::parse_with_arrivals("resnet50:fp16:1:2", ArrivalProcess::poisson(12.0))?
-                .queue_cap(32),
+            ServeTenant::parse("resnet50:fp16:1:2", ArrivalProcess::poisson(12.0))?.queue_cap(32),
         )
         .slo(slo)
         .warmup(SimDuration::from_millis(300))

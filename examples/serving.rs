@@ -23,11 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Steady state: two tenants, comfortable load.
     println!("steady state: poisson traffic well under capacity\n");
     let report = ServeSpec::new(platform.clone())
-        .tenant(ServeTenant::parse_with_arrivals(
+        .tenant(ServeTenant::parse(
             "resnet50:int8:1:2",
             ArrivalProcess::poisson(150.0),
         )?)
-        .tenant(ServeTenant::parse_with_arrivals(
+        .tenant(ServeTenant::parse(
             "yolov8n:int8:1",
             ArrivalProcess::poisson(40.0),
         )?)
@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         AdmissionPolicy::Shed,
         AdmissionPolicy::Degrade,
     ] {
-        let tenant = ServeTenant::parse_with_arrivals("resnet50:fp16:1:2", burst())?
+        let tenant = ServeTenant::parse("resnet50:fp16:1:2", burst())?
             .queue_cap(32)
             .admission(admission);
         let report = ServeSpec::new(platform.clone())
@@ -78,7 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Capacity: how much Poisson load fits inside the SLO?
     println!("\ncapacity search: max qps at 95% SLO attainment\n");
     let estimate = ServeSpec::new(platform)
-        .tenant(ServeTenant::parse_with_arrivals(
+        .tenant(ServeTenant::parse(
             "resnet50:int8:1:2",
             ArrivalProcess::poisson(100.0),
         )?)
