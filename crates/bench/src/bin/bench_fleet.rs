@@ -1,0 +1,241 @@
+//! Emits `BENCH_fleet.json`: fleet-scale simulation throughput — how
+//! many full device sims per second the fleet layer sustains at 1, 8,
+//! 64 and 256 sites — plus the deterministic per-cell traffic accounting
+//! the `--check` gate pins.
+//!
+//! ```sh
+//! cargo run --release -p jetsim-bench --bin bench_fleet            # emit
+//! cargo run --release -p jetsim-bench --bin bench_fleet -- --check # gate
+//! ```
+//!
+//! Two kinds of numbers live here, gated differently:
+//!
+//! * **simulated** (requests, served, SLO attainment, sim events) —
+//!   bit-deterministic per seed and host-independent; `--check`
+//!   compares them (near-)exactly. Windows are fixed (no `JETSIM_FAST`
+//!   shrink) so the baseline means the same thing everywhere.
+//! * **measured** (wall seconds, sites/s, aggregate events/s) — host
+//!   dependent; `--check` allows a 30% regression below baseline.
+//!
+//! The fleet's scaling claim — parallel site sims buy ≥ 4x aggregate
+//! events/s at 8 sites vs 1 — is asserted whenever the host has 8+
+//! cores; per-site offered load is constant, so the 8-site cell does
+//! 8x the work.
+
+use std::time::Instant;
+
+use jetsim_fleet::{FleetSpec, NetworkModel, RouterPolicy};
+use jetsim_serve::ScenarioSpec;
+
+/// Absolute slack for simulated-value float comparisons in `--check`.
+const FLOAT_TOLERANCE: f64 = 1e-9;
+/// Fraction of baseline throughput a cell may lose before `--check`
+/// fails.
+const REGRESSION_TOLERANCE: f64 = 0.30;
+/// Required aggregate events/s speedup at 8 sites vs 1 on 8+ cores.
+const SPEEDUP_FLOOR: f64 = 4.0;
+
+const SITE_COUNTS: [u32; 4] = [1, 8, 64, 256];
+/// Offered load per edge site, requests/s — the aggregate stream rate
+/// scales with the fleet so every site does the same work.
+const PER_SITE_QPS: f64 = 250.0;
+const WARMUP_MS: u64 = 150;
+const MEASURE_MS: u64 = 1_000;
+
+fn scenario(sites: u32) -> ScenarioSpec {
+    format!(
+        "seed = 77\n\
+         duration = \"{MEASURE_MS}ms\"\n\
+         warmup = \"{WARMUP_MS}ms\"\n\
+         slo = \"50ms\"\n\
+         [[tenants]]\n\
+         spec = \"resnet50:int8:1:1\"\n\
+         arrival = \"poisson:{}\"\n",
+        PER_SITE_QPS * f64::from(sites)
+    )
+    .parse()
+    .expect("bench scenario parses")
+}
+
+struct Cell {
+    sites: u32,
+    requests: usize,
+    served: usize,
+    slo_attainment: f64,
+    sim_events: u64,
+    wall_s: f64,
+}
+
+impl Cell {
+    fn events_per_s(&self) -> f64 {
+        self.sim_events as f64 / self.wall_s.max(1e-9)
+    }
+
+    fn sites_per_s(&self) -> f64 {
+        f64::from(self.sites) / self.wall_s.max(1e-9)
+    }
+}
+
+/// Times one fleet run end to end: route, build (sequential), simulate
+/// (parallel), aggregate. Best of two — the first run warms the engine
+/// cache and allocator.
+fn time_cell(sites: u32) -> Cell {
+    let spec = FleetSpec::new(scenario(sites))
+        .sites(sites)
+        .router(RouterPolicy::RoundRobin)
+        .network(NetworkModel::default());
+    let mut best: Option<Cell> = None;
+    for _ in 0..2 {
+        let start = Instant::now();
+        let report = spec.run().expect("bench fleet runs");
+        let wall_s = start.elapsed().as_secs_f64();
+        let cell = Cell {
+            sites,
+            requests: report.requests,
+            served: report.served,
+            slo_attainment: report.slo_attainment,
+            sim_events: report.sim_events_total,
+            wall_s,
+        };
+        if best
+            .as_ref()
+            .is_none_or(|b| cell.events_per_s() > b.events_per_s())
+        {
+            best = Some(cell);
+        }
+    }
+    best.expect("two runs")
+}
+
+fn cell_json(c: &Cell) -> serde_json::Value {
+    serde_json::json!({
+        "sites": u64::from(c.sites),
+        "requests": c.requests as u64,
+        "served": c.served as u64,
+        "slo_attainment": c.slo_attainment,
+        "sim_events": c.sim_events,
+        "wall_s": c.wall_s,
+        "sites_per_s": c.sites_per_s(),
+        "events_per_s": c.events_per_s(),
+    })
+}
+
+/// Simulated fields `--check` compares (near-)exactly; everything else
+/// in the cell is measured and gets regression tolerance instead.
+const SIMULATED_FIELDS: [&str; 4] = ["requests", "served", "slo_attainment", "sim_events"];
+
+fn get_f64(v: &serde_json::Value, field: &str) -> Option<f64> {
+    match v.get_field(field) {
+        Some(serde_json::Value::F64(x)) => Some(*x),
+        Some(serde_json::Value::U64(x)) => Some(*x as f64),
+        Some(serde_json::Value::I64(x)) => Some(*x as f64),
+        _ => None,
+    }
+}
+
+fn assert_speedup(cells: &[Cell]) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores < 8 {
+        println!("speedup gate skipped: {cores} core(s) < 8");
+        return;
+    }
+    let rate = |sites: u32| {
+        cells
+            .iter()
+            .find(|c| c.sites == sites)
+            .map(Cell::events_per_s)
+            .expect("cell present")
+    };
+    let speedup = rate(8) / rate(1);
+    assert!(
+        speedup >= SPEEDUP_FLOOR,
+        "parallel fleet must reach >= {SPEEDUP_FLOOR}x aggregate events/s at 8 sites vs 1 \
+         on {cores} cores; got {speedup:.2}x"
+    );
+    println!("speedup gate passed: {speedup:.2}x at 8 sites on {cores} cores");
+}
+
+fn check(cells: &[Cell]) -> std::io::Result<()> {
+    let text = std::fs::read_to_string("BENCH_fleet.json").map_err(|e| {
+        std::io::Error::other(format!(
+            "--check needs a committed BENCH_fleet.json baseline: {e}"
+        ))
+    })?;
+    let baseline: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| std::io::Error::other(e.to_string()))?;
+    let mut failures = Vec::new();
+    for cell in cells {
+        let name = format!("sites_{}", cell.sites);
+        let Some(base) = baseline.get_field("cells").and_then(|c| c.get_field(&name)) else {
+            failures.push(format!("{name}: missing from committed baseline"));
+            continue;
+        };
+        let fresh = cell_json(cell);
+        for field in SIMULATED_FIELDS {
+            match (get_f64(base, field), get_f64(&fresh, field)) {
+                (Some(b), Some(f)) if (b - f).abs() <= FLOAT_TOLERANCE => {}
+                (b, f) => failures.push(format!(
+                    "{name}.{field}: baseline {b:?} vs fresh {f:?} (simulated value \
+                     diverged — the fleet layer changed behaviour)"
+                )),
+            }
+        }
+        if let Some(base_rate) = get_f64(base, "events_per_s") {
+            let fresh_rate = cell.events_per_s();
+            if fresh_rate < base_rate * (1.0 - REGRESSION_TOLERANCE) {
+                failures.push(format!(
+                    "{name}.events_per_s: {fresh_rate:.0} is more than {:.0}% below \
+                     baseline {base_rate:.0}",
+                    REGRESSION_TOLERANCE * 100.0
+                ));
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("bench_fleet check passed ({} cells)", cells.len());
+        return Ok(());
+    }
+    for f in &failures {
+        eprintln!("MISMATCH  {f}");
+    }
+    eprintln!(
+        "\nfleet metrics diverged from the committed BENCH_fleet.json baseline. \
+         Simulated fields are bit-deterministic — a mismatch means the fleet \
+         routing/network/aggregation changed behaviour. If intended, regenerate \
+         with `cargo run --release -p jetsim-bench --bin bench_fleet`."
+    );
+    std::process::exit(1);
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let checking = std::env::args().any(|a| a == "--check");
+    let start = Instant::now();
+    let cells: Vec<Cell> = SITE_COUNTS.iter().map(|&s| time_cell(s)).collect();
+    let wall_total_s = start.elapsed().as_secs_f64();
+    assert_speedup(&cells);
+
+    if checking {
+        return Ok(check(&cells)?);
+    }
+
+    let mut cell_map = Vec::new();
+    for c in &cells {
+        cell_map.push((format!("sites_{}", c.sites), cell_json(c)));
+    }
+    let json = serde_json::json!({
+        "bench": "fleet",
+        "note": "requests/served/slo_attainment/sim_events are simulated and bit-deterministic per seed (windows fixed, no JETSIM_FAST shrink); wall_s/sites_per_s/events_per_s are host-dependent and gated at 30% regression",
+        "per_site_qps": PER_SITE_QPS,
+        "warmup_ms": WARMUP_MS,
+        "measure_ms": MEASURE_MS,
+        "router": "round_robin",
+        "wall_total_s": wall_total_s,
+        "cells": serde_json::Value::Map(cell_map),
+    });
+    let text = serde_json::to_string_pretty(&json).expect("serializable");
+    std::fs::write("BENCH_fleet.json", &text)?;
+    println!("{text}");
+    Ok(())
+}

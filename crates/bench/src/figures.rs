@@ -936,6 +936,82 @@ pub fn autoscale_comparison() -> FigureResult {
     }
 }
 
+/// One cell of the fleet comparison: the shared MMPP aggregate stream
+/// routed over 4 edge sites (plus an optional cloud tier) by `policy`.
+/// A resnet50 int8 site saturates near 400 qps, so the 2400 qps burst
+/// runs the edge at ~1.5x aggregate capacity — real pressure for the
+/// routers to react to (under light load every policy collapses to
+/// "serve at home"). The 32 KB uplink and 10 ms cloud RTT keep the
+/// cloud detour comfortably inside the 100 ms SLO, which is what makes
+/// escalation worth taking.
+fn fleet_cell(policy: jetsim_fleet::RouterPolicy, cloud: bool) -> jetsim_fleet::FleetReport {
+    let (warmup, measure) = windows();
+    let scenario: jetsim_serve::ScenarioSpec = format!(
+        "seed = 7\n\
+         duration = \"{}ms\"\n\
+         warmup = \"{}ms\"\n\
+         slo = \"100ms\"\n\
+         [[tenants]]\n\
+         spec = \"resnet50:int8:1:1\"\n\
+         arrival = \"mmpp:600:2400:300:150\"\n",
+        measure.as_nanos() / 1_000_000,
+        warmup.as_nanos() / 1_000_000,
+    )
+    .parse()
+    .expect("fleet scenario parses");
+    jetsim_fleet::FleetSpec::new(scenario)
+        .sites(4)
+        .cloud(cloud)
+        .router(policy)
+        .network(
+            "req_kb=32,cloud_rtt=10ms"
+                .parse()
+                .expect("fleet figure network parses"),
+        )
+        .run()
+        .expect("fleet cell runs")
+}
+
+/// Fleet routing comparison (new analysis, not in the paper): the same
+/// bursty aggregate stream pushed through every routing policy, first
+/// over an edge-only fleet, then with a cloud tier reachable behind
+/// extra RTT. Offload-aware policies trade network latency for queue
+/// time during bursts; home-pinned ones eat the queues.
+pub fn fleet_comparison() -> FigureResult {
+    let mut table = Table::new([
+        "deployment",
+        "router",
+        "p99_ms",
+        "goodput_qps",
+        "slo_att",
+        "offload",
+        "non_home",
+        "net_ms",
+        "xsite_mb",
+    ]);
+    for (deployment, cloud) in [("edge-only", false), ("edge+cloud", true)] {
+        for policy in jetsim_fleet::RouterPolicy::all() {
+            let r = fleet_cell(policy, cloud);
+            table.row([
+                deployment.to_string(),
+                r.router.clone(),
+                format!("{:.2}", r.p99_ms),
+                format!("{:.1}", r.goodput_qps),
+                format!("{:.3}", r.slo_attainment),
+                format!("{:.3}", r.offload_fraction),
+                format!("{:.3}", r.non_home_fraction),
+                format!("{:.3}", r.mean_network_ms),
+                format!("{:.2}", r.cross_site_traffic_mb),
+            ]);
+        }
+    }
+    FigureResult {
+        id: "fleet_comparison",
+        title: "Fleet routing policies under bursts, edge-only vs edge+cloud",
+        tables: vec![("routers".to_string(), table)],
+    }
+}
+
 /// Every figure/table harness with its CLI name, in paper order — the
 /// registry behind the `repro` binary (ablations have their own in
 /// [`crate::ablations::registry`]).
@@ -957,6 +1033,7 @@ pub fn registry() -> Vec<(&'static str, crate::Harness)> {
         ("headline_gap", headline_gap),
         ("policy_comparison", policy_comparison),
         ("autoscale_comparison", autoscale_comparison),
+        ("fleet_comparison", fleet_comparison),
     ]
 }
 

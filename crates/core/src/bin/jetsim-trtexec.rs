@@ -20,7 +20,7 @@ use std::process::ExitCode;
 
 use jetsim::deployment::Tenant;
 use jetsim::prelude::*;
-use jetsim::scenario::{parse_duration, ScenarioSpec};
+use jetsim::scenario::{parse_duration, FlagCursor, ScenarioSpec};
 use jetsim_profile::chrome_trace;
 use jetsim_sim::{FaultKind, FaultPlan, GpuPolicy};
 
@@ -116,9 +116,14 @@ impl Args {
         // Pass 1: an optional scenario file supplies base values; any
         // explicit flag (pass 2) overrides the corresponding field.
         let mut tenants_from_scenario = false;
-        for arg in &argv {
-            if let Some(path) = arg.strip_prefix("--scenario=") {
-                let scenario: ScenarioSpec = std::fs::read_to_string(path)
+        for (i, arg) in argv.iter().enumerate() {
+            let path = match arg.strip_prefix("--scenario=") {
+                Some(p) => Some(p.to_string()),
+                None if arg == "--scenario" => argv.get(i + 1).cloned(),
+                None => None,
+            };
+            if let Some(path) = path {
+                let scenario: ScenarioSpec = std::fs::read_to_string(&path)
                     .map_err(|e| format!("cannot read scenario `{path}`: {e}"))?
                     .parse()
                     .map_err(|e| format!("{path}: {e}"))?;
@@ -128,23 +133,16 @@ impl Args {
             }
         }
         let mut workload_flags = false;
-        for arg in argv {
-            let (key, value) = match arg.split_once('=') {
-                Some((k, v)) => (k, Some(v)),
-                None => (arg.as_str(), None),
-            };
-            let required = |v: Option<&str>| {
-                v.map(str::to_string)
-                    .ok_or_else(|| format!("{key} needs a value"))
-            };
-            match key {
+        let mut argv = FlagCursor::new(argv.into_iter());
+        while let Some((key, mut value)) = argv.next_flag() {
+            match key.as_str() {
                 "--model" | "--onnx" => {
                     workload_flags = true;
-                    args.model = required(value)?;
+                    args.model = argv.require(&mut value)?;
                 }
                 "--scenario" => {
                     // Applied in pass 1; just validate the spelling.
-                    required(value)?;
+                    argv.require(&mut value)?;
                 }
                 "--tenant" => {
                     if tenants_from_scenario {
@@ -152,7 +150,7 @@ impl Args {
                         args.tenants.clear();
                         tenants_from_scenario = false;
                     }
-                    args.tenants.push(required(value)?)
+                    args.tenants.push(argv.require(&mut value)?)
                 }
                 "--int8" => {
                     workload_flags = true;
@@ -172,25 +170,29 @@ impl Args {
                 }
                 "--batch" => {
                     workload_flags = true;
-                    args.batch = required(value)?
+                    args.batch = argv
+                        .require(&mut value)?
                         .parse()
                         .map_err(|e| format!("bad --batch: {e}"))?
                 }
                 "--processes" => {
                     workload_flags = true;
-                    args.processes = required(value)?
+                    args.processes = argv
+                        .require(&mut value)?
                         .parse()
                         .map_err(|e| format!("bad --processes: {e}"))?
                 }
                 "--streams" => {
                     workload_flags = true;
-                    args.streams = required(value)?
+                    args.streams = argv
+                        .require(&mut value)?
                         .parse()
                         .map_err(|e| format!("bad --streams: {e}"))?
                 }
-                "--device" => args.device = required(value)?,
+                "--device" => args.device = argv.require(&mut value)?,
                 "--duration" => {
-                    args.duration_secs = required(value)?
+                    args.duration_secs = argv
+                        .require(&mut value)?
                         .parse()
                         .map_err(|e| format!("bad --duration: {e}"))?
                 }
@@ -203,13 +205,15 @@ impl Args {
                     }
                 }
                 "--gpu-policy" => {
-                    args.gpu_policy = required(value)?
+                    args.gpu_policy = argv
+                        .require(&mut value)?
                         .parse()
                         .map_err(|e| format!("bad --gpu-policy: {e}"))?
                 }
-                "--chrome-trace" => args.chrome_trace = Some(required(value)?),
+                "--chrome-trace" => args.chrome_trace = Some(argv.require(&mut value)?),
                 "--seed" => {
-                    args.seed = required(value)?
+                    args.seed = argv
+                        .require(&mut value)?
                         .parse()
                         .map_err(|e| format!("bad --seed: {e}"))?
                 }

@@ -56,7 +56,7 @@ pub use analysis::{Bottleneck, BottleneckReport};
 pub use deployment::{Deployment, DeploymentError, Tenant, TenantMetrics};
 pub use platform::Platform;
 pub use profiler::{DualPhaseProfiler, WorkloadProfile};
-pub use scenario::{AutoscaleScenario, ScenarioSpec, TenantScenario};
+pub use scenario::{AutoscaleScenario, FleetScenario, ScenarioSpec, TenantScenario};
 pub use sweep::{CellChaos, CellMetrics, CellOutcome, SupervisorPolicy, SweepCell, SweepSpec};
 
 /// Convenience re-exports for downstream users and examples.

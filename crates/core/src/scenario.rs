@@ -76,6 +76,10 @@ pub struct ScenarioSpec {
     pub admission: Option<String>,
     /// Spec-wide autoscaler, applied to tenants without their own.
     pub autoscale: Option<AutoscaleScenario>,
+    /// Fleet layer: replicate this scenario across N sites behind a
+    /// network model and a router (read by `jetsim-fleet`; the
+    /// single-device CLIs ignore it).
+    pub fleet: Option<FleetScenario>,
     /// The tenants. An overlay with tenants replaces the base list
     /// wholesale (CLI `--tenant` flags redefine the workload).
     pub tenants: Option<Vec<TenantScenario>>,
@@ -123,6 +127,40 @@ pub struct AutoscaleScenario {
     pub start_cost: Option<String>,
 }
 
+/// Fleet knobs of a scenario (see the fleet crate's `FleetSpec` for
+/// semantics and defaults): how many sites replicate the scenario, the
+/// routing policy, and the network model between users and sites.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FleetScenario {
+    /// Number of edge sites, each running this scenario's deployment.
+    /// Defaults to 1.
+    pub sites: Option<u32>,
+    /// Routing policy: `rr`, `least_queue`, `locality` or `offload`.
+    /// Defaults to `rr`.
+    pub router: Option<String>,
+    /// Add a cloud tier behind its own RTT that the `offload` router
+    /// escalates to. Defaults to false.
+    pub cloud: Option<bool>,
+    /// Platform name for the cloud tier (defaults to `cloud-a40`).
+    pub cloud_device: Option<String>,
+    /// Base one-way network latency per edge link (duration grammar).
+    pub base_latency: Option<String>,
+    /// Uniform ± jitter bound on each transfer (duration grammar).
+    pub jitter: Option<String>,
+    /// Link bandwidth in Mbit/s (payload transfer cost).
+    pub bandwidth_mbps: Option<f64>,
+    /// Request payload in KiB (uplink transfer cost).
+    pub request_kb: Option<f64>,
+    /// Response payload in KiB (downlink transfer cost).
+    pub response_kb: Option<f64>,
+    /// Extra one-way RTT-derived latency to the cloud tier (duration
+    /// grammar).
+    pub cloud_rtt: Option<String>,
+    /// Telemetry snapshot period for load-aware routing (duration
+    /// grammar) — staler snapshots mean blinder routers.
+    pub telemetry_every: Option<String>,
+}
+
 macro_rules! merge_fields {
     ($base:expr, $overlay:expr; $($field:ident),+ $(,)?) => {{
         Self {
@@ -134,14 +172,15 @@ macro_rules! merge_fields {
 impl ScenarioSpec {
     /// Layers `overlay` over `self`: any field the overlay sets wins,
     /// anything it leaves `None` falls through to `self`. The tenant
-    /// list and the autoscale table are replaced wholesale when the
-    /// overlay provides them (an overlay that names tenants redefines
-    /// the workload; it does not splice into the base's list).
+    /// list and the autoscale and fleet tables are replaced wholesale
+    /// when the overlay provides them (an overlay that names tenants
+    /// redefines the workload; it does not splice into the base's
+    /// list).
     pub fn merge(&self, overlay: &ScenarioSpec) -> ScenarioSpec {
         merge_fields!(self, overlay;
             device, seed, duration, warmup, slo, gpu_policy, fault_seed,
             deadline, retry, hedge, breaker, recovery, max_delay,
-            queue_cap, admission, autoscale, tenants,
+            queue_cap, admission, autoscale, fleet, tenants,
         )
     }
 
@@ -242,6 +281,89 @@ pub fn parse_arrival(s: &str) -> Result<ArrivalProcess, String> {
         other => Err(format!(
             "bad arrival `{s}`: unknown process `{other}`; {grammar}"
         )),
+    }
+}
+
+/// Cursor over CLI argv shared by every jetsim binary: yields flags
+/// split on `=` and pulls space-separated operands on demand, so each
+/// CLI accepts both `--flag=value` and `--flag value` spellings without
+/// re-implementing the machinery.
+///
+/// # Examples
+///
+/// ```
+/// use jetsim::scenario::FlagCursor;
+///
+/// let argv = ["--seed=7", "--duration", "2s", "--json"].map(String::from);
+/// let mut cursor = FlagCursor::new(argv.into_iter());
+/// let (key, mut value) = cursor.next_flag().unwrap();
+/// assert_eq!((key.as_str(), value.as_deref()), ("--seed", Some("7")));
+/// let (key, mut value) = cursor.next_flag().unwrap();
+/// assert_eq!(key, "--duration");
+/// assert_eq!(cursor.require(&mut value).unwrap(), "2s");
+/// let (key, _) = cursor.next_flag().unwrap();
+/// assert_eq!(key, "--json");
+/// assert!(cursor.next_flag().is_none());
+/// ```
+#[derive(Debug)]
+pub struct FlagCursor<I: Iterator<Item = String>> {
+    argv: std::iter::Peekable<I>,
+    key: String,
+}
+
+impl<I: Iterator<Item = String>> FlagCursor<I> {
+    /// Wraps an argv iterator (typically `std::env::args().skip(1)`).
+    pub fn new(argv: I) -> Self {
+        FlagCursor {
+            argv: argv.peekable(),
+            key: String::new(),
+        }
+    }
+
+    /// The next argument as `(flag, inline value)`: `--flag=value`
+    /// splits at the first `=`, anything else carries no inline value.
+    /// `None` when argv is exhausted.
+    pub fn next_flag(&mut self) -> Option<(String, Option<String>)> {
+        let arg = self.argv.next()?;
+        let (key, value) = match arg.split_once('=') {
+            Some((k, v)) => (k.to_string(), Some(v.to_string())),
+            None => (arg, None),
+        };
+        self.key.clone_from(&key);
+        Some((key, value))
+    }
+
+    /// The current flag's operand: the inline `=value` when present,
+    /// otherwise the next argv token unless it is itself a flag
+    /// (`--flag value` spelling).
+    ///
+    /// # Errors
+    ///
+    /// Names the flag when no value is available.
+    pub fn require(&mut self, value: &mut Option<String>) -> Result<String, String> {
+        if value.is_none() {
+            if let Some(next) = self.argv.peek() {
+                if !next.starts_with("--") {
+                    *value = self.argv.next();
+                }
+            }
+        }
+        value
+            .clone()
+            .ok_or_else(|| format!("{} needs a value", self.key))
+    }
+
+    /// Like [`FlagCursor::require`], but validates the operand against
+    /// the duration grammar eagerly while returning the raw string (so
+    /// overlays stay plain scenario documents).
+    ///
+    /// # Errors
+    ///
+    /// Missing operand or a malformed duration literal.
+    pub fn require_duration(&mut self, value: &mut Option<String>) -> Result<String, String> {
+        let raw = self.require(value)?;
+        parse_duration(&raw)?;
+        Ok(raw)
     }
 }
 
@@ -499,6 +621,19 @@ mod tests {
                 evaluate_every: Some("20ms".to_string()),
                 slo_burn: Some(true),
                 start_cost: Some("auto".to_string()),
+            }),
+            fleet: Some(FleetScenario {
+                sites: Some(4),
+                router: Some("least_queue".to_string()),
+                cloud: Some(true),
+                cloud_device: Some("cloud-a40".to_string()),
+                base_latency: Some("5ms".to_string()),
+                jitter: Some("2ms".to_string()),
+                bandwidth_mbps: Some(100.0),
+                request_kb: Some(128.0),
+                response_kb: Some(4.0),
+                cloud_rtt: Some("30ms".to_string()),
+                telemetry_every: Some("100ms".to_string()),
             }),
             tenants: Some(vec![
                 TenantScenario {

@@ -249,6 +249,52 @@ impl ArrivalStream {
         let u = rng.uniform(f64::EPSILON, 1.0);
         SimDuration::from_secs_f64(-u.ln() / rate)
     }
+
+    /// Drains the stream into absolute arrival times, stopping at the
+    /// first arrival strictly past `horizon` (which is discarded) or
+    /// when the stream is exhausted. The returned times are cumulative
+    /// gap sums, exactly the instants a simulation driven by this
+    /// stream would process the arrivals — an arrival *at* the horizon
+    /// is kept, matching the simulator's inclusive end-of-run check.
+    ///
+    /// Because gaps are integer nanoseconds, the timeline round-trips
+    /// losslessly through [`gaps_from_times`]: replaying the diffs as an
+    /// [`ArrivalProcess::trace`] reproduces the same absolute instants.
+    pub fn times_until(&mut self, horizon: SimDuration) -> Vec<SimDuration> {
+        let mut times = Vec::new();
+        let mut clock = SimDuration::ZERO;
+        while let Some(gap) = self.next_gap() {
+            clock += gap;
+            if clock > horizon {
+                break;
+            }
+            times.push(clock);
+        }
+        times
+    }
+}
+
+/// Converts a non-decreasing absolute-time sequence back into the
+/// inter-arrival gaps that generate it (the exact inverse of summing
+/// gaps into [`ArrivalStream::times_until`] timelines).
+///
+/// This is how a pre-computed routing plan becomes per-site traffic: a
+/// router partitions one aggregate timeline across sites, and each
+/// slice is re-expressed as gaps for an [`ArrivalProcess::trace`] that
+/// the site's simulation replays bit-identically.
+///
+/// # Panics
+///
+/// Panics when `times` is not sorted non-decreasing.
+pub fn gaps_from_times(times: &[SimDuration]) -> Vec<SimDuration> {
+    let mut gaps = Vec::with_capacity(times.len());
+    let mut prev = SimDuration::ZERO;
+    for &t in times {
+        assert!(t >= prev, "arrival times must be non-decreasing");
+        gaps.push(t - prev);
+        prev = t;
+    }
+    gaps
 }
 
 impl Iterator for ArrivalStream {
@@ -350,5 +396,49 @@ mod tests {
     #[should_panic(expected = "finite and positive")]
     fn zero_rate_rejected() {
         let _ = ArrivalProcess::poisson(0.0);
+    }
+
+    #[test]
+    fn times_until_matches_cumulative_gaps() {
+        let p = ArrivalProcess::poisson(500.0);
+        let horizon = SimDuration::from_millis(200);
+        let times = ArrivalStream::new(p.clone(), 9).times_until(horizon);
+        assert!(!times.is_empty());
+        assert!(times.iter().all(|&t| t <= horizon));
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "sorted");
+
+        // The timeline is the running sum of the raw gap draws.
+        let mut clock = SimDuration::ZERO;
+        let mut expect = Vec::new();
+        for gap in ArrivalStream::new(p, 9) {
+            clock += gap;
+            if clock > horizon {
+                break;
+            }
+            expect.push(clock);
+        }
+        assert_eq!(times, expect);
+    }
+
+    #[test]
+    fn gaps_from_times_inverts_times_until() {
+        let p = ArrivalProcess::mmpp(
+            50.0,
+            800.0,
+            SimDuration::from_millis(300),
+            SimDuration::from_millis(80),
+        );
+        let times = ArrivalStream::new(p, 21).times_until(SimDuration::from_secs(2));
+        let gaps = gaps_from_times(&times);
+        // Replaying the gaps as a trace reproduces the exact timeline.
+        let replayed = ArrivalStream::new(ArrivalProcess::trace(gaps, false), 0)
+            .times_until(SimDuration::from_secs(2));
+        assert_eq!(replayed, times);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn unsorted_times_rejected() {
+        let _ = gaps_from_times(&[SimDuration::from_millis(5), SimDuration::from_millis(2)]);
     }
 }

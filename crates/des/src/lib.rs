@@ -36,7 +36,7 @@ pub mod rng;
 pub mod time;
 pub mod trace;
 
-pub use arrivals::{ArrivalProcess, ArrivalStream};
+pub use arrivals::{gaps_from_times, ArrivalProcess, ArrivalStream};
 pub use calendar::CalendarQueue;
 pub use queue::EventQueue;
 pub use rng::SimRng;

@@ -1,0 +1,522 @@
+//! The fleet specification and its plan → route → simulate pipeline.
+//!
+//! A [`FleetSpec`] replicates one per-site serving scenario across N
+//! edge sites (plus an optional cloud tier on a different device),
+//! splits one aggregate arrival stream per tenant class across the
+//! sites through a [`FleetRouter`](crate::router::FleetRouter), and
+//! injects network transfer delays
+//! as per-request ingress offsets into each site's otherwise-unchanged
+//! device simulation.
+//!
+//! # Determinism
+//!
+//! The run is deterministic by construction, independent of worker
+//! count:
+//!
+//! 1. **Emission** — each class's aggregate arrivals come from one
+//!    seeded [`ArrivalStream`] materialized up front with
+//!    `times_until(horizon)`; the per-class seed fold matches the
+//!    single-device ingress exactly, so a one-site fleet emits the
+//!    same timeline a standalone run draws.
+//! 2. **Routing** — the planner walks the merged timeline once,
+//!    sequentially; telemetry snapshots refresh on a fixed period and
+//!    network jitter is a hash of `(seed, request, site, direction)`,
+//!    not an RNG stream.
+//! 3. **Simulation** — every site's `SimConfig` is built sequentially
+//!    (warming the engine cache in deterministic order); the site sims
+//!    are then *independent* — they see only their own arrival trace
+//!    and uplink offsets — so they run on any number of threads and the
+//!    results are reassembled in site-index order.
+//!
+//! Same spec + seed ⇒ byte-identical [`FleetReport`] at any
+//! `--workers`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use jetsim::scenario::ScenarioSpec;
+use jetsim_des::{gaps_from_times, ArrivalProcess, ArrivalStream, SimDuration, SimTime};
+use jetsim_serve::{build_serve_spec, estimate_capacity, ServeReport, ServeSpec};
+use jetsim_sim::{RunTrace, Simulation};
+
+use crate::network::{Direction, NetworkModel};
+use crate::report::{FleetReport, SiteReport};
+use crate::router::{FleetView, RouteRequest, RouterPolicy};
+
+/// Default telemetry refresh period (snapshot staleness bound).
+pub const DEFAULT_TELEMETRY_EVERY: SimDuration = SimDuration::from_millis(100);
+
+/// Per-group arrival-seed fold — must match the single-device ingress
+/// (`crates/sim/src/components/ingress.rs`) so a one-site fleet replays
+/// the standalone timeline bit for bit.
+fn class_seed(master: u64, class: usize) -> u64 {
+    master.wrapping_add((class as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Nearest-rank percentile over an already-sorted slice, in ms.
+fn percentile_ms(sorted: &[SimDuration], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1].as_millis_f64()
+}
+
+/// A fleet of device sims behind a network and a router.
+#[derive(Debug, Clone)]
+pub struct FleetSpec {
+    scenario: ScenarioSpec,
+    sites: u32,
+    cloud: bool,
+    cloud_device: String,
+    router: RouterPolicy,
+    network: NetworkModel,
+    telemetry_every: SimDuration,
+    workers: Option<usize>,
+}
+
+/// One routing decision, in emission order.
+#[derive(Debug, Clone, Copy)]
+struct Decision {
+    home: usize,
+    site: usize,
+    emitted: SimDuration,
+    uplink: SimDuration,
+    downlink: SimDuration,
+}
+
+impl FleetSpec {
+    /// A fleet replicating `scenario` on every edge site, with the
+    /// defaults the `jetsim-fleet` CLI uses: 4 edge sites, no cloud
+    /// tier, `round_robin` routing, the default [`NetworkModel`] and a
+    /// 100 ms telemetry period.
+    pub fn new(scenario: ScenarioSpec) -> Self {
+        FleetSpec {
+            scenario,
+            sites: 4,
+            cloud: false,
+            cloud_device: "cloud-a40".to_string(),
+            router: RouterPolicy::RoundRobin,
+            network: NetworkModel::default(),
+            telemetry_every: DEFAULT_TELEMETRY_EVERY,
+            workers: None,
+        }
+    }
+
+    /// Sets the number of edge sites (≥ 1).
+    pub fn sites(mut self, sites: u32) -> Self {
+        self.sites = sites;
+        self
+    }
+
+    /// Attaches (or removes) the cloud tier.
+    pub fn cloud(mut self, cloud: bool) -> Self {
+        self.cloud = cloud;
+        self
+    }
+
+    /// Device name for the cloud tier (default `cloud-a40`).
+    pub fn cloud_device(mut self, device: impl Into<String>) -> Self {
+        self.cloud_device = device.into();
+        self
+    }
+
+    /// Selects the routing policy.
+    pub fn router(mut self, router: RouterPolicy) -> Self {
+        self.router = router;
+        self
+    }
+
+    /// Replaces the network model.
+    pub fn network(mut self, network: NetworkModel) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Sets the telemetry refresh period (router snapshot staleness).
+    pub fn telemetry_every(mut self, every: SimDuration) -> Self {
+        self.telemetry_every = every;
+        self
+    }
+
+    /// Caps the site-simulation worker threads (`None` = one per
+    /// available core). Has **no effect on results** — only on wall
+    /// time.
+    pub fn workers(mut self, workers: Option<usize>) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// The per-site serving scenario.
+    pub fn scenario(&self) -> &ScenarioSpec {
+        &self.scenario
+    }
+
+    /// Total site count: edges plus the cloud tier when attached.
+    pub fn total_sites(&self) -> usize {
+        self.sites as usize + usize::from(self.cloud)
+    }
+
+    /// Runs the fleet and aggregates a [`FleetReport`].
+    ///
+    /// # Errors
+    ///
+    /// A message naming the problem: a scenario that does not resolve
+    /// (see [`build_serve_spec`]), an unknown cloud device, zero sites,
+    /// or a zero telemetry period.
+    pub fn run(&self) -> Result<FleetReport, String> {
+        if self.sites == 0 {
+            return Err("fleet needs at least one edge site".to_string());
+        }
+        if self.telemetry_every.is_zero() {
+            return Err("telemetry period must be non-zero".to_string());
+        }
+        let edge_sites = self.sites as usize;
+        let total_sites = self.total_sites();
+        let cloud_index = self.cloud.then_some(edge_sites);
+
+        // Resolve the per-site specs once up front. Edge sites share
+        // one scenario; the cloud tier swaps the device.
+        let edge_spec = build_serve_spec(&self.scenario)?;
+        let cloud_scenario = self.cloud.then(|| {
+            let mut sc = self.scenario.clone();
+            sc.device = Some(self.cloud_device.clone());
+            sc
+        });
+        let cloud_spec = cloud_scenario
+            .as_ref()
+            .map(build_serve_spec)
+            .transpose()
+            .map_err(|e| format!("cloud tier: {e}"))?;
+
+        let n_classes = edge_spec.tenants().len();
+        let seed = edge_spec.master_seed();
+        let warmup = edge_spec.warmup_interval();
+        let horizon = edge_spec.horizon();
+        let measured_secs = edge_spec.measured_duration().as_secs_f64();
+        let slo = edge_spec.slo_target();
+        let deadline = edge_spec.resilience_policies().deadline;
+
+        // 1. Emission: materialize each class's aggregate arrival
+        // timeline, then merge into one fleet timeline.
+        let mut emissions: Vec<(SimDuration, usize, u64)> = Vec::new();
+        for g in 0..n_classes {
+            let process = edge_spec.tenants()[g].arrivals.clone();
+            let mut stream = ArrivalStream::new(process, class_seed(seed, g));
+            for (k, t) in stream.times_until(horizon).into_iter().enumerate() {
+                emissions.push((t, g, k as u64));
+            }
+        }
+        emissions.sort_by_key(|&(t, g, k)| (t, g, k));
+
+        // 2. Routing: walk the timeline once through the policy, with a
+        // drain-model planner behind periodic telemetry snapshots.
+        let edge_caps = estimate_capacity(&edge_spec).map_err(|e| e.to_string())?;
+        let cloud_caps = cloud_spec
+            .as_ref()
+            .map(|s| estimate_capacity(s).map_err(|e| format!("cloud tier: {e}")))
+            .transpose()?;
+        let mut est_rate: Vec<Vec<f64>> = (0..total_sites)
+            .map(|s| {
+                let caps = match (cloud_index, &cloud_caps) {
+                    (Some(c), Some(caps)) if s == c => caps,
+                    _ => &edge_caps,
+                };
+                caps.iter().map(|c| c.est_rate).collect()
+            })
+            .collect();
+        // Guard degenerate estimates so drain-time math stays finite.
+        for rates in &mut est_rate {
+            for r in rates {
+                if !r.is_finite() || *r <= 0.0 {
+                    *r = 1e-6;
+                }
+            }
+        }
+
+        let mut router = self.router.build();
+        let mut view = FleetView {
+            edge_sites,
+            cloud: cloud_index,
+            slo,
+            cloud_round_trip: self.network.one_way(
+                seed,
+                u64::MAX,
+                0,
+                edge_sites,
+                true,
+                Direction::Uplink,
+            ) + self.network.one_way(
+                seed,
+                u64::MAX,
+                0,
+                edge_sites,
+                true,
+                Direction::Downlink,
+            ),
+            snapshot_at: SimDuration::ZERO,
+            outstanding: vec![vec![0.0; n_classes]; total_sites],
+            est_rate: est_rate.clone(),
+        };
+        let mut live = vec![vec![0.0; n_classes]; total_sites];
+        let mut last = SimDuration::ZERO;
+        let mut next_snapshot = self.telemetry_every;
+
+        let mut decisions: Vec<Decision> = Vec::with_capacity(emissions.len());
+        // Per (site, class): arrival instants and uplink offsets, in
+        // emission order, plus the decision index for report assembly.
+        let mut site_times: Vec<Vec<Vec<SimDuration>>> =
+            vec![vec![Vec::new(); n_classes]; total_sites];
+        let mut site_offsets: Vec<Vec<Vec<SimDuration>>> =
+            vec![vec![Vec::new(); n_classes]; total_sites];
+        let mut site_decisions: Vec<Vec<Vec<usize>>> =
+            vec![vec![Vec::new(); n_classes]; total_sites];
+
+        for (id, &(t, class, _k)) in emissions.iter().enumerate() {
+            let id = id as u64;
+            // Drain the live backlog model up to the emission instant.
+            let dt = (t - last).as_secs_f64();
+            if dt > 0.0 {
+                for s in 0..total_sites {
+                    for g in 0..n_classes {
+                        live[s][g] = (live[s][g] - est_rate[s][g] * dt).max(0.0);
+                    }
+                }
+            }
+            last = t;
+            // Refresh the router's snapshot on the telemetry period;
+            // between refreshes it reads stale state on purpose.
+            if t >= next_snapshot {
+                view.outstanding.clone_from(&live);
+                view.snapshot_at = t;
+                while next_snapshot <= t {
+                    next_snapshot += self.telemetry_every;
+                }
+            }
+
+            let home = (splitmix64(seed ^ 0x686F_6D65 ^ id) % edge_sites as u64) as usize;
+            let req = RouteRequest {
+                id,
+                class,
+                home,
+                at: t,
+            };
+            let site = router.route(&req, &view).min(total_sites - 1);
+            let site_is_cloud = cloud_index == Some(site);
+            let uplink =
+                self.network
+                    .one_way(seed, id, home, site, site_is_cloud, Direction::Uplink);
+            let downlink =
+                self.network
+                    .one_way(seed, id, home, site, site_is_cloud, Direction::Downlink);
+            live[site][class] += 1.0;
+            site_times[site][class].push(t);
+            site_offsets[site][class].push(uplink);
+            site_decisions[site][class].push(decisions.len());
+            decisions.push(Decision {
+                home,
+                site,
+                emitted: t,
+                uplink,
+                downlink,
+            });
+        }
+
+        // 3. Simulation: build every site's config sequentially (warms
+        // the engine cache in a deterministic order), then run the
+        // independent site sims on a worker pool.
+        let mut configs = Vec::with_capacity(total_sites);
+        let mut devices = Vec::with_capacity(total_sites);
+        for s in 0..total_sites {
+            let mut spec: ServeSpec = if cloud_index == Some(s) {
+                build_serve_spec(cloud_scenario.as_ref().expect("cloud scenario set"))?
+            } else {
+                build_serve_spec(&self.scenario)?
+            };
+            for g in 0..n_classes {
+                let gaps = gaps_from_times(&site_times[s][g]);
+                spec.set_arrivals(g, ArrivalProcess::trace(gaps, false));
+                spec.set_ingress_offsets(g, site_offsets[s][g].clone());
+            }
+            devices.push(spec.platform().name().to_string());
+            configs.push(spec.build_config().map_err(|e| e.to_string())?);
+        }
+
+        let workers = self
+            .workers
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+            })
+            .clamp(1, total_sites.max(1));
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<Result<RunTrace, String>>> = Vec::new();
+        slots.resize_with(total_sites, || None);
+        let mut configs: Vec<Option<_>> = configs.into_iter().map(Some).collect();
+        let config_slots: Vec<std::sync::Mutex<Option<_>>> = configs
+            .iter_mut()
+            .map(|c| std::sync::Mutex::new(c.take()))
+            .collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut done: Vec<(usize, Result<RunTrace, String>)> = Vec::new();
+                        loop {
+                            let index = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(slot) = config_slots.get(index) else {
+                                break;
+                            };
+                            let config = slot
+                                .lock()
+                                .expect("config slot lock")
+                                .take()
+                                .expect("every site config taken exactly once");
+                            let trace = Simulation::new(config)
+                                .map(|sim| sim.run())
+                                .map_err(|e| e.to_string());
+                            done.push((index, trace));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (index, trace) in handle.join().expect("fleet worker panicked") {
+                    slots[index] = Some(trace);
+                }
+            }
+        });
+        let traces: Vec<RunTrace> = slots
+            .into_iter()
+            .map(|slot| slot.expect("every site dispatched exactly once"))
+            .collect::<Result<_, _>>()?;
+
+        // 4. Aggregation: match each site's k-th root request of class
+        // g with the k-th decision routed to (site, g) — arrival order
+        // is FIFO on both sides — and judge end-to-end latency
+        // (network legs included) at the client.
+        let mut e2e: Vec<SimDuration> = Vec::new();
+        let mut requests = 0usize;
+        let mut served = 0usize;
+        let mut within_slo = 0usize;
+        let mut offloaded = 0usize;
+        let mut non_home = 0usize;
+        let mut traffic_kb = 0.0_f64;
+        let mut network_total = SimDuration::ZERO;
+        let mut sites_out = Vec::with_capacity(total_sites);
+        for (s, trace) in traces.iter().enumerate() {
+            let site_is_cloud = cloud_index == Some(s);
+            // Earliest chain completion per root, as the serve metrics
+            // compute it.
+            let n = trace.requests.len();
+            let mut root = vec![0usize; n];
+            let mut completion: Vec<Option<SimTime>> = vec![None; n];
+            for (i, r) in trace.requests.iter().enumerate() {
+                root[i] = match r.retry_of.or(r.hedge_of) {
+                    Some(parent) => root[parent],
+                    None => i,
+                };
+                if let Some(at) = r.completed {
+                    let best = completion[root[i]];
+                    completion[root[i]] = Some(best.map_or(at, |b| b.min(at)));
+                }
+            }
+            let mut roots_by_class: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
+            for (i, r) in trace.requests.iter().enumerate() {
+                if r.retry_of.is_none() && r.hedge_of.is_none() {
+                    roots_by_class[r.group].push(i);
+                }
+            }
+            let mut routed = 0usize;
+            for g in 0..n_classes {
+                routed += site_decisions[s][g].len();
+                for (k, &d_index) in site_decisions[s][g].iter().enumerate() {
+                    let d = decisions[d_index];
+                    traffic_kb += self.network.traffic_kb(d.home, d.site, site_is_cloud);
+                    if d.emitted < warmup {
+                        continue;
+                    }
+                    requests += 1;
+                    if site_is_cloud {
+                        offloaded += 1;
+                    }
+                    if d.site != d.home || site_is_cloud {
+                        non_home += 1;
+                    }
+                    // A root can be missing when the uplink pushed its
+                    // delivery past the horizon: emitted, never served.
+                    let done = roots_by_class[g].get(k).and_then(|&i| completion[root[i]]);
+                    if let Some(at) = done {
+                        let latency = (at - SimTime::ZERO) - d.emitted + d.downlink;
+                        served += 1;
+                        network_total += d.uplink + d.downlink;
+                        if latency <= slo {
+                            within_slo += 1;
+                        }
+                        e2e.push(latency);
+                    }
+                }
+            }
+            sites_out.push(SiteReport {
+                site: s,
+                cloud: site_is_cloud,
+                device: devices[s].clone(),
+                routed,
+                sim_events: trace.sim_events,
+                report: ServeReport::from_trace_with_deadline(trace, slo, warmup, deadline),
+            });
+        }
+        e2e.sort_unstable();
+        let sim_events_total = traces.iter().map(|t| t.sim_events).sum();
+        Ok(FleetReport {
+            router: self.router.to_string(),
+            edge_sites,
+            cloud: self.cloud,
+            network: self.network.to_string(),
+            measured_secs,
+            slo_ms: slo.as_millis_f64(),
+            requests,
+            served,
+            p50_ms: percentile_ms(&e2e, 50.0),
+            p95_ms: percentile_ms(&e2e, 95.0),
+            p99_ms: percentile_ms(&e2e, 99.0),
+            goodput_qps: if measured_secs > 0.0 {
+                within_slo as f64 / measured_secs
+            } else {
+                0.0
+            },
+            slo_attainment: if requests > 0 {
+                within_slo as f64 / requests as f64
+            } else {
+                1.0
+            },
+            offload_fraction: if requests > 0 {
+                offloaded as f64 / requests as f64
+            } else {
+                0.0
+            },
+            non_home_fraction: if requests > 0 {
+                non_home as f64 / requests as f64
+            } else {
+                0.0
+            },
+            cross_site_traffic_mb: traffic_kb * 1024.0 / 1e6,
+            mean_network_ms: if served > 0 {
+                network_total.as_millis_f64() / served as f64
+            } else {
+                0.0
+            },
+            sim_events_total,
+            sites: sites_out,
+        })
+    }
+}

@@ -1,0 +1,181 @@
+//! The fleet determinism contract:
+//!
+//! 1. the [`FleetReport`] is **byte-identical** whatever the worker
+//!    count — sites couple only through pre-computed routing decisions,
+//!    so parallelism can never change results;
+//! 2. a one-site fleet whose router pins all traffic home is
+//!    **indistinguishable from a standalone run** of the same scenario
+//!    — the aggregate-stream seed fold and trace-replay arrivals
+//!    reproduce the single-device ingress bit for bit.
+
+use jetsim_fleet::{build_fleet_spec, FleetSpec, NetworkModel, RouterPolicy, ScenarioSpec};
+use jetsim_serve::build_serve_spec;
+
+fn scenario(toml: &str) -> ScenarioSpec {
+    toml.parse().expect("test scenario parses")
+}
+
+const FLEET_TOML: &str = r#"
+seed = 1234
+duration = "400ms"
+warmup = "100ms"
+slo = "50ms"
+
+[fleet]
+sites = 3
+router = "least_queue"
+cloud = true
+jitter = "2ms"
+
+[[tenants]]
+spec = "resnet50:int8:1:1"
+arrival = "poisson:150"
+
+[[tenants]]
+spec = "mobilenet_v2:fp16:1:1"
+arrival = "mmpp:40:400:80:40"
+"#;
+
+#[test]
+fn fleet_report_is_byte_identical_across_worker_counts() {
+    let base = build_fleet_spec(&scenario(FLEET_TOML)).unwrap();
+    let reference = base.clone().workers(Some(1)).run().unwrap().to_json();
+    for workers in [2usize, 8] {
+        let json = base.clone().workers(Some(workers)).run().unwrap().to_json();
+        assert_eq!(json, reference, "FleetReport diverged at {workers} workers");
+    }
+}
+
+#[test]
+fn fleet_replays_bit_for_bit_and_diverges_across_seeds() {
+    let base = build_fleet_spec(&scenario(FLEET_TOML)).unwrap();
+    assert_eq!(
+        base.run().unwrap(),
+        base.run().unwrap(),
+        "same spec, same bytes"
+    );
+    let mut other = scenario(FLEET_TOML);
+    other.seed = Some(5678);
+    let diverged = build_fleet_spec(&other).unwrap().run().unwrap();
+    assert_ne!(
+        base.run().unwrap().to_json(),
+        diverged.to_json(),
+        "different seeds draw different traffic"
+    );
+}
+
+const PINNED_TOML: &str = r#"
+seed = 99
+duration = "500ms"
+warmup = "100ms"
+slo = "40ms"
+
+[[tenants]]
+spec = "resnet50:int8:1:2"
+arrival = "poisson:250"
+"#;
+
+/// A one-site `locality` fleet serves everything at home: zero network
+/// delay, and the aggregate stream *is* the standalone group stream.
+/// The site's serving report must match a standalone run of the same
+/// scenario exactly — field for field, not just statistically.
+#[test]
+fn pinned_single_site_fleet_matches_standalone_run() {
+    let sc = scenario(PINNED_TOML);
+    let fleet = FleetSpec::new(sc.clone())
+        .sites(1)
+        .router(RouterPolicy::Locality)
+        .run()
+        .unwrap();
+    let standalone = build_serve_spec(&sc).unwrap().run().unwrap();
+
+    assert_eq!(fleet.sites.len(), 1);
+    assert!(
+        fleet.sites[0].routed >= fleet.requests && fleet.requests > 0,
+        "routing covers warmup arrivals too"
+    );
+    assert_eq!(
+        fleet.sites[0].report, standalone,
+        "pinned fleet site must replay the standalone run bit for bit"
+    );
+    assert_eq!(fleet.non_home_fraction, 0.0);
+    assert_eq!(fleet.offload_fraction, 0.0);
+    assert_eq!(fleet.cross_site_traffic_mb, 0.0);
+    assert_eq!(fleet.mean_network_ms, 0.0);
+}
+
+/// The same pinning equivalence holds under a harsher network model —
+/// home traffic never touches the network, so the model is irrelevant
+/// when everything stays home.
+#[test]
+fn network_model_is_inert_for_home_traffic() {
+    let sc = scenario(PINNED_TOML);
+    let cheap = FleetSpec::new(sc.clone())
+        .sites(1)
+        .router(RouterPolicy::Locality)
+        .run()
+        .unwrap();
+    let mut harsh = FleetSpec::new(sc)
+        .sites(1)
+        .router(RouterPolicy::Locality)
+        .network(
+            "base=50ms,jitter=20ms,bw=1,req_kb=512,cloud_rtt=200ms"
+                .parse()
+                .unwrap(),
+        )
+        .run()
+        .unwrap();
+    // Only the echoed model string may differ; every measurement must not.
+    assert_ne!(harsh.network, cheap.network);
+    harsh.network = cheap.network.clone();
+    assert_eq!(cheap.to_json(), harsh.to_json());
+}
+
+/// Spreading the same traffic over more sites must not change *what*
+/// arrives, only *where*: total routed requests are conserved.
+#[test]
+fn routing_conserves_the_aggregate_stream() {
+    let mut sc = scenario(FLEET_TOML);
+    sc.fleet.as_mut().unwrap().jitter = None;
+    sc.fleet.as_mut().unwrap().router = Some("round_robin".to_string());
+    let one = FleetSpec::new(sc.clone())
+        .sites(1)
+        .cloud(false)
+        .router(RouterPolicy::RoundRobin)
+        .run()
+        .unwrap();
+    let many = build_fleet_spec(&sc).unwrap().run().unwrap();
+    let routed =
+        |r: &jetsim_fleet::FleetReport| -> usize { r.sites.iter().map(|s| s.routed).sum() };
+    assert_eq!(routed(&one), routed(&many));
+    let edges = many.sites.iter().filter(|s| !s.cloud);
+    assert!(
+        edges.clone().all(|s| s.routed > 0),
+        "round_robin reaches every edge site"
+    );
+}
+
+/// `--network` grammar and the scenario `[fleet]` table resolve to the
+/// same model, so the two spellings are interchangeable.
+#[test]
+fn network_grammar_matches_scenario_table() {
+    let sc = scenario(
+        r#"
+[fleet]
+base_latency = "7ms"
+jitter = "1ms"
+bandwidth_mbps = 25.0
+request_kb = 256.0
+response_kb = 16.0
+cloud_rtt = "60ms"
+
+[[tenants]]
+spec = "resnet50:int8:1:1"
+"#,
+    );
+    let from_table = jetsim_fleet::build_network(sc.fleet.as_ref().unwrap()).unwrap();
+    let from_flag: NetworkModel = "base=7ms,jitter=1ms,bw=25,req_kb=256,resp_kb=16,cloud_rtt=60ms"
+        .parse()
+        .unwrap();
+    assert_eq!(from_table, from_flag);
+}

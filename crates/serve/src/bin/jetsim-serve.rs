@@ -19,7 +19,7 @@
 
 use std::process::ExitCode;
 
-use jetsim::scenario::{parse_arrival, parse_duration};
+use jetsim::scenario::{parse_arrival, parse_duration, FlagCursor};
 use jetsim_serve::scenario::{build_serve_spec, DEFAULT_SEED};
 use jetsim_serve::{AutoscaleScenario, ScenarioSpec, TenantScenario};
 use jetsim_sim::GpuPolicy;
@@ -99,43 +99,20 @@ impl Args {
         let mut arrival: Option<String> = None;
         let mut autoscale = AutoscaleScenario::default();
         let mut autoscale_set = false;
-        let mut argv = argv.peekable();
-        while let Some(arg) = argv.next() {
-            let (key, mut value) = match arg.split_once('=') {
-                Some((k, v)) => (k.to_string(), Some(v.to_string())),
-                None => (arg, None),
-            };
-            // `--flag value` spelling: take the next token unless it is
-            // itself a flag.
-            let mut required = |v: &mut Option<String>| -> Result<String, String> {
-                if v.is_none() {
-                    if let Some(next) = argv.peek() {
-                        if !next.starts_with("--") {
-                            *v = argv.next();
-                        }
-                    }
-                }
-                v.clone().ok_or_else(|| format!("{key} needs a value"))
-            };
-            // Validate a duration flag eagerly but keep the raw grammar
-            // string: the overlay stays a plain scenario document.
-            let mut duration_field = |v: &mut Option<String>| -> Result<String, String> {
-                let raw = required(v)?;
-                parse_duration(&raw)?;
-                Ok(raw)
-            };
+        let mut argv = FlagCursor::new(argv);
+        while let Some((key, mut value)) = argv.next_flag() {
             match key.as_str() {
-                "--scenario" => args.scenario = Some(required(&mut value)?),
+                "--scenario" => args.scenario = Some(argv.require(&mut value)?),
                 "--dump-scenario" => args.dump_scenario = true,
                 "--tenant" => {
                     tenants.push(TenantScenario {
-                        spec: Some(required(&mut value)?),
+                        spec: Some(argv.require(&mut value)?),
                         arrival: arrival.clone(),
                         ..TenantScenario::default()
                     });
                 }
                 "--arrival" => {
-                    let raw = required(&mut value)?;
+                    let raw = argv.require(&mut value)?;
                     parse_arrival(&raw)?;
                     // Retroactively applies when --arrival follows the
                     // final --tenant (the natural CLI reading).
@@ -144,19 +121,19 @@ impl Args {
                     }
                     arrival = Some(raw);
                 }
-                "--slo" => args.overlay.slo = Some(duration_field(&mut value)?),
-                "--duration" => args.overlay.duration = Some(duration_field(&mut value)?),
-                "--warmup" => args.overlay.warmup = Some(duration_field(&mut value)?),
-                "--max-delay" => args.overlay.max_delay = Some(duration_field(&mut value)?),
+                "--slo" => args.overlay.slo = Some(argv.require_duration(&mut value)?),
+                "--duration" => args.overlay.duration = Some(argv.require_duration(&mut value)?),
+                "--warmup" => args.overlay.warmup = Some(argv.require_duration(&mut value)?),
+                "--max-delay" => args.overlay.max_delay = Some(argv.require_duration(&mut value)?),
                 "--queue-cap" => {
                     args.overlay.queue_cap = Some(
-                        required(&mut value)?
+                        argv.require(&mut value)?
                             .parse()
                             .map_err(|e| format!("bad --queue-cap: {e}"))?,
                     )
                 }
                 "--admission" => {
-                    let policy = required(&mut value)?;
+                    let policy = argv.require(&mut value)?;
                     match policy.as_str() {
                         "reject" | "shed" | "degrade" => args.overlay.admission = Some(policy),
                         other => {
@@ -166,10 +143,10 @@ impl Args {
                         }
                     }
                 }
-                "--device" => args.overlay.device = Some(required(&mut value)?),
+                "--device" => args.overlay.device = Some(argv.require(&mut value)?),
                 "--seed" => {
                     args.overlay.seed = Some(
-                        required(&mut value)?
+                        argv.require(&mut value)?
                             .parse()
                             .map_err(|e| format!("bad --seed: {e}"))?,
                     )
@@ -189,7 +166,7 @@ impl Args {
                     }
                     None => args.faults_default_seed = true,
                 },
-                "--deadline" => args.overlay.deadline = Some(duration_field(&mut value)?),
+                "--deadline" => args.overlay.deadline = Some(argv.require_duration(&mut value)?),
                 "--retry" => {
                     args.overlay.retry = Some(match value {
                         Some(v) => v
@@ -225,7 +202,7 @@ impl Args {
                     })
                 }
                 "--autoscale" => {
-                    let spec = required(&mut value)?;
+                    let spec = argv.require(&mut value)?;
                     let (min, max) = match spec.split_once(':') {
                         Some((min, max)) => (
                             min.parse()
@@ -247,18 +224,18 @@ impl Args {
                 }
                 "--target-queue" => {
                     autoscale.target_queue = Some(
-                        required(&mut value)?
+                        argv.require(&mut value)?
                             .parse()
                             .map_err(|e| format!("bad --target-queue: {e}"))?,
                     );
                     autoscale_set = true;
                 }
                 "--keep-alive" => {
-                    autoscale.keep_alive = Some(duration_field(&mut value)?);
+                    autoscale.keep_alive = Some(argv.require_duration(&mut value)?);
                     autoscale_set = true;
                 }
                 "--scale-every" => {
-                    autoscale.evaluate_every = Some(duration_field(&mut value)?);
+                    autoscale.evaluate_every = Some(argv.require_duration(&mut value)?);
                     autoscale_set = true;
                 }
                 "--scale-slo-burn" => {
@@ -266,7 +243,7 @@ impl Args {
                     autoscale_set = true;
                 }
                 "--scale-cost" => {
-                    let cost = required(&mut value)?;
+                    let cost = argv.require(&mut value)?;
                     if cost != "auto" {
                         parse_duration(&cost)?;
                     }
@@ -274,7 +251,7 @@ impl Args {
                     autoscale_set = true;
                 }
                 "--gpu-policy" => {
-                    let policy = required(&mut value)?;
+                    let policy = argv.require(&mut value)?;
                     policy
                         .parse::<GpuPolicy>()
                         .map_err(|e| format!("bad --gpu-policy: {e}"))?;

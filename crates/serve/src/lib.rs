@@ -55,6 +55,7 @@ pub mod metrics;
 pub mod resilience;
 pub mod scenario;
 pub mod spec;
+pub mod telemetry;
 
 pub use capacity::{find_max_qps, CapacityEstimate, CapacityProbe};
 pub use metrics::{GroupReport, ServeReport};
@@ -64,6 +65,7 @@ pub use resilience::{
 };
 pub use scenario::{build_autoscale, build_serve_spec};
 pub use spec::{AutoscaleSpec, ServeError, ServeSpec, ServeTenant};
+pub use telemetry::{estimate_capacity, queue_depth_timeline, GroupCapacity, QueueSample};
 
 // Re-export the serving vocabulary so downstream users need only this
 // crate for online-serving experiments.
@@ -78,4 +80,4 @@ pub use jetsim_sim::{FaultPlan, OomPolicy};
 // The declarative scenario document lives in the core crate (so the
 // closed-loop `jetsim-trtexec` CLI can read the same files); re-export
 // it here as the serving-facing entry point.
-pub use jetsim::scenario::{AutoscaleScenario, ScenarioSpec, TenantScenario};
+pub use jetsim::scenario::{AutoscaleScenario, FleetScenario, ScenarioSpec, TenantScenario};

@@ -166,6 +166,12 @@ pub struct ServeTenant {
     /// Per-tenant autoscaler; `None` falls back to the spec-wide
     /// autoscaler (and to static serving when that is unset too).
     pub autoscale: Option<AutoscaleSpec>,
+    /// Per-request ingress delay offsets, indexed by arrival draw order
+    /// (see [`jetsim_sim::serving::ServeGroup::ingress_offsets`]). The
+    /// fleet layer uses these to inject network uplink delay; `None`
+    /// (the default) leaves the tenant byte-identical to the undelayed
+    /// path.
+    pub ingress_offsets: Option<Arc<[SimDuration]>>,
 }
 
 impl ServeTenant {
@@ -185,6 +191,7 @@ impl ServeTenant {
             priority,
             sm_share,
             autoscale: None,
+            ingress_offsets: None,
         }
     }
 
@@ -246,6 +253,12 @@ impl ServeTenant {
     /// Attaches a per-tenant autoscaler (overrides any spec-wide one).
     pub fn autoscale(mut self, autoscale: AutoscaleSpec) -> Self {
         self.autoscale = Some(autoscale);
+        self
+    }
+
+    /// Attaches per-request ingress delay offsets.
+    pub fn ingress_offsets(mut self, offsets: impl Into<Arc<[SimDuration]>>) -> Self {
+        self.ingress_offsets = Some(offsets.into());
         self
     }
 }
@@ -424,6 +437,42 @@ impl ServeSpec {
         self.tenants[index].arrivals = arrivals;
     }
 
+    /// Overrides tenant `index`'s per-request ingress delay offsets
+    /// (used by the fleet layer to inject network uplink delay).
+    pub fn set_ingress_offsets(&mut self, index: usize, offsets: impl Into<Arc<[SimDuration]>>) {
+        self.tenants[index].ingress_offsets = Some(offsets.into());
+    }
+
+    /// The platform this spec targets.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The warmup interval (excluded from reports).
+    pub fn warmup_interval(&self) -> SimDuration {
+        self.warmup
+    }
+
+    /// The measured duration.
+    pub fn measured_duration(&self) -> SimDuration {
+        self.duration
+    }
+
+    /// The latency SLO that goodput and attainment are judged against.
+    pub fn slo_target(&self) -> SimDuration {
+        self.slo
+    }
+
+    /// The RNG seed the run replays under.
+    pub fn master_seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The resilience bundle applied to every tenant.
+    pub fn resilience_policies(&self) -> &ResiliencePolicies {
+        &self.resilience
+    }
+
     /// Compiles the spec into a [`SimConfig`] with a serve plan: each
     /// tenant becomes one serve group whose members are its instances,
     /// and [`AdmissionPolicy::Degrade`] tenants get a pre-built fallback
@@ -476,6 +525,9 @@ impl ServeSpec {
                 .admission(st.admission)
                 .priority(st.priority)
                 .sm_share(st.sm_share);
+            if let Some(offsets) = &st.ingress_offsets {
+                group = group.ingress_offsets(Arc::clone(offsets));
+            }
             // A degraded fallback is needed by Degrade admission and by
             // a brownout breaker (which forces the cheap engine while
             // open).

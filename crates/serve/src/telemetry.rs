@@ -1,0 +1,197 @@
+//! Telemetry hooks for fleet-scale orchestration: static capacity
+//! estimates and queue-depth snapshot timelines.
+//!
+//! A fleet router placing requests across many device sims needs two
+//! things from each site *without* running it first: a prior on how fast
+//! the site drains work ([`estimate_capacity`], derived from the same
+//! engine latency estimates the DES itself integrates), and — after a
+//! run — a load timeline to validate routing decisions against
+//! ([`queue_depth_timeline`], sampled from the serve-event log the exact
+//! way a periodic telemetry scraper would see it).
+
+use jetsim_des::{SimDuration, SimTime};
+use jetsim_sim::serving::{ServeEvent, ServeEventKind};
+
+use crate::spec::{ServeError, ServeSpec};
+
+/// A static service-capacity estimate for one served tenant, derived
+/// from its engine's analytic latency model at the device's top clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupCapacity {
+    /// The tenant's group label.
+    pub label: String,
+    /// Provisioned replicas (the tenant's instance count).
+    pub replicas: u32,
+    /// The engine's built batch size.
+    pub max_batch: u32,
+    /// Estimated seconds to execute one full batch on one replica at
+    /// the top clock, ignoring contention.
+    pub est_batch_secs: f64,
+    /// Estimated aggregate service rate in requests per second:
+    /// `replicas × max_batch / est_batch_secs`.
+    pub est_rate: f64,
+}
+
+/// Estimates every tenant's service capacity for `spec` without running
+/// a simulation.
+///
+/// Engines come from the process-wide engine cache, so calling this
+/// before [`ServeSpec::build_config`] costs one build per distinct
+/// `(model, precision, batch)` and nothing after. The estimate is the
+/// uncontended upper bound the autoscaler and GPU scheduler erode — a
+/// router prior, not a promise.
+///
+/// # Errors
+///
+/// [`ServeError::NoTenants`] for an empty spec, or [`ServeError::Build`]
+/// naming the failing tenant.
+pub fn estimate_capacity(spec: &ServeSpec) -> Result<Vec<GroupCapacity>, ServeError> {
+    if spec.tenants().is_empty() {
+        return Err(ServeError::NoTenants);
+    }
+    let platform = spec.platform();
+    let gpu = &platform.device().gpu;
+    let top = gpu.freq.top();
+    spec.tenants()
+        .iter()
+        .map(|st| {
+            let t = &st.tenant;
+            let label = t.label();
+            let engine = platform
+                .build_engine(t.model(), t.precision(), t.batch())
+                .map_err(|source| ServeError::Build {
+                    label: label.clone(),
+                    source,
+                })?;
+            let est_batch_secs = engine.ideal_ec_time(gpu, top).as_secs_f64();
+            let est_rate = if est_batch_secs > 0.0 {
+                f64::from(t.instances()) * f64::from(engine.batch()) / est_batch_secs
+            } else {
+                0.0
+            };
+            Ok(GroupCapacity {
+                label,
+                replicas: t.instances(),
+                max_batch: engine.batch(),
+                est_batch_secs,
+                est_rate,
+            })
+        })
+        .collect()
+}
+
+/// One periodic queue-depth observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueSample {
+    /// Sample instant (a multiple of the sampling period).
+    pub at: SimTime,
+    /// Queue depth as of the latest serve event at or before `at`
+    /// (zero before the first observation).
+    pub depth: usize,
+}
+
+/// Samples group `group`'s queue depth every `every` over `horizon`,
+/// as a periodic telemetry scraper reading the serve-event log would:
+/// each sample holds the depth reported by the latest depth-bearing
+/// event (batch formation, degrade transitions) at or before the sample
+/// instant.
+///
+/// This is deliberately *stale* between events — a router consuming
+/// these snapshots sees exactly the lag a real telemetry pipeline with
+/// period `every` would introduce, which is what the fleet layer's
+/// staleness-aware policies are tested against.
+///
+/// # Panics
+///
+/// Panics when `every` is zero.
+pub fn queue_depth_timeline(
+    events: &[ServeEvent],
+    group: usize,
+    every: SimDuration,
+    horizon: SimDuration,
+) -> Vec<QueueSample> {
+    assert!(!every.is_zero(), "telemetry period must be non-zero");
+    let mut samples = Vec::new();
+    let mut cursor = 0usize;
+    let mut depth = 0usize;
+    let mut at = SimTime::ZERO + every;
+    while at <= SimTime::ZERO + horizon {
+        while let Some(ev) = events.get(cursor) {
+            if ev.time > at {
+                break;
+            }
+            if ev.group == group {
+                match ev.kind {
+                    ServeEventKind::BatchFormed { queue_depth, .. }
+                    | ServeEventKind::DegradeEnter { queue_depth }
+                    | ServeEventKind::DegradeExit { queue_depth } => depth = queue_depth,
+                    _ => {}
+                }
+            }
+            cursor += 1;
+        }
+        samples.push(QueueSample { at, depth });
+        at += every;
+    }
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jetsim::platform::Platform;
+    use jetsim_des::ArrivalProcess;
+
+    use crate::spec::ServeTenant;
+
+    #[test]
+    fn capacity_estimate_scales_with_replicas_and_batch() {
+        let spec = ServeSpec::new(Platform::orin_nano())
+            .tenant(ServeTenant::parse("resnet50:int8:1:1", ArrivalProcess::poisson(50.0)).unwrap())
+            .tenant(ServeTenant::parse("resnet50:int8:1:2", ArrivalProcess::poisson(50.0)).unwrap())
+            .tenant(
+                ServeTenant::parse("resnet50:int8:4:1", ArrivalProcess::poisson(50.0)).unwrap(),
+            );
+        let caps = estimate_capacity(&spec).unwrap();
+        assert_eq!(caps.len(), 3);
+        assert!(caps.iter().all(|c| c.est_rate > 0.0));
+        // Two replicas drain twice as fast as one.
+        assert!((caps[1].est_rate - 2.0 * caps[0].est_rate).abs() < 1e-9);
+        // Batch 4 serves more requests per second than batch 1 (batching
+        // amortises per-kernel overhead) but takes longer per batch.
+        assert!(caps[2].est_rate > caps[0].est_rate);
+        assert!(caps[2].est_batch_secs > caps[0].est_batch_secs);
+    }
+
+    #[test]
+    fn empty_spec_has_no_capacity() {
+        let err = estimate_capacity(&ServeSpec::new(Platform::orin_nano())).unwrap_err();
+        assert!(matches!(err, ServeError::NoTenants));
+    }
+
+    #[test]
+    fn queue_timeline_holds_last_observation() {
+        let ev = |ms: u64, group: usize, queue_depth: usize| ServeEvent {
+            time: SimTime::ZERO + SimDuration::from_millis(ms),
+            group,
+            kind: ServeEventKind::BatchFormed {
+                pid: 0,
+                size: 1,
+                oldest_wait: SimDuration::ZERO,
+                queue_depth,
+                degraded: false,
+            },
+        };
+        let events = [ev(3, 0, 5), ev(7, 1, 99), ev(12, 0, 2)];
+        let samples = queue_depth_timeline(
+            &events,
+            0,
+            SimDuration::from_millis(5),
+            SimDuration::from_millis(20),
+        );
+        let depths: Vec<usize> = samples.iter().map(|s| s.depth).collect();
+        // t=5: saw depth 5; t=10: other group's event ignored, still 5;
+        // t=15: depth 2; t=20: unchanged.
+        assert_eq!(depths, vec![5, 5, 2, 2]);
+    }
+}

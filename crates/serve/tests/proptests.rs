@@ -10,8 +10,8 @@ use jetsim::platform::Platform;
 use jetsim_des::{ArrivalProcess, ArrivalStream, SimDuration, SimTime};
 use jetsim_serve::{
     AutoscaleScenario, BatchDecision, BatcherPolicy, BreakerPolicy, DropKind, FaultPlan,
-    HedgePolicy, OomPolicy, RecoverySpec, ResiliencePolicies, ScenarioSpec, ServeEventKind,
-    ServeSpec, ServeTenant, TenantScenario,
+    FleetScenario, HedgePolicy, OomPolicy, RecoverySpec, ResiliencePolicies, ScenarioSpec,
+    ServeEventKind, ServeSpec, ServeTenant, TenantScenario,
 };
 use jetsim_sim::Simulation;
 
@@ -208,6 +208,47 @@ fn autoscale_strategy() -> impl Strategy<Value = AutoscaleScenario> {
         )
 }
 
+fn fleet_strategy() -> impl Strategy<Value = FleetScenario> {
+    (
+        (
+            opt(1u32..64),
+            opt(grammar_string()),
+            opt(any::<bool>()),
+            opt(grammar_string()),
+        ),
+        (
+            opt(duration_string()),
+            opt(duration_string()),
+            opt(0.5f64..1000.0),
+            opt(0.25f64..512.0),
+        ),
+        (
+            opt(0.25f64..512.0),
+            opt(duration_string()),
+            opt(duration_string()),
+        ),
+    )
+        .prop_map(
+            |(
+                (sites, router, cloud, cloud_device),
+                (base_latency, jitter, bandwidth_mbps, request_kb),
+                (response_kb, cloud_rtt, telemetry_every),
+            )| FleetScenario {
+                sites,
+                router,
+                cloud,
+                cloud_device,
+                base_latency,
+                jitter,
+                bandwidth_mbps,
+                request_kb,
+                response_kb,
+                cloud_rtt,
+                telemetry_every,
+            },
+        )
+}
+
 fn tenant_strategy() -> impl Strategy<Value = TenantScenario> {
     (
         opt(grammar_string()),
@@ -254,13 +295,14 @@ fn scenario_strategy() -> impl Strategy<Value = ScenarioSpec> {
         opt(0u64..4096),
         opt(grammar_string()),
         opt(autoscale_strategy()),
+        opt(fleet_strategy()),
         opt(prop::collection::vec(tenant_strategy(), 1..3)),
     );
     (head, mid, tail).prop_map(
         |(
             (device, seed, duration, warmup, slo, gpu_policy),
             (fault_seed, deadline, retry, hedge, breaker, recovery),
-            (max_delay, queue_cap, admission, autoscale, tenants),
+            (max_delay, queue_cap, admission, autoscale, fleet, tenants),
         )| ScenarioSpec {
             device,
             seed,
@@ -278,6 +320,7 @@ fn scenario_strategy() -> impl Strategy<Value = ScenarioSpec> {
             queue_cap,
             admission,
             autoscale,
+            fleet,
             tenants,
         },
     )
@@ -329,7 +372,7 @@ proptest! {
         check!(
             device, seed, duration, warmup, slo, gpu_policy, fault_seed,
             deadline, retry, hedge, breaker, recovery, max_delay,
-            queue_cap, admission, autoscale, tenants,
+            queue_cap, admission, autoscale, fleet, tenants,
         );
     }
 }

@@ -576,6 +576,16 @@ pub struct ServeGroup {
     /// under [`crate::GpuPolicy::FractionalMps`]; other policies ignore
     /// it). Default 1.0.
     pub sm_share: f64,
+    /// Per-request ingress delay offsets, indexed by draw order: the
+    /// `i`-th arrival the stream emits is delivered at
+    /// `max(emission_time + offsets[i], previous_delivery)` instead of
+    /// its emission time (FIFO-link semantics — a request never
+    /// overtakes its predecessor). Draws beyond the slice get zero
+    /// offset. This is how a fleet layer injects per-request network
+    /// uplink delay without perturbing the stream's RNG: absent (the
+    /// default) or all-zero offsets leave the run byte-identical to the
+    /// undelayed path.
+    pub ingress_offsets: Option<Arc<[SimDuration]>>,
 }
 
 impl ServeGroup {
@@ -599,6 +609,7 @@ impl ServeGroup {
             autoscaler: None,
             priority: 0,
             sm_share: 1.0,
+            ingress_offsets: None,
         }
     }
 
@@ -678,6 +689,13 @@ impl ServeGroup {
     /// Sets the fractional SM share every member inherits.
     pub fn sm_share(mut self, share: f64) -> Self {
         self.sm_share = share;
+        self
+    }
+
+    /// Attaches per-request ingress delay offsets (see
+    /// [`ServeGroup::ingress_offsets`]).
+    pub fn ingress_offsets(mut self, offsets: impl Into<Arc<[SimDuration]>>) -> Self {
+        self.ingress_offsets = Some(offsets.into());
         self
     }
 }

@@ -19,6 +19,7 @@ pub use jetsim::deployment;
 pub use jetsim_des;
 pub use jetsim_device;
 pub use jetsim_dnn;
+pub use jetsim_fleet;
 pub use jetsim_profile;
 pub use jetsim_serve;
 pub use jetsim_sim;
